@@ -1,0 +1,112 @@
+(* Benchmark harness: one Bechamel test per paper table/figure (the cost
+   of regenerating each experiment from the shared measurement context),
+   plus pipeline-stage benches covering the framework's own phases.
+
+   Run with:  dune exec bench/main.exe
+   Output: one row per benchmark with the OLS-estimated time per run. *)
+
+open Bechamel
+
+(* The context (calibration + full measurement of every Table I
+   instance) is built once; each experiment bench then regenerates its
+   table/figure from it, exactly as bin/experiments.exe does. *)
+let ctx = lazy (Gpp_experiments.Context.create ())
+
+let experiment_tests =
+  List.map
+    (fun (e : Gpp_experiments.Suite.entry) ->
+      Test.make ~name:e.Gpp_experiments.Suite.id
+        (Staged.stage (fun () ->
+             let ctx = Lazy.force ctx in
+             ignore (e.Gpp_experiments.Suite.run ctx))))
+    Gpp_experiments.Suite.all
+
+(* Pipeline-stage benches: how expensive each phase of GROPHECY++ itself
+   is (the framework's own cost, not the modeled GPU time). *)
+
+let machine = Gpp_arch.Machine.argonne_node
+
+let session = lazy (Gpp_core.Grophecy.init machine)
+
+let stage_tests =
+  [
+    Test.make ~name:"stage:calibration"
+      (Staged.stage (fun () -> ignore (Gpp_core.Grophecy.init machine)));
+    Test.make ~name:"stage:transfer-analysis"
+      (Staged.stage
+         (let program = Gpp_workloads.Cfd.program ~nelem:97_000 () in
+          fun () -> ignore (Gpp_dataflow.Analyzer.analyze program)));
+    Test.make ~name:"stage:transform-search"
+      (Staged.stage
+         (let program = Gpp_workloads.Hotspot.program ~n:1024 () in
+          let kernel = List.hd program.Gpp_skeleton.Program.kernels in
+          fun () ->
+            ignore
+              (Gpp_transform.Explore.search ~gpu:machine.Gpp_arch.Machine.gpu
+                 ~decls:program.Gpp_skeleton.Program.arrays kernel)));
+    Test.make ~name:"stage:projection"
+      (Staged.stage
+         (let program = Gpp_workloads.Srad.program ~n:1024 () in
+          fun () ->
+            let s = Lazy.force session in
+            ignore
+              (Gpp_core.Projection.project ~machine ~h2d:s.Gpp_core.Grophecy.h2d
+                 ~d2h:s.Gpp_core.Grophecy.d2h program)));
+    Test.make ~name:"stage:gpu-simulation"
+      (Staged.stage
+         (let program = Gpp_workloads.Srad.program ~n:1024 () in
+          let s = Lazy.force session in
+          let projection =
+            match
+              Gpp_core.Projection.project ~machine ~h2d:s.Gpp_core.Grophecy.h2d
+                ~d2h:s.Gpp_core.Grophecy.d2h program
+            with
+            | Ok p -> p
+            | Error e -> failwith e
+          in
+          fun () ->
+            ignore
+              (Gpp_core.Measurement.measure ~runs:1 ~link:s.Gpp_core.Grophecy.application_link
+                 projection)));
+    Test.make ~name:"stage:full-analysis"
+      (Staged.stage
+         (let program = Gpp_workloads.Stassuij.program () in
+          fun () ->
+            let s = Lazy.force session in
+            ignore (Gpp_core.Grophecy.analyze ~runs:3 s program)));
+  ]
+
+let all_tests = experiment_tests @ stage_tests
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~kde:(Some 50) ~stabilize:false ()
+  in
+  List.map
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      Analyze.all ols Toolkit.Instance.monotonic_clock raw)
+    all_tests
+
+let () =
+  (* Force the shared context up front so its (substantial) cost is not
+     attributed to the first benchmark. *)
+  print_endline "building measurement context (calibration + all Table I workloads)...";
+  ignore (Lazy.force ctx);
+  ignore (Lazy.force session);
+  print_endline "running benchmarks...";
+  let results = benchmark () in
+  Printf.printf "%-28s %16s %10s\n" "benchmark" "time/run" "r^2";
+  List.iter
+    (fun result ->
+      Hashtbl.iter
+        (fun name ols ->
+          let estimate =
+            match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> Float.nan
+          in
+          let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan in
+          Printf.printf "%-28s %13.3f ms %10.3f\n" name (estimate /. 1e6) r2)
+        result)
+    results

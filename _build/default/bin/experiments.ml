@@ -1,0 +1,36 @@
+(* Regenerate every table and figure of the paper, plus the ablations.
+   Usage:
+     experiments            run the whole suite
+     experiments fig7 ...   run selected experiments by id
+     experiments --list     print the available ids *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--list" args then begin
+    List.iter
+      (fun (e : Gpp_experiments.Suite.entry) -> Printf.printf "%-26s %s\n" e.id e.title)
+      Gpp_experiments.Suite.all;
+    exit 0
+  end;
+  let selected =
+    match args with
+    | [] -> Gpp_experiments.Suite.all
+    | ids ->
+        List.map
+          (fun id ->
+            match Gpp_experiments.Suite.find id with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment id %s (try --list)\n" id;
+                exit 2)
+          ids
+  in
+  Printf.printf "GROPHECY++ reproduction: regenerating %d experiment(s)\n" (List.length selected);
+  Printf.printf "calibrating the simulated testbed and measuring all workloads...\n%!";
+  let ctx = Gpp_experiments.Context.create () in
+  Format.printf "%a@.@." Gpp_arch.Machine.pp (Gpp_experiments.Context.machine ctx);
+  List.iter
+    (fun (e : Gpp_experiments.Suite.entry) ->
+      Gpp_experiments.Output.print (e.run ctx);
+      print_newline ())
+    selected

@@ -1,0 +1,387 @@
+(* GROPHECY++ command-line interface.
+
+   Subcommands mirror how the framework is used in the paper:
+     calibrate          run the synthetic PCIe benchmark, print the models
+     list               list the bundled workload skeletons
+     project            project GPU performance of a workload (no measurement)
+     analyze            full prediction vs simulated-measurement report
+     predict-transfer   price a single transfer with the calibrated model
+     experiment         regenerate paper tables/figures by id *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  let doc = "Print pipeline progress (calibration, chosen transformations, measurements)." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let machine_conv =
+  let parse = function
+    | "argonne" -> Ok Gpp_arch.Machine.argonne_node
+    | "section2b" -> Ok Gpp_arch.Machine.section2b_node
+    | "gt200" -> Ok Gpp_arch.Machine.gt200_node
+    | "modern" -> Ok Gpp_arch.Machine.modern_node
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown machine %S (expected argonne, section2b, gt200, or modern)" s))
+  in
+  let print ppf (m : Gpp_arch.Machine.t) = Format.fprintf ppf "%s" m.name in
+  Arg.conv (parse, print)
+
+let machine_arg =
+  let doc =
+    "Target machine preset: $(b,argonne) (the paper's testbed), $(b,section2b), $(b,gt200), or \
+     $(b,modern)."
+  in
+  Arg.(value & opt machine_conv Gpp_arch.Machine.argonne_node & info [ "machine"; "m" ] ~doc)
+
+let seed_arg =
+  let doc = "Seed for the simulated hardware's noise streams." in
+  Arg.(value & opt int64 0x1B0A_2013_6CA1_55AAL & info [ "seed" ] ~doc)
+
+let workload_arg =
+  let doc = "Workload instance as $(b,app/size), e.g. $(b,cfd/97K) or $(b,hotspot/1024 x 1024)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let iterations_arg =
+  let doc = "Iteration count for iterative workloads." in
+  Arg.(value & opt int 1 & info [ "iterations"; "n" ] ~doc)
+
+let runs_arg =
+  let doc = "Runs to average per measurement (the paper uses 10)." in
+  Arg.(value & opt int 10 & info [ "runs" ] ~doc)
+
+let session_of machine seed = Gpp_core.Grophecy.init ~seed machine
+
+(* A workload argument is either a bundled "app/size" key or a path to a
+   textual .skel file. *)
+let resolve_workload key =
+  match Gpp_workloads.Registry.find_by_key key with
+  | Some inst -> Ok inst
+  | None when Sys.file_exists key && not (Sys.is_directory key) -> (
+      match Gpp_skeleton.Parser.parse_file key with
+      | Ok program ->
+          Ok
+            {
+              Gpp_workloads.Registry.app = program.Gpp_skeleton.Program.name;
+              size = "file";
+              program =
+                (fun iterations ->
+                  if iterations = 1 then program
+                  else Gpp_skeleton.Program.with_iterations program iterations);
+            }
+      | Error e -> Error (Printf.sprintf "%s: %s" key e))
+  | None ->
+      let known = List.map Gpp_workloads.Registry.key Gpp_workloads.Registry.all in
+      Error
+        (Printf.sprintf "unknown workload %S; known: %s (or a path to a .skel file)" key
+           (String.concat ", " known))
+
+(* calibrate *)
+
+let calibrate machine seed verbose =
+  setup_logs verbose;
+  let session = session_of machine seed in
+  Format.printf "%a@.@." Gpp_arch.Machine.pp machine;
+  Format.printf "two-point calibration (1 B and 512 MiB transfers, 10 runs each):@.";
+  List.iter
+    (fun model -> Format.printf "  %a@." Gpp_pcie.Model.pp model)
+    (Gpp_pcie.Calibrate.calibrate_all session.Gpp_core.Grophecy.calibration_link);
+  Format.printf "@.models used for projection (pinned, as in the paper):@.";
+  Format.printf "  %a@.  %a@." Gpp_pcie.Model.pp session.Gpp_core.Grophecy.h2d Gpp_pcie.Model.pp
+    session.Gpp_core.Grophecy.d2h;
+  0
+
+let calibrate_cmd =
+  let doc = "Run the synthetic PCIe benchmark and print the calibrated transfer models." in
+  Cmd.v (Cmd.info "calibrate" ~doc) Term.(const calibrate $ machine_arg $ seed_arg $ verbose_arg)
+
+(* list *)
+
+let list_workloads () =
+  Printf.printf "%-24s %s\n" "WORKLOAD" "KERNELS";
+  List.iter
+    (fun (inst : Gpp_workloads.Registry.instance) ->
+      let program = inst.program 1 in
+      Printf.printf "%-24s %s\n"
+        (Gpp_workloads.Registry.key inst)
+        (String.concat ", "
+           (List.map (fun (k : Gpp_skeleton.Ir.kernel) -> k.name) program.kernels)))
+    Gpp_workloads.Registry.all;
+  0
+
+let list_cmd =
+  let doc = "List the bundled workload skeletons." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const list_workloads $ const ())
+
+(* project *)
+
+let project machine seed key iterations verbose =
+  setup_logs verbose;
+  match resolve_workload key with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok inst -> (
+      let session = session_of machine seed in
+      let program = Gpp_skeleton.Program.with_iterations (inst.program 1) iterations in
+      match
+        Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
+          ~d2h:session.Gpp_core.Grophecy.d2h program
+      with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok projection ->
+          Format.printf "%a@." Gpp_core.Projection.pp projection;
+          Format.printf "%a@." Gpp_dataflow.Analyzer.pp_plan projection.Gpp_core.Projection.plan;
+          0)
+
+let project_cmd =
+  let doc = "Project GPU kernel and transfer time for a workload (prediction only)." in
+  Cmd.v
+    (Cmd.info "project" ~doc)
+    Term.(const project $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ verbose_arg)
+
+(* analyze *)
+
+let analyze machine seed key iterations runs verbose =
+  setup_logs verbose;
+  match resolve_workload key with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok inst -> (
+      let session = session_of machine seed in
+      match Gpp_core.Grophecy.analyze ~runs ~iterations session (inst.program 1) with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok report ->
+          Format.printf "%a@." Gpp_core.Grophecy.pp_report report;
+          0)
+
+let analyze_cmd =
+  let doc =
+    "Project a workload, measure it on the simulated hardware, and report speedups and errors."
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(
+      const analyze $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ runs_arg
+      $ verbose_arg)
+
+(* export-skel *)
+
+let export_skel key =
+  match resolve_workload key with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok inst ->
+      print_string (Gpp_skeleton.Printer.to_skel (inst.program 1));
+      0
+
+let export_skel_cmd =
+  let doc = "Print a workload as an editable textual skeleton (.skel) on stdout." in
+  Cmd.v (Cmd.info "export-skel" ~doc) Term.(const export_skel $ workload_arg)
+
+(* advise *)
+
+let advise machine seed key iterations verbose =
+  setup_logs verbose;
+  match resolve_workload key with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok inst -> (
+      let session = session_of machine seed in
+      match
+        Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
+          ~d2h:session.Gpp_core.Grophecy.d2h (inst.program 1)
+      with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok projection ->
+          let r = Gpp_core.Advisor.recommend ~iterations projection in
+          Format.printf "%a@." Gpp_core.Advisor.pp r;
+          0)
+
+let advise_cmd =
+  let doc =
+    "Should this workload be ported?  Prediction-only verdict with break-even analysis."
+  in
+  Cmd.v
+    (Cmd.info "advise" ~doc)
+    Term.(const advise $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ verbose_arg)
+
+(* predict-transfer *)
+
+let predict_transfer machine seed size_str to_host =
+  match Gpp_util.Units.parse_bytes size_str with
+  | None ->
+      Printf.eprintf "cannot parse size %S (try 4KiB, 512MiB, 97000)\n" size_str;
+      2
+  | Some bytes ->
+      let session = session_of machine seed in
+      let model =
+        if to_host then session.Gpp_core.Grophecy.d2h else session.Gpp_core.Grophecy.h2d
+      in
+      Format.printf "%a@.T(%s) = %a@." Gpp_pcie.Model.pp model
+        (Gpp_util.Units.bytes_to_string bytes)
+        Gpp_util.Units.pp_time
+        (Gpp_pcie.Model.predict model ~bytes);
+      0
+
+let predict_transfer_cmd =
+  let doc = "Predict the time of a single pinned transfer of a given size." in
+  let size_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SIZE" ~doc:"Transfer size.")
+  in
+  let to_host_arg =
+    Arg.(value & flag & info [ "to-host" ] ~doc:"Price a GPU-to-CPU transfer instead.")
+  in
+  Cmd.v
+    (Cmd.info "predict-transfer" ~doc)
+    Term.(const predict_transfer $ machine_arg $ seed_arg $ size_arg $ to_host_arg)
+
+(* trace *)
+
+let trace machine seed key output verbose =
+  setup_logs verbose;
+  match resolve_workload key with
+  | Error e ->
+      prerr_endline e;
+      2
+  | Ok inst -> (
+      let session = session_of machine seed in
+      match
+        Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
+          ~d2h:session.Gpp_core.Grophecy.d2h (inst.program 1)
+      with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok projection ->
+          let rng = Gpp_util.Rng.create seed in
+          let status =
+            List.fold_left
+              (fun status (kp : Gpp_core.Projection.kernel_projection) ->
+                if status <> 0 then status
+                else begin
+                  let collector = Gpp_gpusim.Trace.create () in
+                  match
+                    Gpp_gpusim.Gpu_sim.run ~trace:collector ~rng
+                      ~gpu:machine.Gpp_arch.Machine.gpu
+                      kp.Gpp_core.Projection.candidate.Gpp_transform.Explore.characteristics
+                  with
+                  | Error e ->
+                      prerr_endline e;
+                      1
+                  | Ok result ->
+                      Printf.printf "%s (%s): simulated %s
+%s"
+                        kp.Gpp_core.Projection.kernel_name
+                        kp.Gpp_core.Projection.candidate.Gpp_transform.Explore.characteristics
+                          .Gpp_model.Characteristics.config_label
+                        (Gpp_util.Units.time_to_string result.Gpp_gpusim.Gpu_sim.time)
+                        (Gpp_gpusim.Trace.summary collector);
+                      let path =
+                        Printf.sprintf "%s.%s.json" output kp.Gpp_core.Projection.kernel_name
+                      in
+                      Out_channel.with_open_text path (fun oc ->
+                          output_string oc (Gpp_gpusim.Trace.to_chrome_json collector));
+                      Printf.printf "wrote %s (open in chrome://tracing or Perfetto)
+
+" path;
+                      0
+                end)
+              0 projection.Gpp_core.Projection.kernels
+          in
+          status)
+
+let trace_cmd =
+  let doc = "Simulate a workload's kernels and export Chrome-trace timelines." in
+  let output_arg =
+    Arg.(
+      value & opt string "gpp-trace"
+      & info [ "output"; "o" ] ~docv:"PREFIX" ~doc:"Output path prefix for the trace JSON files.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(const trace $ machine_arg $ seed_arg $ workload_arg $ output_arg $ verbose_arg)
+
+(* experiment *)
+
+let experiment ids list_only csv_dir =
+  if list_only then begin
+    List.iter
+      (fun (e : Gpp_experiments.Suite.entry) -> Printf.printf "%-26s %s\n" e.id e.title)
+      Gpp_experiments.Suite.all;
+    0
+  end
+  else begin
+    let entries =
+      match ids with
+      | [] -> Gpp_experiments.Suite.all
+      | ids -> (
+          try
+            List.map
+              (fun id ->
+                match Gpp_experiments.Suite.find id with
+                | Some e -> e
+                | None -> failwith id)
+              ids
+          with Failure id ->
+            Printf.eprintf "unknown experiment id %s (try --list)\n" id;
+            exit 2)
+    in
+    let ctx = Gpp_experiments.Context.create () in
+    List.iter
+      (fun (e : Gpp_experiments.Suite.entry) ->
+        Gpp_experiments.Output.print (e.run ctx);
+        print_newline ())
+      entries;
+    (match csv_dir with
+    | None -> ()
+    | Some dir ->
+        let written = Gpp_experiments.Export.write_all ctx ~dir in
+        Printf.printf "wrote %d CSV files to %s\n" (List.length written) dir);
+    0
+  end
+
+let experiment_cmd =
+  let doc = "Regenerate paper tables and figures (all, or selected by id)." in
+  let ids_arg = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.") in
+  let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List available experiment ids.") in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also export every experiment's data as CSV into $(docv).")
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const experiment $ ids_arg $ list_arg $ csv_arg)
+
+let main_cmd =
+  let doc = "GPU performance projection with data transfer modeling (GROPHECY++)" in
+  let info = Cmd.info "grophecy" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      calibrate_cmd;
+      list_cmd;
+      project_cmd;
+      analyze_cmd;
+      advise_cmd;
+      export_skel_cmd;
+      trace_cmd;
+      predict_transfer_cmd;
+      experiment_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/bus_upgrade.ml: Format Gpp_arch Gpp_core Gpp_pcie Gpp_util Gpp_workloads List

@@ -1,0 +1,1 @@
+examples/bus_upgrade.mli:

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Format Gpp_arch Gpp_core Gpp_dataflow Gpp_model Gpp_skeleton Gpp_transform List Printf

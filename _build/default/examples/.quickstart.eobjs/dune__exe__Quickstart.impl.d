@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Gpp_arch Gpp_core Gpp_pcie Gpp_util Gpp_workloads

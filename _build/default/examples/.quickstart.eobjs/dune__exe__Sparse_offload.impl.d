@@ -1,0 +1,1 @@
+examples/sparse_offload.ml: Array Format Gpp_arch Gpp_core Gpp_dataflow Gpp_workloads

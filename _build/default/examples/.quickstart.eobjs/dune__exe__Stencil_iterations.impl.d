@@ -1,0 +1,1 @@
+examples/stencil_iterations.ml: Array Float Format Gpp_arch Gpp_core Gpp_util Gpp_workloads List

@@ -1,0 +1,1 @@
+lib/arch/cpu.ml: Format Gpp_util Result

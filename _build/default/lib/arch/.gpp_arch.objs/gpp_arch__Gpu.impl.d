@@ -1,0 +1,1 @@
+lib/arch/gpu.ml: Format Gpp_util Result

@@ -1,0 +1,1 @@
+lib/arch/machine.ml: Cpu Format Gpu Pcie_spec Result

@@ -1,0 +1,1 @@
+lib/arch/machine.mli: Cpu Format Gpu Pcie_spec

@@ -1,0 +1,1 @@
+lib/arch/pcie_spec.ml: Format Gpp_util List Result

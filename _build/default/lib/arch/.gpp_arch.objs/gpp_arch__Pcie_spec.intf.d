@@ -1,0 +1,1 @@
+lib/arch/pcie_spec.mli: Format

@@ -1,0 +1,70 @@
+type t = {
+  name : string;
+  cores : int;
+  threads : int;
+  clock_ghz : float;
+  flops_per_core_cycle : float;
+  mem_bandwidth : float;
+  achieved_bw_fraction : float;
+  llc_bytes : int;
+  cache_bandwidth : float;
+  parallel_efficiency : float;
+  parallel_overhead : float;
+}
+
+let xeon_e5405 =
+  {
+    name = "Intel Xeon E5405";
+    cores = 4;
+    threads = 8;
+    clock_ghz = 2.0;
+    flops_per_core_cycle = 4.0 (* SSE: 2-wide double FMA-less mul+add *);
+    mem_bandwidth = Gpp_util.Units.gb_per_s 10.6 (* FSB 1333 MT/s x 8 B *);
+    achieved_bw_fraction = 0.55;
+    llc_bytes = 12 * 1024 * 1024;
+    cache_bandwidth = Gpp_util.Units.gb_per_s 48.0;
+    parallel_efficiency = 0.82;
+    parallel_overhead = Gpp_util.Units.us 6.0;
+  }
+
+let xeon_e5645 =
+  {
+    name = "Intel Xeon E5645";
+    cores = 6;
+    threads = 12;
+    clock_ghz = 2.4;
+    flops_per_core_cycle = 4.0;
+    mem_bandwidth = Gpp_util.Units.gb_per_s 32.0;
+    achieved_bw_fraction = 0.6;
+    llc_bytes = 12 * 1024 * 1024;
+    cache_bandwidth = Gpp_util.Units.gb_per_s 120.0;
+    parallel_efficiency = 0.85;
+    parallel_overhead = Gpp_util.Units.us 5.0;
+  }
+
+let peak_gflops t = float_of_int t.cores *. t.clock_ghz *. t.flops_per_core_cycle
+
+let validate t =
+  let check cond msg = if cond then Ok () else Error (t.name ^ ": " ^ msg) in
+  let ( let* ) = Result.bind in
+  let* () = check (t.cores > 0) "cores must be positive" in
+  let* () = check (t.threads >= t.cores) "threads must be >= cores" in
+  let* () = check (t.clock_ghz > 0.0) "clock must be positive" in
+  let* () = check (t.mem_bandwidth > 0.0) "mem_bandwidth must be positive" in
+  let* () =
+    check
+      (t.achieved_bw_fraction > 0.0 && t.achieved_bw_fraction <= 1.0)
+      "achieved_bw_fraction outside (0, 1]"
+  in
+  let* () = check (t.llc_bytes > 0) "llc_bytes must be positive" in
+  let* () = check (t.cache_bandwidth >= t.mem_bandwidth) "cache slower than memory" in
+  let* () =
+    check
+      (t.parallel_efficiency > 0.0 && t.parallel_efficiency <= 1.0)
+      "parallel_efficiency outside (0, 1]"
+  in
+  check (t.parallel_overhead >= 0.0) "parallel_overhead must be non-negative"
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d cores (%d threads) @ %.2f GHz, %.0f GFLOP/s, %a memory" t.name
+    t.cores t.threads t.clock_ghz (peak_gflops t) Gpp_util.Units.pp_bandwidth t.mem_bandwidth

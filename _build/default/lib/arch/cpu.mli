@@ -1,0 +1,37 @@
+(** CPU hardware descriptions for the baseline timing model.
+
+    The evaluation compares GPU time against an OpenMP implementation
+    running with 8 threads on the host (paper §IV-B); these records
+    parameterize the multicore roofline model in [Gpp_cpu]. *)
+
+type t = {
+  name : string;
+  cores : int;
+  threads : int;  (** Hardware threads used by the OpenMP baseline. *)
+  clock_ghz : float;
+  flops_per_core_cycle : float;  (** SIMD width x FMA factor. *)
+  mem_bandwidth : float;  (** Peak memory bandwidth, bytes/s. *)
+  achieved_bw_fraction : float;
+      (** Fraction of peak bandwidth a well-tuned streaming loop
+          achieves (FSB-era parts sustain well under peak). *)
+  llc_bytes : int;  (** Last-level cache capacity. *)
+  cache_bandwidth : float;  (** Bandwidth when the working set is
+                                cache-resident, bytes/s. *)
+  parallel_efficiency : float;  (** Scaling efficiency of the threaded
+                                    loop in (0, 1]. *)
+  parallel_overhead : float;  (** Per parallel-region fork/join cost,
+                                  seconds. *)
+}
+
+val xeon_e5405 : t
+(** The paper's host CPU: quad-core Harpertown at 2.00 GHz (§IV-A). *)
+
+val xeon_e5645 : t
+(** The Westmere part from the paper's §II-B vector-add example
+    (32 GB/s class memory system). *)
+
+val peak_gflops : t -> float
+
+val validate : t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

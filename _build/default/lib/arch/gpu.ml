@@ -1,0 +1,109 @@
+type t = {
+  name : string;
+  sm_count : int;
+  cores_per_sm : int;
+  clock_ghz : float;
+  warp_size : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  max_threads_per_block : int;
+  registers_per_sm : int;
+  shared_mem_per_sm : int;
+  dram_bandwidth : float;
+  dram_latency_cycles : int;
+  coalesce_segment : int;
+  issue_cycles : float;
+  launch_overhead : float;
+  flops_per_core_cycle : float;
+}
+
+let quadro_fx_5600 =
+  {
+    name = "NVIDIA Quadro FX 5600";
+    sm_count = 16;
+    cores_per_sm = 8;
+    clock_ghz = 1.35;
+    warp_size = 32;
+    max_threads_per_sm = 768;
+    max_blocks_per_sm = 8;
+    max_threads_per_block = 512;
+    registers_per_sm = 8192;
+    shared_mem_per_sm = 16 * 1024;
+    dram_bandwidth = Gpp_util.Units.gb_per_s 76.8;
+    dram_latency_cycles = 500;
+    coalesce_segment = 64;
+    issue_cycles = 4.0 (* one instruction per half-warp pair on G80 *);
+    launch_overhead = Gpp_util.Units.us 30.0 (* CUDA 2.3-era driver *);
+    flops_per_core_cycle = 2.0;
+  }
+
+let tesla_c1060 =
+  {
+    name = "NVIDIA Tesla C1060";
+    sm_count = 30;
+    cores_per_sm = 8;
+    clock_ghz = 1.3;
+    warp_size = 32;
+    max_threads_per_sm = 1024;
+    max_blocks_per_sm = 8;
+    max_threads_per_block = 512;
+    registers_per_sm = 16384;
+    shared_mem_per_sm = 16 * 1024;
+    dram_bandwidth = Gpp_util.Units.gb_per_s 102.0;
+    dram_latency_cycles = 550;
+    coalesce_segment = 64;
+    issue_cycles = 4.0;
+    launch_overhead = Gpp_util.Units.us 10.0;
+    flops_per_core_cycle = 2.0;
+  }
+
+let tesla_c2050 =
+  {
+    name = "NVIDIA Tesla C2050";
+    sm_count = 14;
+    cores_per_sm = 32;
+    clock_ghz = 1.15;
+    warp_size = 32;
+    max_threads_per_sm = 1536;
+    max_blocks_per_sm = 8;
+    max_threads_per_block = 1024;
+    registers_per_sm = 32768;
+    shared_mem_per_sm = 48 * 1024;
+    dram_bandwidth = Gpp_util.Units.gb_per_s 144.0;
+    dram_latency_cycles = 600;
+    coalesce_segment = 128;
+    issue_cycles = 2.0;
+    launch_overhead = Gpp_util.Units.us 7.0;
+    flops_per_core_cycle = 2.0;
+  }
+
+let peak_gflops t =
+  float_of_int (t.sm_count * t.cores_per_sm) *. t.clock_ghz *. t.flops_per_core_cycle
+
+let peak_warps_per_sm t = t.max_threads_per_sm / t.warp_size
+
+let cycle_time t = 1e-9 /. t.clock_ghz
+
+let validate t =
+  let check cond msg = if cond then Ok () else Error (t.name ^ ": " ^ msg) in
+  let ( let* ) = Result.bind in
+  let* () = check (t.sm_count > 0) "sm_count must be positive" in
+  let* () = check (t.cores_per_sm > 0) "cores_per_sm must be positive" in
+  let* () = check (t.clock_ghz > 0.0) "clock must be positive" in
+  let* () = check (t.warp_size > 0) "warp_size must be positive" in
+  let* () =
+    check (t.max_threads_per_sm mod t.warp_size = 0) "max_threads_per_sm not warp-aligned"
+  in
+  let* () = check (t.max_blocks_per_sm > 0) "max_blocks_per_sm must be positive" in
+  let* () =
+    check (t.max_threads_per_block <= t.max_threads_per_sm) "block larger than SM capacity"
+  in
+  let* () = check (t.dram_bandwidth > 0.0) "dram_bandwidth must be positive" in
+  let* () = check (t.dram_latency_cycles > 0) "dram_latency must be positive" in
+  let* () = check (t.coalesce_segment > 0) "coalesce_segment must be positive" in
+  let* () = check (t.issue_cycles > 0.0) "issue_cycles must be positive" in
+  check (t.launch_overhead >= 0.0) "launch_overhead must be non-negative"
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d SMs x %d cores @ %.2f GHz, %.0f GFLOP/s, %a DRAM" t.name t.sm_count
+    t.cores_per_sm t.clock_ghz (peak_gflops t) Gpp_util.Units.pp_bandwidth t.dram_bandwidth

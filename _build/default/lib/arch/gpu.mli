@@ -1,0 +1,51 @@
+(** GPU hardware descriptions.
+
+    The analytic model and the transaction-level simulator are both
+    configured from one of these records, so a projection can target any
+    described device (paper §II-C: "the GPU performance model can be
+    configured to reflect different GPU architectures"). *)
+
+type t = {
+  name : string;
+  sm_count : int;  (** Streaming multiprocessors. *)
+  cores_per_sm : int;  (** Scalar cores ("SPs") per SM. *)
+  clock_ghz : float;  (** Shader clock. *)
+  warp_size : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  max_threads_per_block : int;
+  registers_per_sm : int;  (** 32-bit registers per SM. *)
+  shared_mem_per_sm : int;  (** Bytes of scratchpad per SM. *)
+  dram_bandwidth : float;  (** Peak device-memory bandwidth, bytes/s. *)
+  dram_latency_cycles : int;  (** Uncontended global-memory latency. *)
+  coalesce_segment : int;
+      (** Memory-transaction granularity in bytes: a fully coalesced
+          half-warp (pre-Fermi) or warp access collapses into
+          transactions of this size. *)
+  issue_cycles : float;  (** Cycles to issue one warp instruction. *)
+  launch_overhead : float;  (** Per-kernel launch cost in seconds. *)
+  flops_per_core_cycle : float;  (** 2.0 when FMA counts as two. *)
+}
+
+val quadro_fx_5600 : t
+(** The paper's device: G80-class, 16 SMs, PCIe v1 era (§IV-A). *)
+
+val tesla_c1060 : t
+(** GT200-class part, for cross-architecture projection experiments. *)
+
+val tesla_c2050 : t
+(** Fermi-class part with larger coalescing segments and caches. *)
+
+val peak_gflops : t -> float
+(** [sm_count * cores_per_sm * clock * flops_per_core_cycle] in
+    GFLOP/s. *)
+
+val peak_warps_per_sm : t -> int
+(** [max_threads_per_sm / warp_size]. *)
+
+val cycle_time : t -> float
+(** Seconds per shader-clock cycle. *)
+
+val validate : t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

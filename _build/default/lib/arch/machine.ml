@@ -1,0 +1,45 @@
+type t = { name : string; cpu : Cpu.t; gpu : Gpu.t; pcie : Pcie_spec.t }
+
+let argonne_node =
+  {
+    name = "ALCF data analysis node (Xeon E5405 + Quadro FX 5600)";
+    cpu = Cpu.xeon_e5405;
+    gpu = Gpu.quadro_fx_5600;
+    pcie = Pcie_spec.v1_x16;
+  }
+
+let section2b_node =
+  {
+    name = "paper \u{00a7}II-B example (Xeon E5645 + Quadro FX 5600)";
+    cpu = Cpu.xeon_e5645;
+    gpu = Gpu.quadro_fx_5600;
+    pcie = Pcie_spec.v1_x16;
+  }
+
+let gt200_node =
+  {
+    name = "GT200 node (Xeon E5405 + Tesla C1060)";
+    cpu = Cpu.xeon_e5405;
+    gpu = Gpu.tesla_c1060;
+    pcie = Pcie_spec.v2_x16;
+  }
+
+let modern_node =
+  {
+    name = "Fermi node (Xeon E5645 + Tesla C2050)";
+    cpu = Cpu.xeon_e5645;
+    gpu = Gpu.tesla_c2050;
+    pcie = Pcie_spec.v2_x16;
+  }
+
+let presets = [ argonne_node; section2b_node; gt200_node; modern_node ]
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () = Cpu.validate t.cpu in
+  let* () = Gpu.validate t.gpu in
+  Pcie_spec.validate t.pcie
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s@,  %a@,  %a@,  %a@]" t.name Cpu.pp t.cpu Gpu.pp t.gpu Pcie_spec.pp
+    t.pcie

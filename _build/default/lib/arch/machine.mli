@@ -1,0 +1,31 @@
+(** A complete host + accelerator system.
+
+    Bundles the CPU, GPU, and PCIe descriptions that every projection
+    and simulation needs, with a preset for the paper's testbed. *)
+
+type t = { name : string; cpu : Cpu.t; gpu : Gpu.t; pcie : Pcie_spec.t }
+
+val argonne_node : t
+(** One node of the Argonne data analysis and visualization cluster used
+    in the paper (§IV-A): Xeon E5405 + Quadro FX 5600 on PCIe v1 x16. *)
+
+val section2b_node : t
+(** The machine of the paper's §II-B vector-addition example: a Xeon
+    E5645 (32 GB/s memory system) paired with the Quadro FX 5600 on a
+    PCIe v1 bus — the combination behind the "2.4x faster kernel, ~10x
+    slower end to end" argument. *)
+
+val gt200_node : t
+(** A GT200-era step-up (Tesla C1060 on PCIe v2), between the testbed
+    and the Fermi node. *)
+
+val modern_node : t
+(** A Fermi-era comparison system (Tesla C2050 on PCIe v2), used by the
+    extension experiments. *)
+
+val presets : t list
+(** All bundled machines, oldest first. *)
+
+val validate : t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

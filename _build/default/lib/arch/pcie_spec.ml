@@ -1,0 +1,35 @@
+type generation = Gen1 | Gen2 | Gen3
+
+type t = { generation : generation; lanes : int; max_payload : int; header_bytes : int }
+
+let v1_x16 = { generation = Gen1; lanes = 16; max_payload = 128; header_bytes = 20 }
+
+let v2_x16 = { generation = Gen2; lanes = 16; max_payload = 256; header_bytes = 20 }
+
+let v3_x16 = { generation = Gen3; lanes = 16; max_payload = 256; header_bytes = 22 }
+
+let gt_per_s = function Gen1 -> 2.5 | Gen2 -> 5.0 | Gen3 -> 8.0
+
+let encoding_efficiency = function Gen1 | Gen2 -> 0.8 | Gen3 -> 128.0 /. 130.0
+
+let raw_bandwidth t =
+  (* GT/s x lanes = raw gigabits/s on the wire; encoding turns line bits
+     into data bits; /8 turns bits into bytes. *)
+  gt_per_s t.generation *. 1e9 *. float_of_int t.lanes *. encoding_efficiency t.generation /. 8.0
+
+let packet_efficiency t = float_of_int t.max_payload /. float_of_int (t.max_payload + t.header_bytes)
+
+let effective_bandwidth t = raw_bandwidth t *. packet_efficiency t
+
+let validate t =
+  let check cond msg = if cond then Ok () else Error ("pcie: " ^ msg) in
+  let ( let* ) = Result.bind in
+  let* () = check (List.mem t.lanes [ 1; 2; 4; 8; 16 ]) "invalid lane count" in
+  let* () = check (t.max_payload > 0) "max_payload must be positive" in
+  check (t.header_bytes > 0) "header_bytes must be positive"
+
+let generation_name = function Gen1 -> "1" | Gen2 -> "2" | Gen3 -> "3"
+
+let pp ppf t =
+  Format.fprintf ppf "PCIe v%s x%d (%a effective)" (generation_name t.generation) t.lanes
+    Gpp_util.Units.pp_bandwidth (effective_bandwidth t)

@@ -1,0 +1,43 @@
+(** PCI Express link specifications.
+
+    These describe the physical link; transfer mechanics (DMA setup,
+    pinned vs pageable staging, noise) live in [Gpp_pcie.Link].  The
+    derived raw bandwidth accounts for per-lane signalling rate and line
+    encoding; the packet efficiency accounts for TLP header overhead at
+    the configured maximum payload size. *)
+
+type generation = Gen1 | Gen2 | Gen3
+
+type t = {
+  generation : generation;
+  lanes : int;  (** 1, 4, 8, or 16. *)
+  max_payload : int;  (** TLP maximum payload size in bytes. *)
+  header_bytes : int;  (** TLP header + framing per packet. *)
+}
+
+val v1_x16 : t
+(** The paper's bus: PCIe v1 device in an x16 slot (§IV-A). *)
+
+val v2_x16 : t
+
+val v3_x16 : t
+
+val gt_per_s : generation -> float
+(** Per-lane signalling rate in gigatransfers per second. *)
+
+val encoding_efficiency : generation -> float
+(** 8b/10b for Gen1/2 (0.8), 128b/130b for Gen3. *)
+
+val raw_bandwidth : t -> float
+(** Bytes per second after line encoding, before packet overhead. *)
+
+val packet_efficiency : t -> float
+(** [max_payload / (max_payload + header_bytes)]. *)
+
+val effective_bandwidth : t -> float
+(** {!raw_bandwidth} x {!packet_efficiency}: the ceiling a perfect DMA
+    engine could sustain. *)
+
+val validate : t -> (unit, string) result
+
+val pp : Format.formatter -> t -> unit

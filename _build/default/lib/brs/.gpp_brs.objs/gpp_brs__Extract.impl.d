@@ -1,0 +1,1 @@
+lib/brs/extract.ml: Format Gpp_skeleton List Printf Region Section String

@@ -1,0 +1,1 @@
+lib/brs/extract.mli: Format Gpp_skeleton Region Section

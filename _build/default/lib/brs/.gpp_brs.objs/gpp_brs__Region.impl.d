@@ -1,0 +1,1 @@
+lib/brs/region.ml: Format List Section

@@ -1,0 +1,1 @@
+lib/brs/region.mli: Format Section

@@ -1,0 +1,1 @@
+lib/brs/section.ml: Format Gpp_skeleton List

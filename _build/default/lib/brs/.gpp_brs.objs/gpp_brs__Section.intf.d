@@ -1,0 +1,1 @@
+lib/brs/section.mli: Format Gpp_skeleton

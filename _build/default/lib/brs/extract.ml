@@ -1,0 +1,123 @@
+module Ir = Gpp_skeleton.Ir
+module Index_expr = Gpp_skeleton.Index_expr
+module Decl = Gpp_skeleton.Decl
+
+type ref_info = { section : Section.t; exact : bool }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let gcd a b = gcd (abs a) (abs b)
+
+(* The subscript sumset {sum_i c_i * v_i + const | v_i in [0, e_i - 1]}
+   covers a contiguous (stride = gcd of coefficients) range iff, with
+   coefficients normalized by the gcd and sorted by decreasing
+   magnitude, each coefficient is no larger than one plus the total span
+   of all smaller terms.  This is the classic mixed-radix "no gap"
+   condition (e.g. c = [N; 1] with extents [M; N] covers 0..M*N-1). *)
+let no_gaps terms =
+  (* terms: (|coeff| / g, extent) sorted by decreasing coefficient. *)
+  let rec check = function
+    | [] -> true
+    | (c, _) :: rest ->
+        let inner_span = List.fold_left (fun acc (ci, ei) -> acc + (ci * (ei - 1))) 0 rest in
+        c <= 1 + inner_span && check rest
+  in
+  check terms
+
+let subscript_dim ~kernel expr =
+  let bounds v = Ir.loop_bounds kernel v in
+  let lo, hi = Index_expr.range bounds expr in
+  let vars = Index_expr.vars expr in
+  match vars with
+  | [] -> (Section.point lo, true)
+  | [ v ] ->
+      let stride = abs (Index_expr.coeff_of expr v) in
+      (Section.dim_exn ~lo ~hi ~stride, true)
+  | _ :: _ :: _ ->
+      let g = List.fold_left (fun acc v -> gcd acc (Index_expr.coeff_of expr v)) 0 vars in
+      let g = max g 1 in
+      let terms =
+        List.map
+          (fun v ->
+            let _, vhi = bounds v in
+            (abs (Index_expr.coeff_of expr v) / g, vhi + 1))
+          vars
+        |> List.sort (fun (a, _) (b, _) -> compare b a)
+      in
+      (Section.dim_exn ~lo ~hi ~stride:g, no_gaps terms)
+
+let find_decl decls name =
+  match List.find_opt (fun (d : Decl.t) -> d.name = name) decls with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Extract: undeclared array %s" name)
+
+let section_of_ref ~decls ~kernel (r : Ir.array_ref) =
+  let d = find_decl decls r.array in
+  let conservative () = { section = Section.whole_array d; exact = false } in
+  match (d.kind, r.pattern) with
+  | Decl.Sparse _, _ -> conservative ()
+  | Decl.Dense, Ir.Indirect _ -> conservative ()
+  | Decl.Dense, Ir.Affine indices ->
+      let dims, exact =
+        List.fold_left
+          (fun (dims, exact) expr ->
+            let d, e = subscript_dim ~kernel expr in
+            (d :: dims, exact && e))
+          ([], true) indices
+      in
+      (* Clip to the declared extents: a skeleton may describe a halo
+         read that steps one element outside the grid; the array itself
+         bounds what can be transferred. *)
+      let dims =
+        List.map2
+          (fun (dim : Section.dim) extent ->
+            match Section.dim_intersect dim (Section.dim_exn ~lo:0 ~hi:(extent - 1) ~stride:1) with
+            | Some d -> d
+            | None -> Section.point 0 (* degenerate: fully out of bounds *))
+          (List.rev dims) d.dims
+      in
+      { section = Section.make r.array dims; exact }
+
+type access = {
+  reads : (string * Region.t) list;
+  writes : (string * Region.t) list;
+  inexact_arrays : string list;
+}
+
+let add_to assoc name section =
+  let region =
+    match List.assoc_opt name assoc with
+    | Some r -> Region.add r section
+    | None -> Region.of_section section
+  in
+  (name, region) :: List.remove_assoc name assoc
+
+let of_kernel ~decls (k : Ir.kernel) =
+  let reads = ref [] and writes = ref [] and inexact = ref [] in
+  let record (r : Ir.array_ref) =
+    let info = section_of_ref ~decls ~kernel:k r in
+    if (not info.exact) && not (List.mem r.array !inexact) then inexact := r.array :: !inexact;
+    match r.access with
+    | Ir.Load -> reads := add_to !reads r.array info.section
+    | Ir.Store -> writes := add_to !writes r.array info.section
+  in
+  (* Execution probability does not matter for transfer analysis: data
+     that might be touched must be resident, so every reference counts. *)
+  Ir.fold_refs k ~init:() ~f:(fun () ~weight:_ r -> record r);
+  { reads = List.rev !reads; writes = List.rev !writes; inexact_arrays = List.rev !inexact }
+
+let reads_of access name = List.assoc_opt name access.reads
+
+let writes_of access name = List.assoc_opt name access.writes
+
+let pp_access ppf a =
+  let pp_side label assoc =
+    Format.fprintf ppf "%s:@," label;
+    List.iter (fun (name, region) -> Format.fprintf ppf "  %s: %a@," name Region.pp region) assoc
+  in
+  Format.fprintf ppf "@[<v>";
+  pp_side "reads" a.reads;
+  pp_side "writes" a.writes;
+  if a.inexact_arrays <> [] then
+    Format.fprintf ppf "conservative: %s@," (String.concat ", " a.inexact_arrays);
+  Format.fprintf ppf "@]"

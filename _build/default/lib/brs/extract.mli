@@ -1,0 +1,38 @@
+(** Extraction of Bounded Regular Sections from kernel skeletons.
+
+    For an affine reference, each subscript's value range over the
+    enclosing loop bounds gives the section bounds, and the GCD of the
+    subscript's coefficients gives the stride.  Multi-variable
+    subscripts are additionally checked for gaps (the mixed-radix
+    cover condition), so [i*N + j] with [j] spanning [0..N-1] is
+    recognized as the exact contiguous range.  Indirect references and
+    sparse arrays fall back to the conservative whole-array section
+    (paper §III-B). *)
+
+type ref_info = {
+  section : Section.t;  (** Over-approximation of the accessed set. *)
+  exact : bool;  (** Whether the section is known to be exact. *)
+}
+
+val section_of_ref :
+  decls:Gpp_skeleton.Decl.t list -> kernel:Gpp_skeleton.Ir.kernel -> Gpp_skeleton.Ir.array_ref ->
+  ref_info
+(** @raise Invalid_argument for references to undeclared arrays (run
+    {!Gpp_skeleton.Ir.validate} first). *)
+
+type access = {
+  reads : (string * Region.t) list;  (** Per-array union of read sections. *)
+  writes : (string * Region.t) list;  (** Per-array union of written sections. *)
+  inexact_arrays : string list;
+      (** Arrays whose sections required conservative approximation. *)
+}
+(** A kernel's whole access summary.  Association lists are keyed by
+    array name, in first-touch order. *)
+
+val of_kernel : decls:Gpp_skeleton.Decl.t list -> Gpp_skeleton.Ir.kernel -> access
+
+val reads_of : access -> string -> Region.t option
+
+val writes_of : access -> string -> Region.t option
+
+val pp_access : Format.formatter -> access -> unit

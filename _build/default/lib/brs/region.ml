@@ -1,0 +1,49 @@
+type t = { array : string; sections : Section.t list }
+
+let empty ~array = { array; sections = [] }
+
+let array_name t = t.array
+
+let is_empty t = t.sections = []
+
+let of_section (s : Section.t) = { array = s.array; sections = [ s ] }
+
+(* Insert [s], repeatedly fusing with any stored section whose union
+   with [s] is exact; drop stored sections already contained in [s]. *)
+let rec insert stored s =
+  let s, remaining, fused =
+    List.fold_left
+      (fun (s, remaining, fused) existing ->
+        if Section.contains ~outer:s ~inner:existing then (s, remaining, fused)
+        else if Section.contains ~outer:existing ~inner:s then (existing, remaining, true)
+        else if Section.union_exact s existing then (Section.union s existing, remaining, true)
+        else (s, existing :: remaining, fused))
+      (s, [], false) stored
+  in
+  (* A fusion may enable further fusions (e.g. three adjacent rows). *)
+  if fused then insert (List.rev remaining) s else s :: List.rev remaining
+
+let add t (s : Section.t) =
+  if s.array <> t.array then invalid_arg "Region.add: array name mismatch";
+  { t with sections = insert t.sections s }
+
+let merge a b =
+  if a.array <> b.array then invalid_arg "Region.merge: array name mismatch";
+  List.fold_left add a b.sections
+
+let sections t = t.sections
+
+let covers t s = List.exists (fun stored -> Section.contains ~outer:stored ~inner:s) t.sections
+
+let mem t coords = List.exists (fun s -> Section.mem s coords) t.sections
+
+let covered_elements t = List.fold_left (fun acc s -> acc + Section.size s) 0 t.sections
+
+let covered_bytes ~elem_bytes t = covered_elements t * elem_bytes
+
+let pp ppf t =
+  if is_empty t then Format.fprintf ppf "%s{}" t.array
+  else
+    Format.fprintf ppf "@[<h>{%a}@]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " u ") Section.pp)
+      t.sections

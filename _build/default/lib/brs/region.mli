@@ -1,0 +1,49 @@
+(** Unions of sections of a single array.
+
+    The data usage analyzer accumulates "all BRSs read but not
+    previously written" and "all BRSs written" (paper §III-B).  A region
+    holds such an accumulation.  Adding a section merges it with an
+    existing one when the regular-section union is {e exact}; otherwise
+    both are kept, so {!covered_elements} never under-counts and only
+    over-counts when the analysis itself (not this container) is
+    conservative. *)
+
+type t
+(** Immutable region over one array. *)
+
+val empty : array:string -> t
+
+val array_name : t -> string
+
+val is_empty : t -> bool
+
+val of_section : Section.t -> t
+
+val add : t -> Section.t -> t
+(** Merge a section into the region.
+    @raise Invalid_argument if array names differ. *)
+
+val merge : t -> t -> t
+(** Union of two regions of the same array. *)
+
+val sections : t -> Section.t list
+(** Current canonical section list (mutually non-contained). *)
+
+val covers : t -> Section.t -> bool
+(** True when some single stored section contains the given section.
+    (Sound but incomplete for sections split across stored pieces —
+    conservative in the right direction for "was this data already
+    written on the device?") *)
+
+val mem : t -> int list -> bool
+(** Point membership in any stored section. *)
+
+val covered_elements : t -> int
+(** Number of elements covered.  Exact when stored sections are
+    disjoint; otherwise an upper bound obtained by summing section sizes
+    (double-counting overlap is conservative for transfer-size
+    estimation, and never occurs when sections merged exactly). *)
+
+val covered_bytes : elem_bytes:int -> t -> int
+
+val pp : Format.formatter -> t -> unit

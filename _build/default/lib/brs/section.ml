@@ -1,0 +1,146 @@
+type dim = { lo : int; hi : int; stride : int }
+
+type t = { array : string; dims : dim list }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let gcd a b = gcd (abs a) (abs b)
+
+(* Euclidean remainder: result in [0, b) for b > 0. *)
+let emod a b =
+  let r = a mod b in
+  if r < 0 then r + b else r
+
+let dim ~lo ~hi ~stride =
+  if stride < 1 then invalid_arg "Section.dim: stride < 1";
+  if lo > hi then None
+  else
+    let hi = lo + ((hi - lo) / stride * stride) in
+    if lo = hi then Some { lo; hi; stride = 1 } else Some { lo; hi; stride }
+
+let dim_exn ~lo ~hi ~stride =
+  match dim ~lo ~hi ~stride with
+  | Some d -> d
+  | None -> invalid_arg "Section.dim_exn: empty progression"
+
+let point x = { lo = x; hi = x; stride = 1 }
+
+let interval ~lo ~hi = dim ~lo ~hi ~stride:1
+
+let dim_size d = ((d.hi - d.lo) / d.stride) + 1
+
+let dim_mem d x = x >= d.lo && x <= d.hi && (x - d.lo) mod d.stride = 0
+
+(* Extended gcd: egcd a b = (g, x, y) with a*x + b*y = g, for a,b >= 0. *)
+let rec egcd a b =
+  if b = 0 then (a, 1, 0)
+  else
+    let g, x, y = egcd b (a mod b) in
+    (g, y, x - (a / b * y))
+
+let dim_intersect d1 d2 =
+  let lo_bound = max d1.lo d2.lo and hi_bound = min d1.hi d2.hi in
+  if lo_bound > hi_bound then None
+  else begin
+    (* Solve x = d1.lo (mod s1) and x = d2.lo (mod s2) by CRT. *)
+    let s1 = d1.stride and s2 = d2.stride in
+    let g, p, _ = egcd s1 s2 in
+    let diff = d2.lo - d1.lo in
+    if diff mod g <> 0 then None
+    else begin
+      let lcm = s1 / g * s2 in
+      (* x0 = d1.lo + s1 * (diff/g * p mod (s2/g)) satisfies both
+         congruences; fold it into [lo_bound, lo_bound + lcm). *)
+      let x0 = d1.lo + (s1 * emod (diff / g * p) (s2 / g)) in
+      let first = lo_bound + emod (x0 - lo_bound) lcm in
+      if first > hi_bound then None else dim ~lo:first ~hi:hi_bound ~stride:lcm
+    end
+  end
+
+let dim_union d1 d2 =
+  let lo = min d1.lo d2.lo and hi = max d1.hi d2.hi in
+  if lo = hi then point lo
+  else
+    let stride = gcd (gcd d1.stride d2.stride) (d1.lo - d2.lo) in
+    let stride = if stride = 0 then 1 else stride in
+    dim_exn ~lo ~hi ~stride
+
+let dim_union_exact d1 d2 =
+  let hull = dim_union d1 d2 in
+  let overlap = match dim_intersect d1 d2 with Some d -> dim_size d | None -> 0 in
+  dim_size hull = dim_size d1 + dim_size d2 - overlap
+
+let dim_contains ~outer ~inner =
+  inner.lo >= outer.lo && inner.hi <= outer.hi
+  && (inner.lo - outer.lo) mod outer.stride = 0
+  && inner.stride mod outer.stride = 0
+
+let dim_equal d1 d2 = d1.lo = d2.lo && d1.hi = d2.hi && d1.stride = d2.stride
+
+let make array dims =
+  if dims = [] then invalid_arg "Section.make: no dimensions";
+  { array; dims }
+
+let whole_array (d : Gpp_skeleton.Decl.t) =
+  make d.name (List.map (fun extent -> dim_exn ~lo:0 ~hi:(extent - 1) ~stride:1) d.dims)
+
+let size t = List.fold_left (fun acc d -> acc * dim_size d) 1 t.dims
+
+let bytes ~elem_bytes t = size t * elem_bytes
+
+let mem t coords =
+  if List.length coords <> List.length t.dims then invalid_arg "Section.mem: rank mismatch";
+  List.for_all2 dim_mem t.dims coords
+
+let same_shape a b = a.array = b.array && List.length a.dims = List.length b.dims
+
+let intersect a b =
+  if not (same_shape a b) then None
+  else
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | (da, db) :: rest -> (
+          match dim_intersect da db with None -> None | Some d -> go (d :: acc) rest)
+    in
+    match go [] (List.combine a.dims b.dims) with
+    | None -> None
+    | Some dims -> Some { array = a.array; dims }
+
+let union a b =
+  if not (same_shape a b) then invalid_arg "Section.union: incompatible sections";
+  { array = a.array; dims = List.map2 dim_union a.dims b.dims }
+
+let contains ~outer ~inner =
+  same_shape outer inner
+  && List.for_all2 (fun o i -> dim_contains ~outer:o ~inner:i) outer.dims inner.dims
+
+let union_exact a b =
+  if not (same_shape a b) then false
+  else if contains ~outer:a ~inner:b || contains ~outer:b ~inner:a then true
+  else
+    let pairs = List.combine a.dims b.dims in
+    let differing = List.filter (fun (da, db) -> not (dim_equal da db)) pairs in
+    match differing with
+    | [] -> true
+    | [ (da, db) ] -> dim_union_exact da db
+    | _ :: _ :: _ -> false
+
+let overlap a b = match intersect a b with Some _ -> true | None -> false
+
+let equal a b = same_shape a b && List.for_all2 dim_equal a.dims b.dims
+
+let pp_dim ppf d =
+  if d.lo = d.hi then Format.fprintf ppf "%d" d.lo
+  else if d.stride = 1 then Format.fprintf ppf "%d:%d" d.lo d.hi
+  else Format.fprintf ppf "%d:%d:%d" d.lo d.hi d.stride
+
+let pp ppf t =
+  Format.fprintf ppf "%s[" t.array;
+  List.iteri
+    (fun i d ->
+      if i > 0 then Format.pp_print_string ppf ", ";
+      pp_dim ppf d)
+    t.dims;
+  Format.pp_print_char ppf ']'
+
+let to_string t = Format.asprintf "%a" pp t

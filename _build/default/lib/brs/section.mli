@@ -1,0 +1,93 @@
+(** Bounded Regular Sections (Havlak & Kennedy).
+
+    A BRS describes the set of array elements a statement accesses
+    across all enclosing loops as, per dimension, a triple
+    [lo : hi : stride] — the arithmetic progression
+    [{lo, lo+stride, ..., <= hi}].  The paper composes sections with
+    INTERSECT (dependence detection) and UNION (merging transfer sets);
+    UNION over-approximates with the smallest enclosing regular section,
+    as in the original analysis. *)
+
+type dim = private { lo : int; hi : int; stride : int }
+(** One dimension's progression.  Invariants established by {!dim}:
+    [stride >= 1], [lo <= hi], and [hi] lies on the progression
+    ([stride] divides [hi - lo]).  Empty progressions are represented by
+    the section-level [option], not by a [dim]. *)
+
+type t = { array : string; dims : dim list }
+(** A section of a named array; [dims] are outermost first. *)
+
+val dim : lo:int -> hi:int -> stride:int -> dim option
+(** Normalizing constructor: [None] when [lo > hi]; otherwise clamps
+    [hi] down to the last element actually on the progression and
+    canonicalizes single-element progressions to stride 1.
+    @raise Invalid_argument when [stride < 1]. *)
+
+val dim_exn : lo:int -> hi:int -> stride:int -> dim
+(** Like {!dim} but @raise Invalid_argument on an empty progression. *)
+
+val point : int -> dim
+(** The singleton progression. *)
+
+val interval : lo:int -> hi:int -> dim option
+(** Stride-1 progression. *)
+
+val dim_size : dim -> int
+(** Number of elements on the progression. *)
+
+val dim_mem : dim -> int -> bool
+
+val dim_intersect : dim -> dim -> dim option
+(** Exact intersection of two arithmetic progressions (via the Chinese
+    remainder theorem); [None] when disjoint. *)
+
+val dim_union : dim -> dim -> dim
+(** Smallest regular progression containing both — the BRS
+    over-approximation.  The result's stride is
+    [gcd s1 s2 (lo2 - lo1)]. *)
+
+val dim_union_exact : dim -> dim -> bool
+(** Whether {!dim_union} introduces no extra elements. *)
+
+val dim_contains : outer:dim -> inner:dim -> bool
+(** Every element of [inner] lies on [outer]. *)
+
+val make : string -> dim list -> t
+(** @raise Invalid_argument on an empty dimension list. *)
+
+val whole_array : Gpp_skeleton.Decl.t -> t
+(** The full declared extent, stride 1 in every dimension. *)
+
+val size : t -> int
+(** Number of elements: product of per-dimension sizes. *)
+
+val bytes : elem_bytes:int -> t -> int
+
+val mem : t -> int list -> bool
+(** Point membership (one coordinate per dimension).
+    @raise Invalid_argument on a rank mismatch. *)
+
+val intersect : t -> t -> t option
+(** Exact per-dimension intersection; [None] when any dimension is
+    disjoint or the sections name different arrays. *)
+
+val union : t -> t -> t
+(** Per-dimension {!dim_union} hull.
+    @raise Invalid_argument when the sections name different arrays or
+    differ in rank. *)
+
+val union_exact : t -> t -> bool
+(** Whether {!union} is exact.  True when the sections differ in at most
+    one dimension and that dimension's union is exact — the
+    multidimensional hull adds no phantom elements in that case. *)
+
+val contains : outer:t -> inner:t -> bool
+
+val overlap : t -> t -> bool
+(** [intersect] is non-empty. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/core/advisor.ml: Format Gpp_arch Gpp_cpu Gpp_dataflow Gpp_pcie Gpp_skeleton List Overlap Printf Projection

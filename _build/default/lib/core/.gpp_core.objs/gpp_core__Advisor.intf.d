@@ -1,0 +1,1 @@
+lib/core/advisor.mli: Format Gpp_cpu Projection

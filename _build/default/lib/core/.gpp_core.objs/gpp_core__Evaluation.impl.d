@@ -1,0 +1,1 @@
+lib/core/evaluation.ml: Float Format Gpp_arch Gpp_cpu Gpp_skeleton Gpp_util List Measurement Projection

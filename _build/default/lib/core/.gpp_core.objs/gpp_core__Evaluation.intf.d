@@ -1,0 +1,1 @@
+lib/core/evaluation.mli: Format Gpp_arch Gpp_cpu Gpp_skeleton Measurement Projection

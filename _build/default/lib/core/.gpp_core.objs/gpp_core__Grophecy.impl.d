@@ -1,0 +1,1 @@
+lib/core/grophecy.ml: Evaluation Format Gpp_arch Gpp_model Gpp_pcie Gpp_skeleton Gpp_transform Gpp_util Int64 List Logs Measurement Projection Result

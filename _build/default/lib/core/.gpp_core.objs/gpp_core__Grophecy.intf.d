@@ -1,0 +1,1 @@
+lib/core/grophecy.mli: Evaluation Format Gpp_arch Gpp_cpu Gpp_dataflow Gpp_gpusim Gpp_model Gpp_pcie Gpp_skeleton Gpp_transform Measurement Projection

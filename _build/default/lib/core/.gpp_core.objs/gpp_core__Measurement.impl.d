@@ -1,0 +1,1 @@
+lib/core/measurement.ml: Format Gpp_arch Gpp_dataflow Gpp_gpusim Gpp_pcie Gpp_skeleton Gpp_transform Gpp_util List Option Projection Result

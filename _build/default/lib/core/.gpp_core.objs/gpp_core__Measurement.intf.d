@@ -1,0 +1,1 @@
+lib/core/measurement.mli: Format Gpp_dataflow Gpp_gpusim Gpp_pcie Projection

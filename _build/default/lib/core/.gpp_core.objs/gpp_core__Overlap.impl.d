@@ -1,0 +1,1 @@
+lib/core/overlap.ml: Float Format Gpp_dataflow Gpp_pcie Gpp_util List Projection

@@ -1,0 +1,1 @@
+lib/core/overlap.mli: Format Projection

@@ -1,0 +1,1 @@
+lib/core/projection.ml: Format Gpp_arch Gpp_dataflow Gpp_model Gpp_pcie Gpp_skeleton Gpp_transform Gpp_util List Option Result

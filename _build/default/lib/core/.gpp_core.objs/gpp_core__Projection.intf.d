@@ -1,0 +1,1 @@
+lib/core/projection.mli: Format Gpp_arch Gpp_dataflow Gpp_model Gpp_pcie Gpp_skeleton Gpp_transform

@@ -1,0 +1,176 @@
+module Program = Gpp_skeleton.Program
+module Analyzer = Gpp_dataflow.Analyzer
+
+type verdict = Port | Port_if_iterated of int | Do_not_port
+
+type cost_center = Kernel_time | Upload | Download
+
+type recommendation = {
+  verdict : verdict;
+  iterations : int;
+  projected_speedup : float;
+  kernel_only_speedup : float;
+  limit_speedup : float;
+  break_even_iterations : int option;
+  dominant_cost : cost_center;
+  notes : string list;
+}
+
+let sum_schedule per_kernel schedule =
+  List.fold_left
+    (fun acc name -> acc +. (match List.assoc_opt name per_kernel with Some t -> t | None -> 0.0))
+    0.0 schedule
+
+(* Predicted CPU and GPU-kernel times of the program rescaled to [n]
+   iterations; transfers are iteration-invariant. *)
+let times_at ?cpu_params (projection : Projection.t) n =
+  let program = Program.with_iterations projection.Projection.program n in
+  let schedule = Program.flatten_schedule program in
+  let cpu_per_kernel =
+    Gpp_cpu.Timing.program_breakdowns ?params:cpu_params
+      ~cpu:projection.Projection.machine.Gpp_arch.Machine.cpu program
+    |> List.map (fun (name, (b : Gpp_cpu.Timing.breakdown)) -> (name, b.Gpp_cpu.Timing.time))
+  in
+  let cpu = sum_schedule cpu_per_kernel schedule in
+  let kernel = sum_schedule (Projection.per_kernel_times projection) schedule in
+  (cpu, kernel)
+
+let recommend ?cpu_params ?(iterations = 1) (projection : Projection.t) =
+  if iterations < 1 then invalid_arg "Advisor.recommend: iterations must be >= 1";
+  let transfer = projection.Projection.transfer_time in
+  let speedup_at n =
+    let cpu, kernel = times_at ?cpu_params projection n in
+    cpu /. (kernel +. transfer)
+  in
+  let cpu_now, kernel_now = times_at ?cpu_params projection iterations in
+  let projected_speedup = cpu_now /. (kernel_now +. transfer) in
+  let kernel_only_speedup = cpu_now /. kernel_now in
+  let cpu1, kern1 = times_at ?cpu_params projection 1 in
+  let cpu2, kern2 = times_at ?cpu_params projection 2 in
+  let iterative = cpu2 > cpu1 in
+  let limit_speedup =
+    let d_cpu = cpu2 -. cpu1 and d_kern = kern2 -. kern1 in
+    if d_cpu > 0.0 && d_kern > 0.0 then d_cpu /. d_kern else cpu1 /. kern1
+  in
+  (* Break-even: the speedup is monotone in the iteration count for
+     programs whose per-iteration CPU/kernel ratio beats the limit, so
+     a doubling scan followed by a binary refinement finds the first
+     winning count. *)
+  let break_even_iterations =
+    if limit_speedup <= 1.0 then None
+    else if speedup_at 1 > 1.0 then Some 1
+    else if not iterative then None (* nothing amortizes: the speedup is flat *)
+    else begin
+      let cap = 1 lsl 20 in
+      let rec double n = if n >= cap || speedup_at n > 1.0 then n else double (2 * n) in
+      let hi = double 2 in
+      if speedup_at hi <= 1.0 then None
+      else begin
+        let rec refine lo hi =
+          (* invariant: speedup lo <= 1 < speedup hi *)
+          if hi - lo <= 1 then hi
+          else
+            let mid = (lo + hi) / 2 in
+            if speedup_at mid > 1.0 then refine lo mid else refine mid hi
+        in
+        Some (refine (hi / 2) hi)
+      end
+    end
+  in
+  let verdict =
+    if projected_speedup > 1.0 then Port
+    else
+      match break_even_iterations with
+      | Some n -> Port_if_iterated n
+      | None -> Do_not_port
+  in
+  let upload =
+    List.fold_left
+      (fun acc (pt : Projection.priced_transfer) ->
+        if pt.Projection.transfer.Analyzer.direction = Analyzer.To_device then
+          acc +. pt.Projection.time
+        else acc)
+      0.0 projection.Projection.transfers
+  in
+  let download = transfer -. upload in
+  let dominant_cost =
+    if kernel_now >= upload && kernel_now >= download then Kernel_time
+    else if upload >= download then Upload
+    else Download
+  in
+  let notes = ref [] in
+  let note fmt = Format.kasprintf (fun s -> notes := s :: !notes) fmt in
+  if verdict = Do_not_port then begin
+    if limit_speedup <= 1.0 then
+      note
+        "the projected kernel itself is no faster than the CPU baseline; no amount of transfer \
+         amortization can recover a win"
+    else if not iterative then
+      note
+        "the kernel wins (%.1fx) but the program runs it once per data set, so the transfer is \
+         never amortized; restructure to keep data on the GPU across more work"
+        kernel_only_speedup
+  end
+  else begin
+    (match dominant_cost with
+    | Kernel_time -> ()
+    | Upload | Download ->
+        note "data transfer dominates the projected time; keeping data resident across more \
+              work per offload is the main lever");
+    (* Latency-dominated transfers suggest batching (ablation: one alpha
+       per extra array). *)
+    let latency_bound =
+      List.filter
+        (fun (pt : Projection.priced_transfer) ->
+          let model =
+            match pt.Projection.transfer.Analyzer.direction with
+            | Analyzer.To_device -> projection.Projection.h2d
+            | Analyzer.From_device -> projection.Projection.d2h
+          in
+          Gpp_pcie.Model.latency model >= 0.3 *. pt.Projection.time)
+        projection.Projection.transfers
+    in
+    if List.length latency_bound >= 2 then
+      note "%d transfers are latency-dominated; batching the small arrays into one transfer \
+            would save most of their setup cost"
+        (List.length latency_bound);
+    let overlap = Overlap.best_chunks projection in
+    if overlap.Overlap.saving > 0.15 *. overlap.Overlap.serial_total then
+      note "chunked streams could hide up to %.0f%% of the projected total (%d chunks)"
+        (100.0 *. overlap.Overlap.saving /. overlap.Overlap.serial_total)
+        overlap.Overlap.chunks;
+    if projected_speedup > 1.0 && kernel_only_speedup > 2.0 *. projected_speedup then
+      note "transfer overhead consumes more than half of the kernel-level gain (%.1fx -> %.2fx)"
+        kernel_only_speedup projected_speedup
+  end;
+  {
+    verdict;
+    iterations;
+    projected_speedup;
+    kernel_only_speedup;
+    limit_speedup;
+    break_even_iterations;
+    dominant_cost;
+    notes = List.rev !notes;
+  }
+
+let verdict_name = function
+  | Port -> "port it"
+  | Port_if_iterated n -> Printf.sprintf "port it if you run >= %d iterations" n
+  | Do_not_port -> "do not port it"
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>verdict: %s@," (verdict_name r.verdict);
+  Format.fprintf ppf
+    "projected speedup at %d iteration(s): %.2fx (kernel-only view: %.2fx; limit: %.2fx)@,"
+    r.iterations r.projected_speedup r.kernel_only_speedup r.limit_speedup;
+  (match r.break_even_iterations with
+  | Some n when n > 1 -> Format.fprintf ppf "break-even at %d iterations@," n
+  | Some _ | None -> ());
+  Format.fprintf ppf "dominant cost: %s@,"
+    (match r.dominant_cost with
+    | Kernel_time -> "kernel execution"
+    | Upload -> "host-to-device transfer"
+    | Download -> "device-to-host transfer");
+  List.iter (fun n -> Format.fprintf ppf "- %s@," n) r.notes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,48 @@
+(** Porting advice from a projection — the decision the paper's users
+    actually need to make.
+
+    The framework exists so that developers can decide whether porting
+    to the GPU "is indeed worth investing the time and effort" (§II-C)
+    {e before} writing any CUDA.  This module turns a projection into
+    that decision: a verdict, the break-even iteration count for
+    iterative codes, the dominant cost center, and concrete follow-up
+    suggestions (iterate more, batch small arrays, stream transfers).
+
+    Everything here is prediction-only: no simulated measurement is
+    consulted, exactly as a real user of the framework would operate. *)
+
+type verdict =
+  | Port  (** Projected end-to-end win at the given iteration count. *)
+  | Port_if_iterated of int
+      (** A loss now, but the transfer amortizes: wins from this many
+          iterations on. *)
+  | Do_not_port
+      (** Even infinitely many iterations never win: the kernel itself
+          is projected slower than the CPU baseline. *)
+
+type cost_center = Kernel_time | Upload | Download
+
+type recommendation = {
+  verdict : verdict;
+  iterations : int;  (** Iteration count the verdict was computed at. *)
+  projected_speedup : float;  (** Transfer-aware, at [iterations]. *)
+  kernel_only_speedup : float;  (** What a transfer-blind analysis would
+                                    have claimed. *)
+  limit_speedup : float;  (** As iterations approach infinity. *)
+  break_even_iterations : int option;
+      (** Smallest iteration count with a projected win; [None] when no
+          count wins. *)
+  dominant_cost : cost_center;  (** Largest time component at
+                                    [iterations]. *)
+  notes : string list;  (** Human-readable follow-up suggestions. *)
+}
+
+val recommend :
+  ?cpu_params:Gpp_cpu.Timing.params -> ?iterations:int -> Projection.t -> recommendation
+(** Advise on a projected program.  [iterations] (default 1) rescales
+    the program's [Repeat] nodes before judging.
+    @raise Invalid_argument when [iterations < 1]. *)
+
+val verdict_name : verdict -> string
+
+val pp : Format.formatter -> recommendation -> unit

@@ -1,0 +1,104 @@
+module Program = Gpp_skeleton.Program
+module Stats = Gpp_util.Stats
+
+type speedups = {
+  measured : float;
+  kernel_only : float;
+  transfer_only : float;
+  with_transfer : float;
+}
+
+type errors = { kernel_only : float; transfer_only : float; with_transfer : float }
+
+let cpu_time ?params ~machine program =
+  Gpp_cpu.Timing.program_time ?params ~cpu:machine.Gpp_arch.Machine.cpu program
+
+let sum_schedule per_kernel schedule =
+  List.fold_left
+    (fun acc name -> acc +. (match List.assoc_opt name per_kernel with Some t -> t | None -> 0.0))
+    0.0 schedule
+
+let speedups_of ~cpu ~pred_kernel ~meas_kernel ~pred_transfer ~meas_transfer =
+  {
+    measured = cpu /. (meas_kernel +. meas_transfer);
+    kernel_only = cpu /. pred_kernel;
+    transfer_only = (if pred_transfer > 0.0 then cpu /. pred_transfer else Float.infinity);
+    with_transfer = cpu /. (pred_kernel +. pred_transfer);
+  }
+
+let speedups ~cpu_time (projection : Projection.t) (measurement : Measurement.t) =
+  speedups_of ~cpu:cpu_time ~pred_kernel:projection.Projection.kernel_time
+    ~meas_kernel:measurement.Measurement.kernel_time
+    ~pred_transfer:projection.Projection.transfer_time
+    ~meas_transfer:measurement.Measurement.transfer_time
+
+let errors (s : speedups) =
+  {
+    kernel_only = Stats.error_magnitude ~predicted:s.kernel_only ~measured:s.measured;
+    transfer_only = Stats.error_magnitude ~predicted:s.transfer_only ~measured:s.measured;
+    with_transfer = Stats.error_magnitude ~predicted:s.with_transfer ~measured:s.measured;
+  }
+
+let kernel_error (projection : Projection.t) (measurement : Measurement.t) =
+  Stats.error_magnitude ~predicted:projection.Projection.kernel_time
+    ~measured:measurement.Measurement.kernel_time
+
+let transfer_error (projection : Projection.t) (measurement : Measurement.t) =
+  Stats.error_magnitude ~predicted:projection.Projection.transfer_time
+    ~measured:measurement.Measurement.transfer_time
+
+type iteration_point = { iterations : int; speedups : speedups }
+
+let totals_at ?params (projection : Projection.t) (measurement : Measurement.t) ~iterations =
+  let program = Program.with_iterations projection.Projection.program iterations in
+  let schedule = Program.flatten_schedule program in
+  let cpu_per_kernel =
+    Gpp_cpu.Timing.program_breakdowns ?params
+      ~cpu:projection.Projection.machine.Gpp_arch.Machine.cpu program
+    |> List.map (fun (name, (b : Gpp_cpu.Timing.breakdown)) -> (name, b.Gpp_cpu.Timing.time))
+  in
+  let cpu = sum_schedule cpu_per_kernel schedule in
+  let pred_kernel = sum_schedule (Projection.per_kernel_times projection) schedule in
+  let meas_kernel = sum_schedule (Measurement.per_kernel_times measurement) schedule in
+  (cpu, pred_kernel, meas_kernel)
+
+let iteration_sweep ?params projection measurement ~iterations =
+  List.map
+    (fun n ->
+      let cpu, pred_kernel, meas_kernel = totals_at ?params projection measurement ~iterations:n in
+      {
+        iterations = n;
+        speedups =
+          speedups_of ~cpu ~pred_kernel ~meas_kernel
+            ~pred_transfer:projection.Projection.transfer_time
+            ~meas_transfer:measurement.Measurement.transfer_time;
+      })
+    iterations
+
+let limit_speedups ?params projection measurement =
+  let cpu1, pred1, meas1 = totals_at ?params projection measurement ~iterations:1 in
+  let cpu2, pred2, meas2 = totals_at ?params projection measurement ~iterations:2 in
+  let d_cpu = cpu2 -. cpu1 and d_pred = pred2 -. pred1 and d_meas = meas2 -. meas1 in
+  if d_cpu > 0.0 && d_pred > 0.0 && d_meas > 0.0 then
+    (* Amortized regime: transfers vanish; only per-iteration kernel and
+       CPU work remain. *)
+    {
+      measured = d_cpu /. d_meas;
+      kernel_only = d_cpu /. d_pred;
+      transfer_only = Float.infinity;
+      with_transfer = d_cpu /. d_pred;
+    }
+  else
+    (* Non-iterative program: the limit is just the transfer-free ratio
+       of the single execution. *)
+    {
+      measured = cpu1 /. meas1;
+      kernel_only = cpu1 /. pred1;
+      transfer_only = Float.infinity;
+      with_transfer = cpu1 /. pred1;
+    }
+
+let pp_speedups ppf s =
+  Format.fprintf ppf
+    "measured %.2fx; predicted: kernel-only %.2fx, transfer-only %.2fx, kernel+transfer %.2fx"
+    s.measured s.kernel_only s.transfer_only s.with_transfer

@@ -1,0 +1,53 @@
+(** Speedup and prediction-error computation (the paper's metrics).
+
+    The GPU speedup is total CPU time over total GPU time (§IV-A); the
+    paper contrasts three predictors of it — kernel time only, transfer
+    time only, and their sum (Table II) — against the measured speedup,
+    using the error magnitude from [Gpp_util.Stats]. *)
+
+type speedups = {
+  measured : float;  (** CPU time / measured (kernel + transfer). *)
+  kernel_only : float;  (** CPU time / predicted kernel time. *)
+  transfer_only : float;  (** CPU time / predicted transfer time. *)
+  with_transfer : float;  (** CPU time / predicted (kernel + transfer). *)
+}
+
+type errors = {
+  kernel_only : float;  (** Percent error magnitude. *)
+  transfer_only : float;
+  with_transfer : float;
+}
+
+val cpu_time :
+  ?params:Gpp_cpu.Timing.params -> machine:Gpp_arch.Machine.t -> Gpp_skeleton.Program.t -> float
+(** Baseline time of the ported region on the host CPU. *)
+
+val speedups : cpu_time:float -> Projection.t -> Measurement.t -> speedups
+
+val errors : speedups -> errors
+
+val kernel_error : Projection.t -> Measurement.t -> float
+(** Error magnitude of the predicted total kernel time. *)
+
+val transfer_error : Projection.t -> Measurement.t -> float
+(** Error magnitude of the predicted total transfer time. *)
+
+type iteration_point = { iterations : int; speedups : speedups }
+
+val iteration_sweep :
+  ?params:Gpp_cpu.Timing.params ->
+  Projection.t ->
+  Measurement.t ->
+  iterations:int list ->
+  iteration_point list
+(** Speedups as a function of the iteration count (paper Figures 8, 10,
+    12).  Per-kernel times are iteration-invariant; only the schedule
+    multiplicity and the CPU baseline rescale, while transfers stay
+    fixed (§IV-B). *)
+
+val limit_speedups : ?params:Gpp_cpu.Timing.params -> Projection.t -> Measurement.t -> speedups
+(** Speedups in the limit of infinitely many iterations: transfer costs
+    amortize away and both prediction variants converge (§V-B).
+    [transfer_only] degenerates to infinity and is reported as such. *)
+
+val pp_speedups : Format.formatter -> speedups -> unit

@@ -1,0 +1,92 @@
+module Link = Gpp_pcie.Link
+module Calibrate = Gpp_pcie.Calibrate
+
+let log_src = Logs.Src.create "gpp.core" ~doc:"GROPHECY++ pipeline"
+
+module Log = (val Logs.src_log log_src)
+
+type session = {
+  machine : Gpp_arch.Machine.t;
+  calibration_link : Link.t;
+  application_link : Link.t;
+  h2d : Gpp_pcie.Model.t;
+  d2h : Gpp_pcie.Model.t;
+  noise_seed : int64;
+}
+
+let init ?(seed = 0x1B0A_2013_6CA1_55AAL) ?(outlier_probability = 0.05) ?protocol machine =
+  let base_config = Link.default_config machine in
+  let calibration_link = Link.create ~seed base_config in
+  let application_link =
+    Link.create ~seed:(Int64.add seed 1L) { base_config with outlier_probability }
+  in
+  let h2d, d2h = Calibrate.calibrate_pinned_pair ?protocol calibration_link in
+  Log.info (fun m ->
+      m "calibrated %s: %a / %a" machine.Gpp_arch.Machine.name Gpp_pcie.Model.pp h2d
+        Gpp_pcie.Model.pp d2h);
+  { machine; calibration_link; application_link; h2d; d2h; noise_seed = Int64.add seed 2L }
+
+type report = {
+  program : Gpp_skeleton.Program.t;
+  projection : Projection.t;
+  measurement : Measurement.t;
+  cpu_time : float;
+  speedups : Evaluation.speedups;
+  errors : Evaluation.errors;
+  kernel_error : float;
+  transfer_error : float;
+}
+
+let analyze ?analytic_params ?space ?policy ?sim_config ?cpu_params ?runs ?iterations session
+    program =
+  let ( let* ) = Result.bind in
+  let program =
+    match iterations with
+    | Some n -> Gpp_skeleton.Program.with_iterations program n
+    | None -> program
+  in
+  let* projection =
+    Projection.project ?analytic_params ?space ?policy ~machine:session.machine ~h2d:session.h2d
+      ~d2h:session.d2h program
+  in
+  Log.info (fun m ->
+      m "%s: projected kernel %a + transfer %a" program.Gpp_skeleton.Program.name
+        Gpp_util.Units.pp_time projection.Projection.kernel_time Gpp_util.Units.pp_time
+        projection.Projection.transfer_time);
+  List.iter
+    (fun (kp : Projection.kernel_projection) ->
+      Log.debug (fun m ->
+          m "  %s via %s: %a" kp.Projection.kernel_name
+            kp.Projection.candidate.Gpp_transform.Explore.characteristics
+              .Gpp_model.Characteristics.config_label
+            Gpp_util.Units.pp_time kp.Projection.time))
+    projection.Projection.kernels;
+  let* measurement =
+    Measurement.measure ?sim_config ?runs ~seed:session.noise_seed ~link:session.application_link
+      projection
+  in
+  Log.info (fun m ->
+      m "%s: measured kernel %a + transfer %a" program.Gpp_skeleton.Program.name
+        Gpp_util.Units.pp_time measurement.Measurement.kernel_time Gpp_util.Units.pp_time
+        measurement.Measurement.transfer_time);
+  let cpu_time = Evaluation.cpu_time ?params:cpu_params ~machine:session.machine program in
+  let speedups = Evaluation.speedups ~cpu_time projection measurement in
+  Ok
+    {
+      program;
+      projection;
+      measurement;
+      cpu_time;
+      speedups;
+      errors = Evaluation.errors speedups;
+      kernel_error = Evaluation.kernel_error projection measurement;
+      transfer_error = Evaluation.transfer_error projection measurement;
+    }
+
+let iteration_sweep ?cpu_params report ~iterations =
+  Evaluation.iteration_sweep ?params:cpu_params report.projection report.measurement ~iterations
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%a@,%a@,cpu time: %a@,%a@,errors: kernel %.1f%%, transfer %.1f%%@]"
+    Projection.pp r.projection Measurement.pp r.measurement Gpp_util.Units.pp_time r.cpu_time
+    Evaluation.pp_speedups r.speedups r.kernel_error r.transfer_error

@@ -1,0 +1,68 @@
+(** GROPHECY++ facade: one-call workflows over the full pipeline.
+
+    A {!session} bundles a machine description with its simulated PCIe
+    link and the transfer-time models calibrated on it — mirroring how
+    the real framework automatically benchmarks each new system it runs
+    on (§III-C).  {!analyze} then produces, for any program skeleton,
+    the complete prediction + "measurement" + error report the paper's
+    evaluation is built from. *)
+
+type session = {
+  machine : Gpp_arch.Machine.t;
+  calibration_link : Gpp_pcie.Link.t;
+      (** Clean link used by the synthetic calibration benchmark. *)
+  application_link : Gpp_pcie.Link.t;
+      (** Link used for application transfer measurements; constructed
+          with rare slow-transfer outliers enabled, reflecting the
+          production-machine variability of §V-A. *)
+  h2d : Gpp_pcie.Model.t;  (** Calibrated pinned host-to-device model. *)
+  d2h : Gpp_pcie.Model.t;  (** Calibrated pinned device-to-host model. *)
+  noise_seed : int64;
+      (** Seed from which per-analysis measurement noise derives, so a
+          session is reproducible end to end. *)
+}
+
+val init :
+  ?seed:int64 ->
+  ?outlier_probability:float ->
+  ?protocol:Gpp_pcie.Calibrate.protocol ->
+  Gpp_arch.Machine.t ->
+  session
+(** Build the link simulators and run the two-point calibration.
+    [outlier_probability] (default 0.05) only affects the application
+    link. *)
+
+type report = {
+  program : Gpp_skeleton.Program.t;
+  projection : Projection.t;
+  measurement : Measurement.t;
+  cpu_time : float;
+  speedups : Evaluation.speedups;
+  errors : Evaluation.errors;
+  kernel_error : float;  (** Error magnitude of total kernel time. *)
+  transfer_error : float;  (** Error magnitude of total transfer time. *)
+}
+
+val analyze :
+  ?analytic_params:Gpp_model.Analytic.params ->
+  ?space:Gpp_transform.Explore.space ->
+  ?policy:Gpp_dataflow.Analyzer.policy ->
+  ?sim_config:Gpp_gpusim.Gpu_sim.config ->
+  ?cpu_params:Gpp_cpu.Timing.params ->
+  ?runs:int ->
+  ?iterations:int ->
+  session ->
+  Gpp_skeleton.Program.t ->
+  (report, string) result
+(** Project, measure, and evaluate one program.  [iterations], when
+    given, rescales the program's [Repeat] nodes first. *)
+
+val iteration_sweep :
+  ?cpu_params:Gpp_cpu.Timing.params ->
+  report ->
+  iterations:int list ->
+  Evaluation.iteration_point list
+(** Re-derive speedups across iteration counts from an existing report
+    (no re-simulation needed; see {!Evaluation.iteration_sweep}). *)
+
+val pp_report : Format.formatter -> report -> unit

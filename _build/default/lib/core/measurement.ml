@@ -1,0 +1,79 @@
+module Program = Gpp_skeleton.Program
+module Analyzer = Gpp_dataflow.Analyzer
+module Gpu_sim = Gpp_gpusim.Gpu_sim
+module Link = Gpp_pcie.Link
+
+type kernel_measurement = { kernel_name : string; time : float }
+
+type transfer_measurement = { transfer : Analyzer.transfer; time : float }
+
+type t = {
+  kernels : kernel_measurement list;
+  kernel_time : float;
+  transfers : transfer_measurement list;
+  transfer_time : float;
+  total_time : float;
+}
+
+let measure ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79B9L) ~link
+    (projection : Projection.t) =
+  let ( let* ) = Result.bind in
+  let gpu = projection.Projection.machine.Gpp_arch.Machine.gpu in
+  let rng = Gpp_util.Rng.create seed in
+  let* kernels =
+    List.fold_left
+      (fun acc (kp : Projection.kernel_projection) ->
+        let* acc = acc in
+        let kernel_seed = Gpp_util.Rng.next_int64 rng in
+        let* time =
+          Gpu_sim.run_mean ?config:sim_config ~runs ~seed:kernel_seed ~gpu
+            kp.Projection.candidate.Gpp_transform.Explore.characteristics
+        in
+        Ok ({ kernel_name = kp.Projection.kernel_name; time } :: acc))
+      (Ok []) projection.Projection.kernels
+  in
+  let kernels = List.rev kernels in
+  let time_of name =
+    match List.find_opt (fun km -> km.kernel_name = name) kernels with
+    | Some km -> km.time
+    | None -> 0.0
+  in
+  let kernel_time =
+    List.fold_left
+      (fun acc name -> acc +. time_of name)
+      0.0
+      (Program.flatten_schedule projection.Projection.program)
+  in
+  let transfers =
+    List.map
+      (fun (pt : Projection.priced_transfer) ->
+        let tr = pt.Projection.transfer in
+        let direction =
+          match tr.Analyzer.direction with
+          | Analyzer.To_device -> Link.Host_to_device
+          | Analyzer.From_device -> Link.Device_to_host
+        in
+        let time =
+          Link.mean_transfer_time link ~runs direction Link.Pinned ~bytes:tr.Analyzer.bytes
+        in
+        { transfer = tr; time })
+      projection.Projection.transfers
+  in
+  let transfer_time = List.fold_left (fun acc tm -> acc +. tm.time) 0.0 transfers in
+  Ok { kernels; kernel_time; transfers; transfer_time; total_time = kernel_time +. transfer_time }
+
+let kernel_time_of t name =
+  List.find_opt (fun (km : kernel_measurement) -> km.kernel_name = name) t.kernels
+  |> Option.map (fun (km : kernel_measurement) -> km.time)
+
+let per_kernel_times t =
+  List.map (fun (km : kernel_measurement) -> (km.kernel_name, km.time)) t.kernels
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>measured:@,";
+  List.iter
+    (fun km -> Format.fprintf ppf "  %s: %a@," km.kernel_name Gpp_util.Units.pp_time km.time)
+    t.kernels;
+  Format.fprintf ppf "  kernel time (schedule): %a@," Gpp_util.Units.pp_time t.kernel_time;
+  Format.fprintf ppf "  transfer time: %a@,  total: %a@]" Gpp_util.Units.pp_time t.transfer_time
+    Gpp_util.Units.pp_time t.total_time

@@ -1,0 +1,44 @@
+(** "Measured" application performance from the simulated substrate.
+
+    The paper measures a hand-written CUDA implementation that employs
+    the transformations GROPHECY suggested (§IV-A); here the
+    transaction-level GPU simulator executes the winning candidate's
+    characteristics, and the PCIe link simulator executes the planned
+    transfers with pinned memory.  Every time is the arithmetic mean of
+    a configurable number of runs (default 10, the paper's protocol). *)
+
+type kernel_measurement = {
+  kernel_name : string;
+  time : float;  (** Mean simulated time of one invocation. *)
+}
+
+type transfer_measurement = {
+  transfer : Gpp_dataflow.Analyzer.transfer;
+  time : float;  (** Mean simulated transfer time. *)
+}
+
+type t = {
+  kernels : kernel_measurement list;  (** Per distinct kernel. *)
+  kernel_time : float;  (** Summed over the invocation schedule. *)
+  transfers : transfer_measurement list;
+  transfer_time : float;
+  total_time : float;
+}
+
+val measure :
+  ?sim_config:Gpp_gpusim.Gpu_sim.config ->
+  ?runs:int ->
+  ?seed:int64 ->
+  link:Gpp_pcie.Link.t ->
+  Projection.t ->
+  (t, string) result
+(** Execute the projection's chosen kernels and planned transfers on the
+    simulated hardware.  The link is used as-is (construct it with
+    outliers enabled to reproduce the noisy application-transfer
+    behaviour of §V-A). *)
+
+val kernel_time_of : t -> string -> float option
+
+val per_kernel_times : t -> (string * float) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+module Analyzer = Gpp_dataflow.Analyzer
+module Model = Gpp_pcie.Model
+
+type t = {
+  chunks : int;
+  serial_total : float;
+  overlapped_total : float;
+  saving : float;
+  bottleneck : [ `Upload | `Kernel | `Download ];
+}
+
+(* One direction's pipeline-stage time per slice: each slice re-pays the
+   per-array transfer latency (alpha), while the bandwidth term divides
+   across the chunks. *)
+let stage_time (projection : Projection.t) direction ~chunks =
+  let model =
+    match direction with
+    | Analyzer.To_device -> projection.Projection.h2d
+    | Analyzer.From_device -> projection.Projection.d2h
+  in
+  List.fold_left
+    (fun acc (pt : Projection.priced_transfer) ->
+      if pt.Projection.transfer.Analyzer.direction = direction then
+        let bandwidth_time = pt.Projection.time -. Model.latency model in
+        acc +. Model.latency model +. (bandwidth_time /. float_of_int chunks)
+      else acc)
+    0.0
+    projection.Projection.transfers
+
+let project ?(chunks = 4) (projection : Projection.t) =
+  if chunks < 1 then invalid_arg "Overlap.project: chunks must be >= 1";
+  let t_up = stage_time projection Analyzer.To_device ~chunks in
+  let t_down = stage_time projection Analyzer.From_device ~chunks in
+  let t_kernel = projection.Projection.kernel_time /. float_of_int chunks in
+  let bottleneck_time = Float.max t_up (Float.max t_kernel t_down) in
+  let bottleneck =
+    if bottleneck_time = t_up then `Upload
+    else if bottleneck_time = t_kernel then `Kernel
+    else `Download
+  in
+  (* 3-stage software pipeline over [chunks] slices: fill with one pass
+     through all stages, then the bottleneck paces the remaining
+     slices. *)
+  let overlapped = t_up +. t_kernel +. t_down +. (float_of_int (chunks - 1) *. bottleneck_time) in
+  let serial_total = projection.Projection.total_time in
+  let overlapped_total = Float.min overlapped serial_total in
+  {
+    chunks;
+    serial_total;
+    overlapped_total;
+    saving = serial_total -. overlapped_total;
+    bottleneck;
+  }
+
+let best_chunks ?(candidates = [ 1; 2; 4; 8; 16 ]) projection =
+  match List.map (fun chunks -> project ~chunks projection) candidates with
+  | [] -> invalid_arg "Overlap.best_chunks: no candidates"
+  | first :: rest ->
+      List.fold_left
+        (fun best p -> if p.overlapped_total < best.overlapped_total then p else best)
+        first rest
+
+let pp ppf t =
+  Format.fprintf ppf "%d chunks: serial %a -> streamed %a (saves %a; bottleneck %s)" t.chunks
+    Gpp_util.Units.pp_time t.serial_total Gpp_util.Units.pp_time t.overlapped_total
+    Gpp_util.Units.pp_time t.saving
+    (match t.bottleneck with `Upload -> "upload" | `Kernel -> "kernel" | `Download -> "download")

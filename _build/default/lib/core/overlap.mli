@@ -1,0 +1,41 @@
+(** Transfer/compute overlap projection (extension).
+
+    The paper's framework assumes synchronous transfers: total time is
+    kernel time plus transfer time.  CUDA streams allow input chunks to
+    upload while earlier chunks compute and outputs download behind the
+    computation, hiding part of the bus cost.  This module bounds what
+    such a streamed port could achieve, reusing an existing projection:
+
+    - the input upload is split into [chunks] pieces, each paying the
+      per-transfer latency [alpha] again;
+    - steady state is a software pipeline over upload, kernel slices,
+      and download: the projected span is the pipeline's bottleneck
+      stage times the chunk count, plus the fill/drain of the other
+      stages;
+    - iterative programs cannot stream across iterations (each needs
+      the whole input resident), so only the first iteration's upload
+      and the last's download overlap; the middle iterations are pure
+      kernel time, as in the serial projection.
+
+    This is a {e best-case} bound: it assumes the kernel is divisible
+    into independent chunks (true for the data-parallel workloads
+    studied) and free stream scheduling. *)
+
+type t = {
+  chunks : int;
+  serial_total : float;  (** The paper-style kernel + transfer sum. *)
+  overlapped_total : float;  (** Projected streamed time. *)
+  saving : float;  (** [serial_total - overlapped_total]. *)
+  bottleneck : [ `Upload | `Kernel | `Download ];
+      (** The pipeline stage that sets the streamed time. *)
+}
+
+val project : ?chunks:int -> Projection.t -> t
+(** Bound the streamed execution of a projected application.  [chunks]
+    defaults to 4.  @raise Invalid_argument when [chunks < 1]. *)
+
+val best_chunks : ?candidates:int list -> Projection.t -> t
+(** Evaluate several chunk counts (default 1, 2, 4, 8, 16) and return
+    the best: more chunks overlap more but pay more latency terms. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+module Program = Gpp_skeleton.Program
+module Analyzer = Gpp_dataflow.Analyzer
+module Explore = Gpp_transform.Explore
+
+type kernel_projection = {
+  kernel_name : string;
+  candidate : Explore.candidate;
+  time : float;
+}
+
+type priced_transfer = { transfer : Analyzer.transfer; time : float }
+
+type t = {
+  program : Program.t;
+  machine : Gpp_arch.Machine.t;
+  h2d : Gpp_pcie.Model.t;
+  d2h : Gpp_pcie.Model.t;
+  kernels : kernel_projection list;
+  kernel_time : float;
+  plan : Analyzer.plan;
+  transfers : priced_transfer list;
+  transfer_time : float;
+  total_time : float;
+}
+
+let project ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program : Program.t) =
+  let ( let* ) = Result.bind in
+  let* () = Program.validate program in
+  let* kernels =
+    List.fold_left
+      (fun acc (k : Gpp_skeleton.Ir.kernel) ->
+        let* acc = acc in
+        let* candidate =
+          Explore.best ?params:analytic_params ?space ~gpu:machine.Gpp_arch.Machine.gpu
+            ~decls:program.arrays k
+        in
+        Ok
+          ({
+             kernel_name = k.name;
+             candidate;
+             time = candidate.projection.Gpp_model.Analytic.kernel_time;
+           }
+          :: acc))
+      (Ok []) program.kernels
+  in
+  let kernels = List.rev kernels in
+  let time_of name =
+    match List.find_opt (fun kp -> kp.kernel_name = name) kernels with
+    | Some kp -> kp.time
+    | None -> 0.0 (* unreachable: schedule validated against kernels *)
+  in
+  let kernel_time =
+    List.fold_left (fun acc name -> acc +. time_of name) 0.0 (Program.flatten_schedule program)
+  in
+  let plan = Analyzer.analyze ?policy program in
+  let price (tr : Analyzer.transfer) =
+    let model = match tr.direction with Analyzer.To_device -> h2d | Analyzer.From_device -> d2h in
+    { transfer = tr; time = Gpp_pcie.Model.predict model ~bytes:tr.bytes }
+  in
+  let transfers = List.map price (Analyzer.transfers plan) in
+  let transfer_time = List.fold_left (fun acc pt -> acc +. pt.time) 0.0 transfers in
+  Ok
+    {
+      program;
+      machine;
+      h2d;
+      d2h;
+      kernels;
+      kernel_time;
+      plan;
+      transfers;
+      transfer_time;
+      total_time = kernel_time +. transfer_time;
+    }
+
+let kernel_time_of t name =
+  List.find_opt (fun (kp : kernel_projection) -> kp.kernel_name = name) t.kernels
+  |> Option.map (fun (kp : kernel_projection) -> kp.time)
+
+let per_kernel_times t =
+  List.map (fun (kp : kernel_projection) -> (kp.kernel_name, kp.time)) t.kernels
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>projection for %s on %s@," t.program.Program.name
+    t.machine.Gpp_arch.Machine.name;
+  List.iter
+    (fun kp ->
+      Format.fprintf ppf "  %s: %a via %s@," kp.kernel_name Gpp_util.Units.pp_time kp.time
+        kp.candidate.Explore.characteristics.Gpp_model.Characteristics.config_label)
+    t.kernels;
+  Format.fprintf ppf "  kernel time (schedule): %a@," Gpp_util.Units.pp_time t.kernel_time;
+  List.iter
+    (fun pt ->
+      Format.fprintf ppf "  transfer %s %s (%s): %a@,"
+        (Analyzer.direction_name pt.transfer.Analyzer.direction)
+        pt.transfer.Analyzer.array
+        (Gpp_util.Units.bytes_to_string pt.transfer.Analyzer.bytes)
+        Gpp_util.Units.pp_time pt.time)
+    t.transfers;
+  Format.fprintf ppf "  transfer time: %a@,  total: %a@]" Gpp_util.Units.pp_time t.transfer_time
+    Gpp_util.Units.pp_time t.total_time

@@ -1,0 +1,53 @@
+(** End-to-end GPU performance projection (the GROPHECY++ pipeline).
+
+    For each kernel of a program skeleton, explore the transformation
+    space and keep the best analytic projection; run the data usage
+    analyzer over the kernel sequence; price each planned transfer with
+    the calibrated PCIe model.  The result carries everything the
+    paper's evaluation derives predictions from. *)
+
+type kernel_projection = {
+  kernel_name : string;
+  candidate : Gpp_transform.Explore.candidate;
+      (** Winning transformation and its analytic projection. *)
+  time : float;  (** Predicted execution time of one invocation. *)
+}
+
+type priced_transfer = {
+  transfer : Gpp_dataflow.Analyzer.transfer;
+  time : float;  (** Predicted by the linear PCIe model. *)
+}
+
+type t = {
+  program : Gpp_skeleton.Program.t;
+  machine : Gpp_arch.Machine.t;
+  h2d : Gpp_pcie.Model.t;  (** Transfer model used to price uploads. *)
+  d2h : Gpp_pcie.Model.t;  (** Transfer model used to price downloads. *)
+  kernels : kernel_projection list;  (** One entry per distinct kernel. *)
+  kernel_time : float;
+      (** Predicted GPU kernel time summed over the whole invocation
+          schedule. *)
+  plan : Gpp_dataflow.Analyzer.plan;
+  transfers : priced_transfer list;
+  transfer_time : float;  (** Sum of predicted transfer times. *)
+  total_time : float;  (** [kernel_time + transfer_time]. *)
+}
+
+val project :
+  ?analytic_params:Gpp_model.Analytic.params ->
+  ?space:Gpp_transform.Explore.space ->
+  ?policy:Gpp_dataflow.Analyzer.policy ->
+  machine:Gpp_arch.Machine.t ->
+  h2d:Gpp_pcie.Model.t ->
+  d2h:Gpp_pcie.Model.t ->
+  Gpp_skeleton.Program.t ->
+  (t, string) result
+(** [Error] when the program fails validation or some kernel admits no
+    feasible GPU transformation. *)
+
+val kernel_time_of : t -> string -> float option
+(** Predicted single-invocation time of a named kernel. *)
+
+val per_kernel_times : t -> (string * float) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cpu/timing.ml: Float Format Gpp_arch Gpp_brs Gpp_skeleton Gpp_util List

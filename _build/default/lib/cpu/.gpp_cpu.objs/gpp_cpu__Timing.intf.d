@@ -1,0 +1,1 @@
+lib/cpu/timing.mli: Format Gpp_arch Gpp_skeleton

@@ -1,0 +1,100 @@
+module Summary = Gpp_skeleton.Summary
+module Extract = Gpp_brs.Extract
+module Region = Gpp_brs.Region
+
+type params = {
+  ilp_efficiency : float;
+  heavy_op_cycles : float;
+  streaming_bw_fraction_override : float option;
+}
+
+let default_params =
+  { ilp_efficiency = 0.80; heavy_op_cycles = 15.0; streaming_bw_fraction_override = None }
+
+type bound = Compute_bound | Memory_bound
+
+type breakdown = {
+  kernel_name : string;
+  compute_time : float;
+  memory_time : float;
+  overhead : float;
+  time : float;
+  bound : bound;
+  traffic_bytes : float;
+}
+
+(* Compulsory DRAM traffic: every distinct element read must be fetched
+   once and every distinct element written must be written back. *)
+let unique_traffic_bytes ~decls kernel =
+  let access = Extract.of_kernel ~decls kernel in
+  let elem_bytes name =
+    match List.find_opt (fun (d : Gpp_skeleton.Decl.t) -> d.name = name) decls with
+    | Some d -> d.elem_bytes
+    | None -> invalid_arg ("Cpu.Timing: undeclared array " ^ name)
+  in
+  let side assoc =
+    List.fold_left
+      (fun acc (name, region) ->
+        acc + Region.covered_bytes ~elem_bytes:(elem_bytes name) region)
+      0 assoc
+  in
+  float_of_int (side access.reads + side access.writes)
+
+let kernel_breakdown ?(params = default_params) ~cpu ~decls kernel =
+  let cpu : Gpp_arch.Cpu.t = cpu in
+  let summary = Summary.of_kernel ~decls kernel in
+  let total_ops =
+    Summary.total_flops summary
+    +. (summary.int_ops_per_iter *. float_of_int summary.trip_count)
+  in
+  let parallel_peak =
+    Gpp_arch.Cpu.peak_gflops cpu *. 1e9 *. cpu.parallel_efficiency *. params.ilp_efficiency
+  in
+  let light_time = total_ops /. parallel_peak in
+  (* Heavy operations stall a core for their full latency; they spread
+     across cores but not across SIMD lanes. *)
+  let total_heavy = summary.heavy_ops_per_iter *. float_of_int summary.trip_count in
+  let heavy_time =
+    total_heavy *. params.heavy_op_cycles
+    /. (float_of_int cpu.cores *. cpu.clock_ghz *. 1e9 *. cpu.parallel_efficiency)
+  in
+  let compute_time = light_time +. heavy_time in
+  let traffic_bytes = unique_traffic_bytes ~decls kernel in
+  let access_bytes = Summary.total_bytes summary in
+  let bw_fraction =
+    match params.streaming_bw_fraction_override with
+    | Some f -> f
+    | None -> cpu.achieved_bw_fraction
+  in
+  let dram_time = traffic_bytes /. (cpu.mem_bandwidth *. bw_fraction) in
+  let cache_time = access_bytes /. cpu.cache_bandwidth in
+  let memory_time = Float.max dram_time cache_time in
+  let overhead = cpu.parallel_overhead in
+  let time = Float.max compute_time memory_time +. overhead in
+  let bound = if compute_time >= memory_time then Compute_bound else Memory_bound in
+  { kernel_name = kernel.name; compute_time; memory_time; overhead; time; bound; traffic_bytes }
+
+let kernel_time ?params ~cpu ~decls kernel = (kernel_breakdown ?params ~cpu ~decls kernel).time
+
+let program_breakdowns ?params ~cpu (program : Gpp_skeleton.Program.t) =
+  List.map
+    (fun (k : Gpp_skeleton.Ir.kernel) ->
+      (k.name, kernel_breakdown ?params ~cpu ~decls:program.arrays k))
+    program.kernels
+
+let program_time ?params ~cpu (program : Gpp_skeleton.Program.t) =
+  let by_kernel = program_breakdowns ?params ~cpu program in
+  List.fold_left
+    (fun acc name ->
+      match List.assoc_opt name by_kernel with
+      | Some b -> acc +. b.time
+      | None -> acc (* unreachable for validated programs *))
+    0.0
+    (Gpp_skeleton.Program.flatten_schedule program)
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf "%s: %a (%s-bound; compute %a, memory %a, overhead %a)" b.kernel_name
+    Gpp_util.Units.pp_time b.time
+    (match b.bound with Compute_bound -> "compute" | Memory_bound -> "memory")
+    Gpp_util.Units.pp_time b.compute_time Gpp_util.Units.pp_time b.memory_time
+    Gpp_util.Units.pp_time b.overhead

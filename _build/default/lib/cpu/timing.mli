@@ -1,0 +1,69 @@
+(** Multicore CPU timing model for the OpenMP baseline.
+
+    The evaluation's "total CPU time" is the execution time of the code
+    region that was ported to the GPU (paper §IV-A), parallelized with
+    OpenMP.  This model is a cache-aware roofline:
+
+    - compute time from the kernel's operation count against the chip's
+      parallel peak, derated by ILP and threading efficiencies;
+    - memory time as the {e larger} of compulsory DRAM traffic (the
+      array sections actually touched, from the BRS analysis — caches
+      serve repeated accesses) over achieved DRAM bandwidth, and total
+      access volume over cache bandwidth;
+    - a fork/join overhead per parallel region.
+
+    The kernel time is the maximum of the compute and memory terms,
+    which assumes good overlap of prefetched traffic with computation —
+    reasonable for the streaming-style kernels studied. *)
+
+type params = {
+  ilp_efficiency : float;
+      (** Fraction of per-core peak issue achieved by scalar/SIMD code
+          in practice. *)
+  heavy_op_cycles : float;
+      (** Latency charged per heavy operation (divide, sqrt, exp):
+          unpipelined on x86 cores of the studied era, so they add
+          serial cycles instead of occupying SIMD issue slots. *)
+  streaming_bw_fraction_override : float option;
+      (** When set, replaces the CPU record's achieved-bandwidth
+          fraction (for sensitivity studies). *)
+}
+
+val default_params : params
+
+type bound = Compute_bound | Memory_bound
+
+type breakdown = {
+  kernel_name : string;
+  compute_time : float;
+  memory_time : float;
+  overhead : float;
+  time : float;  (** [max compute memory + overhead]. *)
+  bound : bound;
+  traffic_bytes : float;  (** Estimated DRAM traffic. *)
+}
+
+val kernel_breakdown :
+  ?params:params ->
+  cpu:Gpp_arch.Cpu.t ->
+  decls:Gpp_skeleton.Decl.t list ->
+  Gpp_skeleton.Ir.kernel ->
+  breakdown
+
+val kernel_time :
+  ?params:params ->
+  cpu:Gpp_arch.Cpu.t ->
+  decls:Gpp_skeleton.Decl.t list ->
+  Gpp_skeleton.Ir.kernel ->
+  float
+
+val program_time : ?params:params -> cpu:Gpp_arch.Cpu.t -> Gpp_skeleton.Program.t -> float
+(** Sum of kernel times over the fully unrolled schedule. *)
+
+val program_breakdowns :
+  ?params:params -> cpu:Gpp_arch.Cpu.t -> Gpp_skeleton.Program.t -> (string * breakdown) list
+(** One breakdown per distinct kernel (keyed by kernel name), each
+    computed once; schedule multiplicity is accounted for by
+    {!program_time}. *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -1,0 +1,1 @@
+lib/dataflow/analyzer.ml: Format Gpp_brs Gpp_skeleton Gpp_util List Map Printf String

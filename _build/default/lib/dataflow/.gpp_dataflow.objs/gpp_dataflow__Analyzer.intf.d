@@ -1,0 +1,1 @@
+lib/dataflow/analyzer.mli: Format Gpp_skeleton

@@ -1,0 +1,141 @@
+module Program = Gpp_skeleton.Program
+module Decl = Gpp_skeleton.Decl
+module Region = Gpp_brs.Region
+module Extract = Gpp_brs.Extract
+
+type direction = To_device | From_device
+
+type transfer = {
+  array : string;
+  direction : direction;
+  bytes : int;
+  elements : int;
+  conservative : bool;
+}
+
+type policy = { sparse_exact : bool }
+
+let default_policy = { sparse_exact = false }
+
+type plan = {
+  program_name : string;
+  policy : policy;
+  to_device : transfer list;
+  from_device : transfer list;
+}
+
+module Smap = Map.Make (String)
+
+let region_update name section map =
+  let region =
+    match Smap.find_opt name map with
+    | Some r -> Region.add r section
+    | None -> Region.of_section section
+  in
+  Smap.add name region map
+
+let analyze ?(policy = default_policy) (program : Program.t) =
+  let decls = program.arrays in
+  let find_decl name =
+    match List.find_opt (fun (d : Decl.t) -> d.name = name) decls with
+    | Some d -> d
+    | None -> invalid_arg (Printf.sprintf "Analyzer: undeclared array %s" name)
+  in
+  (* Per-kernel access summaries are iteration-invariant; compute once. *)
+  let summaries =
+    List.map
+      (fun (k : Gpp_skeleton.Ir.kernel) -> (k.name, Extract.of_kernel ~decls k))
+      program.kernels
+  in
+  let device_written = ref Smap.empty in
+  let to_device = ref Smap.empty in
+  let all_written = ref Smap.empty in
+  let conservative = ref Smap.empty in
+  let mark_conservative name =
+    conservative := Smap.add name true !conservative
+  in
+  let visit_kernel name =
+    let access = List.assoc name summaries in
+    List.iter mark_conservative access.Extract.inexact_arrays;
+    (* Reads not already produced on the device must come from the
+       host.  Sections previously uploaded are absorbed by the exact
+       region merge, so re-reads cost nothing extra. *)
+    List.iter
+      (fun (array, region) ->
+        let written =
+          match Smap.find_opt array !device_written with
+          | Some r -> r
+          | None -> Region.empty ~array
+        in
+        List.iter
+          (fun section ->
+            if not (Region.covers written section) then
+              to_device := region_update array section !to_device)
+          (Region.sections region))
+      access.Extract.reads;
+    List.iter
+      (fun (array, region) ->
+        List.iter
+          (fun section ->
+            device_written := region_update array section !device_written;
+            all_written := region_update array section !all_written)
+          (Region.sections region))
+      access.Extract.writes
+  in
+  List.iter visit_kernel (Program.flatten_schedule program);
+  let transfer_of direction (array, region) =
+    let d = find_decl array in
+    let is_conservative = Smap.mem array !conservative in
+    let elements =
+      match (d.kind, policy.sparse_exact) with
+      | Decl.Sparse { nnz = Some n }, true -> n
+      | (Decl.Sparse _ | Decl.Dense), _ ->
+          min (Region.covered_elements region) (Decl.elements d)
+    in
+    { array; direction; bytes = elements * d.elem_bytes; elements; conservative = is_conservative }
+  in
+  let to_device_transfers =
+    Smap.bindings !to_device
+    |> List.map (transfer_of To_device)
+    |> List.filter (fun t -> t.bytes > 0)
+  in
+  let from_device_transfers =
+    Smap.bindings !all_written
+    |> List.filter (fun (array, _) -> not (List.mem array program.temporaries))
+    |> List.map (transfer_of From_device)
+    |> List.filter (fun t -> t.bytes > 0)
+  in
+  {
+    program_name = program.name;
+    policy;
+    to_device = to_device_transfers;
+    from_device = from_device_transfers;
+  }
+
+let sum side = List.fold_left (fun acc t -> acc + t.bytes) 0 side
+
+let input_bytes plan = sum plan.to_device
+
+let output_bytes plan = sum plan.from_device
+
+let total_bytes plan = input_bytes plan + output_bytes plan
+
+let transfers plan = plan.to_device @ plan.from_device
+
+let direction_name = function To_device -> "to device" | From_device -> "from device"
+
+let pp_plan ppf plan =
+  let pp_side label side =
+    Format.fprintf ppf "%s (%s total):@," label
+      (Gpp_util.Units.bytes_to_string (sum side));
+    List.iter
+      (fun t ->
+        Format.fprintf ppf "  %s: %s%s@," t.array
+          (Gpp_util.Units.bytes_to_string t.bytes)
+          (if t.conservative then " (conservative)" else ""))
+      side
+  in
+  Format.fprintf ppf "@[<v>transfer plan for %s:@," plan.program_name;
+  pp_side "to device" plan.to_device;
+  pp_side "from device" plan.from_device;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,63 @@
+(** The data usage analyzer (paper §III-B).
+
+    Walks the program's kernel invocation sequence, maintaining per-array
+    regions of data already produced on the device:
+
+    - array sections {e read but not previously written} on the GPU must
+      be transferred from the CPU — their union, per array, is the input
+      transfer set;
+    - the union of all {e written} sections is the output transfer set,
+      minus arrays the user hints are temporaries;
+    - sparse or indirectly accessed arrays are handled conservatively:
+      the whole array is assumed referenced (unless the exact-sparse
+      policy is enabled, an ablation);
+    - each array is transferred separately (§III-B), so the plan is a
+      list of per-array transfers;
+    - for iterative schedules the transfer set is independent of the
+      iteration count: inputs move once before the first iteration,
+      outputs once after the last (§IV-B). *)
+
+type direction = To_device | From_device
+
+type transfer = {
+  array : string;
+  direction : direction;
+  bytes : int;
+  elements : int;
+  conservative : bool;
+      (** Whether the size comes from the whole-array fallback rather
+          than exact section analysis. *)
+}
+
+type policy = {
+  sparse_exact : bool;
+      (** Use the declared population ([nnz]) of sparse arrays instead
+          of their full capacity.  Default [false]: the paper's
+          conservative assumption. *)
+}
+
+val default_policy : policy
+
+type plan = {
+  program_name : string;
+  policy : policy;
+  to_device : transfer list;
+  from_device : transfer list;
+}
+
+val analyze : ?policy:policy -> Gpp_skeleton.Program.t -> plan
+(** Run the analysis.  The program should be validated first; undeclared
+    arrays raise [Invalid_argument]. *)
+
+val input_bytes : plan -> int
+
+val output_bytes : plan -> int
+
+val total_bytes : plan -> int
+
+val transfers : plan -> transfer list
+(** Inputs then outputs, in plan order. *)
+
+val direction_name : direction -> string
+
+val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Context Gpp_core Gpp_dataflow Gpp_pcie Gpp_skeleton Gpp_util Gpp_workloads List Output Printf

@@ -1,0 +1,1 @@
+lib/experiments/context.ml: Gpp_arch Gpp_core Gpp_workloads List Printf

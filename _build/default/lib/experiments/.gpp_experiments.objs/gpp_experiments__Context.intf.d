@@ -1,0 +1,1 @@
+lib/experiments/context.mli: Gpp_arch Gpp_core Gpp_workloads

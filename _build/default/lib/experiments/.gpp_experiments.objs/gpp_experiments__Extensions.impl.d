@@ -1,0 +1,1 @@
+lib/experiments/extensions.ml: Context Gpp_arch Gpp_core Gpp_dataflow Gpp_gpusim Gpp_model Gpp_pcie Gpp_transform Gpp_util Gpp_workloads List Output Printf

@@ -1,0 +1,1 @@
+lib/experiments/extensions.mli: Context Gpp_model Output

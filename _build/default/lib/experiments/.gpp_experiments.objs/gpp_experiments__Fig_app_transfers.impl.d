@@ -1,0 +1,1 @@
+lib/experiments/fig_app_transfers.ml: Context Gpp_core Gpp_dataflow Gpp_util Gpp_workloads List Output Printf

@@ -1,0 +1,1 @@
+lib/experiments/fig_app_transfers.mli: Context Gpp_dataflow Output

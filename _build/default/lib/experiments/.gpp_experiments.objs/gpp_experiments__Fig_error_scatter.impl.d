@@ -1,0 +1,1 @@
+lib/experiments/fig_error_scatter.ml: Context Gpp_core Gpp_util Gpp_workloads List Output Printf

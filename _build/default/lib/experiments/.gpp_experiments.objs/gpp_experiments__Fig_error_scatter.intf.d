@@ -1,0 +1,1 @@
+lib/experiments/fig_error_scatter.mli: Context Output

@@ -1,0 +1,1 @@
+lib/experiments/fig_iterations.ml: Context Gpp_core Gpp_util List Output Printf

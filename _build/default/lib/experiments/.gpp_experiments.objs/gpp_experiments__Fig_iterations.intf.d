@@ -1,0 +1,1 @@
+lib/experiments/fig_iterations.mli: Context Gpp_core Output

@@ -1,0 +1,1 @@
+lib/experiments/fig_model_error.ml: Context Fig_transfer_time Gpp_core Gpp_pcie Gpp_util List Output Printf

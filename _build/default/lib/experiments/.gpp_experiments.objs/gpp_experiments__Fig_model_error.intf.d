@@ -1,0 +1,1 @@
+lib/experiments/fig_model_error.mli: Context Output

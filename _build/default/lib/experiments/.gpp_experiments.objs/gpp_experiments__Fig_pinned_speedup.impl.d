@@ -1,0 +1,1 @@
+lib/experiments/fig_pinned_speedup.ml: Fig_transfer_time Gpp_pcie Gpp_util List Option Output Printf

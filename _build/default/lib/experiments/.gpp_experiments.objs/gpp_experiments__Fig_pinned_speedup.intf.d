@@ -1,0 +1,1 @@
+lib/experiments/fig_pinned_speedup.mli: Context Output

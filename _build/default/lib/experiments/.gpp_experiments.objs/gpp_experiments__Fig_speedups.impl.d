@@ -1,0 +1,1 @@
+lib/experiments/fig_speedups.ml: Context Gpp_core Gpp_util List Output Printf

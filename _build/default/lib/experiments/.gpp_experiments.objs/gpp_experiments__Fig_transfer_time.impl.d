@@ -1,0 +1,1 @@
+lib/experiments/fig_transfer_time.ml: Context Gpp_core Gpp_pcie Gpp_util List Output

@@ -1,0 +1,1 @@
+lib/experiments/fig_transfer_time.mli: Context Output

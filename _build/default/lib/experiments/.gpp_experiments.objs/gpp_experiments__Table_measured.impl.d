@@ -1,0 +1,1 @@
+lib/experiments/table_measured.ml: Context Gpp_core Gpp_dataflow Gpp_util Gpp_workloads List Output Printf

@@ -1,0 +1,1 @@
+lib/experiments/table_measured.mli: Context Output

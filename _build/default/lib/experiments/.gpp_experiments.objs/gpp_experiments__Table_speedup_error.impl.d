@@ -1,0 +1,1 @@
+lib/experiments/table_speedup_error.ml: Context Gpp_core Gpp_util Gpp_workloads List Output Printf

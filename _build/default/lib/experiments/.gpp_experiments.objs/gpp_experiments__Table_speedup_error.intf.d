@@ -1,0 +1,1 @@
+lib/experiments/table_speedup_error.mli: Context Output

@@ -1,0 +1,32 @@
+(** Ablation studies of GROPHECY++'s design choices (DESIGN.md).
+
+    These go beyond the paper's figures: each isolates one decision the
+    paper made (or deferred to future work) and quantifies it on the
+    same workloads. *)
+
+val run_calibration_size : Context.t -> Output.t
+(** Footnote 5: the large calibration transfer's size "is chosen rather
+    arbitrarily; any size larger than a few megabytes would be
+    sufficient".  Calibrate beta with large sizes from 64 KiB to
+    512 MiB and report the resulting model error. *)
+
+val run_regression : Context.t -> Output.t
+(** Two-point calibration (the paper's choice) versus an ordinary
+    least-squares fit over the full size sweep. *)
+
+val run_batching : Context.t -> Output.t
+(** §III-B: each array is transferred separately; batching all arrays
+    into one transfer per direction would save one latency term per
+    extra array.  Reports the predicted saving per workload. *)
+
+val run_memory_type : Context.t -> Output.t
+(** §III-C / future work: the framework assumes pinned memory.  Price
+    every workload's transfer plan with the pageable-memory model
+    instead and report the slowdown the assumption avoids. *)
+
+val run_sparse_policy : Context.t -> Output.t
+(** §III-B: conservative whole-array transfer for sparse data versus
+    the exact-population policy, on a synthetic sparse-gather
+    workload. *)
+
+val all : (Context.t -> Output.t) list

@@ -1,0 +1,44 @@
+module Registry = Gpp_workloads.Registry
+module Grophecy = Gpp_core.Grophecy
+
+type t = {
+  session : Grophecy.session;
+  machine : Gpp_arch.Machine.t;
+  instances : (Registry.instance * Grophecy.report) list;
+}
+
+let create ?(machine = Gpp_arch.Machine.argonne_node) ?seed () =
+  let session = Grophecy.init ?seed machine in
+  let instances =
+    List.map
+      (fun (inst : Registry.instance) ->
+        match Grophecy.analyze session (inst.program 1) with
+        | Ok report -> (inst, report)
+        | Error e ->
+            invalid_arg (Printf.sprintf "Context.create: %s failed: %s" (Registry.key inst) e))
+      Registry.paper_instances
+  in
+  { session; machine; instances }
+
+let session t = t.session
+
+let machine t = t.machine
+
+let instances t = t.instances
+
+let report t ~app ~size =
+  match
+    List.find_opt (fun ((i : Registry.instance), _) -> i.app = app && i.size = size) t.instances
+  with
+  | Some (_, report) -> report
+  | None -> raise Not_found
+
+let reports_of_app t app =
+  List.filter_map
+    (fun ((i : Registry.instance), report) -> if i.app = app then Some (i.size, report) else None)
+    t.instances
+
+let apps t =
+  List.fold_left
+    (fun acc ((i : Registry.instance), _) -> if List.mem i.app acc then acc else acc @ [ i.app ])
+    [] t.instances

@@ -1,0 +1,28 @@
+(** Shared experiment state.
+
+    Calibrates one session on the paper's testbed preset and runs the
+    full GROPHECY++ pipeline (projection + simulated measurement) once
+    per application/data-size pair; every table and figure then reads
+    from these cached reports, exactly as the paper derives all results
+    from one set of runs. *)
+
+type t
+
+val create : ?machine:Gpp_arch.Machine.t -> ?seed:int64 -> unit -> t
+(** Analyze every Table I instance at one iteration.  Defaults: the
+    Argonne node, a fixed seed. *)
+
+val session : t -> Gpp_core.Grophecy.session
+
+val machine : t -> Gpp_arch.Machine.t
+
+val instances : t -> (Gpp_workloads.Registry.instance * Gpp_core.Grophecy.report) list
+(** Paper order. *)
+
+val report : t -> app:string -> size:string -> Gpp_core.Grophecy.report
+(** @raise Not_found for an unknown pair. *)
+
+val reports_of_app : t -> string -> (string * Gpp_core.Grophecy.report) list
+(** [(size, report)] pairs for one application. *)
+
+val apps : t -> string list

@@ -1,0 +1,142 @@
+let escape field =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+  else field
+
+let csv_of_rows ~header rows =
+  let line fields = String.concat "," (List.map escape fields) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let f = Printf.sprintf "%.9g"
+
+let fig2_csv ctx =
+  csv_of_rows
+    ~header:
+      [
+        "bytes";
+        "pinned_h2d_s";
+        "pageable_h2d_s";
+        "pinned_d2h_s";
+        "pageable_d2h_s";
+        "model_h2d_s";
+        "model_d2h_s";
+      ]
+    (List.map
+       (fun (p : Fig_transfer_time.point) ->
+         [
+           string_of_int p.bytes;
+           f p.pinned_h2d;
+           f p.pageable_h2d;
+           f p.pinned_d2h;
+           f p.pageable_d2h;
+           f p.predicted_h2d;
+           f p.predicted_d2h;
+         ])
+       (Fig_transfer_time.points ctx))
+
+let fig3_csv ctx =
+  csv_of_rows ~header:[ "bytes"; "h2d_speedup"; "d2h_speedup" ]
+    (List.map
+       (fun (p : Fig_pinned_speedup.point) ->
+         [ string_of_int p.bytes; f p.h2d_speedup; f p.d2h_speedup ])
+       (Fig_pinned_speedup.points ctx))
+
+let fig4_csv ctx =
+  csv_of_rows ~header:[ "bytes"; "h2d_error_pct"; "d2h_error_pct" ]
+    (List.map
+       (fun (p : Fig_model_error.point) ->
+         [ string_of_int p.bytes; f p.h2d_error; f p.d2h_error ])
+       (Fig_model_error.points ctx))
+
+let fig5_csv ctx =
+  csv_of_rows
+    ~header:[ "app"; "size"; "array"; "direction"; "bytes"; "predicted_s"; "measured_s" ]
+    (List.map
+       (fun (p : Fig_app_transfers.point) ->
+         [
+           p.app;
+           p.size;
+           p.array_name;
+           Gpp_dataflow.Analyzer.direction_name p.direction;
+           string_of_int p.bytes;
+           f p.predicted;
+           f p.measured;
+         ])
+       (Fig_app_transfers.points ctx))
+
+let fig6_csv ctx =
+  csv_of_rows ~header:[ "app"; "size"; "kernel_error_pct"; "transfer_error_pct" ]
+    (List.map
+       (fun (p : Fig_error_scatter.point) ->
+         [ p.app; p.size; f p.kernel_error; f p.transfer_error ])
+       (Fig_error_scatter.points ctx))
+
+let table1_csv ctx =
+  csv_of_rows
+    ~header:
+      [ "app"; "size"; "kernel_ms"; "transfer_ms"; "percent_transfer"; "input_mib"; "output_mib" ]
+    (List.map
+       (fun (r : Table_measured.row) ->
+         [
+           r.app;
+           r.size;
+           f r.kernel_ms;
+           f r.transfer_ms;
+           f r.percent_transfer;
+           f r.input_mib;
+           f r.output_mib;
+         ])
+       (Table_measured.rows ctx))
+
+let table2_csv ctx =
+  let s = Table_speedup_error.summary ctx in
+  csv_of_rows
+    ~header:[ "app"; "size"; "kernel_only_pct"; "transfer_only_pct"; "with_transfer_pct" ]
+    (List.map
+       (fun (r : Table_speedup_error.row) ->
+         [ r.app; r.size; f r.kernel_only; f r.transfer_only; f r.with_transfer ])
+       (s.Table_speedup_error.rows
+       @ List.map snd s.Table_speedup_error.app_averages
+       @ [ s.Table_speedup_error.average_data_sets; s.Table_speedup_error.average_applications ]))
+
+let speedup_csv ctx ~app =
+  csv_of_rows ~header:[ "size"; "measured"; "with_transfer"; "kernel_only" ]
+    (List.map
+       (fun (r : Fig_speedups.row) ->
+         [ r.size; f r.measured; f r.with_transfer; f r.kernel_only ])
+       (Fig_speedups.rows ctx ~app))
+
+let iterations_csv ctx ~app ~size =
+  csv_of_rows ~header:[ "iterations"; "measured"; "with_transfer"; "kernel_only" ]
+    (List.map
+       (fun (p : Fig_iterations.point) ->
+         [ string_of_int p.iterations; f p.measured; f p.with_transfer; f p.kernel_only ])
+       (Fig_iterations.points ctx ~app ~size ~iterations:Fig_iterations.default_iterations))
+
+let write_all ctx ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let exports =
+    [
+      ("fig2.csv", fig2_csv ctx);
+      ("fig3.csv", fig3_csv ctx);
+      ("fig4.csv", fig4_csv ctx);
+      ("fig5.csv", fig5_csv ctx);
+      ("fig6.csv", fig6_csv ctx);
+      ("table1.csv", table1_csv ctx);
+      ("table2.csv", table2_csv ctx);
+      ("fig7_cfd.csv", speedup_csv ctx ~app:"cfd");
+      ("fig9_hotspot.csv", speedup_csv ctx ~app:"hotspot");
+      ("fig11_srad.csv", speedup_csv ctx ~app:"srad");
+      ("fig8_cfd_iterations.csv", iterations_csv ctx ~app:"cfd" ~size:"233K");
+      ("fig10_hotspot_iterations.csv", iterations_csv ctx ~app:"hotspot" ~size:"1024 x 1024");
+      ("fig12_srad_iterations.csv", iterations_csv ctx ~app:"srad" ~size:"4096 x 4096");
+    ]
+  in
+  List.map
+    (fun (name, contents) ->
+      let path = Filename.concat dir name in
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      (name, path))
+    exports

@@ -1,0 +1,36 @@
+(** CSV export of experiment data.
+
+    Every figure/table has a typed data accessor; this module writes
+    them as plain CSV so the plots can be regenerated with external
+    tooling (gnuplot, matplotlib, a spreadsheet).  One file per
+    experiment, with a header row. *)
+
+val csv_of_rows : header:string list -> string list list -> string
+(** Render rows as CSV.  Fields containing commas, quotes, or newlines
+    are quoted and inner quotes doubled (RFC 4180). *)
+
+val fig2_csv : Context.t -> string
+(** Columns: bytes, pinned/pageable x h2d/d2h measured means, model
+    predictions. *)
+
+val fig3_csv : Context.t -> string
+
+val fig4_csv : Context.t -> string
+
+val fig5_csv : Context.t -> string
+
+val fig6_csv : Context.t -> string
+
+val table1_csv : Context.t -> string
+
+val table2_csv : Context.t -> string
+
+val speedup_csv : Context.t -> app:string -> string
+(** Figures 7/9/11 data for one application. *)
+
+val iterations_csv : Context.t -> app:string -> size:string -> string
+(** Figures 8/10/12 data. *)
+
+val write_all : Context.t -> dir:string -> (string * string) list
+(** Write every export into [dir] (created if missing) and return the
+    [(filename, path)] pairs written. *)

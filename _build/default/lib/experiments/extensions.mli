@@ -1,0 +1,42 @@
+(** Extension experiments: the paper's §VII future-work items, realized.
+
+    - memory-type choice with allocation-overhead modeling
+      ([Gpp_pcie.Memory_choice]),
+    - temporal kernel fusion for iterative stencils
+      ([Gpp_transform.Fusion]),
+    - transfer/compute overlap with CUDA-stream-style chunking
+      ([Gpp_core.Overlap]),
+    - validation across a wider range of hardware systems. *)
+
+val run_memory_choice : Context.t -> Output.t
+(** Per-workload pinned/pageable decisions under the allocation cost
+    model, plus the reuse counts at which pinning starts to pay. *)
+
+val run_fusion : Context.t -> Output.t
+(** Fusion-factor sweep for iterated HotSpot: launches, per-launch
+    time, and total kernel time per factor. *)
+
+val run_overlap : Context.t -> Output.t
+(** Streamed-transfer bound per workload: serial vs overlapped total,
+    best chunk count, bottleneck stage. *)
+
+val run_hardware : Context.t -> Output.t
+(** Projected end-to-end speedups of every workload across machine
+    generations (the paper's testbed vs a Fermi-era node). *)
+
+type roofline_point = {
+  flops_per_thread : float;
+  model_time : float;  (** Analytic projection. *)
+  sim_time : float;  (** Transaction-level simulation (noise-free). *)
+  model_bound : Gpp_model.Analytic.bound;
+}
+
+val roofline_points : ?flops:float list -> Context.t -> roofline_point list
+(** Synthetic arithmetic-intensity sweep at fixed memory traffic:
+    exposes the memory-bound plateau, the compute-bound slope, and how
+    closely the analytic model tracks the simulator through the
+    transition. *)
+
+val run_roofline : Context.t -> Output.t
+
+val all : (Context.t -> Output.t) list

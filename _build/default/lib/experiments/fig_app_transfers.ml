@@ -1,0 +1,84 @@
+module Analyzer = Gpp_dataflow.Analyzer
+module Projection = Gpp_core.Projection
+module Measurement = Gpp_core.Measurement
+
+type point = {
+  app : string;
+  size : string;
+  array_name : string;
+  direction : Analyzer.direction;
+  bytes : int;
+  predicted : float;
+  measured : float;
+}
+
+let points ctx =
+  List.concat_map
+    (fun ((inst : Gpp_workloads.Registry.instance), (report : Gpp_core.Grophecy.report)) ->
+      List.map2
+        (fun (pt : Projection.priced_transfer) (tm : Measurement.transfer_measurement) ->
+          {
+            app = inst.app;
+            size = inst.size;
+            array_name = pt.Projection.transfer.Analyzer.array;
+            direction = pt.Projection.transfer.Analyzer.direction;
+            bytes = pt.Projection.transfer.Analyzer.bytes;
+            predicted = pt.Projection.time;
+            measured = tm.Measurement.time;
+          })
+        report.projection.Projection.transfers report.measurement.Measurement.transfers)
+    (Context.instances ctx)
+
+let overall_error ctx =
+  Gpp_util.Stats.mean_error_magnitude
+    (List.map (fun p -> (p.predicted, p.measured)) (points ctx))
+
+let run ctx =
+  let pts = points ctx in
+  let table =
+    Gpp_util.Ascii_table.create ~title:"Per-transfer prediction (pinned memory)"
+      ~columns:
+        [
+          ("App", Gpp_util.Ascii_table.Left);
+          ("Data size", Gpp_util.Ascii_table.Left);
+          ("Array", Gpp_util.Ascii_table.Left);
+          ("Dir", Gpp_util.Ascii_table.Left);
+          ("Bytes", Gpp_util.Ascii_table.Right);
+          ("Predicted", Gpp_util.Ascii_table.Right);
+          ("Measured", Gpp_util.Ascii_table.Right);
+          ("Error", Gpp_util.Ascii_table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun p ->
+      Gpp_util.Ascii_table.add_row table
+        [
+          p.app;
+          p.size;
+          p.array_name;
+          (match p.direction with Analyzer.To_device -> "in" | Analyzer.From_device -> "out");
+          Gpp_util.Units.bytes_to_string p.bytes;
+          Gpp_util.Units.time_to_string p.predicted;
+          Gpp_util.Units.time_to_string p.measured;
+          Printf.sprintf "%.1f%%"
+            (Gpp_util.Stats.error_magnitude ~predicted:p.predicted ~measured:p.measured);
+        ])
+    pts;
+  let plot =
+    Gpp_util.Ascii_plot.create ~x_scale:Gpp_util.Ascii_plot.Log ~y_scale:Gpp_util.Ascii_plot.Log
+      ~title:"Predicted vs measured transfer time (y = x is perfect)"
+      ~x_label:"measured (s)" ~y_label:"predicted (s)"
+      [
+        Gpp_util.Ascii_plot.series ~label:"transfers" ~glyph:'o'
+          (List.map (fun p -> (p.measured, p.predicted)) pts);
+        Gpp_util.Ascii_plot.series ~label:"y = x" ~glyph:'.'
+          (List.map (fun p -> (p.measured, p.measured)) pts);
+      ]
+  in
+  let digest =
+    Printf.sprintf "overall mean transfer prediction error: %.1f%% (paper: 7.6%%)\n"
+      (overall_error ctx)
+  in
+  Output.make ~id:"fig5" ~title:"Predicted vs measured time for every application transfer"
+    ~body:(Gpp_util.Ascii_table.render table ^ digest ^ "\n" ^ Gpp_util.Ascii_plot.render plot)

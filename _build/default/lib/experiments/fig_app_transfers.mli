@@ -1,0 +1,23 @@
+(** Figure 5: predicted versus measured time of every individual
+    application transfer, across all applications and data sizes.
+    Points below the y = x line are transfers that ran slower than
+    predicted — the paper observes a handful of such outliers (bimodally
+    slow CFD transfers, §V-A), which the application link's rare
+    slow-transfer mode reproduces. *)
+
+type point = {
+  app : string;
+  size : string;
+  array_name : string;
+  direction : Gpp_dataflow.Analyzer.direction;
+  bytes : int;
+  predicted : float;
+  measured : float;
+}
+
+val points : Context.t -> point list
+
+val overall_error : Context.t -> float
+(** Mean error magnitude across every transfer (paper: 7.6 %). *)
+
+val run : Context.t -> Output.t

@@ -1,0 +1,57 @@
+type point = { app : string; size : string; kernel_error : float; transfer_error : float }
+
+let points ctx =
+  List.map
+    (fun ((inst : Gpp_workloads.Registry.instance), (report : Gpp_core.Grophecy.report)) ->
+      {
+        app = inst.app;
+        size = inst.size;
+        kernel_error = report.kernel_error;
+        transfer_error = report.transfer_error;
+      })
+    (Context.instances ctx)
+
+let run ctx =
+  let pts = points ctx in
+  let table =
+    Gpp_util.Ascii_table.create ~title:"Overall prediction errors per workload"
+      ~columns:
+        [
+          ("App", Gpp_util.Ascii_table.Left);
+          ("Data size", Gpp_util.Ascii_table.Left);
+          ("Kernel error", Gpp_util.Ascii_table.Right);
+          ("Transfer error", Gpp_util.Ascii_table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun p ->
+      Gpp_util.Ascii_table.add_row table
+        [ p.app; p.size; Printf.sprintf "%.1f%%" p.kernel_error; Printf.sprintf "%.1f%%" p.transfer_error ])
+    pts;
+  let glyph_of_app = function
+    | "cfd" -> 'c'
+    | "hotspot" -> 'h'
+    | "srad" -> 's'
+    | "stassuij" -> 't'
+    | _ -> '?'
+  in
+  let by_app =
+    List.fold_left
+      (fun acc p -> if List.mem_assoc p.app acc then acc else (p.app, glyph_of_app p.app) :: acc)
+      [] pts
+    |> List.rev
+  in
+  let plot =
+    Gpp_util.Ascii_plot.create ~title:"Transfer error vs kernel error"
+      ~x_label:"kernel prediction error (%)" ~y_label:"transfer prediction error (%)"
+      (List.map
+         (fun (app, glyph) ->
+           Gpp_util.Ascii_plot.series ~label:app ~glyph
+             (List.filter_map
+                (fun p -> if p.app = app then Some (p.kernel_error, p.transfer_error) else None)
+                pts))
+         by_app)
+  in
+  Output.make ~id:"fig6" ~title:"Transfer prediction error vs kernel prediction error"
+    ~body:(Gpp_util.Ascii_table.render table ^ "\n" ^ Gpp_util.Ascii_plot.render plot)

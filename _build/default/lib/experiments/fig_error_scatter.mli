@@ -1,0 +1,16 @@
+(** Figure 6: per application/data-size, the overall transfer prediction
+    error plotted against the overall kernel prediction error.  In the
+    paper, CFD's kernel error dominates (its irregular gathers defeat
+    the analytic model) while the stencils sit near the origin with
+    transfer error roughly twice kernel error at small sizes. *)
+
+type point = {
+  app : string;
+  size : string;
+  kernel_error : float;  (** Error magnitude over the summed kernel time. *)
+  transfer_error : float;  (** Error magnitude over the summed transfer time. *)
+}
+
+val points : Context.t -> point list
+
+val run : Context.t -> Output.t

@@ -1,0 +1,113 @@
+module Evaluation = Gpp_core.Evaluation
+module Grophecy = Gpp_core.Grophecy
+
+type point = {
+  iterations : int;
+  measured : float;
+  with_transfer : float;
+  kernel_only : float;
+}
+
+let default_iterations = [ 1; 2; 3; 5; 8; 12; 18; 27; 40; 60; 90; 140; 220; 350; 500 ]
+
+let points ctx ~app ~size ~iterations =
+  let report = Context.report ctx ~app ~size in
+  List.map
+    (fun (p : Evaluation.iteration_point) ->
+      {
+        iterations = p.Evaluation.iterations;
+        measured = p.Evaluation.speedups.Evaluation.measured;
+        with_transfer = p.Evaluation.speedups.Evaluation.with_transfer;
+        kernel_only = p.Evaluation.speedups.Evaluation.kernel_only;
+      })
+    (Grophecy.iteration_sweep report ~iterations)
+
+let limit ctx ~app ~size =
+  let report = Context.report ctx ~app ~size in
+  Evaluation.limit_speedups report.projection report.measurement
+
+let twice_as_accurate_until ctx ~app ~size =
+  let report = Context.report ctx ~app ~size in
+  let rec scan n best =
+    if n > 1000 then best
+    else begin
+      let point =
+        List.hd (Grophecy.iteration_sweep report ~iterations:[ n ])
+      in
+      let s = point.Evaluation.speedups in
+      let err predicted =
+        Gpp_util.Stats.error_magnitude ~predicted ~measured:s.Evaluation.measured
+      in
+      let with_transfer = err s.Evaluation.with_transfer
+      and kernel_only = err s.Evaluation.kernel_only in
+      if with_transfer *. 2.0 <= kernel_only then scan (n + 1) n else best
+    end
+  in
+  scan 1 0
+
+let run ctx ~app ~size ~id =
+  let pts = points ctx ~app ~size ~iterations:default_iterations in
+  let lim = limit ctx ~app ~size in
+  let table =
+    Gpp_util.Ascii_table.create
+      ~title:(Printf.sprintf "GPU speedup vs iteration count: %s (%s)" app size)
+      ~columns:
+        [
+          ("Iterations", Gpp_util.Ascii_table.Right);
+          ("Measured", Gpp_util.Ascii_table.Right);
+          ("Predicted (kernel+transfer)", Gpp_util.Ascii_table.Right);
+          ("Predicted (kernel only)", Gpp_util.Ascii_table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun p ->
+      Gpp_util.Ascii_table.add_row table
+        [
+          string_of_int p.iterations;
+          Printf.sprintf "%.2fx" p.measured;
+          Printf.sprintf "%.2fx" p.with_transfer;
+          Printf.sprintf "%.2fx" p.kernel_only;
+        ])
+    pts;
+  Gpp_util.Ascii_table.add_separator table;
+  Gpp_util.Ascii_table.add_row table
+    [
+      "limit";
+      Printf.sprintf "%.2fx" lim.Evaluation.measured;
+      Printf.sprintf "%.2fx" lim.Evaluation.with_transfer;
+      Printf.sprintf "%.2fx" lim.Evaluation.kernel_only;
+    ];
+  let plot =
+    Gpp_util.Ascii_plot.create ~x_scale:Gpp_util.Ascii_plot.Log
+      ~title:"Speedup vs iterations (transfer cost amortizes)" ~x_label:"iterations"
+      ~y_label:"speedup (x)"
+      [
+        Gpp_util.Ascii_plot.series ~label:"measured" ~glyph:'m'
+          (List.map (fun p -> (float_of_int p.iterations, p.measured)) pts);
+        Gpp_util.Ascii_plot.series ~label:"predicted kernel+transfer" ~glyph:'+'
+          (List.map (fun p -> (float_of_int p.iterations, p.with_transfer)) pts);
+        Gpp_util.Ascii_plot.series ~label:"predicted kernel only" ~glyph:'k'
+          (List.map (fun p -> (float_of_int p.iterations, p.kernel_only)) pts);
+      ]
+  in
+  let limit_error =
+    Gpp_util.Stats.error_magnitude ~predicted:lim.Evaluation.with_transfer
+      ~measured:lim.Evaluation.measured
+  in
+  let digest =
+    Printf.sprintf
+      "transfer-aware prediction stays twice as accurate up to %d iterations\n\
+       prediction error in the infinite-iteration limit: %.1f%%\n"
+      (twice_as_accurate_until ctx ~app ~size)
+      limit_error
+  in
+  Output.make ~id
+    ~title:(Printf.sprintf "Speedup of %s (%s) as a function of iteration count" app size)
+    ~body:(Gpp_util.Ascii_table.render table ^ digest ^ "\n" ^ Gpp_util.Ascii_plot.render plot)
+
+let run_cfd ctx = run ctx ~app:"cfd" ~size:"233K" ~id:"fig8"
+
+let run_hotspot ctx = run ctx ~app:"hotspot" ~size:"1024 x 1024" ~id:"fig10"
+
+let run_srad ctx = run ctx ~app:"srad" ~size:"4096 x 4096" ~id:"fig12"

@@ -1,0 +1,37 @@
+(** Figures 8, 10, 12: measured and predicted GPU speedup as a function
+    of the iteration count, for each iterative application's largest
+    data size.
+
+    The transfer set is independent of the iteration count (§IV-B), so
+    as iterations grow the transfer overhead amortizes, the measured
+    speedup rises toward the transfer-free limit, and the two prediction
+    variants converge.  The paper reports how long the transfer-aware
+    prediction stays "more than twice as accurate" than the kernel-only
+    one: CFD up to 18 iterations, HotSpot 70, SRAD 228. *)
+
+type point = {
+  iterations : int;
+  measured : float;
+  with_transfer : float;
+  kernel_only : float;
+}
+
+val default_iterations : int list
+
+val points : Context.t -> app:string -> size:string -> iterations:int list -> point list
+
+val limit : Context.t -> app:string -> size:string -> Gpp_core.Evaluation.speedups
+(** Speedups as iterations approach infinity. *)
+
+val twice_as_accurate_until : Context.t -> app:string -> size:string -> int
+(** Largest simulated iteration count for which the transfer-aware
+    prediction's error is at most half the kernel-only prediction's
+    error (scanning iteration counts 1, 2, 3, ...). *)
+
+val run : Context.t -> app:string -> size:string -> id:string -> Output.t
+
+val run_cfd : Context.t -> Output.t
+
+val run_hotspot : Context.t -> Output.t
+
+val run_srad : Context.t -> Output.t

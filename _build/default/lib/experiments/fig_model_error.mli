@@ -1,0 +1,32 @@
+(** Figure 4 and §V-A validation: error magnitude of the linear transfer
+    model against fresh measurements, per size and direction, for pinned
+    transfers.
+
+    Paper values on the real testbed: maximum 6.4 % (CPU-to-GPU) and
+    3.3 % (GPU-to-CPU); means 2.0 % and 0.8 %; error concentrated at
+    small sizes and essentially zero above 1 MB. *)
+
+type point = { bytes : int; h2d_error : float; d2h_error : float }
+
+type summary = {
+  mean_h2d : float;
+  mean_d2h : float;
+  max_h2d : float;
+  max_d2h : float;
+  mean_large_h2d : float;  (** Mean error restricted to sizes > 1 MiB. *)
+  mean_large_d2h : float;
+}
+
+val points : Context.t -> point list
+
+val summary : Context.t -> summary
+
+type repeatability = { h2d : float; d2h : float }
+(** Mean error magnitude when one full measurement sweep predicts a
+    second, independent sweep — the paper's bound on how much of the
+    model error is inherent run-to-run variation (§V-A: 1.0 % and
+    0.7 %). *)
+
+val repeatability : Context.t -> repeatability
+
+val run : Context.t -> Output.t

@@ -1,0 +1,58 @@
+module Link = Gpp_pcie.Link
+
+type point = { bytes : int; h2d_speedup : float; d2h_speedup : float }
+
+let points ctx =
+  List.map
+    (fun (p : Fig_transfer_time.point) ->
+      {
+        bytes = p.bytes;
+        h2d_speedup = p.pageable_h2d /. p.pinned_h2d;
+        d2h_speedup = p.pageable_d2h /. p.pinned_d2h;
+      })
+    (Fig_transfer_time.points ctx)
+
+let crossover_h2d ctx =
+  List.find_opt (fun p -> p.h2d_speedup >= 1.0) (points ctx) |> Option.map (fun p -> p.bytes)
+
+let run ctx =
+  let pts = points ctx in
+  let table =
+    Gpp_util.Ascii_table.create ~title:"Pinned-over-pageable transfer speedup"
+      ~columns:
+        [
+          ("Size", Gpp_util.Ascii_table.Right);
+          ("CPU-to-GPU", Gpp_util.Ascii_table.Right);
+          ("GPU-to-CPU", Gpp_util.Ascii_table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun p ->
+      Gpp_util.Ascii_table.add_row table
+        [
+          Gpp_util.Units.bytes_to_string p.bytes;
+          Printf.sprintf "%.2fx" p.h2d_speedup;
+          Printf.sprintf "%.2fx" p.d2h_speedup;
+        ])
+    pts;
+  let plot =
+    Gpp_util.Ascii_plot.create ~x_scale:Gpp_util.Ascii_plot.Log
+      ~title:"Pinned speedup vs transfer size" ~x_label:"transfer size (bytes)"
+      ~y_label:"pageable time / pinned time"
+      [
+        Gpp_util.Ascii_plot.series ~label:"CPU-to-GPU" ~glyph:'h'
+          (List.map (fun p -> (float_of_int p.bytes, p.h2d_speedup)) pts);
+        Gpp_util.Ascii_plot.series ~label:"GPU-to-CPU" ~glyph:'d'
+          (List.map (fun p -> (float_of_int p.bytes, p.d2h_speedup)) pts);
+      ]
+  in
+  let crossover =
+    match crossover_h2d ctx with
+    | Some bytes ->
+        Printf.sprintf "CPU-to-GPU: pinned becomes faster at %s (paper: ~2 KB)\n"
+          (Gpp_util.Units.bytes_to_string bytes)
+    | None -> "CPU-to-GPU: pinned never overtakes pageable (unexpected)\n"
+  in
+  Output.make ~id:"fig3" ~title:"Speedup of pinned relative to pageable transfers"
+    ~body:(Gpp_util.Ascii_table.render table ^ crossover ^ "\n" ^ Gpp_util.Ascii_plot.render plot)

@@ -1,0 +1,13 @@
+(** Figure 3: speedup of pinned-memory transfers over pageable-memory
+    transfers across sizes, per direction.  The paper's observation:
+    pinned wins everywhere except CPU-to-GPU transfers below ~2 KB. *)
+
+type point = { bytes : int; h2d_speedup : float; d2h_speedup : float }
+
+val points : Context.t -> point list
+
+val crossover_h2d : Context.t -> int option
+(** Smallest measured size at which pinned is at least as fast as
+    pageable for CPU-to-GPU transfers. *)
+
+val run : Context.t -> Output.t

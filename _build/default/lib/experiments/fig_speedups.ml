@@ -1,0 +1,60 @@
+type row = { size : string; measured : float; with_transfer : float; kernel_only : float }
+
+let rows ctx ~app =
+  List.map
+    (fun (size, (report : Gpp_core.Grophecy.report)) ->
+      {
+        size;
+        measured = report.speedups.Gpp_core.Evaluation.measured;
+        with_transfer = report.speedups.Gpp_core.Evaluation.with_transfer;
+        kernel_only = report.speedups.Gpp_core.Evaluation.kernel_only;
+      })
+    (Context.reports_of_app ctx app)
+
+let run ctx ~app ~id =
+  let rs = rows ctx ~app in
+  let table =
+    Gpp_util.Ascii_table.create
+      ~title:(Printf.sprintf "GPU speedup for %s across data sizes" app)
+      ~columns:
+        [
+          ("Data size", Gpp_util.Ascii_table.Left);
+          ("Measured", Gpp_util.Ascii_table.Right);
+          ("Predicted (kernel+transfer)", Gpp_util.Ascii_table.Right);
+          ("Predicted (kernel only)", Gpp_util.Ascii_table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Gpp_util.Ascii_table.add_row table
+        [
+          r.size;
+          Printf.sprintf "%.2fx" r.measured;
+          Printf.sprintf "%.2fx" r.with_transfer;
+          Printf.sprintf "%.2fx" r.kernel_only;
+        ])
+    rs;
+  let indexed = List.mapi (fun i r -> (float_of_int (i + 1), r)) rs in
+  let plot =
+    Gpp_util.Ascii_plot.create
+      ~title:(Printf.sprintf "%s speedup by data-size index" app)
+      ~x_label:"data-size index" ~y_label:"speedup (x)"
+      [
+        Gpp_util.Ascii_plot.series ~label:"measured" ~glyph:'m'
+          (List.map (fun (i, r) -> (i, r.measured)) indexed);
+        Gpp_util.Ascii_plot.series ~label:"predicted kernel+transfer" ~glyph:'+'
+          (List.map (fun (i, r) -> (i, r.with_transfer)) indexed);
+        Gpp_util.Ascii_plot.series ~label:"predicted kernel only" ~glyph:'k'
+          (List.map (fun (i, r) -> (i, r.kernel_only)) indexed);
+      ]
+  in
+  Output.make ~id
+    ~title:(Printf.sprintf "Measured and predicted GPU speedup for %s" app)
+    ~body:(Gpp_util.Ascii_table.render table ^ "\n" ^ Gpp_util.Ascii_plot.render plot)
+
+let run_cfd ctx = run ctx ~app:"cfd" ~id:"fig7"
+
+let run_hotspot ctx = run ctx ~app:"hotspot" ~id:"fig9"
+
+let run_srad ctx = run ctx ~app:"srad" ~id:"fig11"

@@ -1,0 +1,25 @@
+(** Figures 7, 9, 11: measured and predicted GPU speedup across data
+    sizes for one application, with and without the transfer model.
+
+    The paper's shape: the kernel-only prediction sits several times
+    above the measured speedup, while the transfer-aware prediction
+    tracks it closely. *)
+
+type row = {
+  size : string;
+  measured : float;
+  with_transfer : float;
+  kernel_only : float;
+}
+
+val rows : Context.t -> app:string -> row list
+
+val run : Context.t -> app:string -> id:string -> Output.t
+(** [id] selects the paper figure number: ["fig7"] (CFD), ["fig9"]
+    (HotSpot), ["fig11"] (SRAD). *)
+
+val run_cfd : Context.t -> Output.t
+
+val run_hotspot : Context.t -> Output.t
+
+val run_srad : Context.t -> Output.t

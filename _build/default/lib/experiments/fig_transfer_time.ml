@@ -1,0 +1,79 @@
+module Link = Gpp_pcie.Link
+module Calibrate = Gpp_pcie.Calibrate
+module Units = Gpp_util.Units
+
+type point = {
+  bytes : int;
+  pinned_h2d : float;
+  pageable_h2d : float;
+  pinned_d2h : float;
+  pageable_d2h : float;
+  predicted_h2d : float;
+  predicted_d2h : float;
+}
+
+let sizes () = Calibrate.power_of_two_sizes ~max_bytes:(512 * Units.mib) ()
+
+let points ctx =
+  let session = Context.session ctx in
+  let link = session.Gpp_core.Grophecy.calibration_link in
+  let mean = Link.mean_transfer_time link ~runs:10 in
+  List.map
+    (fun bytes ->
+      {
+        bytes;
+        pinned_h2d = mean Link.Host_to_device Link.Pinned ~bytes;
+        pageable_h2d = mean Link.Host_to_device Link.Pageable ~bytes;
+        pinned_d2h = mean Link.Device_to_host Link.Pinned ~bytes;
+        pageable_d2h = mean Link.Device_to_host Link.Pageable ~bytes;
+        predicted_h2d = Gpp_pcie.Model.predict session.Gpp_core.Grophecy.h2d ~bytes;
+        predicted_d2h = Gpp_pcie.Model.predict session.Gpp_core.Grophecy.d2h ~bytes;
+      })
+    (sizes ())
+
+let run ctx =
+  let pts = points ctx in
+  let table =
+    Gpp_util.Ascii_table.create ~title:"Mean transfer time (10 runs each)"
+      ~columns:
+        [
+          ("Size", Gpp_util.Ascii_table.Right);
+          ("Pinned to GPU", Gpp_util.Ascii_table.Right);
+          ("Pageable to GPU", Gpp_util.Ascii_table.Right);
+          ("Pinned from GPU", Gpp_util.Ascii_table.Right);
+          ("Pageable from GPU", Gpp_util.Ascii_table.Right);
+          ("Model to GPU", Gpp_util.Ascii_table.Right);
+          ("Model from GPU", Gpp_util.Ascii_table.Right);
+        ]
+      ()
+  in
+  List.iter
+    (fun p ->
+      Gpp_util.Ascii_table.add_row table
+        [
+          Units.bytes_to_string p.bytes;
+          Units.time_to_string p.pinned_h2d;
+          Units.time_to_string p.pageable_h2d;
+          Units.time_to_string p.pinned_d2h;
+          Units.time_to_string p.pageable_d2h;
+          Units.time_to_string p.predicted_h2d;
+          Units.time_to_string p.predicted_d2h;
+        ])
+    pts;
+  let series label glyph select =
+    Gpp_util.Ascii_plot.series ~label ~glyph
+      (List.map (fun p -> (float_of_int p.bytes, select p)) pts)
+  in
+  let plot =
+    Gpp_util.Ascii_plot.create ~x_scale:Gpp_util.Ascii_plot.Log ~y_scale:Gpp_util.Ascii_plot.Log
+      ~title:"Transfer time vs size (log-log)" ~x_label:"transfer size (bytes)"
+      ~y_label:"time (s)"
+      [
+        series "pinned to GPU" 'p' (fun p -> p.pinned_h2d);
+        series "pageable to GPU" 'g' (fun p -> p.pageable_h2d);
+        series "model (pinned to GPU)" '.' (fun p -> p.predicted_h2d);
+      ]
+  in
+  Output.make ~id:"fig2"
+    ~title:"Transfer time for pinned and pageable memory (predicted overlaid)"
+    ~body:(Gpp_util.Ascii_table.render table ^ "\n" ^ Gpp_util.Ascii_plot.render plot)

@@ -1,0 +1,19 @@
+(** Figure 2: transfer time for pinned and pageable memory across
+    power-of-two sizes (1 B to 512 MiB), both directions, with the
+    linear model's prediction overlaid for pinned transfers.  Both axes
+    log-scaled in the paper. *)
+
+type point = {
+  bytes : int;
+  pinned_h2d : float;
+  pageable_h2d : float;
+  pinned_d2h : float;
+  pageable_d2h : float;
+  predicted_h2d : float;
+  predicted_d2h : float;
+}
+
+val points : Context.t -> point list
+(** 10-run mean measured times per size, plus model predictions. *)
+
+val run : Context.t -> Output.t

@@ -1,0 +1,7 @@
+type t = { id : string; title : string; body : string }
+
+let make ~id ~title ~body = { id; title; body }
+
+let print t =
+  let rule = String.make 74 '=' in
+  Printf.printf "%s\n%s: %s\n%s\n%s\n" rule (String.uppercase_ascii t.id) t.title rule t.body

@@ -1,0 +1,12 @@
+(** Rendered experiment artifacts. *)
+
+type t = {
+  id : string;  (** Short identifier, e.g. ["fig2"], ["table1"]. *)
+  title : string;  (** Paper caption summary. *)
+  body : string;  (** Preformatted text: tables and/or plots. *)
+}
+
+val make : id:string -> title:string -> body:string -> t
+
+val print : t -> unit
+(** Write to stdout with a header rule. *)

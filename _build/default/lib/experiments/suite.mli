@@ -1,0 +1,23 @@
+(** The full experiment suite: every table and figure of the paper plus
+    the ablations, in presentation order. *)
+
+type entry = {
+  id : string;
+  title : string;
+  run : Context.t -> Output.t;
+}
+
+val paper : entry list
+(** Figures 2-12 and Tables I-II. *)
+
+val ablations : entry list
+
+val extensions : entry list
+(** The paper's §VII future-work items, implemented. *)
+
+val all : entry list
+
+val find : string -> entry option
+(** Lookup by id (["fig2"] ... ["table2"], ["ablation-..."]). *)
+
+val ids : unit -> string list

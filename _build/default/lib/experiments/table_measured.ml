@@ -1,0 +1,76 @@
+module Analyzer = Gpp_dataflow.Analyzer
+
+type row = {
+  app : string;
+  size : string;
+  kernel_ms : float;
+  transfer_ms : float;
+  percent_transfer : float;
+  input_mib : float;
+  output_mib : float;
+}
+
+let rows ctx =
+  List.map
+    (fun ((inst : Gpp_workloads.Registry.instance), (report : Gpp_core.Grophecy.report)) ->
+      let m = report.measurement in
+      let kernel = m.Gpp_core.Measurement.kernel_time
+      and transfer = m.Gpp_core.Measurement.transfer_time in
+      {
+        app = inst.app;
+        size = inst.size;
+        kernel_ms = Gpp_util.Units.ms_of_seconds kernel;
+        transfer_ms = Gpp_util.Units.ms_of_seconds transfer;
+        percent_transfer = 100.0 *. transfer /. (kernel +. transfer);
+        input_mib =
+          Gpp_util.Units.mib_of_bytes (Analyzer.input_bytes report.projection.Gpp_core.Projection.plan);
+        output_mib =
+          Gpp_util.Units.mib_of_bytes
+            (Analyzer.output_bytes report.projection.Gpp_core.Projection.plan);
+      })
+    (Context.instances ctx)
+
+let run ctx =
+  let table =
+    Gpp_util.Ascii_table.create
+      ~title:"Measured kernel and transfer times; transfer sizes (1 iteration)"
+      ~columns:
+        [
+          ("Application", Gpp_util.Ascii_table.Left);
+          ("Data Size", Gpp_util.Ascii_table.Left);
+          ("Kernel (ms)", Gpp_util.Ascii_table.Right);
+          ("Transfer (ms)", Gpp_util.Ascii_table.Right);
+          ("Percent Transfer", Gpp_util.Ascii_table.Right);
+          ("Input (MiB)", Gpp_util.Ascii_table.Right);
+          ("Output (MiB)", Gpp_util.Ascii_table.Right);
+        ]
+      ()
+  in
+  let previous_app = ref "" in
+  List.iter
+    (fun r ->
+      if !previous_app <> "" && !previous_app <> r.app then Gpp_util.Ascii_table.add_separator table;
+      previous_app := r.app;
+      Gpp_util.Ascii_table.add_row table
+        [
+          r.app;
+          r.size;
+          Printf.sprintf "%.1f" r.kernel_ms;
+          Printf.sprintf "%.1f" r.transfer_ms;
+          Printf.sprintf "%.0f" r.percent_transfer;
+          Printf.sprintf "%.1f" r.input_mib;
+          Printf.sprintf "%.1f" r.output_mib;
+        ])
+    (rows ctx);
+  let exceeds =
+    List.filter (fun r -> r.transfer_ms > r.kernel_ms) (rows ctx) |> List.length
+  in
+  let digest =
+    Printf.sprintf
+      "transfer exceeds kernel time for %d of %d workload instances\n\
+       (paper: all but HotSpot 64 x 64)\n"
+      exceeds
+      (List.length (rows ctx))
+  in
+  Output.make ~id:"table1" ~title:"Measured kernel/transfer times and transfer sizes"
+    ~body:(Gpp_util.Ascii_table.render table ^ digest)

@@ -1,0 +1,20 @@
+(** Table I: measured kernel and data transfer times, the percent of
+    total time due to transfer, and the input/output transfer sizes, for
+    every application and data size.
+
+    The paper's headline observation from this table: for every workload
+    except HotSpot's smallest grid, transfer time exceeds kernel time. *)
+
+type row = {
+  app : string;
+  size : string;
+  kernel_ms : float;
+  transfer_ms : float;
+  percent_transfer : float;
+  input_mib : float;
+  output_mib : float;
+}
+
+val rows : Context.t -> row list
+
+val run : Context.t -> Output.t

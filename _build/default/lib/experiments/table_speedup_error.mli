@@ -1,0 +1,33 @@
+(** Table II: error magnitude of the predicted GPU speedup using only
+    the kernel time, only the transfer time, or both, for every
+    application and data set, with per-application averages and the two
+    overall averages (weighting data sets equally vs applications
+    equally).
+
+    Paper headline (application-weighted averages): kernel-only 255 %,
+    transfer-only 68 %, kernel+transfer 9 %.  Also carries the §V-B.4
+    Stassuij narrative: kernel-only predicts a win (1.10x) where the
+    real outcome is a 0.39x slowdown. *)
+
+type row = {
+  app : string;
+  size : string;
+  kernel_only : float;
+  transfer_only : float;
+  with_transfer : float;
+}
+
+type summary = {
+  rows : row list;
+  app_averages : (string * row) list;  (** Per-application mean rows. *)
+  average_data_sets : row;  (** All rows weighted equally. *)
+  average_applications : row;  (** Application means weighted equally. *)
+}
+
+val summary : Context.t -> summary
+
+val stassuij_narrative : Context.t -> string
+(** The decision-flip story: predicted vs actual speedup with and
+    without the transfer model. *)
+
+val run : Context.t -> Output.t

@@ -1,0 +1,1 @@
+lib/gpusim/gpu_sim.ml: Array Float Gpp_arch Gpp_model Gpp_sim Gpp_util Printf Trace

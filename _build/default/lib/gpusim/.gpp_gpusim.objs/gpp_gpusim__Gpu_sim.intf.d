@@ -1,0 +1,1 @@
+lib/gpusim/gpu_sim.mli: Gpp_arch Gpp_model Gpp_util Result Trace

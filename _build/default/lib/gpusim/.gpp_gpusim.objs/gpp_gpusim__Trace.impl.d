@@ -1,0 +1,1 @@
+lib/gpusim/trace.ml: Buffer Char Float Gpp_util Hashtbl List Printf String

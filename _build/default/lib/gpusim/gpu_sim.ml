@@ -1,0 +1,211 @@
+module Engine = Gpp_sim.Engine
+module Fifo_server = Gpp_sim.Fifo_server
+module Rng = Gpp_util.Rng
+module Characteristics = Gpp_model.Characteristics
+module Occupancy = Gpp_model.Occupancy
+
+type config = {
+  streaming_efficiency : float;
+  scattered_efficiency : float;
+  latency_jitter : float;
+  block_dispatch_cycles : float;
+  drain_cycles : float;
+  noise_sigma : float;
+  max_simulated_blocks : int;
+}
+
+let default_config =
+  {
+    streaming_efficiency = 0.55;
+    scattered_efficiency = 0.45;
+    latency_jitter = 0.15;
+    block_dispatch_cycles = 300.0;
+    drain_cycles = 600.0;
+    noise_sigma = 0.012;
+    max_simulated_blocks = 2048;
+  }
+
+type result = {
+  kernel_name : string;
+  time : float;
+  busy_time : float;
+  dram_utilization : float;
+  issue_utilization : float;
+  simulated_blocks : int;
+  total_blocks : int;
+  extrapolated : bool;
+  events : int;
+}
+
+(* Barrier stall cost, matching the analytic model's default so that
+   sync-heavy kernels do not diverge for bookkeeping reasons alone. *)
+let sync_cost_cycles = 40.0
+
+type sm = { issue : Fifo_server.t; mutable resident_blocks : int }
+
+let run ?(config = default_config) ?trace ~rng ~gpu (c : Characteristics.t) =
+  let gpu : Gpp_arch.Gpu.t = gpu in
+  match Occupancy.of_characteristics ~gpu c with
+  | Error e -> Error e
+  | Ok occ ->
+      let cycle = Gpp_arch.Gpu.cycle_time gpu in
+      let warps_per_block = Characteristics.warps_per_block ~gpu c in
+      (* Per-warp workload parameters. *)
+      let insts =
+        c.flops_per_thread +. c.int_ops_per_thread +. c.load_insts_per_thread
+        +. c.store_insts_per_thread
+      in
+      let comp_cycles =
+        (insts *. gpu.issue_cycles *. c.divergence_factor)
+        +. (c.syncs_per_thread *. sync_cost_cycles)
+      in
+      let mem_insts = Characteristics.mem_insts_per_thread c in
+      let periods = if mem_insts > 0.0 then max 1 (int_of_float (Float.ceil mem_insts)) else 0 in
+      let comp_chunk = comp_cycles /. float_of_int (periods + 1) *. cycle in
+      let transactions = c.load_transactions_per_warp +. c.store_transactions_per_warp in
+      let dram_efficiency =
+        (config.streaming_efficiency *. (1.0 -. c.scattered_fraction))
+        +. (config.scattered_efficiency *. c.scattered_fraction)
+      in
+      let bytes_per_period =
+        if periods = 0 then 0.0
+        else transactions /. float_of_int periods *. Characteristics.transaction_bytes ~gpu c
+      in
+      let dram_service = bytes_per_period /. (gpu.dram_bandwidth *. dram_efficiency) in
+      let base_latency = float_of_int gpu.dram_latency_cycles *. cycle in
+      let dispatch_cost = config.block_dispatch_cycles *. cycle in
+      (* Wave-sampling budget: whole waves only. *)
+      let blocks_per_wave = gpu.sm_count * occ.blocks_per_sm in
+      let total_blocks = c.grid_blocks in
+      let budget =
+        if total_blocks <= config.max_simulated_blocks then total_blocks
+        else
+          let waves = max 2 (config.max_simulated_blocks / blocks_per_wave) in
+          min total_blocks (waves * blocks_per_wave)
+      in
+      let engine = Engine.create () in
+      let dram = Fifo_server.create ~name:"dram" () in
+      let sms =
+        Array.init gpu.sm_count (fun i ->
+            { issue = Fifo_server.create ~name:(Printf.sprintf "sm%d" i) (); resident_blocks = 0 })
+      in
+      let next_block = ref 0 in
+      let completed = ref 0 in
+      let completion_half = ref 0.0 in
+      let completion_last = ref 0.0 in
+      let half_mark = max 1 (budget / 2) in
+      let rec start_block sm_idx engine =
+        let sm = sms.(sm_idx) in
+        sm.resident_blocks <- sm.resident_blocks + 1;
+        let block_id = !next_block in
+        let block_start = Engine.now engine in
+        incr next_block;
+        let remaining_warps = ref warps_per_block in
+        let warp_done engine =
+          decr remaining_warps;
+          if !remaining_warps = 0 then begin
+            (match trace with
+            | Some tr ->
+                Trace.record tr
+                  ~name:(Printf.sprintf "block %d" block_id)
+                  ~category:"block" ~track:sm_idx ~start:block_start
+                  ~duration:(Engine.now engine -. block_start)
+            | None -> ());
+            block_done sm_idx engine
+          end
+        in
+        for _ = 1 to warps_per_block do
+          Engine.schedule engine ~delay:dispatch_cost (warp_phase sm_idx 0 warp_done)
+        done
+      and warp_phase sm_idx period warp_done engine =
+        let sm = sms.(sm_idx) in
+        let now = Engine.now engine in
+        let issue_start, issue_finish =
+          Fifo_server.reserve sm.issue ~arrival:now ~service:comp_chunk
+        in
+        (match trace with
+        | Some tr ->
+            Trace.record tr ~name:"issue" ~category:"compute" ~track:sm_idx ~start:issue_start
+              ~duration:(issue_finish -. issue_start)
+        | None -> ());
+        if period >= periods then Engine.schedule_at engine ~time:issue_finish warp_done
+        else
+          Engine.schedule_at engine ~time:issue_finish (fun engine ->
+              let now = Engine.now engine in
+              let dram_start, dram_finish =
+                Fifo_server.reserve dram ~arrival:now ~service:dram_service
+              in
+              (match trace with
+              | Some tr ->
+                  Trace.record tr ~name:"mem" ~category:"dram" ~track:Trace.dram_track
+                    ~start:dram_start ~duration:(dram_finish -. dram_start)
+              | None -> ());
+              let latency =
+                base_latency
+                *. (1.0 +. Rng.uniform rng ~lo:(-.config.latency_jitter) ~hi:config.latency_jitter)
+              in
+              let ready = Float.max (now +. latency) dram_finish in
+              Engine.schedule_at engine ~time:ready (warp_phase sm_idx (period + 1) warp_done))
+      and block_done sm_idx engine =
+        let sm = sms.(sm_idx) in
+        sm.resident_blocks <- sm.resident_blocks - 1;
+        incr completed;
+        let now = Engine.now engine in
+        if !completed = half_mark then completion_half := now;
+        if !completed = budget then completion_last := now;
+        if !next_block < budget then start_block sm_idx engine
+      in
+      (* Initial dispatch: fill every SM to its occupancy limit. *)
+      let sm_idx = ref 0 in
+      while !next_block < min budget (blocks_per_wave) do
+        let idx = !sm_idx mod gpu.sm_count in
+        if sms.(idx).resident_blocks < occ.blocks_per_sm then start_block idx engine;
+        incr sm_idx
+      done;
+      Engine.run engine;
+      let span = Float.max !completion_last (Fifo_server.next_free dram) in
+      let busy_sim = span +. (config.drain_cycles *. cycle) in
+      let extrapolated = budget < total_blocks in
+      let busy_time =
+        if not extrapolated then busy_sim
+        else begin
+          (* Steady-state rate from the back half of the simulated
+             blocks extrapolates the remaining waves. *)
+          let measured = budget - half_mark in
+          let rate = (!completion_last -. !completion_half) /. float_of_int (max 1 measured) in
+          busy_sim +. (rate *. float_of_int (total_blocks - budget))
+        end
+      in
+      let time =
+        (gpu.launch_overhead +. busy_time) *. Rng.lognormal_noise rng ~sigma:config.noise_sigma
+      in
+      let issue_utilization =
+        if span <= 0.0 then 0.0
+        else
+          Array.fold_left (fun acc sm -> acc +. Fifo_server.utilization sm.issue ~horizon:span) 0.0 sms
+          /. float_of_int gpu.sm_count
+      in
+      Ok
+        {
+          kernel_name = c.kernel_name;
+          time;
+          busy_time;
+          dram_utilization = (if span <= 0.0 then 0.0 else Fifo_server.utilization dram ~horizon:span);
+          issue_utilization;
+          simulated_blocks = budget;
+          total_blocks;
+          extrapolated;
+          events = Engine.processed engine;
+        }
+
+let run_mean ?config ?(runs = 10) ~seed ~gpu c =
+  if runs <= 0 then invalid_arg "Gpu_sim.run_mean: runs must be positive";
+  let rng = Rng.create seed in
+  let rec go acc k =
+    if k = 0 then Ok (acc /. float_of_int runs)
+    else
+      match run ?config ~rng ~gpu c with
+      | Error e -> Error e
+      | Ok r -> go (acc +. r.time) (k - 1)
+  in
+  go 0.0 runs

@@ -1,0 +1,74 @@
+type event = {
+  name : string;
+  category : string;
+  track : int;
+  start : float;
+  duration : float;
+}
+
+let dram_track = -1
+
+type t = { capacity : int; mutable events : event list; mutable count : int; mutable dropped : int }
+
+let create ?(capacity = 200_000) () = { capacity; events = []; count = 0; dropped = 0 }
+
+let record t ~name ~category ~track ~start ~duration =
+  if t.count >= t.capacity then t.dropped <- t.dropped + 1
+  else begin
+    t.events <- { name; category; track; start; duration } :: t.events;
+    t.count <- t.count + 1
+  end
+
+let events t = List.rev t.events
+
+let length t = t.count
+
+let dropped t = t.dropped
+
+let span t = List.fold_left (fun acc e -> Float.max acc (e.start +. e.duration)) 0.0 t.events
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | c when Char.code c < 0x20 -> Printf.sprintf "\\u%04x" (Char.code c)
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_chrome_json t =
+  let buf = Buffer.create (t.count * 96) in
+  Buffer.add_string buf "[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":0,\"tid\":%d}"
+           (json_escape e.name) (json_escape e.category) (e.start *. 1e6) (e.duration *. 1e6)
+           e.track))
+    (events t);
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+let summary t =
+  let by_category = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let count, busy = try Hashtbl.find by_category e.category with Not_found -> (0, 0.0) in
+      Hashtbl.replace by_category e.category (count + 1, busy +. e.duration))
+    t.events;
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d events over %s (%d dropped)\n" t.count
+       (Gpp_util.Units.time_to_string (span t))
+       t.dropped);
+  Hashtbl.fold (fun category (count, busy) acc -> (category, count, busy) :: acc) by_category []
+  |> List.sort compare
+  |> List.iter (fun (category, count, busy) ->
+         Buffer.add_string buf
+           (Printf.sprintf "  %-8s %7d events, %s busy\n" category count
+              (Gpp_util.Units.time_to_string busy)));
+  Buffer.contents buf

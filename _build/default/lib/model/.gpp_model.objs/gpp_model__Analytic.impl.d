@@ -1,0 +1,1 @@
+lib/model/analytic.ml: Characteristics Float Format Gpp_arch Gpp_util Occupancy Result

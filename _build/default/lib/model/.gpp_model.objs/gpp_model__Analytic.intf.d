@@ -1,0 +1,1 @@
+lib/model/analytic.mli: Characteristics Format Gpp_arch Occupancy

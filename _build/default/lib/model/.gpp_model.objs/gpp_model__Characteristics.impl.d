@@ -1,0 +1,1 @@
+lib/model/characteristics.ml: Format Gpp_arch List Printf Result

@@ -1,0 +1,1 @@
+lib/model/characteristics.mli: Format Gpp_arch

@@ -1,0 +1,1 @@
+lib/model/occupancy.ml: Characteristics Format Gpp_arch List Printf

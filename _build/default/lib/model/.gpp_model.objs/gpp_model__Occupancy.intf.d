@@ -1,0 +1,1 @@
+lib/model/occupancy.mli: Characteristics Format Gpp_arch

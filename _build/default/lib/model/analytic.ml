@@ -1,0 +1,107 @@
+type params = { achieved_bw_fraction : float; sync_cost_cycles : float }
+
+let default_params = { achieved_bw_fraction = 0.62; sync_cost_cycles = 40.0 }
+
+type bound = Memory_bound | Compute_bound | Latency_bound
+
+type projection = {
+  characteristics : Characteristics.t;
+  occupancy : Occupancy.t;
+  mwp : float;
+  cwp : float;
+  comp_cycles_per_warp : float;
+  mem_cycles_per_warp : float;
+  cycles : float;
+  kernel_time : float;
+  bound : bound;
+}
+
+let bound_name = function
+  | Memory_bound -> "memory-bound"
+  | Compute_bound -> "compute-bound"
+  | Latency_bound -> "latency-bound"
+
+let project ?(params = default_params) ~gpu (c : Characteristics.t) =
+  let gpu : Gpp_arch.Gpu.t = gpu in
+  let ( let* ) = Result.bind in
+  let* () = Characteristics.validate ~gpu c in
+  let* occ = Occupancy.of_characteristics ~gpu c in
+  (* Per-warp instruction issue cost: every operation occupies the SM's
+     issue pipeline for [issue_cycles]; divergence re-issues both branch
+     paths; barriers add a fixed stall. *)
+  let insts =
+    c.flops_per_thread +. c.int_ops_per_thread +. c.load_insts_per_thread
+    +. c.store_insts_per_thread
+  in
+  let comp_cycles =
+    (insts *. gpu.issue_cycles *. c.divergence_factor)
+    +. (c.syncs_per_thread *. params.sync_cost_cycles)
+  in
+  let mem_insts = Characteristics.mem_insts_per_thread c in
+  let transactions = c.load_transactions_per_warp +. c.store_transactions_per_warp in
+  let mem_latency = float_of_int gpu.dram_latency_cycles in
+  let mem_cycles = mem_insts *. mem_latency in
+  (* Work distribution over SMs: with fewer blocks than SMs only part of
+     the device is busy; the busiest SM defines kernel time. *)
+  let warps_per_block = Characteristics.warps_per_block ~gpu c in
+  let active_sms = min gpu.sm_count c.grid_blocks in
+  let blocks_on_busiest_sm =
+    (c.grid_blocks + gpu.sm_count - 1) / gpu.sm_count |> float_of_int
+  in
+  let warps_on_busiest_sm = blocks_on_busiest_sm *. float_of_int warps_per_block in
+  let n = Float.min (float_of_int occ.active_warps) warps_on_busiest_sm in
+  let reps = warps_on_busiest_sm /. n in
+  (* Bandwidth-limited memory warp parallelism: how many warps' worth of
+     one memory period's traffic the SM's bandwidth share can service
+     within one memory latency. *)
+  let bytes_per_cycle_per_sm =
+    gpu.dram_bandwidth *. params.achieved_bw_fraction
+    /. (float_of_int active_sms *. gpu.clock_ghz *. 1e9)
+  in
+  let bytes_per_mem_period =
+    if mem_insts > 0.0 then
+      transactions /. mem_insts *. Characteristics.transaction_bytes ~gpu c
+    else 0.0
+  in
+  let mwp_bw =
+    if bytes_per_mem_period > 0.0 then mem_latency *. bytes_per_cycle_per_sm /. bytes_per_mem_period
+    else Float.infinity
+  in
+  let mwp = Float.min mwp_bw n in
+  let comp_period = if mem_insts > 0.0 then comp_cycles /. mem_insts else comp_cycles in
+  let cwp_full =
+    if comp_period > 0.0 then (mem_latency +. comp_period) /. comp_period else Float.infinity
+  in
+  let cwp = Float.min cwp_full n in
+  let exec_cycles, bound =
+    if mem_insts = 0.0 then (comp_cycles *. n, Compute_bound)
+    else if mwp >= cwp && cwp_full <= n then
+      (* Enough memory parallelism: computation dominates; the first
+         latency is exposed, the rest hide under issue. *)
+      (mem_latency +. (comp_cycles *. n), Compute_bound)
+    else if cwp > mwp then
+      (* Memory-bound: each group of MWP warps' requests serializes. *)
+      ((mem_cycles *. n /. mwp) +. (comp_period *. (mwp -. 1.0)), Memory_bound)
+    else
+      (* Too few warps to hide latency in either direction. *)
+      (mem_cycles +. comp_cycles +. (comp_period *. (n -. 1.0)), Latency_bound)
+  in
+  let cycles = exec_cycles *. reps in
+  let kernel_time = (cycles *. Gpp_arch.Gpu.cycle_time gpu) +. gpu.launch_overhead in
+  Ok
+    {
+      characteristics = c;
+      occupancy = occ;
+      mwp;
+      cwp;
+      comp_cycles_per_warp = comp_cycles;
+      mem_cycles_per_warp = mem_cycles;
+      cycles;
+      kernel_time;
+      bound;
+    }
+
+let pp_projection ppf p =
+  Format.fprintf ppf "%s [%s]: %a (%s; MWP %.1f, CWP %.1f, %a)" p.characteristics.kernel_name
+    p.characteristics.config_label Gpp_util.Units.pp_time p.kernel_time (bound_name p.bound) p.mwp
+    p.cwp Occupancy.pp p.occupancy

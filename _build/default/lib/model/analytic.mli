@@ -1,0 +1,47 @@
+(** Analytic GPU kernel execution-time model (GROPHECY's predictor).
+
+    An MWP/CWP-style model in the spirit of Hong & Kim (ISCA'09), the
+    family GROPHECY builds on: from the kernel's characteristics and the
+    device description it derives how many warps' memory requests can be
+    in flight (memory warp parallelism, MWP) and how many warps of
+    computation fit under one memory period (computation warp
+    parallelism, CWP), then composes per-SM cycle counts for the
+    memory-bound, compute-bound, and latency-bound regimes.
+
+    Deliberately idealized — uniform memory latency, no DRAM queueing or
+    bank effects, no partial-wave imbalance.  The transaction-level
+    simulator ([Gpp_gpusim]) models those, which is precisely why
+    predicted and "measured" kernel times differ in the reproduction, as
+    they do in the paper (§V-B). *)
+
+type params = {
+  achieved_bw_fraction : float;
+      (** Fraction of peak DRAM bandwidth the model assumes sustainable
+          (GROPHECY-style effective bandwidth). *)
+  sync_cost_cycles : float;  (** Cycles charged per block barrier. *)
+}
+
+val default_params : params
+
+type bound = Memory_bound | Compute_bound | Latency_bound
+
+type projection = {
+  characteristics : Characteristics.t;
+  occupancy : Occupancy.t;
+  mwp : float;
+  cwp : float;
+  comp_cycles_per_warp : float;
+  mem_cycles_per_warp : float;
+  cycles : float;  (** Busiest-SM cycle count for the whole grid. *)
+  kernel_time : float;  (** Seconds, including launch overhead. *)
+  bound : bound;
+}
+
+val project :
+  ?params:params -> gpu:Gpp_arch.Gpu.t -> Characteristics.t -> (projection, string) result
+(** [Error] when the characteristics are invalid or a block cannot be
+    scheduled on the device. *)
+
+val bound_name : bound -> string
+
+val pp_projection : Format.formatter -> projection -> unit

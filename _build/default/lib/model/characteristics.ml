@@ -1,0 +1,109 @@
+type t = {
+  kernel_name : string;
+  config_label : string;
+  grid_blocks : int;
+  threads_per_block : int;
+  registers_per_thread : int;
+  shared_mem_per_block : int;
+  flops_per_thread : float;
+  int_ops_per_thread : float;
+  load_insts_per_thread : float;
+  store_insts_per_thread : float;
+  load_transactions_per_warp : float;
+  store_transactions_per_warp : float;
+  syncs_per_thread : float;
+  divergence_factor : float;
+  scattered_fraction : float;
+}
+
+let create ?(config_label = "baseline") ?(registers_per_thread = 16) ?(shared_mem_per_block = 0)
+    ?(int_ops_per_thread = 0.0) ?(syncs_per_thread = 0.0) ?(divergence_factor = 1.0)
+    ?(scattered_fraction = 0.0) ~kernel_name ~grid_blocks ~threads_per_block ~flops_per_thread
+    ~load_insts_per_thread ~store_insts_per_thread ~load_transactions_per_warp
+    ~store_transactions_per_warp () =
+  {
+    kernel_name;
+    config_label;
+    grid_blocks;
+    threads_per_block;
+    registers_per_thread;
+    shared_mem_per_block;
+    flops_per_thread;
+    int_ops_per_thread;
+    load_insts_per_thread;
+    store_insts_per_thread;
+    load_transactions_per_warp;
+    store_transactions_per_warp;
+    syncs_per_thread;
+    divergence_factor;
+    scattered_fraction;
+  }
+
+let total_threads t = t.grid_blocks * t.threads_per_block
+
+let warps_per_block ~gpu t =
+  let warp = (gpu : Gpp_arch.Gpu.t).warp_size in
+  (t.threads_per_block + warp - 1) / warp
+
+let total_warps ~gpu t = t.grid_blocks * warps_per_block ~gpu t
+
+let mem_insts_per_thread t = t.load_insts_per_thread +. t.store_insts_per_thread
+
+let total_transactions ~gpu t =
+  float_of_int (total_warps ~gpu t)
+  *. (t.load_transactions_per_warp +. t.store_transactions_per_warp)
+
+let transaction_bytes ~gpu t =
+  let segment = float_of_int (gpu : Gpp_arch.Gpu.t).coalesce_segment in
+  (segment *. (1.0 -. t.scattered_fraction)) +. (segment /. 2.0 *. t.scattered_fraction)
+
+let validate ~gpu t =
+  let gpu : Gpp_arch.Gpu.t = gpu in
+  let check cond msg =
+    if cond then Ok () else Error (Printf.sprintf "%s (%s): %s" t.kernel_name t.config_label msg)
+  in
+  let ( let* ) = Result.bind in
+  let* () = check (t.grid_blocks > 0) "grid_blocks must be positive" in
+  let* () = check (t.threads_per_block > 0) "threads_per_block must be positive" in
+  let* () =
+    check (t.threads_per_block <= gpu.max_threads_per_block) "block exceeds device limit"
+  in
+  let* () = check (t.registers_per_thread > 0) "registers_per_thread must be positive" in
+  let* () = check (t.shared_mem_per_block >= 0) "negative shared memory" in
+  let* () =
+    check (t.shared_mem_per_block <= gpu.shared_mem_per_sm) "shared memory exceeds SM capacity"
+  in
+  let non_negative =
+    [
+      ("flops", t.flops_per_thread);
+      ("int ops", t.int_ops_per_thread);
+      ("load insts", t.load_insts_per_thread);
+      ("store insts", t.store_insts_per_thread);
+      ("load transactions", t.load_transactions_per_warp);
+      ("store transactions", t.store_transactions_per_warp);
+      ("syncs", t.syncs_per_thread);
+    ]
+  in
+  let* () =
+    List.fold_left
+      (fun acc (name, v) ->
+        let* () = acc in
+        check (v >= 0.0) (name ^ " must be non-negative"))
+      (Ok ()) non_negative
+  in
+  let* () = check (t.divergence_factor >= 1.0) "divergence_factor must be >= 1" in
+  check
+    (t.scattered_fraction >= 0.0 && t.scattered_fraction <= 1.0)
+    "scattered_fraction outside [0, 1]"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%s [%s]: %d blocks x %d threads@,\
+     per thread: %.2f flops, %.2f int, %.2f loads, %.2f stores, %.2f syncs@,\
+     per warp: %.2f load + %.2f store transactions; %d regs, %d B shared@,\
+     divergence %.2f, scattered %.0f%%@]"
+    t.kernel_name t.config_label t.grid_blocks t.threads_per_block t.flops_per_thread
+    t.int_ops_per_thread t.load_insts_per_thread t.store_insts_per_thread t.syncs_per_thread
+    t.load_transactions_per_warp t.store_transactions_per_warp t.registers_per_thread
+    t.shared_mem_per_block t.divergence_factor
+    (t.scattered_fraction *. 100.0)

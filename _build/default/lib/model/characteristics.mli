@@ -1,0 +1,78 @@
+(** Synthesized performance characteristics of one transformed GPU
+    kernel.
+
+    GROPHECY explores code transformations of a skeleton and, for each,
+    synthesizes the characteristics a real implementation would exhibit
+    (paper §II-C).  This record is that synthesis product: everything
+    the analytic model and the transaction-level simulator need to cost
+    a kernel, with no reference back to the skeleton. *)
+
+type t = {
+  kernel_name : string;
+  config_label : string;  (** Human-readable transformation summary. *)
+  grid_blocks : int;  (** Thread blocks launched. *)
+  threads_per_block : int;
+  registers_per_thread : int;
+  shared_mem_per_block : int;  (** Bytes. *)
+  flops_per_thread : float;
+  int_ops_per_thread : float;
+  load_insts_per_thread : float;  (** Global-memory load instructions. *)
+  store_insts_per_thread : float;
+  load_transactions_per_warp : float;
+      (** Memory transactions (coalescing already applied) a warp issues
+          for its loads. *)
+  store_transactions_per_warp : float;
+  syncs_per_thread : float;  (** Block-level barriers executed. *)
+  divergence_factor : float;  (** >= 1: issue-slot multiplier from warp
+                                  divergence. *)
+  scattered_fraction : float;
+      (** Fraction of memory transactions that are isolated (gather /
+          scatter) rather than part of a streaming burst, in [0, 1].
+          The DRAM model in the simulator sustains less bandwidth on
+          scattered traffic. *)
+}
+
+val create :
+  ?config_label:string ->
+  ?registers_per_thread:int ->
+  ?shared_mem_per_block:int ->
+  ?int_ops_per_thread:float ->
+  ?syncs_per_thread:float ->
+  ?divergence_factor:float ->
+  ?scattered_fraction:float ->
+  kernel_name:string ->
+  grid_blocks:int ->
+  threads_per_block:int ->
+  flops_per_thread:float ->
+  load_insts_per_thread:float ->
+  store_insts_per_thread:float ->
+  load_transactions_per_warp:float ->
+  store_transactions_per_warp:float ->
+  unit ->
+  t
+(** Defaults: label ["baseline"], 16 registers, no shared memory, no
+    integer ops, no syncs, divergence 1.0, nothing scattered. *)
+
+val total_threads : t -> int
+
+val total_warps : gpu:Gpp_arch.Gpu.t -> t -> int
+(** Warps per block (rounded up) times blocks. *)
+
+val warps_per_block : gpu:Gpp_arch.Gpu.t -> t -> int
+
+val mem_insts_per_thread : t -> float
+
+val total_transactions : gpu:Gpp_arch.Gpu.t -> t -> float
+(** Across the whole grid. *)
+
+val transaction_bytes : gpu:Gpp_arch.Gpu.t -> t -> float
+(** Mean size of one memory transaction: streaming bursts move a full
+    coalescing segment, while scattered lanes are served by half-size
+    transactions (the G80's 32 B minimum), weighted by
+    [scattered_fraction]. *)
+
+val validate : gpu:Gpp_arch.Gpu.t -> t -> (unit, string) result
+(** Positive launch dimensions, block within device limits, counts
+    non-negative, factors within their domains. *)
+
+val pp : Format.formatter -> t -> unit

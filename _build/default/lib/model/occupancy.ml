@@ -1,0 +1,57 @@
+type limiter = Threads | Blocks | Registers | Shared_memory
+
+type t = { blocks_per_sm : int; active_warps : int; occupancy : float; limiter : limiter }
+
+let compute ~gpu ~threads_per_block ~registers_per_thread ~shared_mem_per_block =
+  let gpu : Gpp_arch.Gpu.t = gpu in
+  if threads_per_block <= 0 then Error "threads_per_block must be positive"
+  else if threads_per_block > gpu.max_threads_per_block then
+    Error
+      (Printf.sprintf "block of %d threads exceeds device limit %d" threads_per_block
+         gpu.max_threads_per_block)
+  else begin
+    let by_threads = gpu.max_threads_per_sm / threads_per_block in
+    let by_blocks = gpu.max_blocks_per_sm in
+    let regs_per_block = registers_per_thread * threads_per_block in
+    let by_registers = if regs_per_block = 0 then by_blocks else gpu.registers_per_sm / regs_per_block in
+    let by_shared =
+      if shared_mem_per_block = 0 then by_blocks else gpu.shared_mem_per_sm / shared_mem_per_block
+    in
+    let candidates =
+      [ (by_threads, Threads); (by_blocks, Blocks); (by_registers, Registers); (by_shared, Shared_memory) ]
+    in
+    let blocks_per_sm, limiter =
+      List.fold_left (fun (bn, bl) (n, l) -> if n < bn then (n, l) else (bn, bl))
+        (List.hd candidates) (List.tl candidates)
+    in
+    if blocks_per_sm = 0 then
+      Error
+        (Printf.sprintf "a single block (%d threads, %d regs/thread, %d B shared) does not fit an SM"
+           threads_per_block registers_per_thread shared_mem_per_block)
+    else begin
+      let warps_per_block = (threads_per_block + gpu.warp_size - 1) / gpu.warp_size in
+      let active_warps = blocks_per_sm * warps_per_block in
+      let peak = Gpp_arch.Gpu.peak_warps_per_sm gpu in
+      Ok
+        {
+          blocks_per_sm;
+          active_warps;
+          occupancy = float_of_int active_warps /. float_of_int peak;
+          limiter;
+        }
+    end
+  end
+
+let of_characteristics ~gpu (c : Characteristics.t) =
+  compute ~gpu ~threads_per_block:c.threads_per_block
+    ~registers_per_thread:c.registers_per_thread ~shared_mem_per_block:c.shared_mem_per_block
+
+let limiter_name = function
+  | Threads -> "threads"
+  | Blocks -> "block slots"
+  | Registers -> "registers"
+  | Shared_memory -> "shared memory"
+
+let pp ppf t =
+  Format.fprintf ppf "%d blocks/SM, %d warps (%.0f%% occupancy, limited by %s)" t.blocks_per_sm
+    t.active_warps (t.occupancy *. 100.0) (limiter_name t.limiter)

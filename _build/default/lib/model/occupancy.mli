@@ -1,0 +1,29 @@
+(** GPU occupancy calculation.
+
+    How many thread blocks fit concurrently on one SM, limited by the
+    thread budget, the block-slot budget, the register file, and shared
+    memory — and hence how many warps are available to hide memory
+    latency. *)
+
+type limiter = Threads | Blocks | Registers | Shared_memory
+
+type t = {
+  blocks_per_sm : int;
+  active_warps : int;  (** Concurrent warps per SM. *)
+  occupancy : float;  (** [active_warps / peak_warps_per_sm], in (0, 1]. *)
+  limiter : limiter;  (** The resource that caps {!blocks_per_sm}. *)
+}
+
+val compute :
+  gpu:Gpp_arch.Gpu.t ->
+  threads_per_block:int ->
+  registers_per_thread:int ->
+  shared_mem_per_block:int ->
+  (t, string) result
+(** [Error] when even a single block exceeds some SM resource. *)
+
+val of_characteristics : gpu:Gpp_arch.Gpu.t -> Characteristics.t -> (t, string) result
+
+val limiter_name : limiter -> string
+
+val pp : Format.formatter -> t -> unit

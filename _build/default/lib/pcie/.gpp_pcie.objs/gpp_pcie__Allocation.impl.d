@@ -1,0 +1,1 @@
+lib/pcie/allocation.ml: Gpp_util Link

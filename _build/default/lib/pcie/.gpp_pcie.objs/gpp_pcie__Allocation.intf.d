@@ -1,0 +1,1 @@
+lib/pcie/allocation.mli: Link

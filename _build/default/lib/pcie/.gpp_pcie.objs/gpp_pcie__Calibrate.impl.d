@@ -1,0 +1,1 @@
+lib/pcie/calibrate.ml: Float Gpp_util Link List Model

@@ -1,0 +1,1 @@
+lib/pcie/calibrate.mli: Link Model

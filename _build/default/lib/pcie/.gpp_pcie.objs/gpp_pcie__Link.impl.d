@@ -1,0 +1,1 @@
+lib/pcie/link.ml: Float Gpp_arch Gpp_util List

@@ -1,0 +1,1 @@
+lib/pcie/link.mli: Gpp_arch

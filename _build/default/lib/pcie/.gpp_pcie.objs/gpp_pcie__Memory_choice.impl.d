@@ -1,0 +1,1 @@
+lib/pcie/memory_choice.ml: Allocation Calibrate Float Format Gpp_util Link Model

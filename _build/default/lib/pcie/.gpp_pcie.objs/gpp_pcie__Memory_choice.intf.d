@@ -1,0 +1,1 @@
+lib/pcie/memory_choice.mli: Allocation Calibrate Format Link Model

@@ -1,0 +1,1 @@
+lib/pcie/model.ml: Float Format Gpp_util Link

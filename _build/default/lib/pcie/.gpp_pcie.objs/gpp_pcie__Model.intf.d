@@ -1,0 +1,1 @@
+lib/pcie/model.mli: Format Link

@@ -1,0 +1,29 @@
+type cost_model = {
+  page_bytes : int;
+  malloc_base : float;
+  malloc_per_page : float;
+  pin_base : float;
+  pin_per_page : float;
+}
+
+let default_cost_model =
+  {
+    page_bytes = 4096;
+    malloc_base = Gpp_util.Units.us 2.0;
+    malloc_per_page = Gpp_util.Units.us 0.25 (* soft fault + zeroing *);
+    pin_base = Gpp_util.Units.us 80.0 (* driver call *);
+    pin_per_page = Gpp_util.Units.us 1.1 (* lock + table update *);
+  }
+
+let pages model bytes = (bytes + model.page_bytes - 1) / model.page_bytes
+
+let allocation_time ?(model = default_cost_model) memory ~bytes =
+  if bytes < 0 then invalid_arg "Allocation.allocation_time: negative size";
+  let p = float_of_int (pages model bytes) in
+  match memory with
+  | Link.Pageable -> model.malloc_base +. (p *. model.malloc_per_page)
+  | Link.Pinned -> model.pin_base +. (p *. model.pin_per_page)
+
+let amortized_time ?model memory ~bytes ~reuses =
+  if reuses < 1 then invalid_arg "Allocation.amortized_time: reuses must be >= 1";
+  allocation_time ?model memory ~bytes /. float_of_int reuses

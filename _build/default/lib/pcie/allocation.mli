@@ -1,0 +1,37 @@
+(** Host-memory allocation cost model (paper §VII, future work).
+
+    The paper's framework assumes pinned memory and ignores allocation
+    cost; its stated future work is to "explore the tradeoffs of using
+    different types of memory (i.e., pinned and pageable) and account
+    for the overhead of memory allocation".  This module supplies the
+    missing cost model:
+
+    - pageable allocations ([malloc]) are cheap to request but pay a
+      soft page fault on first touch of each page;
+    - pinned allocations ([cudaHostAlloc]) pay a driver call plus
+      per-page pinning (page-table walk + locking), considerably more
+      expensive — which only amortizes if the buffer is reused across
+      many transfers. *)
+
+type cost_model = {
+  page_bytes : int;  (** Host page size. *)
+  malloc_base : float;  (** Fixed cost of a pageable allocation, s. *)
+  malloc_per_page : float;  (** First-touch fault cost per page, s. *)
+  pin_base : float;  (** Fixed cost of a pinned allocation (driver
+                         call), s. *)
+  pin_per_page : float;  (** Per-page pinning cost, s. *)
+}
+
+val default_cost_model : cost_model
+(** Calibrated to the CUDA 2.3-era testbed: pinned allocation is
+    roughly an order of magnitude more expensive per byte than a
+    faulted-in [malloc]. *)
+
+val allocation_time : ?model:cost_model -> Link.memory -> bytes:int -> float
+(** One-time cost of allocating (and first-touching) a buffer of the
+    given size.  @raise Invalid_argument for negative sizes. *)
+
+val amortized_time :
+  ?model:cost_model -> Link.memory -> bytes:int -> reuses:int -> float
+(** {!allocation_time} spread over [reuses] uses of the buffer.
+    @raise Invalid_argument when [reuses < 1]. *)

@@ -1,0 +1,40 @@
+type protocol = { small_bytes : int; large_bytes : int; runs : int }
+
+let default_protocol = { small_bytes = 1; large_bytes = 512 * Gpp_util.Units.mib; runs = 10 }
+
+let calibrate ?(protocol = default_protocol) link direction memory =
+  let t_small =
+    Link.mean_transfer_time link ~runs:protocol.runs direction memory ~bytes:protocol.small_bytes
+  in
+  let t_large =
+    Link.mean_transfer_time link ~runs:protocol.runs direction memory ~bytes:protocol.large_bytes
+  in
+  Model.create ~alpha:t_small ~beta:(t_large /. float_of_int protocol.large_bytes) ~direction
+    ~memory
+
+let calibrate_pinned_pair ?protocol link =
+  ( calibrate ?protocol link Link.Host_to_device Link.Pinned,
+    calibrate ?protocol link Link.Device_to_host Link.Pinned )
+
+let calibrate_all ?protocol link =
+  List.concat_map
+    (fun direction ->
+      List.map (fun memory -> calibrate ?protocol link direction memory) [ Link.Pinned; Link.Pageable ])
+    [ Link.Host_to_device; Link.Device_to_host ]
+
+let power_of_two_sizes ?(min_bytes = 1) ~max_bytes () =
+  if min_bytes < 1 || max_bytes < min_bytes then
+    invalid_arg "Calibrate.power_of_two_sizes: bad bounds";
+  let rec go acc size = if size > max_bytes then List.rev acc else go (size :: acc) (size * 2) in
+  go [] min_bytes
+
+let measure_sweep ?(runs = 10) link direction memory ~sizes =
+  List.map (fun bytes -> (bytes, Link.mean_transfer_time link ~runs direction memory ~bytes)) sizes
+
+let least_squares_model link direction memory ~sweep =
+  ignore link;
+  let points = List.map (fun (bytes, time) -> (float_of_int bytes, time)) sweep in
+  let fit = Gpp_util.Stats.least_squares points in
+  (* A sweep dominated by latency noise can fit a slightly negative
+     intercept; clamp it, since alpha < 0 is physically meaningless. *)
+  Model.create ~alpha:(Float.max fit.intercept 0.0) ~beta:fit.slope ~direction ~memory

@@ -1,0 +1,50 @@
+(** Calibration of the transfer-time model against a link.
+
+    The paper's synthetic benchmark (§III-C): measure the time of a
+    single-byte transfer ([t_S], setting [alpha = t_S]) and of one large
+    transfer of size [s_L = 512 MiB] ([t_L], setting
+    [beta = t_L / s_L]), each averaged over 10 runs.  GROPHECY++ runs
+    this automatically on each new system.
+
+    Also provides the full-sweep least-squares alternative used by the
+    calibration ablation, and measurement helpers for the validation
+    figures. *)
+
+type protocol = {
+  small_bytes : int;  (** Default 1. *)
+  large_bytes : int;  (** Default 512 MiB (footnote 5: the exact value
+                          is arbitrary beyond a few MiB). *)
+  runs : int;  (** Default 10. *)
+}
+
+val default_protocol : protocol
+
+val calibrate :
+  ?protocol:protocol -> Link.t -> Link.direction -> Link.memory -> Model.t
+(** Two-point calibration of one (direction, memory) combination. *)
+
+val calibrate_pinned_pair : ?protocol:protocol -> Link.t -> Model.t * Model.t
+(** [(host_to_device, device_to_host)] pinned models — the combination
+    GROPHECY++ assumes (§III-C). *)
+
+val calibrate_all : ?protocol:protocol -> Link.t -> Model.t list
+(** All four (direction, memory) combinations. *)
+
+val power_of_two_sizes : ?min_bytes:int -> max_bytes:int -> unit -> int list
+(** [1; 2; 4; ...; max_bytes] — the validation sweep of §V-A. *)
+
+val measure_sweep :
+  ?runs:int ->
+  Link.t ->
+  Link.direction ->
+  Link.memory ->
+  sizes:int list ->
+  (int * float) list
+(** Mean measured transfer time per size ([runs] defaults to 10). *)
+
+val least_squares_model :
+  Link.t -> Link.direction -> Link.memory -> sweep:(int * float) list -> Model.t
+(** Ablation: fit [alpha], [beta] to a whole sweep by ordinary least
+    squares instead of the paper's two measurements.
+    @raise Invalid_argument if the fitted parameters are unusable
+    (non-positive slope). *)

@@ -1,0 +1,85 @@
+(** Simulated PCIe link: the "hardware" that transfer measurements run
+    against.
+
+    This module stands in for the paper's physical bus + CUDA driver
+    (see DESIGN.md).  It models:
+    - wire time from the link spec (per-lane rate, encoding, TLP
+      headers, payload segmentation) derated by a DMA-engine efficiency;
+    - per-transfer DMA/driver setup latency, per direction;
+    - pinned (page-locked) transfers: a single DMA of the whole buffer;
+    - pageable transfers: chunked staging copies through a pinned bounce
+      buffer at host-memcpy bandwidth, partially overlapped with the
+      DMA, plus per-chunk overhead — and, for small host-to-device
+      transfers, the driver's command-buffer fast path that makes
+      pageable {e faster} than pinned below ~2 KB (paper Fig. 3);
+    - measurement noise whose relative magnitude is larger for
+      latency-dominated (small) transfers, and an optional rare-outlier
+      mode reproducing the bimodal slow transfers the paper observed in
+      CFD (§V-A).
+
+    All stochastic behaviour comes from an internal seeded
+    {!Gpp_util.Rng.t}, so experiment runs are reproducible. *)
+
+type direction = Host_to_device | Device_to_host
+
+type memory = Pinned | Pageable
+
+val direction_name : direction -> string
+(** ["CPU-to-GPU"] / ["GPU-to-CPU"], the paper's labels. *)
+
+val memory_name : memory -> string
+
+type config = {
+  spec : Gpp_arch.Pcie_spec.t;
+  host_copy_bandwidth : float;  (** Staging memcpy bandwidth, bytes/s. *)
+  dma_efficiency_h2d : float;  (** Achieved fraction of raw wire rate. *)
+  dma_efficiency_d2h : float;
+  dma_setup_h2d : float;  (** Pinned-transfer setup latency, seconds. *)
+  dma_setup_d2h : float;
+  pageable_fastpath_bytes : int;
+      (** Host-to-device pageable transfers at or below this size take
+          the command-buffer fast path. *)
+  pageable_fastpath_overhead : float;
+  pageable_fastpath_bandwidth : float;
+  pageable_setup : float;  (** Staged-path setup latency. *)
+  pageable_chunk : int;  (** Staging chunk size in bytes. *)
+  pageable_chunk_overhead : float;  (** Per-chunk bookkeeping cost. *)
+  pageable_overlap_h2d : float;
+      (** Fraction of the shorter of (memcpy, DMA) hidden under the
+          longer, in [0, 1]. *)
+  pageable_overlap_d2h : float;
+  noise_sigma_base : float;  (** Relative noise on every transfer. *)
+  noise_sigma_small_h2d : float;
+      (** Extra relative noise applied in proportion to how
+          latency-dominated the transfer is. *)
+  noise_sigma_small_d2h : float;
+  outlier_probability : float;  (** Chance a transfer lands in the slow
+                                    mode (0 disables). *)
+  outlier_slowdown : float * float;  (** Uniform slow-mode multiplier range. *)
+}
+
+val default_config : Gpp_arch.Machine.t -> config
+(** Tuned so that the paper's testbed preset measures ~10 us setup and
+    ~2.5 GB/s pinned bandwidth (§III-C). *)
+
+type t
+
+val create : ?seed:int64 -> config -> t
+(** [seed] defaults to a fixed constant: two links created with equal
+    seeds and configs produce identical measurement streams. *)
+
+val config : t -> config
+
+val expected_time : t -> direction -> memory -> bytes:int -> float
+(** Noise-free transfer time: the link's deterministic ground truth.
+    @raise Invalid_argument for negative [bytes]. *)
+
+val transfer_time : t -> direction -> memory -> bytes:int -> float
+(** One noisy measurement (advances the internal RNG). *)
+
+val mean_transfer_time : t -> runs:int -> direction -> memory -> bytes:int -> float
+(** Arithmetic mean of [runs] noisy measurements — the paper's
+    measurement protocol uses [runs = 10]. *)
+
+val pinned_bandwidth : t -> direction -> float
+(** Asymptotic noise-free pinned bandwidth (bytes/s), for reporting. *)

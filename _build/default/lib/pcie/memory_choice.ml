@@ -1,0 +1,54 @@
+type models = { pinned : Model.t; pageable : Model.t }
+
+let models_for ?protocol link direction =
+  {
+    pinned = Calibrate.calibrate ?protocol link direction Link.Pinned;
+    pageable = Calibrate.calibrate ?protocol link direction Link.Pageable;
+  }
+
+type decision = {
+  bytes : int;
+  reuses : int;
+  memory : Link.memory;
+  pinned_total : float;
+  pageable_total : float;
+  saving : float;
+}
+
+let total ?allocation model memory ~bytes ~reuses =
+  Allocation.amortized_time ?model:allocation memory ~bytes ~reuses
+  +. Model.predict model ~bytes
+
+let choose ?allocation models ~bytes ~reuses =
+  let pinned_total = total ?allocation models.pinned Link.Pinned ~bytes ~reuses in
+  let pageable_total = total ?allocation models.pageable Link.Pageable ~bytes ~reuses in
+  let memory = if pinned_total <= pageable_total then Link.Pinned else Link.Pageable in
+  {
+    bytes;
+    reuses;
+    memory;
+    pinned_total;
+    pageable_total;
+    saving = Float.abs (pinned_total -. pageable_total);
+  }
+
+let break_even_reuses ?allocation ?(max_reuses = 10_000) models ~bytes =
+  (* The pinned-vs-pageable total is monotone in the reuse count (only
+     the amortized allocation term changes), so scan geometrically and
+     refine linearly. *)
+  let wins reuses = (choose ?allocation models ~bytes ~reuses).memory = Link.Pinned in
+  if not (wins max_reuses) then None
+  else begin
+    let rec coarse hi = if wins hi then hi else coarse (min max_reuses (hi * 2)) in
+    let first_win = if wins 1 then 1 else coarse 2 in
+    let rec refine n = if n > 1 && wins (n - 1) then refine (n - 1) else n in
+    Some (refine first_win)
+  end
+
+let pp_decision ppf d =
+  Format.fprintf ppf "%s x%d: %s (pinned %a, pageable %a, saves %a)"
+    (Gpp_util.Units.bytes_to_string d.bytes)
+    d.reuses
+    (Link.memory_name d.memory)
+    Gpp_util.Units.pp_time d.pinned_total Gpp_util.Units.pp_time d.pageable_total
+    Gpp_util.Units.pp_time d.saving

@@ -1,0 +1,41 @@
+(** Automatic pinned-vs-pageable selection per transfer (paper §VII).
+
+    Completes the paper's future-work item: given calibrated models for
+    both memory types and the allocation cost model, choose the memory
+    type that minimizes {e allocation (amortized over buffer reuses) +
+    transfer} time for each transfer.  Pinning wins for large or
+    frequently reused buffers; one-shot small transfers often do better
+    with plain pageable memory. *)
+
+type models = {
+  pinned : Model.t;
+  pageable : Model.t;
+}
+(** Calibrated models of both memory types for one direction. *)
+
+val models_for :
+  ?protocol:Calibrate.protocol -> Link.t -> Link.direction -> models
+(** Calibrate both memory types on the link. *)
+
+type decision = {
+  bytes : int;
+  reuses : int;
+  memory : Link.memory;  (** The winning memory type. *)
+  pinned_total : float;  (** Amortized allocation + transfer, pinned. *)
+  pageable_total : float;
+  saving : float;  (** Time saved over the losing option, s. *)
+}
+
+val choose :
+  ?allocation:Allocation.cost_model -> models -> bytes:int -> reuses:int -> decision
+(** Pick the cheaper memory type for one buffer that is transferred
+    [reuses] times over the application's life.
+    @raise Invalid_argument for negative sizes or [reuses < 1]. *)
+
+val break_even_reuses :
+  ?allocation:Allocation.cost_model -> ?max_reuses:int -> models -> bytes:int -> int option
+(** Smallest reuse count at which pinned memory becomes the right
+    choice for a buffer of this size; [None] if it never does within
+    [max_reuses] (default 10_000). *)
+
+val pp_decision : Format.formatter -> decision -> unit

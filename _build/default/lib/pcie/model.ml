@@ -1,0 +1,43 @@
+type t = { alpha : float; beta : float; direction : Link.direction; memory : Link.memory }
+
+let create ~alpha ~beta ~direction ~memory =
+  if alpha < 0.0 || not (Float.is_finite alpha) then invalid_arg "Model.create: bad alpha";
+  if beta <= 0.0 || not (Float.is_finite beta) then invalid_arg "Model.create: bad beta";
+  { alpha; beta; direction; memory }
+
+let predict t ~bytes =
+  if bytes < 0 then invalid_arg "Model.predict: negative size";
+  t.alpha +. (t.beta *. float_of_int bytes)
+
+let bandwidth t = 1.0 /. t.beta
+
+let latency t = t.alpha
+
+let break_even_bytes t ~against =
+  (* t.alpha + t.beta*d <= against.alpha + against.beta*d
+     <=> d * (t.beta - against.beta) <= against.alpha - t.alpha *)
+  let beta_diff = t.beta -. against.beta in
+  let alpha_diff = against.alpha -. t.alpha in
+  if beta_diff = 0.0 then if alpha_diff >= 0.0 then Some 0 else None
+  else if beta_diff < 0.0 then begin
+    (* t is asymptotically faster: crossover at d >= alpha_diff/beta_diff
+       (negative slope flips the inequality).  Rounding the division can
+       land one element off in either direction; fix up against the
+       actual predictions. *)
+    let candidate = max 0 (int_of_float (Float.ceil (alpha_diff /. beta_diff))) in
+    let wins d = predict t ~bytes:d <= predict against ~bytes:d in
+    let rec back d = if d > 0 && wins (d - 1) then back (d - 1) else d in
+    let rec forward d = if wins d then d else forward (d + 1) in
+    Some (if wins candidate then back candidate else forward candidate)
+  end
+  else if alpha_diff < 0.0 then None
+  else
+    (* t is faster only up to alpha_diff / beta_diff; it is at least as
+       fast at d = 0. *)
+    Some 0
+
+let pp ppf t =
+  Format.fprintf ppf "%s/%s: T(d) = %a + d / %a"
+    (Link.direction_name t.direction)
+    (Link.memory_name t.memory) Gpp_util.Units.pp_time t.alpha Gpp_util.Units.pp_bandwidth
+    (bandwidth t)

@@ -1,0 +1,35 @@
+(** The paper's empirical transfer-time model: [T(d) = alpha + beta*d]
+    (Equation 1, §III-C).
+
+    [alpha] is the fixed per-transfer latency (the cost of the first
+    byte); [beta] is the marginal per-byte time, the inverse of the
+    sustained bandwidth.  One model instance describes one (direction,
+    memory type) combination on one system. *)
+
+type t = private {
+  alpha : float;  (** Seconds. *)
+  beta : float;  (** Seconds per byte. *)
+  direction : Link.direction;
+  memory : Link.memory;
+}
+
+val create : alpha:float -> beta:float -> direction:Link.direction -> memory:Link.memory -> t
+(** @raise Invalid_argument if [alpha < 0] or [beta <= 0]. *)
+
+val predict : t -> bytes:int -> float
+(** [alpha + beta * bytes].  @raise Invalid_argument for negative
+    sizes. *)
+
+val bandwidth : t -> float
+(** [1 / beta] in bytes/s. *)
+
+val latency : t -> float
+(** [alpha]. *)
+
+val break_even_bytes : t -> against:t -> int option
+(** Size at which [t] becomes at least as fast as [against]
+    (e.g. pinned vs pageable): the smallest non-negative integer [d]
+    with [predict t d <= predict against d], or [None] when no such
+    crossover exists. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/fifo_server.ml: Float

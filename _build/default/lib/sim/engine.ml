@@ -1,0 +1,42 @@
+type t = {
+  queue : (t -> unit) Event_queue.t;
+  mutable clock : float;
+  mutable processed : int;
+}
+
+let create () = { queue = Event_queue.create (); clock = 0.0; processed = 0 }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time is in the past";
+  Event_queue.push t.queue ~time f
+
+let schedule t ~delay f =
+  if not (Float.is_finite delay) || delay < 0.0 then
+    invalid_arg "Engine.schedule: negative or non-finite delay";
+  Event_queue.push t.queue ~time:(t.clock +. delay) f
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      f t;
+      true
+
+let run t = while step t do () done
+
+let run_until t deadline =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= deadline -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if t.clock < deadline then t.clock <- deadline
+
+let pending t = Event_queue.length t.queue
+
+let processed t = t.processed

@@ -1,0 +1,37 @@
+(** Discrete-event simulation engine.
+
+    Thin sequential kernel: a simulated clock and a queue of callbacks.
+    The GPU and PCIe simulators schedule work as events; the engine
+    guarantees callbacks execute in non-decreasing time order, with
+    insertion order breaking ties. *)
+
+type t
+
+val create : unit -> t
+(** Fresh engine with the clock at 0. *)
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay].
+    @raise Invalid_argument if [delay] is negative or not finite. *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** [schedule_at t ~time f] runs [f] at absolute [time].
+    @raise Invalid_argument if [time] precedes the current clock. *)
+
+val run : t -> unit
+(** Process events until the queue drains.  The clock is left at the
+    time of the last event. *)
+
+val run_until : t -> float -> unit
+(** Process events with timestamps [<= deadline]; then advance the clock
+    to [deadline] if it has not passed it already. *)
+
+val pending : t -> int
+(** Number of queued events. *)
+
+val processed : t -> int
+(** Number of events executed since creation (for sanity checks and
+    simulator statistics). *)

@@ -1,0 +1,24 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap keyed by [(time, sequence)]: ties in time are
+    broken by insertion order, which keeps simulations deterministic
+    regardless of heap internals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Insert an event at [time].  @raise Invalid_argument if [time] is not
+    finite (NaN or infinite timestamps would corrupt the ordering). *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event, insertion order breaking
+    ties. *)
+
+val peek_time : 'a t -> float option
+(** Timestamp of the earliest event without removing it. *)

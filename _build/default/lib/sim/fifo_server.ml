@@ -1,0 +1,44 @@
+type t = {
+  server_name : string;
+  mutable next_free : float;
+  mutable last_arrival : float;
+  mutable busy : float;
+  mutable waiting : float;
+  mutable served : int;
+}
+
+let create ?(name = "server") () =
+  { server_name = name; next_free = 0.0; last_arrival = 0.0; busy = 0.0; waiting = 0.0; served = 0 }
+
+let name t = t.server_name
+
+let reserve t ~arrival ~service =
+  if service < 0.0 || not (Float.is_finite service) then
+    invalid_arg "Fifo_server.reserve: bad service time";
+  if arrival < t.last_arrival then
+    invalid_arg "Fifo_server.reserve: arrivals must be non-decreasing (FIFO)";
+  t.last_arrival <- arrival;
+  let start = Float.max arrival t.next_free in
+  let finish = start +. service in
+  t.next_free <- finish;
+  t.busy <- t.busy +. service;
+  t.waiting <- t.waiting +. (start -. arrival);
+  t.served <- t.served + 1;
+  (start, finish)
+
+let next_free t = t.next_free
+
+let busy_time t = t.busy
+
+let queueing_delay t = t.waiting
+
+let served t = t.served
+
+let utilization t ~horizon = if horizon <= 0.0 then 0.0 else t.busy /. horizon
+
+let reset t =
+  t.next_free <- 0.0;
+  t.last_arrival <- 0.0;
+  t.busy <- 0.0;
+  t.waiting <- 0.0;
+  t.served <- 0

@@ -1,0 +1,40 @@
+(** A single-server FIFO resource with deterministic service.
+
+    Models a serialization point — a DRAM channel, the PCIe link, an
+    SM's issue port — without event-queue overhead: each request is
+    admitted at [max arrival next_free] and occupies the server for its
+    service time.  Busy time and queueing delay are tracked so simulator
+    back-ends can report utilization. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val reserve : t -> arrival:float -> service:float -> float * float
+(** [reserve t ~arrival ~service] books the server and returns
+    [(start, finish)] with [start = max arrival next_free] and
+    [finish = start +. service].  Requests must be issued in
+    non-decreasing arrival order (FIFO).
+    @raise Invalid_argument on negative [service] or on an arrival that
+    precedes the previous request's arrival. *)
+
+val next_free : t -> float
+(** Earliest time a new request could begin service. *)
+
+val busy_time : t -> float
+(** Total time the server has spent serving requests. *)
+
+val queueing_delay : t -> float
+(** Accumulated waiting time ([start - arrival] summed over
+    requests). *)
+
+val served : t -> int
+(** Number of completed reservations. *)
+
+val utilization : t -> horizon:float -> float
+(** [busy_time / horizon]; 0 when [horizon <= 0]. *)
+
+val reset : t -> unit
+(** Return the server to its initial idle state. *)

@@ -1,0 +1,1 @@
+lib/skeleton/decl.ml: Format List Printf String

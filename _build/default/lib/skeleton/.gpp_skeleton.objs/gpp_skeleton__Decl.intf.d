@@ -1,0 +1,1 @@
+lib/skeleton/decl.mli: Format

@@ -1,0 +1,1 @@
+lib/skeleton/index_expr.mli: Format

@@ -1,0 +1,1 @@
+lib/skeleton/ir.ml: Decl Format Index_expr List Printf Result String

@@ -1,0 +1,1 @@
+lib/skeleton/ir.mli: Decl Format Index_expr

@@ -1,0 +1,1 @@
+lib/skeleton/parser.ml: Buffer Decl Format In_channel Index_expr Ir List Printf Program String

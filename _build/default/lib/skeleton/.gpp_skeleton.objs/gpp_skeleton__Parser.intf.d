@@ -1,0 +1,1 @@
+lib/skeleton/parser.mli: Program

@@ -1,0 +1,1 @@
+lib/skeleton/printer.ml: Buffer Decl Index_expr Ir List Printf Program String

@@ -1,0 +1,1 @@
+lib/skeleton/printer.mli: Index_expr Program

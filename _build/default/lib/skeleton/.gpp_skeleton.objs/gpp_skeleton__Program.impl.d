@@ -1,0 +1,1 @@
+lib/skeleton/program.ml: Decl Format Ir List Printf Result String

@@ -1,0 +1,1 @@
+lib/skeleton/program.mli: Decl Format Ir

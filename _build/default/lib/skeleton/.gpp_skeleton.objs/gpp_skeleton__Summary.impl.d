@@ -1,0 +1,1 @@
+lib/skeleton/summary.ml: Decl Float Format Ir List Printf

@@ -1,0 +1,1 @@
+lib/skeleton/summary.mli: Decl Format Ir

@@ -1,0 +1,33 @@
+type kind = Dense | Sparse of { nnz : int option }
+
+type t = { name : string; elem_bytes : int; dims : int list; kind : kind }
+
+let dense ?(elem_bytes = 4) name ~dims = { name; elem_bytes; dims; kind = Dense }
+
+let sparse ?(elem_bytes = 4) ?nnz name ~dims = { name; elem_bytes; dims; kind = Sparse { nnz } }
+
+let elements t = List.fold_left ( * ) 1 t.dims
+
+let footprint_bytes t = elements t * t.elem_bytes
+
+let validate t =
+  if t.elem_bytes <= 0 then Error (Printf.sprintf "array %s: non-positive element size" t.name)
+  else if t.dims = [] then Error (Printf.sprintf "array %s: no dimensions" t.name)
+  else if List.exists (fun d -> d <= 0) t.dims then
+    Error (Printf.sprintf "array %s: non-positive extent" t.name)
+  else
+    match t.kind with
+    | Sparse { nnz = Some n } when n < 0 || n > elements t ->
+        Error (Printf.sprintf "array %s: nnz %d outside [0, %d]" t.name n (elements t))
+    | Sparse _ | Dense -> Ok ()
+
+let pp ppf t =
+  let kind_str =
+    match t.kind with
+    | Dense -> ""
+    | Sparse { nnz = Some n } -> Printf.sprintf " sparse(nnz=%d)" n
+    | Sparse { nnz = None } -> " sparse"
+  in
+  Format.fprintf ppf "%s[%s] x %dB%s" t.name
+    (String.concat "][" (List.map string_of_int t.dims))
+    t.elem_bytes kind_str

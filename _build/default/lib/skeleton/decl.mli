@@ -1,0 +1,39 @@
+(** Array declarations in a code skeleton.
+
+    Each array the kernel touches is declared with its element size and
+    logical extents.  Sparse/irregular arrays carry an optional
+    population estimate; the data usage analyzer falls back to the
+    paper's conservative whole-array transfer for them (§III-B). *)
+
+type kind =
+  | Dense
+  | Sparse of { nnz : int option }
+      (** Irregularly accessed storage (e.g. CSR payload).  [nnz] is the
+          number of elements actually populated, when known; the
+          conservative transfer policy ignores it, the exact policy
+          (an ablation) uses it. *)
+
+type t = {
+  name : string;
+  elem_bytes : int;  (** Size of one element in bytes. *)
+  dims : int list;  (** Extent of each dimension, outermost first. *)
+  kind : kind;
+}
+
+val dense : ?elem_bytes:int -> string -> dims:int list -> t
+(** Dense array; [elem_bytes] defaults to 4 (32-bit float, the dominant
+    element type in the paper's benchmarks). *)
+
+val sparse : ?elem_bytes:int -> ?nnz:int -> string -> dims:int list -> t
+
+val elements : t -> int
+(** Product of the declared extents. *)
+
+val footprint_bytes : t -> int
+(** [elements t * t.elem_bytes]: bytes occupied by the whole array. *)
+
+val validate : t -> (unit, string) result
+(** Check extents and element size are positive, and [nnz] (when given)
+    does not exceed the declared capacity. *)
+
+val pp : Format.formatter -> t -> unit

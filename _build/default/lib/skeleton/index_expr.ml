@@ -1,0 +1,72 @@
+module Smap = Map.Make (String)
+
+type t = { terms : int Smap.t; const : int }
+
+let normalize terms = Smap.filter (fun _ c -> c <> 0) terms
+
+let const c = { terms = Smap.empty; const = c }
+
+let var ?(coeff = 1) v = { terms = normalize (Smap.singleton v coeff); const = 0 }
+
+let add a b =
+  let terms =
+    Smap.union (fun _ ca cb -> match ca + cb with 0 -> None | c -> Some c) a.terms b.terms
+  in
+  { terms; const = a.const + b.const }
+
+let scale k e =
+  if k = 0 then const 0
+  else { terms = Smap.map (fun c -> k * c) e.terms; const = k * e.const }
+
+let sub a b = add a (scale (-1) b)
+
+let offset e k = { e with const = e.const + k }
+
+let constant_part e = e.const
+
+let coeff_of e v = match Smap.find_opt v e.terms with Some c -> c | None -> 0
+
+let vars e = Smap.bindings e.terms |> List.map fst
+
+let is_constant e = Smap.is_empty e.terms
+
+let eval env e = Smap.fold (fun v c acc -> acc + (c * env v)) e.terms e.const
+
+let range bounds e =
+  Smap.fold
+    (fun v c (lo, hi) ->
+      let vlo, vhi = bounds v in
+      if c >= 0 then (lo + (c * vlo), hi + (c * vhi)) else (lo + (c * vhi), hi + (c * vlo)))
+    e.terms (e.const, e.const)
+
+let stride_of = coeff_of
+
+let gcd_stride e ~except =
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  Smap.fold
+    (fun v c acc -> if List.mem v except then acc else gcd (abs c) acc)
+    e.terms 0
+
+let equal a b = a.const = b.const && Smap.equal Int.equal a.terms b.terms
+
+let compare a b =
+  match Int.compare a.const b.const with
+  | 0 -> Smap.compare Int.compare a.terms b.terms
+  | c -> c
+
+let pp ppf e =
+  let terms = Smap.bindings e.terms in
+  match (terms, e.const) with
+  | [], c -> Format.fprintf ppf "%d" c
+  | _ :: _, _ ->
+      let pp_term first ppf (v, c) =
+        if c = 1 then Format.fprintf ppf (if first then "%s" else " + %s") v
+        else if c = -1 then Format.fprintf ppf (if first then "-%s" else " - %s") v
+        else if c >= 0 then Format.fprintf ppf (if first then "%d*%s" else " + %d*%s") c v
+        else Format.fprintf ppf (if first then "-%d*%s" else " - %d*%s") (abs c) v
+      in
+      List.iteri (fun i (v, c) -> pp_term (i = 0) ppf (v, c)) terms;
+      if e.const > 0 then Format.fprintf ppf " + %d" e.const
+      else if e.const < 0 then Format.fprintf ppf " - %d" (abs e.const)
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,64 @@
+(** Affine index expressions over loop variables.
+
+    A code skeleton describes each array subscript as an affine
+    combination of surrounding loop variables, e.g. [i*N + j + 1].  The
+    BRS analyzer derives accessed array sections from these expressions,
+    and the transformation engine derives memory-coalescing behaviour
+    from the coefficient of the thread-mapped loop variable. *)
+
+type t
+(** An expression [const + sum_i coeff_i * var_i].  Variables with a
+    zero coefficient are never stored. *)
+
+val const : int -> t
+
+val var : ?coeff:int -> string -> t
+(** [var v] is [1*v]; [var ~coeff:c v] is [c*v]. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : int -> t -> t
+
+val offset : t -> int -> t
+(** [offset e k] is [e + k]. *)
+
+val constant_part : t -> int
+
+val coeff_of : t -> string -> int
+(** Coefficient of a variable; 0 when absent. *)
+
+val vars : t -> string list
+(** Variables with non-zero coefficients, sorted by name. *)
+
+val is_constant : t -> bool
+
+val eval : (string -> int) -> t -> int
+(** Evaluate under an environment mapping each variable to a value.
+    The environment is consulted only for variables present in the
+    expression. *)
+
+val range : (string -> int * int) -> t -> int * int
+(** [range bounds e] is the inclusive [(min, max)] of [e] when each
+    variable [v] ranges over the inclusive interval [bounds v].
+    Standard interval arithmetic: a positive coefficient contributes its
+    variable's lower bound to the minimum, a negative one contributes
+    the upper bound. *)
+
+val stride_of : t -> string -> int
+(** Alias for {!coeff_of}: how far the subscript moves per unit step of
+    the given loop variable. *)
+
+val gcd_stride : t -> except:string list -> int
+(** GCD of the coefficients of all variables {e not} listed in
+    [except]; 0 if no such variable occurs.  Used to derive the stride
+    of the section swept by inner loops while outer loops are fixed. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,164 @@
+type access = Load | Store
+
+type pattern =
+  | Affine of Index_expr.t list
+  | Indirect of { index_array : string; offset : Index_expr.t list }
+
+type array_ref = { array : string; access : access; pattern : pattern }
+
+type stmt =
+  | Ref of array_ref
+  | Compute of { flops : float; int_ops : float; heavy_ops : float }
+  | Branch of { probability : float; divergent : bool; body : stmt list }
+
+type loop = { var : string; extent : int; parallel : bool }
+
+type kernel = { name : string; loops : loop list; body : stmt list }
+
+let loop ?(parallel = true) var ~extent = { var; extent; parallel }
+
+let load array indices = Ref { array; access = Load; pattern = Affine indices }
+
+let store array indices = Ref { array; access = Store; pattern = Affine indices }
+
+let load_indirect ?(offset = []) array ~via =
+  Ref { array; access = Load; pattern = Indirect { index_array = via; offset } }
+
+let store_indirect ?(offset = []) array ~via =
+  Ref { array; access = Store; pattern = Indirect { index_array = via; offset } }
+
+let compute ?(int_ops = 0.0) ?(heavy_ops = 0.0) flops = Compute { flops; int_ops; heavy_ops }
+
+let branch ?(divergent = true) ~probability body = Branch { probability; divergent; body }
+
+let kernel name ~loops ~body = { name; loops; body }
+
+let trip_count k = List.fold_left (fun acc l -> acc * l.extent) 1 k.loops
+
+let parallel_iterations k =
+  List.fold_left (fun acc l -> if l.parallel then acc * l.extent else acc) 1 k.loops
+
+let loop_bounds k var =
+  match List.find_opt (fun l -> l.var = var) k.loops with
+  | Some l -> (0, l.extent - 1)
+  | None -> raise Not_found
+
+let fold_refs k ~init ~f =
+  let rec go acc weight stmts =
+    List.fold_left
+      (fun acc stmt ->
+        match stmt with
+        | Ref r -> f acc ~weight r
+        | Compute _ -> acc
+        | Branch { probability; body; _ } -> go acc (weight *. probability) body)
+      acc stmts
+  in
+  go init 1.0 k.body
+
+let refs k =
+  List.rev (fold_refs k ~init:[] ~f:(fun acc ~weight r -> (weight, r) :: acc))
+
+let validate ~decls k =
+  let ( let* ) = Result.bind in
+  let err fmt = Format.kasprintf (fun s -> Error (Printf.sprintf "kernel %s: %s" k.name s)) fmt in
+  let find_decl name = List.find_opt (fun (d : Decl.t) -> d.name = name) decls in
+  let* () = if k.loops = [] then err "empty loop nest" else Ok () in
+  let* () = if k.body = [] then err "empty body" else Ok () in
+  let* () =
+    match List.find_opt (fun l -> l.extent <= 0) k.loops with
+    | Some l -> err "loop %s has non-positive extent %d" l.var l.extent
+    | None -> Ok ()
+  in
+  let loop_vars = List.map (fun l -> l.var) k.loops in
+  let* () =
+    if List.length (List.sort_uniq String.compare loop_vars) <> List.length loop_vars then
+      err "duplicate loop variables"
+    else Ok ()
+  in
+  let check_ref r =
+    match find_decl r.array with
+    | None -> err "reference to undeclared array %s" r.array
+    | Some d -> (
+        match r.pattern with
+        | Affine indices ->
+            if List.length indices <> List.length d.dims then
+              err "array %s: %d subscripts for %d dimensions" r.array (List.length indices)
+                (List.length d.dims)
+            else
+              let free =
+                List.concat_map Index_expr.vars indices
+                |> List.filter (fun v -> not (List.mem v loop_vars))
+              in
+              (match free with
+              | [] -> Ok ()
+              | v :: _ -> err "array %s subscript uses unbound variable %s" r.array v)
+        | Indirect { index_array; offset } -> (
+            match find_decl index_array with
+            | None -> err "indirect access via undeclared array %s" index_array
+            | Some _ -> (
+                let free =
+                  List.concat_map Index_expr.vars offset
+                  |> List.filter (fun v -> not (List.mem v loop_vars))
+                in
+                match free with
+                | [] -> Ok ()
+                | v :: _ -> err "array %s indirect offset uses unbound variable %s" r.array v)))
+  in
+  let rec check_stmts stmts =
+    List.fold_left
+      (fun acc stmt ->
+        let* () = acc in
+        match stmt with
+        | Ref r -> check_ref r
+        | Compute { flops; int_ops; heavy_ops } ->
+            if flops < 0.0 || int_ops < 0.0 || heavy_ops < 0.0 then
+              err "negative operation count"
+            else Ok ()
+        | Branch { probability; body; _ } ->
+            if probability < 0.0 || probability > 1.0 then
+              err "branch probability %g outside [0, 1]" probability
+            else check_stmts body)
+      (Ok ()) stmts
+  in
+  check_stmts k.body
+
+let pp_access ppf = function
+  | Load -> Format.pp_print_string ppf "load"
+  | Store -> Format.pp_print_string ppf "store"
+
+let pp_ref ppf r =
+  match r.pattern with
+  | Affine indices ->
+      Format.fprintf ppf "%a %s[%s]" pp_access r.access r.array
+        (String.concat "][" (List.map Index_expr.to_string indices))
+  | Indirect { index_array; offset } ->
+      let offset_str =
+        match offset with
+        | [] -> ""
+        | _ :: _ -> "][" ^ String.concat "][" (List.map Index_expr.to_string offset)
+      in
+      Format.fprintf ppf "%a %s[<%s>%s]" pp_access r.access r.array index_array offset_str
+
+let rec pp_stmt indent ppf = function
+  | Ref r -> Format.fprintf ppf "%s%a@," indent pp_ref r
+  | Compute { flops; int_ops; heavy_ops } ->
+      Format.fprintf ppf "%scompute %g flops, %g int ops, %g heavy ops@," indent flops int_ops
+        heavy_ops
+  | Branch { probability; divergent; body } ->
+      Format.fprintf ppf "%sif (p=%g%s) {@," indent probability
+        (if divergent then ", divergent" else "");
+      List.iter (pp_stmt (indent ^ "  ") ppf) body;
+      Format.fprintf ppf "%s}@," indent
+
+let pp_kernel ppf k =
+  Format.fprintf ppf "@[<v>kernel %s:@," k.name;
+  List.iteri
+    (fun i l ->
+      Format.fprintf ppf "%sfor %s in 0..%d%s:@,"
+        (String.make (2 * i) ' ')
+        l.var (l.extent - 1)
+        (if l.parallel then " (parallel)" else ""))
+    k.loops;
+  let indent = String.make (2 * List.length k.loops) ' ' in
+  List.iter (pp_stmt indent ppf) k.body;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,108 @@
+(** Kernel-level intermediate representation of a code skeleton.
+
+    A skeleton summarizes the high-level semantics of a CPU kernel —
+    loops, parallelism, computational intensity, and data access
+    patterns (paper §II-C) — without any executable code.  GROPHECY
+    explores GPU transformations of this IR; the data usage analyzer
+    extracts array sections from it. *)
+
+type access = Load | Store
+
+type pattern =
+  | Affine of Index_expr.t list
+      (** One affine subscript per array dimension, outermost first. *)
+  | Indirect of { index_array : string; offset : Index_expr.t list }
+      (** Access through an index array.  [offset] is the affine part of
+          the subscript {e within} the indirectly selected base — empty
+          for a pure gather ([a\[nb\[i\]\]], every lane lands somewhere
+          unrelated), or e.g. [\[j\]] for an indexed-row access
+          ([a\[col\[k\]\]\[j\]], coalesced along [j]).  Either way the
+          accessed section is statically unknown and the data usage
+          analyzer treats the target array conservatively (§III-B);
+          only the coalescing analysis consults [offset]. *)
+
+type array_ref = {
+  array : string;  (** Declared array being accessed. *)
+  access : access;
+  pattern : pattern;
+}
+
+type stmt =
+  | Ref of array_ref  (** One array access per innermost iteration. *)
+  | Compute of { flops : float; int_ops : float; heavy_ops : float }
+      (** Arithmetic per innermost iteration.  Fractional values express
+          amortized work (e.g. one operation every other iteration).
+          [heavy_ops] counts long-latency operations — divides, square
+          roots, transcendentals — which cost far more than a fused
+          multiply-add on both architectures, and asymmetrically so
+          (CPUs lack a fast SFU path). *)
+  | Branch of { probability : float; divergent : bool; body : stmt list }
+      (** Conditional execution: [body] runs with the given probability
+          per iteration.  [divergent] marks data-dependent conditions
+          that split GPU warps. *)
+
+type loop = {
+  var : string;  (** Loop variable, unique within a kernel. *)
+  extent : int;  (** Iteration count; the variable ranges over
+                     [0 .. extent-1] with unit stride. *)
+  parallel : bool;  (** Whether iterations are independent (mappable to
+                        GPU threads / OpenMP). *)
+}
+
+type kernel = {
+  name : string;
+  loops : loop list;  (** Loop nest, outermost first. *)
+  body : stmt list;  (** Statements of the innermost loop body. *)
+}
+
+val loop : ?parallel:bool -> string -> extent:int -> loop
+(** [parallel] defaults to [true]. *)
+
+val load : string -> Index_expr.t list -> stmt
+
+val store : string -> Index_expr.t list -> stmt
+
+val load_indirect : ?offset:Index_expr.t list -> string -> via:string -> stmt
+(** [load_indirect a ~via:idx] is a load of [a] subscripted by values
+    read from [idx]; [offset] (default [\[\]]) is the affine
+    within-base part. *)
+
+val store_indirect : ?offset:Index_expr.t list -> string -> via:string -> stmt
+
+val compute : ?int_ops:float -> ?heavy_ops:float -> float -> stmt
+(** [compute flops] with optional integer-operation and heavy-operation
+    counts (both default 0). *)
+
+val branch : ?divergent:bool -> probability:float -> stmt list -> stmt
+(** [divergent] defaults to [true] (the conservative assumption for
+    data-dependent branches). *)
+
+val kernel : string -> loops:loop list -> body:stmt list -> kernel
+
+val trip_count : kernel -> int
+(** Product of all loop extents: total innermost iterations. *)
+
+val parallel_iterations : kernel -> int
+(** Product of the parallel loop extents: exploitable data
+    parallelism. *)
+
+val loop_bounds : kernel -> string -> int * int
+(** Inclusive value range of a loop variable.
+    @raise Not_found for an unbound variable. *)
+
+val fold_refs :
+  kernel -> init:'a -> f:('a -> weight:float -> array_ref -> 'a) -> 'a
+(** Fold over every array reference in the body, [weight] being the
+    execution probability of its enclosing branches (1.0 at top
+    level). *)
+
+val refs : kernel -> (float * array_ref) list
+(** All references with their execution weights, in syntactic order. *)
+
+val validate : decls:Decl.t list -> kernel -> (unit, string) result
+(** Structural well-formedness: non-empty loop nest, positive extents,
+    unique loop variables, every referenced array declared with matching
+    dimensionality, subscripts only over bound variables, branch
+    probabilities within [0, 1], and at least one statement. *)
+
+val pp_kernel : Format.formatter -> kernel -> unit

@@ -1,0 +1,293 @@
+exception Parse_error of string
+
+let errf num fmt = Format.kasprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" num s))) fmt
+
+type line = { num : int; tokens : string list }
+
+(* Pad structural punctuation with spaces so it tokenizes regardless of
+   the author's spacing, then split on whitespace. *)
+let tokenize_line num raw =
+  let without_comment =
+    match String.index_opt raw '#' with Some i -> String.sub raw 0 i | None -> raw
+  in
+  let buf = Buffer.create (String.length without_comment + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '[' | ']' | '{' | '}' | ',' ->
+          Buffer.add_char buf ' ';
+          Buffer.add_char buf c;
+          Buffer.add_char buf ' '
+      | c -> Buffer.add_char buf c)
+    without_comment;
+  let tokens =
+    String.split_on_char ' ' (Buffer.contents buf)
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun t -> t <> "")
+  in
+  { num; tokens }
+
+let tokenize source =
+  String.split_on_char '\n' source
+  |> List.mapi (fun i raw -> tokenize_line (i + 1) raw)
+  |> List.filter (fun l -> l.tokens <> [])
+
+(* Affine index expressions: [-]TERM {(+|-) TERM} with
+   TERM = INT | INT*VAR | VAR | VAR*INT.  Parsed from the token list of
+   one comma-separated field, joined without spaces. *)
+let parse_expr num text =
+  let n = String.length text in
+  if n = 0 then errf num "empty index expression";
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_ident c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || is_digit c in
+  let read_int () =
+    let start = !pos in
+    while !pos < n && is_digit text.[!pos] do
+      incr pos
+    done;
+    if !pos = start then errf num "expected a number in %S" text
+    else int_of_string (String.sub text start (!pos - start))
+  in
+  let read_ident () =
+    let start = !pos in
+    while !pos < n && is_ident text.[!pos] do
+      incr pos
+    done;
+    if !pos = start then errf num "expected a variable in %S" text
+    else String.sub text start (!pos - start)
+  in
+  let read_term sign =
+    match peek () with
+    | Some c when is_digit c ->
+        let k = read_int () in
+        if peek () = Some '*' then begin
+          incr pos;
+          let v = read_ident () in
+          Index_expr.var ~coeff:(sign * k) v
+        end
+        else Index_expr.const (sign * k)
+    | Some c when is_ident c ->
+        let v = read_ident () in
+        if peek () = Some '*' then begin
+          incr pos;
+          let k = read_int () in
+          Index_expr.var ~coeff:(sign * k) v
+        end
+        else Index_expr.var ~coeff:sign v
+    | Some c -> errf num "unexpected %C in index expression %S" c text
+    | None -> errf num "truncated index expression %S" text
+  in
+  let first_sign =
+    match peek () with
+    | Some '-' ->
+        incr pos;
+        -1
+    | Some '+' ->
+        incr pos;
+        1
+    | _ -> 1
+  in
+  let expr = ref (read_term first_sign) in
+  let continue = ref true in
+  while !continue do
+    match peek () with
+    | Some '+' ->
+        incr pos;
+        expr := Index_expr.add !expr (read_term 1)
+    | Some '-' ->
+        incr pos;
+        expr := Index_expr.add !expr (read_term (-1))
+    | Some c -> errf num "unexpected %C in index expression %S" c text
+    | None -> continue := false
+  done;
+  !expr
+
+(* Split the token stream of a bracketed index list into expressions:
+   tokens between "[" and "]" separated by ",", each field's tokens
+   concatenated (so "i + 1" and "i+1" both work). *)
+let parse_index_list num tokens =
+  let rec fields acc current = function
+    | [] -> errf num "missing closing ']'"
+    | "]" :: rest ->
+        let acc = if current = [] then acc else List.rev current :: acc in
+        (List.rev acc, rest)
+    | "," :: rest ->
+        if current = [] then errf num "empty index field";
+        fields (List.rev current :: acc) [] rest
+    | tok :: rest -> fields acc (tok :: current) rest
+  in
+  match tokens with
+  | "[" :: rest ->
+      let fs, remaining = fields [] [] rest in
+      (List.map (fun toks -> parse_expr num (String.concat "" toks)) fs, remaining)
+  | _ -> errf num "expected '['"
+
+let parse_float num tok =
+  match float_of_string_opt tok with Some f -> f | None -> errf num "expected a number, got %S" tok
+
+let parse_int num tok =
+  match int_of_string_opt tok with Some i -> i | None -> errf num "expected an integer, got %S" tok
+
+(* Statements, recursively over lines (branch blocks nest). *)
+let rec parse_stmts lines ~terminator num_start =
+  let rec go acc = function
+    | [] -> errf num_start "missing %s" terminator
+    | ({ num; tokens } : line) :: rest -> (
+        match tokens with
+        | [ t ] when t = terminator -> (List.rev acc, rest)
+        | "load" :: name :: "via" :: idx :: more ->
+            let offset, leftover =
+              if more = [] then ([], []) else parse_index_list num more
+            in
+            if leftover <> [] then errf num "trailing tokens after indirect load";
+            go (Ir.load_indirect ~offset name ~via:idx :: acc) rest
+        | "store" :: name :: "via" :: idx :: more ->
+            let offset, leftover =
+              if more = [] then ([], []) else parse_index_list num more
+            in
+            if leftover <> [] then errf num "trailing tokens after indirect store";
+            go (Ir.store_indirect ~offset name ~via:idx :: acc) rest
+        | "load" :: name :: more ->
+            let indices, leftover = parse_index_list num more in
+            if leftover <> [] then errf num "trailing tokens after load";
+            go (Ir.load name indices :: acc) rest
+        | "store" :: name :: more ->
+            let indices, leftover = parse_index_list num more in
+            if leftover <> [] then errf num "trailing tokens after store";
+            go (Ir.store name indices :: acc) rest
+        | "compute" :: more ->
+            let rec fields flops int_ops heavy = function
+              | [] -> (flops, int_ops, heavy)
+              | "flops" :: v :: rest -> fields (parse_float num v) int_ops heavy rest
+              | "int" :: v :: rest -> fields flops (parse_float num v) heavy rest
+              | "heavy" :: v :: rest -> fields flops int_ops (parse_float num v) rest
+              | tok :: _ -> errf num "unexpected %S in compute (want flops/int/heavy N)" tok
+            in
+            let flops, int_ops, heavy_ops = fields 0.0 0.0 0.0 more in
+            go (Ir.compute ~int_ops ~heavy_ops flops :: acc) rest
+        | "branch" :: p :: more ->
+            let probability = parse_float num p in
+            let divergent, more =
+              match more with "uniform" :: rest -> (false, rest) | rest -> (true, rest)
+            in
+            if more <> [ "{" ] then errf num "expected '{' to open the branch body";
+            let body, remaining = parse_stmts rest ~terminator:"}" num in
+            go (Ir.branch ~divergent ~probability body :: acc) remaining
+        | tok :: _ -> errf num "unknown statement %S" tok
+        | [] -> go acc rest)
+  in
+  go [] lines
+
+let parse_kernel name lines num_start =
+  let rec loops acc = function
+    | ({ num; tokens } : line) :: rest -> (
+        match tokens with
+        | [ "loop"; var; kind; extent ] ->
+            let parallel =
+              match kind with
+              | "parallel" -> true
+              | "serial" -> false
+              | k -> errf num "loop kind must be parallel or serial, got %S" k
+            in
+            loops (Ir.loop ~parallel var ~extent:(parse_int num extent) :: acc) rest
+        | _ -> (List.rev acc, { num; tokens } :: rest))
+    | [] -> (List.rev acc, [])
+  in
+  let loop_list, rest = loops [] lines in
+  let body, remaining = parse_stmts rest ~terminator:"end" num_start in
+  (Ir.kernel name ~loops:loop_list ~body, remaining)
+
+let rec parse_invocations lines ~terminator num_start =
+  let rec go acc = function
+    | [] -> errf num_start "missing %s in schedule" terminator
+    | ({ num; tokens } : line) :: rest -> (
+        match tokens with
+        | [ t ] when t = terminator -> (List.rev acc, rest)
+        | [ "call"; name ] -> go (Program.Call name :: acc) rest
+        | [ "repeat"; n; "{" ] ->
+            let body, remaining = parse_invocations rest ~terminator:"}" num in
+            go (Program.Repeat (parse_int num n, body) :: acc) remaining
+        | tok :: _ -> errf num "unknown schedule entry %S" tok
+        | [] -> go acc rest)
+  in
+  go [] lines
+
+let parse_array num tokens =
+  match tokens with
+  | name :: kind :: rest ->
+      let dims = ref [] and elem = ref 4 and nnz = ref None in
+      let rec scan = function
+        | [] -> ()
+        | "elem" :: v :: rest ->
+            elem := parse_int num v;
+            scan rest
+        | "nnz" :: v :: rest ->
+            nnz := Some (parse_int num v);
+            scan rest
+        | tok :: rest ->
+            dims := parse_int num tok :: !dims;
+            scan rest
+      in
+      scan rest;
+      let dims = List.rev !dims in
+      if dims = [] then errf num "array %s has no dimensions" name;
+      (match kind with
+      | "dense" -> Decl.dense ~elem_bytes:!elem name ~dims
+      | "sparse" -> Decl.sparse ~elem_bytes:!elem ?nnz:!nnz name ~dims
+      | k -> errf num "array kind must be dense or sparse, got %S" k)
+  | _ -> errf num "array declaration needs a name and a kind"
+
+let parse source =
+  try
+    let lines = tokenize source in
+    let name = ref None in
+    let arrays = ref [] in
+    let temporaries = ref [] in
+    let kernels = ref [] in
+    let schedule = ref None in
+    let rec toplevel = function
+      | [] -> ()
+      | ({ num; tokens } : line) :: rest -> (
+          match tokens with
+          | [ "program"; n ] ->
+              if !name <> None then errf num "duplicate program declaration";
+              name := Some n;
+              toplevel rest
+          | "array" :: more ->
+              arrays := parse_array num more :: !arrays;
+              toplevel rest
+          | "temporary" :: names when names <> [] ->
+              temporaries := !temporaries @ names;
+              toplevel rest
+          | [ "kernel"; kname ] ->
+              let kernel, remaining = parse_kernel kname rest num in
+              kernels := kernel :: !kernels;
+              toplevel remaining
+          | [ "schedule" ] ->
+              if !schedule <> None then errf num "duplicate schedule";
+              let invocations, remaining = parse_invocations rest ~terminator:"end" num in
+              schedule := Some invocations;
+              toplevel remaining
+          | tok :: _ -> errf num "unknown declaration %S" tok
+          | [] -> toplevel rest)
+    in
+    toplevel lines;
+    let name = match !name with Some n -> n | None -> raise (Parse_error "missing 'program NAME'") in
+    let schedule =
+      match !schedule with
+      | Some s -> s
+      | None -> raise (Parse_error "missing 'schedule ... end' block")
+    in
+    let program =
+      Program.create ~temporaries:!temporaries ~name ~arrays:(List.rev !arrays)
+        ~kernels:(List.rev !kernels) ~schedule ()
+    in
+    match Program.validate program with Ok () -> Ok program | Error e -> Error e
+  with Parse_error msg -> Error msg
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | source -> parse source
+  | exception Sys_error e -> Error e

@@ -1,0 +1,56 @@
+(** Textual code-skeleton format.
+
+    Lets users describe kernels in a small declarative language instead
+    of building the IR programmatically — the file-format equivalent of
+    the paper's "code skeleton" input.  Example:
+
+    {v
+    # 5-point blur over an image
+    program blur
+
+    array src dense 1024 1024
+    array dst dense 1024 1024
+
+    kernel blur
+      loop y parallel 1024
+      loop x parallel 1024
+      load src [y, x]
+      load src [y-1, x]
+      load src [y+1, x]
+      load src [y, x-1]
+      load src [y, x+1]
+      compute flops 5 int 2
+      store dst [y, x]
+    end
+
+    schedule
+      repeat 10 {
+        call blur
+      }
+    end
+    v}
+
+    Syntax summary (one construct per line, [#] comments):
+    - [program NAME]
+    - [array NAME dense D1 D2 ... \[elem BYTES\]]
+    - [array NAME sparse \[nnz N\] D1 ... \[elem BYTES\]]
+    - [temporary NAME ...] — the §III-B user hints
+    - [kernel NAME ... end] containing, in order:
+      {ul
+      {- [loop VAR parallel|serial EXTENT]}
+      {- statements: [load ARR \[E, E\]], [store ARR \[E, E\]],
+         [load ARR via IDX \[E\]] (indirect; the offset list is
+         optional), [compute \[flops F\] \[int I\] \[heavy H\]],
+         [branch P \[uniform\] { ... }]}}
+    - [schedule ... end] containing [call NAME] and
+      [repeat N { ... }]
+
+    Index expressions are affine: [i], [2*i], [i+1], [y-1], [3],
+    [i*4+j]. *)
+
+val parse : string -> (Program.t, string) result
+(** Parse a skeleton source text.  The resulting program is validated;
+    errors carry 1-based line numbers. *)
+
+val parse_file : string -> (Program.t, string) result
+(** Read and {!parse} a file. *)

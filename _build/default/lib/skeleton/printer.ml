@@ -1,0 +1,100 @@
+let expr_to_skel e =
+  let vars = Index_expr.vars e in
+  let buf = Buffer.create 16 in
+  List.iteri
+    (fun i v ->
+      let c = Index_expr.coeff_of e v in
+      if i = 0 then begin
+        if c = 1 then Buffer.add_string buf v
+        else if c = -1 then Buffer.add_string buf ("-" ^ v)
+        else Buffer.add_string buf (Printf.sprintf "%d*%s" c v)
+      end
+      else if c = 1 then Buffer.add_string buf ("+" ^ v)
+      else if c = -1 then Buffer.add_string buf ("-" ^ v)
+      else if c > 0 then Buffer.add_string buf (Printf.sprintf "+%d*%s" c v)
+      else Buffer.add_string buf (Printf.sprintf "-%d*%s" (abs c) v)
+    )
+    vars;
+  let const = Index_expr.constant_part e in
+  if vars = [] then Buffer.add_string buf (string_of_int const)
+  else if const > 0 then Buffer.add_string buf (Printf.sprintf "+%d" const)
+  else if const < 0 then Buffer.add_string buf (Printf.sprintf "-%d" (abs const));
+  Buffer.contents buf
+
+(* %.17g guarantees float round-tripping; %g keeps common values tidy. *)
+let float_to_skel f =
+  let short = Printf.sprintf "%g" f in
+  if float_of_string short = f then short else Printf.sprintf "%.17g" f
+
+let index_list indices = "[" ^ String.concat ", " (List.map expr_to_skel indices) ^ "]"
+
+let rec stmt_lines indent (stmt : Ir.stmt) =
+  let pad = String.make indent ' ' in
+  match stmt with
+  | Ir.Ref { array; access; pattern = Ir.Affine indices } ->
+      let verb = match access with Ir.Load -> "load" | Ir.Store -> "store" in
+      [ Printf.sprintf "%s%s %s %s" pad verb array (index_list indices) ]
+  | Ir.Ref { array; access; pattern = Ir.Indirect { index_array; offset } } ->
+      let verb = match access with Ir.Load -> "load" | Ir.Store -> "store" in
+      let suffix = match offset with [] -> "" | offset -> " " ^ index_list offset in
+      [ Printf.sprintf "%s%s %s via %s%s" pad verb array index_array suffix ]
+  | Ir.Compute { flops; int_ops; heavy_ops } ->
+      let fields =
+        List.filter_map
+          (fun (name, v) ->
+            if v = 0.0 then None else Some (Printf.sprintf "%s %s" name (float_to_skel v)))
+          [ ("flops", flops); ("int", int_ops); ("heavy", heavy_ops) ]
+      in
+      let fields = if fields = [] then [ "flops 0" ] else fields in
+      [ Printf.sprintf "%scompute %s" pad (String.concat " " fields) ]
+  | Ir.Branch { probability; divergent; body } ->
+      (Printf.sprintf "%sbranch %s%s {" pad (float_to_skel probability)
+         (if divergent then "" else " uniform"))
+      :: List.concat_map (stmt_lines (indent + 2)) body
+      @ [ pad ^ "}" ]
+
+let decl_line (d : Decl.t) =
+  let kind =
+    match d.Decl.kind with
+    | Decl.Dense -> "dense"
+    | Decl.Sparse { nnz = Some n } -> Printf.sprintf "sparse nnz %d" n
+    | Decl.Sparse { nnz = None } -> "sparse"
+  in
+  Printf.sprintf "array %s %s %s elem %d" d.Decl.name kind
+    (String.concat " " (List.map string_of_int d.Decl.dims))
+    d.Decl.elem_bytes
+
+let kernel_lines (k : Ir.kernel) =
+  (Printf.sprintf "kernel %s" k.Ir.name)
+  :: List.map
+       (fun (l : Ir.loop) ->
+         Printf.sprintf "  loop %s %s %d" l.Ir.var
+           (if l.Ir.parallel then "parallel" else "serial")
+           l.Ir.extent)
+       k.Ir.loops
+  @ List.concat_map (stmt_lines 2) k.Ir.body
+  @ [ "end" ]
+
+let rec invocation_lines indent inv =
+  let pad = String.make indent ' ' in
+  match inv with
+  | Program.Call name -> [ Printf.sprintf "%scall %s" pad name ]
+  | Program.Repeat (n, body) ->
+      (Printf.sprintf "%srepeat %d {" pad n)
+      :: List.concat_map (invocation_lines (indent + 2)) body
+      @ [ pad ^ "}" ]
+
+let to_skel (p : Program.t) =
+  let lines =
+    [ Printf.sprintf "program %s" p.Program.name; "" ]
+    @ List.map decl_line p.Program.arrays
+    @ (match p.Program.temporaries with
+      | [] -> []
+      | temps -> [ "temporary " ^ String.concat " " temps ])
+    @ [ "" ]
+    @ List.concat_map (fun k -> kernel_lines k @ [ "" ]) p.Program.kernels
+    @ [ "schedule" ]
+    @ List.concat_map (invocation_lines 2) p.Program.schedule
+    @ [ "end" ]
+  in
+  String.concat "\n" lines ^ "\n"

@@ -1,0 +1,16 @@
+(** Render programs in the textual skeleton format.
+
+    The inverse of {!Parser}: [Parser.parse (Printer.to_skel p)] yields
+    a program equivalent to [p] (same arrays, kernels, schedule, and
+    analysis results).  Useful for exporting the bundled workloads as
+    editable starting points:
+
+    {v grophecy export-skel cfd/97K > my_variant.skel v} *)
+
+val to_skel : Program.t -> string
+(** Render a program.  Fractional operation counts and branch
+    probabilities print with enough digits to round-trip. *)
+
+val expr_to_skel : Index_expr.t -> string
+(** Render one affine subscript in the format's expression syntax
+    (["2*i+1"], ["y-1"], ["3"]). *)

@@ -1,0 +1,113 @@
+type invocation = Call of string | Repeat of int * invocation list
+
+type t = {
+  name : string;
+  arrays : Decl.t list;
+  kernels : Ir.kernel list;
+  schedule : invocation list;
+  temporaries : string list;
+}
+
+let create ?(temporaries = []) ~name ~arrays ~kernels ~schedule () =
+  { name; arrays; kernels; schedule; temporaries }
+
+let find_kernel t name = List.find_opt (fun (k : Ir.kernel) -> k.name = name) t.kernels
+
+let kernel_exn t name =
+  match find_kernel t name with Some k -> k | None -> raise Not_found
+
+let flatten_schedule t =
+  let rec go acc = function
+    | [] -> acc
+    | Call name :: rest -> go (name :: acc) rest
+    | Repeat (n, body) :: rest ->
+        let acc = ref acc in
+        for _ = 1 to n do
+          acc := go !acc body
+        done;
+        go !acc rest
+  in
+  List.rev (go [] t.schedule)
+
+let invocation_count t =
+  let rec count = function
+    | Call _ -> 1
+    | Repeat (n, body) -> n * List.fold_left (fun acc i -> acc + count i) 0 body
+  in
+  List.fold_left (fun acc i -> acc + count i) 0 t.schedule
+
+let with_iterations t n =
+  if n < 1 then invalid_arg "Program.with_iterations: iteration count must be >= 1";
+  let rec rewrite = function
+    | Call _ as c -> c
+    | Repeat (_, body) -> Repeat (n, List.map rewrite body)
+  in
+  { t with schedule = List.map rewrite t.schedule }
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let err fmt = Format.kasprintf (fun s -> Error (Printf.sprintf "program %s: %s" t.name s)) fmt in
+  let* () =
+    List.fold_left
+      (fun acc (d : Decl.t) ->
+        let* () = acc in
+        Decl.validate d)
+      (Ok ()) t.arrays
+  in
+  let kernel_names = List.map (fun (k : Ir.kernel) -> k.name) t.kernels in
+  let* () =
+    if List.length (List.sort_uniq String.compare kernel_names) <> List.length kernel_names then
+      err "duplicate kernel names"
+    else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        Ir.validate ~decls:t.arrays k)
+      (Ok ()) t.kernels
+  in
+  let* () = if t.schedule = [] then err "empty schedule" else Ok () in
+  let rec check_invocation = function
+    | Call name ->
+        if List.mem name kernel_names then Ok () else err "schedule calls undefined kernel %s" name
+    | Repeat (n, body) ->
+        if n < 1 then err "repeat count %d < 1" n
+        else if body = [] then err "empty repeat body"
+        else
+          List.fold_left
+            (fun acc i ->
+              let* () = acc in
+              check_invocation i)
+            (Ok ()) body
+  in
+  let* () =
+    List.fold_left
+      (fun acc i ->
+        let* () = acc in
+        check_invocation i)
+      (Ok ()) t.schedule
+  in
+  List.fold_left
+    (fun acc tmp ->
+      let* () = acc in
+      if List.exists (fun (d : Decl.t) -> d.name = tmp) t.arrays then Ok ()
+      else err "temporary hint for undeclared array %s" tmp)
+    (Ok ()) t.temporaries
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>program %s@," t.name;
+  Format.fprintf ppf "arrays:@,";
+  List.iter (fun d -> Format.fprintf ppf "  %a@," Decl.pp d) t.arrays;
+  if t.temporaries <> [] then
+    Format.fprintf ppf "temporaries: %s@," (String.concat ", " t.temporaries);
+  let rec pp_invocation indent = function
+    | Call name -> Format.fprintf ppf "%scall %s@," indent name
+    | Repeat (n, body) ->
+        Format.fprintf ppf "%srepeat %d:@," indent n;
+        List.iter (pp_invocation (indent ^ "  ")) body
+  in
+  Format.fprintf ppf "schedule:@,";
+  List.iter (pp_invocation "  ") t.schedule;
+  List.iter (fun k -> Format.fprintf ppf "%a@," Ir.pp_kernel k) t.kernels;
+  Format.fprintf ppf "@]"

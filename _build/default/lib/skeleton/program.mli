@@ -1,0 +1,56 @@
+(** Program skeletons: a set of kernels plus an invocation schedule.
+
+    The data usage analyzer reasons about the dataflow among multiple
+    kernels (paper §III-B): data produced by one kernel and consumed by
+    the next stays on the GPU, and iterative applications transfer a
+    fixed amount of data regardless of the iteration count (§IV-B). *)
+
+type invocation =
+  | Call of string  (** Invoke a kernel once, by name. *)
+  | Repeat of int * invocation list
+      (** Invoke a sub-schedule a number of times (iterative solvers). *)
+
+type t = {
+  name : string;
+  arrays : Decl.t list;
+  kernels : Ir.kernel list;
+  schedule : invocation list;
+  temporaries : string list;
+      (** User hints (§III-B): arrays written on the GPU that the CPU
+          never needs back, so they are not transferred out. *)
+}
+
+val create :
+  ?temporaries:string list ->
+  name:string ->
+  arrays:Decl.t list ->
+  kernels:Ir.kernel list ->
+  schedule:invocation list ->
+  unit ->
+  t
+
+val find_kernel : t -> string -> Ir.kernel option
+
+val kernel_exn : t -> string -> Ir.kernel
+(** @raise Not_found when the kernel is not defined. *)
+
+val flatten_schedule : t -> string list
+(** Fully unrolled invocation sequence (kernel names in execution
+    order).  [Repeat] nodes are expanded. *)
+
+val invocation_count : t -> int
+(** Length of {!flatten_schedule} without materializing it. *)
+
+val with_iterations : t -> int -> t
+(** [with_iterations t n] rescales every [Repeat] node's count by
+    replacing it with [n].  This matches the paper's iteration sweeps
+    (Figures 8, 10, 12), where each application has a single iteration
+    dimension.  Programs without a [Repeat] node are returned
+    unchanged.  @raise Invalid_argument if [n < 1]. *)
+
+val validate : t -> (unit, string) result
+(** All kernels valid w.r.t. the declared arrays, kernel names unique,
+    schedule references defined kernels, repeat counts positive,
+    temporaries declared, and the schedule is non-empty. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,108 @@
+type t = {
+  kernel_name : string;
+  trip_count : int;
+  parallel_iterations : int;
+  flops_per_iter : float;
+  int_ops_per_iter : float;
+  heavy_ops_per_iter : float;
+  loads_per_iter : float;
+  stores_per_iter : float;
+  load_bytes_per_iter : float;
+  store_bytes_per_iter : float;
+  divergent_weight : float;
+  has_indirect : bool;
+}
+
+type acc = {
+  mutable flops : float;
+  mutable int_ops : float;
+  mutable heavy_ops : float;
+  mutable loads : float;
+  mutable stores : float;
+  mutable load_bytes : float;
+  mutable store_bytes : float;
+  mutable divergent : float;
+  mutable statements : float;
+  mutable indirect : bool;
+}
+
+let of_kernel ~decls (k : Ir.kernel) =
+  let elem_bytes array =
+    match List.find_opt (fun (d : Decl.t) -> d.name = array) decls with
+    | Some d -> float_of_int d.elem_bytes
+    | None -> invalid_arg (Printf.sprintf "Summary.of_kernel: undeclared array %s" array)
+  in
+  let acc =
+    {
+      flops = 0.0;
+      int_ops = 0.0;
+      heavy_ops = 0.0;
+      loads = 0.0;
+      stores = 0.0;
+      load_bytes = 0.0;
+      store_bytes = 0.0;
+      divergent = 0.0;
+      statements = 0.0;
+      indirect = false;
+    }
+  in
+  let rec walk weight under_divergent stmts =
+    List.iter
+      (fun stmt ->
+        match (stmt : Ir.stmt) with
+        | Ref r ->
+            acc.statements <- acc.statements +. weight;
+            if under_divergent then acc.divergent <- acc.divergent +. weight;
+            let bytes = weight *. elem_bytes r.array in
+            (match r.pattern with Indirect _ -> acc.indirect <- true | Affine _ -> ());
+            (match r.access with
+            | Load ->
+                acc.loads <- acc.loads +. weight;
+                acc.load_bytes <- acc.load_bytes +. bytes
+            | Store ->
+                acc.stores <- acc.stores +. weight;
+                acc.store_bytes <- acc.store_bytes +. bytes)
+        | Compute { flops; int_ops; heavy_ops } ->
+            acc.statements <- acc.statements +. weight;
+            if under_divergent then acc.divergent <- acc.divergent +. weight;
+            acc.flops <- acc.flops +. (weight *. flops);
+            acc.int_ops <- acc.int_ops +. (weight *. int_ops);
+            acc.heavy_ops <- acc.heavy_ops +. (weight *. heavy_ops)
+        | Branch { probability; divergent; body } ->
+            walk (weight *. probability) (under_divergent || divergent) body)
+      stmts
+  in
+  walk 1.0 false k.body;
+  {
+    kernel_name = k.name;
+    trip_count = Ir.trip_count k;
+    parallel_iterations = Ir.parallel_iterations k;
+    flops_per_iter = acc.flops;
+    int_ops_per_iter = acc.int_ops;
+    heavy_ops_per_iter = acc.heavy_ops;
+    loads_per_iter = acc.loads;
+    stores_per_iter = acc.stores;
+    load_bytes_per_iter = acc.load_bytes;
+    store_bytes_per_iter = acc.store_bytes;
+    divergent_weight = (if acc.statements > 0.0 then acc.divergent /. acc.statements else 0.0);
+    has_indirect = acc.indirect;
+  }
+
+let total_flops t = t.flops_per_iter *. float_of_int t.trip_count
+
+let total_bytes t = (t.load_bytes_per_iter +. t.store_bytes_per_iter) *. float_of_int t.trip_count
+
+let arithmetic_intensity t =
+  let bytes = total_bytes t in
+  if bytes = 0.0 then Float.infinity else total_flops t /. bytes
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>kernel %s: %d iterations (%d parallel)@,\
+     per iteration: %.2f flops, %.2f int ops, %.2f heavy, %.2f loads (%.1f B), %.2f stores (%.1f B)@,\
+     divergent weight %.2f%s@]"
+    t.kernel_name t.trip_count t.parallel_iterations t.flops_per_iter t.int_ops_per_iter
+    t.heavy_ops_per_iter t.loads_per_iter t.load_bytes_per_iter t.stores_per_iter
+    t.store_bytes_per_iter
+    t.divergent_weight
+    (if t.has_indirect then ", has indirect accesses" else "")

@@ -1,0 +1,39 @@
+(** Aggregate characteristics of a kernel skeleton.
+
+    Rolls the IR up into the per-iteration operation and traffic counts
+    that both the CPU roofline model and the GPU models consume.
+    Branch bodies contribute in proportion to their execution
+    probability. *)
+
+type t = {
+  kernel_name : string;
+  trip_count : int;  (** Total innermost iterations. *)
+  parallel_iterations : int;  (** Exploitable data parallelism. *)
+  flops_per_iter : float;
+  int_ops_per_iter : float;
+  heavy_ops_per_iter : float;
+      (** Long-latency operations (divide, sqrt, exp, ...). *)
+  loads_per_iter : float;  (** Expected array loads per iteration. *)
+  stores_per_iter : float;
+  load_bytes_per_iter : float;
+  store_bytes_per_iter : float;
+  divergent_weight : float;
+      (** Expected fraction of statements under a divergent branch —
+          a [0, 1] proxy for warp-divergence exposure. *)
+  has_indirect : bool;  (** Any indirect (gather/scatter) access. *)
+}
+
+val of_kernel : decls:Decl.t list -> Ir.kernel -> t
+(** @raise Invalid_argument if a referenced array is undeclared (run
+    {!Ir.validate} first). *)
+
+val total_flops : t -> float
+
+val total_bytes : t -> float
+(** Loads plus stores over the whole iteration space — the traffic a
+    bandwidth-bound execution must move, assuming no cache reuse. *)
+
+val arithmetic_intensity : t -> float
+(** [total_flops / total_bytes]; [infinity] for pure-compute kernels. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/transform/explore.ml: Float Gpp_model Gpp_skeleton List Printf Synthesize

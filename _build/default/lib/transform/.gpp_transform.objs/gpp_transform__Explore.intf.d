@@ -1,0 +1,1 @@
+lib/transform/explore.mli: Format Gpp_arch Gpp_model Gpp_skeleton Synthesize

@@ -1,0 +1,1 @@
+lib/transform/fusion.ml: Float Gpp_model Gpp_skeleton List Mapping Printf Synthesize Tiling

@@ -1,0 +1,1 @@
+lib/transform/fusion.mli: Gpp_arch Gpp_model Gpp_skeleton Synthesize Tiling

@@ -1,0 +1,1 @@
+lib/transform/mapping.ml: Gpp_arch Gpp_skeleton List Printf

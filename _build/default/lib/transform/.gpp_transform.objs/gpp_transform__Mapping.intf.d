@@ -1,0 +1,1 @@
+lib/transform/mapping.mli: Gpp_arch Gpp_skeleton

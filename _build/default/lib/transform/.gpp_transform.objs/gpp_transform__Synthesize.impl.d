@@ -1,0 +1,1 @@
+lib/transform/synthesize.ml: Gpp_model Gpp_skeleton List Mapping Printf String Tiling

@@ -1,0 +1,1 @@
+lib/transform/synthesize.mli: Gpp_arch Gpp_model Gpp_skeleton

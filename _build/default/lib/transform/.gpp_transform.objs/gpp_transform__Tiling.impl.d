@@ -1,0 +1,1 @@
+lib/transform/tiling.ml: Float Format Gpp_skeleton List

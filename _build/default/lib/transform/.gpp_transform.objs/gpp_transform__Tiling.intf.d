@@ -1,0 +1,1 @@
+lib/transform/tiling.mli: Format Gpp_skeleton

@@ -1,0 +1,61 @@
+type space = {
+  block_sizes : int list;
+  unroll_factors : int list;
+  vector_widths : int list;
+  allow_tiling : bool;
+}
+
+let default_space =
+  {
+    block_sizes = [ 64; 128; 192; 256; 384; 512 ];
+    unroll_factors = [ 1; 2; 4 ];
+    vector_widths = [ 1; 2; 4 ];
+    allow_tiling = true;
+  }
+
+type candidate = {
+  config : Synthesize.config;
+  characteristics : Gpp_model.Characteristics.t;
+  projection : Gpp_model.Analytic.projection;
+}
+
+let configs_of_space space =
+  List.concat_map
+    (fun threads_per_block ->
+      List.concat_map
+        (fun unroll ->
+          List.concat_map
+            (fun vector_width ->
+              let base =
+                { Synthesize.threads_per_block; unroll; vector_width; shared_tiling = false }
+              in
+              if space.allow_tiling then [ base; { base with Synthesize.shared_tiling = true } ]
+              else [ base ])
+            space.vector_widths)
+        space.unroll_factors)
+    space.block_sizes
+
+let search ?params ?(space = default_space) ~gpu ~decls kernel =
+  let evaluate cfg =
+    match Synthesize.characteristics ~gpu ~decls kernel cfg with
+    | Error _ -> None
+    | Ok characteristics -> (
+        match Gpp_model.Analytic.project ?params ~gpu characteristics with
+        | Error _ -> None
+        | Ok projection -> Some { config = cfg; characteristics; projection })
+  in
+  configs_of_space space
+  |> List.filter_map evaluate
+  |> List.sort (fun a b ->
+         Float.compare a.projection.Gpp_model.Analytic.kernel_time
+           b.projection.Gpp_model.Analytic.kernel_time)
+
+let best ?params ?space ~gpu ~decls kernel =
+  match search ?params ?space ~gpu ~decls kernel with
+  | [] ->
+      Error
+        (Printf.sprintf "kernel %s: no feasible GPU transformation found"
+           kernel.Gpp_skeleton.Ir.name)
+  | fastest :: _ -> Ok fastest
+
+let pp_candidate ppf c = Gpp_model.Analytic.pp_projection ppf c.projection

@@ -1,0 +1,47 @@
+(** Transformation-space search.
+
+    GROPHECY "explores various code transformations, synthesizes
+    performance characteristics for each transformation, and supplies
+    the characteristics to a GPU performance model" (paper §II-C),
+    eventually reporting the best achievable configuration.  This module
+    is that loop. *)
+
+type space = {
+  block_sizes : int list;
+  unroll_factors : int list;
+  vector_widths : int list;
+  allow_tiling : bool;
+}
+
+val default_space : space
+(** Blocks of 64..512 threads, coarsening 1..4, vector widths 1..4,
+    tiling enabled. *)
+
+type candidate = {
+  config : Synthesize.config;
+  characteristics : Gpp_model.Characteristics.t;
+  projection : Gpp_model.Analytic.projection;
+}
+
+val search :
+  ?params:Gpp_model.Analytic.params ->
+  ?space:space ->
+  gpu:Gpp_arch.Gpu.t ->
+  decls:Gpp_skeleton.Decl.t list ->
+  Gpp_skeleton.Ir.kernel ->
+  candidate list
+(** All feasible configurations, fastest first.  Infeasible points
+    (block too large, no tiling opportunity, ...) are silently
+    discarded, as GROPHECY prunes illegal transformations. *)
+
+val best :
+  ?params:Gpp_model.Analytic.params ->
+  ?space:space ->
+  gpu:Gpp_arch.Gpu.t ->
+  decls:Gpp_skeleton.Decl.t list ->
+  Gpp_skeleton.Ir.kernel ->
+  (candidate, string) result
+(** Fastest feasible candidate, or [Error] when the whole space is
+    infeasible (e.g. a kernel with no data parallelism). *)
+
+val pp_candidate : Format.formatter -> candidate -> unit

@@ -1,0 +1,177 @@
+module Ir = Gpp_skeleton.Ir
+module Program = Gpp_skeleton.Program
+module Summary = Gpp_skeleton.Summary
+module C = Gpp_model.Characteristics
+
+type eligibility = { kernel : Ir.kernel; group : Tiling.group; iterations : int }
+
+let eligible (program : Program.t) =
+  match program.Program.schedule with
+  | [ Program.Repeat (n, [ Program.Call name ]) ] when n >= 2 -> (
+      match Program.find_kernel program name with
+      | None -> None
+      | Some kernel -> (
+          match Tiling.detect ~decls:program.Program.arrays kernel with
+          | [] -> None
+          | groups ->
+              (* The principal group: the stencil with the most taps is
+                 the array iterated across time steps. *)
+              let group =
+                List.fold_left
+                  (fun best g -> if g.Tiling.taps > best.Tiling.taps then g else best)
+                  (List.hd groups) (List.tl groups)
+              in
+              Some { kernel; group; iterations = n }))
+  | _ -> None
+
+let ipow base exp =
+  let rec go acc n = if n = 0 then acc else go (acc * base) (n - 1) in
+  go 1 exp
+
+let fused_characteristics ~gpu ~decls (k : Ir.kernel) ~config ~factor =
+  if factor < 1 then Error "fusion factor must be >= 1"
+  else
+    match Tiling.detect ~decls k with
+    | [] -> Error (Printf.sprintf "kernel %s has no stencil to fuse" k.name)
+    | principal :: _ as groups ->
+        let group =
+          List.fold_left
+            (fun best g -> if g.Tiling.taps > best.Tiling.taps then g else best)
+            principal groups
+        in
+        let cfg = { config with Synthesize.shared_tiling = true } in
+        let summary = Summary.of_kernel ~decls k in
+        if summary.Summary.parallel_iterations <= 1 then
+          Error (Printf.sprintf "kernel %s exposes no data parallelism" k.name)
+        else begin
+          let r = max 1 group.Tiling.radius in
+          let rank = min group.Tiling.rank 2 in
+          let outputs = cfg.Synthesize.threads_per_block * cfg.Synthesize.unroll in
+          let side =
+            if rank <= 1 then outputs
+            else int_of_float (Float.ceil (sqrt (float_of_int outputs)))
+          in
+          if 2 * r * factor >= side then
+            Error
+              (Printf.sprintf "fusion factor %d: halo %d exceeds tile side %d" factor
+                 (2 * r * factor) side)
+          else begin
+            let serial_mult = float_of_int (Mapping.serial_multiplier k) in
+            let work_mult = float_of_int cfg.Synthesize.unroll *. serial_mult in
+            let threads_needed =
+              (summary.Summary.parallel_iterations + cfg.Synthesize.unroll - 1)
+              / cfg.Synthesize.unroll
+            in
+            let grid_blocks =
+              (threads_needed + cfg.Synthesize.threads_per_block - 1)
+              / cfg.Synthesize.threads_per_block
+            in
+            (* Redundant halo computation: step j of the launch computes
+               a tile shrunk by j*r on each side; averaged over steps and
+               normalized by the useful output tile. *)
+            let computed_elements =
+              List.init factor (fun j -> ipow (side + (2 * r * (factor - 1 - j))) rank)
+              |> List.fold_left ( + ) 0
+            in
+            let compute_factor =
+              float_of_int computed_elements /. float_of_int (factor * ipow side rank)
+            in
+            let tile_elems = ipow (side + (2 * r * factor)) rank in
+            let tile_loads_per_thread = float_of_int tile_elems /. float_of_int outputs in
+            (* Non-group references: loaded/stored once per launch; the
+               group's taps are served from the shared tile. *)
+            let group_load_weight = float_of_int group.Tiling.taps in
+            let other_loads = Float.max 0.0 (summary.Summary.loads_per_iter -. group_load_weight) in
+            let loads = (other_loads *. work_mult) +. (tile_loads_per_thread *. float_of_int cfg.Synthesize.unroll) in
+            let stores = summary.Summary.stores_per_iter *. work_mult in
+            (* Coalescing: the cooperative tile load and the surviving
+               refs stream contiguously in these stencil kernels. *)
+            let base_stride = Mapping.ref_stride ~decls ~kernel:k group.Tiling.base_ref in
+            let trans_per_access =
+              Mapping.transactions_per_access ~gpu ~elem_bytes:group.Tiling.elem_bytes base_stride
+            in
+            let load_trans = loads *. trans_per_access in
+            let store_trans = stores *. trans_per_access in
+            let steps = float_of_int factor in
+            let flops =
+              (summary.Summary.flops_per_iter
+              +. (4.0 *. summary.Summary.heavy_ops_per_iter))
+              *. work_mult *. steps *. compute_factor
+            in
+            let int_ops =
+              ((summary.Summary.int_ops_per_iter +. group_load_weight) *. work_mult *. steps
+              *. compute_factor)
+              +. loads +. stores
+            in
+            let syncs = 2.0 *. steps *. float_of_int cfg.Synthesize.unroll in
+            let shared_mem =
+              (* Double-buffered tile for multi-step fusion. *)
+              tile_elems * group.Tiling.elem_bytes * (if factor > 1 then 2 else 1)
+            in
+            let registers =
+              10 + (2 * min factor 8) + (2 * (cfg.Synthesize.unroll - 1)) + 8 |> min 63
+            in
+            let c =
+              C.create
+                ~config_label:(Printf.sprintf "%s fused=%d" (Synthesize.label cfg) factor)
+                ~registers_per_thread:registers ~shared_mem_per_block:shared_mem
+                ~int_ops_per_thread:int_ops ~syncs_per_thread:syncs
+                ~divergence_factor:(1.0 +. summary.Summary.divergent_weight)
+                ~kernel_name:(k.name ^ "_fused") ~grid_blocks
+                ~threads_per_block:cfg.Synthesize.threads_per_block ~flops_per_thread:flops
+                ~load_insts_per_thread:loads ~store_insts_per_thread:stores
+                ~load_transactions_per_warp:load_trans ~store_transactions_per_warp:store_trans
+                ()
+            in
+            match C.validate ~gpu c with Ok () -> Ok c | Error e -> Error e
+          end
+        end
+
+type plan = {
+  factor : int;
+  launches : int;
+  characteristics : C.t;
+  launch_time : float;
+  total_time : float;
+}
+
+let default_config =
+  { Synthesize.threads_per_block = 256; unroll = 1; vector_width = 1; shared_tiling = true }
+
+let plan ?params ?(config = default_config) ~gpu program ~factor =
+  match eligible program with
+  | None -> Error "program is not an iterated single stencil kernel"
+  | Some e -> (
+      match
+        fused_characteristics ~gpu ~decls:program.Program.arrays e.kernel ~config ~factor
+      with
+      | Error e -> Error e
+      | Ok characteristics -> (
+          match Gpp_model.Analytic.project ?params ~gpu characteristics with
+          | Error e -> Error e
+          | Ok projection ->
+              let launches = (e.iterations + factor - 1) / factor in
+              let launch_time = projection.Gpp_model.Analytic.kernel_time in
+              Ok
+                {
+                  factor;
+                  launches;
+                  characteristics;
+                  launch_time;
+                  total_time = float_of_int launches *. launch_time;
+                }))
+
+let best_factor ?params ?config ?(factors = [ 1; 2; 4; 8 ]) ~gpu program =
+  match eligible program with
+  | None -> Error "program is not an iterated single stencil kernel"
+  | Some _ ->
+      let plans =
+        List.filter_map
+          (fun factor ->
+            match plan ?params ?config ~gpu program ~factor with
+            | Ok p -> Some p
+            | Error _ -> None)
+          factors
+      in
+      if plans = [] then Error "no feasible fusion factor"
+      else Ok (List.sort (fun a b -> Float.compare a.total_time b.total_time) plans)

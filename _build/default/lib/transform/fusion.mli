@@ -1,0 +1,71 @@
+(** Temporal kernel fusion for iterative stencils.
+
+    The paper notes that "multiple invocations of the same kernel across
+    several iterations can be fused together" (§IV-B, HotSpot).  Fusing
+    [f] time steps into one launch trades redundant halo work for:
+    - [f]x fewer kernel launches,
+    - [f]x fewer global-memory round trips of the iterated array (the
+      tile stays in shared memory across the fused steps), and
+    - [f]x fewer loads of time-invariant side inputs.
+
+    The cost: the shared-memory tile must carry a halo of width
+    [radius * f], shrinking by [radius] per fused step — so occupancy
+    drops and per-tile redundant computation grows with [f].  There is
+    a sweet spot, which {!best_factor} finds by projecting each
+    candidate with the analytic model.
+
+    Applicable to programs whose schedule is a single repeated stencil
+    kernel (like HotSpot); {!eligible} checks this. *)
+
+type eligibility = {
+  kernel : Gpp_skeleton.Ir.kernel;
+  group : Tiling.group;  (** The stencil group carried across steps. *)
+  iterations : int;  (** The Repeat count in the schedule. *)
+}
+
+val eligible : Gpp_skeleton.Program.t -> eligibility option
+(** [Some _] when the program's schedule is exactly
+    [Repeat (n, [Call k])] with [n >= 2] and [k] contains a
+    shared-memory tiling group. *)
+
+val fused_characteristics :
+  gpu:Gpp_arch.Gpu.t ->
+  decls:Gpp_skeleton.Decl.t list ->
+  Gpp_skeleton.Ir.kernel ->
+  config:Synthesize.config ->
+  factor:int ->
+  (Gpp_model.Characteristics.t, string) result
+(** Characteristics of one launch executing [factor] fused time steps
+    of the kernel under the given transformation configuration.
+    [factor = 1] reduces to ordinary tiled synthesis.
+    @raise nothing; returns [Error] for infeasible factors (halo
+    exceeding the tile, shared memory overflowing the SM, non-stencil
+    kernels). *)
+
+type plan = {
+  factor : int;
+  launches : int;  (** Launches covering all iterations. *)
+  characteristics : Gpp_model.Characteristics.t;
+  launch_time : float;  (** Projected time of one fused launch. *)
+  total_time : float;  (** [launches * launch_time]. *)
+}
+
+val plan :
+  ?params:Gpp_model.Analytic.params ->
+  ?config:Synthesize.config ->
+  gpu:Gpp_arch.Gpu.t ->
+  Gpp_skeleton.Program.t ->
+  factor:int ->
+  (plan, string) result
+(** Project the whole iterative program at one fusion factor.  The
+    default configuration is 256 threads per block with tiling. *)
+
+val best_factor :
+  ?params:Gpp_model.Analytic.params ->
+  ?config:Synthesize.config ->
+  ?factors:int list ->
+  gpu:Gpp_arch.Gpu.t ->
+  Gpp_skeleton.Program.t ->
+  (plan list, string) result
+(** Feasible plans for each candidate factor (default 1, 2, 4, 8),
+    fastest first.  [Error] when the program is not eligible. *)

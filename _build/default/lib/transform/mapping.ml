@@ -1,0 +1,79 @@
+module Ir = Gpp_skeleton.Ir
+module Decl = Gpp_skeleton.Decl
+module Index_expr = Gpp_skeleton.Index_expr
+
+let innermost_parallel_var (k : Ir.kernel) =
+  List.fold_left (fun acc (l : Ir.loop) -> if l.parallel then Some l.var else acc) None k.loops
+
+let serial_multiplier (k : Ir.kernel) =
+  List.fold_left (fun acc (l : Ir.loop) -> if l.parallel then acc else acc * l.extent) 1 k.loops
+
+type stride = Bytes of int | Scattered
+
+let find_decl decls name =
+  match List.find_opt (fun (d : Decl.t) -> d.name = name) decls with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Mapping: undeclared array %s" name)
+
+(* Row-major linearization stride of each dimension: the product of the
+   extents of all inner dimensions. *)
+let row_major_strides dims =
+  let rec go = function
+    | [] -> []
+    | _ :: rest as all ->
+        let inner = List.fold_left ( * ) 1 (List.tl all) in
+        inner :: go rest
+  in
+  go dims
+
+let ref_stride ~decls ~kernel (r : Ir.array_ref) =
+  let d = find_decl decls r.array in
+  let affine_step indices strides v =
+    List.fold_left2
+      (fun acc expr dim_stride -> acc + (Index_expr.coeff_of expr v * dim_stride))
+      0 indices strides
+  in
+  match (d.kind, r.pattern) with
+  | Decl.Sparse _, _ -> Scattered
+  | Decl.Dense, Ir.Indirect { offset = []; _ } -> Scattered
+  | Decl.Dense, Ir.Indirect { offset; _ } -> (
+      (* Indexed-base access: adjacent threads share the (unknown) base
+         and differ only in the affine offset, so the innermost strides
+         of the offset govern coalescing.  A zero offset stride means
+         the base itself varies per thread: scattered. *)
+      match innermost_parallel_var kernel with
+      | None -> Scattered
+      | Some v ->
+          let strides =
+            (* Offsets address the trailing dimensions of the array. *)
+            let all = row_major_strides d.dims in
+            let skip = List.length all - List.length offset in
+            List.filteri (fun i _ -> i >= skip) all
+          in
+          let elem_step = affine_step offset strides v in
+          if elem_step = 0 then Scattered else Bytes (abs elem_step * d.elem_bytes))
+  | Decl.Dense, Ir.Affine indices -> (
+      match innermost_parallel_var kernel with
+      | None -> Bytes 0
+      | Some v -> Bytes (abs (affine_step indices (row_major_strides d.dims) v) * d.elem_bytes))
+
+let transactions_per_access ~gpu ~elem_bytes stride =
+  let gpu : Gpp_arch.Gpu.t = gpu in
+  let warp = gpu.warp_size and segment = gpu.coalesce_segment in
+  match stride with
+  | Scattered -> float_of_int warp
+  | Bytes 0 -> 1.0 (* broadcast: all lanes hit one segment *)
+  | Bytes stride_bytes ->
+      let span = ((warp - 1) * stride_bytes) + elem_bytes in
+      let segments = (span + segment - 1) / segment in
+      float_of_int (min segments warp)
+
+let is_scattered ~gpu ~elem_bytes stride =
+  let gpu : Gpp_arch.Gpu.t = gpu in
+  match stride with
+  | Scattered -> true
+  | Bytes 0 -> false
+  | Bytes stride_bytes ->
+      (* Fewer than two lanes per segment: the burst degenerates into
+         isolated transactions. *)
+      stride_bytes * 2 > gpu.coalesce_segment && elem_bytes < stride_bytes

@@ -1,0 +1,42 @@
+(** Thread mapping and memory-coalescing analysis.
+
+    GROPHECY maps the parallel loops of a skeleton onto the GPU thread
+    space: the innermost parallel loop varies fastest, so consecutive
+    threads execute consecutive iterations of it.  A reference's
+    coalescing behaviour then follows from its subscript's stride with
+    respect to that loop variable. *)
+
+val innermost_parallel_var : Gpp_skeleton.Ir.kernel -> string option
+(** The parallel loop variable mapped to adjacent threads; [None] when
+    the kernel has no parallel loop. *)
+
+val serial_multiplier : Gpp_skeleton.Ir.kernel -> int
+(** Product of the non-parallel loop extents: how many times each
+    thread executes the kernel body. *)
+
+type stride = Bytes of int | Scattered
+(** Distance in memory between the elements touched by adjacent
+    threads.  [Scattered] covers indirect accesses and sparse arrays,
+    whose per-lane targets are unrelated. *)
+
+val ref_stride :
+  decls:Gpp_skeleton.Decl.t list ->
+  kernel:Gpp_skeleton.Ir.kernel ->
+  Gpp_skeleton.Ir.array_ref ->
+  stride
+(** Stride of one reference under the standard mapping.  For an affine
+    reference the per-thread element distance is the subscript
+    polynomial evaluated at a unit step of the innermost parallel
+    variable (accounting for row-major layout of multidimensional
+    arrays). *)
+
+val transactions_per_access :
+  gpu:Gpp_arch.Gpu.t -> elem_bytes:int -> stride -> float
+(** Memory transactions one warp issues to execute this access once:
+    the number of distinct [coalesce_segment]-byte segments spanned by
+    [warp_size] lanes at the given stride, capped at one transaction per
+    lane.  [Scattered] accesses cost one transaction per lane. *)
+
+val is_scattered : gpu:Gpp_arch.Gpu.t -> elem_bytes:int -> stride -> bool
+(** Whether the access wastes most of each transaction (fewer than two
+    lanes share a segment). *)

@@ -1,0 +1,162 @@
+module Ir = Gpp_skeleton.Ir
+module Summary = Gpp_skeleton.Summary
+module Characteristics = Gpp_model.Characteristics
+
+type config = {
+  threads_per_block : int;
+  unroll : int;
+  vector_width : int;
+  shared_tiling : bool;
+}
+
+let scalar ~threads_per_block = { threads_per_block; unroll = 1; vector_width = 1; shared_tiling = false }
+
+let label c =
+  Printf.sprintf "tpb=%d unroll=%d%s%s" c.threads_per_block c.unroll
+    (if c.vector_width > 1 then Printf.sprintf " vec=%d" c.vector_width else "")
+    (if c.shared_tiling then " tiled" else "")
+
+(* A divide/sqrt/exp runs on the SFU path at roughly a quarter of the
+   FMA issue rate, so each heavy operation costs this many
+   flop-equivalent issue slots. *)
+let gpu_heavy_op_weight = 4.0
+
+type traffic = {
+  mutable loads : float;
+  mutable stores : float;
+  mutable load_trans : float;
+  mutable store_trans : float;
+  mutable scattered_trans : float;
+}
+
+let distinct_arrays (k : Ir.kernel) =
+  Ir.refs k
+  |> List.map (fun (_, (r : Ir.array_ref)) -> r.array)
+  |> List.sort_uniq String.compare
+  |> List.length
+
+let characteristics ~gpu ~decls (k : Ir.kernel) cfg =
+  let summary = Summary.of_kernel ~decls k in
+  let elem_bytes array =
+    match List.find_opt (fun (d : Gpp_skeleton.Decl.t) -> d.name = array) decls with
+    | Some d -> d.elem_bytes
+    | None -> 4
+  in
+  (* Vector accesses require every reference to be contiguous along the
+     thread dimension (or warp-uniform): a float4 load of a strided or
+     scattered pattern does not exist. *)
+  let vectorizable () =
+    Ir.fold_refs k ~init:true ~f:(fun acc ~weight:_ (r : Ir.array_ref) ->
+        acc
+        &&
+        match Mapping.ref_stride ~decls ~kernel:k r with
+        | Mapping.Bytes 0 -> true
+        | Mapping.Bytes stride -> stride = elem_bytes r.array
+        | Mapping.Scattered -> false)
+  in
+  if summary.parallel_iterations <= 1 then
+    Error (Printf.sprintf "kernel %s exposes no data parallelism" k.name)
+  else if cfg.unroll < 1 || cfg.unroll > summary.parallel_iterations then
+    Error (Printf.sprintf "kernel %s: unroll %d out of range" k.name cfg.unroll)
+  else if cfg.vector_width < 1 then
+    Error (Printf.sprintf "kernel %s: vector width %d out of range" k.name cfg.vector_width)
+  else if cfg.vector_width > 1 && not (vectorizable ()) then
+    Error (Printf.sprintf "kernel %s: non-contiguous accesses cannot vectorize" k.name)
+  else if cfg.unroll * cfg.vector_width > summary.parallel_iterations then
+    Error (Printf.sprintf "kernel %s: coarsening exceeds the iteration space" k.name)
+  else begin
+    let groups = if cfg.shared_tiling then Tiling.detect ~decls k else [] in
+    if cfg.shared_tiling && groups = [] then
+      Error (Printf.sprintf "kernel %s has no shared-memory tiling opportunity" k.name)
+    else begin
+      let serial_mult = float_of_int (Mapping.serial_multiplier k) in
+      let elements_per_thread = cfg.unroll * cfg.vector_width in
+      let work_mult = float_of_int elements_per_thread *. serial_mult in
+      let threads_needed =
+        (summary.parallel_iterations + elements_per_thread - 1) / elements_per_thread
+      in
+      let grid_blocks = (threads_needed + cfg.threads_per_block - 1) / cfg.threads_per_block in
+      let traffic =
+        { loads = 0.0; stores = 0.0; load_trans = 0.0; store_trans = 0.0; scattered_trans = 0.0 }
+      in
+      Ir.fold_refs k ~init:() ~f:(fun () ~weight (r : Ir.array_ref) ->
+          let stride = Mapping.ref_stride ~decls ~kernel:k r in
+          let eb = elem_bytes r.array in
+          let trans = Mapping.transactions_per_access ~gpu ~elem_bytes:eb stride in
+          let n = weight *. work_mult in
+          (* A width-w vector access is one instruction for w elements;
+             the bytes it moves (and thus its transactions) scale with
+             w, leaving per-element traffic unchanged. *)
+          let insts = n /. float_of_int cfg.vector_width in
+          if Mapping.is_scattered ~gpu ~elem_bytes:eb stride then
+            traffic.scattered_trans <- traffic.scattered_trans +. (n *. trans);
+          match r.access with
+          | Ir.Load ->
+              traffic.loads <- traffic.loads +. insts;
+              traffic.load_trans <- traffic.load_trans +. (n *. trans)
+          | Ir.Store ->
+              traffic.stores <- traffic.stores +. insts;
+              traffic.store_trans <- traffic.store_trans +. (n *. trans));
+      (* Shared-memory tiling: replace each group's taps with one
+         cooperative (coalesced) tile load plus halo, a barrier pair,
+         and scratchpad reads that cost only issue slots. *)
+      let int_ops = ref (summary.int_ops_per_iter *. work_mult) in
+      let syncs = ref 0.0 in
+      let shared_mem = ref 0 in
+      List.iter
+        (fun (g : Tiling.group) ->
+          let taps = float_of_int g.taps in
+          let hf =
+            Tiling.halo_factor g ~threads_per_block:cfg.threads_per_block
+              ~unroll:(cfg.unroll * cfg.vector_width)
+          in
+          let base_stride = Mapping.ref_stride ~decls ~kernel:k g.base_ref in
+          let base_trans =
+            Mapping.transactions_per_access ~gpu ~elem_bytes:g.elem_bytes base_stride
+          in
+          let body_mult = float_of_int (cfg.unroll * cfg.vector_width) in
+          traffic.loads <- traffic.loads -. (taps *. work_mult) +. (hf *. body_mult);
+          traffic.load_trans <-
+            traffic.load_trans
+            -. (taps *. base_trans *. work_mult)
+            +. (hf *. base_trans *. body_mult);
+          int_ops := !int_ops +. (taps *. work_mult);
+          syncs := !syncs +. (2.0 *. body_mult);
+          shared_mem :=
+            !shared_mem
+            + Tiling.tile_elements g ~threads_per_block:cfg.threads_per_block
+                ~unroll:(cfg.unroll * cfg.vector_width)
+              * g.elem_bytes)
+        groups;
+      (* Addressing arithmetic: one integer op per surviving access. *)
+      int_ops := !int_ops +. traffic.loads +. traffic.stores;
+      let arrays = distinct_arrays k in
+      let registers =
+        10 + (2 * arrays)
+        + (2 * (cfg.unroll - 1))
+        + (2 * (cfg.vector_width - 1))
+        + (if cfg.shared_tiling then 6 else 0)
+        + (if serial_mult > 1.0 then 2 else 0)
+        |> min 63 |> max 8
+      in
+      let total_trans = traffic.load_trans +. traffic.store_trans in
+      let scattered_fraction =
+        if total_trans > 0.0 then traffic.scattered_trans /. total_trans else 0.0
+      in
+      let c =
+        Characteristics.create ~config_label:(label cfg) ~registers_per_thread:registers
+          ~shared_mem_per_block:!shared_mem ~int_ops_per_thread:!int_ops
+          ~syncs_per_thread:!syncs
+          ~divergence_factor:(1.0 +. summary.divergent_weight)
+          ~scattered_fraction ~kernel_name:k.name ~grid_blocks
+          ~threads_per_block:cfg.threads_per_block
+          ~flops_per_thread:
+            ((summary.flops_per_iter +. (gpu_heavy_op_weight *. summary.heavy_ops_per_iter))
+            *. work_mult)
+          ~load_insts_per_thread:traffic.loads ~store_insts_per_thread:traffic.stores
+          ~load_transactions_per_warp:traffic.load_trans
+          ~store_transactions_per_warp:traffic.store_trans ()
+      in
+      match Characteristics.validate ~gpu c with Ok () -> Ok c | Error e -> Error e
+    end
+  end

@@ -1,0 +1,39 @@
+(** Synthesis of kernel characteristics for one transformation.
+
+    Given a skeleton and a transformation configuration (block size,
+    thread coarsening, shared-memory tiling), produce the
+    {!Gpp_model.Characteristics.t} a tuned CUDA implementation of that
+    configuration would exhibit — the core of GROPHECY's "synthesize
+    performance characteristics for each transformation" step. *)
+
+type config = {
+  threads_per_block : int;
+  unroll : int;
+      (** Thread coarsening: each thread processes this many iterations
+          of the innermost parallel loop, distributed cyclically so
+          coalescing is preserved. *)
+  vector_width : int;
+      (** Vectorized accesses (float2/float4 style): each memory
+          instruction moves this many consecutive elements, shrinking
+          the instruction count without changing the traffic.  Only
+          legal when every access is contiguous or warp-uniform;
+          {!characteristics} rejects it otherwise. *)
+  shared_tiling : bool;  (** Serve stencil taps from a cooperatively
+                             loaded shared-memory tile. *)
+}
+
+val scalar : threads_per_block:int -> config
+(** Unroll 1, vector width 1, no tiling. *)
+
+val label : config -> string
+(** E.g. ["tpb=256 unroll=2 tiled"]. *)
+
+val characteristics :
+  gpu:Gpp_arch.Gpu.t ->
+  decls:Gpp_skeleton.Decl.t list ->
+  Gpp_skeleton.Ir.kernel ->
+  config ->
+  (Gpp_model.Characteristics.t, string) result
+(** [Error] when the kernel exposes no data parallelism, the
+    configuration is degenerate (more coarsening than iterations), or
+    tiling is requested but no tiling opportunity exists. *)

@@ -1,0 +1,94 @@
+module Ir = Gpp_skeleton.Ir
+module Decl = Gpp_skeleton.Decl
+module Index_expr = Gpp_skeleton.Index_expr
+
+type group = {
+  array : string;
+  elem_bytes : int;
+  taps : int;
+  radius : int;
+  rank : int;
+  base_ref : Ir.array_ref;
+}
+
+(* Two affine subscript lists are congruent when they differ only in
+   their constant parts. *)
+let congruent indices1 indices2 =
+  List.length indices1 = List.length indices2
+  && List.for_all2
+       (fun e1 e2 ->
+         Index_expr.equal (Index_expr.offset e1 (-Index_expr.constant_part e1))
+           (Index_expr.offset e2 (-Index_expr.constant_part e2)))
+       indices1 indices2
+
+let detect ~decls (k : Ir.kernel) =
+  let loads =
+    Ir.refs k
+    |> List.filter_map (fun (_, (r : Ir.array_ref)) ->
+           match r.pattern with
+           | Ir.Affine indices when r.access = Ir.Load -> (
+               match List.find_opt (fun (d : Decl.t) -> d.name = r.array) decls with
+               | Some ({ kind = Decl.Dense; _ } as d) -> Some (r, indices, d)
+               | Some { kind = Decl.Sparse _; _ } | None -> None)
+           | Ir.Affine _ | Ir.Indirect _ -> None)
+  in
+  (* Partition by (array, congruence class of subscripts). *)
+  let rec partition groups = function
+    | [] -> List.rev groups
+    | ((r : Ir.array_ref), indices, d) :: rest ->
+        let same, different =
+          List.partition
+            (fun ((r2 : Ir.array_ref), indices2, _) -> r2.array = r.array && congruent indices indices2)
+            rest
+        in
+        let members = (r, indices, d) :: same in
+        partition ((members, d) :: groups) different
+  in
+  partition [] loads
+  |> List.filter_map (fun (members, (d : Decl.t)) ->
+         if List.length members < 3 then None
+         else begin
+           (* Halo radius: half the constant-offset spread, per
+              dimension, maximized over dimensions. *)
+           let rank = List.length d.dims in
+           let radius =
+             List.init rank (fun dim ->
+                 let consts =
+                   List.map
+                     (fun (_, indices, _) -> Index_expr.constant_part (List.nth indices dim))
+                     members
+                 in
+                 let lo = List.fold_left min max_int consts
+                 and hi = List.fold_left max min_int consts in
+                 (hi - lo + 1) / 2)
+             |> List.fold_left max 0
+           in
+           let base_ref, _, _ = List.hd members in
+           Some
+             {
+               array = d.name;
+               elem_bytes = d.elem_bytes;
+               taps = List.length members;
+               radius;
+               rank;
+               base_ref;
+             }
+         end)
+
+let tile_elements g ~threads_per_block ~unroll =
+  let outputs = threads_per_block * unroll in
+  if g.rank <= 1 then outputs + (2 * g.radius)
+  else begin
+    (* Near-square 2-D tile (higher ranks treated as 2-D: the stencil
+       workloads studied are at most 2-D). *)
+    let side = int_of_float (Float.ceil (sqrt (float_of_int outputs))) in
+    let with_halo = side + (2 * g.radius) in
+    with_halo * with_halo
+  end
+
+let halo_factor g ~threads_per_block ~unroll =
+  float_of_int (tile_elements g ~threads_per_block ~unroll)
+  /. float_of_int (threads_per_block * unroll)
+
+let pp_group ppf g =
+  Format.fprintf ppf "%s: %d taps, radius %d, rank %d" g.array g.taps g.radius g.rank

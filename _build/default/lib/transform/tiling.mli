@@ -1,0 +1,36 @@
+(** Detection of shared-memory tiling opportunities.
+
+    A stencil-style kernel loads several elements of the same array at
+    subscripts that differ only by constants (e.g. the 3x3 neighbourhood
+    in HotSpot).  Such a group can be transformed to load one tile
+    (plus halo) into shared memory and serve the individual taps from
+    scratchpad — one of the transformations GROPHECY explores. *)
+
+type group = {
+  array : string;
+  elem_bytes : int;
+  taps : int;  (** Number of references sharing the base subscript. *)
+  radius : int;  (** Largest constant-offset spread in any dimension,
+                     halved and rounded up: the halo width. *)
+  rank : int;  (** Dimensionality of the array. *)
+  base_ref : Gpp_skeleton.Ir.array_ref;  (** Representative reference
+                                             (for coalescing analysis). *)
+}
+
+val detect : decls:Gpp_skeleton.Decl.t list -> Gpp_skeleton.Ir.kernel -> group list
+(** Groups of at least three affine load references to the same dense
+    array whose subscripts differ only in constants.  Fewer than three
+    taps do not amortize the barrier cost, matching GROPHECY's
+    behaviour of discarding unprofitable transformations early. *)
+
+val tile_elements : group -> threads_per_block:int -> unroll:int -> int
+(** Shared-memory tile size (elements) for a block covering
+    [threads_per_block * unroll] outputs: the output footprint plus a
+    halo of [radius] on each side.  Multidimensional stencils tile a
+    near-square region. *)
+
+val halo_factor : group -> threads_per_block:int -> unroll:int -> float
+(** [tile_elements / outputs]: the factor by which the cooperative tile
+    load exceeds one load per output element. *)
+
+val pp_group : Format.formatter -> group -> unit

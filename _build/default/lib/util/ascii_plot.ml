@@ -1,0 +1,110 @@
+type scale = Linear | Log
+
+type series = { label : string; glyph : char; points : (float * float) list }
+
+let series ~label ~glyph points = { label; glyph; points }
+
+type t = {
+  width : int;
+  height : int;
+  x_scale : scale;
+  y_scale : scale;
+  title : string;
+  x_label : string;
+  y_label : string;
+  all : series list;
+}
+
+let create ?(width = 72) ?(height = 20) ?(x_scale = Linear) ?(y_scale = Linear) ~title ~x_label
+    ~y_label all =
+  { width; height; x_scale; y_scale; title; x_label; y_label; all }
+
+let transform scale v = match scale with Linear -> v | Log -> log10 v
+
+let usable scale (x, y) =
+  let ok s v = match s with Linear -> Float.is_finite v | Log -> v > 0.0 && Float.is_finite v in
+  let xs, ys = scale in
+  ok xs x && ok ys y
+
+let render t =
+  let pts =
+    List.concat_map
+      (fun s -> List.filter (usable (t.x_scale, t.y_scale)) s.points)
+      t.all
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  (match pts with
+  | [] -> Buffer.add_string buf "  (no plottable points)\n"
+  | _ :: _ ->
+      let txs = List.map (fun (x, _) -> transform t.x_scale x) pts in
+      let tys = List.map (fun (_, y) -> transform t.y_scale y) pts in
+      let x_lo, x_hi = Stats.min_max txs in
+      let y_lo, y_hi = Stats.min_max tys in
+      (* Avoid a degenerate range when all points share a coordinate. *)
+      let widen lo hi = if lo = hi then (lo -. 0.5, hi +. 0.5) else (lo, hi) in
+      let x_lo, x_hi = widen x_lo x_hi in
+      let y_lo, y_hi = widen y_lo y_hi in
+      let grid = Array.make_matrix t.height t.width ' ' in
+      let place s =
+        List.iter
+          (fun p ->
+            if usable (t.x_scale, t.y_scale) p then begin
+              let x, y = p in
+              let tx = transform t.x_scale x and ty = transform t.y_scale y in
+              let col =
+                int_of_float
+                  (Float.round ((tx -. x_lo) /. (x_hi -. x_lo) *. float_of_int (t.width - 1)))
+              in
+              let row =
+                t.height - 1
+                - int_of_float
+                    (Float.round ((ty -. y_lo) /. (y_hi -. y_lo) *. float_of_int (t.height - 1)))
+              in
+              if row >= 0 && row < t.height && col >= 0 && col < t.width then
+                (* Later series overwrite earlier ones; mark collisions
+                   between different glyphs with '*'. *)
+                grid.(row).(col) <-
+                  (if grid.(row).(col) = ' ' || grid.(row).(col) = s.glyph then s.glyph else '*')
+            end)
+          s.points
+      in
+      List.iter place t.all;
+      let fmt_tick scale v =
+        let raw = match scale with Linear -> v | Log -> 10.0 ** v in
+        if Float.abs raw >= 1e5 || (Float.abs raw < 1e-3 && raw <> 0.0) then
+          Printf.sprintf "%.1e" raw
+        else Printf.sprintf "%.3g" raw
+      in
+      let y_tick_width =
+        max
+          (String.length (fmt_tick t.y_scale y_lo))
+          (String.length (fmt_tick t.y_scale y_hi))
+      in
+      Buffer.add_string buf (Printf.sprintf "  y: %s\n" t.y_label);
+      Array.iteri
+        (fun i row ->
+          let frac = 1.0 -. (float_of_int i /. float_of_int (t.height - 1)) in
+          let y_val = y_lo +. (frac *. (y_hi -. y_lo)) in
+          let tick =
+            if i = 0 || i = t.height - 1 || i = t.height / 2 then fmt_tick t.y_scale y_val else ""
+          in
+          Buffer.add_string buf (Printf.sprintf "  %*s |" y_tick_width tick);
+          Array.iter (Buffer.add_char buf) row;
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf (Printf.sprintf "  %*s +" y_tick_width "");
+      Buffer.add_string buf (String.make t.width '-');
+      Buffer.add_char buf '\n';
+      let lo_s = fmt_tick t.x_scale x_lo and hi_s = fmt_tick t.x_scale x_hi in
+      let gap = max 1 (t.width - String.length lo_s - String.length hi_s) in
+      Buffer.add_string buf
+        (Printf.sprintf "  %*s  %s%s%s\n" y_tick_width "" lo_s (String.make gap ' ') hi_s);
+      Buffer.add_string buf (Printf.sprintf "  x: %s\n" t.x_label));
+  List.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "  [%c] %s\n" s.glyph s.label))
+    t.all;
+  Buffer.contents buf
+
+let print t = print_string (render t)

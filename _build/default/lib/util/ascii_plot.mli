@@ -1,0 +1,37 @@
+(** Terminal line/scatter plots for regenerating the paper's figures.
+
+    Each figure in the evaluation is emitted both as a data listing and
+    as a coarse character plot so the shape (crossovers, convergence,
+    log-log slopes) is visible directly in the experiment output. *)
+
+type scale = Linear | Log
+(** Axis scale.  [Log] matches the paper's log-scaled transfer-size and
+    transfer-time axes (Figures 2-5). *)
+
+type series = {
+  label : string;
+  glyph : char;  (** Character used to draw this series' points. *)
+  points : (float * float) list;
+}
+
+val series : label:string -> glyph:char -> (float * float) list -> series
+
+type t
+
+val create :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:scale ->
+  ?y_scale:scale ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  t
+(** Build a plot.  Defaults: 72x20 character grid, linear axes.  Points
+    with non-positive coordinates on a log axis are dropped. *)
+
+val render : t -> string
+(** Render the plot (axes, ticks, legend) to a string. *)
+
+val print : t -> unit

@@ -1,0 +1,77 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ?title ~columns () =
+  { title; headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Ascii_table.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+        let left = fill / 2 in
+        String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    let init = List.map String.length t.headers in
+    List.fold_left
+      (fun widths row ->
+        match row with
+        | Separator -> widths
+        | Cells cells -> List.map2 (fun w c -> max w (String.length c)) widths cells)
+      init rows
+  in
+  let buf = Buffer.create 1024 in
+  let rule () =
+    List.iteri
+      (fun i w ->
+        Buffer.add_string buf (if i = 0 then "+" else "+");
+        Buffer.add_string buf (String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "+\n"
+  in
+  let line align_per_cell cells =
+    List.iteri
+      (fun i (w, (a, c)) ->
+        Buffer.add_string buf (if i = 0 then "| " else "| ");
+        Buffer.add_string buf (pad a w c);
+        Buffer.add_char buf ' ')
+      (List.combine widths (List.combine align_per_cell cells));
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | None -> ()
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n');
+  rule ();
+  line (List.map (fun _ -> Center) t.aligns) t.headers;
+  rule ();
+  List.iter
+    (fun row -> match row with Separator -> rule () | Cells cells -> line t.aligns cells)
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,27 @@
+(** Plain-text table rendering for the experiment harness.
+
+    The paper's Tables I and II are regenerated as monospace tables; this
+    module handles column sizing, alignment, separators, and optional
+    row-group rules (e.g. one rule between applications). *)
+
+type align = Left | Right | Center
+
+type t
+(** A table under construction. *)
+
+val create : ?title:string -> columns:(string * align) list -> unit -> t
+(** [create ~columns ()] starts a table with the given header cells and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.  @raise Invalid_argument if the cell count does
+    not match the column count. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule (used between application groups). *)
+
+val render : t -> string
+(** Render to a string, trailing newline included. *)
+
+val print : t -> unit
+(** [render] to stdout. *)

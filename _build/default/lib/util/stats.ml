@@ -1,0 +1,87 @@
+let require_nonempty name = function
+  | [] -> invalid_arg (name ^ ": empty list")
+  | _ :: _ -> ()
+
+let mean xs =
+  require_nonempty "Stats.mean" xs;
+  List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  require_nonempty "Stats.geomean" xs;
+  let log_sum =
+    List.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive element"
+        else acc +. log x)
+      0.0 xs
+  in
+  exp (log_sum /. float_of_int (List.length xs))
+
+let variance xs =
+  require_nonempty "Stats.variance" xs;
+  let m = mean xs in
+  let sq_sum = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+  sq_sum /. float_of_int (List.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  require_nonempty "Stats.min_max" xs;
+  List.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (Float.infinity, Float.neg_infinity)
+    xs
+
+let median xs =
+  require_nonempty "Stats.median" xs;
+  let sorted = List.sort Float.compare xs in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+let percent_difference ~predicted ~measured =
+  if measured = 0.0 then invalid_arg "Stats.percent_difference: measured = 0";
+  (predicted -. measured) /. measured *. 100.0
+
+let error_magnitude ~predicted ~measured =
+  Float.abs (percent_difference ~predicted ~measured)
+
+let mean_error_magnitude pairs =
+  mean (List.map (fun (predicted, measured) -> error_magnitude ~predicted ~measured) pairs)
+
+type linear_fit = { intercept : float; slope : float; r_squared : float }
+
+let least_squares points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Stats.least_squares: need at least two points";
+  let xs = List.map fst points and ys = List.map snd points in
+  let mx = mean xs and my = mean ys in
+  let sxx, sxy =
+    List.fold_left
+      (fun (sxx, sxy) (x, y) -> (sxx +. ((x -. mx) ** 2.0), sxy +. ((x -. mx) *. (y -. my))))
+      (0.0, 0.0) points
+  in
+  if sxx = 0.0 then invalid_arg "Stats.least_squares: all x values identical";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let ss_tot = List.fold_left (fun acc y -> acc +. ((y -. my) ** 2.0)) 0.0 ys in
+  let ss_res =
+    List.fold_left
+      (fun acc (x, y) -> acc +. ((y -. (intercept +. (slope *. x))) ** 2.0))
+      0.0 points
+  in
+  let r_squared = if ss_tot = 0.0 then 1.0 else 1.0 -. (ss_res /. ss_tot) in
+  { intercept; slope; r_squared }
+
+type summary = {
+  n : int;
+  sum_mean : float;
+  sum_stddev : float;
+  sum_min : float;
+  sum_max : float;
+}
+
+let summarize xs =
+  require_nonempty "Stats.summarize" xs;
+  let sum_min, sum_max = min_max xs in
+  { n = List.length xs; sum_mean = mean xs; sum_stddev = stddev xs; sum_min; sum_max }

@@ -1,0 +1,64 @@
+(** Descriptive statistics and error metrics used throughout the
+    evaluation.
+
+    The paper's accuracy metric is the {e error magnitude}: the absolute
+    value of the percent difference between a predicted and a measured
+    value (§V-A).  All averages in the paper are arithmetic means, and we
+    follow that convention. *)
+
+val mean : float list -> float
+(** Arithmetic mean.  @raise Invalid_argument on an empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values.
+    @raise Invalid_argument on an empty list or non-positive element. *)
+
+val variance : float list -> float
+(** Population variance.  @raise Invalid_argument on an empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest element.
+    @raise Invalid_argument on an empty list. *)
+
+val median : float list -> float
+(** Median (mean of the two central elements for even lengths).
+    @raise Invalid_argument on an empty list. *)
+
+val percent_difference : predicted:float -> measured:float -> float
+(** [(predicted - measured) / measured * 100].  Positive means
+    over-prediction.  @raise Invalid_argument if [measured = 0]. *)
+
+val error_magnitude : predicted:float -> measured:float -> float
+(** Absolute value of {!percent_difference} — the paper's accuracy
+    metric. *)
+
+val mean_error_magnitude : (float * float) list -> float
+(** [mean_error_magnitude pairs] is the arithmetic mean of
+    {!error_magnitude} over [(predicted, measured)] pairs. *)
+
+type linear_fit = {
+  intercept : float;  (** alpha: value at x = 0. *)
+  slope : float;  (** beta: change per unit of x. *)
+  r_squared : float;  (** Coefficient of determination in [0, 1]. *)
+}
+(** Result of a least-squares line fit, used by the ablation comparing
+    the paper's two-point calibration against a full regression. *)
+
+val least_squares : (float * float) list -> linear_fit
+(** Ordinary least-squares fit of [y = intercept + slope * x].
+    @raise Invalid_argument with fewer than two distinct x values. *)
+
+type summary = {
+  n : int;
+  sum_mean : float;
+  sum_stddev : float;
+  sum_min : float;
+  sum_max : float;
+}
+(** Five-number-ish roll-up for reporting repeated measurements. *)
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)

@@ -1,0 +1,67 @@
+let kib = 1024
+let mib = 1024 * 1024
+let gib = 1024 * 1024 * 1024
+
+let bytes_of_kib x = int_of_float (Float.round (x *. float_of_int kib))
+let bytes_of_mib x = int_of_float (Float.round (x *. float_of_int mib))
+let bytes_of_gib x = int_of_float (Float.round (x *. float_of_int gib))
+
+let mib_of_bytes b = float_of_int b /. float_of_int mib
+
+let us x = x *. 1e-6
+let ms x = x *. 1e-3
+let ms_of_seconds t = t *. 1e3
+let us_of_seconds t = t *. 1e6
+let gb_per_s x = x *. 1e9
+
+let pp_bytes ppf b =
+  let fb = float_of_int b in
+  if b < kib then Format.fprintf ppf "%d B" b
+  else if b < mib then Format.fprintf ppf "%.1f KiB" (fb /. float_of_int kib)
+  else if b < gib then Format.fprintf ppf "%.1f MiB" (fb /. float_of_int mib)
+  else Format.fprintf ppf "%.2f GiB" (fb /. float_of_int gib)
+
+let pp_time ppf t =
+  let a = Float.abs t in
+  if a < 1e-6 then Format.fprintf ppf "%.1f ns" (t *. 1e9)
+  else if a < 1e-3 then Format.fprintf ppf "%.2f us" (t *. 1e6)
+  else if a < 1.0 then Format.fprintf ppf "%.3f ms" (t *. 1e3)
+  else Format.fprintf ppf "%.3f s" t
+
+let pp_bandwidth ppf bw =
+  if bw >= 1e9 then Format.fprintf ppf "%.2f GB/s" (bw /. 1e9)
+  else if bw >= 1e6 then Format.fprintf ppf "%.2f MB/s" (bw /. 1e6)
+  else Format.fprintf ppf "%.0f B/s" bw
+
+let bytes_to_string b = Format.asprintf "%a" pp_bytes b
+let time_to_string t = Format.asprintf "%a" pp_time t
+let bandwidth_to_string bw = Format.asprintf "%a" pp_bandwidth bw
+
+let parse_bytes s =
+  let s = String.trim s in
+  let is_digit c = c >= '0' && c <= '9' in
+  let num_end =
+    let rec go i =
+      if i < String.length s && (is_digit s.[i] || s.[i] = '.') then go (i + 1) else i
+    in
+    go 0
+  in
+  if num_end = 0 then None
+  else
+    match float_of_string_opt (String.sub s 0 num_end) with
+    | None -> None
+    | Some value when value < 0.0 -> None
+    | Some value -> (
+        let suffix =
+          String.lowercase_ascii (String.trim (String.sub s num_end (String.length s - num_end)))
+        in
+        let scale = function
+          | "" | "b" -> Some 1.0
+          | "k" | "kb" | "kib" -> Some (float_of_int kib)
+          | "m" | "mb" | "mib" -> Some (float_of_int mib)
+          | "g" | "gb" | "gib" -> Some (float_of_int gib)
+          | _ -> None
+        in
+        match scale suffix with
+        | None -> None
+        | Some k -> Some (int_of_float (Float.round (value *. k))))

@@ -1,0 +1,54 @@
+(** Byte and time quantities: constants, formatting, and parsing.
+
+    Conventions used across the code base:
+    - data sizes are [int] byte counts; binary prefixes (KiB = 1024 B)
+      match the paper's power-of-two transfer sweep (1 B .. 512 MiB);
+    - times are [float] seconds;
+    - bandwidths are [float] bytes per second. *)
+
+val kib : int
+val mib : int
+val gib : int
+
+val bytes_of_kib : float -> int
+val bytes_of_mib : float -> int
+val bytes_of_gib : float -> int
+
+val mib_of_bytes : int -> float
+(** Fractional MiB, e.g. for reporting Table I transfer sizes. *)
+
+val us : float -> float
+(** [us x] is [x] microseconds expressed in seconds. *)
+
+val ms : float -> float
+(** [ms x] is [x] milliseconds expressed in seconds. *)
+
+val ms_of_seconds : float -> float
+(** Seconds -> milliseconds, for reporting. *)
+
+val us_of_seconds : float -> float
+(** Seconds -> microseconds, for reporting. *)
+
+val gb_per_s : float -> float
+(** [gb_per_s x] is a bandwidth of [x] decimal gigabytes per second in
+    bytes per second.  Bandwidth specs (PCIe, DRAM) are conventionally
+    decimal. *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Human-friendly byte count: ["512 B"], ["2.0 KiB"], ["512 MiB"]. *)
+
+val pp_time : Format.formatter -> float -> unit
+(** Human-friendly duration with an auto-selected unit:
+    ["13.0 us"], ["4.62 ms"], ["1.20 s"]. *)
+
+val pp_bandwidth : Format.formatter -> float -> unit
+(** Human-friendly bandwidth: ["2.53 GB/s"]. *)
+
+val bytes_to_string : int -> string
+val time_to_string : float -> string
+val bandwidth_to_string : float -> string
+
+val parse_bytes : string -> int option
+(** Parse strings such as ["97000"], ["4 KiB"], ["512MiB"], ["1.5 GiB"],
+    ["64kb"] (case-insensitive, optional space, 'b' suffix optional on
+    the prefix).  Returns [None] on malformed input or negative sizes. *)

@@ -1,0 +1,1 @@
+lib/workloads/cfd.ml: Array Float Gpp_skeleton List Printf

@@ -1,0 +1,1 @@
+lib/workloads/cfd.mli: Gpp_skeleton

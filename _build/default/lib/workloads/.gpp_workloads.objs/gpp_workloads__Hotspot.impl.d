@@ -1,0 +1,1 @@
+lib/workloads/hotspot.ml: Array Float Gpp_skeleton List Printf

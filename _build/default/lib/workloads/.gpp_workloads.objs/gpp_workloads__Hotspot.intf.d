@@ -1,0 +1,1 @@
+lib/workloads/hotspot.mli: Gpp_skeleton

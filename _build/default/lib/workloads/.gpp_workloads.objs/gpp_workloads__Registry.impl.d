@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Cfd Gpp_skeleton Hotspot List Srad Stassuij String Vecadd

@@ -1,0 +1,1 @@
+lib/workloads/srad.ml: Array Float Gpp_skeleton Printf

@@ -1,0 +1,1 @@
+lib/workloads/srad.mli: Gpp_skeleton

@@ -1,0 +1,1 @@
+lib/workloads/stassuij.ml: Array Float Gpp_skeleton Gpp_util Hashtbl List Printf

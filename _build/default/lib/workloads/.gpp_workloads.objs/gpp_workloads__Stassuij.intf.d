@@ -1,0 +1,1 @@
+lib/workloads/stassuij.mli: Gpp_skeleton

@@ -1,0 +1,1 @@
+lib/workloads/vecadd.ml: Array Gpp_skeleton Printf

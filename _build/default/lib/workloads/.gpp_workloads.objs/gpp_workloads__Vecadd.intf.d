@@ -1,0 +1,1 @@
+lib/workloads/vecadd.mli: Gpp_skeleton

@@ -1,0 +1,157 @@
+module Ir = Gpp_skeleton.Ir
+module Decl = Gpp_skeleton.Decl
+module Ix = Gpp_skeleton.Index_expr
+module Program = Gpp_skeleton.Program
+
+let data_sizes = [ 97_000; 193_000; 233_000 ]
+
+let size_label nelem = Printf.sprintf "%dK" (nelem / 1000)
+
+let num_vars = 5 (* density, momentum x3, energy *)
+
+let neighbors_per_elem = 4
+
+let program ?(iterations = 1) ~nelem () =
+  let arrays =
+    [
+      (* Structure-of-arrays layout, as in the CUDA implementation:
+         variables[f][i] keeps lane accesses coalesced. *)
+      Decl.dense "variables" ~dims:[ num_vars; nelem ];
+      Decl.dense "neighbors" ~dims:[ nelem; neighbors_per_elem ];
+      Decl.dense "normals" ~dims:[ 2 * neighbors_per_elem; nelem ];
+      Decl.dense "areas" ~dims:[ nelem ];
+      Decl.dense "step_factor" ~dims:[ nelem ];
+      Decl.dense "fluxes" ~dims:[ num_vars; nelem ];
+    ]
+  in
+  let var_loads array = List.init num_vars (fun f -> Ir.load array [ Ix.const f; Ix.var "i" ]) in
+  let var_stores array = List.init num_vars (fun f -> Ir.store array [ Ix.const f; Ix.var "i" ]) in
+  (* Kernel 1: CFL step factor per element — a sound-speed computation
+     with a square root and a division. *)
+  let step_factor =
+    Ir.kernel "compute_step_factor"
+      ~loops:[ Ir.loop "i" ~extent:nelem ]
+      ~body:
+        (var_loads "variables"
+        @ [
+            Ir.load "areas" [ Ix.var "i" ];
+            Ir.compute ~int_ops:2.0 ~heavy_ops:2.0 9.0;
+            Ir.store "step_factor" [ Ix.var "i" ];
+          ])
+  in
+  (* Kernel 2: flux accumulation over the four mesh neighbours.  The
+     neighbour states are gathered through the connectivity array —
+     the scattered accesses that dominate this kernel's memory
+     behaviour.  Per-element work (loading own state, storing fluxes)
+     amortizes over the neighbour loop as probability-1/4 statements. *)
+  let flux =
+    let once stmts = [ Ir.branch ~divergent:false ~probability:0.25 stmts ] in
+    Ir.kernel "compute_flux"
+      ~loops:[ Ir.loop "i" ~extent:nelem; Ir.loop ~parallel:false "j" ~extent:neighbors_per_elem ]
+      ~body:
+        ([ Ir.load "neighbors" [ Ix.var "i"; Ix.var "j" ] ]
+        @ List.init num_vars (fun _ -> Ir.load_indirect "variables" ~via:"neighbors")
+        @ [
+            Ir.load "normals" [ Ix.var ~coeff:2 "j"; Ix.var "i" ];
+            Ir.load "normals" [ Ix.offset (Ix.var ~coeff:2 "j") 1; Ix.var "i" ];
+            (* Euler flux through one face: pressure, sound speed,
+               normal projection, and the upwinding terms — several
+               divisions and a square root per face. *)
+            Ir.compute ~int_ops:6.0 ~heavy_ops:4.0 45.0;
+            (* Boundary faces take a cheaper specialized path. *)
+            Ir.branch ~divergent:true ~probability:0.08 [ Ir.compute 6.0 ];
+          ]
+        @ once (var_loads "variables")
+        @ once (var_stores "fluxes"))
+  in
+  (* Kernel 3: explicit update of the conserved variables. *)
+  let time_step =
+    Ir.kernel "time_step"
+      ~loops:[ Ir.loop "i" ~extent:nelem ]
+      ~body:
+        ([ Ir.load "step_factor" [ Ix.var "i" ] ]
+        @ var_loads "fluxes" @ var_loads "variables"
+        @ [ Ir.compute ~int_ops:2.0 12.0 ]
+        @ var_stores "variables")
+  in
+  Program.create
+    ~name:(Printf.sprintf "cfd-%s" (size_label nelem))
+    ~arrays
+    ~kernels:[ step_factor; flux; time_step ]
+    ~schedule:
+      [
+        Program.Repeat
+          ( iterations,
+            [ Program.Call "compute_step_factor"; Program.Call "compute_flux"; Program.Call "time_step" ] );
+      ]
+    ~temporaries:[ "step_factor"; "fluxes" ] ()
+
+module Reference = struct
+  type state = { n : int; density : float array; momentum : float array; energy : float array }
+
+  let gamma = 1.4
+
+  let uniform_with_pulse ~n =
+    let density =
+      Array.init n (fun i ->
+          let x = float_of_int i /. float_of_int n in
+          1.0 +. if x > 0.4 && x < 0.6 then 0.5 else 0.0)
+    in
+    let momentum = Array.make n 0.0 in
+    let energy = Array.init n (fun i -> (1.0 +. (0.5 *. density.(i))) /. (gamma -. 1.0)) in
+    { n; density; momentum; energy }
+
+  let pressure s i =
+    let rho = s.density.(i) and m = s.momentum.(i) and e = s.energy.(i) in
+    (gamma -. 1.0) *. (e -. (0.5 *. m *. m /. rho))
+
+  let sound_speed s i = sqrt (gamma *. pressure s i /. s.density.(i))
+
+  (* Rusanov (local Lax-Friedrichs) flux at the face between cells l and
+     r: average of the physical fluxes minus a dissipation proportional
+     to the fastest local wave speed. *)
+  let face_flux s l r =
+    let physical i =
+      let rho = s.density.(i) and m = s.momentum.(i) and e = s.energy.(i) in
+      let u = m /. rho and p = pressure s i in
+      (m, (m *. u) +. p, (e +. p) *. u)
+    in
+    let fl0, fl1, fl2 = physical l and fr0, fr1, fr2 = physical r in
+    let speed i = Float.abs (s.momentum.(i) /. s.density.(i)) +. sound_speed s i in
+    let a = Float.max (speed l) (speed r) in
+    ( (0.5 *. (fl0 +. fr0)) -. (0.5 *. a *. (s.density.(r) -. s.density.(l))),
+      (0.5 *. (fl1 +. fr1)) -. (0.5 *. a *. (s.momentum.(r) -. s.momentum.(l))),
+      (0.5 *. (fl2 +. fr2)) -. (0.5 *. a *. (s.energy.(r) -. s.energy.(l))) )
+
+  let step ?(cfl = 0.4) s =
+    if cfl <= 0.0 then invalid_arg "Cfd.Reference.step: CFL must be positive";
+    let n = s.n in
+    let dx = 1.0 /. float_of_int n in
+    (* Step factor: the CFL-limited time step (kernel 1's analogue). *)
+    let max_speed = ref 1e-12 in
+    for i = 0 to n - 1 do
+      max_speed :=
+        Float.max !max_speed (Float.abs (s.momentum.(i) /. s.density.(i)) +. sound_speed s i)
+    done;
+    let dt = cfl *. dx /. !max_speed in
+    let wrap i = ((i mod n) + n) mod n in
+    let density = Array.make n 0.0 and momentum = Array.make n 0.0 and energy = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      let fr0, fr1, fr2 = face_flux s i (wrap (i + 1)) in
+      let fl0, fl1, fl2 = face_flux s (wrap (i - 1)) i in
+      let k = dt /. dx in
+      density.(i) <- s.density.(i) -. (k *. (fr0 -. fl0));
+      momentum.(i) <- s.momentum.(i) -. (k *. (fr1 -. fl1));
+      energy.(i) <- s.energy.(i) -. (k *. (fr2 -. fl2))
+    done;
+    { n; density; momentum; energy }
+
+  let simulate ?cfl s ~iterations =
+    if iterations < 0 then invalid_arg "Cfd.Reference.simulate: negative iterations";
+    let rec go s k = if k = 0 then s else go (step ?cfl s) (k - 1) in
+    go s iterations
+
+  let total_mass s = Array.fold_left ( +. ) 0.0 s.density /. float_of_int s.n
+
+  let total_energy s = Array.fold_left ( +. ) 0.0 s.energy /. float_of_int s.n
+end

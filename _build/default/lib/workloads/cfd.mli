@@ -1,0 +1,52 @@
+(** CFD: unstructured-grid finite-volume Euler solver (Rodinia).
+
+    Solves the 3D Euler equations for compressible flow (paper §IV-B).
+    Three kernels per iteration — step-factor computation, flux
+    accumulation over each element's neighbours (indirect gathers
+    through the mesh connectivity, the irregular access pattern that
+    makes CFD's kernel time hard to predict), and the time-step update.
+    Kernels are split to enforce global synchronization between flux
+    production and consumption.
+
+    The conserved variables cross the bus in and out; mesh geometry
+    (connectivity, face normals, areas) crosses once in; step factors
+    and fluxes are device-resident temporaries. *)
+
+val data_sizes : int list
+(** Element counts studied in the paper: 97K, 193K, 233K. *)
+
+val size_label : int -> string
+(** E.g. ["97K"]. *)
+
+val program : ?iterations:int -> nelem:int -> unit -> Gpp_skeleton.Program.t
+
+module Reference : sig
+  (** A runnable finite-volume solver on a 1-D periodic mesh with
+      Rusanov fluxes — the same algorithmic skeleton (gather neighbour
+      states, compute fluxes, apply a CFL-limited update) at a
+      dimensionality that keeps the reference concise. *)
+
+  type state = {
+    n : int;
+    density : float array;
+    momentum : float array;
+    energy : float array;
+  }
+
+  val gamma : float
+
+  val uniform_with_pulse : n:int -> state
+  (** Quiescent gas with a centred density/pressure pulse. *)
+
+  val pressure : state -> int -> float
+
+  val step : ?cfl:float -> state -> state
+  (** One explicit finite-volume step.  @raise Invalid_argument for a
+      non-positive CFL number. *)
+
+  val simulate : ?cfl:float -> state -> iterations:int -> state
+
+  val total_mass : state -> float
+
+  val total_energy : state -> float
+end

@@ -1,0 +1,98 @@
+module Ir = Gpp_skeleton.Ir
+module Decl = Gpp_skeleton.Decl
+module Ix = Gpp_skeleton.Index_expr
+module Program = Gpp_skeleton.Program
+
+let data_sizes = [ 64; 512; 1024 ]
+
+let size_label n = Printf.sprintf "%d x %d" n n
+
+let program ?(iterations = 1) ~n () =
+  let arrays =
+    [
+      Decl.dense "temp" ~dims:[ n; n ];
+      Decl.dense "power" ~dims:[ n; n ];
+      Decl.dense "temp_out" ~dims:[ n; n ];
+    ]
+  in
+  let at dy dx = [ Ix.offset (Ix.var "y") dy; Ix.offset (Ix.var "x") dx ] in
+  let neighborhood =
+    List.concat_map (fun dy -> List.map (fun dx -> Ir.load "temp" (at dy dx)) [ -1; 0; 1 ]) [ -1; 0; 1 ]
+  in
+  let kernel =
+    Ir.kernel "hotspot"
+      ~loops:[ Ir.loop "y" ~extent:n; Ir.loop "x" ~extent:n ]
+      ~body:
+        (neighborhood
+        @ [
+            Ir.load "power" (at 0 0);
+            (* Weighted 3x3 gather, thermal resistances applied as
+               divisions in the reference code (the heavy ops), then the
+               explicit update. *)
+            (* The real kernel spends many issue slots on addressing and
+               neighbourhood bookkeeping (nine gathered offsets with
+               bounds handling) on top of the arithmetic. *)
+            Ir.compute ~int_ops:22.0 ~heavy_ops:4.0 20.0;
+            (* Grid-boundary cells take a clamped-neighbour path. *)
+            Ir.branch ~divergent:true ~probability:0.06 [ Ir.compute ~int_ops:4.0 4.0 ];
+            Ir.store "temp_out" (at 0 0);
+          ])
+  in
+  Program.create
+    ~name:(Printf.sprintf "hotspot-%d" n)
+    ~arrays ~kernels:[ kernel ]
+    ~schedule:[ Program.Repeat (iterations, [ Program.Call "hotspot" ]) ]
+    ()
+
+module Reference = struct
+  type grid = { n : int; cells : float array }
+
+  let grid_of ~n f =
+    { n; cells = Array.init (n * n) (fun i -> f ~row:(i / n) ~col:(i mod n)) }
+
+  (* Physical constants in the spirit of the Rodinia implementation,
+     collapsed to a stable explicit scheme. *)
+  let rx = 1.0 /. 0.1
+  let ry = 1.0 /. 0.1
+  let rz = 1.0 /. 3.0
+  let cap = 0.5
+  let ambient = 80.0
+
+  let step ~temp ~power =
+    if temp.n <> power.n then invalid_arg "Hotspot.Reference.step: size mismatch";
+    let n = temp.n in
+    let clamp v = max 0 (min (n - 1) v) in
+    let get g r c = g.cells.((clamp r * n) + clamp c) in
+    let cells =
+      Array.init (n * n) (fun i ->
+          let r = i / n and c = i mod n in
+          let t = get temp r c in
+          (* 3x3 neighbourhood: axis neighbours at full weight, diagonal
+             neighbours at half weight, mirroring the paper's
+             description of a 3x3 stencil. *)
+          let axis = get temp (r - 1) c +. get temp (r + 1) c -. (2.0 *. t) in
+          let axis' = get temp r (c - 1) +. get temp r (c + 1) -. (2.0 *. t) in
+          let diag =
+            get temp (r - 1) (c - 1) +. get temp (r - 1) (c + 1) +. get temp (r + 1) (c - 1)
+            +. get temp (r + 1) (c + 1) -. (4.0 *. t)
+          in
+          let delta =
+            (power.cells.(i) +. (axis /. ry) +. (axis' /. rx) +. (0.5 *. diag /. rx)
+            +. ((ambient -. t) /. rz))
+            /. cap
+          in
+          t +. (0.001 *. delta))
+    in
+    { n; cells }
+
+  let simulate ~temp ~power ~iterations =
+    if iterations < 0 then invalid_arg "Hotspot.Reference.simulate: negative iterations";
+    let rec go temp k = if k = 0 then temp else go (step ~temp ~power) (k - 1) in
+    go temp iterations
+
+  let max_abs_diff a b =
+    if a.n <> b.n then invalid_arg "Hotspot.Reference.max_abs_diff: size mismatch";
+    let worst = ref 0.0 in
+    Array.iteri (fun i v -> worst := Float.max !worst (Float.abs (v -. b.cells.(i)))) a.cells;
+    !worst
+end

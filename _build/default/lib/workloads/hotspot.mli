@@ -1,0 +1,33 @@
+(** HotSpot: structured-grid thermal simulation (Rodinia).
+
+    An ordinary-differential-equation solver over a structured grid used
+    to estimate microarchitecture temperature (paper §IV-B).  Each cell
+    gathers its 3x3 neighbourhood of temperatures plus its own power
+    dissipation and produces an updated temperature; one kernel
+    invocation per iteration.  Inputs: the temperature and power grids;
+    output: the final temperature grid — transfer volume is independent
+    of the iteration count. *)
+
+val data_sizes : int list
+(** Grid edge lengths studied in the paper: 64, 512, 1024. *)
+
+val size_label : int -> string
+(** E.g. ["1024 x 1024"]. *)
+
+val program : ?iterations:int -> n:int -> unit -> Gpp_skeleton.Program.t
+(** Skeleton for an [n x n] grid; [iterations] defaults to 1. *)
+
+module Reference : sig
+  type grid = { n : int; cells : float array }
+  (** Row-major [n x n] float grid. *)
+
+  val grid_of : n:int -> (row:int -> col:int -> float) -> grid
+
+  val step : temp:grid -> power:grid -> grid
+  (** One explicit time step of the thermal ODE with clamped (replicated)
+      boundary handling.  @raise Invalid_argument on size mismatch. *)
+
+  val simulate : temp:grid -> power:grid -> iterations:int -> grid
+
+  val max_abs_diff : grid -> grid -> float
+end

@@ -1,0 +1,74 @@
+type instance = {
+  app : string;
+  size : string;
+  program : int -> Gpp_skeleton.Program.t;
+}
+
+let cfd_instances =
+  List.map
+    (fun nelem ->
+      {
+        app = "cfd";
+        size = Cfd.size_label nelem;
+        program = (fun iterations -> Cfd.program ~iterations ~nelem ());
+      })
+    Cfd.data_sizes
+
+let hotspot_instances =
+  List.map
+    (fun n ->
+      {
+        app = "hotspot";
+        size = Hotspot.size_label n;
+        program = (fun iterations -> Hotspot.program ~iterations ~n ());
+      })
+    Hotspot.data_sizes
+
+let srad_instances =
+  List.map
+    (fun n ->
+      {
+        app = "srad";
+        size = Srad.size_label n;
+        program = (fun iterations -> Srad.program ~iterations ~n ());
+      })
+    Srad.data_sizes
+
+let stassuij_instance =
+  {
+    app = "stassuij";
+    size = "132 x 2048";
+    program = (fun iterations -> Stassuij.program ~iterations ());
+  }
+
+let vecadd_instance =
+  {
+    app = "vecadd";
+    size = "16M";
+    program =
+      (fun _iterations ->
+        (* Vector addition has no iteration dimension. *)
+        Vecadd.program ~n:(16 * 1024 * 1024));
+  }
+
+let paper_instances =
+  cfd_instances @ hotspot_instances @ srad_instances @ [ stassuij_instance ]
+
+let all = paper_instances @ [ vecadd_instance ]
+
+let find ~app ~size = List.find_opt (fun i -> i.app = app && i.size = size) all
+
+let key i = i.app ^ "/" ^ i.size
+
+let find_by_key k =
+  match String.index_opt k '/' with
+  | None -> None
+  | Some pos ->
+      let app = String.sub k 0 pos in
+      let size = String.sub k (pos + 1) (String.length k - pos - 1) in
+      find ~app ~size
+
+let apps =
+  List.fold_left (fun acc i -> if List.mem i.app acc then acc else acc @ [ i.app ]) [] all
+
+let instances_of_app app = List.filter (fun i -> i.app = app) all

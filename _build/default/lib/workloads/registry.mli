@@ -1,0 +1,30 @@
+(** Named catalogue of the paper's workloads and data sizes.
+
+    The experiment harness and the CLI address workload instances as
+    ["<app>/<size>"] (e.g. ["hotspot/1024 x 1024"], ["cfd/97K"]). *)
+
+type instance = {
+  app : string;  (** Application name: cfd, hotspot, srad, stassuij. *)
+  size : string;  (** Data-size label as the paper prints it. *)
+  program : int -> Gpp_skeleton.Program.t;
+      (** Builds the skeleton for a given iteration count. *)
+}
+
+val all : instance list
+(** Every application/data-size pair of Table I, in the paper's order,
+    plus the vecadd example at a representative size. *)
+
+val paper_instances : instance list
+(** Only the Table I rows (no vecadd). *)
+
+val find : app:string -> size:string -> instance option
+
+val find_by_key : string -> instance option
+(** ["app/size"] lookup. *)
+
+val key : instance -> string
+
+val apps : string list
+(** Distinct application names, paper order. *)
+
+val instances_of_app : string -> instance list

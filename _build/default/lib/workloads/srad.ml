@@ -1,0 +1,137 @@
+module Ir = Gpp_skeleton.Ir
+module Decl = Gpp_skeleton.Decl
+module Ix = Gpp_skeleton.Index_expr
+module Program = Gpp_skeleton.Program
+
+let data_sizes = [ 1024; 2048; 4096 ]
+
+let size_label n = Printf.sprintf "%d x %d" n n
+
+let program ?(iterations = 1) ~n () =
+  let grid name = Decl.dense name ~dims:[ n; n ] in
+  let arrays =
+    [ grid "image"; grid "coeff"; grid "dn"; grid "ds"; grid "de"; grid "dw" ]
+  in
+  let at ?(dy = 0) ?(dx = 0) () = [ Ix.offset (Ix.var "y") dy; Ix.offset (Ix.var "x") dx ] in
+  let loops = [ Ir.loop "y" ~extent:n; Ir.loop "x" ~extent:n ] in
+  (* Kernel 1: directional derivatives and the diffusion coefficient
+     (gradient magnitude, Laplacian, then the nonlinear q function with
+     its divisions). *)
+  let diffusion =
+    Ir.kernel "srad_diffusion" ~loops
+      ~body:
+        [
+          Ir.load "image" (at ());
+          Ir.load "image" (at ~dy:(-1) ());
+          Ir.load "image" (at ~dy:1 ());
+          Ir.load "image" (at ~dx:(-1) ());
+          Ir.load "image" (at ~dx:1 ());
+          Ir.compute ~int_ops:6.0 ~heavy_ops:3.0 18.0;
+          Ir.store "dn" (at ());
+          Ir.store "ds" (at ());
+          Ir.store "de" (at ());
+          Ir.store "dw" (at ());
+          Ir.store "coeff" (at ());
+        ]
+  in
+  (* Kernel 2: divergence of the coefficient-weighted derivatives
+     updates the image in place. *)
+  let update =
+    Ir.kernel "srad_update" ~loops
+      ~body:
+        [
+          Ir.load "coeff" (at ());
+          Ir.load "coeff" (at ~dy:1 ());
+          Ir.load "coeff" (at ~dx:1 ());
+          Ir.load "dn" (at ());
+          Ir.load "ds" (at ());
+          Ir.load "de" (at ());
+          Ir.load "dw" (at ());
+          Ir.load "image" (at ());
+          Ir.compute ~int_ops:4.0 ~heavy_ops:1.0 11.0;
+          Ir.store "image" (at ());
+        ]
+  in
+  Program.create
+    ~name:(Printf.sprintf "srad-%d" n)
+    ~arrays
+    ~kernels:[ diffusion; update ]
+    ~schedule:[ Program.Repeat (iterations, [ Program.Call "srad_diffusion"; Program.Call "srad_update" ]) ]
+    ~temporaries:[ "coeff"; "dn"; "ds"; "de"; "dw" ] ()
+
+module Reference = struct
+  type image = { n : int; pixels : float array }
+
+  let image_of ~n f = { n; pixels = Array.init (n * n) (fun i -> f ~row:(i / n) ~col:(i mod n)) }
+
+  let lambda = 0.5
+
+  let iterate img =
+    let n = img.n in
+    let clamp v = max 0 (min (n - 1) v) in
+    let get r c = img.pixels.((clamp r * n) + clamp c) in
+    let dn = Array.make (n * n) 0.0
+    and ds = Array.make (n * n) 0.0
+    and de = Array.make (n * n) 0.0
+    and dw = Array.make (n * n) 0.0
+    and coeff = Array.make (n * n) 0.0 in
+    (* Global q0^2 from image statistics, as in the SRAD formulation. *)
+    let sum = Array.fold_left ( +. ) 0.0 img.pixels in
+    let sum2 = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 img.pixels in
+    let count = float_of_int (n * n) in
+    let mean = sum /. count in
+    let var = (sum2 /. count) -. (mean *. mean) in
+    let q0sqr = var /. (mean *. mean) in
+    for r = 0 to n - 1 do
+      for c = 0 to n - 1 do
+        let i = (r * n) + c in
+        let jc = img.pixels.(i) in
+        let north = get (r - 1) c -. jc
+        and south = get (r + 1) c -. jc
+        and east = get r (c + 1) -. jc
+        and west = get r (c - 1) -. jc in
+        dn.(i) <- north;
+        ds.(i) <- south;
+        de.(i) <- east;
+        dw.(i) <- west;
+        let g2 =
+          ((north *. north) +. (south *. south) +. (east *. east) +. (west *. west))
+          /. (jc *. jc)
+        in
+        let l = (north +. south +. east +. west) /. jc in
+        let num = (0.5 *. g2) -. (1.0 /. 16.0 *. l *. l) in
+        let den = 1.0 +. (0.25 *. l) in
+        let qsqr = num /. (den *. den) in
+        let d = (qsqr -. q0sqr) /. (q0sqr *. (1.0 +. q0sqr)) in
+        let c_val = 1.0 /. (1.0 +. d) in
+        coeff.(i) <- Float.max 0.0 (Float.min 1.0 c_val)
+      done
+    done;
+    let coeff_at r c = coeff.((clamp r * n) + clamp c) in
+    let pixels =
+      Array.init (n * n) (fun i ->
+          let r = i / n and c = i mod n in
+          let cn = coeff.(i)
+          and cs = coeff_at (r + 1) c
+          and ce = coeff_at r (c + 1)
+          and cw = coeff.(i) in
+          let divergence =
+            (cn *. dn.(i)) +. (cs *. ds.(i)) +. (ce *. de.(i)) +. (cw *. dw.(i))
+          in
+          img.pixels.(i) +. (0.25 *. lambda *. divergence))
+    in
+    { n; pixels }
+
+  let simulate img ~iterations =
+    if iterations < 0 then invalid_arg "Srad.Reference.simulate: negative iterations";
+    let rec go img k = if k = 0 then img else go (iterate img) (k - 1) in
+    go img iterations
+
+  let mean_variance img =
+    let count = float_of_int (Array.length img.pixels) in
+    let mean = Array.fold_left ( +. ) 0.0 img.pixels /. count in
+    let var =
+      Array.fold_left (fun acc v -> acc +. ((v -. mean) ** 2.0)) 0.0 img.pixels /. count
+    in
+    (mean, var)
+end

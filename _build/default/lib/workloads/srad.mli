@@ -1,0 +1,35 @@
+(** SRAD: speckle-reducing anisotropic diffusion (Rodinia).
+
+    Removes speckle noise from ultrasonic/radar images without
+    destroying features (paper §IV-B).  Two kernels per iteration: the
+    first computes directional derivatives and the diffusion
+    coefficient, the second applies the divergence update to the image.
+    The coefficient and derivative arrays are device-resident
+    temporaries (the paper's user-hint mechanism, §III-B): only the
+    image crosses the bus, once in and once out. *)
+
+val data_sizes : int list
+(** Image edge lengths studied in the paper: 1024, 2048, 4096. *)
+
+val size_label : int -> string
+
+val program : ?iterations:int -> n:int -> unit -> Gpp_skeleton.Program.t
+
+module Reference : sig
+  type image = { n : int; pixels : float array }
+
+  val image_of : n:int -> (row:int -> col:int -> float) -> image
+
+  val lambda : float
+  (** Diffusion update weight used by {!iterate}. *)
+
+  val iterate : image -> image
+  (** One SRAD iteration (derivatives, coefficient, update) with
+      clamped boundaries. *)
+
+  val simulate : image -> iterations:int -> image
+
+  val mean_variance : image -> float * float
+  (** Image statistics; SRAD should reduce variance on noisy-constant
+      regions while preserving the mean. *)
+end

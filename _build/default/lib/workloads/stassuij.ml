@@ -1,0 +1,174 @@
+module Ir = Gpp_skeleton.Ir
+module Decl = Gpp_skeleton.Decl
+module Ix = Gpp_skeleton.Index_expr
+module Program = Gpp_skeleton.Program
+
+type shape = { rows : int; cols : int; dense_cols : int; nnz : int }
+
+let default_shape = { rows = 132; cols = 132; dense_cols = 2048; nnz = 1716 }
+
+let program ?(iterations = 1) ?(shape = default_shape) () =
+  let nnz_per_row = max 1 (shape.nnz / shape.rows) in
+  let complex_bytes = 16 (* double-precision complex, as transferred *) in
+  let arrays =
+    [
+      Decl.dense "xmat" ~elem_bytes:complex_bytes ~dims:[ shape.rows; shape.dense_cols ];
+      Decl.dense "ymat" ~elem_bytes:complex_bytes ~dims:[ shape.rows; shape.dense_cols ];
+      Decl.dense "vals" ~elem_bytes:8 ~dims:[ shape.nnz ];
+      Decl.dense "col_idx" ~dims:[ shape.nnz ];
+      Decl.dense "row_ptr" ~dims:[ shape.rows + 1 ];
+    ]
+  in
+  (* One thread per (row, dense column); the serial loop walks the
+     row's stored entries.  The sparse entry and its column index are
+     warp-uniform (broadcast); the gathered dense row is coalesced
+     along j through the indirect base. *)
+  let entry = Ix.add (Ix.var ~coeff:nnz_per_row "i") (Ix.var "k") in
+  let per_row_weight = 1.0 /. float_of_int nnz_per_row in
+  let kernel =
+    Ir.kernel "sparse_multiply"
+      ~loops:
+        [
+          Ir.loop "i" ~extent:shape.rows;
+          Ir.loop "j" ~extent:shape.dense_cols;
+          Ir.loop ~parallel:false "k" ~extent:nnz_per_row;
+        ]
+      ~body:
+        [
+          Ir.load "col_idx" [ entry ];
+          Ir.load "vals" [ entry ];
+          Ir.load_indirect "xmat" ~via:"col_idx" ~offset:[ Ix.var "j" ];
+          (* Complex accumulator update: (re, im) each get a multiply
+             and an add per stored entry. *)
+          Ir.compute ~int_ops:3.0 6.0;
+          (* Once per (i, j): row bounds from the CSR row pointers, and
+             the read-modify-write of the accumulator element. *)
+          Ir.branch ~divergent:false ~probability:per_row_weight
+            [
+              Ir.load "row_ptr" [ Ix.var "i" ];
+              Ir.load "row_ptr" [ Ix.offset (Ix.var "i") 1 ];
+              Ir.load "ymat" [ Ix.var "i"; Ix.var "j" ];
+              Ir.compute ~int_ops:2.0 2.0;
+              Ir.store "ymat" [ Ix.var "i"; Ix.var "j" ];
+            ];
+        ]
+  in
+  Program.create
+    ~name:
+      (Printf.sprintf "stassuij-%dx%dx%d" shape.rows shape.cols shape.dense_cols)
+    ~arrays ~kernels:[ kernel ]
+    ~schedule:[ Program.Repeat (iterations, [ Program.Call "sparse_multiply" ]) ]
+    ()
+
+module Reference = struct
+  type csr = {
+    rows : int;
+    cols : int;
+    row_ptr : int array;
+    col_idx : int array;
+    values : float array;
+  }
+
+  type complex_matrix = { m_rows : int; m_cols : int; re : float array; im : float array }
+
+  let random_csr ?(seed = 42L) ~rows ~cols ~density () =
+    if density <= 0.0 || density > 1.0 then invalid_arg "Stassuij.random_csr: bad density";
+    let rng = Gpp_util.Rng.create seed in
+    let row_entries =
+      Array.init rows (fun _ ->
+          let want = max 1 (int_of_float (Float.round (density *. float_of_int cols))) in
+          (* Distinct, sorted column indices for this row. *)
+          let chosen = Hashtbl.create want in
+          while Hashtbl.length chosen < want do
+            Hashtbl.replace chosen (Gpp_util.Rng.int rng ~bound:cols) ()
+          done;
+          Hashtbl.fold (fun c () acc -> c :: acc) chosen []
+          |> List.sort compare
+          |> List.map (fun c -> (c, Gpp_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0)))
+    in
+    let nnz = Array.fold_left (fun acc l -> acc + List.length l) 0 row_entries in
+    let row_ptr = Array.make (rows + 1) 0 in
+    let col_idx = Array.make nnz 0 in
+    let values = Array.make nnz 0.0 in
+    let cursor = ref 0 in
+    Array.iteri
+      (fun r entries ->
+        row_ptr.(r) <- !cursor;
+        List.iter
+          (fun (c, v) ->
+            col_idx.(!cursor) <- c;
+            values.(!cursor) <- v;
+            incr cursor)
+          entries)
+      row_entries;
+    row_ptr.(rows) <- !cursor;
+    { rows; cols; row_ptr; col_idx; values }
+
+  let random_complex ?(seed = 7L) ~rows ~cols () =
+    let rng = Gpp_util.Rng.create seed in
+    {
+      m_rows = rows;
+      m_cols = cols;
+      re = Array.init (rows * cols) (fun _ -> Gpp_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0);
+      im = Array.init (rows * cols) (fun _ -> Gpp_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0);
+    }
+
+  let zeros ~rows ~cols =
+    { m_rows = rows; m_cols = cols; re = Array.make (rows * cols) 0.0; im = Array.make (rows * cols) 0.0 }
+
+  let multiply_accumulate a x ~into =
+    if a.cols <> x.m_rows then invalid_arg "Stassuij.multiply: inner dimension mismatch";
+    if into.m_rows <> a.rows || into.m_cols <> x.m_cols then
+      invalid_arg "Stassuij.multiply: output dimension mismatch";
+    let result =
+      {
+        m_rows = into.m_rows;
+        m_cols = into.m_cols;
+        re = Array.copy into.re;
+        im = Array.copy into.im;
+      }
+    in
+    for r = 0 to a.rows - 1 do
+      for e = a.row_ptr.(r) to a.row_ptr.(r + 1) - 1 do
+        let c = a.col_idx.(e) and v = a.values.(e) in
+        let src = c * x.m_cols and dst = r * x.m_cols in
+        for j = 0 to x.m_cols - 1 do
+          result.re.(dst + j) <- result.re.(dst + j) +. (v *. x.re.(src + j));
+          result.im.(dst + j) <- result.im.(dst + j) +. (v *. x.im.(src + j))
+        done
+      done
+    done;
+    result
+
+  let multiply a x = multiply_accumulate a x ~into:(zeros ~rows:a.rows ~cols:x.m_cols)
+
+  let dense_multiply a x =
+    let dense = Array.make_matrix a.rows a.cols 0.0 in
+    for r = 0 to a.rows - 1 do
+      for e = a.row_ptr.(r) to a.row_ptr.(r + 1) - 1 do
+        dense.(r).(a.col_idx.(e)) <- dense.(r).(a.col_idx.(e)) +. a.values.(e)
+      done
+    done;
+    let out = zeros ~rows:a.rows ~cols:x.m_cols in
+    for r = 0 to a.rows - 1 do
+      for c = 0 to a.cols - 1 do
+        let v = dense.(r).(c) in
+        if v <> 0.0 then
+          for j = 0 to x.m_cols - 1 do
+            out.re.((r * x.m_cols) + j) <-
+              out.re.((r * x.m_cols) + j) +. (v *. x.re.((c * x.m_cols) + j));
+            out.im.((r * x.m_cols) + j) <-
+              out.im.((r * x.m_cols) + j) +. (v *. x.im.((c * x.m_cols) + j))
+          done
+      done
+    done;
+    out
+
+  let max_abs_diff a b =
+    if a.m_rows <> b.m_rows || a.m_cols <> b.m_cols then
+      invalid_arg "Stassuij.max_abs_diff: size mismatch";
+    let worst = ref 0.0 in
+    Array.iteri (fun i v -> worst := Float.max !worst (Float.abs (v -. b.re.(i)))) a.re;
+    Array.iteri (fun i v -> worst := Float.max !worst (Float.abs (v -. b.im.(i)))) a.im;
+    !worst
+end

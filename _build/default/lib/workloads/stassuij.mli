@@ -1,0 +1,58 @@
+(** Stassuij: sparse x dense multiply from Green's Function Monte Carlo.
+
+    The core of GFMC calculations for light nuclei (paper §IV-B): a
+    132x132 sparse matrix of reals (CSR format, three vectors) times a
+    132x2048 dense matrix of complex numbers, accumulated into a complex
+    result that the host initializes and consumes.
+
+    This is the paper's decisive case: the kernel-only projection says
+    the GPU wins (1.10x), but transfers of the dense complex matrices
+    dominate and the real outcome is a 0.39x slowdown — only the
+    transfer-aware projection gets the {e decision} right (§V-B.4). *)
+
+type shape = {
+  rows : int;  (** Sparse-matrix rows (132). *)
+  cols : int;  (** Sparse-matrix columns (132). *)
+  dense_cols : int;  (** Dense-matrix columns (2048). *)
+  nnz : int;  (** Stored sparse entries. *)
+}
+
+val default_shape : shape
+(** The paper's configuration, with a ~10% dense sparse operator. *)
+
+val program : ?iterations:int -> ?shape:shape -> unit -> Gpp_skeleton.Program.t
+
+module Reference : sig
+  type csr = {
+    rows : int;
+    cols : int;
+    row_ptr : int array;  (** Length [rows + 1]. *)
+    col_idx : int array;
+    values : float array;
+  }
+
+  type complex_matrix = {
+    m_rows : int;
+    m_cols : int;
+    re : float array;  (** Row-major. *)
+    im : float array;
+  }
+
+  val random_csr : ?seed:int64 -> rows:int -> cols:int -> density:float -> unit -> csr
+  (** Uniformly scattered non-zeros with at least one entry per row. *)
+
+  val random_complex : ?seed:int64 -> rows:int -> cols:int -> unit -> complex_matrix
+
+  val multiply : csr -> complex_matrix -> complex_matrix
+  (** [A * X] for real sparse [A] and complex dense [X].
+      @raise Invalid_argument on dimension mismatch. *)
+
+  val multiply_accumulate : csr -> complex_matrix -> into:complex_matrix -> complex_matrix
+  (** [Y + A * X], the kernel's actual read-modify-write dataflow. *)
+
+  val dense_multiply : csr -> complex_matrix -> complex_matrix
+  (** Naive reference computed through an explicit dense copy of [A]
+      (for testing {!multiply}). *)
+
+  val max_abs_diff : complex_matrix -> complex_matrix -> float
+end

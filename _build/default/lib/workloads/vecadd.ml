@@ -1,0 +1,20 @@
+module Ir = Gpp_skeleton.Ir
+module Decl = Gpp_skeleton.Decl
+module Ix = Gpp_skeleton.Index_expr
+module Program = Gpp_skeleton.Program
+
+let program ~n =
+  let arrays = [ Decl.dense "a" ~dims:[ n ]; Decl.dense "b" ~dims:[ n ]; Decl.dense "c" ~dims:[ n ] ] in
+  let kernel =
+    Ir.kernel "vecadd"
+      ~loops:[ Ir.loop "i" ~extent:n ]
+      ~body:[ Ir.load "a" [ Ix.var "i" ]; Ir.load "b" [ Ix.var "i" ]; Ir.compute 1.0; Ir.store "c" [ Ix.var "i" ] ]
+  in
+  Program.create ~name:(Printf.sprintf "vecadd-%d" n) ~arrays ~kernels:[ kernel ]
+    ~schedule:[ Program.Call "vecadd" ] ()
+
+module Reference = struct
+  let run a b =
+    if Array.length a <> Array.length b then invalid_arg "Vecadd.Reference.run: length mismatch";
+    Array.init (Array.length a) (fun i -> a.(i) +. b.(i))
+end

@@ -1,0 +1,16 @@
+(** Vector addition — the paper's pedagogical example (§II-B).
+
+    An extremely data-parallel, bandwidth-bound kernel that looks ideal
+    for the GPU until transfer time is considered: two input vectors
+    must cross the PCIe bus in, and the result back out, swamping the
+    kernel-time advantage.  The quickstart example reproduces the
+    paper's "2.4x faster kernel, ~10x slower end to end" argument with
+    this workload. *)
+
+val program : n:int -> Gpp_skeleton.Program.t
+(** Skeleton of [c = a + b] over [n] single-precision elements. *)
+
+module Reference : sig
+  val run : float array -> float array -> float array
+  (** Element-wise sum.  @raise Invalid_argument on length mismatch. *)
+end

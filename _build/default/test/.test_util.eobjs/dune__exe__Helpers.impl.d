@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Float Gpp_skeleton QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_arch.ml: Alcotest Gpp_arch Helpers List

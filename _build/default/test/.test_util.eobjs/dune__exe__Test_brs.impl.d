@@ -1,0 +1,1 @@
+test/test_brs.ml: Alcotest Gpp_brs Gpp_skeleton Helpers List QCheck2

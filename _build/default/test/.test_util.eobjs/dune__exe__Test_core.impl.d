@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Float Gpp_arch Gpp_core Gpp_dataflow Gpp_pcie Gpp_skeleton Gpp_workloads Helpers Lazy List

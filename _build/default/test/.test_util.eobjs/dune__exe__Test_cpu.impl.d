@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Float Gpp_arch Gpp_cpu Gpp_skeleton Gpp_workloads Helpers List

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Gpp_dataflow Gpp_skeleton Gpp_workloads Helpers List Printf QCheck2

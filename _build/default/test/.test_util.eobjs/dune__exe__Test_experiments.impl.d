@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Filename Float Gpp_core Gpp_experiments Gpp_util Helpers Lazy List Printf String Sys

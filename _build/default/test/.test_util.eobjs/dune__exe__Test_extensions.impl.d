@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Float Gpp_arch Gpp_core Gpp_experiments Gpp_model Gpp_pcie Gpp_skeleton Gpp_transform Gpp_util Gpp_workloads Helpers Lazy List Option Printf

@@ -1,0 +1,1 @@
+test/test_gpusim.ml: Alcotest Float Gpp_arch Gpp_gpusim Gpp_model Gpp_util Helpers List String

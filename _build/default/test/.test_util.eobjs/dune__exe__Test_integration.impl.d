@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Gpp_arch Gpp_core Gpp_dataflow Gpp_skeleton Gpp_util Gpp_workloads Helpers Lazy List Printf

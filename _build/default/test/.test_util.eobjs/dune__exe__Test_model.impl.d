@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Gpp_arch Gpp_model Helpers

@@ -1,0 +1,1 @@
+test/test_pcie.ml: Alcotest Float Gpp_arch Gpp_pcie Gpp_util Helpers List Printf

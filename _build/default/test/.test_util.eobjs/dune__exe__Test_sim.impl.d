@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Float Gpp_sim Helpers List Option QCheck2

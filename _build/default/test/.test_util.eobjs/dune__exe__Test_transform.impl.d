@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Float Gpp_arch Gpp_model Gpp_skeleton Gpp_transform Gpp_workloads Helpers List

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Float Gpp_util Helpers List QCheck2 String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Float Gpp_skeleton Gpp_util Gpp_workloads Helpers List Printf

@@ -1,0 +1,105 @@
+(* Tests for Gpp_arch: hardware description records and derived
+   quantities. *)
+
+module Gpu = Gpp_arch.Gpu
+module Cpu = Gpp_arch.Cpu
+module Pcie = Gpp_arch.Pcie_spec
+module Machine = Gpp_arch.Machine
+
+let test_gpu_presets_valid () =
+  List.iter
+    (fun gpu -> ignore (Helpers.check_ok gpu.Gpu.name (Gpu.validate gpu)))
+    [ Gpu.quadro_fx_5600; Gpu.tesla_c1060; Gpu.tesla_c2050 ]
+
+let test_gpu_derived () =
+  let gpu = Gpu.quadro_fx_5600 in
+  (* 16 SMs x 8 cores x 1.35 GHz x 2 flops = 345.6 GFLOP/s. *)
+  Helpers.close_rel ~tolerance:0.01 "peak gflops" 345.6 (Gpu.peak_gflops gpu);
+  Alcotest.(check int) "peak warps" 24 (Gpu.peak_warps_per_sm gpu);
+  Helpers.close_rel ~tolerance:0.01 "cycle time" (1.0 /. 1.35e9) (Gpu.cycle_time gpu)
+
+let test_gpu_validation_catches () =
+  let bad = { Gpu.quadro_fx_5600 with Gpu.sm_count = 0 } in
+  ignore (Helpers.check_error "sm_count" (Gpu.validate bad));
+  let bad = { Gpu.quadro_fx_5600 with Gpu.max_threads_per_sm = 100 } in
+  ignore (Helpers.check_error "warp alignment" (Gpu.validate bad));
+  let bad = { Gpu.quadro_fx_5600 with Gpu.max_threads_per_block = 10_000 } in
+  ignore (Helpers.check_error "block capacity" (Gpu.validate bad))
+
+let test_cpu_presets_valid () =
+  List.iter
+    (fun cpu -> ignore (Helpers.check_ok cpu.Cpu.name (Cpu.validate cpu)))
+    [ Cpu.xeon_e5405; Cpu.xeon_e5645 ]
+
+let test_cpu_derived () =
+  (* 4 cores x 2.0 GHz x 4 flops = 32 GFLOP/s. *)
+  Helpers.close_rel ~tolerance:0.01 "peak gflops" 32.0 (Cpu.peak_gflops Cpu.xeon_e5405)
+
+let test_cpu_validation_catches () =
+  let bad = { Cpu.xeon_e5405 with Cpu.threads = 1 } in
+  ignore (Helpers.check_error "threads < cores" (Cpu.validate bad));
+  let bad = { Cpu.xeon_e5405 with Cpu.parallel_efficiency = 1.5 } in
+  ignore (Helpers.check_error "efficiency" (Cpu.validate bad))
+
+let test_pcie_bandwidth_math () =
+  (* Gen1 x16: 2.5 GT/s x 16 lanes x 0.8 encoding / 8 = 4 GB/s raw. *)
+  Helpers.close_rel ~tolerance:0.001 "gen1 raw" 4e9 (Pcie.raw_bandwidth Pcie.v1_x16);
+  (* Packet efficiency with 128 B payload and 20 B header. *)
+  Helpers.close_rel ~tolerance:0.001 "packet efficiency" (128.0 /. 148.0)
+    (Pcie.packet_efficiency Pcie.v1_x16);
+  Helpers.close_rel ~tolerance:0.001 "effective" (4e9 *. 128.0 /. 148.0)
+    (Pcie.effective_bandwidth Pcie.v1_x16);
+  (* Generations get faster. *)
+  Alcotest.(check bool) "gen2 > gen1" true
+    (Pcie.effective_bandwidth Pcie.v2_x16 > Pcie.effective_bandwidth Pcie.v1_x16);
+  Alcotest.(check bool) "gen3 > gen2" true
+    (Pcie.effective_bandwidth Pcie.v3_x16 > Pcie.effective_bandwidth Pcie.v2_x16)
+
+let test_pcie_validation () =
+  ignore (Helpers.check_ok "v1 x16" (Pcie.validate Pcie.v1_x16));
+  ignore (Helpers.check_error "lanes" (Pcie.validate { Pcie.v1_x16 with Pcie.lanes = 3 }));
+  ignore
+    (Helpers.check_error "payload" (Pcie.validate { Pcie.v1_x16 with Pcie.max_payload = 0 }))
+
+let test_machine_presets () =
+  ignore (Helpers.check_ok "argonne" (Machine.validate Machine.argonne_node));
+  ignore (Helpers.check_ok "modern" (Machine.validate Machine.modern_node));
+  (* The paper's testbed: FX 5600 on PCIe v1. *)
+  Alcotest.(check string) "gpu" "NVIDIA Quadro FX 5600" Machine.argonne_node.Machine.gpu.Gpu.name;
+  Alcotest.(check string) "cpu" "Intel Xeon E5405" Machine.argonne_node.Machine.cpu.Cpu.name;
+  Alcotest.(check bool) "pcie gen1" true
+    (Machine.argonne_node.Machine.pcie.Pcie.generation = Pcie.Gen1)
+
+let test_paper_bandwidth_claims () =
+  (* Section II-B quotes 77 GB/s for the FX 5600 and 32 GB/s for the
+     E5645's memory system. *)
+  Helpers.close_rel ~tolerance:0.01 "fx5600 dram" 76.8e9
+    Gpp_arch.Gpu.quadro_fx_5600.Gpu.dram_bandwidth;
+  Helpers.close_rel ~tolerance:0.01 "e5645 memory" 32e9 Cpu.xeon_e5645.Cpu.mem_bandwidth
+
+let () =
+  Alcotest.run "gpp_arch"
+    [
+      ( "gpu",
+        [
+          Alcotest.test_case "presets valid" `Quick test_gpu_presets_valid;
+          Alcotest.test_case "derived quantities" `Quick test_gpu_derived;
+          Alcotest.test_case "validation" `Quick test_gpu_validation_catches;
+        ] );
+      ( "cpu",
+        [
+          Alcotest.test_case "presets valid" `Quick test_cpu_presets_valid;
+          Alcotest.test_case "derived quantities" `Quick test_cpu_derived;
+          Alcotest.test_case "validation" `Quick test_cpu_validation_catches;
+        ] );
+      ( "pcie",
+        [
+          Alcotest.test_case "bandwidth math" `Quick test_pcie_bandwidth_math;
+          Alcotest.test_case "validation" `Quick test_pcie_validation;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "presets" `Quick test_machine_presets;
+          Alcotest.test_case "paper claims" `Quick test_paper_bandwidth_claims;
+        ] );
+    ]

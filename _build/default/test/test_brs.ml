@@ -1,0 +1,351 @@
+(* Tests for Gpp_brs: sections (arithmetic-progression algebra), regions,
+   and BRS extraction from skeletons. *)
+
+module Section = Gpp_brs.Section
+module Region = Gpp_brs.Region
+module Extract = Gpp_brs.Extract
+module Ir = Gpp_skeleton.Ir
+module Ix = Gpp_skeleton.Index_expr
+module Decl = Gpp_skeleton.Decl
+
+(* Brute-force element enumeration of one progression. *)
+let elements_of (d : Section.dim) =
+  let rec go acc x = if x > d.Section.hi then List.rev acc else go (x :: acc) (x + d.Section.stride) in
+  go [] d.Section.lo
+
+let dim_gen =
+  QCheck2.Gen.(
+    let* lo = int_range (-50) 50 in
+    let* len = int_range 0 60 in
+    let* stride = int_range 1 7 in
+    return (Section.dim_exn ~lo ~hi:(lo + len) ~stride))
+
+(* Section.dim normalization *)
+
+let test_dim_normalization () =
+  Alcotest.(check bool) "empty" true (Section.dim ~lo:5 ~hi:4 ~stride:1 = None);
+  let d = Section.dim_exn ~lo:0 ~hi:10 ~stride:4 in
+  Alcotest.(check int) "clamped hi" 8 d.Section.hi;
+  let point = Section.dim_exn ~lo:3 ~hi:3 ~stride:9 in
+  Alcotest.(check int) "point stride canonical" 1 point.Section.stride;
+  Helpers.check_raises_invalid "stride 0" (fun () -> ignore (Section.dim ~lo:0 ~hi:1 ~stride:0));
+  Helpers.check_raises_invalid "empty exn" (fun () ->
+      ignore (Section.dim_exn ~lo:1 ~hi:0 ~stride:1))
+
+let test_dim_size_and_mem () =
+  let d = Section.dim_exn ~lo:2 ~hi:14 ~stride:3 in
+  Alcotest.(check int) "size" 5 (Section.dim_size d);
+  Alcotest.(check bool) "mem on" true (Section.dim_mem d 8);
+  Alcotest.(check bool) "mem off-grid" false (Section.dim_mem d 9);
+  Alcotest.(check bool) "mem outside" false (Section.dim_mem d 17)
+
+let test_dim_size_matches_enum =
+  Helpers.qtest "size = |elements|" dim_gen (fun d ->
+      Section.dim_size d = List.length (elements_of d))
+
+(* Intersection: exact per the CRT, validated against brute force. *)
+
+let test_dim_intersect_brute_force =
+  Helpers.qtest ~count:500 "intersection = set intersection"
+    QCheck2.Gen.(pair dim_gen dim_gen)
+    (fun (d1, d2) ->
+      let expected = List.filter (fun x -> Section.dim_mem d2 x) (elements_of d1) in
+      match Section.dim_intersect d1 d2 with
+      | None -> expected = []
+      | Some d -> elements_of d = expected)
+
+let test_dim_intersect_known () =
+  (* {0,3,6,...} n {0,5,10,...} = {0,15,30,...} *)
+  let d1 = Section.dim_exn ~lo:0 ~hi:30 ~stride:3 in
+  let d2 = Section.dim_exn ~lo:0 ~hi:30 ~stride:5 in
+  match Section.dim_intersect d1 d2 with
+  | Some d ->
+      Alcotest.(check int) "lo" 0 d.Section.lo;
+      Alcotest.(check int) "stride" 15 d.Section.stride;
+      Alcotest.(check int) "hi" 30 d.Section.hi
+  | None -> Alcotest.fail "expected non-empty intersection"
+
+let test_dim_intersect_incompatible_residues () =
+  (* {0,2,4,...} n {1,3,5,...} = empty *)
+  let evens = Section.dim_exn ~lo:0 ~hi:20 ~stride:2 in
+  let odds = Section.dim_exn ~lo:1 ~hi:21 ~stride:2 in
+  Alcotest.(check bool) "disjoint residues" true (Section.dim_intersect evens odds = None)
+
+(* Union hull *)
+
+let test_dim_union_superset =
+  Helpers.qtest ~count:500 "union contains both operands"
+    QCheck2.Gen.(pair dim_gen dim_gen)
+    (fun (d1, d2) ->
+      let hull = Section.dim_union d1 d2 in
+      List.for_all (Section.dim_mem hull) (elements_of d1)
+      && List.for_all (Section.dim_mem hull) (elements_of d2))
+
+let test_dim_union_exact_matches_brute_force =
+  Helpers.qtest ~count:500 "union_exact <=> hull adds no elements"
+    QCheck2.Gen.(pair dim_gen dim_gen)
+    (fun (d1, d2) ->
+      let hull = Section.dim_union d1 d2 in
+      let union_set = List.sort_uniq compare (elements_of d1 @ elements_of d2) in
+      Section.dim_union_exact d1 d2 = (Section.dim_size hull = List.length union_set))
+
+let test_dim_union_adjacent_rows () =
+  (* 0:9 u 10:19 = 0:19, exactly. *)
+  let a = Section.dim_exn ~lo:0 ~hi:9 ~stride:1 in
+  let b = Section.dim_exn ~lo:10 ~hi:19 ~stride:1 in
+  Alcotest.(check bool) "exact" true (Section.dim_union_exact a b);
+  Alcotest.(check int) "merged size" 20 (Section.dim_size (Section.dim_union a b))
+
+let test_dim_contains () =
+  let outer = Section.dim_exn ~lo:0 ~hi:20 ~stride:2 in
+  let inner = Section.dim_exn ~lo:4 ~hi:12 ~stride:4 in
+  Alcotest.(check bool) "contains" true (Section.dim_contains ~outer ~inner);
+  let off = Section.dim_exn ~lo:1 ~hi:5 ~stride:2 in
+  Alcotest.(check bool) "wrong residue" false (Section.dim_contains ~outer ~inner:off)
+
+(* Multidimensional sections *)
+
+let sec array dims = Section.make array dims
+
+let test_section_basics () =
+  let s =
+    sec "a" [ Section.dim_exn ~lo:0 ~hi:3 ~stride:1; Section.dim_exn ~lo:0 ~hi:9 ~stride:1 ]
+  in
+  Alcotest.(check int) "size" 40 (Section.size s);
+  Alcotest.(check int) "bytes" 160 (Section.bytes ~elem_bytes:4 s);
+  Alcotest.(check bool) "mem" true (Section.mem s [ 2; 5 ]);
+  Alcotest.(check bool) "not mem" false (Section.mem s [ 4; 5 ]);
+  Helpers.check_raises_invalid "rank mismatch" (fun () -> ignore (Section.mem s [ 1 ]));
+  Helpers.check_raises_invalid "empty dims" (fun () -> ignore (Section.make "a" []))
+
+let test_section_intersect_union () =
+  let row r = sec "m" [ Section.point r; Section.dim_exn ~lo:0 ~hi:9 ~stride:1 ] in
+  Alcotest.(check bool) "different rows disjoint" true (Section.intersect (row 0) (row 1) = None);
+  Alcotest.(check bool) "same row overlaps" true (Section.overlap (row 2) (row 2));
+  let hull = Section.union (row 0) (row 1) in
+  Alcotest.(check int) "two-row hull" 20 (Section.size hull);
+  Alcotest.(check bool) "adjacent rows exact" true (Section.union_exact (row 0) (row 1));
+  Alcotest.(check bool) "gap rows inexact" false (Section.union_exact (row 0) (row 2));
+  Alcotest.(check bool) "different arrays" true
+    (Section.intersect (row 0) (sec "other" [ Section.point 0; Section.point 0 ]) = None)
+
+let test_section_union_diagonal_inexact () =
+  (* Differing in two dimensions: the hull covers a rectangle, strictly
+     larger than the two points. *)
+  let a = sec "m" [ Section.point 0; Section.point 0 ] in
+  let b = sec "m" [ Section.point 1; Section.point 1 ] in
+  Alcotest.(check bool) "diagonal union inexact" false (Section.union_exact a b);
+  Alcotest.(check int) "hull is the bounding box" 4 (Section.size (Section.union a b))
+
+let test_whole_array () =
+  let d = Decl.dense "a" ~dims:[ 6; 7 ] in
+  let s = Section.whole_array d in
+  Alcotest.(check int) "whole size" 42 (Section.size s);
+  Alcotest.(check bool) "contains corner" true (Section.mem s [ 5; 6 ])
+
+(* Regions *)
+
+let test_region_merge_exact () =
+  let row r = sec "m" [ Section.point r; Section.dim_exn ~lo:0 ~hi:9 ~stride:1 ] in
+  let region = Region.empty ~array:"m" in
+  let region = Region.add region (row 0) in
+  let region = Region.add region (row 1) in
+  let region = Region.add region (row 2) in
+  Alcotest.(check int) "three adjacent rows fuse" 1 (List.length (Region.sections region));
+  Alcotest.(check int) "covered" 30 (Region.covered_elements region);
+  let again = Region.add region (row 1) in
+  Alcotest.(check int) "idempotent re-add" 30 (Region.covered_elements again)
+
+let test_region_keeps_disjoint () =
+  let row r = sec "m" [ Section.point r; Section.dim_exn ~lo:0 ~hi:9 ~stride:1 ] in
+  let region = Region.add (Region.add (Region.empty ~array:"m") (row 0)) (row 5) in
+  Alcotest.(check int) "two pieces" 2 (List.length (Region.sections region));
+  Alcotest.(check int) "covered" 20 (Region.covered_elements region);
+  Alcotest.(check bool) "covers row0" true (Region.covers region (row 0));
+  Alcotest.(check bool) "does not cover row3" false (Region.covers region (row 3));
+  Alcotest.(check bool) "mem" true (Region.mem region [ 5; 9 ]);
+  Alcotest.(check bool) "not mem" false (Region.mem region [ 3; 0 ])
+
+let test_region_merge_regions () =
+  let row r = sec "m" [ Section.point r; Section.dim_exn ~lo:0 ~hi:9 ~stride:1 ] in
+  let a = Region.of_section (row 0) and b = Region.of_section (row 1) in
+  let merged = Region.merge a b in
+  Alcotest.(check int) "merged covered" 20 (Region.covered_elements merged);
+  Helpers.check_raises_invalid "array mismatch" (fun () ->
+      ignore (Region.merge a (Region.empty ~array:"other")))
+
+let test_region_bulk_property =
+  Helpers.qtest ~count:200 "region covers every added 1-D interval"
+    QCheck2.Gen.(list_size (int_range 1 12) (pair (int_range 0 40) (int_range 0 10)))
+    (fun intervals ->
+      let region =
+        List.fold_left
+          (fun region (lo, len) ->
+            Region.add region (sec "a" [ Section.dim_exn ~lo ~hi:(lo + len) ~stride:1 ]))
+          (Region.empty ~array:"a") intervals
+      in
+      List.for_all
+        (fun (lo, len) ->
+          List.for_all (fun x -> Region.mem region [ x ]) (List.init (len + 1) (fun i -> lo + i)))
+        intervals
+      &&
+      let true_union =
+        List.sort_uniq compare
+          (List.concat_map (fun (lo, len) -> List.init (len + 1) (fun i -> lo + i)) intervals)
+      in
+      Region.covered_elements region >= List.length true_union)
+
+(* Extraction *)
+
+let stencil_kernel n =
+  Ir.kernel "stencil"
+    ~loops:[ Ir.loop "y" ~extent:n; Ir.loop "x" ~extent:n ]
+    ~body:
+      [
+        Ir.load "g" [ Ix.offset (Ix.var "y") (-1); Ix.var "x" ];
+        Ir.load "g" [ Ix.var "y"; Ix.var "x" ];
+        Ir.load "g" [ Ix.offset (Ix.var "y") 1; Ix.var "x" ];
+        Ir.compute 1.0;
+        Ir.store "o" [ Ix.var "y"; Ix.var "x" ];
+      ]
+
+let stencil_decls n = [ Decl.dense "g" ~dims:[ n; n ]; Decl.dense "o" ~dims:[ n; n ] ]
+
+let test_extract_affine_clipped () =
+  let n = 16 in
+  let access = Extract.of_kernel ~decls:(stencil_decls n) (stencil_kernel n) in
+  (match Extract.reads_of access "g" with
+  | Some region ->
+      (* Halo reads step outside the grid but are clipped to it, so the
+         read region is exactly the whole array. *)
+      Alcotest.(check int) "reads whole grid" (n * n) (Region.covered_elements region)
+  | None -> Alcotest.fail "expected g to be read");
+  (match Extract.writes_of access "o" with
+  | Some region ->
+      Alcotest.(check int) "writes whole grid" (n * n) (Region.covered_elements region)
+  | None -> Alcotest.fail "expected o to be written");
+  Alcotest.(check (list string)) "all exact" [] access.Extract.inexact_arrays
+
+let test_extract_strided () =
+  let k =
+    Ir.kernel "strided"
+      ~loops:[ Ir.loop "i" ~extent:10 ]
+      ~body:[ Ir.load "a" [ Ix.var ~coeff:3 "i" ]; Ir.compute 1.0 ]
+  in
+  let decls = [ Decl.dense "a" ~dims:[ 100 ] ] in
+  let info =
+    Extract.section_of_ref ~decls ~kernel:k
+      { Ir.array = "a"; access = Ir.Load; pattern = Ir.Affine [ Ix.var ~coeff:3 "i" ] }
+  in
+  Alcotest.(check bool) "exact" true info.Extract.exact;
+  Alcotest.(check int) "strided size" 10 (Section.size info.Extract.section);
+  Alcotest.(check bool) "on stride" true (Section.mem info.Extract.section [ 27 ]);
+  Alcotest.(check bool) "off stride" false (Section.mem info.Extract.section [ 28 ])
+
+let test_extract_multivar_no_gaps () =
+  (* a[i*8 + j] with j in 0..7 covers a contiguous range: recognized as
+     exact with stride 1. *)
+  let expr = Ix.add (Ix.var ~coeff:8 "i") (Ix.var "j") in
+  let k =
+    Ir.kernel "flat"
+      ~loops:[ Ir.loop "i" ~extent:4; Ir.loop "j" ~extent:8 ]
+      ~body:[ Ir.load "a" [ expr ]; Ir.compute 1.0 ]
+  in
+  let decls = [ Decl.dense "a" ~dims:[ 32 ] ] in
+  let info =
+    Extract.section_of_ref ~decls ~kernel:k
+      { Ir.array = "a"; access = Ir.Load; pattern = Ir.Affine [ expr ] }
+  in
+  Alcotest.(check bool) "no gaps -> exact" true info.Extract.exact;
+  Alcotest.(check int) "full coverage" 32 (Section.size info.Extract.section)
+
+let test_extract_multivar_with_gaps () =
+  (* a[i*10 + j] with j in 0..7 leaves gaps: hull is conservative. *)
+  let expr = Ix.add (Ix.var ~coeff:10 "i") (Ix.var "j") in
+  let k =
+    Ir.kernel "gappy"
+      ~loops:[ Ir.loop "i" ~extent:4; Ir.loop "j" ~extent:8 ]
+      ~body:[ Ir.load "a" [ expr ]; Ir.compute 1.0 ]
+  in
+  let decls = [ Decl.dense "a" ~dims:[ 64 ] ] in
+  let info =
+    Extract.section_of_ref ~decls ~kernel:k
+      { Ir.array = "a"; access = Ir.Load; pattern = Ir.Affine [ expr ] }
+  in
+  Alcotest.(check bool) "gaps -> inexact" false info.Extract.exact;
+  (* The hull must still contain every truly accessed element. *)
+  List.iter
+    (fun i ->
+      List.iter
+        (fun j ->
+          Alcotest.(check bool) "hull superset" true
+            (Section.mem info.Extract.section [ (10 * i) + j ]))
+        [ 0; 7 ])
+    [ 0; 3 ]
+
+let test_extract_indirect_conservative () =
+  let k =
+    Ir.kernel "gather"
+      ~loops:[ Ir.loop "i" ~extent:8 ]
+      ~body:[ Ir.load "idx" [ Ix.var "i" ]; Ir.load_indirect "table" ~via:"idx"; Ir.compute 1.0 ]
+  in
+  let decls = [ Decl.dense "idx" ~dims:[ 8 ]; Decl.dense "table" ~dims:[ 1000 ] ] in
+  let access = Extract.of_kernel ~decls k in
+  Alcotest.(check (list string)) "table conservative" [ "table" ] access.Extract.inexact_arrays;
+  match Extract.reads_of access "table" with
+  | Some region -> Alcotest.(check int) "whole table" 1000 (Region.covered_elements region)
+  | None -> Alcotest.fail "table should be read"
+
+let test_extract_sparse_conservative () =
+  let k =
+    Ir.kernel "sparse_touch"
+      ~loops:[ Ir.loop "i" ~extent:4 ]
+      ~body:[ Ir.load "s" [ Ix.var "i" ]; Ir.compute 1.0 ]
+  in
+  let decls = [ Decl.sparse "s" ~nnz:16 ~dims:[ 256 ] ] in
+  let access = Extract.of_kernel ~decls k in
+  Alcotest.(check (list string)) "sparse conservative" [ "s" ] access.Extract.inexact_arrays;
+  match Extract.reads_of access "s" with
+  | Some region -> Alcotest.(check int) "whole capacity" 256 (Region.covered_elements region)
+  | None -> Alcotest.fail "s should be read"
+
+let () =
+  Alcotest.run "gpp_brs"
+    [
+      ( "dim",
+        [
+          Alcotest.test_case "normalization" `Quick test_dim_normalization;
+          Alcotest.test_case "size/mem" `Quick test_dim_size_and_mem;
+          test_dim_size_matches_enum;
+          test_dim_intersect_brute_force;
+          Alcotest.test_case "intersect CRT" `Quick test_dim_intersect_known;
+          Alcotest.test_case "disjoint residues" `Quick test_dim_intersect_incompatible_residues;
+          test_dim_union_superset;
+          test_dim_union_exact_matches_brute_force;
+          Alcotest.test_case "adjacent intervals" `Quick test_dim_union_adjacent_rows;
+          Alcotest.test_case "contains" `Quick test_dim_contains;
+        ] );
+      ( "section",
+        [
+          Alcotest.test_case "basics" `Quick test_section_basics;
+          Alcotest.test_case "intersect/union" `Quick test_section_intersect_union;
+          Alcotest.test_case "diagonal hull" `Quick test_section_union_diagonal_inexact;
+          Alcotest.test_case "whole array" `Quick test_whole_array;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "exact merges" `Quick test_region_merge_exact;
+          Alcotest.test_case "disjoint pieces" `Quick test_region_keeps_disjoint;
+          Alcotest.test_case "merge regions" `Quick test_region_merge_regions;
+          test_region_bulk_property;
+        ] );
+      ( "extract",
+        [
+          Alcotest.test_case "stencil clipped" `Quick test_extract_affine_clipped;
+          Alcotest.test_case "strided" `Quick test_extract_strided;
+          Alcotest.test_case "multi-var no gaps" `Quick test_extract_multivar_no_gaps;
+          Alcotest.test_case "multi-var with gaps" `Quick test_extract_multivar_with_gaps;
+          Alcotest.test_case "indirect conservative" `Quick test_extract_indirect_conservative;
+          Alcotest.test_case "sparse conservative" `Quick test_extract_sparse_conservative;
+        ] );
+    ]

@@ -1,0 +1,146 @@
+(* Tests for Gpp_cpu: the multicore roofline baseline model. *)
+
+module Timing = Gpp_cpu.Timing
+module Ir = Gpp_skeleton.Ir
+module Ix = Gpp_skeleton.Index_expr
+module Decl = Gpp_skeleton.Decl
+
+let cpu = Gpp_arch.Cpu.xeon_e5405
+
+let streaming_kernel ~n ~flops =
+  Ir.kernel "stream"
+    ~loops:[ Ir.loop "i" ~extent:n ]
+    ~body:[ Ir.load "a" [ Ix.var "i" ]; Ir.compute flops; Ir.store "b" [ Ix.var "i" ] ]
+
+let streaming_decls n = [ Decl.dense "a" ~dims:[ n ]; Decl.dense "b" ~dims:[ n ] ]
+
+let test_breakdown_consistency () =
+  let n = 1 lsl 20 in
+  let b = Timing.kernel_breakdown ~cpu ~decls:(streaming_decls n) (streaming_kernel ~n ~flops:1.0) in
+  Helpers.check_positive "time" b.Timing.time;
+  Helpers.check_positive "memory" b.Timing.memory_time;
+  Helpers.check_positive "compute" b.Timing.compute_time;
+  Helpers.close ~tolerance:1e-12 "time = max + overhead"
+    (Float.max b.Timing.compute_time b.Timing.memory_time +. b.Timing.overhead)
+    b.Timing.time
+
+let test_bound_classification () =
+  let n = 1 lsl 20 in
+  let decls = streaming_decls n in
+  let light = Timing.kernel_breakdown ~cpu ~decls (streaming_kernel ~n ~flops:1.0) in
+  Alcotest.(check bool) "1 flop/elem is memory bound" true (light.Timing.bound = Timing.Memory_bound);
+  let heavy = Timing.kernel_breakdown ~cpu ~decls (streaming_kernel ~n ~flops:500.0) in
+  Alcotest.(check bool) "500 flops/elem is compute bound" true
+    (heavy.Timing.bound = Timing.Compute_bound)
+
+let test_memory_time_from_unique_traffic () =
+  (* A 9-point stencil accesses 10 elements per cell but touches each
+     array element once: DRAM traffic must reflect sections, not access
+     counts. *)
+  let n = 512 in
+  let program = Gpp_workloads.Hotspot.program ~n () in
+  let kernel = List.hd program.Gpp_skeleton.Program.kernels in
+  let b = Timing.kernel_breakdown ~cpu ~decls:program.Gpp_skeleton.Program.arrays kernel in
+  (* temp + power reads + temp_out writes = 3 n^2 floats. *)
+  Helpers.close_rel ~tolerance:0.01 "compulsory traffic"
+    (float_of_int (3 * 4 * n * n))
+    b.Timing.traffic_bytes
+
+let test_heavy_ops_cost () =
+  let n = 1 lsl 18 in
+  let decls = streaming_decls n in
+  let without =
+    Timing.kernel_breakdown ~cpu ~decls
+      (Ir.kernel "k" ~loops:[ Ir.loop "i" ~extent:n ]
+         ~body:[ Ir.load "a" [ Ix.var "i" ]; Ir.compute 10.0; Ir.store "b" [ Ix.var "i" ] ])
+  in
+  let with_heavy =
+    Timing.kernel_breakdown ~cpu ~decls
+      (Ir.kernel "k" ~loops:[ Ir.loop "i" ~extent:n ]
+         ~body:
+           [
+             Ir.load "a" [ Ix.var "i" ];
+             Ir.compute ~heavy_ops:4.0 10.0;
+             Ir.store "b" [ Ix.var "i" ];
+           ])
+  in
+  Alcotest.(check bool) "heavy ops slow the CPU" true
+    (with_heavy.Timing.compute_time > 2.0 *. without.Timing.compute_time)
+
+let test_scaling_with_size () =
+  let time n = Timing.kernel_time ~cpu ~decls:(streaming_decls n) (streaming_kernel ~n ~flops:1.0) in
+  let t1 = time (1 lsl 20) and t4 = time (1 lsl 22) in
+  (* 4x the data, ~4x the time (minus the constant overhead). *)
+  Helpers.check_in_range "scaling" ~lo:3.0 ~hi:5.0 (t4 /. t1)
+
+let test_cache_bandwidth_ceiling () =
+  (* A kernel that re-reads the same element many times per iteration
+     moves little DRAM traffic but hammers the cache: its memory time
+     must be set by the cache-bandwidth term, not the DRAM term. *)
+  let n = 1 lsl 20 in
+  let reread_kernel =
+    Ir.kernel "reread"
+      ~loops:[ Ir.loop "i" ~extent:n ]
+      ~body:
+        (List.init 30 (fun _ -> Ir.load "a" [ Ix.var "i" ])
+        @ [ Ir.compute 1.0; Ir.store "b" [ Ix.var "i" ] ])
+  in
+  let b = Timing.kernel_breakdown ~cpu ~decls:(streaming_decls n) reread_kernel in
+  let access_bytes = float_of_int (31 * 4 * n) in
+  let cache_time = access_bytes /. cpu.Gpp_arch.Cpu.cache_bandwidth in
+  let dram_time =
+    b.Timing.traffic_bytes /. (cpu.Gpp_arch.Cpu.mem_bandwidth *. cpu.Gpp_arch.Cpu.achieved_bw_fraction)
+  in
+  Alcotest.(check bool) "cache term dominates" true (cache_time > dram_time);
+  Helpers.close_rel ~tolerance:0.001 "memory time = cache time" cache_time b.Timing.memory_time
+
+let test_program_time_sums_schedule () =
+  let p = Helpers.chain_program ~n:(1 lsl 16) () in
+  let by_kernel = Timing.program_breakdowns ~cpu p in
+  let expected =
+    List.fold_left
+      (fun acc (_, (b : Timing.breakdown)) -> acc +. b.Timing.time)
+      0.0 by_kernel
+  in
+  Helpers.close ~tolerance:1e-12 "program = sum of schedule" expected (Timing.program_time ~cpu p);
+  (* Doubling the schedule doubles the time. *)
+  let doubled =
+    {
+      p with
+      Gpp_skeleton.Program.schedule =
+        p.Gpp_skeleton.Program.schedule @ p.Gpp_skeleton.Program.schedule;
+    }
+  in
+  Helpers.close_rel ~tolerance:0.001 "doubled schedule" (2.0 *. expected)
+    (Timing.program_time ~cpu doubled)
+
+let test_bw_override () =
+  let n = 1 lsl 22 in
+  let slow =
+    Timing.kernel_breakdown
+      ~params:{ Timing.default_params with Timing.streaming_bw_fraction_override = Some 0.1 }
+      ~cpu ~decls:(streaming_decls n) (streaming_kernel ~n ~flops:1.0)
+  in
+  let fast =
+    Timing.kernel_breakdown
+      ~params:{ Timing.default_params with Timing.streaming_bw_fraction_override = Some 1.0 }
+      ~cpu ~decls:(streaming_decls n) (streaming_kernel ~n ~flops:1.0)
+  in
+  Alcotest.(check bool) "override changes memory time" true
+    (slow.Timing.memory_time > 5.0 *. fast.Timing.memory_time)
+
+let () =
+  Alcotest.run "gpp_cpu"
+    [
+      ( "timing",
+        [
+          Alcotest.test_case "breakdown consistency" `Quick test_breakdown_consistency;
+          Alcotest.test_case "bound classification" `Quick test_bound_classification;
+          Alcotest.test_case "unique traffic" `Quick test_memory_time_from_unique_traffic;
+          Alcotest.test_case "heavy ops" `Quick test_heavy_ops_cost;
+          Alcotest.test_case "size scaling" `Quick test_scaling_with_size;
+          Alcotest.test_case "cache bandwidth ceiling" `Quick test_cache_bandwidth_ceiling;
+          Alcotest.test_case "program time" `Quick test_program_time_sums_schedule;
+          Alcotest.test_case "bandwidth override" `Quick test_bw_override;
+        ] );
+    ]

@@ -1,0 +1,315 @@
+(* Tests for Gpp_dataflow: the data usage analyzer (paper Section III-B). *)
+
+module Analyzer = Gpp_dataflow.Analyzer
+module Ir = Gpp_skeleton.Ir
+module Ix = Gpp_skeleton.Index_expr
+module Decl = Gpp_skeleton.Decl
+module Program = Gpp_skeleton.Program
+
+let input_of plan array =
+  List.find_opt (fun (t : Analyzer.transfer) -> t.Analyzer.array = array) plan.Analyzer.to_device
+
+let output_of plan array =
+  List.find_opt (fun (t : Analyzer.transfer) -> t.Analyzer.array = array) plan.Analyzer.from_device
+
+let test_chain_basics () =
+  let n = 1024 in
+  let plan = Analyzer.analyze (Helpers.chain_program ~n ()) in
+  (* input is read before written: uploaded. *)
+  (match input_of plan "input" with
+  | Some t -> Alcotest.(check int) "input bytes" (4 * n) t.Analyzer.bytes
+  | None -> Alcotest.fail "input should be uploaded");
+  (* middle is produced on the device before it is consumed: no upload. *)
+  Alcotest.(check bool) "middle not uploaded" true (input_of plan "middle" = None);
+  (* middle is hinted as a temporary: not downloaded either. *)
+  Alcotest.(check bool) "middle not downloaded" true (output_of plan "middle" = None);
+  (* output is written: downloaded. *)
+  (match output_of plan "output" with
+  | Some t -> Alcotest.(check int) "output bytes" (4 * n) t.Analyzer.bytes
+  | None -> Alcotest.fail "output should be downloaded");
+  Alcotest.(check int) "input total" (4 * n) (Analyzer.input_bytes plan);
+  Alcotest.(check int) "output total" (4 * n) (Analyzer.output_bytes plan);
+  Alcotest.(check int) "grand total" (8 * n) (Analyzer.total_bytes plan)
+
+let test_without_temporary_hint () =
+  let p = Helpers.chain_program () in
+  let plan = Analyzer.analyze { p with Program.temporaries = [] } in
+  (* Without the hint, the intermediate array is downloaded too. *)
+  Alcotest.(check bool) "middle downloaded" true (output_of plan "middle" <> None)
+
+let test_read_modify_write () =
+  let n = 256 in
+  let arrays = [ Decl.dense "acc" ~dims:[ n ] ] in
+  let kernel =
+    Ir.kernel "rmw"
+      ~loops:[ Ir.loop "i" ~extent:n ]
+      ~body:[ Ir.load "acc" [ Ix.var "i" ]; Ir.compute 1.0; Ir.store "acc" [ Ix.var "i" ] ]
+  in
+  let p =
+    Program.create ~name:"rmw" ~arrays ~kernels:[ kernel ] ~schedule:[ Program.Call "rmw" ] ()
+  in
+  let plan = Analyzer.analyze p in
+  (* Read before written on the device: both directions. *)
+  Alcotest.(check int) "uploaded" (4 * n) (Analyzer.input_bytes plan);
+  Alcotest.(check int) "downloaded" (4 * n) (Analyzer.output_bytes plan)
+
+let test_write_only_no_upload () =
+  let n = 64 in
+  let arrays = [ Decl.dense "out" ~dims:[ n ] ] in
+  let kernel =
+    Ir.kernel "init"
+      ~loops:[ Ir.loop "i" ~extent:n ]
+      ~body:[ Ir.compute 1.0; Ir.store "out" [ Ix.var "i" ] ]
+  in
+  let p =
+    Program.create ~name:"init" ~arrays ~kernels:[ kernel ] ~schedule:[ Program.Call "init" ] ()
+  in
+  let plan = Analyzer.analyze p in
+  Alcotest.(check int) "nothing uploaded" 0 (Analyzer.input_bytes plan);
+  Alcotest.(check int) "result downloaded" (4 * n) (Analyzer.output_bytes plan)
+
+let test_iteration_invariance () =
+  (* The paper's key property: a fixed amount of data transfers no
+     matter the iteration count (Section IV-B). *)
+  let sizes_at iterations =
+    let p = Gpp_workloads.Hotspot.program ~iterations ~n:128 () in
+    let plan = Analyzer.analyze p in
+    (Analyzer.input_bytes plan, Analyzer.output_bytes plan)
+  in
+  let base = sizes_at 1 in
+  List.iter
+    (fun n -> Alcotest.(check (pair int int)) (Printf.sprintf "%d iterations" n) base (sizes_at n))
+    [ 2; 7; 100 ]
+
+let test_each_array_transferred_once () =
+  let plan = Analyzer.analyze (Gpp_workloads.Cfd.program ~nelem:1000 ()) in
+  let names = List.map (fun (t : Analyzer.transfer) -> t.Analyzer.array) plan.Analyzer.to_device in
+  Alcotest.(check (list string)) "unique per array" (List.sort_uniq compare names)
+    (List.sort compare names)
+
+let test_partial_section_upload () =
+  (* A kernel reading only the first half of an array uploads half. *)
+  let arrays = [ Decl.dense "a" ~dims:[ 100 ]; Decl.dense "o" ~dims:[ 100 ] ] in
+  let kernel =
+    Ir.kernel "half"
+      ~loops:[ Ir.loop "i" ~extent:50 ]
+      ~body:[ Ir.load "a" [ Ix.var "i" ]; Ir.compute 1.0; Ir.store "o" [ Ix.var "i" ] ]
+  in
+  let p =
+    Program.create ~name:"half" ~arrays ~kernels:[ kernel ] ~schedule:[ Program.Call "half" ] ()
+  in
+  let plan = Analyzer.analyze p in
+  Alcotest.(check int) "half uploaded" (4 * 50) (Analyzer.input_bytes plan);
+  Alcotest.(check int) "half downloaded" (4 * 50) (Analyzer.output_bytes plan)
+
+let test_producer_covers_consumer_halo () =
+  (* Producer writes the whole array; consumer reads it with a halo.
+     Nothing extra is uploaded: the device copy is complete. *)
+  let n = 64 in
+  let arrays = [ Decl.dense "a" ~dims:[ n ]; Decl.dense "b" ~dims:[ n ]; Decl.dense "c" ~dims:[ n ] ] in
+  let producer =
+    Ir.kernel "produce"
+      ~loops:[ Ir.loop "i" ~extent:n ]
+      ~body:[ Ir.load "a" [ Ix.var "i" ]; Ir.compute 1.0; Ir.store "b" [ Ix.var "i" ] ]
+  in
+  let consumer =
+    Ir.kernel "consume"
+      ~loops:[ Ir.loop "i" ~extent:n ]
+      ~body:
+        [
+          Ir.load "b" [ Ix.offset (Ix.var "i") (-1) ];
+          Ir.load "b" [ Ix.var "i" ];
+          Ir.compute 1.0;
+          Ir.store "c" [ Ix.var "i" ];
+        ]
+  in
+  let p =
+    Program.create ~name:"halo" ~arrays
+      ~kernels:[ producer; consumer ]
+      ~schedule:[ Program.Call "produce"; Program.Call "consume" ]
+      ~temporaries:[ "b" ] ()
+  in
+  let plan = Analyzer.analyze p in
+  Alcotest.(check bool) "b never uploaded" true (input_of plan "b" = None);
+  Alcotest.(check int) "only a uploaded" (4 * n) (Analyzer.input_bytes plan)
+
+let test_sparse_policies () =
+  let arrays = [ Decl.sparse "s" ~nnz:100 ~dims:[ 10000 ]; Decl.dense "o" ~dims:[ 100 ] ] in
+  let kernel =
+    Ir.kernel "touch"
+      ~loops:[ Ir.loop "i" ~extent:100 ]
+      ~body:[ Ir.load "s" [ Ix.var "i" ]; Ir.compute 1.0; Ir.store "o" [ Ix.var "i" ] ]
+  in
+  let p =
+    Program.create ~name:"sparse" ~arrays ~kernels:[ kernel ] ~schedule:[ Program.Call "touch" ] ()
+  in
+  let conservative = Analyzer.analyze p in
+  let exact = Analyzer.analyze ~policy:{ Analyzer.sparse_exact = true } p in
+  (match input_of conservative "s" with
+  | Some t ->
+      Alcotest.(check int) "whole capacity" (4 * 10000) t.Analyzer.bytes;
+      Alcotest.(check bool) "flagged conservative" true t.Analyzer.conservative
+  | None -> Alcotest.fail "sparse array should upload");
+  match input_of exact "s" with
+  | Some t -> Alcotest.(check int) "nnz only" (4 * 100) t.Analyzer.bytes
+  | None -> Alcotest.fail "sparse array should upload"
+
+let test_paper_transfer_sizes () =
+  (* Table I cross-check: per-element transfer sizes of the skeletons. *)
+  let check_instance name expected_in expected_out plan =
+    Alcotest.(check int) (name ^ " input") expected_in (Analyzer.input_bytes plan);
+    Alcotest.(check int) (name ^ " output") expected_out (Analyzer.output_bytes plan)
+  in
+  let n = 10_000 in
+  let cfd = Analyzer.analyze (Gpp_workloads.Cfd.program ~nelem:n ()) in
+  (* variables 20 B + neighbors 16 B + normals 32 B + areas 4 B = 72 B/elem in;
+     variables 20 B/elem out. *)
+  check_instance "cfd" (72 * n) (20 * n) cfd;
+  let g = 128 in
+  let hotspot = Analyzer.analyze (Gpp_workloads.Hotspot.program ~n:g ()) in
+  check_instance "hotspot" (2 * 4 * g * g) (4 * g * g) hotspot;
+  let srad = Analyzer.analyze (Gpp_workloads.Srad.program ~n:g ()) in
+  check_instance "srad" (4 * g * g) (4 * g * g) srad;
+  let st = Analyzer.analyze (Gpp_workloads.Stassuij.program ()) in
+  (* xmat + ymat complex in, ymat out, plus the three CSR vectors. *)
+  let dense = 132 * 2048 * 16 in
+  let csr = (1716 * 8) + (1716 * 4) + (133 * 4) in
+  check_instance "stassuij" ((2 * dense) + csr) dense st
+
+(* Property tests over randomly generated (valid) programs. *)
+
+let array_pool = [ "a0"; "a1"; "a2"; "a3" ]
+
+let pool_extent = 64
+
+let random_program_gen =
+  QCheck2.Gen.(
+    let stmt_gen =
+      let* array = oneofl array_pool in
+      let* is_store = bool in
+      let* offset = int_range (-1) 1 in
+      let expr = Ix.offset (Ix.var "i") offset in
+      return (if is_store then Ir.store array [ expr ] else Ir.load array [ expr ])
+    in
+    let kernel_gen name =
+      let* extent = int_range 2 pool_extent in
+      let* stmts = list_size (int_range 1 5) stmt_gen in
+      return (Ir.kernel name ~loops:[ Ir.loop "i" ~extent ] ~body:(stmts @ [ Ir.compute 1.0 ]))
+    in
+    let* kernel_count = int_range 1 3 in
+    let names = List.init kernel_count (Printf.sprintf "k%d") in
+    let* kernels =
+      List.fold_right
+        (fun name acc ->
+          let* ks = acc in
+          let* k = kernel_gen name in
+          return (k :: ks))
+        names (return [])
+    in
+    let* repeat_count = int_range 1 4 in
+    let* use_repeat = bool in
+    let calls = List.map (fun n -> Program.Call n) names in
+    let schedule = if use_repeat then [ Program.Repeat (repeat_count, calls) ] else calls in
+    let* temporaries =
+      List.fold_right
+        (fun name acc ->
+          let* ts = acc in
+          let* keep = bool in
+          return (if keep then name :: ts else ts))
+        array_pool (return [])
+    in
+    let arrays = List.map (fun name -> Decl.dense name ~dims:[ pool_extent ]) array_pool in
+    return (Program.create ~temporaries ~name:"random" ~arrays ~kernels ~schedule ()))
+
+let written_arrays (p : Program.t) =
+  List.concat_map
+    (fun k ->
+      List.filter_map
+        (fun (_, (r : Ir.array_ref)) -> if r.Ir.access = Ir.Store then Some r.Ir.array else None)
+        (Ir.refs k))
+    p.Program.kernels
+  |> List.sort_uniq compare
+
+let read_arrays (p : Program.t) =
+  List.concat_map
+    (fun k ->
+      List.filter_map
+        (fun (_, (r : Ir.array_ref)) -> if r.Ir.access = Ir.Load then Some r.Ir.array else None)
+        (Ir.refs k))
+    p.Program.kernels
+  |> List.sort_uniq compare
+
+let test_random_programs_valid =
+  Helpers.qtest ~count:200 "generated programs validate and analyze" random_program_gen
+    (fun p ->
+      match Program.validate p with
+      | Error _ -> false
+      | Ok () ->
+          let plan = Analyzer.analyze p in
+          Analyzer.input_bytes plan >= 0 && Analyzer.output_bytes plan >= 0)
+
+let test_random_iteration_invariance =
+  Helpers.qtest ~count:200 "transfer set independent of iteration count" random_program_gen
+    (fun p ->
+      let at n =
+        let plan = Analyzer.analyze (Program.with_iterations p n) in
+        (Analyzer.input_bytes plan, Analyzer.output_bytes plan)
+      in
+      at 1 = at 7)
+
+let test_random_transfer_soundness =
+  Helpers.qtest ~count:200 "uploads are read somewhere; downloads written and not temporary"
+    random_program_gen (fun p ->
+      let plan = Analyzer.analyze p in
+      let reads = read_arrays p and writes = written_arrays p in
+      let footprint name =
+        Decl.footprint_bytes (List.find (fun (d : Decl.t) -> d.Decl.name = name) p.Program.arrays)
+      in
+      List.for_all
+        (fun (t : Analyzer.transfer) ->
+          List.mem t.Analyzer.array reads && t.Analyzer.bytes <= footprint t.Analyzer.array)
+        plan.Analyzer.to_device
+      && List.for_all
+           (fun (t : Analyzer.transfer) ->
+             List.mem t.Analyzer.array writes
+             && (not (List.mem t.Analyzer.array p.Program.temporaries))
+             && t.Analyzer.bytes <= footprint t.Analyzer.array)
+           plan.Analyzer.from_device)
+
+let test_random_temporaries_monotone =
+  Helpers.qtest ~count:200 "dropping temporary hints never shrinks downloads" random_program_gen
+    (fun p ->
+      let with_hints = Analyzer.analyze p in
+      let without = Analyzer.analyze { p with Program.temporaries = [] } in
+      Analyzer.output_bytes without >= Analyzer.output_bytes with_hints
+      && Analyzer.input_bytes without = Analyzer.input_bytes with_hints)
+
+let test_direction_names () =
+  Alcotest.(check string) "in" "to device" (Analyzer.direction_name Analyzer.To_device);
+  Alcotest.(check string) "out" "from device" (Analyzer.direction_name Analyzer.From_device)
+
+let () =
+  Alcotest.run "gpp_dataflow"
+    [
+      ( "analyzer",
+        [
+          Alcotest.test_case "producer/consumer chain" `Quick test_chain_basics;
+          Alcotest.test_case "no temporary hint" `Quick test_without_temporary_hint;
+          Alcotest.test_case "read-modify-write" `Quick test_read_modify_write;
+          Alcotest.test_case "write-only" `Quick test_write_only_no_upload;
+          Alcotest.test_case "iteration invariance" `Quick test_iteration_invariance;
+          Alcotest.test_case "one transfer per array" `Quick test_each_array_transferred_once;
+          Alcotest.test_case "partial sections" `Quick test_partial_section_upload;
+          Alcotest.test_case "producer covers halo" `Quick test_producer_covers_consumer_halo;
+          Alcotest.test_case "sparse policies" `Quick test_sparse_policies;
+          Alcotest.test_case "paper transfer sizes" `Quick test_paper_transfer_sizes;
+          Alcotest.test_case "direction names" `Quick test_direction_names;
+        ] );
+      ( "properties",
+        [
+          test_random_programs_valid;
+          test_random_iteration_invariance;
+          test_random_transfer_soundness;
+          test_random_temporaries_monotone;
+        ] );
+    ]

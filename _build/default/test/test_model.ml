@@ -1,0 +1,204 @@
+(* Tests for Gpp_model: characteristics, occupancy, and the analytic
+   MWP/CWP kernel model. *)
+
+module C = Gpp_model.Characteristics
+module Occupancy = Gpp_model.Occupancy
+module Analytic = Gpp_model.Analytic
+
+let gpu = Gpp_arch.Gpu.quadro_fx_5600
+
+let base_characteristics ?(grid_blocks = 512) ?(threads_per_block = 256) ?(flops = 20.0)
+    ?(loads = 2.0) ?(stores = 1.0) ?(load_trans = 4.0) ?(store_trans = 2.0) ?scattered
+    ?registers ?shared () =
+  C.create ~kernel_name:"k" ~grid_blocks ~threads_per_block ~flops_per_thread:flops
+    ~load_insts_per_thread:loads ~store_insts_per_thread:stores
+    ~load_transactions_per_warp:load_trans ~store_transactions_per_warp:store_trans
+    ?scattered_fraction:scattered ?registers_per_thread:registers ?shared_mem_per_block:shared ()
+
+(* Characteristics *)
+
+let test_characteristics_derived () =
+  let c = base_characteristics ~grid_blocks:100 ~threads_per_block:192 () in
+  Alcotest.(check int) "total threads" 19200 (C.total_threads c);
+  Alcotest.(check int) "warps per block" 6 (C.warps_per_block ~gpu c);
+  Alcotest.(check int) "total warps" 600 (C.total_warps ~gpu c);
+  Helpers.close "mem insts" 3.0 (C.mem_insts_per_thread c);
+  Helpers.close "total transactions" (600.0 *. 6.0) (C.total_transactions ~gpu c)
+
+let test_transaction_bytes () =
+  let streaming = base_characteristics ~scattered:0.0 () in
+  Helpers.close "streaming = segment" 64.0 (C.transaction_bytes ~gpu streaming);
+  let scattered = base_characteristics ~scattered:1.0 () in
+  Helpers.close "scattered = half segment" 32.0 (C.transaction_bytes ~gpu scattered);
+  let mixed = base_characteristics ~scattered:0.5 () in
+  Helpers.close "mixed" 48.0 (C.transaction_bytes ~gpu mixed)
+
+let test_characteristics_validation () =
+  ignore (Helpers.check_ok "valid" (C.validate ~gpu (base_characteristics ())));
+  ignore
+    (Helpers.check_error "zero blocks" (C.validate ~gpu (base_characteristics ~grid_blocks:0 ())));
+  ignore
+    (Helpers.check_error "block too large"
+       (C.validate ~gpu (base_characteristics ~threads_per_block:1024 ())));
+  ignore
+    (Helpers.check_error "too much shared"
+       (C.validate ~gpu (base_characteristics ~shared:(64 * 1024) ())));
+  ignore
+    (Helpers.check_error "negative flops" (C.validate ~gpu (base_characteristics ~flops:(-1.0) ())))
+
+(* Occupancy *)
+
+let occupancy ?(tpb = 256) ?(regs = 10) ?(shared = 0) () =
+  Occupancy.compute ~gpu ~threads_per_block:tpb ~registers_per_thread:regs
+    ~shared_mem_per_block:shared
+
+let test_occupancy_thread_limited () =
+  let o = Helpers.check_ok "occupancy" (occupancy ~tpb:256 ~regs:8 ()) in
+  (* 768 threads/SM / 256 = 3 blocks; registers: 8192/(8*256) = 4. *)
+  Alcotest.(check int) "blocks" 3 o.Occupancy.blocks_per_sm;
+  Alcotest.(check int) "warps" 24 o.Occupancy.active_warps;
+  Helpers.close "full occupancy" 1.0 o.Occupancy.occupancy;
+  Alcotest.(check bool) "limited by threads" true (o.Occupancy.limiter = Occupancy.Threads)
+
+let test_occupancy_register_limited () =
+  let o = Helpers.check_ok "occupancy" (occupancy ~tpb:256 ~regs:32 ()) in
+  (* 8192 / (32*256) = 1 block. *)
+  Alcotest.(check int) "blocks" 1 o.Occupancy.blocks_per_sm;
+  Alcotest.(check bool) "limited by registers" true (o.Occupancy.limiter = Occupancy.Registers)
+
+let test_occupancy_shared_limited () =
+  let o = Helpers.check_ok "occupancy" (occupancy ~tpb:64 ~regs:8 ~shared:(8 * 1024) ()) in
+  Alcotest.(check int) "blocks" 2 o.Occupancy.blocks_per_sm;
+  Alcotest.(check bool) "limited by shared" true (o.Occupancy.limiter = Occupancy.Shared_memory)
+
+let test_occupancy_block_slot_limited () =
+  let o = Helpers.check_ok "occupancy" (occupancy ~tpb:64 ~regs:4 ()) in
+  (* 768/64 = 12 blocks by threads, but only 8 block slots. *)
+  Alcotest.(check int) "blocks" 8 o.Occupancy.blocks_per_sm;
+  Alcotest.(check bool) "limited by slots" true (o.Occupancy.limiter = Occupancy.Blocks)
+
+let test_occupancy_infeasible () =
+  ignore (Helpers.check_error "huge block" (occupancy ~tpb:1024 ()));
+  ignore (Helpers.check_error "register blowup" (occupancy ~tpb:512 ~regs:64 ()));
+  ignore (Helpers.check_error "shared blowup" (occupancy ~shared:(32 * 1024) ()))
+
+(* Analytic model *)
+
+let project c = Helpers.check_ok "projection" (Analytic.project ~gpu c)
+
+let test_projection_positive () =
+  let p = project (base_characteristics ()) in
+  Helpers.check_positive "time" p.Analytic.kernel_time;
+  Helpers.check_positive "cycles" p.Analytic.cycles;
+  Alcotest.(check bool) "includes launch overhead" true
+    (p.Analytic.kernel_time >= gpu.Gpp_arch.Gpu.launch_overhead)
+
+let test_more_flops_more_time () =
+  let t flops = (project (base_characteristics ~flops ())).Analytic.kernel_time in
+  Alcotest.(check bool) "monotone in flops" true (t 200.0 > t 20.0)
+
+let test_more_transactions_more_time () =
+  let t load_trans = (project (base_characteristics ~load_trans ())).Analytic.kernel_time in
+  Alcotest.(check bool) "monotone in traffic" true (t 64.0 > t 4.0)
+
+let test_memory_bound_detection () =
+  (* Tiny compute, heavy traffic: memory-bound. *)
+  let p = project (base_characteristics ~flops:1.0 ~load_trans:64.0 ~store_trans:32.0 ()) in
+  Alcotest.(check bool) "memory bound" true (p.Analytic.bound = Analytic.Memory_bound);
+  (* Heavy compute, light traffic: compute-bound. *)
+  let p = project (base_characteristics ~flops:2000.0 ~load_trans:1.0 ~store_trans:1.0 ()) in
+  Alcotest.(check bool) "compute bound" true (p.Analytic.bound = Analytic.Compute_bound)
+
+let test_latency_bound_low_occupancy () =
+  (* One small block per SM, few warps: latency cannot be hidden. *)
+  let c =
+    base_characteristics ~grid_blocks:16 ~threads_per_block:64 ~flops:2.0 ~registers:60 ()
+  in
+  let p = project c in
+  Alcotest.(check bool) "latency bound" true (p.Analytic.bound = Analytic.Latency_bound)
+
+let test_pure_compute_kernel () =
+  let c =
+    C.create ~kernel_name:"pure" ~grid_blocks:256 ~threads_per_block:256 ~flops_per_thread:100.0
+      ~load_insts_per_thread:0.0 ~store_insts_per_thread:0.0 ~load_transactions_per_warp:0.0
+      ~store_transactions_per_warp:0.0 ()
+  in
+  let p = project c in
+  Alcotest.(check bool) "compute bound" true (p.Analytic.bound = Analytic.Compute_bound);
+  Helpers.check_positive "time" p.Analytic.kernel_time
+
+let test_memory_bound_time_tracks_bandwidth () =
+  (* For a strongly memory-bound kernel the projected time approaches
+     total traffic / achieved bandwidth. *)
+  let grid_blocks = 4096 and load_trans = 64.0 and store_trans = 32.0 in
+  let c =
+    base_characteristics ~grid_blocks ~threads_per_block:256 ~flops:1.0 ~load_trans ~store_trans ()
+  in
+  let p = project c in
+  let total_bytes = C.total_transactions ~gpu c *. C.transaction_bytes ~gpu c in
+  let ideal =
+    total_bytes /. (gpu.Gpp_arch.Gpu.dram_bandwidth *. Analytic.default_params.Analytic.achieved_bw_fraction)
+  in
+  Helpers.check_in_range "within 2x of bandwidth bound" ~lo:(0.8 *. ideal) ~hi:(2.5 *. ideal)
+    p.Analytic.kernel_time
+
+let test_scattered_slower_than_streaming_in_sim_not_model () =
+  (* The analytic model only sees transaction counts and sizes; with the
+     same counts, scattered traffic moves fewer bytes and can only be
+     cheaper or equal.  (The simulator is where scatter hurts; see
+     test_gpusim.) *)
+  let streaming = project (base_characteristics ~scattered:0.0 ~load_trans:32.0 ()) in
+  let scattered = project (base_characteristics ~scattered:1.0 ~load_trans:32.0 ()) in
+  Alcotest.(check bool) "model does not punish scatter" true
+    (scattered.Analytic.kernel_time <= streaming.Analytic.kernel_time +. 1e-9)
+
+let test_divergence_costs () =
+  let t factor =
+    let c =
+      C.create ~kernel_name:"d" ~grid_blocks:512 ~threads_per_block:256 ~flops_per_thread:100.0
+        ~load_insts_per_thread:1.0 ~store_insts_per_thread:1.0 ~load_transactions_per_warp:2.0
+        ~store_transactions_per_warp:2.0 ~divergence_factor:factor ()
+    in
+    (project c).Analytic.kernel_time
+  in
+  Alcotest.(check bool) "divergence slows compute" true (t 2.0 > t 1.0)
+
+let test_projection_error_cases () =
+  ignore
+    (Helpers.check_error "invalid characteristics"
+       (Analytic.project ~gpu (base_characteristics ~grid_blocks:0 ())));
+  ignore
+    (Helpers.check_error "unschedulable block"
+       (Analytic.project ~gpu (base_characteristics ~registers:64 ~threads_per_block:512 ())))
+
+let () =
+  Alcotest.run "gpp_model"
+    [
+      ( "characteristics",
+        [
+          Alcotest.test_case "derived" `Quick test_characteristics_derived;
+          Alcotest.test_case "transaction bytes" `Quick test_transaction_bytes;
+          Alcotest.test_case "validation" `Quick test_characteristics_validation;
+        ] );
+      ( "occupancy",
+        [
+          Alcotest.test_case "thread limited" `Quick test_occupancy_thread_limited;
+          Alcotest.test_case "register limited" `Quick test_occupancy_register_limited;
+          Alcotest.test_case "shared limited" `Quick test_occupancy_shared_limited;
+          Alcotest.test_case "block-slot limited" `Quick test_occupancy_block_slot_limited;
+          Alcotest.test_case "infeasible" `Quick test_occupancy_infeasible;
+        ] );
+      ( "analytic",
+        [
+          Alcotest.test_case "positive projection" `Quick test_projection_positive;
+          Alcotest.test_case "monotone in flops" `Quick test_more_flops_more_time;
+          Alcotest.test_case "monotone in traffic" `Quick test_more_transactions_more_time;
+          Alcotest.test_case "bound detection" `Quick test_memory_bound_detection;
+          Alcotest.test_case "latency bound" `Quick test_latency_bound_low_occupancy;
+          Alcotest.test_case "pure compute" `Quick test_pure_compute_kernel;
+          Alcotest.test_case "bandwidth bound" `Quick test_memory_bound_time_tracks_bandwidth;
+          Alcotest.test_case "scatter neutrality" `Quick test_scattered_slower_than_streaming_in_sim_not_model;
+          Alcotest.test_case "divergence" `Quick test_divergence_costs;
+          Alcotest.test_case "error cases" `Quick test_projection_error_cases;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+(* Tests for Gpp_sim: event queue, engine, FIFO server. *)
+
+module Event_queue = Gpp_sim.Event_queue
+module Engine = Gpp_sim.Engine
+module Fifo_server = Gpp_sim.Fifo_server
+
+(* Event queue *)
+
+let test_queue_ordering () =
+  let q = Event_queue.create () in
+  List.iter (fun (t, v) -> Event_queue.push q ~time:t v) [ (3.0, "c"); (1.0, "a"); (2.0, "b") ];
+  let order = List.init 3 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] order;
+  Alcotest.(check bool) "empty after" true (Event_queue.is_empty q)
+
+let test_queue_stable_ties () =
+  let q = Event_queue.create () in
+  List.iteri (fun i v -> Event_queue.push q ~time:5.0 (i, v)) [ "x"; "y"; "z" ];
+  let order = List.init 3 (fun _ -> snd (snd (Option.get (Event_queue.pop q)))) in
+  Alcotest.(check (list string)) "insertion order on ties" [ "x"; "y"; "z" ] order
+
+let test_queue_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option (float 0.0))) "empty peek" None (Event_queue.peek_time q);
+  Event_queue.push q ~time:7.5 ();
+  Alcotest.(check (option (float 0.0))) "peek" (Some 7.5) (Event_queue.peek_time q);
+  Alcotest.(check int) "length" 1 (Event_queue.length q)
+
+let test_queue_rejects_nan () =
+  let q = Event_queue.create () in
+  Helpers.check_raises_invalid "nan time" (fun () -> Event_queue.push q ~time:Float.nan ())
+
+let test_queue_sorted_property =
+  Helpers.qtest ~count:100 "pops are sorted"
+    QCheck2.Gen.(list_size (int_range 1 200) (float_range 0.0 1000.0))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.push q ~time:t ()) times;
+      let rec drain acc =
+        match Event_queue.pop q with None -> List.rev acc | Some (t, ()) -> drain (t :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort Float.compare times)
+
+(* Engine *)
+
+let test_engine_runs_in_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  Engine.schedule engine ~delay:2.0 (fun e -> log := ("b", Engine.now e) :: !log);
+  Engine.schedule engine ~delay:1.0 (fun e -> log := ("a", Engine.now e) :: !log);
+  Engine.run engine;
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "order and clock" [ ("a", 1.0); ("b", 2.0) ] (List.rev !log);
+  Alcotest.(check int) "processed" 2 (Engine.processed engine)
+
+let test_engine_cascading_events () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let rec tick e =
+    incr count;
+    if !count < 5 then Engine.schedule e ~delay:1.0 tick
+  in
+  Engine.schedule engine ~delay:0.0 tick;
+  Engine.run engine;
+  Alcotest.(check int) "cascade depth" 5 !count;
+  Helpers.close "final clock" 4.0 (Engine.now engine)
+
+let test_engine_run_until () =
+  let engine = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule engine ~delay:t (fun _ -> fired := t :: !fired))
+    [ 1.0; 2.0; 3.0 ];
+  Engine.run_until engine 2.0;
+  Alcotest.(check (list (float 0.0))) "fired up to deadline" [ 2.0; 1.0 ] !fired;
+  Alcotest.(check int) "pending" 1 (Engine.pending engine);
+  Helpers.close "clock at deadline" 2.0 (Engine.now engine);
+  (* Advancing past all events leaves the clock at the deadline. *)
+  Engine.run_until engine 10.0;
+  Helpers.close "clock advanced" 10.0 (Engine.now engine)
+
+let test_engine_rejects_bad_schedule () =
+  let engine = Engine.create () in
+  Helpers.check_raises_invalid "negative delay" (fun () ->
+      Engine.schedule engine ~delay:(-1.0) (fun _ -> ()));
+  Engine.schedule engine ~delay:5.0 (fun _ -> ());
+  Engine.run engine;
+  Helpers.check_raises_invalid "past absolute time" (fun () ->
+      Engine.schedule_at engine ~time:1.0 (fun _ -> ()))
+
+(* Fifo server *)
+
+let test_server_idle_reservation () =
+  let s = Fifo_server.create ~name:"s" () in
+  let start, finish = Fifo_server.reserve s ~arrival:1.0 ~service:2.0 in
+  Helpers.close "starts at arrival" 1.0 start;
+  Helpers.close "finish" 3.0 finish;
+  Helpers.close "busy" 2.0 (Fifo_server.busy_time s);
+  Helpers.close "no queueing" 0.0 (Fifo_server.queueing_delay s);
+  Alcotest.(check int) "served" 1 (Fifo_server.served s)
+
+let test_server_queues_overlapping () =
+  let s = Fifo_server.create () in
+  let _ = Fifo_server.reserve s ~arrival:0.0 ~service:5.0 in
+  let start, finish = Fifo_server.reserve s ~arrival:1.0 ~service:2.0 in
+  Helpers.close "queued start" 5.0 start;
+  Helpers.close "queued finish" 7.0 finish;
+  Helpers.close "queueing delay" 4.0 (Fifo_server.queueing_delay s);
+  Helpers.close "next_free" 7.0 (Fifo_server.next_free s)
+
+let test_server_fifo_violation () =
+  let s = Fifo_server.create () in
+  let _ = Fifo_server.reserve s ~arrival:5.0 ~service:1.0 in
+  Helpers.check_raises_invalid "arrival regression" (fun () ->
+      Fifo_server.reserve s ~arrival:4.0 ~service:1.0)
+
+let test_server_bad_service () =
+  let s = Fifo_server.create () in
+  Helpers.check_raises_invalid "negative service" (fun () ->
+      Fifo_server.reserve s ~arrival:0.0 ~service:(-1.0))
+
+let test_server_utilization_and_reset () =
+  let s = Fifo_server.create () in
+  let _ = Fifo_server.reserve s ~arrival:0.0 ~service:4.0 in
+  Helpers.close "utilization" 0.5 (Fifo_server.utilization s ~horizon:8.0);
+  Helpers.close "degenerate horizon" 0.0 (Fifo_server.utilization s ~horizon:0.0);
+  Fifo_server.reset s;
+  Helpers.close "reset busy" 0.0 (Fifo_server.busy_time s);
+  Alcotest.(check int) "reset served" 0 (Fifo_server.served s)
+
+let test_server_conservation =
+  Helpers.qtest ~count:100 "work conservation: finish >= sum of services"
+    QCheck2.Gen.(list_size (int_range 1 50) (pair (float_range 0.0 10.0) (float_range 0.0 5.0)))
+    (fun jobs ->
+      let s = Fifo_server.create () in
+      (* Sort arrivals to satisfy the FIFO precondition. *)
+      let jobs = List.sort (fun (a, _) (b, _) -> Float.compare a b) jobs in
+      let total_service = List.fold_left (fun acc (_, sv) -> acc +. sv) 0.0 jobs in
+      let last_finish =
+        List.fold_left (fun _ (arrival, service) -> snd (Fifo_server.reserve s ~arrival ~service)) 0.0 jobs
+      in
+      last_finish +. 1e-9 >= total_service
+      && Float.abs (Fifo_server.busy_time s -. total_service) < 1e-9)
+
+let () =
+  Alcotest.run "gpp_sim"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "stable ties" `Quick test_queue_stable_ties;
+          Alcotest.test_case "peek/length" `Quick test_queue_peek;
+          Alcotest.test_case "rejects nan" `Quick test_queue_rejects_nan;
+          test_queue_sorted_property;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "cascading" `Quick test_engine_cascading_events;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "bad schedules" `Quick test_engine_rejects_bad_schedule;
+        ] );
+      ( "fifo_server",
+        [
+          Alcotest.test_case "idle reservation" `Quick test_server_idle_reservation;
+          Alcotest.test_case "queueing" `Quick test_server_queues_overlapping;
+          Alcotest.test_case "fifo violation" `Quick test_server_fifo_violation;
+          Alcotest.test_case "bad service" `Quick test_server_bad_service;
+          Alcotest.test_case "utilization/reset" `Quick test_server_utilization_and_reset;
+          test_server_conservation;
+        ] );
+    ]

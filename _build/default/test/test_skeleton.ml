@@ -1,0 +1,529 @@
+(* Tests for Gpp_skeleton: index expressions, declarations, kernel IR,
+   programs, and summaries. *)
+
+module Ix = Gpp_skeleton.Index_expr
+module Ir = Gpp_skeleton.Ir
+module Decl = Gpp_skeleton.Decl
+module Program = Gpp_skeleton.Program
+module Summary = Gpp_skeleton.Summary
+
+(* Index expressions *)
+
+let expr_gen =
+  (* Random affine expressions over variables i, j, k. *)
+  QCheck2.Gen.(
+    let* ci = int_range (-5) 5 in
+    let* cj = int_range (-5) 5 in
+    let* ck = int_range (-5) 5 in
+    let* c = int_range (-100) 100 in
+    return
+      (Ix.add
+         (Ix.add (Ix.var ~coeff:ci "i") (Ix.var ~coeff:cj "j"))
+         (Ix.offset (Ix.var ~coeff:ck "k") c)))
+
+let env_gen = QCheck2.Gen.(triple (int_range 0 20) (int_range 0 20) (int_range 0 20))
+
+let env_of (i, j, k) = function
+  | "i" -> i
+  | "j" -> j
+  | "k" -> k
+  | v -> Alcotest.failf "unexpected variable %s" v
+
+let test_eval_add_homomorphism =
+  Helpers.qtest "eval of sum = sum of evals"
+    QCheck2.Gen.(triple expr_gen expr_gen env_gen)
+    (fun (a, b, env) ->
+      let env = env_of env in
+      Ix.eval env (Ix.add a b) = Ix.eval env a + Ix.eval env b)
+
+let test_eval_scale =
+  Helpers.qtest "eval of scale"
+    QCheck2.Gen.(triple (int_range (-4) 4) expr_gen env_gen)
+    (fun (k, e, env) ->
+      let env = env_of env in
+      Ix.eval env (Ix.scale k e) = k * Ix.eval env e)
+
+let test_range_contains_eval =
+  Helpers.qtest "range bounds every evaluation"
+    QCheck2.Gen.(pair expr_gen env_gen)
+    (fun (e, env) ->
+      let lo, hi = Ix.range (fun _ -> (0, 20)) e in
+      let v = Ix.eval (env_of env) e in
+      lo <= v && v <= hi)
+
+let test_expr_basics () =
+  let e = Ix.add (Ix.var ~coeff:3 "i") (Ix.offset (Ix.var "j") 7) in
+  Alcotest.(check int) "coeff i" 3 (Ix.coeff_of e "i");
+  Alcotest.(check int) "coeff j" 1 (Ix.coeff_of e "j");
+  Alcotest.(check int) "coeff absent" 0 (Ix.coeff_of e "z");
+  Alcotest.(check int) "const" 7 (Ix.constant_part e);
+  Alcotest.(check (list string)) "vars" [ "i"; "j" ] (Ix.vars e);
+  Alcotest.(check bool) "not constant" false (Ix.is_constant e);
+  Alcotest.(check bool) "constant" true (Ix.is_constant (Ix.const 4));
+  Alcotest.(check int) "gcd stride" 3 (Ix.gcd_stride e ~except:[ "j" ]);
+  Alcotest.(check int) "gcd none" 0 (Ix.gcd_stride (Ix.const 5) ~except:[])
+
+let test_expr_cancellation () =
+  let e = Ix.sub (Ix.var "i") (Ix.var "i") in
+  Alcotest.(check bool) "i - i is constant" true (Ix.is_constant e);
+  Alcotest.(check bool) "equals zero" true (Ix.equal e (Ix.const 0))
+
+let test_expr_pp () =
+  Alcotest.(check string) "pretty" "2*i + j - 1"
+    (Ix.to_string (Ix.offset (Ix.add (Ix.var ~coeff:2 "i") (Ix.var "j")) (-1)));
+  Alcotest.(check string) "const only" "42" (Ix.to_string (Ix.const 42))
+
+(* Declarations *)
+
+let test_decl_basics () =
+  let d = Decl.dense "a" ~dims:[ 4; 8 ] in
+  Alcotest.(check int) "elements" 32 (Decl.elements d);
+  Alcotest.(check int) "footprint" 128 (Decl.footprint_bytes d);
+  ignore (Helpers.check_ok "valid" (Decl.validate d));
+  ignore
+    (Helpers.check_error "bad extent" (Decl.validate (Decl.dense "b" ~dims:[ 0 ])));
+  ignore
+    (Helpers.check_error "bad nnz"
+       (Decl.validate (Decl.sparse "c" ~nnz:100 ~dims:[ 10 ])));
+  ignore (Helpers.check_ok "good sparse" (Decl.validate (Decl.sparse "d" ~nnz:5 ~dims:[ 10 ])))
+
+(* Kernel IR *)
+
+let simple_kernel n =
+  Ir.kernel "k"
+    ~loops:[ Ir.loop "i" ~extent:n; Ir.loop ~parallel:false "j" ~extent:4 ]
+    ~body:
+      [
+        Ir.load "a" [ Ix.var "i" ];
+        Ir.compute ~heavy_ops:1.0 2.0;
+        Ir.branch ~probability:0.5 [ Ir.store "b" [ Ix.var "i" ] ];
+      ]
+
+let simple_decls n = [ Decl.dense "a" ~dims:[ n ]; Decl.dense "b" ~dims:[ n ] ]
+
+let test_kernel_counts () =
+  let k = simple_kernel 100 in
+  Alcotest.(check int) "trip count" 400 (Ir.trip_count k);
+  Alcotest.(check int) "parallel iterations" 100 (Ir.parallel_iterations k);
+  Alcotest.(check (pair int int)) "loop bounds" (0, 99) (Ir.loop_bounds k "i");
+  Alcotest.check_raises "unbound" Not_found (fun () -> ignore (Ir.loop_bounds k "z"))
+
+let test_fold_refs_weights () =
+  let k = simple_kernel 10 in
+  let weights = List.map fst (Ir.refs k) in
+  Alcotest.(check (list (float 1e-9))) "weights" [ 1.0; 0.5 ] weights
+
+let test_kernel_validation () =
+  let decls = simple_decls 100 in
+  ignore (Helpers.check_ok "valid kernel" (Ir.validate ~decls (simple_kernel 100)));
+  let bad_array =
+    Ir.kernel "k" ~loops:[ Ir.loop "i" ~extent:4 ] ~body:[ Ir.load "zz" [ Ix.var "i" ] ]
+  in
+  Helpers.check_contains "undeclared" ~needle:"undeclared"
+    (Helpers.check_error "undeclared array" (Ir.validate ~decls bad_array));
+  let bad_var =
+    Ir.kernel "k" ~loops:[ Ir.loop "i" ~extent:4 ] ~body:[ Ir.load "a" [ Ix.var "q" ] ]
+  in
+  Helpers.check_contains "unbound var" ~needle:"unbound"
+    (Helpers.check_error "unbound variable" (Ir.validate ~decls bad_var));
+  let bad_rank =
+    Ir.kernel "k" ~loops:[ Ir.loop "i" ~extent:4 ]
+      ~body:[ Ir.load "a" [ Ix.var "i"; Ix.var "i" ] ]
+  in
+  ignore (Helpers.check_error "rank mismatch" (Ir.validate ~decls bad_rank));
+  let bad_prob =
+    Ir.kernel "k" ~loops:[ Ir.loop "i" ~extent:4 ]
+      ~body:[ Ir.branch ~probability:1.5 [ Ir.compute 1.0 ] ]
+  in
+  ignore (Helpers.check_error "bad probability" (Ir.validate ~decls bad_prob));
+  let dup_vars =
+    Ir.kernel "k"
+      ~loops:[ Ir.loop "i" ~extent:4; Ir.loop "i" ~extent:2 ]
+      ~body:[ Ir.compute 1.0 ]
+  in
+  ignore (Helpers.check_error "duplicate loop vars" (Ir.validate ~decls dup_vars));
+  let bad_offset =
+    Ir.kernel "k" ~loops:[ Ir.loop "i" ~extent:4 ]
+      ~body:[ Ir.load_indirect "a" ~via:"b" ~offset:[ Ix.var "q" ] ]
+  in
+  ignore (Helpers.check_error "unbound offset var" (Ir.validate ~decls bad_offset))
+
+(* Programs *)
+
+let test_program_flatten () =
+  let p = Helpers.chain_program () in
+  Alcotest.(check (list string)) "flat schedule" [ "producer"; "consumer" ]
+    (Program.flatten_schedule p);
+  Alcotest.(check int) "invocation count" 2 (Program.invocation_count p)
+
+let test_program_repeat () =
+  let p = Helpers.chain_program () in
+  let iterated =
+    { p with Program.schedule = [ Program.Repeat (3, [ Program.Call "producer" ]) ] }
+  in
+  Alcotest.(check (list string)) "repeat expands"
+    [ "producer"; "producer"; "producer" ]
+    (Program.flatten_schedule iterated);
+  let rescaled = Program.with_iterations iterated 5 in
+  Alcotest.(check int) "with_iterations rescales" 5 (Program.invocation_count rescaled);
+  (* Programs without Repeat are unchanged. *)
+  let unchanged = Program.with_iterations p 9 in
+  Alcotest.(check int) "no repeat unchanged" 2 (Program.invocation_count unchanged);
+  Helpers.check_raises_invalid "bad iteration count" (fun () ->
+      ignore (Program.with_iterations p 0))
+
+let test_program_validation () =
+  let p = Helpers.chain_program () in
+  ignore (Helpers.check_ok "valid program" (Program.validate p));
+  let bad_call = { p with Program.schedule = [ Program.Call "missing" ] } in
+  ignore (Helpers.check_error "missing kernel" (Program.validate bad_call));
+  let bad_repeat = { p with Program.schedule = [ Program.Repeat (0, [ Program.Call "producer" ]) ] } in
+  ignore (Helpers.check_error "zero repeat" (Program.validate bad_repeat));
+  let bad_temp = { p with Program.temporaries = [ "ghost" ] } in
+  ignore (Helpers.check_error "ghost temporary" (Program.validate bad_temp));
+  let empty_schedule = { p with Program.schedule = [] } in
+  ignore (Helpers.check_error "empty schedule" (Program.validate empty_schedule))
+
+let test_program_lookup () =
+  let p = Helpers.chain_program () in
+  Alcotest.(check bool) "find" true (Program.find_kernel p "producer" <> None);
+  Alcotest.(check bool) "miss" true (Program.find_kernel p "nope" = None);
+  Alcotest.check_raises "kernel_exn" Not_found (fun () -> ignore (Program.kernel_exn p "nope"))
+
+(* Summaries *)
+
+let test_summary_aggregates () =
+  let k = simple_kernel 100 in
+  let s = Summary.of_kernel ~decls:(simple_decls 100) k in
+  Alcotest.(check int) "trip" 400 s.Summary.trip_count;
+  Helpers.close "flops" 2.0 s.Summary.flops_per_iter;
+  Helpers.close "heavy" 1.0 s.Summary.heavy_ops_per_iter;
+  Helpers.close "loads" 1.0 s.Summary.loads_per_iter;
+  Helpers.close "stores (branch-weighted)" 0.5 s.Summary.stores_per_iter;
+  Helpers.close "load bytes" 4.0 s.Summary.load_bytes_per_iter;
+  Helpers.close "store bytes" 2.0 s.Summary.store_bytes_per_iter;
+  Helpers.close "total flops" 800.0 (Summary.total_flops s);
+  Helpers.close "total bytes" 2400.0 (Summary.total_bytes s);
+  Helpers.close "intensity" (800.0 /. 2400.0) (Summary.arithmetic_intensity s);
+  (* The branch is divergent by default: the store statement runs under
+     it with weight 0.5 of 2.5 total statement weight. *)
+  Helpers.close "divergent weight" 0.2 s.Summary.divergent_weight;
+  Alcotest.(check bool) "no indirect" false s.Summary.has_indirect
+
+let test_summary_indirect_flag () =
+  let k =
+    Ir.kernel "g" ~loops:[ Ir.loop "i" ~extent:8 ]
+      ~body:[ Ir.load_indirect "a" ~via:"b"; Ir.compute 1.0 ]
+  in
+  let s = Summary.of_kernel ~decls:(simple_decls 8) k in
+  Alcotest.(check bool) "indirect flagged" true s.Summary.has_indirect
+
+let test_summary_pure_compute () =
+  let k = Ir.kernel "c" ~loops:[ Ir.loop "i" ~extent:8 ] ~body:[ Ir.compute 5.0 ] in
+  let s = Summary.of_kernel ~decls:[] k in
+  Alcotest.(check bool) "infinite intensity" true
+    (Float.is_integer (Summary.arithmetic_intensity s) = false
+    || Summary.arithmetic_intensity s = Float.infinity)
+
+(* Parser *)
+
+let parse_ok source = Helpers.check_ok "parse" (Gpp_skeleton.Parser.parse source)
+
+let parse_err source = Helpers.check_error "parse" (Gpp_skeleton.Parser.parse source)
+
+let minimal_source =
+  {|
+# a minimal valid skeleton
+program mini
+array a dense 128
+array b dense 128
+kernel copy
+  loop i parallel 128
+  load a [i]
+  compute flops 1
+  store b [i]
+end
+schedule
+  call copy
+end
+|}
+
+let test_parse_minimal () =
+  let p = parse_ok minimal_source in
+  Alcotest.(check string) "name" "mini" p.Program.name;
+  Alcotest.(check int) "arrays" 2 (List.length p.Program.arrays);
+  Alcotest.(check int) "kernels" 1 (List.length p.Program.kernels);
+  Alcotest.(check (list string)) "schedule" [ "copy" ] (Program.flatten_schedule p)
+
+let test_parse_expressions () =
+  let p =
+    parse_ok
+      {|
+program exprs
+array m dense 64 64
+array o dense 64 64
+kernel k
+  loop y parallel 64
+  loop x parallel 64
+  load m [y-1, x+1]
+  load m [2*y, x]
+  load m [y, 3]
+  compute flops 1
+  store o [y, x]
+end
+schedule
+  call k
+end
+|}
+  in
+  let kernel = List.hd p.Program.kernels in
+  match Ir.refs kernel with
+  | [ (_, r1); (_, r2); (_, r3); _ ] ->
+      (match r1.Ir.pattern with
+      | Ir.Affine [ e1; e2 ] ->
+          Alcotest.(check int) "y-1 const" (-1) (Ix.constant_part e1);
+          Alcotest.(check int) "x+1 const" 1 (Ix.constant_part e2)
+      | _ -> Alcotest.fail "expected affine");
+      (match r2.Ir.pattern with
+      | Ir.Affine [ e1; _ ] -> Alcotest.(check int) "2*y coeff" 2 (Ix.coeff_of e1 "y")
+      | _ -> Alcotest.fail "expected affine");
+      (match r3.Ir.pattern with
+      | Ir.Affine [ _; e2 ] ->
+          Alcotest.(check bool) "constant subscript" true (Ix.is_constant e2);
+          Alcotest.(check int) "value" 3 (Ix.constant_part e2)
+      | _ -> Alcotest.fail "expected affine")
+  | refs -> Alcotest.failf "expected four refs, got %d" (List.length refs)
+
+let test_parse_indirect_and_sparse () =
+  let p =
+    parse_ok
+      {|
+program gather
+array table sparse nnz 50 1000 elem 8
+array idx dense 64
+array m dense 64 64
+array o dense 64
+kernel g
+  loop i parallel 64
+  load idx [i]
+  load table via idx
+  load m via idx [i]
+  compute flops 1 heavy 2
+  store o [i]
+end
+schedule
+  call g
+end
+|}
+  in
+  (match List.find (fun (d : Decl.t) -> d.Decl.name = "table") p.Program.arrays with
+  | { Decl.kind = Decl.Sparse { nnz = Some 50 }; elem_bytes = 8; _ } -> ()
+  | _ -> Alcotest.fail "sparse decl not parsed");
+  let kernel = List.hd p.Program.kernels in
+  let patterns = List.map (fun (_, (r : Ir.array_ref)) -> r.Ir.pattern) (Ir.refs kernel) in
+  (match List.nth patterns 1 with
+  | Ir.Indirect { index_array = "idx"; offset = [] } -> ()
+  | _ -> Alcotest.fail "pure gather not parsed");
+  (match List.nth patterns 2 with
+  | Ir.Indirect { index_array = "idx"; offset = [ e ] } ->
+      Alcotest.(check int) "offset coeff" 1 (Ix.coeff_of e "i")
+  | _ -> Alcotest.fail "indexed-row gather not parsed");
+  (* heavy ops survive parsing *)
+  let summary = Gpp_skeleton.Summary.of_kernel ~decls:p.Program.arrays kernel in
+  Helpers.close "heavy" 2.0 summary.Summary.heavy_ops_per_iter
+
+let test_parse_branch_and_repeat () =
+  let p =
+    parse_ok
+      {|
+program branching
+array a dense 32
+array o dense 32
+kernel k
+  loop i parallel 32
+  branch 0.25 uniform {
+    load a [i]
+  }
+  branch 0.5 {
+    compute flops 2
+  }
+  compute flops 1
+  store o [i]
+end
+schedule
+  repeat 3 {
+    call k
+    call k
+  }
+end
+|}
+  in
+  Alcotest.(check int) "schedule expands" 6 (Program.invocation_count p);
+  let kernel = List.hd p.Program.kernels in
+  match kernel.Ir.body with
+  | [ Ir.Branch { probability = 0.25; divergent = false; _ };
+      Ir.Branch { probability = 0.5; divergent = true; _ }; _; _ ] ->
+      ()
+  | _ -> Alcotest.fail "branches not parsed as expected"
+
+let test_parse_agrees_with_builder () =
+  (* The parsed program and the programmatically built one agree on the
+     analysis results that matter. *)
+  let parsed = parse_ok minimal_source in
+  let built =
+    let arrays = [ Decl.dense "a" ~dims:[ 128 ]; Decl.dense "b" ~dims:[ 128 ] ] in
+    let kernel =
+      Ir.kernel "copy"
+        ~loops:[ Ir.loop "i" ~extent:128 ]
+        ~body:[ Ir.load "a" [ Ix.var "i" ]; Ir.compute 1.0; Ir.store "b" [ Ix.var "i" ] ]
+    in
+    Program.create ~name:"mini" ~arrays ~kernels:[ kernel ] ~schedule:[ Program.Call "copy" ] ()
+  in
+  let plan p = Gpp_dataflow.Analyzer.analyze p in
+  Alcotest.(check int) "same uploads"
+    (Gpp_dataflow.Analyzer.input_bytes (plan built))
+    (Gpp_dataflow.Analyzer.input_bytes (plan parsed));
+  Alcotest.(check int) "same downloads"
+    (Gpp_dataflow.Analyzer.output_bytes (plan built))
+    (Gpp_dataflow.Analyzer.output_bytes (plan parsed))
+
+let test_parse_errors_carry_lines () =
+  Helpers.check_contains "unknown statement" ~needle:"line 8"
+    (parse_err
+       {|
+program bad
+array a dense 8
+kernel k
+  loop i parallel 8
+  load a [i]
+  compute flops 1
+  explode
+end
+schedule
+  call k
+end
+|});
+  Helpers.check_contains "missing program" ~needle:"program"
+    (parse_err "schedule\ncall x\nend\n");
+  Helpers.check_contains "missing schedule" ~needle:"schedule"
+    (parse_err "program p\narray a dense 4\nkernel k\nloop i parallel 4\ncompute flops 1\nend\n");
+  Helpers.check_contains "bad loop kind" ~needle:"parallel or serial"
+    (parse_err
+       "program p\narray a dense 4\nkernel k\nloop i sideways 4\ncompute flops 1\nend\nschedule\ncall k\nend\n");
+  (* Validation failures also surface (undeclared array). *)
+  Helpers.check_contains "validation runs" ~needle:"undeclared"
+    (parse_err
+       "program p\narray a dense 4\nkernel k\nloop i parallel 4\nload ghost [i]\nend\nschedule\ncall k\nend\n")
+
+let test_printer_round_trips_all_workloads () =
+  (* Printing any bundled workload and re-parsing it yields a program
+     with identical structure and identical analysis results. *)
+  List.iter
+    (fun (inst : Gpp_workloads.Registry.instance) ->
+      let original = inst.Gpp_workloads.Registry.program 2 in
+      let key = Gpp_workloads.Registry.key inst in
+      let reparsed =
+        Helpers.check_ok key (Gpp_skeleton.Parser.parse (Gpp_skeleton.Printer.to_skel original))
+      in
+      Alcotest.(check string) (key ^ " name") original.Program.name reparsed.Program.name;
+      Alcotest.(check (list string))
+        (key ^ " schedule")
+        (Program.flatten_schedule original)
+        (Program.flatten_schedule reparsed);
+      Alcotest.(check (list string))
+        (key ^ " temporaries")
+        original.Program.temporaries reparsed.Program.temporaries;
+      (* Transfer analysis agrees byte-for-byte. *)
+      let plan p = Gpp_dataflow.Analyzer.analyze p in
+      Alcotest.(check int) (key ^ " uploads")
+        (Gpp_dataflow.Analyzer.input_bytes (plan original))
+        (Gpp_dataflow.Analyzer.input_bytes (plan reparsed));
+      Alcotest.(check int) (key ^ " downloads")
+        (Gpp_dataflow.Analyzer.output_bytes (plan original))
+        (Gpp_dataflow.Analyzer.output_bytes (plan reparsed));
+      (* Kernel summaries agree (ops, traffic, divergence). *)
+      List.iter2
+        (fun (k1 : Ir.kernel) (k2 : Ir.kernel) ->
+          let s1 = Summary.of_kernel ~decls:original.Program.arrays k1 in
+          let s2 = Summary.of_kernel ~decls:reparsed.Program.arrays k2 in
+          Helpers.close (key ^ " flops") s1.Summary.flops_per_iter s2.Summary.flops_per_iter;
+          Helpers.close (key ^ " heavy") s1.Summary.heavy_ops_per_iter s2.Summary.heavy_ops_per_iter;
+          Helpers.close (key ^ " loads") s1.Summary.loads_per_iter s2.Summary.loads_per_iter;
+          Alcotest.(check int) (key ^ " trip") s1.Summary.trip_count s2.Summary.trip_count)
+        original.Program.kernels reparsed.Program.kernels)
+    Gpp_workloads.Registry.all
+
+let test_expr_print_parse_round_trip =
+  let expr_gen =
+    QCheck2.Gen.(
+      let* ci = int_range (-5) 5 in
+      let* cj = int_range (-5) 5 in
+      let* c = int_range (-100) 100 in
+      return (Ix.offset (Ix.add (Ix.var ~coeff:ci "i") (Ix.var ~coeff:cj "j")) c))
+  in
+  Helpers.qtest "printed expressions re-parse to equal expressions" expr_gen (fun e ->
+      let text = Gpp_skeleton.Printer.expr_to_skel e in
+      (* Reuse the statement parser by wrapping in a load. *)
+      let source =
+        Printf.sprintf
+          "program t\narray a dense 64 64\nkernel k\nloop i parallel 8\nloop j parallel 8\nload a [%s, 0]\ncompute flops 1\nend\nschedule\ncall k\nend\n"
+          text
+      in
+      match Gpp_skeleton.Parser.parse source with
+      | Error _ -> false
+      | Ok p -> (
+          let k = List.hd p.Program.kernels in
+          match Ir.refs k with
+          | (_, { Ir.pattern = Ir.Affine [ parsed; _ ]; _ }) :: _ -> Ix.equal parsed e
+          | _ -> false))
+
+let test_parse_file_missing () =
+  match Gpp_skeleton.Parser.parse_file "/nonexistent/skeleton.skel" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error for a missing file"
+
+let () =
+  Alcotest.run "gpp_skeleton"
+    [
+      ( "index_expr",
+        [
+          test_eval_add_homomorphism;
+          test_eval_scale;
+          test_range_contains_eval;
+          Alcotest.test_case "accessors" `Quick test_expr_basics;
+          Alcotest.test_case "cancellation" `Quick test_expr_cancellation;
+          Alcotest.test_case "pretty-printing" `Quick test_expr_pp;
+        ] );
+      ("decl", [ Alcotest.test_case "basics" `Quick test_decl_basics ]);
+      ( "kernel",
+        [
+          Alcotest.test_case "counts" `Quick test_kernel_counts;
+          Alcotest.test_case "fold weights" `Quick test_fold_refs_weights;
+          Alcotest.test_case "validation" `Quick test_kernel_validation;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "flatten" `Quick test_program_flatten;
+          Alcotest.test_case "repeat" `Quick test_program_repeat;
+          Alcotest.test_case "validation" `Quick test_program_validation;
+          Alcotest.test_case "lookup" `Quick test_program_lookup;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "aggregates" `Quick test_summary_aggregates;
+          Alcotest.test_case "indirect flag" `Quick test_summary_indirect_flag;
+          Alcotest.test_case "pure compute" `Quick test_summary_pure_compute;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "minimal program" `Quick test_parse_minimal;
+          Alcotest.test_case "expressions" `Quick test_parse_expressions;
+          Alcotest.test_case "indirect and sparse" `Quick test_parse_indirect_and_sparse;
+          Alcotest.test_case "branch and repeat" `Quick test_parse_branch_and_repeat;
+          Alcotest.test_case "agrees with builder" `Quick test_parse_agrees_with_builder;
+          Alcotest.test_case "errors carry lines" `Quick test_parse_errors_carry_lines;
+          Alcotest.test_case "printer round trips" `Quick test_printer_round_trips_all_workloads;
+          test_expr_print_parse_round_trip;
+          Alcotest.test_case "missing file" `Quick test_parse_file_missing;
+        ] );
+    ]

@@ -1,0 +1,398 @@
+(* Tests for Gpp_transform: thread mapping, coalescing, tiling detection,
+   characteristics synthesis, and the transformation search. *)
+
+module Mapping = Gpp_transform.Mapping
+module Tiling = Gpp_transform.Tiling
+module Synthesize = Gpp_transform.Synthesize
+module Explore = Gpp_transform.Explore
+module Ir = Gpp_skeleton.Ir
+module Ix = Gpp_skeleton.Index_expr
+module Decl = Gpp_skeleton.Decl
+module C = Gpp_model.Characteristics
+
+let gpu = Gpp_arch.Gpu.quadro_fx_5600
+
+(* Mapping *)
+
+let test_innermost_parallel_var () =
+  let k =
+    Ir.kernel "k"
+      ~loops:[ Ir.loop "y" ~extent:8; Ir.loop "x" ~extent:8; Ir.loop ~parallel:false "r" ~extent:3 ]
+      ~body:[ Ir.compute 1.0 ]
+  in
+  Alcotest.(check (option string)) "innermost parallel" (Some "x")
+    (Mapping.innermost_parallel_var k);
+  Alcotest.(check int) "serial multiplier" 3 (Mapping.serial_multiplier k);
+  let serial_only =
+    Ir.kernel "s" ~loops:[ Ir.loop ~parallel:false "r" ~extent:3 ] ~body:[ Ir.compute 1.0 ]
+  in
+  Alcotest.(check (option string)) "no parallel loop" None
+    (Mapping.innermost_parallel_var serial_only)
+
+let row_major_kernel =
+  Ir.kernel "rm"
+    ~loops:[ Ir.loop "y" ~extent:64; Ir.loop "x" ~extent:64 ]
+    ~body:[ Ir.compute 1.0 ]
+
+let grid_decl = Decl.dense "g" ~dims:[ 64; 64 ]
+
+let test_ref_strides () =
+  let decls = [ grid_decl; Decl.dense "v" ~dims:[ 5; 64 ]; Decl.sparse "s" ~dims:[ 100 ] ] in
+  let stride pattern = Mapping.ref_stride ~decls ~kernel:row_major_kernel
+      { Ir.array = "g"; access = Ir.Load; pattern }
+  in
+  (* g[y][x]: unit stride along x. *)
+  Alcotest.(check bool) "contiguous" true
+    (stride (Ir.Affine [ Ix.var "y"; Ix.var "x" ]) = Mapping.Bytes 4);
+  (* g[x][y]: row-size stride (transposed access). *)
+  Alcotest.(check bool) "transposed" true
+    (stride (Ir.Affine [ Ix.var "x"; Ix.var "y" ]) = Mapping.Bytes (64 * 4));
+  (* g[y][0]: broadcast along x. *)
+  Alcotest.(check bool) "broadcast" true
+    (stride (Ir.Affine [ Ix.var "y"; Ix.const 0 ]) = Mapping.Bytes 0);
+  (* SoA v[f][x] with f constant: unit stride. *)
+  let soa =
+    Mapping.ref_stride ~decls ~kernel:row_major_kernel
+      { Ir.array = "v"; access = Ir.Load; pattern = Ir.Affine [ Ix.const 2; Ix.var "x" ] }
+  in
+  Alcotest.(check bool) "SoA coalesced" true (soa = Mapping.Bytes 4);
+  (* Sparse arrays scatter. *)
+  let sp =
+    Mapping.ref_stride ~decls ~kernel:row_major_kernel
+      { Ir.array = "s"; access = Ir.Load; pattern = Ir.Affine [ Ix.var "x" ] }
+  in
+  Alcotest.(check bool) "sparse scatters" true (sp = Mapping.Scattered)
+
+let test_indirect_strides () =
+  let decls = [ Decl.dense "m" ~dims:[ 100; 64 ]; Decl.dense "idx" ~dims:[ 64 ] ] in
+  (* Pure gather: scattered. *)
+  let gather =
+    Mapping.ref_stride ~decls ~kernel:row_major_kernel
+      { Ir.array = "m"; access = Ir.Load; pattern = Ir.Indirect { index_array = "idx"; offset = [] } }
+  in
+  Alcotest.(check bool) "pure gather scatters" true (gather = Mapping.Scattered);
+  (* Indexed row with coalesced offset along x. *)
+  let row =
+    Mapping.ref_stride ~decls ~kernel:row_major_kernel
+      {
+        Ir.array = "m";
+        access = Ir.Load;
+        pattern = Ir.Indirect { index_array = "idx"; offset = [ Ix.var "x" ] };
+      }
+  in
+  Alcotest.(check bool) "indexed row coalesces" true (row = Mapping.Bytes 4);
+  (* Offset independent of the thread variable: still scattered. *)
+  let bad =
+    Mapping.ref_stride ~decls ~kernel:row_major_kernel
+      {
+        Ir.array = "m";
+        access = Ir.Load;
+        pattern = Ir.Indirect { index_array = "idx"; offset = [ Ix.var "y" ] };
+      }
+  in
+  Alcotest.(check bool) "offset without thread var scatters" true (bad = Mapping.Scattered)
+
+let test_transactions_per_access () =
+  let tx stride = Mapping.transactions_per_access ~gpu ~elem_bytes:4 stride in
+  (* 32 threads x 4 B = 128 B = 2 segments of 64 B. *)
+  Helpers.close "unit stride" 2.0 (tx (Mapping.Bytes 4));
+  Helpers.close "broadcast" 1.0 (tx (Mapping.Bytes 0));
+  Helpers.close "scattered = warp size" 32.0 (tx Mapping.Scattered);
+  (* Large strides cap at one transaction per lane. *)
+  Helpers.close "huge stride" 32.0 (tx (Mapping.Bytes 256));
+  (* 8 B stride: 32 lanes span 252 B -> 4 segments. *)
+  Helpers.close "stride 8" 4.0 (tx (Mapping.Bytes 8))
+
+let test_is_scattered () =
+  Alcotest.(check bool) "scattered" true (Mapping.is_scattered ~gpu ~elem_bytes:4 Mapping.Scattered);
+  Alcotest.(check bool) "unit stride not" false
+    (Mapping.is_scattered ~gpu ~elem_bytes:4 (Mapping.Bytes 4));
+  Alcotest.(check bool) "large stride is" true
+    (Mapping.is_scattered ~gpu ~elem_bytes:4 (Mapping.Bytes 128))
+
+(* Tiling *)
+
+let test_tiling_detects_hotspot () =
+  let program = Gpp_workloads.Hotspot.program ~n:128 () in
+  let kernel = List.hd program.Gpp_skeleton.Program.kernels in
+  let groups = Tiling.detect ~decls:program.Gpp_skeleton.Program.arrays kernel in
+  match groups with
+  | [ g ] ->
+      Alcotest.(check string) "tiled array" "temp" g.Tiling.array;
+      Alcotest.(check int) "nine taps" 9 g.Tiling.taps;
+      Alcotest.(check int) "radius one" 1 g.Tiling.radius;
+      Alcotest.(check int) "rank two" 2 g.Tiling.rank
+  | groups -> Alcotest.failf "expected one group, got %d" (List.length groups)
+
+let test_tiling_ignores_small_groups () =
+  (* Two taps do not amortize a barrier: no group. *)
+  let decls = [ Decl.dense "a" ~dims:[ 64 ]; Decl.dense "o" ~dims:[ 64 ] ] in
+  let k =
+    Ir.kernel "two_taps"
+      ~loops:[ Ir.loop "i" ~extent:64 ]
+      ~body:
+        [
+          Ir.load "a" [ Ix.var "i" ];
+          Ir.load "a" [ Ix.offset (Ix.var "i") 1 ];
+          Ir.compute 1.0;
+          Ir.store "o" [ Ix.var "i" ];
+        ]
+  in
+  Alcotest.(check int) "no group" 0 (List.length (Tiling.detect ~decls k))
+
+let test_tiling_halo_factor () =
+  let program = Gpp_workloads.Hotspot.program ~n:128 () in
+  let kernel = List.hd program.Gpp_skeleton.Program.kernels in
+  let g = List.hd (Tiling.detect ~decls:program.Gpp_skeleton.Program.arrays kernel) in
+  let hf = Tiling.halo_factor g ~threads_per_block:256 ~unroll:1 in
+  (* 2-D tile of 256 outputs: side 16, halo 1 -> 18^2/256 = 1.27. *)
+  Helpers.close_rel ~tolerance:0.01 "halo factor" (18.0 *. 18.0 /. 256.0) hf;
+  Alcotest.(check bool) "halo above one" true (hf > 1.0)
+
+(* Synthesis *)
+
+let hotspot_kernel_and_decls n =
+  let program = Gpp_workloads.Hotspot.program ~n () in
+  (List.hd program.Gpp_skeleton.Program.kernels, program.Gpp_skeleton.Program.arrays)
+
+let test_synthesize_baseline () =
+  let kernel, decls = hotspot_kernel_and_decls 128 in
+  let cfg = Synthesize.scalar ~threads_per_block:256 in
+  let c = Helpers.check_ok "synthesis" (Synthesize.characteristics ~gpu ~decls kernel cfg) in
+  Alcotest.(check int) "grid covers iterations" ((128 * 128 + 255) / 256) c.C.grid_blocks;
+  (* 9 temp taps + 1 power load. *)
+  Helpers.close "loads" 10.0 c.C.load_insts_per_thread;
+  Helpers.close "stores" 1.0 c.C.store_insts_per_thread;
+  Helpers.close "no syncs untiled" 0.0 c.C.syncs_per_thread;
+  Alcotest.(check int) "no shared mem untiled" 0 c.C.shared_mem_per_block
+
+let test_synthesize_tiled_reduces_traffic () =
+  let kernel, decls = hotspot_kernel_and_decls 128 in
+  let base =
+    Helpers.check_ok "base"
+      (Synthesize.characteristics ~gpu ~decls kernel
+         (Synthesize.scalar ~threads_per_block:256))
+  in
+  let tiled =
+    Helpers.check_ok "tiled"
+      (Synthesize.characteristics ~gpu ~decls kernel
+         { (Synthesize.scalar ~threads_per_block:256) with Synthesize.shared_tiling = true })
+  in
+  Alcotest.(check bool) "fewer global loads" true
+    (tiled.C.load_insts_per_thread < base.C.load_insts_per_thread);
+  Alcotest.(check bool) "fewer load transactions" true
+    (tiled.C.load_transactions_per_warp < base.C.load_transactions_per_warp);
+  Alcotest.(check bool) "uses shared memory" true (tiled.C.shared_mem_per_block > 0);
+  Alcotest.(check bool) "adds barriers" true (tiled.C.syncs_per_thread > 0.0);
+  (* Stores are untouched by input tiling. *)
+  Helpers.close "stores unchanged" base.C.store_insts_per_thread tiled.C.store_insts_per_thread
+
+let test_synthesize_unroll_coarsens () =
+  let kernel, decls = hotspot_kernel_and_decls 128 in
+  let at unroll =
+    Helpers.check_ok "synthesis"
+      (Synthesize.characteristics ~gpu ~decls kernel
+         { (Synthesize.scalar ~threads_per_block:256) with Synthesize.unroll })
+  in
+  let u1 = at 1 and u4 = at 4 in
+  Alcotest.(check int) "4x fewer blocks" (u1.C.grid_blocks / 4) u4.C.grid_blocks;
+  Helpers.close "4x flops per thread" (4.0 *. u1.C.flops_per_thread) u4.C.flops_per_thread;
+  Alcotest.(check bool) "more registers" true
+    (u4.C.registers_per_thread > u1.C.registers_per_thread)
+
+let test_synthesize_total_work_invariant () =
+  (* Whatever the configuration, total executed flops must be the
+     skeleton's total. *)
+  let kernel, decls = hotspot_kernel_and_decls 64 in
+  let summary = Gpp_skeleton.Summary.of_kernel ~decls kernel in
+  let heavy_weighted =
+    (summary.Gpp_skeleton.Summary.flops_per_iter
+    +. (4.0 *. summary.Gpp_skeleton.Summary.heavy_ops_per_iter))
+    *. float_of_int summary.Gpp_skeleton.Summary.trip_count
+  in
+  List.iter
+    (fun (tpb, unroll) ->
+      let c =
+        Helpers.check_ok "synthesis"
+          (Synthesize.characteristics ~gpu ~decls kernel
+             { (Synthesize.scalar ~threads_per_block:tpb) with Synthesize.unroll })
+      in
+      (* grid may round up: at least the skeleton total, at most one
+         extra block's worth. *)
+      let total = c.C.flops_per_thread *. float_of_int (C.total_threads c) in
+      Helpers.check_in_range "total flops preserved" ~lo:heavy_weighted
+        ~hi:(heavy_weighted *. 1.2) total)
+    [ (64, 1); (256, 2); (512, 4) ]
+
+let test_synthesize_vectorization () =
+  (* A purely contiguous kernel vectorizes: fewer memory instructions,
+     unchanged transactions and total work. *)
+  let decls = [ Decl.dense "a" ~dims:[ 4096 ]; Decl.dense "b" ~dims:[ 4096 ] ] in
+  let kernel =
+    Ir.kernel "stream"
+      ~loops:[ Ir.loop "i" ~extent:4096 ]
+      ~body:[ Ir.load "a" [ Ix.var "i" ]; Ir.compute 2.0; Ir.store "b" [ Ix.var "i" ] ]
+  in
+  let at w =
+    Helpers.check_ok "synthesis"
+      (Synthesize.characteristics ~gpu ~decls kernel
+         { (Synthesize.scalar ~threads_per_block:256) with Synthesize.vector_width = w })
+  in
+  let v1 = at 1 and v4 = at 4 in
+  Alcotest.(check int) "4x fewer threads" (v1.C.grid_blocks / 4) v4.C.grid_blocks;
+  (* Per thread: 4 elements via 1 instruction each way. *)
+  Helpers.close "vector loads" 1.0 v4.C.load_insts_per_thread;
+  Helpers.close "vector stores" 1.0 v4.C.store_insts_per_thread;
+  Helpers.close "4x flops" (4.0 *. v1.C.flops_per_thread) v4.C.flops_per_thread;
+  (* Total traffic (transactions x grid) is preserved. *)
+  Helpers.close_rel ~tolerance:0.01 "total transactions preserved"
+    (C.total_transactions ~gpu v1)
+    (C.total_transactions ~gpu v4);
+  Alcotest.(check bool) "more registers" true
+    (v4.C.registers_per_thread > v1.C.registers_per_thread)
+
+let test_vectorization_requires_contiguity () =
+  (* Strided accesses cannot vectorize. *)
+  let decls = [ Decl.dense "a" ~dims:[ 4096 ]; Decl.dense "b" ~dims:[ 2048 ] ] in
+  let strided =
+    Ir.kernel "strided"
+      ~loops:[ Ir.loop "i" ~extent:2048 ]
+      ~body:[ Ir.load "a" [ Ix.var ~coeff:2 "i" ]; Ir.compute 1.0; Ir.store "b" [ Ix.var "i" ] ]
+  in
+  ignore
+    (Helpers.check_error "strided cannot vectorize"
+       (Synthesize.characteristics ~gpu ~decls strided
+          { (Synthesize.scalar ~threads_per_block:256) with Synthesize.vector_width = 4 }));
+  (* The search simply skips the infeasible vector points. *)
+  let candidates = Explore.search ~gpu ~decls strided in
+  Alcotest.(check bool) "search still finds configs" true (candidates <> []);
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "no vector configs" 1 c.Explore.config.Synthesize.vector_width)
+    candidates
+
+let test_vectorization_helps_inst_bound_kernels () =
+  (* For an instruction-rate-limited streaming kernel, the projected
+     time with float4 accesses should not be worse. *)
+  let decls = [ Decl.dense "a" ~dims:[ 1 lsl 20 ]; Decl.dense "b" ~dims:[ 1 lsl 20 ] ] in
+  let kernel =
+    Ir.kernel "axpy"
+      ~loops:[ Ir.loop "i" ~extent:(1 lsl 20) ]
+      ~body:[ Ir.load "a" [ Ix.var "i" ]; Ir.compute 2.0; Ir.store "b" [ Ix.var "i" ] ]
+  in
+  let time w =
+    let c =
+      Helpers.check_ok "synthesis"
+        (Synthesize.characteristics ~gpu ~decls kernel
+           { (Synthesize.scalar ~threads_per_block:256) with Synthesize.vector_width = w })
+    in
+    (Helpers.check_ok "project" (Gpp_model.Analytic.project ~gpu c))
+      .Gpp_model.Analytic.kernel_time
+  in
+  Alcotest.(check bool) "vec4 not slower" true (time 4 <= time 1 *. 1.05)
+
+let test_synthesize_errors () =
+  let decls = [ Decl.dense "a" ~dims:[ 64 ] ] in
+  let serial =
+    Ir.kernel "serial" ~loops:[ Ir.loop ~parallel:false "i" ~extent:64 ] ~body:[ Ir.compute 1.0 ]
+  in
+  ignore
+    (Helpers.check_error "no parallelism"
+       (Synthesize.characteristics ~gpu ~decls serial
+          (Synthesize.scalar ~threads_per_block:64)));
+  let kernel, decls = hotspot_kernel_and_decls 64 in
+  ignore
+    (Helpers.check_error "bad unroll"
+       (Synthesize.characteristics ~gpu ~decls kernel
+          { (Synthesize.scalar ~threads_per_block:64) with Synthesize.unroll = 0 }));
+  let no_stencil =
+    Ir.kernel "flat" ~loops:[ Ir.loop "i" ~extent:64 ]
+      ~body:[ Ir.load "a" [ Ix.var "i" ]; Ir.compute 1.0 ]
+  in
+  ignore
+    (Helpers.check_error "no tiling opportunity"
+       (Synthesize.characteristics ~gpu ~decls:[ Decl.dense "a" ~dims:[ 64 ] ] no_stencil
+          { (Synthesize.scalar ~threads_per_block:64) with Synthesize.shared_tiling = true }))
+
+(* Exploration *)
+
+let test_search_sorted_and_feasible () =
+  let kernel, decls = hotspot_kernel_and_decls 256 in
+  let candidates = Explore.search ~gpu ~decls kernel in
+  Alcotest.(check bool) "non-empty" true (candidates <> []);
+  let times =
+    List.map (fun c -> c.Explore.projection.Gpp_model.Analytic.kernel_time) candidates
+  in
+  Alcotest.(check bool) "sorted ascending" true (List.sort Float.compare times = times);
+  (* Every candidate's block size respects the device limit. *)
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "feasible block" true
+        (c.Explore.characteristics.C.threads_per_block <= gpu.Gpp_arch.Gpu.max_threads_per_block))
+    candidates
+
+let test_best_picks_head () =
+  let kernel, decls = hotspot_kernel_and_decls 256 in
+  let best = Helpers.check_ok "best" (Explore.best ~gpu ~decls kernel) in
+  let all = Explore.search ~gpu ~decls kernel in
+  Helpers.close "best = head of sorted search"
+    (List.hd all).Explore.projection.Gpp_model.Analytic.kernel_time
+    best.Explore.projection.Gpp_model.Analytic.kernel_time
+
+let test_best_error_on_serial_kernel () =
+  let serial =
+    Ir.kernel "serial" ~loops:[ Ir.loop ~parallel:false "i" ~extent:64 ] ~body:[ Ir.compute 1.0 ]
+  in
+  ignore (Helpers.check_error "serial kernel" (Explore.best ~gpu ~decls:[] serial))
+
+let test_search_space_restriction () =
+  let kernel, decls = hotspot_kernel_and_decls 128 in
+  let space =
+    {
+      Explore.block_sizes = [ 128 ];
+      unroll_factors = [ 1 ];
+      vector_widths = [ 1 ];
+      allow_tiling = false;
+    }
+  in
+  let candidates = Explore.search ~space ~gpu ~decls kernel in
+  Alcotest.(check int) "single point" 1 (List.length candidates);
+  let c = List.hd candidates in
+  Alcotest.(check int) "tpb honored" 128 c.Explore.characteristics.C.threads_per_block
+
+let () =
+  Alcotest.run "gpp_transform"
+    [
+      ( "mapping",
+        [
+          Alcotest.test_case "innermost parallel var" `Quick test_innermost_parallel_var;
+          Alcotest.test_case "affine strides" `Quick test_ref_strides;
+          Alcotest.test_case "indirect strides" `Quick test_indirect_strides;
+          Alcotest.test_case "transactions" `Quick test_transactions_per_access;
+          Alcotest.test_case "scatter classification" `Quick test_is_scattered;
+        ] );
+      ( "tiling",
+        [
+          Alcotest.test_case "detects hotspot stencil" `Quick test_tiling_detects_hotspot;
+          Alcotest.test_case "ignores small groups" `Quick test_tiling_ignores_small_groups;
+          Alcotest.test_case "halo factor" `Quick test_tiling_halo_factor;
+        ] );
+      ( "synthesize",
+        [
+          Alcotest.test_case "baseline" `Quick test_synthesize_baseline;
+          Alcotest.test_case "tiling reduces traffic" `Quick test_synthesize_tiled_reduces_traffic;
+          Alcotest.test_case "unroll coarsens" `Quick test_synthesize_unroll_coarsens;
+          Alcotest.test_case "work invariant" `Quick test_synthesize_total_work_invariant;
+          Alcotest.test_case "vectorization" `Quick test_synthesize_vectorization;
+          Alcotest.test_case "vector contiguity" `Quick test_vectorization_requires_contiguity;
+          Alcotest.test_case "vector benefit" `Quick test_vectorization_helps_inst_bound_kernels;
+          Alcotest.test_case "error cases" `Quick test_synthesize_errors;
+        ] );
+      ( "explore",
+        [
+          Alcotest.test_case "sorted feasible" `Quick test_search_sorted_and_feasible;
+          Alcotest.test_case "best is head" `Quick test_best_picks_head;
+          Alcotest.test_case "serial kernel" `Quick test_best_error_on_serial_kernel;
+          Alcotest.test_case "space restriction" `Quick test_search_space_restriction;
+        ] );
+    ]

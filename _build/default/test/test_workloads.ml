@@ -1,0 +1,250 @@
+(* Tests for Gpp_workloads: skeleton well-formedness and functional
+   correctness of the runnable reference implementations. *)
+
+module Program = Gpp_skeleton.Program
+module Registry = Gpp_workloads.Registry
+
+(* Skeletons *)
+
+let test_all_skeletons_validate () =
+  List.iter
+    (fun (inst : Registry.instance) ->
+      List.iter
+        (fun iterations ->
+          ignore
+            (Helpers.check_ok
+               (Printf.sprintf "%s @ %d iterations" (Registry.key inst) iterations)
+               (Program.validate (inst.Registry.program iterations))))
+        [ 1; 3 ])
+    Registry.all
+
+let test_registry_lookup () =
+  Alcotest.(check bool) "find hit" true (Registry.find ~app:"cfd" ~size:"97K" <> None);
+  Alcotest.(check bool) "find miss" true (Registry.find ~app:"cfd" ~size:"1K" = None);
+  Alcotest.(check bool) "by key" true (Registry.find_by_key "srad/4096 x 4096" <> None);
+  Alcotest.(check bool) "bad key" true (Registry.find_by_key "nonsense" = None);
+  Alcotest.(check (list string)) "apps in paper order"
+    [ "cfd"; "hotspot"; "srad"; "stassuij"; "vecadd" ]
+    Registry.apps;
+  Alcotest.(check int) "paper rows" 10 (List.length Registry.paper_instances);
+  Alcotest.(check int) "cfd sizes" 3 (List.length (Registry.instances_of_app "cfd"))
+
+let test_kernel_structure () =
+  let cfd = Gpp_workloads.Cfd.program ~nelem:1000 () in
+  Alcotest.(check int) "cfd has three kernels" 3 (List.length cfd.Program.kernels);
+  Alcotest.(check (list string)) "cfd schedule"
+    [ "compute_step_factor"; "compute_flux"; "time_step" ]
+    (Program.flatten_schedule cfd);
+  let srad = Gpp_workloads.Srad.program ~n:64 () in
+  Alcotest.(check int) "srad has two kernels" 2 (List.length srad.Program.kernels);
+  let hotspot = Gpp_workloads.Hotspot.program ~n:64 () in
+  Alcotest.(check int) "hotspot has one kernel" 1 (List.length hotspot.Program.kernels)
+
+let test_iterations_scale_schedule () =
+  let p = Gpp_workloads.Cfd.program ~iterations:5 ~nelem:1000 () in
+  Alcotest.(check int) "5 x 3 kernels" 15 (Program.invocation_count p)
+
+(* VecAdd reference *)
+
+let test_vecadd_reference () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 10.0; 20.0; 30.0 |] in
+  Alcotest.(check (array (float 1e-12))) "sum" [| 11.0; 22.0; 33.0 |]
+    (Gpp_workloads.Vecadd.Reference.run a b);
+  Helpers.check_raises_invalid "length mismatch" (fun () ->
+      ignore (Gpp_workloads.Vecadd.Reference.run a [| 1.0 |]))
+
+(* HotSpot reference *)
+
+module HR = Gpp_workloads.Hotspot.Reference
+
+let test_hotspot_uniform_equilibrium () =
+  (* A uniform ambient-temperature grid with no power stays put. *)
+  let n = 16 in
+  let temp = HR.grid_of ~n (fun ~row:_ ~col:_ -> 80.0) in
+  let power = HR.grid_of ~n (fun ~row:_ ~col:_ -> 0.0) in
+  let after = HR.simulate ~temp ~power ~iterations:20 in
+  Helpers.close ~tolerance:1e-9 "uniform stays uniform" 0.0 (HR.max_abs_diff temp after)
+
+let test_hotspot_diffusion () =
+  let n = 32 in
+  let temp =
+    HR.grid_of ~n (fun ~row ~col -> if row = n / 2 && col = n / 2 then 300.0 else 80.0)
+  in
+  let power = HR.grid_of ~n (fun ~row:_ ~col:_ -> 0.0) in
+  let after = HR.simulate ~temp ~power ~iterations:40 in
+  let peak g = Array.fold_left Float.max neg_infinity g.HR.cells in
+  Alcotest.(check bool) "peak decays" true (peak after < 300.0);
+  (* Heat spreads to the neighbour of the hot cell. *)
+  let center_neighbor g = g.HR.cells.((n / 2 * n) + (n / 2) + 1) in
+  Alcotest.(check bool) "neighbour warms" true (center_neighbor after > 80.0)
+
+let test_hotspot_power_heats () =
+  let n = 16 in
+  let temp = HR.grid_of ~n (fun ~row:_ ~col:_ -> 80.0) in
+  let power = HR.grid_of ~n (fun ~row ~col -> if row = 3 && col = 3 then 50.0 else 0.0) in
+  let after = HR.simulate ~temp ~power ~iterations:10 in
+  Alcotest.(check bool) "powered cell heats up" true (after.HR.cells.((3 * n) + 3) > 80.0)
+
+let test_hotspot_errors () =
+  let a = HR.grid_of ~n:4 (fun ~row:_ ~col:_ -> 0.0) in
+  let b = HR.grid_of ~n:8 (fun ~row:_ ~col:_ -> 0.0) in
+  Helpers.check_raises_invalid "size mismatch" (fun () -> ignore (HR.step ~temp:a ~power:b));
+  Helpers.check_raises_invalid "negative iterations" (fun () ->
+      ignore (HR.simulate ~temp:a ~power:a ~iterations:(-1)))
+
+(* SRAD reference *)
+
+module SR = Gpp_workloads.Srad.Reference
+
+let speckled_image n =
+  let rng = Gpp_util.Rng.create 31L in
+  SR.image_of ~n (fun ~row:_ ~col:_ -> 100.0 *. Gpp_util.Rng.lognormal_noise rng ~sigma:0.2)
+
+let test_srad_reduces_speckle () =
+  let img = speckled_image 48 in
+  let _, var_before = SR.mean_variance img in
+  let after = SR.simulate img ~iterations:12 in
+  let _, var_after = SR.mean_variance after in
+  Alcotest.(check bool) "variance shrinks" true (var_after < var_before *. 0.8)
+
+let test_srad_preserves_mean () =
+  let img = speckled_image 48 in
+  let mean_before, _ = SR.mean_variance img in
+  let after = SR.simulate img ~iterations:12 in
+  let mean_after, _ = SR.mean_variance after in
+  Helpers.close_rel ~tolerance:0.05 "mean roughly preserved" mean_before mean_after
+
+let test_srad_constant_fixed_point () =
+  let img = SR.image_of ~n:16 (fun ~row:_ ~col:_ -> 42.0) in
+  let after = SR.iterate img in
+  Array.iteri
+    (fun i v -> Helpers.close ~tolerance:1e-9 (Printf.sprintf "pixel %d" i) 42.0 v)
+    after.SR.pixels
+
+(* CFD reference *)
+
+module CR = Gpp_workloads.Cfd.Reference
+
+let test_cfd_conservation () =
+  let s = CR.uniform_with_pulse ~n:256 in
+  let mass0 = CR.total_mass s and energy0 = CR.total_energy s in
+  let s' = CR.simulate s ~iterations:50 in
+  (* Finite-volume with periodic boundaries conserves mass and energy
+     to rounding. *)
+  Helpers.close_rel ~tolerance:1e-10 "mass conserved" mass0 (CR.total_mass s');
+  Helpers.close_rel ~tolerance:1e-10 "energy conserved" energy0 (CR.total_energy s')
+
+let test_cfd_pulse_spreads () =
+  let s = CR.uniform_with_pulse ~n:256 in
+  let s' = CR.simulate s ~iterations:100 in
+  let peak a = Array.fold_left Float.max neg_infinity a in
+  Alcotest.(check bool) "density peak decays" true (peak s'.CR.density < peak s.CR.density);
+  (* Flow develops: momentum is no longer identically zero. *)
+  let momentum_norm a = Array.fold_left (fun acc v -> acc +. Float.abs v) 0.0 a in
+  Alcotest.(check bool) "momentum develops" true (momentum_norm s'.CR.momentum > 1e-6)
+
+let test_cfd_positivity () =
+  let s = CR.simulate (CR.uniform_with_pulse ~n:128) ~iterations:200 in
+  Array.iter (fun d -> Helpers.check_positive "density positive" d) s.CR.density;
+  List.iter
+    (fun i -> Helpers.check_positive "pressure positive" (CR.pressure s i))
+    (List.init s.CR.n (fun i -> i))
+
+let test_cfd_errors () =
+  let s = CR.uniform_with_pulse ~n:16 in
+  Helpers.check_raises_invalid "bad cfl" (fun () -> ignore (CR.step ~cfl:0.0 s));
+  Helpers.check_raises_invalid "negative iterations" (fun () ->
+      ignore (CR.simulate s ~iterations:(-2)))
+
+(* Stassuij reference *)
+
+module TR = Gpp_workloads.Stassuij.Reference
+
+let test_stassuij_csr_well_formed () =
+  let a = TR.random_csr ~rows:50 ~cols:40 ~density:0.15 () in
+  Alcotest.(check int) "row_ptr length" 51 (Array.length a.TR.row_ptr);
+  Alcotest.(check int) "first row starts at 0" 0 a.TR.row_ptr.(0);
+  Alcotest.(check int) "last row ends at nnz" (Array.length a.TR.values) a.TR.row_ptr.(50);
+  (* Row pointers are non-decreasing and column indices in range. *)
+  for r = 0 to 49 do
+    Alcotest.(check bool) "non-decreasing" true (a.TR.row_ptr.(r) <= a.TR.row_ptr.(r + 1))
+  done;
+  Array.iter (fun c -> Helpers.check_in_range "col in range" ~lo:0.0 ~hi:39.0 (float_of_int c)) a.TR.col_idx
+
+let test_stassuij_multiply_matches_dense () =
+  let a = TR.random_csr ~rows:30 ~cols:25 ~density:0.2 () in
+  let x = TR.random_complex ~rows:25 ~cols:12 () in
+  Helpers.close ~tolerance:1e-9 "csr = dense" 0.0 (TR.max_abs_diff (TR.multiply a x) (TR.dense_multiply a x))
+
+let test_stassuij_accumulate () =
+  let a = TR.random_csr ~rows:10 ~cols:10 ~density:0.3 () in
+  let x = TR.random_complex ~rows:10 ~cols:6 () in
+  let y = TR.random_complex ~seed:99L ~rows:10 ~cols:6 () in
+  let acc = TR.multiply_accumulate a x ~into:y in
+  let plain = TR.multiply a x in
+  (* acc - y = plain, elementwise. *)
+  let diff =
+    {
+      TR.m_rows = 10;
+      m_cols = 6;
+      re = Array.mapi (fun i v -> v -. y.TR.re.(i)) acc.TR.re;
+      im = Array.mapi (fun i v -> v -. y.TR.im.(i)) acc.TR.im;
+    }
+  in
+  Helpers.close ~tolerance:1e-9 "accumulate adds into" 0.0 (TR.max_abs_diff diff plain)
+
+let test_stassuij_dimension_checks () =
+  let a = TR.random_csr ~rows:10 ~cols:10 ~density:0.3 () in
+  let x = TR.random_complex ~rows:5 ~cols:6 () in
+  Helpers.check_raises_invalid "inner mismatch" (fun () -> ignore (TR.multiply a x));
+  Helpers.check_raises_invalid "bad density" (fun () ->
+      ignore (TR.random_csr ~rows:5 ~cols:5 ~density:0.0 ()))
+
+let test_stassuij_shape_matches_paper () =
+  let shape = Gpp_workloads.Stassuij.default_shape in
+  Alcotest.(check int) "rows" 132 shape.Gpp_workloads.Stassuij.rows;
+  Alcotest.(check int) "dense cols" 2048 shape.Gpp_workloads.Stassuij.dense_cols;
+  (* ~10% density as in the GFMC correlation operators we synthesize. *)
+  Helpers.check_in_range "density" ~lo:0.05 ~hi:0.15
+    (float_of_int shape.Gpp_workloads.Stassuij.nnz /. float_of_int (132 * 132))
+
+let () =
+  Alcotest.run "gpp_workloads"
+    [
+      ( "skeletons",
+        [
+          Alcotest.test_case "all validate" `Quick test_all_skeletons_validate;
+          Alcotest.test_case "registry" `Quick test_registry_lookup;
+          Alcotest.test_case "kernel structure" `Quick test_kernel_structure;
+          Alcotest.test_case "iterations" `Quick test_iterations_scale_schedule;
+        ] );
+      ("vecadd", [ Alcotest.test_case "reference" `Quick test_vecadd_reference ]);
+      ( "hotspot",
+        [
+          Alcotest.test_case "uniform equilibrium" `Quick test_hotspot_uniform_equilibrium;
+          Alcotest.test_case "diffusion" `Quick test_hotspot_diffusion;
+          Alcotest.test_case "power heats" `Quick test_hotspot_power_heats;
+          Alcotest.test_case "errors" `Quick test_hotspot_errors;
+        ] );
+      ( "srad",
+        [
+          Alcotest.test_case "speckle reduction" `Quick test_srad_reduces_speckle;
+          Alcotest.test_case "mean preservation" `Quick test_srad_preserves_mean;
+          Alcotest.test_case "constant fixed point" `Quick test_srad_constant_fixed_point;
+        ] );
+      ( "cfd",
+        [
+          Alcotest.test_case "conservation" `Quick test_cfd_conservation;
+          Alcotest.test_case "pulse spreads" `Quick test_cfd_pulse_spreads;
+          Alcotest.test_case "positivity" `Quick test_cfd_positivity;
+          Alcotest.test_case "errors" `Quick test_cfd_errors;
+        ] );
+      ( "stassuij",
+        [
+          Alcotest.test_case "csr well-formed" `Quick test_stassuij_csr_well_formed;
+          Alcotest.test_case "csr = dense" `Quick test_stassuij_multiply_matches_dense;
+          Alcotest.test_case "accumulate" `Quick test_stassuij_accumulate;
+          Alcotest.test_case "dimension checks" `Quick test_stassuij_dimension_checks;
+          Alcotest.test_case "paper shape" `Quick test_stassuij_shape_matches_paper;
+        ] );
+    ]
