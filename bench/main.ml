@@ -12,6 +12,36 @@ open Bechamel
    table/figure from it, exactly as bin/experiments.exe does. *)
 let ctx = lazy (Gpp_experiments.Context.create ())
 
+(* Cache A/B: the headline number for the memoized projection engine.
+   The full suite (fresh context + every table/figure, exactly what
+   bin/experiments.exe runs) is timed three ways: cache bypassed, cold
+   cache (empty tables, populated as it runs), and warm cache (tables
+   left over from the cold run). *)
+
+let run_full_suite () =
+  let ctx = Gpp_experiments.Context.create () in
+  List.iter
+    (fun (e : Gpp_experiments.Suite.entry) -> ignore (e.run ctx))
+    Gpp_experiments.Suite.all
+
+let timed f =
+  let t0 = Sys.time () in
+  f ();
+  Sys.time () -. t0
+
+let cache_ab () =
+  print_endline "cache A/B: full experiments suite (context + every table/figure)";
+  let uncached = Gpp_cache.Control.without_cache (fun () -> timed run_full_suite) in
+  Printf.printf "  cache bypassed: %6.2f s\n%!" uncached;
+  Gpp_cache.Memo.clear_all ();
+  let cold = timed run_full_suite in
+  Printf.printf "  cold cache:     %6.2f s  (%.2fx vs bypassed)\n%!" cold (uncached /. cold);
+  let warm = timed run_full_suite in
+  Printf.printf "  warm cache:     %6.2f s  (%.2fx vs bypassed)\n%!" warm (uncached /. warm);
+  List.iter
+    (fun s -> Format.printf "  %a@." Gpp_cache.Memo.pp_snapshot s)
+    (Gpp_cache.Memo.snapshots ())
+
 let experiment_tests =
   List.map
     (fun (e : Gpp_experiments.Suite.entry) ->
@@ -91,6 +121,7 @@ let benchmark () =
     all_tests
 
 let () =
+  cache_ab ();
   (* Force the shared context up front so its (substantial) cost is not
      attributed to the first benchmark. *)
   print_endline "building measurement context (calibration + all Table I workloads)...";

@@ -1,8 +1,9 @@
 (* Regenerate every table and figure of the paper, plus the ablations.
    Usage:
-     experiments            run the whole suite
-     experiments fig7 ...   run selected experiments by id
-     experiments --list     print the available ids *)
+     experiments              run the whole suite
+     experiments fig7 ...     run selected experiments by id
+     experiments --list       print the available ids
+     experiments --no-cache   bypass the projection cache *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -12,6 +13,9 @@ let () =
       Gpp_experiments.Suite.all;
     exit 0
   end;
+  let no_cache = List.mem "--no-cache" args in
+  if no_cache then Gpp_cache.Control.set_enabled false;
+  let args = List.filter (fun a -> a <> "--no-cache") args in
   let selected =
     match args with
     | [] -> Gpp_experiments.Suite.all
@@ -33,4 +37,8 @@ let () =
     (fun (e : Gpp_experiments.Suite.entry) ->
       Gpp_experiments.Output.print (e.run ctx);
       print_newline ())
-    selected
+    selected;
+  Printf.printf "projection cache: %s\n" (if no_cache then "bypassed (--no-cache)" else "enabled");
+  List.iter
+    (fun s -> Format.printf "  %a@." Gpp_cache.Memo.pp_snapshot s)
+    (Gpp_cache.Memo.snapshots ())

@@ -19,6 +19,19 @@ let verbose_arg =
   let doc = "Print pipeline progress (calibration, chosen transformations, measurements)." in
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
 
+let no_cache_arg =
+  let doc =
+    "Bypass the projection cache: recompute every transformation search and kernel simulation \
+     instead of reusing memoized results.  Output is bit-identical either way."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+(* Shared --verbose/--no-cache preamble.  Cache statistics land on the
+   gpp.core log source at info level, so they show up under -v. *)
+let setup_run verbose no_cache =
+  setup_logs verbose;
+  if no_cache then Gpp_cache.Control.set_enabled false
+
 let machine_conv =
   let parse = function
     | "argonne" -> Ok Gpp_arch.Machine.argonne_node
@@ -121,8 +134,8 @@ let list_cmd =
 
 (* project *)
 
-let project machine seed key iterations verbose =
-  setup_logs verbose;
+let project machine seed key iterations no_cache verbose =
+  setup_run verbose no_cache;
   match resolve_workload key with
   | Error e ->
       prerr_endline e;
@@ -140,18 +153,21 @@ let project machine seed key iterations verbose =
       | Ok projection ->
           Format.printf "%a@." Gpp_core.Projection.pp projection;
           Format.printf "%a@." Gpp_dataflow.Analyzer.pp_plan projection.Gpp_core.Projection.plan;
+          Gpp_core.Grophecy.log_cache_stats ();
           0)
 
 let project_cmd =
   let doc = "Project GPU kernel and transfer time for a workload (prediction only)." in
   Cmd.v
     (Cmd.info "project" ~doc)
-    Term.(const project $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ verbose_arg)
+    Term.(
+      const project $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ no_cache_arg
+      $ verbose_arg)
 
 (* analyze *)
 
-let analyze machine seed key iterations runs verbose =
-  setup_logs verbose;
+let analyze machine seed key iterations runs no_cache verbose =
+  setup_run verbose no_cache;
   match resolve_workload key with
   | Error e ->
       prerr_endline e;
@@ -164,6 +180,7 @@ let analyze machine seed key iterations runs verbose =
           1
       | Ok report ->
           Format.printf "%a@." Gpp_core.Grophecy.pp_report report;
+          Gpp_core.Grophecy.log_cache_stats ();
           0)
 
 let analyze_cmd =
@@ -174,7 +191,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(
       const analyze $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ runs_arg
-      $ verbose_arg)
+      $ no_cache_arg $ verbose_arg)
 
 (* export-skel *)
 
@@ -193,8 +210,8 @@ let export_skel_cmd =
 
 (* advise *)
 
-let advise machine seed key iterations verbose =
-  setup_logs verbose;
+let advise machine seed key iterations no_cache verbose =
+  setup_run verbose no_cache;
   match resolve_workload key with
   | Error e ->
       prerr_endline e;
@@ -219,7 +236,9 @@ let advise_cmd =
   in
   Cmd.v
     (Cmd.info "advise" ~doc)
-    Term.(const advise $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ verbose_arg)
+    Term.(
+      const advise $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ no_cache_arg
+      $ verbose_arg)
 
 (* predict-transfer *)
 
@@ -319,7 +338,8 @@ let trace_cmd =
 
 (* experiment *)
 
-let experiment ids list_only csv_dir =
+let experiment ids list_only csv_dir no_cache verbose =
+  setup_run verbose no_cache;
   if list_only then begin
     List.iter
       (fun (e : Gpp_experiments.Suite.entry) -> Printf.printf "%-26s %s\n" e.id e.title)
@@ -353,6 +373,7 @@ let experiment ids list_only csv_dir =
     | Some dir ->
         let written = Gpp_experiments.Export.write_all ctx ~dir in
         Printf.printf "wrote %d CSV files to %s\n" (List.length written) dir);
+    Gpp_core.Grophecy.log_cache_stats ();
     0
   end
 
@@ -366,7 +387,9 @@ let experiment_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also export every experiment's data as CSV into $(docv).")
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const experiment $ ids_arg $ list_arg $ csv_arg)
+  Cmd.v
+    (Cmd.info "experiment" ~doc)
+    Term.(const experiment $ ids_arg $ list_arg $ csv_arg $ no_cache_arg $ verbose_arg)
 
 let main_cmd =
   let doc = "GPU performance projection with data transfer modeling (GROPHECY++)" in

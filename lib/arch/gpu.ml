@@ -84,6 +84,27 @@ let peak_warps_per_sm t = t.max_threads_per_sm / t.warp_size
 
 let cycle_time t = 1e-9 /. t.clock_ghz
 
+let add_fingerprint fp t =
+  let module F = Gpp_cache.Fingerprint in
+  F.add_string fp t.name;
+  F.add_int fp t.sm_count;
+  F.add_int fp t.cores_per_sm;
+  F.add_float fp t.clock_ghz;
+  F.add_int fp t.warp_size;
+  F.add_int fp t.max_threads_per_sm;
+  F.add_int fp t.max_blocks_per_sm;
+  F.add_int fp t.max_threads_per_block;
+  F.add_int fp t.registers_per_sm;
+  F.add_int fp t.shared_mem_per_sm;
+  F.add_float fp t.dram_bandwidth;
+  F.add_int fp t.dram_latency_cycles;
+  F.add_int fp t.coalesce_segment;
+  F.add_float fp t.issue_cycles;
+  F.add_float fp t.launch_overhead;
+  F.add_float fp t.flops_per_core_cycle
+
+let fingerprint t = Gpp_cache.Fingerprint.of_value add_fingerprint t
+
 let validate t =
   let check cond msg = if cond then Ok () else Error (t.name ^ ": " ^ msg) in
   let ( let* ) = Result.bind in

@@ -46,6 +46,12 @@ val peak_warps_per_sm : t -> int
 val cycle_time : t -> float
 (** Seconds per shader-clock cycle. *)
 
+val add_fingerprint : Gpp_cache.Fingerprint.t -> t -> unit
+(** Feed every architectural parameter into a digest, so cache keys
+    distinguish any two differing device descriptions. *)
+
+val fingerprint : t -> string
+
 val validate : t -> (unit, string) result
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,10 @@
+let enabled = ref true
+
+let set_enabled b = enabled := b
+
+let is_enabled () = !enabled
+
+let without_cache f =
+  let saved = !enabled in
+  enabled := false;
+  Fun.protect ~finally:(fun () -> enabled := saved) f

@@ -1,0 +1,17 @@
+(** Process-wide cache switch.
+
+    Every {!Memo.t} consults this flag on lookup, so a single call turns
+    the whole projection cache off — the [--no-cache] flag of the
+    binaries and the uncached leg of the benchmark both go through
+    here.  Per-call opt-outs ([~cache:false] on the projection entry
+    points) compose with it: a lookup is served from the cache only
+    when both agree. *)
+
+val set_enabled : bool -> unit
+(** Globally enable or disable all memo tables (default: enabled). *)
+
+val is_enabled : unit -> bool
+
+val without_cache : (unit -> 'a) -> 'a
+(** Run [f] with caching globally disabled, restoring the previous
+    state afterwards (also on exceptions). *)

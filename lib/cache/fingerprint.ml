@@ -1,0 +1,50 @@
+type t = Buffer.t
+
+let create () = Buffer.create 256
+
+(* Every combinator writes a one-character tag so that adjacent values
+   of different types can never collide, and strings are length-prefixed
+   so that concatenation boundaries are unambiguous. *)
+
+let add_string t s =
+  Buffer.add_char t 's';
+  Buffer.add_string t (string_of_int (String.length s));
+  Buffer.add_char t ':';
+  Buffer.add_string t s
+
+let add_int t i =
+  Buffer.add_char t 'i';
+  Buffer.add_string t (string_of_int i);
+  Buffer.add_char t ';'
+
+let add_int64 t i =
+  Buffer.add_char t 'I';
+  Buffer.add_string t (Int64.to_string i);
+  Buffer.add_char t ';'
+
+(* Hash the IEEE-754 bit pattern, not a decimal rendering: two floats
+   digest equal iff they are the same value (NaNs with different
+   payloads intentionally differ). *)
+let add_float t f =
+  Buffer.add_char t 'f';
+  Buffer.add_string t (Printf.sprintf "%Lx" (Int64.bits_of_float f));
+  Buffer.add_char t ';'
+
+let add_bool t b = Buffer.add_char t (if b then 'T' else 'F')
+
+let add_int_list t xs =
+  Buffer.add_char t '[';
+  List.iter (add_int t) xs;
+  Buffer.add_char t ']'
+
+let add_list t f xs =
+  Buffer.add_char t '[';
+  List.iter (f t) xs;
+  Buffer.add_char t ']'
+
+let digest t = Digest.to_hex (Digest.string (Buffer.contents t))
+
+let of_value f v =
+  let t = create () in
+  f t v;
+  digest t

@@ -1,0 +1,41 @@
+(** Structural digest builder for cache keys.
+
+    A fingerprint accumulates a canonical, collision-resistant byte
+    encoding of a value (tagged, length-prefixed fields) and hashes it
+    down to a fixed-size hex digest.  Two values receive the same digest
+    exactly when the same sequence of combinator calls was applied with
+    equal arguments — i.e. when they are structurally equal — which is
+    what makes the digests stable across separately constructed but
+    identical programs, GPU descriptions, and configurations.
+
+    Data-owning modules expose [add_fingerprint : Fingerprint.t -> t ->
+    unit] helpers and the cache layers compose them into memo keys. *)
+
+type t
+
+val create : unit -> t
+
+val add_string : t -> string -> unit
+
+val add_int : t -> int -> unit
+
+val add_int64 : t -> int64 -> unit
+
+val add_float : t -> float -> unit
+(** Hashes the IEEE-754 bit pattern, so the digest distinguishes values
+    a decimal rendering would conflate (and [-0.] from [0.]). *)
+
+val add_bool : t -> bool -> unit
+
+val add_int_list : t -> int list -> unit
+
+val add_list : t -> (t -> 'a -> unit) -> 'a list -> unit
+(** Adds list delimiters around the elements, so nested lists and
+    adjacent lists cannot collide. *)
+
+val digest : t -> string
+(** Hex digest of everything added so far. *)
+
+val of_value : (t -> 'a -> unit) -> 'a -> string
+(** [of_value add v] is the digest of a fresh fingerprint with [add]
+    applied to [v] — convenience for single-value keys. *)

@@ -1,0 +1,133 @@
+type snapshot = {
+  name : string;
+  hits : int;
+  misses : int;
+  evictions : int;
+  bypasses : int;
+  entries : int;
+  capacity : int;
+  bytes : int;
+}
+
+(* Doubly-linked LRU list threaded through the table entries: [first] is
+   the most recently used node, [last] the eviction candidate. *)
+type 'v node = {
+  key : string;
+  value : 'v;
+  mutable prev : 'v node option;  (* towards most recently used *)
+  mutable next : 'v node option;  (* towards least recently used *)
+}
+
+type 'v t = {
+  name : string;
+  capacity : int;
+  table : (string, 'v node) Hashtbl.t;
+  mutable first : 'v node option;
+  mutable last : 'v node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable bypasses : int;
+}
+
+(* Registry of every memo table in the process, for uniform statistics
+   reporting and for resetting between benchmark phases.  Tables have
+   heterogeneous value types, so the registry stores closures. *)
+let registered : (string * (unit -> snapshot) * (unit -> unit)) list ref = ref []
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.first <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.last <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.first;
+  node.prev <- None;
+  (match t.first with Some f -> f.prev <- Some node | None -> t.last <- Some node);
+  t.first <- Some node
+
+let touch t node =
+  match t.first with
+  | Some f when f == node -> ()
+  | _ ->
+      unlink t node;
+      push_front t node
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.first <- None;
+  t.last <- None;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.bypasses <- 0
+
+let word_bytes = Sys.word_size / 8
+
+let snapshot t =
+  {
+    name = t.name;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    bypasses = t.bypasses;
+    entries = Hashtbl.length t.table;
+    capacity = t.capacity;
+    bytes = Obj.reachable_words (Obj.repr t.table) * word_bytes;
+  }
+
+let create ?(capacity = 1024) ~name () =
+  if capacity < 1 then invalid_arg "Memo.create: capacity must be positive";
+  let t =
+    {
+      name;
+      capacity;
+      table = Hashtbl.create 64;
+      first = None;
+      last = None;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      bypasses = 0;
+    }
+  in
+  registered := !registered @ [ (name, (fun () -> snapshot t), fun () -> clear t) ];
+  t
+
+let evict_lru t =
+  match t.last with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      t.evictions <- t.evictions + 1
+
+let find_or_add ?(cache = true) t ~key compute =
+  if not (cache && Control.is_enabled ()) then begin
+    t.bypasses <- t.bypasses + 1;
+    compute ()
+  end
+  else
+    match Hashtbl.find_opt t.table key with
+    | Some node ->
+        t.hits <- t.hits + 1;
+        touch t node;
+        node.value
+    | None ->
+        t.misses <- t.misses + 1;
+        let value = compute () in
+        if Hashtbl.length t.table >= t.capacity then evict_lru t;
+        let node = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.table key node;
+        push_front t node;
+        value
+
+let snapshots () = List.map (fun (_, snap, _) -> snap ()) !registered
+
+let clear_all () = List.iter (fun (_, _, clear) -> clear ()) !registered
+
+let pp_snapshot ppf (s : snapshot) =
+  Format.fprintf ppf "%s: %d hits / %d misses / %d evictions / %d bypasses, %d/%d entries, %a"
+    s.name s.hits s.misses s.evictions s.bypasses s.entries s.capacity Gpp_util.Units.pp_bytes
+    s.bytes

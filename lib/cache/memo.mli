@@ -1,0 +1,47 @@
+(** Content-addressed memo table with LRU eviction and instrumentation.
+
+    Keys are structural digests (see {!Fingerprint}); values are the
+    results of pure computations.  Each table tracks hits, misses,
+    evictions, and bypasses, and registers itself in a process-wide
+    registry so callers (CLI, benchmarks, the [gpp.core] log source) can
+    report every cache's statistics uniformly. *)
+
+type 'v t
+
+type snapshot = {
+  name : string;
+  hits : int;
+  misses : int;
+  evictions : int;
+  bypasses : int;  (** Lookups served uncached because caching was off. *)
+  entries : int;  (** Live entries at snapshot time. *)
+  capacity : int;
+  bytes : int;  (** Approximate heap footprint of the table (reachable
+                    words of keys, values, and bookkeeping). *)
+}
+
+val create : ?capacity:int -> name:string -> unit -> 'v t
+(** A new table holding at most [capacity] (default 1024) entries; the
+    least recently used entry is evicted on overflow.  The table is
+    added to the global registry under [name]. *)
+
+val find_or_add : ?cache:bool -> 'v t -> key:string -> (unit -> 'v) -> 'v
+(** [find_or_add t ~key compute] returns the cached value for [key] or
+    runs [compute], stores the result, and returns it.  With
+    [~cache:false], or when {!Control.is_enabled} is false, [compute]
+    runs unconditionally and the table is neither read nor written (the
+    lookup is counted as a bypass).  If [compute] raises, nothing is
+    stored. *)
+
+val clear : 'v t -> unit
+(** Drop all entries and reset the counters. *)
+
+val snapshot : 'v t -> snapshot
+
+val snapshots : unit -> snapshot list
+(** One snapshot per registered table, in registration order. *)
+
+val clear_all : unit -> unit
+(** {!clear} every registered table — used between benchmark phases. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

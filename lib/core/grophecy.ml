@@ -37,8 +37,13 @@ type report = {
   transfer_error : float;
 }
 
-let analyze ?analytic_params ?space ?policy ?sim_config ?cpu_params ?runs ?iterations session
-    program =
+let log_cache_stats () =
+  List.iter
+    (fun s -> Log.info (fun m -> m "cache %a" Gpp_cache.Memo.pp_snapshot s))
+    (Gpp_cache.Memo.snapshots ())
+
+let analyze ?cache ?analytic_params ?space ?policy ?sim_config ?cpu_params ?runs ?iterations
+    session program =
   let ( let* ) = Result.bind in
   let program =
     match iterations with
@@ -46,8 +51,8 @@ let analyze ?analytic_params ?space ?policy ?sim_config ?cpu_params ?runs ?itera
     | None -> program
   in
   let* projection =
-    Projection.project ?analytic_params ?space ?policy ~machine:session.machine ~h2d:session.h2d
-      ~d2h:session.d2h program
+    Projection.project ?cache ?analytic_params ?space ?policy ~machine:session.machine
+      ~h2d:session.h2d ~d2h:session.d2h program
   in
   Log.info (fun m ->
       m "%s: projected kernel %a + transfer %a" program.Gpp_skeleton.Program.name
@@ -62,8 +67,8 @@ let analyze ?analytic_params ?space ?policy ?sim_config ?cpu_params ?runs ?itera
             Gpp_util.Units.pp_time kp.Projection.time))
     projection.Projection.kernels;
   let* measurement =
-    Measurement.measure ?sim_config ?runs ~seed:session.noise_seed ~link:session.application_link
-      projection
+    Measurement.measure ?cache ?sim_config ?runs ~seed:session.noise_seed
+      ~link:session.application_link projection
   in
   Log.info (fun m ->
       m "%s: measured kernel %a + transfer %a" program.Gpp_skeleton.Program.name

@@ -44,6 +44,7 @@ type report = {
 }
 
 val analyze :
+  ?cache:bool ->
   ?analytic_params:Gpp_model.Analytic.params ->
   ?space:Gpp_transform.Explore.space ->
   ?policy:Gpp_dataflow.Analyzer.policy ->
@@ -55,7 +56,15 @@ val analyze :
   Gpp_skeleton.Program.t ->
   (report, string) result
 (** Project, measure, and evaluate one program.  [iterations], when
-    given, rescales the program's [Repeat] nodes first. *)
+    given, rescales the program's [Repeat] nodes first.
+
+    Transformation searches and kernel simulations are memoized (the
+    report is bit-identical either way); [~cache:false] bypasses both
+    memo tables for this call. *)
+
+val log_cache_stats : unit -> unit
+(** Emit one [info]-level line per projection-cache memo table (hits,
+    misses, evictions, entries, bytes) on the [gpp.core] log source. *)
 
 val iteration_sweep :
   ?cpu_params:Gpp_cpu.Timing.params ->

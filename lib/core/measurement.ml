@@ -15,7 +15,7 @@ type t = {
   total_time : float;
 }
 
-let measure ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79B9L) ~link
+let measure ?cache ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79B9L) ~link
     (projection : Projection.t) =
   let ( let* ) = Result.bind in
   let gpu = projection.Projection.machine.Gpp_arch.Machine.gpu in
@@ -26,7 +26,7 @@ let measure ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79B9L) ~link
         let* acc = acc in
         let kernel_seed = Gpp_util.Rng.next_int64 rng in
         let* time =
-          Gpu_sim.run_mean ?config:sim_config ~runs ~seed:kernel_seed ~gpu
+          Gpu_sim.run_mean ?cache ?config:sim_config ~runs ~seed:kernel_seed ~gpu
             kp.Projection.candidate.Gpp_transform.Explore.characteristics
         in
         Ok ({ kernel_name = kp.Projection.kernel_name; time } :: acc))

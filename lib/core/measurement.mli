@@ -26,6 +26,7 @@ type t = {
 }
 
 val measure :
+  ?cache:bool ->
   ?sim_config:Gpp_gpusim.Gpu_sim.config ->
   ?runs:int ->
   ?seed:int64 ->
@@ -35,7 +36,12 @@ val measure :
 (** Execute the projection's chosen kernels and planned transfers on the
     simulated hardware.  The link is used as-is (construct it with
     outliers enabled to reproduce the noisy application-transfer
-    behaviour of §V-A). *)
+    behaviour of §V-A).
+
+    Kernel simulations are seeded deterministically and memoized (see
+    {!Gpp_gpusim.Gpu_sim.run_mean}); transfer times come from the
+    stateful link and are never cached.  [~cache:false] forces
+    re-simulation. *)
 
 val kernel_time_of : t -> string -> float option
 

@@ -23,7 +23,7 @@ type t = {
   total_time : float;
 }
 
-let project ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program : Program.t) =
+let project ?cache ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program : Program.t) =
   let ( let* ) = Result.bind in
   let* () = Program.validate program in
   let* kernels =
@@ -31,7 +31,7 @@ let project ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program : Progra
       (fun acc (k : Gpp_skeleton.Ir.kernel) ->
         let* acc = acc in
         let* candidate =
-          Explore.best ?params:analytic_params ?space ~gpu:machine.Gpp_arch.Machine.gpu
+          Explore.best ?cache ?params:analytic_params ?space ~gpu:machine.Gpp_arch.Machine.gpu
             ~decls:program.arrays k
         in
         Ok

@@ -34,6 +34,7 @@ type t = {
 }
 
 val project :
+  ?cache:bool ->
   ?analytic_params:Gpp_model.Analytic.params ->
   ?space:Gpp_transform.Explore.space ->
   ?policy:Gpp_dataflow.Analyzer.policy ->
@@ -43,7 +44,11 @@ val project :
   Gpp_skeleton.Program.t ->
   (t, string) result
 (** [Error] when the program fails validation or some kernel admits no
-    feasible GPU transformation. *)
+    feasible GPU transformation.
+
+    The per-kernel transformation searches are memoized (see
+    {!Gpp_transform.Explore.search}); [~cache:false] forces them to be
+    re-evaluated. *)
 
 val kernel_time_of : t -> string -> float option
 (** Predicted single-invocation time of a named kernel. *)

@@ -69,6 +69,7 @@ val run :
     and DRAM activity for inspection or Chrome-trace export. *)
 
 val run_mean :
+  ?cache:bool ->
   ?config:config ->
   ?runs:int ->
   seed:int64 ->
@@ -76,4 +77,10 @@ val run_mean :
   Gpp_model.Characteristics.t ->
   (float, string) Result.t
 (** Arithmetic-mean time of [runs] (default 10) independent simulated
-    launches — the paper's measurement protocol. *)
+    launches — the paper's measurement protocol.
+
+    Because all randomness derives from [seed], the result is a pure
+    function of its arguments and is memoized under a structural digest
+    of (config, runs, seed, GPU, characteristics); cached and uncached
+    calls return bit-identical times.  Pass [~cache:false] (or disable
+    {!Gpp_cache.Control}) to re-simulate. *)

@@ -2,6 +2,11 @@ type params = { achieved_bw_fraction : float; sync_cost_cycles : float }
 
 let default_params = { achieved_bw_fraction = 0.62; sync_cost_cycles = 40.0 }
 
+let add_params_fingerprint fp p =
+  let module F = Gpp_cache.Fingerprint in
+  F.add_float fp p.achieved_bw_fraction;
+  F.add_float fp p.sync_cost_cycles
+
 type bound = Memory_bound | Compute_bound | Latency_bound
 
 type projection = {

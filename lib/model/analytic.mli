@@ -23,6 +23,9 @@ type params = {
 
 val default_params : params
 
+val add_params_fingerprint : Gpp_cache.Fingerprint.t -> params -> unit
+(** Feed the tunables into a digest, for projection cache keys. *)
+
 type bound = Memory_bound | Compute_bound | Latency_bound
 
 type projection = {

@@ -57,6 +57,26 @@ let transaction_bytes ~gpu t =
   let segment = float_of_int (gpu : Gpp_arch.Gpu.t).coalesce_segment in
   (segment *. (1.0 -. t.scattered_fraction)) +. (segment /. 2.0 *. t.scattered_fraction)
 
+let add_fingerprint fp t =
+  let module F = Gpp_cache.Fingerprint in
+  F.add_string fp t.kernel_name;
+  F.add_string fp t.config_label;
+  F.add_int fp t.grid_blocks;
+  F.add_int fp t.threads_per_block;
+  F.add_int fp t.registers_per_thread;
+  F.add_int fp t.shared_mem_per_block;
+  F.add_float fp t.flops_per_thread;
+  F.add_float fp t.int_ops_per_thread;
+  F.add_float fp t.load_insts_per_thread;
+  F.add_float fp t.store_insts_per_thread;
+  F.add_float fp t.load_transactions_per_warp;
+  F.add_float fp t.store_transactions_per_warp;
+  F.add_float fp t.syncs_per_thread;
+  F.add_float fp t.divergence_factor;
+  F.add_float fp t.scattered_fraction
+
+let fingerprint t = Gpp_cache.Fingerprint.of_value add_fingerprint t
+
 let validate ~gpu t =
   let gpu : Gpp_arch.Gpu.t = gpu in
   let check cond msg =

@@ -71,6 +71,12 @@ val transaction_bytes : gpu:Gpp_arch.Gpu.t -> t -> float
     transactions (the G80's 32 B minimum), weighted by
     [scattered_fraction]. *)
 
+val add_fingerprint : Gpp_cache.Fingerprint.t -> t -> unit
+(** Feed every field into a digest — the per-kernel half of the
+    simulation cache key. *)
+
+val fingerprint : t -> string
+
 val validate : gpu:Gpp_arch.Gpu.t -> t -> (unit, string) result
 (** Positive launch dimensions, block within device limits, counts
     non-negative, factors within their domains. *)

@@ -3,14 +3,23 @@ type protocol = { small_bytes : int; large_bytes : int; runs : int }
 let default_protocol = { small_bytes = 1; large_bytes = 512 * Gpp_util.Units.mib; runs = 10 }
 
 let calibrate ?(protocol = default_protocol) link direction memory =
+  if protocol.large_bytes <= protocol.small_bytes then
+    invalid_arg "Calibrate.calibrate: protocol needs small_bytes < large_bytes";
   let t_small =
     Link.mean_transfer_time link ~runs:protocol.runs direction memory ~bytes:protocol.small_bytes
   in
   let t_large =
     Link.mean_transfer_time link ~runs:protocol.runs direction memory ~bytes:protocol.large_bytes
   in
-  Model.create ~alpha:t_small ~beta:(t_large /. float_of_int protocol.large_bytes) ~direction
-    ~memory
+  (* Two-point form of T(d) = alpha + beta * d: the slope comes from the
+     difference of the two measurements, so the latency term alpha is
+     not folded into it, and the line interpolates both calibration
+     points (up to the alpha >= 0 clamp against measurement noise). *)
+  let beta =
+    (t_large -. t_small) /. float_of_int (protocol.large_bytes - protocol.small_bytes)
+  in
+  let alpha = Float.max 0.0 (t_small -. (beta *. float_of_int protocol.small_bytes)) in
+  Model.create ~alpha ~beta ~direction ~memory
 
 let calibrate_pinned_pair ?protocol link =
   ( calibrate ?protocol link Link.Host_to_device Link.Pinned,

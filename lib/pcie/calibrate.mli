@@ -1,10 +1,13 @@
 (** Calibration of the transfer-time model against a link.
 
     The paper's synthetic benchmark (§III-C): measure the time of a
-    single-byte transfer ([t_S], setting [alpha = t_S]) and of one large
-    transfer of size [s_L = 512 MiB] ([t_L], setting
-    [beta = t_L / s_L]), each averaged over 10 runs.  GROPHECY++ runs
-    this automatically on each new system.
+    single-byte transfer ([t_S] at size [s_S = 1]) and of one large
+    transfer ([t_L] at size [s_L = 512 MiB]), each averaged over 10
+    runs, then fit the line through both points:
+    [beta = (t_L - t_S) / (s_L - s_S)] and
+    [alpha = t_S - beta * s_S], so [T(d) = alpha + beta * d]
+    interpolates both calibration measurements.  GROPHECY++ runs this
+    automatically on each new system.
 
     Also provides the full-sweep least-squares alternative used by the
     calibration ablation, and measurement helpers for the validation
@@ -21,7 +24,9 @@ val default_protocol : protocol
 
 val calibrate :
   ?protocol:protocol -> Link.t -> Link.direction -> Link.memory -> Model.t
-(** Two-point calibration of one (direction, memory) combination. *)
+(** Two-point calibration of one (direction, memory) combination.
+    @raise Invalid_argument unless
+    [protocol.small_bytes < protocol.large_bytes]. *)
 
 val calibrate_pinned_pair : ?protocol:protocol -> Link.t -> Model.t * Model.t
 (** [(host_to_device, device_to_host)] pinned models — the combination

@@ -1,7 +1,7 @@
 type 'a entry = { time : float; seq : int; payload : 'a }
 
 type 'a t = {
-  mutable heap : 'a entry array;  (* heap.(0) is a dummy slot when size = 0 *)
+  mutable heap : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
 }
@@ -14,21 +14,23 @@ let length t = t.size
 
 let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
-let grow t =
+(* Growing seeds the fresh array with the entry about to be inserted:
+   a real value of the payload type, so no [Obj.magic] dummy is ever
+   manufactured (which would crash if ['a] were float — the flat float
+   array optimization makes [Array.make] specialize on the seed). *)
+let ensure_capacity t entry =
   let cap = Array.length t.heap in
   if t.size >= cap then begin
     let new_cap = max 16 (cap * 2) in
-    let bigger =
-      Array.make new_cap (if cap = 0 then { time = 0.0; seq = 0; payload = Obj.magic 0 } else t.heap.(0))
-    in
+    let bigger = Array.make new_cap entry in
     Array.blit t.heap 0 bigger 0 t.size;
     t.heap <- bigger
   end
 
 let push t ~time payload =
   if not (Float.is_finite time) then invalid_arg "Event_queue.push: non-finite time";
-  grow t;
   let entry = { time; seq = t.next_seq; payload } in
+  ensure_capacity t entry;
   t.next_seq <- t.next_seq + 1;
   (* Sift up. *)
   let i = ref t.size in

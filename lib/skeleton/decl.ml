@@ -10,6 +10,23 @@ let elements t = List.fold_left ( * ) 1 t.dims
 
 let footprint_bytes t = elements t * t.elem_bytes
 
+let add_fingerprint fp t =
+  let module F = Gpp_cache.Fingerprint in
+  F.add_string fp t.name;
+  F.add_int fp t.elem_bytes;
+  F.add_int_list fp t.dims;
+  match t.kind with
+  | Dense -> F.add_string fp "dense"
+  | Sparse { nnz } -> (
+      F.add_string fp "sparse";
+      match nnz with
+      | None -> F.add_bool fp false
+      | Some n ->
+          F.add_bool fp true;
+          F.add_int fp n)
+
+let fingerprint t = Gpp_cache.Fingerprint.of_value add_fingerprint t
+
 let validate t =
   if t.elem_bytes <= 0 then Error (Printf.sprintf "array %s: non-positive element size" t.name)
   else if t.dims = [] then Error (Printf.sprintf "array %s: no dimensions" t.name)

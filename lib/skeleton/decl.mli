@@ -32,6 +32,11 @@ val elements : t -> int
 val footprint_bytes : t -> int
 (** [elements t * t.elem_bytes]: bytes occupied by the whole array. *)
 
+val add_fingerprint : Gpp_cache.Fingerprint.t -> t -> unit
+(** Feed name, element size, dimensions, and sparsity into a digest. *)
+
+val fingerprint : t -> string
+
 val validate : t -> (unit, string) result
 (** Check extents and element size are positive, and [nnz] (when given)
     does not exceed the declared capacity. *)

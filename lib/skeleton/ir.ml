@@ -58,6 +58,47 @@ let fold_refs k ~init ~f =
 let refs k =
   List.rev (fold_refs k ~init:[] ~f:(fun acc ~weight r -> (weight, r) :: acc))
 
+module F = Gpp_cache.Fingerprint
+
+let add_ref_fingerprint fp r =
+  F.add_string fp (match r.access with Load -> "load" | Store -> "store");
+  F.add_string fp r.array;
+  let add_exprs fp = F.add_list fp (fun fp e -> F.add_string fp (Index_expr.to_string e)) in
+  match r.pattern with
+  | Affine indices ->
+      F.add_string fp "affine";
+      add_exprs fp indices
+  | Indirect { index_array; offset } ->
+      F.add_string fp "indirect";
+      F.add_string fp index_array;
+      add_exprs fp offset
+
+let rec add_stmt_fingerprint fp = function
+  | Ref r -> add_ref_fingerprint fp r
+  | Compute { flops; int_ops; heavy_ops } ->
+      F.add_string fp "compute";
+      F.add_float fp flops;
+      F.add_float fp int_ops;
+      F.add_float fp heavy_ops
+  | Branch { probability; divergent; body } ->
+      F.add_string fp "branch";
+      F.add_float fp probability;
+      F.add_bool fp divergent;
+      F.add_list fp add_stmt_fingerprint body
+
+let add_fingerprint fp k =
+  F.add_string fp "kernel";
+  F.add_string fp k.name;
+  F.add_list fp
+    (fun fp l ->
+      F.add_string fp l.var;
+      F.add_int fp l.extent;
+      F.add_bool fp l.parallel)
+    k.loops;
+  F.add_list fp add_stmt_fingerprint k.body
+
+let fingerprint k = F.of_value add_fingerprint k
+
 let validate ~decls k =
   let ( let* ) = Result.bind in
   let err fmt = Format.kasprintf (fun s -> Error (Printf.sprintf "kernel %s: %s" k.name s)) fmt in

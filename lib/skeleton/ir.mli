@@ -99,6 +99,14 @@ val fold_refs :
 val refs : kernel -> (float * array_ref) list
 (** All references with their execution weights, in syntactic order. *)
 
+val add_fingerprint : Gpp_cache.Fingerprint.t -> kernel -> unit
+(** Feed the kernel's full structure (name, loop nest, statements,
+    subscript expressions) into a digest.  Structurally equal kernels —
+    however they were constructed — contribute identical bytes. *)
+
+val fingerprint : kernel -> string
+(** Stable structural digest of one kernel. *)
+
 val validate : decls:Decl.t list -> kernel -> (unit, string) result
 (** Structural well-formedness: non-empty loop nest, positive extents,
     unique loop variables, every referenced array declared with matching

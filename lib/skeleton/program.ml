@@ -44,6 +44,27 @@ let with_iterations t n =
   in
   { t with schedule = List.map rewrite t.schedule }
 
+module F = Gpp_cache.Fingerprint
+
+let rec add_invocation_fingerprint fp = function
+  | Call name ->
+      F.add_string fp "call";
+      F.add_string fp name
+  | Repeat (n, body) ->
+      F.add_string fp "repeat";
+      F.add_int fp n;
+      F.add_list fp add_invocation_fingerprint body
+
+let add_fingerprint fp t =
+  F.add_string fp "program";
+  F.add_string fp t.name;
+  F.add_list fp Decl.add_fingerprint t.arrays;
+  F.add_list fp Ir.add_fingerprint t.kernels;
+  F.add_list fp add_invocation_fingerprint t.schedule;
+  F.add_list fp F.add_string t.temporaries
+
+let fingerprint t = F.of_value add_fingerprint t
+
 let validate t =
   let ( let* ) = Result.bind in
   let err fmt = Format.kasprintf (fun s -> Error (Printf.sprintf "program %s: %s" t.name s)) fmt in

@@ -48,6 +48,13 @@ val with_iterations : t -> int -> t
     dimension.  Programs without a [Repeat] node are returned
     unchanged.  @raise Invalid_argument if [n < 1]. *)
 
+val add_fingerprint : Gpp_cache.Fingerprint.t -> t -> unit
+(** Feed arrays, kernels, schedule, and temporaries into a digest. *)
+
+val fingerprint : t -> string
+(** Stable structural digest of the whole program; equal for separately
+    constructed but structurally identical programs. *)
+
 val validate : t -> (unit, string) result
 (** All kernels valid w.r.t. the declared arrays, kernel names unique,
     schedule references defined kernels, repeat counts positive,

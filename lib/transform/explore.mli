@@ -24,6 +24,7 @@ type candidate = {
 }
 
 val search :
+  ?cache:bool ->
   ?params:Gpp_model.Analytic.params ->
   ?space:space ->
   gpu:Gpp_arch.Gpu.t ->
@@ -32,9 +33,15 @@ val search :
   candidate list
 (** All feasible configurations, fastest first.  Infeasible points
     (block too large, no tiling opportunity, ...) are silently
-    discarded, as GROPHECY prunes illegal transformations. *)
+    discarded, as GROPHECY prunes illegal transformations.
+
+    Results are memoized in a process-wide table keyed by a structural
+    digest of (GPU, declarations, kernel, space, analytic params); pass
+    [~cache:false] (or disable {!Gpp_cache.Control}) to force
+    re-evaluation. *)
 
 val best :
+  ?cache:bool ->
   ?params:Gpp_model.Analytic.params ->
   ?space:space ->
   gpu:Gpp_arch.Gpu.t ->

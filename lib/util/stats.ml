@@ -17,11 +17,18 @@ let geomean xs =
   in
   exp (log_sum /. float_of_int (List.length xs))
 
+(* Sample variance (Bessel's correction): measurement summaries are
+   drawn from a handful of noisy runs, so dividing by n would
+   systematically understate the spread.  A single observation carries
+   no spread information; define its variance as 0 rather than 0/0. *)
 let variance xs =
   require_nonempty "Stats.variance" xs;
-  let m = mean xs in
-  let sq_sum = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
-  sq_sum /. float_of_int (List.length xs)
+  match xs with
+  | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let sq_sum = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+      sq_sum /. float_of_int (List.length xs - 1)
 
 let stddev xs = sqrt (variance xs)
 

@@ -14,7 +14,9 @@ val geomean : float list -> float
     @raise Invalid_argument on an empty list or non-positive element. *)
 
 val variance : float list -> float
-(** Population variance.  @raise Invalid_argument on an empty list. *)
+(** Sample variance with Bessel's correction ([n - 1] divisor), as
+    appropriate for summaries of a few noisy measurement runs.
+    [variance [x]] is 0.  @raise Invalid_argument on an empty list. *)
 
 val stddev : float list -> float
 (** Population standard deviation. *)

@@ -69,8 +69,11 @@ let test_rng_lognormal_median () =
 
 let test_mean_and_variance () =
   Helpers.close "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
-  Helpers.close "variance" (2.0 /. 3.0) (Stats.variance [ 1.0; 2.0; 3.0 ]);
-  Helpers.close "stddev" (sqrt (2.0 /. 3.0)) (Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  (* Sample variance (Bessel's correction): sum of squares 2 over n-1 = 2. *)
+  Helpers.close "variance" 1.0 (Stats.variance [ 1.0; 2.0; 3.0 ]);
+  Helpers.close "stddev" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ]);
+  Helpers.close "singleton variance" 0.0 (Stats.variance [ 42.0 ]);
+  Helpers.close "singleton stddev" 0.0 (Stats.stddev [ 42.0 ]);
   Helpers.check_raises_invalid "empty mean" (fun () -> Stats.mean [])
 
 let test_geomean () =
