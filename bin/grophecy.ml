@@ -88,12 +88,25 @@ let resolve_workload key =
                   if iterations = 1 then program
                   else Gpp_skeleton.Program.with_iterations program iterations);
             }
-      | Error e -> Error (Printf.sprintf "%s: %s" key e))
+      | Error e -> Error e (* parse/validation errors already carry the path *))
   | None ->
       let known = List.map Gpp_workloads.Registry.key Gpp_workloads.Registry.all in
       Error
         (Printf.sprintf "unknown workload %S; known: %s (or a path to a .skel file)" key
            (String.concat ", " known))
+
+(* Static analysis: run the lint driver and surface findings before a
+   projection, so an ill-formed-but-valid skeleton never projects
+   silently.  Warnings and errors go to stderr; infos stay quiet here
+   (run `grophecy lint` for the full report). *)
+let warn_diagnostics ~machine program =
+  let report = Gpp_analysis.Driver.run ~gpu:machine.Gpp_arch.Machine.gpu program in
+  List.iter
+    (fun (d : Gpp_analysis.Diagnostic.t) ->
+      if d.severity <> Gpp_analysis.Diagnostic.Info then
+        Format.eprintf "%s: %a@." report.Gpp_analysis.Driver.program_name
+          Gpp_analysis.Diagnostic.pp d)
+    report.Gpp_analysis.Driver.diagnostics
 
 (* calibrate *)
 
@@ -143,6 +156,7 @@ let project machine seed key iterations no_cache verbose =
   | Ok inst -> (
       let session = session_of machine seed in
       let program = Gpp_skeleton.Program.with_iterations (inst.program 1) iterations in
+      warn_diagnostics ~machine program;
       match
         Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
           ~d2h:session.Gpp_core.Grophecy.d2h program
@@ -218,6 +232,7 @@ let advise machine seed key iterations no_cache verbose =
       2
   | Ok inst -> (
       let session = session_of machine seed in
+      warn_diagnostics ~machine (inst.program 1);
       match
         Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
           ~d2h:session.Gpp_core.Grophecy.d2h (inst.program 1)
@@ -238,6 +253,84 @@ let advise_cmd =
     (Cmd.info "advise" ~doc)
     Term.(
       const advise $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ no_cache_arg
+      $ verbose_arg)
+
+(* lint *)
+
+let lint machine keys all strict json codes verbose =
+  setup_logs verbose;
+  if codes then begin
+    Printf.printf "%-8s %-8s %s\n" "CODE" "SEVERITY" "SUMMARY";
+    List.iter
+      (fun (c : Gpp_analysis.Pass.code_doc) ->
+        Printf.printf "%-8s %-8s %s\n" c.code
+          (Gpp_analysis.Diagnostic.severity_name c.severity)
+          c.summary)
+      (Gpp_analysis.Driver.code_index ());
+    0
+  end
+  else begin
+    let targets =
+      (if all then List.map (fun i -> Ok i) Gpp_workloads.Registry.all else [])
+      @ List.map resolve_workload keys
+    in
+    if targets = [] then begin
+      prerr_endline "lint: nothing to check (give WORKLOAD arguments or --all)";
+      2
+    end
+    else begin
+      let failures = List.filter_map (function Error e -> Some e | Ok _ -> None) targets in
+      List.iter prerr_endline failures;
+      if failures <> [] then 2
+      else begin
+        let reports =
+          List.map
+            (function
+              | Error _ -> assert false
+              | Ok (inst : Gpp_workloads.Registry.instance) ->
+                  Gpp_analysis.Driver.run ~gpu:machine.Gpp_arch.Machine.gpu (inst.program 1))
+            targets
+        in
+        if json then
+          print_endline
+            (match reports with
+            | [ report ] -> Gpp_analysis.Render.to_json report
+            | reports -> Gpp_analysis.Render.json_of_reports reports)
+        else
+          List.iter (fun report -> Format.printf "%a@." Gpp_analysis.Render.pp_text report) reports;
+        List.fold_left
+          (fun acc report -> max acc (Gpp_analysis.Driver.exit_code ~strict report))
+          0 reports
+      end
+    end
+  end
+
+let lint_cmd =
+  let doc =
+    "Run the static-analysis passes (bounds, races, transfer audit, performance lints, program \
+     checks) over workloads or .skel files and report diagnostics."
+  in
+  let keys_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workload instances ($(b,app/size)) or paths to $(b,.skel) files.")
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Lint every bundled workload skeleton.")
+  in
+  let strict_arg =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero on warnings, not just errors.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let codes_arg =
+    Arg.(value & flag & info [ "codes" ] ~doc:"List every diagnostic code and exit.")
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const lint $ machine_arg $ keys_arg $ all_arg $ strict_arg $ json_arg $ codes_arg
       $ verbose_arg)
 
 (* predict-transfer *)
@@ -398,6 +491,7 @@ let main_cmd =
     [
       calibrate_cmd;
       list_cmd;
+      lint_cmd;
       project_cmd;
       analyze_cmd;
       advise_cmd;

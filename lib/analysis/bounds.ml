@@ -1,0 +1,110 @@
+(* Bounds checking (GPP1xx).
+
+   For every affine reference the per-dimension subscript range over the
+   enclosing loop bounds is compared against the declared extents — the
+   same interval arithmetic BRS extraction uses, but *before* the
+   extraction's clip to the declared array (Extract clips because a halo
+   read past the grid edge cannot enlarge a transfer; the linter's job
+   is to report that the skeleton said it would happen).
+
+   Severity grading follows the established skeleton idiom: stencil
+   workloads legitimately describe halo *loads* one element past the
+   edge (the reference implementations clamp), so an out-of-range load
+   is an advisory note; an out-of-range *store* would corrupt memory in
+   the real kernel and is an error, as is any reference whose section
+   lies entirely outside the array. *)
+
+module Ir = Gpp_skeleton.Ir
+module Ix = Gpp_skeleton.Index_expr
+module Decl = Gpp_skeleton.Decl
+module D = Diagnostic
+
+type dim_status = In_bounds | Partial | Disjoint
+
+let dim_status ~extent (lo, hi) =
+  if hi < 0 || lo > extent - 1 then Disjoint
+  else if lo < 0 || hi > extent - 1 then Partial
+  else In_bounds
+
+let ref_to_string (r : Ir.array_ref) = Format.asprintf "%a" Ir.pp_ref r
+
+let check_ref ~kernel_name ~(kernel : Ir.kernel) ~(decl : Decl.t) (r : Ir.array_ref) =
+  match r.pattern with
+  | Ir.Indirect _ -> []
+  | Ir.Affine indices ->
+      let bounds v = Ir.loop_bounds kernel v in
+      let ranges = List.map (Ix.range bounds) indices in
+      let statuses = List.map2 (fun range extent -> dim_status ~extent range) ranges decl.dims in
+      let worst =
+        List.fold_left
+          (fun acc s -> match (acc, s) with Disjoint, _ | _, Disjoint -> Disjoint
+            | Partial, _ | _, Partial -> Partial | In_bounds, In_bounds -> In_bounds)
+          In_bounds statuses
+      in
+      let payload =
+        List.concat
+          (List.mapi
+             (fun i ((lo, hi), extent) ->
+               [
+                 (Printf.sprintf "dim%d_range" i, D.String (Printf.sprintf "%d..%d" lo hi));
+                 (Printf.sprintf "dim%d_extent" i, D.Int extent);
+               ])
+             (List.combine ranges decl.dims))
+      in
+      let detail = ref_to_string r in
+      let diag ~code ~severity fmt =
+        Format.kasprintf
+          (fun message ->
+            [ D.v ~code ~severity ~kernel:kernel_name ~array:r.array ~detail ~payload message ])
+          fmt
+      in
+      let extents = String.concat " x " (List.map string_of_int decl.dims) in
+      let spans =
+        String.concat ", " (List.map (fun (lo, hi) -> Printf.sprintf "%d..%d" lo hi) ranges)
+      in
+      (match (worst, r.access) with
+      | In_bounds, _ -> []
+      | Disjoint, _ ->
+          diag ~code:"GPP103" ~severity:D.Error
+            "reference lies entirely outside %s (subscripts span [%s], extents %s): no declared \
+             element is ever touched"
+            r.array spans extents
+      | Partial, Ir.Store ->
+          diag ~code:"GPP101" ~severity:D.Error
+            "store past the declared extent of %s (subscripts span [%s], extents %s): the real \
+             kernel would corrupt adjacent memory"
+            r.array spans extents
+      | Partial, Ir.Load ->
+          diag ~code:"GPP102" ~severity:D.Info
+            "halo load outside %s (subscripts span [%s], extents %s); transfer analysis clips to \
+             the declared extent"
+            r.array spans extents)
+
+let run (ctx : Pass.context) =
+  let program = ctx.program in
+  List.concat_map
+    (fun (k : Ir.kernel) ->
+      match Pass.summary_of ctx k.name with
+      | None -> []
+      | Some _ ->
+          List.concat_map
+            (fun (_weight, r) ->
+              match Pass.decl_of ctx r.Ir.array with
+              | None -> []
+              | Some decl -> check_ref ~kernel_name:k.name ~kernel:k ~decl r)
+            (Ir.refs k))
+    program.kernels
+
+let pass : Pass.t =
+  {
+    Pass.name = "bounds";
+    description = "affine subscript ranges vs declared array extents";
+    codes =
+      [
+        { Pass.code = "GPP101"; severity = D.Error; summary = "store past the declared extent" };
+        { Pass.code = "GPP102"; severity = D.Info; summary = "halo load outside the declared extent" };
+        { Pass.code = "GPP103"; severity = D.Error; summary = "reference entirely out of bounds" };
+      ];
+    needs_valid = true;
+    run;
+  }

@@ -1,0 +1,8 @@
+(** Bounds checking: affine subscript ranges vs declared extents.
+
+    Emits [GPP101] (error: store past the declared extent), [GPP102]
+    (info: halo load outside the extent — the stencil idiom the
+    transfer analysis clips), and [GPP103] (error: reference entirely
+    out of bounds). *)
+
+val pass : Pass.t

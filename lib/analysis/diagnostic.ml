@@ -1,0 +1,50 @@
+type severity = Error | Warning | Info
+
+type location = { kernel : string option; array : string option; detail : string option }
+
+type payload_value = String of string | Int of int | Float of float | Bool of bool
+
+type t = {
+  code : string;
+  severity : severity;
+  location : location;
+  message : string;
+  payload : (string * payload_value) list;
+}
+
+let v ~code ~severity ?kernel ?array ?detail ?(payload = []) message =
+  { code; severity; location = { kernel; array; detail }; message; payload }
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let location_compare a b =
+  let field f = compare (f a) (f b) in
+  let c = field (fun l -> l.kernel) in
+  if c <> 0 then c
+  else
+    let c = field (fun l -> l.array) in
+    if c <> 0 then c else field (fun l -> l.detail)
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.code b.code in
+    if c <> 0 then c
+    else
+      let c = location_compare a.location b.location in
+      if c <> 0 then c else String.compare a.message b.message
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  let where =
+    List.filter_map
+      (fun (label, v) -> Option.map (fun v -> Printf.sprintf "%s %s" label v) v)
+      [ ("kernel", t.location.kernel); ("array", t.location.array); ("at", t.location.detail) ]
+  in
+  Format.fprintf ppf "%s %s" (severity_name t.severity) t.code;
+  if where <> [] then Format.fprintf ppf " (%s)" (String.concat ", " where);
+  Format.fprintf ppf ": %s" t.message

@@ -1,0 +1,57 @@
+(** Structured diagnostics produced by the static-analysis passes.
+
+    Every finding carries a stable code ([GPP] + three digits, grouped
+    by pass family), a severity, a source location inside the skeleton
+    (kernel / array / statement detail, each optional), a human-readable
+    message, and a machine-readable payload rendered verbatim into the
+    JSON output.  Codes are part of the tool's contract: tests and CI
+    match on them, so existing codes must never be renumbered. *)
+
+type severity =
+  | Error  (** Definite defect: the projection over this skeleton is untrustworthy. *)
+  | Warning  (** Likely defect or wasted work; [lint --strict] fails on these. *)
+  | Info  (** Advisory note (expected conservatism, performance hints). *)
+
+type location = {
+  kernel : string option;  (** Kernel the finding is anchored in, when any. *)
+  array : string option;  (** Array the finding concerns, when any. *)
+  detail : string option;
+      (** Statement-level context, e.g. the offending reference printed
+          in skeleton syntax. *)
+}
+
+type payload_value = String of string | Int of int | Float of float | Bool of bool
+
+type t = {
+  code : string;  (** Stable identifier, e.g. ["GPP101"]. *)
+  severity : severity;
+  location : location;
+  message : string;
+  payload : (string * payload_value) list;
+}
+
+val v :
+  code:string ->
+  severity:severity ->
+  ?kernel:string ->
+  ?array:string ->
+  ?detail:string ->
+  ?payload:(string * payload_value) list ->
+  string ->
+  t
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val severity_rank : severity -> int
+(** 0 for [Error], 1 for [Warning], 2 for [Info] — ascending urgency
+    order used for sorting. *)
+
+val compare : t -> t -> int
+(** Severity first (errors before infos), then code, then location —
+    the presentation order of a report. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** One line: [error GPP101 (kernel k, array a): message]. *)

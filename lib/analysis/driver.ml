@@ -1,0 +1,59 @@
+type report = {
+  program_name : string;
+  valid : bool;
+  passes_run : string list;
+  diagnostics : Diagnostic.t list;
+}
+
+let default_passes =
+  [ Program_checks.pass; Bounds.pass; Races.pass; Transfer_audit.pass; Perf_lints.pass ]
+
+let invalid_program_doc =
+  {
+    Pass.code = "GPP001";
+    severity = Diagnostic.Error;
+    summary = "program failed structural validation";
+  }
+
+let code_index () =
+  invalid_program_doc :: List.concat_map (fun (p : Pass.t) -> p.Pass.codes) default_passes
+  |> List.sort (fun (a : Pass.code_doc) b -> String.compare a.code b.code)
+
+let dedupe diagnostics =
+  List.fold_left
+    (fun acc d -> if List.exists (Diagnostic.equal d) acc then acc else d :: acc)
+    [] diagnostics
+  |> List.rev
+
+let run ?gpu ?(passes = default_passes) (program : Gpp_skeleton.Program.t) =
+  let ctx = Pass.make_context ?gpu program in
+  let validation = Gpp_skeleton.Program.validate program in
+  let valid = Result.is_ok validation in
+  let validation_diags =
+    match validation with
+    | Ok () -> []
+    | Error message -> [ Diagnostic.v ~code:"GPP001" ~severity:Diagnostic.Error message ]
+  in
+  let runnable = List.filter (fun (p : Pass.t) -> valid || not p.Pass.needs_valid) passes in
+  let diagnostics =
+    validation_diags @ List.concat_map (fun (p : Pass.t) -> p.Pass.run ctx) runnable
+  in
+  {
+    program_name = program.name;
+    valid;
+    passes_run = List.map (fun (p : Pass.t) -> p.Pass.name) runnable;
+    diagnostics = List.sort Diagnostic.compare (dedupe diagnostics);
+  }
+
+let count severity report =
+  List.length (List.filter (fun (d : Diagnostic.t) -> d.severity = severity) report.diagnostics)
+
+let errors = count Diagnostic.Error
+
+let warnings = count Diagnostic.Warning
+
+let infos = count Diagnostic.Info
+
+let clean ~strict report = errors report = 0 && ((not strict) || warnings report = 0)
+
+let exit_code ~strict report = if clean ~strict report then 0 else 1

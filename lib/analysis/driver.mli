@@ -1,0 +1,41 @@
+(** The analysis driver: runs every registered pass over a program and
+    assembles a report.
+
+    A program that fails [Program.validate] still produces a report: the
+    validation error is surfaced as diagnostic [GPP001] and only passes
+    that do not require a valid program (the structural checks) run.
+
+    [grophecy lint] renders reports; [grophecy project]/[advise] run the
+    driver first so an ill-formed-but-valid skeleton cannot project
+    silently. *)
+
+type report = {
+  program_name : string;
+  valid : bool;  (** Whether [Program.validate] succeeded. *)
+  passes_run : string list;
+  diagnostics : Diagnostic.t list;  (** Deduplicated, severity-sorted. *)
+}
+
+val default_passes : Pass.t list
+(** Program checks, bounds, races, transfer audit, performance lints —
+    in that order. *)
+
+val code_index : unit -> Pass.code_doc list
+(** Every diagnostic code the default passes can emit (plus [GPP001]),
+    sorted by code — the source of the documentation table. *)
+
+val run : ?gpu:Gpp_arch.Gpu.t -> ?passes:Pass.t list -> Gpp_skeleton.Program.t -> report
+(** [gpu] (default: the paper's Quadro FX 5600) parameterizes the
+    coalescing lints. *)
+
+val errors : report -> int
+
+val warnings : report -> int
+
+val infos : report -> int
+
+val clean : strict:bool -> report -> bool
+(** No errors; with [~strict:true], no warnings either. *)
+
+val exit_code : strict:bool -> report -> int
+(** [0] when {!clean}, [1] otherwise. *)

@@ -1,0 +1,32 @@
+type context = {
+  program : Gpp_skeleton.Program.t;
+  gpu : Gpp_arch.Gpu.t;
+  summaries : (string * Gpp_brs.Extract.access) list;
+}
+
+type code_doc = { code : string; severity : Diagnostic.severity; summary : string }
+
+type t = {
+  name : string;
+  description : string;
+  codes : code_doc list;
+  needs_valid : bool;
+  run : context -> Diagnostic.t list;
+}
+
+let make_context ?(gpu = Gpp_arch.Gpu.quadro_fx_5600) (program : Gpp_skeleton.Program.t) =
+  let summaries =
+    match Gpp_skeleton.Program.validate program with
+    | Error _ -> []
+    | Ok () ->
+        List.map
+          (fun (k : Gpp_skeleton.Ir.kernel) ->
+            (k.name, Gpp_brs.Extract.of_kernel ~decls:program.arrays k))
+          program.kernels
+  in
+  { program; gpu; summaries }
+
+let summary_of ctx name = List.assoc_opt name ctx.summaries
+
+let decl_of ctx name =
+  List.find_opt (fun (d : Gpp_skeleton.Decl.t) -> d.name = name) ctx.program.arrays

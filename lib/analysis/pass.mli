@@ -1,0 +1,37 @@
+(** The analysis-pass framework.
+
+    A pass inspects a program skeleton through a shared {!context} and
+    returns diagnostics.  Passes declare the codes they can emit (the
+    documentation index and the CLI's code listing are generated from
+    these) and whether they require a program that already passed
+    [Program.validate] — structural passes run even on invalid programs
+    so that a broken skeleton still gets precise findings. *)
+
+type context = {
+  program : Gpp_skeleton.Program.t;
+  gpu : Gpp_arch.Gpu.t;
+      (** Device the performance lints judge coalescing against. *)
+  summaries : (string * Gpp_brs.Extract.access) list;
+      (** Per-kernel BRS access summaries, keyed by kernel name.  Empty
+          when the program failed validation. *)
+}
+
+type code_doc = { code : string; severity : Diagnostic.severity; summary : string }
+
+type t = {
+  name : string;
+  description : string;
+  codes : code_doc list;  (** Every code this pass can emit. *)
+  needs_valid : bool;
+      (** When [true] the driver skips this pass on programs that fail
+          [Program.validate] (BRS extraction would raise). *)
+  run : context -> Diagnostic.t list;
+}
+
+val make_context : ?gpu:Gpp_arch.Gpu.t -> Gpp_skeleton.Program.t -> context
+(** Builds the shared context; computes access summaries only when the
+    program validates.  [gpu] defaults to the paper's Quadro FX 5600. *)
+
+val summary_of : context -> string -> Gpp_brs.Extract.access option
+
+val decl_of : context -> string -> Gpp_skeleton.Decl.t option

@@ -1,0 +1,112 @@
+(* Performance lints (GPP4xx).
+
+   Advisory notes derived from the same mapping analysis the
+   transformation explorer uses: they do not make a projection wrong
+   (the models account for them — that is the point of the framework),
+   but they mark the spots where the projected kernel loses hardware
+   efficiency, which is what a porting effort would attack first.
+
+   - GPP401: an access whose adjacent-thread stride defeats coalescing
+     on the target GPU — scattered gathers, or affine strides at least
+     one full coalescing segment wide (one memory transaction per lane);
+   - GPP402: a divergent branch in a hot kernel — both sides execute
+     serially for any warp whose lanes disagree.
+
+   Tiny kernels are exempt ([hot_threshold]): launch overhead dwarfs
+   anything these lints describe. *)
+
+module Ir = Gpp_skeleton.Ir
+module Mapping = Gpp_transform.Mapping
+module D = Diagnostic
+
+let hot_threshold = 256
+(* Parallel iterations below which a kernel is too small to bother. *)
+
+let ref_to_string (r : Ir.array_ref) = Format.asprintf "%a" Ir.pp_ref r
+
+let uncoalesced ~(ctx : Pass.context) ~(kernel : Ir.kernel) =
+  let gpu = ctx.gpu in
+  let decls = ctx.program.arrays in
+  List.filter_map
+    (fun (_weight, (r : Ir.array_ref)) ->
+      match Pass.decl_of ctx r.array with
+      | None -> None
+      | Some decl -> (
+          let stride = Mapping.ref_stride ~decls ~kernel r in
+          let transactions =
+            Mapping.transactions_per_access ~gpu ~elem_bytes:decl.elem_bytes stride
+          in
+          let diag why payload =
+            Some
+              (D.v ~code:"GPP401" ~severity:D.Info ~kernel:kernel.name ~array:r.array
+                 ~detail:(ref_to_string r)
+                 ~payload:
+                   (payload
+                   @ [
+                       ("transactions_per_warp_access", D.Float transactions);
+                       ("coalesce_segment_bytes", D.Int gpu.coalesce_segment);
+                     ])
+                 (Printf.sprintf
+                    "uncoalesced access to %s: %s, costing %.0f memory transactions per warp \
+                     access (fully coalesced would need %.0f)"
+                    r.array why transactions
+                    (ceil
+                       (float_of_int (gpu.warp_size * decl.elem_bytes)
+                       /. float_of_int gpu.coalesce_segment))))
+          in
+          match stride with
+          | Mapping.Scattered ->
+              diag "adjacent threads gather unrelated addresses"
+                [ ("stride", D.String "scattered") ]
+          | Mapping.Bytes b when abs b >= gpu.coalesce_segment ->
+              diag
+                (Printf.sprintf "adjacent threads are %d bytes apart (segment is %d)" (abs b)
+                   gpu.coalesce_segment)
+                [ ("stride_bytes", D.Int (abs b)) ]
+          | Mapping.Bytes _ -> None))
+    (Ir.refs kernel)
+
+let divergent_branches ~kernel_name (body : Ir.stmt list) =
+  let rec go acc = function
+    | Ir.Ref _ | Ir.Compute _ -> acc
+    | Ir.Branch { probability; divergent; body } ->
+        let acc =
+          if divergent && probability > 0.0 && probability < 1.0 then
+            D.v ~code:"GPP402" ~severity:D.Info ~kernel:kernel_name
+              ~payload:[ ("probability", D.Float probability) ]
+              (Printf.sprintf
+                 "divergent branch (taken with probability %g): warps whose lanes disagree \
+                  execute both sides serially"
+                 probability)
+            :: acc
+          else acc
+        in
+        List.fold_left go acc body
+  in
+  List.rev (List.fold_left go [] body)
+
+let run (ctx : Pass.context) =
+  List.concat_map
+    (fun (k : Ir.kernel) ->
+      match Pass.summary_of ctx k.name with
+      | None -> []
+      | Some _ when Ir.parallel_iterations k < hot_threshold -> []
+      | Some _ -> uncoalesced ~ctx ~kernel:k @ divergent_branches ~kernel_name:k.name k.body)
+    ctx.program.kernels
+
+let pass : Pass.t =
+  {
+    Pass.name = "perf-lints";
+    description = "coalescing and divergence hints for hot kernels";
+    codes =
+      [
+        {
+          Pass.code = "GPP401";
+          severity = D.Info;
+          summary = "access stride defeats memory coalescing";
+        };
+        { Pass.code = "GPP402"; severity = D.Info; summary = "divergent branch in a hot kernel" };
+      ];
+    needs_valid = true;
+    run;
+  }

@@ -1,0 +1,9 @@
+(** Performance lints against the context GPU.
+
+    Emits [GPP401] (info: access stride defeats coalescing) and
+    [GPP402] (info: divergent branch in a hot kernel).  Kernels with
+    fewer than {!hot_threshold} parallel iterations are exempt. *)
+
+val hot_threshold : int
+
+val pass : Pass.t

@@ -1,0 +1,99 @@
+(* Program-level checks (GPP5xx).
+
+   Structural hygiene over the raw skeleton: name clashes and dead
+   declarations.  This pass runs even when [Program.validate] fails, so
+   it only inspects names — never BRS extraction. *)
+
+module Ir = Gpp_skeleton.Ir
+module Decl = Gpp_skeleton.Decl
+module Program = Gpp_skeleton.Program
+module D = Diagnostic
+
+let duplicates names =
+  let sorted = List.sort String.compare names in
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (if a = b && not (List.mem a acc) then a :: acc else acc) rest
+    | _ -> List.rev acc
+  in
+  go [] sorted
+
+(* Array names a kernel mentions, including indirect index arrays. *)
+let referenced_arrays (k : Ir.kernel) =
+  let rec go acc = function
+    | Ir.Ref { Ir.array; pattern; _ } ->
+        let acc = array :: acc in
+        (match pattern with Ir.Indirect { index_array; _ } -> index_array :: acc | Ir.Affine _ -> acc)
+    | Ir.Compute _ -> acc
+    | Ir.Branch { body; _ } -> List.fold_left go acc body
+  in
+  List.fold_left go [] k.body
+
+let written_arrays (k : Ir.kernel) =
+  let rec go acc = function
+    | Ir.Ref { Ir.array; access = Ir.Store; _ } -> array :: acc
+    | Ir.Ref _ | Ir.Compute _ -> acc
+    | Ir.Branch { body; _ } -> List.fold_left go acc body
+  in
+  List.fold_left go [] k.body
+
+let run (ctx : Pass.context) =
+  let program = ctx.program in
+  let array_names = List.map (fun (d : Decl.t) -> d.name) program.arrays in
+  let kernel_names = List.map (fun (k : Ir.kernel) -> k.name) program.kernels in
+  let duplicate_arrays =
+    List.map
+      (fun name ->
+        D.v ~code:"GPP501" ~severity:D.Error ~array:name
+          (Printf.sprintf "array %s is declared more than once" name))
+      (duplicates array_names)
+  in
+  let duplicate_kernels =
+    List.map
+      (fun name ->
+        D.v ~code:"GPP502" ~severity:D.Error ~kernel:name
+          (Printf.sprintf "kernel %s is defined more than once" name))
+      (duplicates kernel_names)
+  in
+  let referenced = List.concat_map referenced_arrays program.kernels in
+  let unused_arrays =
+    program.arrays
+    |> List.filter (fun (d : Decl.t) -> not (List.mem d.name referenced))
+    |> List.map (fun (d : Decl.t) ->
+           D.v ~code:"GPP503" ~severity:D.Warning ~array:d.name
+             ~payload:[ ("footprint_bytes", D.Int (Decl.footprint_bytes d)) ]
+             (Printf.sprintf "array %s is declared but no kernel references it" d.name))
+  in
+  let scheduled = Program.flatten_schedule program in
+  let unscheduled_kernels =
+    program.kernels
+    |> List.filter (fun (k : Ir.kernel) -> not (List.mem k.name scheduled))
+    |> List.map (fun (k : Ir.kernel) ->
+           D.v ~code:"GPP504" ~severity:D.Warning ~kernel:k.name
+             (Printf.sprintf "kernel %s is defined but the schedule never invokes it" k.name))
+  in
+  let written = List.concat_map written_arrays program.kernels in
+  let idle_temporaries =
+    program.temporaries
+    |> List.filter (fun t -> List.mem t array_names && not (List.mem t written))
+    |> List.map (fun t ->
+           D.v ~code:"GPP505" ~severity:D.Warning ~array:t
+             (Printf.sprintf
+                "temporary hint on %s has no effect: no kernel ever writes it on the device" t))
+  in
+  duplicate_arrays @ duplicate_kernels @ unused_arrays @ unscheduled_kernels @ idle_temporaries
+
+let pass : Pass.t =
+  {
+    Pass.name = "program-checks";
+    description = "name clashes, unused declarations, unscheduled kernels";
+    codes =
+      [
+        { Pass.code = "GPP501"; severity = D.Error; summary = "duplicate array declaration" };
+        { Pass.code = "GPP502"; severity = D.Error; summary = "duplicate kernel definition" };
+        { Pass.code = "GPP503"; severity = D.Warning; summary = "array declared but never referenced" };
+        { Pass.code = "GPP504"; severity = D.Warning; summary = "kernel defined but never scheduled" };
+        { Pass.code = "GPP505"; severity = D.Warning; summary = "temporary hint on a never-written array" };
+      ];
+    needs_valid = false;
+    run;
+  }

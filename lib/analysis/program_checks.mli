@@ -1,0 +1,8 @@
+(** Structural program checks (run even on invalid programs).
+
+    Emits [GPP501]/[GPP502] (error: duplicate array/kernel names),
+    [GPP503] (warning: array never referenced), [GPP504] (warning:
+    kernel never scheduled), and [GPP505] (warning: temporary hint on
+    an array no kernel writes). *)
+
+val pass : Pass.t

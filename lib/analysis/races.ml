@@ -1,0 +1,152 @@
+(* Race detection (GPP2xx).
+
+   The skeleton execution model maps parallel loop iterations to GPU
+   threads with no ordering guarantees and no synchronization inside a
+   kernel (kernel boundaries are the only barriers, as in the CUDA
+   programs the skeletons describe).  Three hazards are detectable
+   directly from the BRS section algebra:
+
+   - GPP201: a store whose subscripts are independent of some parallel
+     loop variable — every thread along that variable writes the same
+     elements (a write-write race by construction);
+   - GPP202: two syntactically distinct stores to one array whose
+     sections overlap — different threads can target the same element;
+   - GPP203: a load and a store to one array with distinct subscripts
+     and overlapping sections — a thread may read an element another
+     thread writes, which needs a barrier the kernel cannot express
+     (kernel fission required).
+
+   Stores and loads with *identical* subscript patterns are the
+   same-element-per-thread idiom (read-modify-write accumulators,
+   in-place updates) and race-free under the one-thread-per-iteration
+   mapping, so such pairs are exempt. *)
+
+module Ir = Gpp_skeleton.Ir
+module Ix = Gpp_skeleton.Index_expr
+module Section = Gpp_brs.Section
+module Extract = Gpp_brs.Extract
+module D = Diagnostic
+
+let pattern_equal p1 p2 =
+  match (p1, p2) with
+  | Ir.Affine a, Ir.Affine b -> List.length a = List.length b && List.for_all2 Ix.equal a b
+  | Ir.Indirect { index_array = i1; offset = o1 }, Ir.Indirect { index_array = i2; offset = o2 }
+    ->
+      i1 = i2 && List.length o1 = List.length o2 && List.for_all2 Ix.equal o1 o2
+  | Ir.Affine _, Ir.Indirect _ | Ir.Indirect _, Ir.Affine _ -> false
+
+let ref_to_string (r : Ir.array_ref) = Format.asprintf "%a" Ir.pp_ref r
+
+(* GPP201: parallel loop variables (extent > 1) absent from every
+   subscript of an affine store. *)
+let independent_store_races ~kernel_name ~(kernel : Ir.kernel) (r : Ir.array_ref) =
+  match r.pattern with
+  | Ir.Indirect _ -> []
+  | Ir.Affine indices ->
+      kernel.loops
+      |> List.filter (fun (l : Ir.loop) ->
+             l.parallel && l.extent > 1
+             && List.for_all (fun e -> Ix.coeff_of e l.var = 0) indices)
+      |> List.map (fun (l : Ir.loop) ->
+             D.v ~code:"GPP201" ~severity:D.Error ~kernel:kernel_name ~array:r.array
+               ~detail:(ref_to_string r)
+               ~payload:[ ("parallel_var", D.String l.var); ("extent", D.Int l.extent) ]
+               (Printf.sprintf
+                  "write-write race: the store does not depend on parallel loop %s, so all %d \
+                   threads along it write the same elements of %s"
+                  l.var l.extent r.array))
+
+let section_of ~decls ~kernel r = (Extract.section_of_ref ~decls ~kernel r).Extract.section
+
+(* Unordered pairs (i < j) of one list. *)
+let rec pairs = function
+  | [] -> []
+  | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+
+let run (ctx : Pass.context) =
+  let decls = ctx.program.arrays in
+  List.concat_map
+    (fun (k : Ir.kernel) ->
+      match Pass.summary_of ctx k.name with
+      | None -> []
+      | Some _ when Ir.parallel_iterations k <= 1 -> []
+      | Some _ ->
+          let refs = List.map snd (Ir.refs k) in
+          let stores = List.filter (fun (r : Ir.array_ref) -> r.access = Ir.Store) refs in
+          let loads = List.filter (fun (r : Ir.array_ref) -> r.access = Ir.Load) refs in
+          let independent =
+            List.concat_map (independent_store_races ~kernel_name:k.name ~kernel:k) stores
+          in
+          let conflicting_pair ~code ~severity ~describe (r1 : Ir.array_ref) (r2 : Ir.array_ref) =
+            if r1.array <> r2.array || pattern_equal r1.pattern r2.pattern then None
+            else
+              let s1 = section_of ~decls ~kernel:k r1 and s2 = section_of ~decls ~kernel:k r2 in
+              if not (Section.overlap s1 s2) then None
+              else
+                Some
+                  (D.v ~code ~severity ~kernel:k.name ~array:r1.array
+                     ~detail:
+                       (Printf.sprintf "%s / %s" (ref_to_string r1) (ref_to_string r2))
+                     ~payload:
+                       [
+                         ("section1", D.String (Section.to_string s1));
+                         ("section2", D.String (Section.to_string s2));
+                       ]
+                     (describe r1.array))
+          in
+          let write_write =
+            List.filter_map
+              (fun (r1, r2) ->
+                conflicting_pair ~code:"GPP202" ~severity:D.Warning
+                  ~describe:(fun array ->
+                    Printf.sprintf
+                      "overlapping writes: two distinct stores to %s cover common elements, so \
+                       different threads can write the same location"
+                      array)
+                  r1 r2)
+              (pairs stores)
+          in
+          let read_after_write =
+            List.concat_map
+              (fun store ->
+                List.filter_map
+                  (fun load ->
+                    conflicting_pair ~code:"GPP203" ~severity:D.Warning
+                      ~describe:(fun array ->
+                        Printf.sprintf
+                          "read-after-write hazard: a load of %s overlaps elements stored by \
+                           other threads of the same kernel; a device-wide barrier (kernel \
+                           fission) is required for a deterministic result"
+                          array)
+                      store load)
+                  loads)
+              stores
+          in
+          independent @ write_write @ read_after_write)
+    ctx.program.kernels
+
+let pass : Pass.t =
+  {
+    Pass.name = "races";
+    description = "cross-thread write-write and read-after-write hazards via BRS overlap";
+    codes =
+      [
+        {
+          Pass.code = "GPP201";
+          severity = D.Error;
+          summary = "store independent of a parallel loop variable (write-write race)";
+        };
+        {
+          Pass.code = "GPP202";
+          severity = D.Warning;
+          summary = "distinct stores to one array with overlapping sections";
+        };
+        {
+          Pass.code = "GPP203";
+          severity = D.Warning;
+          summary = "intra-kernel read overlaps another thread's store (needs a barrier)";
+        };
+      ];
+    needs_valid = true;
+    run;
+  }

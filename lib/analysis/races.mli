@@ -1,0 +1,9 @@
+(** Race detection over BRS sections.
+
+    Emits [GPP201] (error: store independent of a parallel loop
+    variable — a write-write race by construction), [GPP202] (warning:
+    two distinct stores with overlapping sections), and [GPP203]
+    (warning: intra-kernel read overlapping another thread's store —
+    requires a barrier the kernel cannot express). *)
+
+val pass : Pass.t

@@ -1,0 +1,170 @@
+(* Transfer audit (GPP3xx).
+
+   Replays the data usage analyzer's walk over the invocation schedule
+   (paper §III-B) to grade the transfer plan itself:
+
+   - GPP301: a temporary array is written on the device but no later
+     kernel ever reads it — it is not copied back (that is what the
+     temporary hint means) and never consumed, so the writes and the
+     bandwidth they occupy are dead;
+   - GPP302: a kernel reads data that is already resident (produced by
+     an earlier kernel, or uploaded for one) — a naive per-kernel copy
+     scheme would re-transfer it; the plan elides the copy, which is
+     worth knowing when comparing against a hand-written port;
+   - GPP303: an indirect or sparse access forced the conservative
+     whole-array fallback, inflating the plan relative to the data the
+     kernels can actually touch. *)
+
+module Ir = Gpp_skeleton.Ir
+module Program = Gpp_skeleton.Program
+module Region = Gpp_brs.Region
+module Extract = Gpp_brs.Extract
+module Analyzer = Gpp_dataflow.Analyzer
+module D = Diagnostic
+
+module Smap = Map.Make (String)
+
+let region_find array map =
+  match Smap.find_opt array map with Some r -> r | None -> Region.empty ~array
+
+let region_update array section map = Smap.add array (Region.add (region_find array map) section) map
+
+let dead_temporaries (ctx : Pass.context) =
+  let program = ctx.program in
+  let schedule = Program.flatten_schedule program in
+  let positions side array =
+    List.concat
+      (List.mapi
+         (fun pos kernel_name ->
+           match Pass.summary_of ctx kernel_name with
+           | None -> []
+           | Some access -> (
+               match side access array with
+               | Some region when not (Region.is_empty region) -> [ pos ]
+               | _ -> []))
+         schedule)
+  in
+  List.filter_map
+    (fun tmp ->
+      let writes = positions (fun a name -> Extract.writes_of a name) tmp in
+      let reads = positions (fun a name -> Extract.reads_of a name) tmp in
+      match writes with
+      | [] -> None
+      | first_write :: _ ->
+          if List.exists (fun p -> p > first_write) reads then None
+          else
+            Some
+              (D.v ~code:"GPP301" ~severity:D.Warning ~array:tmp
+                 ~payload:[ ("first_write_position", D.Int first_write) ]
+                 (Printf.sprintf
+                    "dead device write: temporary %s is written on the device but never read by \
+                     a later kernel and never copied back — the writes are wasted work"
+                    tmp)))
+    program.temporaries
+
+let resident_rereads (ctx : Pass.context) =
+  let program = ctx.program in
+  let written = ref Smap.empty and uploaded = ref Smap.empty in
+  let reported = ref [] in
+  let diagnostics = ref [] in
+  let report ~array ~kernel ~source ~bytes =
+    if not (List.mem array !reported) then begin
+      reported := array :: !reported;
+      diagnostics :=
+        D.v ~code:"GPP302" ~severity:D.Info ~kernel ~array
+          ~payload:[ ("resident_via", D.String source); ("elided_bytes", D.Int bytes) ]
+          (Printf.sprintf
+             "section of %s read by %s is already resident on the device (%s); a naive \
+              per-kernel copy would re-transfer it, the transfer plan does not"
+             array kernel source)
+        :: !diagnostics
+    end
+  in
+  List.iter
+    (fun kernel_name ->
+      match Pass.summary_of ctx kernel_name with
+      | None -> ()
+      | Some access ->
+          (* Snapshots from before this invocation: only data made
+             resident by *earlier* invocations counts as a re-read. *)
+          let written_before = !written and uploaded_before = !uploaded in
+          List.iter
+            (fun (array, region) ->
+              let elem_bytes =
+                match Pass.decl_of ctx array with Some d -> d.elem_bytes | None -> 1
+              in
+              List.iter
+                (fun section ->
+                  let bytes = Gpp_brs.Section.bytes ~elem_bytes section in
+                  if Region.covers (region_find array written_before) section then
+                    report ~array ~kernel:kernel_name ~source:"produced by an earlier kernel"
+                      ~bytes
+                  else if Region.covers (region_find array uploaded_before) section then
+                    report ~array ~kernel:kernel_name ~source:"uploaded for an earlier kernel"
+                      ~bytes
+                  else uploaded := region_update array section !uploaded)
+                (Region.sections region))
+            access.Extract.reads;
+          List.iter
+            (fun (array, region) ->
+              List.iter
+                (fun section -> written := region_update array section !written)
+                (Region.sections region))
+            access.Extract.writes)
+    (Program.flatten_schedule program);
+  List.rev !diagnostics
+
+let conservative_fallbacks (ctx : Pass.context) =
+  let plan = Analyzer.analyze ctx.program in
+  let seen = ref [] in
+  List.filter_map
+    (fun (t : Analyzer.transfer) ->
+      if (not t.conservative) || List.mem t.array !seen then None
+      else begin
+        seen := t.array :: !seen;
+        let kind =
+          match Pass.decl_of ctx t.array with
+          | Some { Gpp_skeleton.Decl.kind = Gpp_skeleton.Decl.Sparse _; _ } -> "sparse"
+          | _ -> "indirectly accessed"
+        in
+        Some
+          (D.v ~code:"GPP303" ~severity:D.Info ~array:t.array
+             ~payload:
+               [ ("bytes", D.Int t.bytes); ("elements", D.Int t.elements); ("kind", D.String kind) ]
+             (Printf.sprintf
+                "whole-array fallback: %s is %s, so the plan conservatively transfers all %s \
+                 rather than the touched section"
+                t.array kind
+                (Gpp_util.Units.bytes_to_string t.bytes)))
+      end)
+    (Analyzer.transfers plan)
+
+let run (ctx : Pass.context) =
+  if ctx.summaries = [] then []
+  else dead_temporaries ctx @ resident_rereads ctx @ conservative_fallbacks ctx
+
+let pass : Pass.t =
+  {
+    Pass.name = "transfer-audit";
+    description = "dead device writes, resident re-reads, conservative whole-array transfers";
+    codes =
+      [
+        {
+          Pass.code = "GPP301";
+          severity = D.Warning;
+          summary = "temporary written on the device but never read afterwards";
+        };
+        {
+          Pass.code = "GPP302";
+          severity = D.Info;
+          summary = "re-read of data already resident on the device (copy elided)";
+        };
+        {
+          Pass.code = "GPP303";
+          severity = D.Info;
+          summary = "conservative whole-array transfer for sparse/indirect data";
+        };
+      ];
+    needs_valid = true;
+    run;
+  }

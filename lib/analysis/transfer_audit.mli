@@ -1,0 +1,8 @@
+(** Transfer-plan audit over the data usage analyzer's walk.
+
+    Emits [GPP301] (warning: dead device write — a temporary written
+    but never read afterwards), [GPP302] (info: re-read of data already
+    resident on the device), and [GPP303] (info: conservative
+    whole-array transfer for sparse or indirectly accessed arrays). *)
+
+val pass : Pass.t

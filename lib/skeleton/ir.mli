@@ -113,4 +113,9 @@ val validate : decls:Decl.t list -> kernel -> (unit, string) result
     dimensionality, subscripts only over bound variables, branch
     probabilities within [0, 1], and at least one statement. *)
 
+val pp_ref : Format.formatter -> array_ref -> unit
+(** One reference in skeleton syntax, e.g. [load a[i+1]] or
+    [store y[<col_idx>][j]] — the statement-location string the
+    static-analysis diagnostics anchor to. *)
+
 val pp_kernel : Format.formatter -> kernel -> unit

@@ -239,7 +239,11 @@ let parse_array num tokens =
       | k -> errf num "array kind must be dense or sparse, got %S" k)
   | _ -> errf num "array declaration needs a name and a kind"
 
-let parse source =
+let parse ?path source =
+  (* Prefix parse *and* validation errors with the source file path, so
+     a message like "line 12: ..." still identifies which of several
+     linted files it came from. *)
+  let locate msg = match path with Some p -> p ^ ": " ^ msg | None -> msg in
   try
     let lines = tokenize source in
     let name = ref None in
@@ -256,12 +260,17 @@ let parse source =
               name := Some n;
               toplevel rest
           | "array" :: more ->
-              arrays := parse_array num more :: !arrays;
+              let decl = parse_array num more in
+              if List.exists (fun (d : Decl.t) -> d.name = decl.Decl.name) !arrays then
+                errf num "duplicate array name %s" decl.Decl.name;
+              arrays := decl :: !arrays;
               toplevel rest
           | "temporary" :: names when names <> [] ->
               temporaries := !temporaries @ names;
               toplevel rest
           | [ "kernel"; kname ] ->
+              if List.exists (fun (k : Ir.kernel) -> k.Ir.name = kname) !kernels then
+                errf num "duplicate kernel name %s" kname;
               let kernel, remaining = parse_kernel kname rest num in
               kernels := kernel :: !kernels;
               toplevel remaining
@@ -284,10 +293,10 @@ let parse source =
       Program.create ~temporaries:!temporaries ~name ~arrays:(List.rev !arrays)
         ~kernels:(List.rev !kernels) ~schedule ()
     in
-    match Program.validate program with Ok () -> Ok program | Error e -> Error e
-  with Parse_error msg -> Error msg
+    match Program.validate program with Ok () -> Ok program | Error e -> Error (locate e)
+  with Parse_error msg -> Error (locate msg)
 
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with
-  | source -> parse source
+  | source -> parse ~path source
   | exception Sys_error e -> Error e

@@ -48,9 +48,12 @@
     Index expressions are affine: [i], [2*i], [i+1], [y-1], [3],
     [i*4+j]. *)
 
-val parse : string -> (Program.t, string) result
+val parse : ?path:string -> string -> (Program.t, string) result
 (** Parse a skeleton source text.  The resulting program is validated;
-    errors carry 1-based line numbers. *)
+    errors carry 1-based line numbers, prefixed with [path] when given
+    so multi-file tooling (the linter, CI) can point at the source.
+    Duplicate kernel or array names are rejected at parse time. *)
 
 val parse_file : string -> (Program.t, string) result
-(** Read and {!parse} a file. *)
+(** Read and {!parse} a file; parse and validation errors are prefixed
+    with the file path. *)
