@@ -1,9 +1,11 @@
 (* Regenerate every table and figure of the paper, plus the ablations.
    Usage:
-     experiments              run the whole suite
-     experiments fig7 ...     run selected experiments by id
-     experiments --list       print the available ids
-     experiments --no-cache   bypass the projection cache *)
+     experiments                  run the whole suite
+     experiments fig7 ...         run selected experiments by id
+     experiments --list           print the available ids
+     experiments --no-cache      bypass the projection cache (both tiers)
+     experiments --cache-dir DIR  persistent cache location
+                                  (default: GPP_CACHE_DIR, then XDG) *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -14,8 +16,22 @@ let () =
     exit 0
   end;
   let no_cache = List.mem "--no-cache" args in
-  if no_cache then Gpp_cache.Control.set_enabled false;
   let args = List.filter (fun a -> a <> "--no-cache") args in
+  let rec extract_cache_dir acc = function
+    | "--cache-dir" :: dir :: rest -> (Some dir, List.rev_append acc rest)
+    | "--cache-dir" :: [] ->
+        prerr_endline "experiments: --cache-dir needs a directory argument";
+        exit 2
+    | arg :: rest -> extract_cache_dir (arg :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let cache_dir, args = extract_cache_dir [] args in
+  Option.iter Gpp_cache.Control.set_dir cache_dir;
+  if no_cache then begin
+    Gpp_cache.Control.set_enabled false;
+    Gpp_cache.Control.set_disk_enabled false
+  end
+  else Gpp_cache.Memo.load_disk ();
   let selected =
     match args with
     | [] -> Gpp_experiments.Suite.all
@@ -41,4 +57,7 @@ let () =
   Printf.printf "projection cache: %s\n" (if no_cache then "bypassed (--no-cache)" else "enabled");
   List.iter
     (fun s -> Format.printf "  %a@." Gpp_cache.Memo.pp_snapshot s)
-    (Gpp_cache.Memo.snapshots ())
+    (Gpp_cache.Memo.snapshots ());
+  (* Persist the memo tables for the next invocation (normal exit only;
+     --no-cache leaves the disk untouched). *)
+  Gpp_cache.Memo.flush_disk ()

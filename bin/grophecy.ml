@@ -21,16 +21,36 @@ let verbose_arg =
 
 let no_cache_arg =
   let doc =
-    "Bypass the projection cache: recompute every transformation search and kernel simulation \
-     instead of reusing memoized results.  Output is bit-identical either way."
+    "Bypass the projection cache entirely (both the in-memory tables and the on-disk store): \
+     recompute every transformation search and kernel simulation instead of reusing memoized \
+     results.  Output is bit-identical either way."
   in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
-(* Shared --verbose/--no-cache preamble.  Cache statistics land on the
-   gpp.core log source at info level, so they show up under -v. *)
-let setup_run verbose no_cache =
+let cache_dir_arg =
+  let doc =
+    "Directory of the persistent projection cache.  Defaults to $(b,GPP_CACHE_DIR), then \
+     $(b,\\$XDG_CACHE_HOME/grophecy), then $(b,~/.cache/grophecy)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+(* Shared --verbose/--no-cache/--cache-dir preamble.  Cache statistics
+   land on the gpp.core log source at info level, so they show up under
+   -v.  With caching on, the persistent tier is loaded up front and
+   flushed on exit (at_exit covers every exit path of Cmd.eval'); with
+   --no-cache both tiers are off, so stale disk state can never leak
+   into a run that asked for a recompute. *)
+let setup_run verbose no_cache cache_dir =
   setup_logs verbose;
-  if no_cache then Gpp_cache.Control.set_enabled false
+  Option.iter Gpp_cache.Control.set_dir cache_dir;
+  if no_cache then begin
+    Gpp_cache.Control.set_enabled false;
+    Gpp_cache.Control.set_disk_enabled false
+  end
+  else begin
+    Gpp_cache.Memo.load_disk ();
+    at_exit (fun () -> Gpp_cache.Memo.flush_disk ())
+  end
 
 let machine_conv =
   let parse = function
@@ -147,8 +167,8 @@ let list_cmd =
 
 (* project *)
 
-let project machine seed key iterations no_cache verbose =
-  setup_run verbose no_cache;
+let project machine seed key iterations no_cache cache_dir verbose =
+  setup_run verbose no_cache cache_dir;
   match resolve_workload key with
   | Error e ->
       prerr_endline e;
@@ -176,12 +196,12 @@ let project_cmd =
     (Cmd.info "project" ~doc)
     Term.(
       const project $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ no_cache_arg
-      $ verbose_arg)
+      $ cache_dir_arg $ verbose_arg)
 
 (* analyze *)
 
-let analyze machine seed key iterations runs no_cache verbose =
-  setup_run verbose no_cache;
+let analyze machine seed key iterations runs no_cache cache_dir verbose =
+  setup_run verbose no_cache cache_dir;
   match resolve_workload key with
   | Error e ->
       prerr_endline e;
@@ -205,7 +225,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(
       const analyze $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ runs_arg
-      $ no_cache_arg $ verbose_arg)
+      $ no_cache_arg $ cache_dir_arg $ verbose_arg)
 
 (* export-skel *)
 
@@ -224,8 +244,8 @@ let export_skel_cmd =
 
 (* advise *)
 
-let advise machine seed key iterations no_cache verbose =
-  setup_run verbose no_cache;
+let advise machine seed key iterations no_cache cache_dir verbose =
+  setup_run verbose no_cache cache_dir;
   match resolve_workload key with
   | Error e ->
       prerr_endline e;
@@ -253,7 +273,7 @@ let advise_cmd =
     (Cmd.info "advise" ~doc)
     Term.(
       const advise $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ no_cache_arg
-      $ verbose_arg)
+      $ cache_dir_arg $ verbose_arg)
 
 (* lint *)
 
@@ -431,8 +451,8 @@ let trace_cmd =
 
 (* experiment *)
 
-let experiment ids list_only csv_dir no_cache verbose =
-  setup_run verbose no_cache;
+let experiment ids list_only csv_dir no_cache cache_dir verbose =
+  setup_run verbose no_cache cache_dir;
   if list_only then begin
     List.iter
       (fun (e : Gpp_experiments.Suite.entry) -> Printf.printf "%-26s %s\n" e.id e.title)
@@ -440,34 +460,39 @@ let experiment ids list_only csv_dir no_cache verbose =
     0
   end
   else begin
+    (* Resolve every id before running anything, and report a usage
+       error (exit 2) through the same return path as the rest of the
+       CLI — never a bare [exit] that skips Cmd.eval'. *)
     let entries =
       match ids with
-      | [] -> Gpp_experiments.Suite.all
-      | ids -> (
-          try
-            List.map
-              (fun id ->
-                match Gpp_experiments.Suite.find id with
-                | Some e -> e
-                | None -> failwith id)
-              ids
-          with Failure id ->
-            Printf.eprintf "unknown experiment id %s (try --list)\n" id;
-            exit 2)
+      | [] -> Ok Gpp_experiments.Suite.all
+      | ids ->
+          List.fold_left
+            (fun acc id ->
+              match (acc, Gpp_experiments.Suite.find id) with
+              | Error e, _ -> Error e
+              | Ok _, None -> Error id
+              | Ok entries, Some e -> Ok (entries @ [ e ]))
+            (Ok []) ids
     in
-    let ctx = Gpp_experiments.Context.create () in
-    List.iter
-      (fun (e : Gpp_experiments.Suite.entry) ->
-        Gpp_experiments.Output.print (e.run ctx);
-        print_newline ())
-      entries;
-    (match csv_dir with
-    | None -> ()
-    | Some dir ->
-        let written = Gpp_experiments.Export.write_all ctx ~dir in
-        Printf.printf "wrote %d CSV files to %s\n" (List.length written) dir);
-    Gpp_core.Grophecy.log_cache_stats ();
-    0
+    match entries with
+    | Error id ->
+        Printf.eprintf "unknown experiment id %s (try --list)\n" id;
+        2
+    | Ok entries ->
+        let ctx = Gpp_experiments.Context.create () in
+        List.iter
+          (fun (e : Gpp_experiments.Suite.entry) ->
+            Gpp_experiments.Output.print (e.run ctx);
+            print_newline ())
+          entries;
+        (match csv_dir with
+        | None -> ()
+        | Some dir ->
+            let written = Gpp_experiments.Export.write_all ctx ~dir in
+            Printf.printf "wrote %d CSV files to %s\n" (List.length written) dir);
+        Gpp_core.Grophecy.log_cache_stats ();
+        0
   end
 
 let experiment_cmd =
@@ -482,11 +507,112 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc)
-    Term.(const experiment $ ids_arg $ list_arg $ csv_arg $ no_cache_arg $ verbose_arg)
+    Term.(
+      const experiment $ ids_arg $ list_arg $ csv_arg $ no_cache_arg $ cache_dir_arg $ verbose_arg)
+
+(* cache *)
+
+let resolve_cache_dir cache_dir =
+  Option.iter Gpp_cache.Control.set_dir cache_dir;
+  Gpp_cache.Control.dir ()
+
+let cache_stats cache_dir verbose =
+  setup_logs verbose;
+  let dir = resolve_cache_dir cache_dir in
+  Printf.printf "cache directory: %s\n" dir;
+  Gpp_cache.Memo.load_disk ();
+  List.iter
+    (fun s -> Format.printf "  %a@." Gpp_cache.Memo.pp_snapshot s)
+    (Gpp_cache.Memo.snapshots ());
+  (match Gpp_cache.Store.list_dir ~dir with
+  | [] -> Printf.printf "  (no store files)\n"
+  | files ->
+      let total =
+        List.fold_left
+          (fun acc path ->
+            let r = Gpp_cache.Store.verify ~path in
+            acc + r.Gpp_cache.Store.total)
+          0 files
+      in
+      Printf.printf "  %d store file(s), %d entr%s on disk\n" (List.length files) total
+        (if total = 1 then "y" else "ies"));
+  0
+
+let cache_verify cache_dir verbose =
+  setup_logs verbose;
+  let dir = resolve_cache_dir cache_dir in
+  match Gpp_cache.Store.list_dir ~dir with
+  | [] ->
+      Printf.printf "no store files in %s\n" dir;
+      0
+  | files ->
+      let bad =
+        List.fold_left
+          (fun bad path ->
+            let r = Gpp_cache.Store.verify ~path in
+            match r.Gpp_cache.Store.vheader with
+            | Some err ->
+                Printf.printf "%s: UNREADABLE (%s)\n" path
+                  (Gpp_cache.Store.describe_header_error err);
+                bad + 1
+            | None when r.Gpp_cache.Store.vcorrupt > 0 ->
+                Printf.printf "%s: %d/%d entries CORRUPT\n" path r.Gpp_cache.Store.vcorrupt
+                  r.Gpp_cache.Store.total;
+                bad + 1
+            | None ->
+                Printf.printf "%s: ok (%d entries)\n" path r.Gpp_cache.Store.total;
+                bad)
+          0 files
+      in
+      if bad = 0 then 0
+      else begin
+        Printf.eprintf "%d of %d store file(s) damaged (they load as cache misses; run \
+                        `grophecy cache clear` to drop them)\n"
+          bad (List.length files);
+        1
+      end
+
+let cache_clear cache_dir verbose =
+  setup_logs verbose;
+  let dir = resolve_cache_dir cache_dir in
+  let removed = Gpp_cache.Store.clear_dir ~dir in
+  Printf.printf "removed %d file(s) from %s\n" removed dir;
+  0
+
+let cache_cmd =
+  let doc = "Inspect, verify, or clear the persistent projection cache." in
+  let stats =
+    let doc =
+      "Per-table cache statistics, including the disk tier (entries loaded, rejected, bytes)."
+    in
+    Cmd.v (Cmd.info "stats" ~doc) Term.(const cache_stats $ cache_dir_arg $ verbose_arg)
+  in
+  let verify =
+    let doc =
+      "Walk every store file and checksum every entry; reports corrupt files and exits 1 if any \
+       are found.  Corrupt entries are never fatal to a run — they load as cache misses."
+    in
+    Cmd.v (Cmd.info "verify" ~doc) Term.(const cache_verify $ cache_dir_arg $ verbose_arg)
+  in
+  let clear =
+    let doc = "Delete every store file (and leftover temp file) in the cache directory." in
+    Cmd.v (Cmd.info "clear" ~doc) Term.(const cache_clear $ cache_dir_arg $ verbose_arg)
+  in
+  Cmd.group (Cmd.info "cache" ~doc) [ stats; verify; clear ]
 
 let main_cmd =
   let doc = "GPU performance projection with data transfer modeling (GROPHECY++)" in
-  let info = Cmd.info "grophecy" ~version:"1.0.0" ~doc in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P
+        "All subcommands share one exit-code space: $(b,0) on success; $(b,1) when the requested \
+         operation fails (a projection or simulation error, lint findings at or above the \
+         threshold, corrupt store files from $(b,cache verify)); $(b,2) on usage errors (unknown \
+         workload, experiment, or machine, malformed sizes or flags).";
+    ]
+  in
+  let info = Cmd.info "grophecy" ~version:"1.0.0" ~doc ~man in
   Cmd.group info
     [
       calibrate_cmd;
@@ -499,6 +625,7 @@ let main_cmd =
       trace_cmd;
       predict_transfer_cmd;
       experiment_cmd;
+      cache_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

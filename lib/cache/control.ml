@@ -8,3 +8,34 @@ let without_cache f =
   let saved = !enabled in
   enabled := false;
   Fun.protect ~finally:(fun () -> enabled := saved) f
+
+(* Disk tier.  [disk_enabled] gates loading and flushing only — the
+   in-memory tables keep working when it is off.  Disabling the cache as
+   a whole (--no-cache) is expressed by turning both switches off at the
+   call site, so [is_enabled] stays the single flag the hot lookup path
+   reads. *)
+
+let disk = ref true
+
+let set_disk_enabled b = disk := b
+
+let disk_enabled () = !disk && !enabled
+
+let explicit_dir = ref None
+
+let set_dir d = explicit_dir := Some d
+
+let nonempty = function Some "" -> None | v -> v
+
+let default_dir () =
+  match nonempty (Sys.getenv_opt "GPP_CACHE_DIR") with
+  | Some d -> d
+  | None -> (
+      match nonempty (Sys.getenv_opt "XDG_CACHE_HOME") with
+      | Some d -> Filename.concat d "grophecy"
+      | None -> (
+          match nonempty (Sys.getenv_opt "HOME") with
+          | Some home -> Filename.concat (Filename.concat home ".cache") "grophecy"
+          | None -> Filename.concat (Filename.get_temp_dir_name ()) "grophecy-cache"))
+
+let dir () = match !explicit_dir with Some d -> d | None -> default_dir ()

@@ -1,11 +1,16 @@
-(** Process-wide cache switch.
+(** Process-wide cache switches and cache-directory resolution.
 
-    Every {!Memo.t} consults this flag on lookup, so a single call turns
-    the whole projection cache off — the [--no-cache] flag of the
-    binaries and the uncached leg of the benchmark both go through
+    Every {!Memo.t} consults the in-memory flag on lookup, so a single
+    call turns the whole projection cache off — the [--no-cache] flag of
+    the binaries and the uncached leg of the benchmark both go through
     here.  Per-call opt-outs ([~cache:false] on the projection entry
     points) compose with it: a lookup is served from the cache only
-    when both agree. *)
+    when both agree.
+
+    The disk tier ({!Store}, wired up by {!Memo.persist}) has its own
+    switch and a cache-directory resolution chain:
+    [--cache-dir] (via {!set_dir}) > [GPP_CACHE_DIR] >
+    [$XDG_CACHE_HOME/grophecy] > [$HOME/.cache/grophecy]. *)
 
 val set_enabled : bool -> unit
 (** Globally enable or disable all memo tables (default: enabled). *)
@@ -15,3 +20,25 @@ val is_enabled : unit -> bool
 val without_cache : (unit -> 'a) -> 'a
 (** Run [f] with caching globally disabled, restoring the previous
     state afterwards (also on exceptions). *)
+
+val set_disk_enabled : bool -> unit
+(** Enable or disable the on-disk tier (default: enabled).  [--no-cache]
+    turns this and {!set_enabled} off together. *)
+
+val disk_enabled : unit -> bool
+(** True only when both the disk switch and {!is_enabled} agree — a
+    globally disabled cache never touches the disk either. *)
+
+val set_dir : string -> unit
+(** Pin the cache directory explicitly ([--cache-dir]); wins over every
+    environment fallback. *)
+
+val dir : unit -> string
+(** The effective cache directory: {!set_dir} if called, else
+    [GPP_CACHE_DIR], else [$XDG_CACHE_HOME/grophecy], else
+    [$HOME/.cache/grophecy] (else a directory under the system temp dir
+    when even [HOME] is unset).  The directory is created lazily by the
+    first flush, never by resolution. *)
+
+val default_dir : unit -> string
+(** The environment-derived fallback, ignoring {!set_dir}. *)

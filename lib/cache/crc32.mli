@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected), as used by gzip and PNG.
+
+    The disk store frames every entry with a checksum of its key and
+    payload bytes so that a flipped bit anywhere in an entry is detected
+    before the payload is unmarshalled — corruption must surface as a
+    cache miss, never as a crash or a wrong value. *)
+
+val string : string -> int32
+(** [string s] is the CRC-32 of all of [s]. *)
+
+val strings : string list -> int32
+(** [strings parts] is the CRC-32 of the concatenation of [parts],
+    without materialising it. *)

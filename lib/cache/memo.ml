@@ -1,3 +1,15 @@
+let log_src = Logs.Src.create "gpp.cache" ~doc:"GROPHECY++ projection cache"
+
+module Log = (val Logs.src_log log_src)
+
+type disk_stats = {
+  path : string;
+  loaded : int;
+  rejected : int;
+  flushed : int;
+  file_bytes : int;
+}
+
 type snapshot = {
   name : string;
   hits : int;
@@ -7,6 +19,7 @@ type snapshot = {
   entries : int;
   capacity : int;
   bytes : int;
+  disk : disk_stats option;
 }
 
 (* Doubly-linked LRU list threaded through the table entries: [first] is
@@ -28,12 +41,17 @@ type 'v t = {
   mutable misses : int;
   mutable evictions : int;
   mutable bypasses : int;
+  mutable disk : disk_stats option;
 }
 
 (* Registry of every memo table in the process, for uniform statistics
    reporting and for resetting between benchmark phases.  Tables have
-   heterogeneous value types, so the registry stores closures. *)
+   heterogeneous value types, so the registry stores closures; tables
+   opted into the disk tier (see [persist]) additionally register
+   load/flush closures keyed off the resolved cache directory. *)
 let registered : (string * (unit -> snapshot) * (unit -> unit)) list ref = ref []
+
+let persistent : (string * (dir:string -> unit) * (dir:string -> unit)) list ref = ref []
 
 let unlink t node =
   (match node.prev with Some p -> p.next <- node.next | None -> t.first <- node.next);
@@ -46,6 +64,12 @@ let push_front t node =
   node.prev <- None;
   (match t.first with Some f -> f.prev <- Some node | None -> t.last <- Some node);
   t.first <- Some node
+
+let push_back t node =
+  node.prev <- t.last;
+  node.next <- None;
+  (match t.last with Some l -> l.next <- Some node | None -> t.first <- Some node);
+  t.last <- Some node
 
 let touch t node =
   match t.first with
@@ -75,6 +99,7 @@ let snapshot t =
     entries = Hashtbl.length t.table;
     capacity = t.capacity;
     bytes = Obj.reachable_words (Obj.repr t.table) * word_bytes;
+    disk = t.disk;
   }
 
 let create ?(capacity = 1024) ~name () =
@@ -90,6 +115,7 @@ let create ?(capacity = 1024) ~name () =
       misses = 0;
       evictions = 0;
       bypasses = 0;
+      disk = None;
     }
   in
   registered := !registered @ [ (name, (fun () -> snapshot t), fun () -> clear t) ];
@@ -123,6 +149,92 @@ let find_or_add ?(cache = true) t ~key compute =
         push_front t node;
         value
 
+(* Disk tier.  Values round-trip through [Marshal] (floats by bit
+   pattern, so cached-across-processes output stays equal to the bit);
+   decoding untrusted bytes is safe because every payload sits behind a
+   store-level CRC and a tag that pins the table, a caller-owned schema
+   version, the OCaml version, and the word size. *)
+
+let tag ~name ~schema =
+  Printf.sprintf "%s;schema=%d;ocaml=%s;word=%d" name schema Sys.ocaml_version Sys.word_size
+
+let file_size path = match Sys.file_exists path with
+  | true -> (try In_channel.with_open_bin path In_channel.length |> Int64.to_int with Sys_error _ -> 0)
+  | false -> 0
+
+let persist ?(schema = 1) (t : 'v t) =
+  let tag = tag ~name:t.name ~schema in
+  let encode (v : 'v) = Marshal.to_string v [] in
+  let decode payload : 'v option =
+    try Some (Marshal.from_string payload 0) with _ -> None
+  in
+  let load ~dir =
+    let path = Store.path ~dir ~table:t.name in
+    let { Store.entries; corrupt; header } = Store.load ~path ~tag in
+    match header with
+    | Some Store.Missing -> ()
+    | Some err ->
+        Log.warn (fun m ->
+            m "%s: skipping store %s: %s" t.name path (Store.describe_header_error err));
+        t.disk <- Some { path; loaded = 0; rejected = 0; flushed = 0; file_bytes = file_size path }
+    | None ->
+        let loaded = ref 0 and rejected = ref corrupt in
+        List.iter
+          (fun { Store.key; payload } ->
+            if Hashtbl.length t.table < t.capacity && not (Hashtbl.mem t.table key) then
+              match decode payload with
+              | Some value ->
+                  let node = { key; value; prev = None; next = None } in
+                  Hashtbl.replace t.table key node;
+                  (* Append in file order (most recent first on disk), so
+                     a load-then-flush cycle preserves the file's
+                     recency order byte for byte. *)
+                  push_back t node;
+                  incr loaded
+              | None -> incr rejected)
+          entries;
+        if !rejected > 0 then
+          Log.warn (fun m ->
+              m "%s: dropped %d corrupt entr%s from %s (served as cache misses)" t.name !rejected
+                (if !rejected = 1 then "y" else "ies")
+                path);
+        Log.info (fun m -> m "%s: loaded %d entries from %s" t.name !loaded path);
+        t.disk <-
+          Some { path; loaded = !loaded; rejected = !rejected; flushed = 0; file_bytes = file_size path }
+  in
+  let flush ~dir =
+    let path = Store.path ~dir ~table:t.name in
+    let rec entries acc = function
+      | None -> List.rev acc
+      | Some node -> entries ({ Store.key = node.key; payload = encode node.value } :: acc) node.next
+    in
+    let entries = entries [] t.first in
+    match Store.save ~path ~tag entries with
+    | Ok bytes ->
+        Log.info (fun m -> m "%s: flushed %d entries to %s" t.name (List.length entries) path);
+        let stats =
+          match t.disk with
+          | Some d -> { d with path; flushed = List.length entries; file_bytes = bytes }
+          | None ->
+              { path; loaded = 0; rejected = 0; flushed = List.length entries; file_bytes = bytes }
+        in
+        t.disk <- Some stats
+    | Error msg -> Log.warn (fun m -> m "%s: could not flush to %s: %s" t.name path msg)
+  in
+  persistent := !persistent @ [ (t.name, load, flush) ]
+
+let resolve_dir = function Some d -> d | None -> Control.dir ()
+
+let load_disk ?dir () =
+  if Control.disk_enabled () then
+    let dir = resolve_dir dir in
+    List.iter (fun (_, load, _) -> load ~dir) !persistent
+
+let flush_disk ?dir () =
+  if Control.disk_enabled () then
+    let dir = resolve_dir dir in
+    List.iter (fun (_, _, flush) -> flush ~dir) !persistent
+
 let snapshots () = List.map (fun (_, snap, _) -> snap ()) !registered
 
 let clear_all () = List.iter (fun (_, _, clear) -> clear ()) !registered
@@ -130,4 +242,9 @@ let clear_all () = List.iter (fun (_, _, clear) -> clear ()) !registered
 let pp_snapshot ppf (s : snapshot) =
   Format.fprintf ppf "%s: %d hits / %d misses / %d evictions / %d bypasses, %d/%d entries, %a"
     s.name s.hits s.misses s.evictions s.bypasses s.entries s.capacity Gpp_util.Units.pp_bytes
-    s.bytes
+    s.bytes;
+  match s.disk with
+  | None -> ()
+  | Some d ->
+      Format.fprintf ppf "; disk: %d loaded / %d rejected / %d flushed, %a (%s)" d.loaded
+        d.rejected d.flushed Gpp_util.Units.pp_bytes d.file_bytes d.path

@@ -4,9 +4,25 @@
     results of pure computations.  Each table tracks hits, misses,
     evictions, and bypasses, and registers itself in a process-wide
     registry so callers (CLI, benchmarks, the [gpp.core] log source) can
-    report every cache's statistics uniformly. *)
+    report every cache's statistics uniformly.
+
+    Tables can additionally opt into the on-disk tier ({!persist}):
+    entries then survive process exit via {!flush_disk} and are
+    reloaded by {!load_disk}, keyed by the same structural fingerprints
+    and round-tripping values bit-identically (floats by IEEE-754 bit
+    pattern). *)
 
 type 'v t
+
+type disk_stats = {
+  path : string;  (** Store file backing this table. *)
+  loaded : int;  (** Entries admitted from disk by the last load. *)
+  rejected : int;  (** Entries dropped by the last load: failed CRC,
+                       broken framing, or unmarshalable payload — each
+                       one degrades to a cache miss. *)
+  flushed : int;  (** Entries written by the last flush. *)
+  file_bytes : int;  (** Store file size after the last load/flush. *)
+}
 
 type snapshot = {
   name : string;
@@ -18,6 +34,8 @@ type snapshot = {
   capacity : int;
   bytes : int;  (** Approximate heap footprint of the table (reachable
                     words of keys, values, and bookkeeping). *)
+  disk : disk_stats option;  (** Disk-tier counters; [None] until the
+                                 table touches the disk. *)
 }
 
 val create : ?capacity:int -> name:string -> unit -> 'v t
@@ -32,6 +50,25 @@ val find_or_add : ?cache:bool -> 'v t -> key:string -> (unit -> 'v) -> 'v
     runs unconditionally and the table is neither read nor written (the
     lookup is counted as a bypass).  If [compute] raises, nothing is
     stored. *)
+
+val persist : ?schema:int -> 'v t -> unit
+(** Opt [t] into the disk tier.  Values are serialised with [Marshal];
+    the store file is tagged with the table name, [schema] (default 1 —
+    bump it whenever the value type changes shape), the OCaml version,
+    and the word size, so a stale or foreign file is skipped wholesale
+    rather than misdecoded.  Call once, right after {!create}. *)
+
+val load_disk : ?dir:string -> unit -> unit
+(** Load every persistent table's store file from [dir] (default:
+    {!Control.dir}).  Corrupt or stale files and entries are logged on
+    the [gpp.cache] source and simply yield fewer entries; this never
+    raises.  No-op when {!Control.disk_enabled} is false. *)
+
+val flush_disk : ?dir:string -> unit -> unit
+(** Write every persistent table's entries to its store file under
+    [dir] (default: {!Control.dir}) via temp-file + atomic rename,
+    creating the directory if needed.  Failures are logged, never
+    raised.  No-op when {!Control.disk_enabled} is false. *)
 
 val clear : 'v t -> unit
 (** Drop all entries and reset the counters. *)

@@ -1,0 +1,193 @@
+let magic = "GPPCACHE"
+
+let format_version = 1
+
+let suffix = ".gppc"
+
+let temp_suffix = ".gppc.tmp"
+
+(* Table names are dot-separated identifiers ("transform.search"); keep
+   the mapping to file names injective and path-safe anyway. *)
+let path ~dir ~table =
+  let safe =
+    String.map (fun c -> if c = '/' || c = '\\' || c = '\000' then '_' else c) table
+  in
+  Filename.concat dir (safe ^ suffix)
+
+type entry = { key : string; payload : string }
+
+type header_error =
+  | Missing
+  | Unreadable of string
+  | Bad_magic
+  | Bad_version of int
+  | Bad_tag of string
+  | Truncated_header
+
+let describe_header_error = function
+  | Missing -> "no store file"
+  | Unreadable msg -> Printf.sprintf "unreadable (%s)" msg
+  | Bad_magic -> "bad magic (not a grophecy cache store)"
+  | Bad_version v -> Printf.sprintf "format version %d (this build reads %d)" v format_version
+  | Bad_tag tag -> Printf.sprintf "stale tag %S" tag
+  | Truncated_header -> "truncated header"
+
+type load_result = {
+  entries : entry list;
+  corrupt : int;
+  header : header_error option;
+}
+
+type verify_report = {
+  vpath : string;
+  total : int;
+  intact : int;
+  vcorrupt : int;
+  vheader : header_error option;
+}
+
+let i32_to_bytes i =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 i;
+  Bytes.unsafe_to_string b
+
+let u32_to_bytes n = i32_to_bytes (Int32.of_int n)
+
+(* Unsigned read: lengths and counts are always in [0, 2^32). *)
+let u32_at data pos = Int32.to_int (String.get_int32_le data pos) land 0xFFFF_FFFF
+
+let header_size = String.length magic + 4 (* version *) + 4 (* tag length *)
+
+(* Parse the header; [Ok (tag, entries_offset)] or the reason the whole
+   file must be skipped.  [expect_tag = None] accepts any tag (verify). *)
+let parse_header data ~expect_tag =
+  let len = String.length data in
+  if len < header_size then Error Truncated_header
+  else if String.sub data 0 (String.length magic) <> magic then Error Bad_magic
+  else
+    let version = u32_at data (String.length magic) in
+    if version <> format_version then Error (Bad_version version)
+    else
+      let tag_len = u32_at data (String.length magic + 4) in
+      if tag_len > len - header_size then Error Truncated_header
+      else
+        let tag = String.sub data header_size tag_len in
+        match expect_tag with
+        | Some expected when not (String.equal tag expected) -> Error (Bad_tag tag)
+        | _ -> Ok (tag, header_size + tag_len)
+
+(* Walk the entry stream from [pos], calling [emit] for each entry that
+   passes its CRC.  Returns (intact, corrupt).  A bad CRC only skips
+   that entry (the framing survived); an impossible length or a
+   truncated tail ends the walk — everything past broken framing is
+   unreachable and counted as one corrupt region. *)
+let walk_entries data ~pos ~emit =
+  let len = String.length data in
+  let intact = ref 0 and corrupt = ref 0 in
+  let pos = ref pos in
+  let continue = ref true in
+  while !continue && !pos < len do
+    if len - !pos < 8 then begin
+      incr corrupt;
+      continue := false
+    end
+    else
+      let key_len = u32_at data !pos in
+      let payload_len = u32_at data (!pos + 4) in
+      if key_len > len || payload_len > len || len - !pos - 8 < key_len + payload_len + 4 then begin
+        incr corrupt;
+        continue := false
+      end
+      else begin
+        let key = String.sub data (!pos + 8) key_len in
+        let payload = String.sub data (!pos + 8 + key_len) payload_len in
+        let stored_crc = String.get_int32_le data (!pos + 8 + key_len + payload_len) in
+        if Int32.equal stored_crc (Crc32.strings [ key; payload ]) then begin
+          incr intact;
+          emit { key; payload }
+        end
+        else incr corrupt;
+        pos := !pos + 8 + key_len + payload_len + 4
+      end
+  done;
+  (!intact, !corrupt)
+
+let read_file path =
+  if not (Sys.file_exists path) then Error Missing
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | data -> Ok data
+    | exception Sys_error msg -> Error (Unreadable msg)
+
+let load ~path ~tag =
+  match read_file path with
+  | Error e -> { entries = []; corrupt = 0; header = Some e }
+  | Ok data -> (
+      match parse_header data ~expect_tag:(Some tag) with
+      | Error e -> { entries = []; corrupt = 0; header = Some e }
+      | Ok (_, pos) ->
+          let acc = ref [] in
+          let _, corrupt = walk_entries data ~pos ~emit:(fun e -> acc := e :: !acc) in
+          { entries = List.rev !acc; corrupt; header = None })
+
+let verify ~path =
+  match read_file path with
+  | Error e -> { vpath = path; total = 0; intact = 0; vcorrupt = 0; vheader = Some e }
+  | Ok data -> (
+      match parse_header data ~expect_tag:None with
+      | Error e -> { vpath = path; total = 0; intact = 0; vcorrupt = 0; vheader = Some e }
+      | Ok (_, pos) ->
+          let intact, corrupt = walk_entries data ~pos ~emit:(fun _ -> ()) in
+          { vpath = path; total = intact + corrupt; intact; vcorrupt = corrupt; vheader = None })
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    ensure_dir (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save ~path ~tag entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_string buf (u32_to_bytes format_version);
+  Buffer.add_string buf (u32_to_bytes (String.length tag));
+  Buffer.add_string buf tag;
+  List.iter
+    (fun { key; payload } ->
+      Buffer.add_string buf (u32_to_bytes (String.length key));
+      Buffer.add_string buf (u32_to_bytes (String.length payload));
+      Buffer.add_string buf key;
+      Buffer.add_string buf payload;
+      Buffer.add_string buf (i32_to_bytes (Crc32.strings [ key; payload ])))
+    entries;
+  let tmp = Filename.chop_suffix path suffix ^ temp_suffix in
+  try
+    ensure_dir (Filename.dirname path);
+    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
+    Sys.rename tmp path;
+    Ok (Buffer.length buf)
+  with Sys_error msg ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    Error msg
+
+let list_dir ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+      Array.to_list names
+      |> List.filter (fun n -> Filename.check_suffix n suffix)
+      |> List.sort String.compare
+      |> List.map (Filename.concat dir)
+
+let clear_dir ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      Array.fold_left
+        (fun removed n ->
+          if Filename.check_suffix n suffix || Filename.check_suffix n temp_suffix then (
+            match Sys.remove (Filename.concat dir n) with
+            | () -> removed + 1
+            | exception Sys_error _ -> removed)
+          else removed)
+        0 names

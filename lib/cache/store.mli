@@ -1,0 +1,90 @@
+(** On-disk tier of the projection cache: one store file per memo table.
+
+    A store file is a sequence of (key, payload) entries in a versioned
+    binary framing:
+
+    {v
+    magic     8 bytes   "GPPCACHE"
+    version   u32 LE    format version (see {!format_version})
+    tag       u32 LE length + bytes; table name, schema version, and
+                        the producing runtime (payloads are marshalled,
+                        so files never cross OCaml versions or word
+                        sizes)
+    entry*    u32 LE key length
+              u32 LE payload length
+              key bytes
+              payload bytes
+              u32 LE CRC-32 of key and payload
+    v}
+
+    Writers stage the whole file beside its final path and atomically
+    [rename] it into place, so readers never observe a half-written
+    store.  Loading is corruption-safe by construction: a missing,
+    truncated, version-mismatched, or checksum-failing file degrades to
+    fewer cache entries — it is reported to the caller (and logged by
+    the memo layer) but never raises. *)
+
+val format_version : int
+
+val suffix : string
+(** File suffix of store files ([".gppc"]). *)
+
+val temp_suffix : string
+(** Suffix of staging files ([".gppc.tmp"]); leftovers from an
+    interrupted writer are ignored by {!load} and removed by
+    {!clear_dir}. *)
+
+val path : dir:string -> table:string -> string
+(** [path ~dir ~table] is [dir/<table>.gppc]. *)
+
+type entry = { key : string; payload : string }
+
+type header_error =
+  | Missing  (** No file at the path — a cold cache, not an error. *)
+  | Unreadable of string
+  | Bad_magic
+  | Bad_version of int  (** Format version found (this build wants {!format_version}). *)
+  | Bad_tag of string  (** Tag found — another table, schema, or runtime. *)
+  | Truncated_header
+
+val describe_header_error : header_error -> string
+
+type load_result = {
+  entries : entry list;  (** Checksum-verified entries, in file order. *)
+  corrupt : int;  (** Entries dropped: bad CRC, impossible framing, or a
+                      truncated tail. *)
+  header : header_error option;  (** [Some _] when the file as a whole
+                                     was skipped ([entries] is []). *)
+}
+
+val load : path:string -> tag:string -> load_result
+(** Never raises; every failure mode is reported in the result. *)
+
+val save : path:string -> tag:string -> entry list -> (int, string) result
+(** [save ~path ~tag entries] writes a fresh store via temp-file +
+    atomic rename, creating the directory if needed, and returns the
+    file size in bytes.  [Error] carries a human-readable reason (e.g.
+    an unwritable directory); it never raises. *)
+
+type verify_report = {
+  vpath : string;
+  total : int;  (** Entries examined. *)
+  intact : int;  (** Entries whose framing and CRC check out. *)
+  vcorrupt : int;  (** Entries that fail their CRC or whose framing is
+                       impossible (the walk stops at broken framing). *)
+  vheader : header_error option;
+}
+
+val verify : path:string -> verify_report
+(** Walk a store file and checksum every entry without decoding any
+    payload.  Tag mismatches are reported via [vheader] but the entry
+    walk still runs (the framing is tag-independent within a format
+    version). *)
+
+val list_dir : dir:string -> string list
+(** Paths of the store files in [dir], sorted; [] if the directory does
+    not exist. *)
+
+val clear_dir : dir:string -> int
+(** Remove every store file and leftover staging file in [dir]; returns
+    how many files were removed. *)

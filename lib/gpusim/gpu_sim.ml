@@ -207,6 +207,9 @@ let run ?(config = default_config) ?trace ~rng ~gpu (c : Characteristics.t) =
 let run_mean_memo : (float, string) Stdlib.Result.t Gpp_cache.Memo.t =
   Gpp_cache.Memo.create ~name:"gpusim.run_mean" ~capacity:4096 ()
 
+(* Bump the schema if the memoized result type ever changes shape. *)
+let () = Gpp_cache.Memo.persist ~schema:1 run_mean_memo
+
 let add_config_fingerprint fp config =
   let module F = Gpp_cache.Fingerprint in
   F.add_float fp config.streaming_efficiency;

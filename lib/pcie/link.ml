@@ -137,8 +137,16 @@ let transfer_time t direction memory ~bytes =
 
 let mean_transfer_time t ~runs direction memory ~bytes =
   if runs <= 0 then invalid_arg "Link.mean_transfer_time: runs must be positive";
-  let samples = List.init runs (fun _ -> transfer_time t direction memory ~bytes) in
-  Gpp_util.Stats.mean samples
+  (* Draw strictly left to right: [List.init]'s application order is
+     unspecified, and each draw advances the link's rng, so the mean
+     (a float sum over the sample list) would otherwise depend on the
+     stdlib's current choice.  test_pcie pins a golden calibration
+     value against this order. *)
+  let rec draw k acc =
+    if k = 0 then List.rev acc
+    else draw (k - 1) (transfer_time t direction memory ~bytes :: acc)
+  in
+  Gpp_util.Stats.mean (draw runs [])
 
 let pinned_bandwidth t direction =
   (* Asymptotic: bytes / wire_time for a large transfer. *)

@@ -45,6 +45,10 @@ let configs_of_space space =
 let search_memo : candidate list Gpp_cache.Memo.t =
   Gpp_cache.Memo.create ~name:"transform.search" ~capacity:1024 ()
 
+(* Bump the schema whenever [candidate] (or anything reachable from it)
+   changes shape: stale store files are then skipped, not misread. *)
+let () = Gpp_cache.Memo.persist ~schema:1 search_memo
+
 let search_key ~params ~space ~gpu ~decls kernel =
   let module F = Gpp_cache.Fingerprint in
   let fp = F.create () in

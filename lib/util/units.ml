@@ -2,9 +2,26 @@ let kib = 1024
 let mib = 1024 * 1024
 let gib = 1024 * 1024 * 1024
 
-let bytes_of_kib x = int_of_float (Float.round (x *. float_of_int kib))
-let bytes_of_mib x = int_of_float (Float.round (x *. float_of_int mib))
-let bytes_of_gib x = int_of_float (Float.round (x *. float_of_int gib))
+(* [int_of_float] on a non-finite or out-of-range float silently
+   produces an unspecified value (typically a wrapped, possibly
+   negative count that surfaces much later as a confusing invalid_arg
+   deep in Link), so every float->byte-count conversion is guarded
+   here, at the boundary.  Note [float_of_int max_int] rounds up to
+   2^62, which does NOT fit, hence [>=]. *)
+let checked_bytes x =
+  if not (Float.is_finite x) then None
+  else
+    let r = Float.round x in
+    if r < 0.0 || r >= float_of_int max_int then None else Some (int_of_float r)
+
+let bytes_or_invalid ~what x =
+  match checked_bytes x with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "%s: %g is not a representable byte count" what x)
+
+let bytes_of_kib x = bytes_or_invalid ~what:"Units.bytes_of_kib" (x *. float_of_int kib)
+let bytes_of_mib x = bytes_or_invalid ~what:"Units.bytes_of_mib" (x *. float_of_int mib)
+let bytes_of_gib x = bytes_or_invalid ~what:"Units.bytes_of_gib" (x *. float_of_int gib)
 
 let mib_of_bytes b = float_of_int b /. float_of_int mib
 
@@ -64,4 +81,4 @@ let parse_bytes s =
         in
         match scale suffix with
         | None -> None
-        | Some k -> Some (int_of_float (Float.round (value *. k))))
+        | Some k -> checked_bytes (value *. k))

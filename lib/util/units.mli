@@ -13,6 +13,11 @@ val gib : int
 val bytes_of_kib : float -> int
 val bytes_of_mib : float -> int
 val bytes_of_gib : float -> int
+(** Rounded byte counts.  All three raise [Invalid_argument] with a
+    clear message when the input is non-finite, negative, or would
+    overflow [max_int] — instead of silently wrapping to a garbage
+    (possibly negative) size that only blows up later inside the
+    transfer model. *)
 
 val mib_of_bytes : int -> float
 (** Fractional MiB, e.g. for reporting Table I transfer sizes. *)
@@ -51,4 +56,6 @@ val bandwidth_to_string : float -> string
 val parse_bytes : string -> int option
 (** Parse strings such as ["97000"], ["4 KiB"], ["512MiB"], ["1.5 GiB"],
     ["64kb"] (case-insensitive, optional space, 'b' suffix optional on
-    the prefix).  Returns [None] on malformed input or negative sizes. *)
+    the prefix).  Returns [None] on malformed input, negative sizes, and
+    sizes that do not fit an [int] byte count (e.g.
+    ["99999999999999 GiB"]). *)

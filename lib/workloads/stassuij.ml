@@ -71,11 +71,25 @@ module Reference = struct
 
   type complex_matrix = { m_rows : int; m_cols : int; re : float array; im : float array }
 
+  (* [Array.init] with an effectful body has unspecified application
+     order; every rng-drawing site below fills its array with an
+     explicit ascending loop so the draw order (and hence the generated
+     matrices) cannot drift with the stdlib. *)
+  let init_in_order n f =
+    if n = 0 then [||]
+    else begin
+      let a = Array.make n (f 0) in
+      for i = 1 to n - 1 do
+        a.(i) <- f i
+      done;
+      a
+    end
+
   let random_csr ?(seed = 42L) ~rows ~cols ~density () =
     if density <= 0.0 || density > 1.0 then invalid_arg "Stassuij.random_csr: bad density";
     let rng = Gpp_util.Rng.create seed in
     let row_entries =
-      Array.init rows (fun _ ->
+      init_in_order rows (fun _ ->
           let want = max 1 (int_of_float (Float.round (density *. float_of_int cols))) in
           (* Distinct, sorted column indices for this row. *)
           let chosen = Hashtbl.create want in
@@ -106,12 +120,11 @@ module Reference = struct
 
   let random_complex ?(seed = 7L) ~rows ~cols () =
     let rng = Gpp_util.Rng.create seed in
-    {
-      m_rows = rows;
-      m_cols = cols;
-      re = Array.init (rows * cols) (fun _ -> Gpp_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0);
-      im = Array.init (rows * cols) (fun _ -> Gpp_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0);
-    }
+    (* Bind [re] before [im]: record-field evaluation order is also
+       unspecified, and both draw from the same stream. *)
+    let re = init_in_order (rows * cols) (fun _ -> Gpp_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+    let im = init_in_order (rows * cols) (fun _ -> Gpp_util.Rng.uniform rng ~lo:(-1.0) ~hi:1.0) in
+    { m_rows = rows; m_cols = cols; re; im }
 
   let zeros ~rows ~cols =
     { m_rows = rows; m_cols = cols; re = Array.make (rows * cols) 0.0; im = Array.make (rows * cols) 0.0 }

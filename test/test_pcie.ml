@@ -216,6 +216,30 @@ let test_calibrate_all () =
   let link = make_link () in
   Alcotest.(check int) "four combinations" 4 (List.length (Calibrate.calibrate_all link))
 
+(* Golden calibration: exact bit patterns from the default-seeded link.
+   These pin the rng draw *order* — [mean_transfer_time] and the
+   calibration sweeps must consume samples strictly left to right, not
+   in [List.init]'s unspecified application order — and double as a
+   cross-process determinism anchor for the persistent cache (a value
+   computed in one process must equal the one a later process would
+   recompute).  A mismatch means the sampling order, the rng, or the
+   link model changed: all of them invalidate recorded experiments, so
+   the change must be deliberate (update the constants and bump the
+   affected memo schemas). *)
+
+let check_bits name expected actual =
+  if not (Int64.equal (Int64.bits_of_float expected) (Int64.bits_of_float actual)) then
+    Alcotest.failf "%s: expected %h, got %h" name expected actual
+
+let test_golden_calibration () =
+  let h2d, d2h = Calibrate.calibrate_pinned_pair (make_link ()) in
+  check_bits "h2d alpha" 0x1.58070ef2267b6p-17 (Model.latency h2d);
+  check_bits "h2d bandwidth" 0x1.295ef50a8bf2cp+31 (Model.bandwidth h2d);
+  check_bits "d2h alpha" 0x1.9469463a4d277p-17 (Model.latency d2h);
+  check_bits "d2h bandwidth" 0x1.208fa44742848p+31 (Model.bandwidth d2h);
+  check_bits "mean of ten 4 KiB pinned h2d draws" 0x1.89939ca63c019p-17
+    (Link.mean_transfer_time (make_link ()) ~runs:10 Link.Host_to_device Link.Pinned ~bytes:4096)
+
 let () =
   Alcotest.run "gpp_pcie"
     [
@@ -243,5 +267,6 @@ let () =
           Alcotest.test_case "power-of-two sizes" `Quick test_power_of_two_sizes;
           Alcotest.test_case "least squares" `Quick test_least_squares_calibration;
           Alcotest.test_case "all combinations" `Quick test_calibrate_all;
+          Alcotest.test_case "golden values" `Quick test_golden_calibration;
         ] );
     ]

@@ -161,6 +161,30 @@ let test_parse_bytes () =
   Alcotest.(check (option int)) "bad suffix" None (Units.parse_bytes "12 pb");
   Alcotest.(check (option int)) "negative" None (Units.parse_bytes "-5")
 
+(* Sizes outside an int byte count must be rejected, not silently
+   wrapped by [int_of_float] into a garbage (possibly negative) count. *)
+let test_bytes_overflow () =
+  Alcotest.(check (option int)) "overflowing GiB count" None
+    (Units.parse_bytes "99999999999999 GiB");
+  Alcotest.(check (option int)) "overflowing plain count" None
+    (Units.parse_bytes "99999999999999999999");
+  Alcotest.(check (option int)) "infinite value" None (Units.parse_bytes "1e999 KiB");
+  (* Largest whole GiB count that still fits an int on 64-bit. *)
+  (match Units.parse_bytes "4294967295 GiB" with
+  | Some v -> Alcotest.(check bool) "near-max GiB is positive" true (v > 0)
+  | None -> Alcotest.fail "4294967295 GiB should parse");
+  Helpers.check_raises_invalid "bytes_of_gib overflow" (fun () ->
+      ignore (Units.bytes_of_gib 1e30));
+  Helpers.check_raises_invalid "bytes_of_gib nan" (fun () -> ignore (Units.bytes_of_gib Float.nan));
+  Helpers.check_raises_invalid "bytes_of_gib infinity" (fun () ->
+      ignore (Units.bytes_of_gib Float.infinity));
+  Helpers.check_raises_invalid "bytes_of_kib negative" (fun () ->
+      ignore (Units.bytes_of_kib (-1.0)));
+  Helpers.check_raises_invalid "bytes_of_mib overflow" (fun () ->
+      ignore (Units.bytes_of_mib 1e18));
+  Alcotest.(check int) "max_int boundary itself is rejected, below is fine" (4 * Units.gib)
+    (Units.bytes_of_gib 4.0)
+
 let test_parse_format_roundtrip =
   Helpers.qtest "format then parse is identity on whole KiB"
     QCheck2.Gen.(int_range 1 4096)
@@ -252,6 +276,7 @@ let () =
           Alcotest.test_case "constants" `Quick test_unit_constants;
           Alcotest.test_case "formatting" `Quick test_unit_formatting;
           Alcotest.test_case "parsing" `Quick test_parse_bytes;
+          Alcotest.test_case "overflow guards" `Quick test_bytes_overflow;
           test_parse_format_roundtrip;
         ] );
       ( "rendering",
