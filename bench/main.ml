@@ -71,6 +71,50 @@ let machine = Gpp_arch.Machine.argonne_node
 
 let session = lazy (Gpp_core.Grophecy.init machine)
 
+(* Observability overhead: time a span-heavy workload (the hotspot
+   transform search, ~hundreds of candidate spans) with the obs layer
+   idle, enabled, and enabled + tracing to a file.  Run manually ahead
+   of the bechamel suites — toggling the process-wide flag inside a
+   staged test would contaminate every other bench. *)
+
+let obs_overhead () =
+  print_endline "obs overhead: transform search (idle / enabled / enabled+trace)";
+  let program = Gpp_workloads.Hotspot.program ~n:1024 () in
+  let kernel = List.hd program.Gpp_skeleton.Program.kernels in
+  let search () =
+    ignore
+      (Gpp_cache.Control.without_cache (fun () ->
+           Gpp_transform.Explore.search ~gpu:machine.Gpp_arch.Machine.gpu
+             ~decls:program.Gpp_skeleton.Program.arrays kernel))
+  in
+  let reps = 20 in
+  let timed_reps () =
+    search ();
+    (* warm-up *)
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      search ()
+    done;
+    (Sys.time () -. t0) /. float_of_int reps *. 1e3
+  in
+  let idle = timed_reps () in
+  Printf.printf "  obs idle:        %8.3f ms/search\n%!" idle;
+  Gpp_obs.Obs.set_enabled true;
+  let enabled = timed_reps () in
+  Printf.printf "  obs enabled:     %8.3f ms/search  (+%.1f%%)\n%!" enabled
+    ((enabled /. idle -. 1.0) *. 100.0);
+  let trace_file = Filename.temp_file "gpp-bench-trace" ".json" in
+  (match Gpp_obs.Obs.start_trace trace_file with
+  | Ok () -> ()
+  | Error e -> failwith ("start_trace: " ^ e));
+  let traced = timed_reps () in
+  Gpp_obs.Obs.stop_trace ();
+  Printf.printf "  obs + trace:     %8.3f ms/search  (+%.1f%%)\n%!" traced
+    ((traced /. idle -. 1.0) *. 100.0);
+  Sys.remove trace_file;
+  Gpp_obs.Obs.set_enabled false;
+  Gpp_obs.Obs.reset ()
+
 let stage_tests =
   [
     Test.make ~name:"stage:calibration"
@@ -135,6 +179,7 @@ let benchmark () =
 
 let () =
   cache_ab ();
+  obs_overhead ();
   (* Force the shared context up front so its (substantial) cost is not
      attributed to the first benchmark. *)
   print_endline "building measurement context (calibration + all Table I workloads)...";

@@ -5,7 +5,9 @@
      experiments --list           print the available ids
      experiments --no-cache      bypass the projection cache (both tiers)
      experiments --cache-dir DIR  persistent cache location
-                                  (default: GPP_CACHE_DIR, then XDG) *)
+                                  (default: GPP_CACHE_DIR, then XDG)
+     experiments --trace FILE     stream a Chrome trace of the run to FILE
+                                  and print a per-phase summary to stderr *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -17,15 +19,34 @@ let () =
   end;
   let no_cache = List.mem "--no-cache" args in
   let args = List.filter (fun a -> a <> "--no-cache") args in
-  let rec extract_cache_dir acc = function
-    | "--cache-dir" :: dir :: rest -> (Some dir, List.rev_append acc rest)
-    | "--cache-dir" :: [] ->
-        prerr_endline "experiments: --cache-dir needs a directory argument";
-        exit 2
-    | arg :: rest -> extract_cache_dir (arg :: acc) rest
-    | [] -> (None, List.rev acc)
+  let extract_opt name args =
+    let rec go acc = function
+      | opt :: value :: rest when opt = name -> (Some value, List.rev_append acc rest)
+      | [ opt ] when opt = name ->
+          Printf.eprintf "experiments: %s needs an argument\n" name;
+          exit 2
+      | arg :: rest -> go (arg :: acc) rest
+      | [] -> (None, List.rev acc)
+    in
+    go [] args
   in
-  let cache_dir, args = extract_cache_dir [] args in
+  let cache_dir, args = extract_opt "--cache-dir" args in
+  let trace, args = extract_opt "--trace" args in
+  (* The trace trailer is written after the final cache flush (at_exit
+     runs handlers in reverse registration order), so flush events land
+     in the timeline. *)
+  (match trace with
+  | None -> ()
+  | Some file -> (
+      Gpp_obs.Obs.set_enabled true;
+      match Gpp_obs.Obs.start_trace file with
+      | Ok () ->
+          at_exit (fun () ->
+              Gpp_obs.Obs.stop_trace ();
+              Gpp_obs.Obs.print_summary ();
+              Printf.eprintf "wrote %s (open in chrome://tracing or Perfetto)\n" file)
+      | Error e ->
+          Printf.eprintf "experiments: cannot open trace file %s: %s (tracing disabled)\n" file e));
   Option.iter Gpp_cache.Control.set_dir cache_dir;
   if no_cache then begin
     Gpp_cache.Control.set_enabled false;
@@ -47,11 +68,12 @@ let () =
   in
   Printf.printf "GROPHECY++ reproduction: regenerating %d experiment(s)\n" (List.length selected);
   Printf.printf "calibrating the simulated testbed and measuring all workloads...\n%!";
-  let ctx = Gpp_experiments.Context.create () in
+  let ctx = Gpp_obs.Obs.span "experiment.context" (fun () -> Gpp_experiments.Context.create ()) in
   Format.printf "%a@.@." Gpp_arch.Machine.pp (Gpp_experiments.Context.machine ctx);
   List.iter
     (fun (e : Gpp_experiments.Suite.entry) ->
-      Gpp_experiments.Output.print (e.run ctx);
+      let out = Gpp_obs.Obs.span ("experiment." ^ e.id) (fun () -> e.run ctx) in
+      Gpp_experiments.Output.print out;
       print_newline ())
     selected;
   Printf.printf "projection cache: %s\n" (if no_cache then "bypassed (--no-cache)" else "enabled");

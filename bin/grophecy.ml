@@ -34,14 +34,38 @@ let cache_dir_arg =
   in
   Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
-(* Shared --verbose/--no-cache/--cache-dir preamble.  Cache statistics
-   land on the gpp.core log source at info level, so they show up under
-   -v.  With caching on, the persistent tier is loaded up front and
-   flushed on exit (at_exit covers every exit path of Cmd.eval'); with
-   --no-cache both tiers are off, so stale disk state can never leak
-   into a run that asked for a recompute. *)
-let setup_run verbose no_cache cache_dir =
+let trace_file_arg =
+  let doc =
+    "Enable observability and stream a Chrome trace-event JSON timeline of the run to $(docv) \
+     (open it in chrome://tracing or https://ui.perfetto.dev).  A per-phase summary table is \
+     printed to stderr when the run ends.  Without this flag the instrumentation is a no-op and \
+     output is byte-identical."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Shared --verbose/--no-cache/--cache-dir/--trace preamble.  Cache
+   statistics land on the gpp.core log source at info level, so they
+   show up under -v.  With caching on, the persistent tier is loaded up
+   front and flushed on exit (at_exit covers every exit path of
+   Cmd.eval'); with --no-cache both tiers are off, so stale disk state
+   can never leak into a run that asked for a recompute.
+
+   The trace sink is set up *before* the cache at_exit is registered:
+   at_exit handlers run in reverse order, so the final cache flush is
+   still captured by the trace before the trailer is written. *)
+let setup_run verbose no_cache cache_dir trace =
   setup_logs verbose;
+  (match trace with
+  | None -> ()
+  | Some file -> (
+      Gpp_obs.Obs.set_enabled true;
+      match Gpp_obs.Obs.start_trace file with
+      | Ok () ->
+          at_exit (fun () ->
+              Gpp_obs.Obs.stop_trace ();
+              Gpp_obs.Obs.print_summary ();
+              Format.eprintf "wrote %s (open in chrome://tracing or Perfetto)@." file)
+      | Error e -> Format.eprintf "cannot open trace file %s: %s (tracing disabled)@." file e));
   Option.iter Gpp_cache.Control.set_dir cache_dir;
   if no_cache then begin
     Gpp_cache.Control.set_enabled false;
@@ -167,16 +191,16 @@ let list_cmd =
 
 (* project *)
 
-let project machine seed key iterations no_cache cache_dir verbose =
-  setup_run verbose no_cache cache_dir;
-  match resolve_workload key with
+let project machine seed key iterations no_cache cache_dir trace verbose =
+  setup_run verbose no_cache cache_dir trace;
+  match Gpp_obs.Obs.span "parse" (fun () -> resolve_workload key) with
   | Error e ->
       prerr_endline e;
       2
   | Ok inst -> (
       let session = session_of machine seed in
       let program = Gpp_skeleton.Program.with_iterations (inst.program 1) iterations in
-      warn_diagnostics ~machine program;
+      Gpp_obs.Obs.span "analysis.lint" (fun () -> warn_diagnostics ~machine program);
       match
         Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
           ~d2h:session.Gpp_core.Grophecy.d2h program
@@ -196,13 +220,13 @@ let project_cmd =
     (Cmd.info "project" ~doc)
     Term.(
       const project $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ no_cache_arg
-      $ cache_dir_arg $ verbose_arg)
+      $ cache_dir_arg $ trace_file_arg $ verbose_arg)
 
 (* analyze *)
 
-let analyze machine seed key iterations runs no_cache cache_dir verbose =
-  setup_run verbose no_cache cache_dir;
-  match resolve_workload key with
+let analyze machine seed key iterations runs no_cache cache_dir trace verbose =
+  setup_run verbose no_cache cache_dir trace;
+  match Gpp_obs.Obs.span "parse" (fun () -> resolve_workload key) with
   | Error e ->
       prerr_endline e;
       2
@@ -225,7 +249,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc)
     Term.(
       const analyze $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ runs_arg
-      $ no_cache_arg $ cache_dir_arg $ verbose_arg)
+      $ no_cache_arg $ cache_dir_arg $ trace_file_arg $ verbose_arg)
 
 (* export-skel *)
 
@@ -244,15 +268,15 @@ let export_skel_cmd =
 
 (* advise *)
 
-let advise machine seed key iterations no_cache cache_dir verbose =
-  setup_run verbose no_cache cache_dir;
-  match resolve_workload key with
+let advise machine seed key iterations no_cache cache_dir trace verbose =
+  setup_run verbose no_cache cache_dir trace;
+  match Gpp_obs.Obs.span "parse" (fun () -> resolve_workload key) with
   | Error e ->
       prerr_endline e;
       2
   | Ok inst -> (
       let session = session_of machine seed in
-      warn_diagnostics ~machine (inst.program 1);
+      Gpp_obs.Obs.span "analysis.lint" (fun () -> warn_diagnostics ~machine (inst.program 1));
       match
         Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
           ~d2h:session.Gpp_core.Grophecy.d2h (inst.program 1)
@@ -273,7 +297,7 @@ let advise_cmd =
     (Cmd.info "advise" ~doc)
     Term.(
       const advise $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ no_cache_arg
-      $ cache_dir_arg $ verbose_arg)
+      $ cache_dir_arg $ trace_file_arg $ verbose_arg)
 
 (* lint *)
 
@@ -438,21 +462,101 @@ let trace machine seed key output verbose =
           in
           status)
 
+(* trace selftest: emit a miniature trace through the real span/counter
+   machinery (every canonical pipeline phase appears), then validate it
+   with the built-in checker — no external tooling, so CI can gate on
+   it.  With a FILE argument it validates that file instead, which is
+   how CI checks traces produced by real runs. *)
+
+let trace_selftest file verbose =
+  setup_logs verbose;
+  match file with
+  | Some path -> (
+      match Gpp_obs.Validate.validate_file path with
+      | Ok stats ->
+          Format.printf "%s: valid Chrome trace (%a)@." path Gpp_obs.Validate.pp_stats stats;
+          0
+      | Error e ->
+          Format.eprintf "%s: INVALID trace: %s@." path e;
+          1)
+  | None -> (
+      let module Obs = Gpp_obs.Obs in
+      let path = Filename.temp_file "grophecy-selftest" ".trace.json" in
+      let finish status =
+        Obs.set_enabled false;
+        Obs.reset ();
+        (try Sys.remove path with Sys_error _ -> ());
+        status
+      in
+      Obs.set_enabled true;
+      match Obs.start_trace path with
+      | Error e ->
+          Format.eprintf "trace selftest: cannot open %s: %s@." path e;
+          finish 1
+      | Ok () ->
+          Obs.span "selftest" (fun () ->
+              Obs.span "parse" (fun () -> ());
+              Obs.span "analysis.lint" (fun () -> ());
+              Obs.span "core.project" (fun () ->
+                  Obs.span "core.search" (fun () ->
+                      Obs.span "transform.search" (fun () ->
+                          Obs.span "transform.candidate" (fun () -> ())));
+                  Obs.span "dataflow.analyze" (fun () -> ());
+                  Obs.span "core.price_transfers" (fun () -> ()));
+              Obs.span "core.measure" (fun () ->
+                  Obs.span "gpusim.run_mean" (fun () -> Obs.span "gpusim.run" (fun () -> ()));
+                  Obs.span "pcie.transfer" (fun () -> ()));
+              Obs.event ~detail:"selftest" "cache.hit";
+              Obs.add (Obs.counter "selftest.counter") 42);
+          Obs.stop_trace ();
+          (match Gpp_obs.Validate.validate_file path with
+          | Ok stats ->
+              Format.printf "trace selftest: ok (%a)@." Gpp_obs.Validate.pp_stats stats;
+              finish 0
+          | Error e ->
+              Format.eprintf "trace selftest: emitted trace is INVALID: %s@." e;
+              finish 1))
+
 let trace_cmd =
-  let doc = "Simulate a workload's kernels and export Chrome-trace timelines." in
+  let doc =
+    "Simulate a workload's kernels and export Chrome-trace timelines, or ($(b,trace selftest)) \
+     check the observability layer's own trace output."
+  in
   let output_arg =
     Arg.(
       value & opt string "gpp-trace"
       & info [ "output"; "o" ] ~docv:"PREFIX" ~doc:"Output path prefix for the trace JSON files.")
   in
-  Cmd.v
-    (Cmd.info "trace" ~doc)
-    Term.(const trace $ machine_arg $ seed_arg $ workload_arg $ output_arg $ verbose_arg)
+  (* Workload keys are free-form ("hotspot/1024 x 1024"), so selftest
+     cannot be a Cmd.group subcommand — the group would reject every
+     workload as an unknown command name.  Dispatch on the first
+     positional instead: no bundled workload is named "selftest". *)
+  let target_arg =
+    let doc =
+      "Workload instance as $(b,app/size) (e.g. $(b,cfd/97K)), or the literal $(b,selftest) to \
+       emit a miniature trace through the observability layer and validate it — exits 1 if the \
+       trace is malformed; CI gates on this."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD|selftest" ~doc)
+  in
+  let file_arg =
+    Arg.(
+      value & pos 1 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"With $(b,selftest): an existing trace JSON file to validate instead.")
+  in
+  let dispatch machine seed target file output verbose =
+    match target with
+    | "selftest" -> trace_selftest file verbose
+    | key -> trace machine seed key output verbose
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const dispatch $ machine_arg $ seed_arg $ target_arg $ file_arg $ output_arg $ verbose_arg)
 
 (* experiment *)
 
-let experiment ids list_only csv_dir no_cache cache_dir verbose =
-  setup_run verbose no_cache cache_dir;
+let experiment ids list_only csv_dir no_cache cache_dir trace verbose =
+  setup_run verbose no_cache cache_dir trace;
   if list_only then begin
     List.iter
       (fun (e : Gpp_experiments.Suite.entry) -> Printf.printf "%-26s %s\n" e.id e.title)
@@ -480,10 +584,11 @@ let experiment ids list_only csv_dir no_cache cache_dir verbose =
         Printf.eprintf "unknown experiment id %s (try --list)\n" id;
         2
     | Ok entries ->
-        let ctx = Gpp_experiments.Context.create () in
+        let ctx = Gpp_obs.Obs.span "experiment.context" (fun () -> Gpp_experiments.Context.create ()) in
         List.iter
           (fun (e : Gpp_experiments.Suite.entry) ->
-            Gpp_experiments.Output.print (e.run ctx);
+            let out = Gpp_obs.Obs.span ("experiment." ^ e.id) (fun () -> e.run ctx) in
+            Gpp_experiments.Output.print out;
             print_newline ())
           entries;
         (match csv_dir with
@@ -508,7 +613,8 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment" ~doc)
     Term.(
-      const experiment $ ids_arg $ list_arg $ csv_arg $ no_cache_arg $ cache_dir_arg $ verbose_arg)
+      const experiment $ ids_arg $ list_arg $ csv_arg $ no_cache_arg $ cache_dir_arg
+      $ trace_file_arg $ verbose_arg)
 
 (* cache *)
 
@@ -516,27 +622,63 @@ let resolve_cache_dir cache_dir =
   Option.iter Gpp_cache.Control.set_dir cache_dir;
   Gpp_cache.Control.dir ()
 
-let cache_stats cache_dir verbose =
+(* Counters are read from the shared observability registry (lib/obs) —
+   the same one a traced run reports — so the disk-tier numbers here
+   and in `--trace` summaries can never disagree.  Observability is
+   enabled for the duration of the command so the load below lands in
+   the registry. *)
+let cache_stats cache_dir porcelain verbose =
   setup_logs verbose;
   let dir = resolve_cache_dir cache_dir in
-  Printf.printf "cache directory: %s\n" dir;
+  Gpp_obs.Obs.set_enabled true;
   Gpp_cache.Memo.load_disk ();
-  List.iter
-    (fun s -> Format.printf "  %a@." Gpp_cache.Memo.pp_snapshot s)
-    (Gpp_cache.Memo.snapshots ());
-  (match Gpp_cache.Store.list_dir ~dir with
-  | [] -> Printf.printf "  (no store files)\n"
-  | files ->
-      let total =
-        List.fold_left
-          (fun acc path ->
-            let r = Gpp_cache.Store.verify ~path in
-            acc + r.Gpp_cache.Store.total)
-          0 files
-      in
-      Printf.printf "  %d store file(s), %d entr%s on disk\n" (List.length files) total
-        (if total = 1 then "y" else "ies"));
-  0
+  let files = Gpp_cache.Store.list_dir ~dir in
+  if porcelain then begin
+    (* Stable machine-readable output, one record per line, TAB-separated:
+         dir\t<path>
+         table\t<name>\t<hits>\t<misses>\t<evictions>\t<bypasses>\t<entries>\t<capacity>
+         store\t<path>\t<entries>\t<corrupt>
+         counter\t<name>\t<value>
+       CI picks store filenames out of this instead of hardcoding them. *)
+    Printf.printf "dir\t%s\n" dir;
+    List.iter
+      (fun (s : Gpp_cache.Memo.snapshot) ->
+        Printf.printf "table\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n" s.name s.hits s.misses s.evictions
+          s.bypasses s.entries s.capacity)
+      (Gpp_cache.Memo.snapshots ());
+    List.iter
+      (fun path ->
+        let r = Gpp_cache.Store.verify ~path in
+        Printf.printf "store\t%s\t%d\t%d\n" path r.Gpp_cache.Store.total
+          r.Gpp_cache.Store.vcorrupt)
+      files;
+    List.iter (fun (name, v) -> Printf.printf "counter\t%s\t%d\n" name v) (Gpp_obs.Obs.counters ());
+    0
+  end
+  else begin
+    Printf.printf "cache directory: %s\n" dir;
+    List.iter
+      (fun s -> Format.printf "  %a@." Gpp_cache.Memo.pp_snapshot s)
+      (Gpp_cache.Memo.snapshots ());
+    (match files with
+    | [] -> Printf.printf "  (no store files)\n"
+    | files ->
+        let total =
+          List.fold_left
+            (fun acc path ->
+              let r = Gpp_cache.Store.verify ~path in
+              acc + r.Gpp_cache.Store.total)
+            0 files
+        in
+        Printf.printf "  %d store file(s), %d entr%s on disk\n" (List.length files) total
+          (if total = 1 then "y" else "ies"));
+    (match Gpp_obs.Obs.counters () with
+    | [] -> ()
+    | counters ->
+        Printf.printf "observability counters:\n";
+        List.iter (fun (name, v) -> Printf.printf "  %-24s %d\n" name v) counters);
+    0
+  end
 
 let cache_verify cache_dir verbose =
   setup_logs verbose;
@@ -585,7 +727,15 @@ let cache_cmd =
     let doc =
       "Per-table cache statistics, including the disk tier (entries loaded, rejected, bytes)."
     in
-    Cmd.v (Cmd.info "stats" ~doc) Term.(const cache_stats $ cache_dir_arg $ verbose_arg)
+    let porcelain_arg =
+      Arg.(
+        value & flag
+        & info [ "porcelain" ]
+            ~doc:
+              "Machine-readable output: TAB-separated $(b,dir)/$(b,table)/$(b,store)/$(b,counter) \
+               records with stable field order, for scripts and CI.")
+    in
+    Cmd.v (Cmd.info "stats" ~doc) Term.(const cache_stats $ cache_dir_arg $ porcelain_arg $ verbose_arg)
   in
   let verify =
     let doc =

@@ -2,6 +2,25 @@ let log_src = Logs.Src.create "gpp.cache" ~doc:"GROPHECY++ projection cache"
 
 module Log = (val Logs.src_log log_src)
 
+module Obs = Gpp_obs.Obs
+
+(* Process-wide observability counters, shared with every other
+   instrumented stage (see lib/obs): `grophecy cache stats` and the
+   experiments suite read these instead of keeping private tallies. *)
+let c_hits = Obs.counter "cache.hits"
+
+let c_misses = Obs.counter "cache.misses"
+
+let c_bypasses = Obs.counter "cache.bypasses"
+
+let c_evictions = Obs.counter "cache.evictions"
+
+let c_disk_loaded = Obs.counter "cache.disk.loaded"
+
+let c_disk_rejected = Obs.counter "cache.disk.rejected"
+
+let c_disk_flushed = Obs.counter "cache.disk.flushed"
+
 type disk_stats = {
   path : string;
   loaded : int;
@@ -127,21 +146,27 @@ let evict_lru t =
   | Some node ->
       unlink t node;
       Hashtbl.remove t.table node.key;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      Obs.incr c_evictions
 
 let find_or_add ?(cache = true) t ~key compute =
   if not (cache && Control.is_enabled ()) then begin
     t.bypasses <- t.bypasses + 1;
+    Obs.incr c_bypasses;
     compute ()
   end
   else
     match Hashtbl.find_opt t.table key with
     | Some node ->
         t.hits <- t.hits + 1;
+        Obs.incr c_hits;
+        Obs.event ~detail:t.name "cache.hit";
         touch t node;
         node.value
     | None ->
         t.misses <- t.misses + 1;
+        Obs.incr c_misses;
+        Obs.event ~detail:t.name "cache.miss";
         let value = compute () in
         if Hashtbl.length t.table >= t.capacity then evict_lru t;
         let node = { key; value; prev = None; next = None } in
@@ -199,6 +224,9 @@ let persist ?(schema = 1) (t : 'v t) =
                 (if !rejected = 1 then "y" else "ies")
                 path);
         Log.info (fun m -> m "%s: loaded %d entries from %s" t.name !loaded path);
+        Obs.add c_disk_loaded !loaded;
+        Obs.add c_disk_rejected !rejected;
+        Obs.event ~detail:t.name "cache.load";
         t.disk <-
           Some { path; loaded = !loaded; rejected = !rejected; flushed = 0; file_bytes = file_size path }
   in
@@ -212,6 +240,8 @@ let persist ?(schema = 1) (t : 'v t) =
     match Store.save ~path ~tag entries with
     | Ok bytes ->
         Log.info (fun m -> m "%s: flushed %d entries to %s" t.name (List.length entries) path);
+        Obs.add c_disk_flushed (List.length entries);
+        Obs.event ~detail:t.name "cache.flush";
         let stats =
           match t.disk with
           | Some d -> { d with path; flushed = List.length entries; file_bytes = bytes }
@@ -227,11 +257,13 @@ let resolve_dir = function Some d -> d | None -> Control.dir ()
 
 let load_disk ?dir () =
   if Control.disk_enabled () then
+    Obs.span "cache.load" @@ fun () ->
     let dir = resolve_dir dir in
     List.iter (fun (_, load, _) -> load ~dir) !persistent
 
 let flush_disk ?dir () =
   if Control.disk_enabled () then
+    Obs.span "cache.flush" @@ fun () ->
     let dir = resolve_dir dir in
     List.iter (fun (_, _, flush) -> flush ~dir) !persistent
 

@@ -20,7 +20,10 @@ let init ?(seed = 0x1B0A_2013_6CA1_55AAL) ?(outlier_probability = 0.05) ?protoco
   let application_link =
     Link.create ~seed:(Int64.add seed 1L) { base_config with outlier_probability }
   in
-  let h2d, d2h = Calibrate.calibrate_pinned_pair ?protocol calibration_link in
+  let h2d, d2h =
+    Gpp_obs.Obs.span "pcie.calibrate" @@ fun () ->
+    Calibrate.calibrate_pinned_pair ?protocol calibration_link
+  in
   Log.info (fun m ->
       m "calibrated %s: %a / %a" machine.Gpp_arch.Machine.name Gpp_pcie.Model.pp h2d
         Gpp_pcie.Model.pp d2h);

@@ -17,6 +17,7 @@ type t = {
 
 let measure ?cache ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79B9L) ~link
     (projection : Projection.t) =
+  Gpp_obs.Obs.span "core.measure" @@ fun () ->
   let ( let* ) = Result.bind in
   let gpu = projection.Projection.machine.Gpp_arch.Machine.gpu in
   let rng = Gpp_util.Rng.create seed in

@@ -24,6 +24,7 @@ type t = {
 }
 
 let project ?cache ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program : Program.t) =
+  Gpp_obs.Obs.span "core.project" @@ fun () ->
   let ( let* ) = Result.bind in
   let* () = Program.validate program in
   let* kernels =
@@ -31,6 +32,9 @@ let project ?cache ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program :
       (fun acc (k : Gpp_skeleton.Ir.kernel) ->
         let* acc = acc in
         let* candidate =
+          (* The span exists even when the search itself is a memo hit,
+             so a traced run always shows the search phase. *)
+          Gpp_obs.Obs.span "core.search" @@ fun () ->
           Explore.best ?cache ?params:analytic_params ?space ~gpu:machine.Gpp_arch.Machine.gpu
             ~decls:program.arrays k
         in
@@ -57,7 +61,10 @@ let project ?cache ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program :
     let model = match tr.direction with Analyzer.To_device -> h2d | Analyzer.From_device -> d2h in
     { transfer = tr; time = Gpp_pcie.Model.predict model ~bytes:tr.bytes }
   in
-  let transfers = List.map price (Analyzer.transfers plan) in
+  let transfers =
+    Gpp_obs.Obs.span "core.price_transfers" @@ fun () ->
+    List.map price (Analyzer.transfers plan)
+  in
   let transfer_time = List.fold_left (fun acc pt -> acc +. pt.time) 0.0 transfers in
   Ok
     {

@@ -2,6 +2,13 @@ module Program = Gpp_skeleton.Program
 module Decl = Gpp_skeleton.Decl
 module Region = Gpp_brs.Region
 module Extract = Gpp_brs.Extract
+module Obs = Gpp_obs.Obs
+
+let c_planned = Obs.counter "dataflow.transfers"
+
+let c_conservative = Obs.counter "dataflow.conservative"
+
+let c_kernels = Obs.counter "dataflow.kernels_visited"
 
 type direction = To_device | From_device
 
@@ -35,6 +42,7 @@ let region_update name section map =
   Smap.add name region map
 
 let analyze ?(policy = default_policy) (program : Program.t) =
+  Obs.span "dataflow.analyze" @@ fun () ->
   let decls = program.arrays in
   let find_decl name =
     match List.find_opt (fun (d : Decl.t) -> d.name = name) decls with
@@ -82,7 +90,9 @@ let analyze ?(policy = default_policy) (program : Program.t) =
           (Region.sections region))
       access.Extract.writes
   in
-  List.iter visit_kernel (Program.flatten_schedule program);
+  let schedule = Program.flatten_schedule program in
+  Obs.add c_kernels (List.length schedule);
+  List.iter visit_kernel schedule;
   let transfer_of direction (array, region) =
     let d = find_decl array in
     let is_conservative = Smap.mem array !conservative in
@@ -105,6 +115,11 @@ let analyze ?(policy = default_policy) (program : Program.t) =
     |> List.map (transfer_of From_device)
     |> List.filter (fun t -> t.bytes > 0)
   in
+  if Obs.is_enabled () then begin
+    let transfers = to_device_transfers @ from_device_transfers in
+    Obs.add c_planned (List.length transfers);
+    Obs.add c_conservative (List.length (List.filter (fun t -> t.conservative) transfers))
+  end;
   {
     program_name = program.name;
     policy;

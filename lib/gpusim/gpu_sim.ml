@@ -3,6 +3,28 @@ module Fifo_server = Gpp_sim.Fifo_server
 module Rng = Gpp_util.Rng
 module Characteristics = Gpp_model.Characteristics
 module Occupancy = Gpp_model.Occupancy
+module Obs = Gpp_obs.Obs
+
+(* Simulator-side observability counters: simulated work volume (blocks,
+   warps, DRAM transactions) rather than wall time, which the spans
+   cover.  All are single-branch no-ops unless observability is on. *)
+let c_blocks = Obs.counter "sim.blocks"
+
+let c_waves = Obs.counter "sim.waves"
+
+let c_warp_phases = Obs.counter "sim.warp_phases"
+
+let c_dram_requests = Obs.counter "sim.dram.requests"
+
+let c_dram_transactions = Obs.counter "sim.dram.transactions"
+
+let c_divergent = Obs.counter "sim.divergence.serializations"
+
+let c_events = Obs.counter "sim.engine.events"
+
+let c_extrapolated = Obs.counter "sim.blocks.extrapolated"
+
+let c_rng = Obs.counter "rng.draws"
 
 type config = {
   streaming_efficiency : float;
@@ -44,6 +66,7 @@ let sync_cost_cycles = 40.0
 type sm = { issue : Fifo_server.t; mutable resident_blocks : int }
 
 let run ?(config = default_config) ?trace ~rng ~gpu (c : Characteristics.t) =
+  Obs.span "gpusim.run" @@ fun () ->
   let gpu : Gpp_arch.Gpu.t = gpu in
   match Occupancy.of_characteristics ~gpu c with
   | Error e -> Error e
@@ -83,6 +106,13 @@ let run ?(config = default_config) ?trace ~rng ~gpu (c : Characteristics.t) =
           let waves = max 2 (config.max_simulated_blocks / blocks_per_wave) in
           min total_blocks (waves * blocks_per_wave)
       in
+      Obs.add c_waves ((budget + blocks_per_wave - 1) / blocks_per_wave);
+      (* Per-period integer work volume, precomputed so the hot event
+         handlers only pay counter increments. *)
+      let txn_per_period =
+        if periods = 0 then 0 else int_of_float (Float.ceil (transactions /. float_of_int periods))
+      in
+      let divergent = c.divergence_factor > 1.0 in
       let engine = Engine.create () in
       let dram = Fifo_server.create ~name:"dram" () in
       let sms =
@@ -96,6 +126,7 @@ let run ?(config = default_config) ?trace ~rng ~gpu (c : Characteristics.t) =
       let half_mark = max 1 (budget / 2) in
       let rec start_block sm_idx engine =
         let sm = sms.(sm_idx) in
+        Obs.incr c_blocks;
         sm.resident_blocks <- sm.resident_blocks + 1;
         let block_id = !next_block in
         let block_start = Engine.now engine in
@@ -119,6 +150,8 @@ let run ?(config = default_config) ?trace ~rng ~gpu (c : Characteristics.t) =
         done
       and warp_phase sm_idx period warp_done engine =
         let sm = sms.(sm_idx) in
+        Obs.incr c_warp_phases;
+        if divergent then Obs.incr c_divergent;
         let now = Engine.now engine in
         let issue_start, issue_finish =
           Fifo_server.reserve sm.issue ~arrival:now ~service:comp_chunk
@@ -132,6 +165,8 @@ let run ?(config = default_config) ?trace ~rng ~gpu (c : Characteristics.t) =
         else
           Engine.schedule_at engine ~time:issue_finish (fun engine ->
               let now = Engine.now engine in
+              Obs.incr c_dram_requests;
+              Obs.add c_dram_transactions txn_per_period;
               let dram_start, dram_finish =
                 Fifo_server.reserve dram ~arrival:now ~service:dram_service
               in
@@ -140,6 +175,7 @@ let run ?(config = default_config) ?trace ~rng ~gpu (c : Characteristics.t) =
                   Trace.record tr ~name:"mem" ~category:"dram" ~track:Trace.dram_track
                     ~start:dram_start ~duration:(dram_finish -. dram_start)
               | None -> ());
+              Obs.incr c_rng;
               let latency =
                 base_latency
                 *. (1.0 +. Rng.uniform rng ~lo:(-.config.latency_jitter) ~hi:config.latency_jitter)
@@ -163,6 +199,7 @@ let run ?(config = default_config) ?trace ~rng ~gpu (c : Characteristics.t) =
         incr sm_idx
       done;
       Engine.run engine;
+      Obs.add c_events (Engine.processed engine);
       let span = Float.max !completion_last (Fifo_server.next_free dram) in
       let busy_sim = span +. (config.drain_cycles *. cycle) in
       let extrapolated = budget < total_blocks in
@@ -176,6 +213,8 @@ let run ?(config = default_config) ?trace ~rng ~gpu (c : Characteristics.t) =
           busy_sim +. (rate *. float_of_int (total_blocks - budget))
         end
       in
+      if extrapolated then Obs.add c_extrapolated (total_blocks - budget);
+      Obs.incr c_rng;
       let time =
         (gpu.launch_overhead +. busy_time) *. Rng.lognormal_noise rng ~sigma:config.noise_sigma
       in
@@ -223,6 +262,7 @@ let add_config_fingerprint fp config =
 let run_mean ?(cache = true) ?(config = default_config) ?(runs = 10) ~seed ~gpu c =
   if runs <= 0 then invalid_arg "Gpu_sim.run_mean: runs must be positive";
   let compute () =
+    Obs.span "gpusim.run_mean" @@ fun () ->
     let rng = Rng.create seed in
     let rec go acc k =
       if k = 0 then Ok (acc /. float_of_int runs)

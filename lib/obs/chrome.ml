@@ -1,0 +1,92 @@
+(* Streaming Chrome trace-event JSON writer.
+
+   Emits the "JSON Object Format" understood by chrome://tracing and
+   Perfetto: {"traceEvents":[...], ...}.  Events are written as they
+   happen — nothing is buffered beyond the out_channel — so a crashed
+   run still leaves a readable prefix (both viewers accept a truncated
+   event array).  Timestamps are microseconds relative to the writer's
+   creation, which keeps them small and diff-friendly. *)
+
+type t = {
+  oc : out_channel;
+  epoch : float;  (* absolute microseconds at creation *)
+  mutable events : int;
+  mutable closed : bool;
+}
+
+(* JSON string escaping: the mandatory set (quote, backslash, control
+   characters).  Span and counter names are ASCII identifiers in
+   practice, so the fast path is a plain copy. *)
+let escape s =
+  let plain c = c >= ' ' && c <> '"' && c <> '\\' && c < '\x7f' in
+  if String.for_all plain s then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when c < ' ' || c = '\x7f' -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let create ~epoch oc =
+  output_string oc "{\"traceEvents\":[";
+  { oc; epoch; events = 0; closed = false }
+
+let ts t abs_us = abs_us -. t.epoch
+
+let emit t fmt =
+  if t.closed then Printf.ifprintf t.oc fmt
+  else begin
+    if t.events > 0 then output_string t.oc ",\n";
+    t.events <- t.events + 1;
+    Printf.fprintf t.oc fmt
+  end
+
+(* Category = the dotted prefix of the span name ("transform.search" ->
+   "transform"), which groups events into colored families in the
+   viewers without callers passing a category everywhere. *)
+let category name =
+  match String.index_opt name '.' with Some i -> String.sub name 0 i | None -> name
+
+let duration_begin t ~name ~ts:abs =
+  emit t "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\",\"ts\":%.3f,\"pid\":1,\"tid\":1}"
+    (escape name) (escape (category name)) (ts t abs)
+
+let duration_end t ~name ~ts:abs =
+  emit t "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"E\",\"ts\":%.3f,\"pid\":1,\"tid\":1}"
+    (escape name) (escape (category name)) (ts t abs)
+
+let instant t ~name ?detail ~ts:abs () =
+  match detail with
+  | None ->
+      emit t "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":1,\"s\":\"t\"}"
+        (escape name) (escape (category name)) (ts t abs)
+  | Some d ->
+      emit t
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{\"detail\":\"%s\"}}"
+        (escape name) (escape (category name)) (ts t abs) (escape d)
+
+let counter t ~name ~value ~ts:abs =
+  emit t "{\"name\":\"%s\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":1,\"args\":{\"%s\":%d}}"
+    (escape name) (ts t abs) (escape name) value
+
+let metadata t ~name ~value =
+  emit t "{\"name\":\"%s\",\"ph\":\"M\",\"ts\":0,\"pid\":1,\"tid\":1,\"args\":{\"name\":\"%s\"}}"
+    (escape name) (escape value)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    output_string t.oc "],\"displayTimeUnit\":\"ms\"}\n";
+    close_out_noerr t.oc
+  end
+
+let event_count t = t.events

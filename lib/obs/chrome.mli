@@ -1,0 +1,43 @@
+(** Streaming Chrome trace-event JSON writer.
+
+    Produces the trace-event "JSON Object Format" that
+    [chrome://tracing] and Perfetto open directly:
+    [{"traceEvents":[...], "displayTimeUnit":"ms"}].  Events stream to
+    the underlying channel as they are emitted; timestamps are
+    microseconds relative to the writer's epoch.  All events carry
+    [pid = 1, tid = 1] — the pipeline is single-threaded, and one
+    timeline keeps the B/E nesting meaningful. *)
+
+type t
+
+val create : epoch:float -> out_channel -> t
+(** [create ~epoch oc] writes the object header and returns a writer.
+    [epoch] is the absolute time (in microseconds, same clock as every
+    [~ts] below) subtracted from every emitted timestamp. *)
+
+val duration_begin : t -> name:string -> ts:float -> unit
+(** A ["ph":"B"] event.  The category is derived from the dotted prefix
+    of [name] ("transform.search" → "transform"). *)
+
+val duration_end : t -> name:string -> ts:float -> unit
+(** The matching ["ph":"E"] event; [name] must equal the innermost open
+    begin event's name (the writer does not check — {!Validate} does). *)
+
+val instant : t -> name:string -> ?detail:string -> ts:float -> unit -> unit
+(** A thread-scoped ["ph":"i"] instant event (cache hits, flushes...),
+    optionally carrying a [detail] argument. *)
+
+val counter : t -> name:string -> value:int -> ts:float -> unit
+(** A ["ph":"C"] counter sample. *)
+
+val metadata : t -> name:string -> value:string -> unit
+(** A ["ph":"M"] metadata event (e.g. process_name). *)
+
+val close : t -> unit
+(** Write the closing bracket and close the channel.  Idempotent; after
+    closing, every emit is a silent no-op. *)
+
+val event_count : t -> int
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control chars). *)

@@ -1,0 +1,229 @@
+(* Observability core: hierarchical timed spans, named counters, and two
+   sinks — an in-memory per-phase aggregator rendered with Ascii_table,
+   and a streaming Chrome-trace writer (chrome.ml).
+
+   Everything is gated on one process-wide flag, off by default: with
+   observability disabled, [span] is a single branch and a tail call,
+   and counter updates are a single branch — no allocation, no clock
+   reads, no output.  Golden experiment output is byte-identical with
+   the library linked in and disabled. *)
+
+let enabled = ref false
+
+let set_enabled b = enabled := b
+
+let is_enabled () = !enabled
+
+(* Monotonic wall clock in microseconds.  [Unix.gettimeofday] can step
+   backwards under NTP adjustment; clamping to the last reading makes
+   the stream monotonic by construction, which the trace format and the
+   aggregator both rely on (negative durations render as garbage in
+   Perfetto). *)
+let last_now = ref 0.0
+
+let now_us () =
+  let t = Unix.gettimeofday () *. 1e6 in
+  let t = if t > !last_now then t else !last_now in
+  last_now := t;
+  t
+
+(* Counters.  Handles are interned by name so hot paths pay a record
+   field update, not a hash lookup.  Counters double as gauges via
+   [set]. *)
+
+type counter = { cname : string; mutable value : int }
+
+let counter_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter_order : counter list ref = ref []
+
+let counter name =
+  match Hashtbl.find_opt counter_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { cname = name; value = 0 } in
+      Hashtbl.replace counter_tbl name c;
+      counter_order := c :: !counter_order;
+      c
+
+let add c n = if !enabled then c.value <- c.value + n
+
+let incr c = if !enabled then c.value <- c.value + 1
+
+let set c n = if !enabled then c.value <- n
+
+let value c = c.value
+
+let counters () =
+  List.rev !counter_order
+  |> List.filter_map (fun c -> if c.value <> 0 then Some (c.cname, c.value) else None)
+  |> List.sort compare
+
+(* Span aggregator: one row per span name, accumulating call count,
+   inclusive (total) and exclusive (self) wall time, and the shallowest
+   nesting depth the name was seen at (used to indent the summary
+   table).  Rows keep first-seen order, which for a phased pipeline
+   reads as execution order. *)
+
+type agg = {
+  name : string;
+  mutable count : int;
+  mutable total_us : float;
+  mutable self_us : float;
+  mutable depth : int;
+}
+
+let agg_tbl : (string, agg) Hashtbl.t = Hashtbl.create 64
+
+let agg_order : agg list ref = ref []
+
+let agg_of name ~depth =
+  match Hashtbl.find_opt agg_tbl name with
+  | Some a ->
+      if depth < a.depth then a.depth <- depth;
+      a
+  | None ->
+      let a = { name; count = 0; total_us = 0.0; self_us = 0.0; depth } in
+      Hashtbl.replace agg_tbl name a;
+      agg_order := a :: !agg_order;
+      a
+
+let aggregates () = List.rev !agg_order
+
+(* Trace sink. *)
+
+let sink : Chrome.t option ref = ref None
+
+let start_trace path =
+  match !sink with
+  | Some _ -> Error "a trace is already being written"
+  | None -> (
+      match open_out path with
+      | exception Sys_error e -> Error e
+      | oc ->
+          let w = Chrome.create ~epoch:(now_us ()) oc in
+          Chrome.metadata w ~name:"process_name" ~value:"grophecy";
+          sink := Some w;
+          Ok ())
+
+(* Counter values are sampled into the trace as one final "C" event
+   each, so Perfetto's counter tracks end at the totals the summary
+   table reports. *)
+let stop_trace () =
+  match !sink with
+  | None -> ()
+  | Some w ->
+      let ts = now_us () in
+      List.iter (fun (name, v) -> Chrome.counter w ~name ~value:v ~ts) (counters ());
+      Chrome.close w;
+      sink := None
+
+let tracing () = !sink <> None
+
+(* Open-span stack.  Single-threaded by design — the whole pipeline
+   is — so one stack suffices and B/E events nest properly on the one
+   Chrome timeline. *)
+
+type frame = { f_agg : agg; f_start : float; mutable f_child : float }
+
+let stack : frame list ref = ref []
+
+let depth () = List.length !stack
+
+let span_enabled name f =
+  let d = List.length !stack in
+  let a = agg_of name ~depth:d in
+  let start = now_us () in
+  (match !sink with Some w -> Chrome.duration_begin w ~name ~ts:start | None -> ());
+  let fr = { f_agg = a; f_start = start; f_child = 0.0 } in
+  stack := fr :: !stack;
+  Fun.protect
+    ~finally:(fun () ->
+      let stop = now_us () in
+      (match !stack with
+      | top :: rest when top == fr -> stack := rest
+      | _ ->
+          (* An inner span escaped (exception through a span that had
+             already been popped): drop frames down to ours so the
+             stack stays consistent. *)
+          let rec pop = function
+            | top :: rest when top == fr -> rest
+            | _ :: rest -> pop rest
+            | [] -> []
+          in
+          stack := pop !stack);
+      let dur = stop -. start in
+      a.count <- a.count + 1;
+      a.total_us <- a.total_us +. dur;
+      a.self_us <- a.self_us +. Float.max 0.0 (dur -. fr.f_child);
+      (match !stack with parent :: _ -> parent.f_child <- parent.f_child +. dur | [] -> ());
+      match !sink with Some w -> Chrome.duration_end w ~name ~ts:stop | None -> ())
+    f
+
+let span name f = if !enabled then span_enabled name f else f ()
+
+let event ?detail name =
+  if !enabled then
+    match !sink with
+    | Some w -> Chrome.instant w ~name ?detail ~ts:(now_us ()) ()
+    | None -> ()
+
+let reset () =
+  stack := [];
+  Hashtbl.reset agg_tbl;
+  agg_order := [];
+  Hashtbl.iter (fun _ c -> c.value <- 0) counter_tbl
+
+(* Per-phase summary, rendered as two Ascii_table blocks: spans (in
+   first-seen order, indented by nesting depth) and non-zero
+   counters. *)
+
+let pp_us us =
+  if us >= 1e6 then Printf.sprintf "%.2f s" (us /. 1e6)
+  else if us >= 1e3 then Printf.sprintf "%.2f ms" (us /. 1e3)
+  else Printf.sprintf "%.1f us" us
+
+let summary_table () =
+  match aggregates () with
+  | [] -> None
+  | aggs ->
+      let root_total =
+        List.fold_left (fun acc a -> if a.depth = 0 then acc +. a.total_us else acc) 0.0 aggs
+      in
+      let module T = Gpp_util.Ascii_table in
+      let t =
+        T.create ~title:"per-phase summary"
+          ~columns:
+            [
+              ("phase", T.Left);
+              ("calls", T.Right);
+              ("total", T.Right);
+              ("self", T.Right);
+              ("mean", T.Right);
+              ("% run", T.Right);
+            ]
+          ()
+      in
+      List.iter
+        (fun a ->
+          let indent = String.make (2 * min a.depth 8) ' ' in
+          T.add_row t
+            [
+              indent ^ a.name;
+              string_of_int a.count;
+              pp_us a.total_us;
+              pp_us a.self_us;
+              pp_us (a.total_us /. float_of_int (max 1 a.count));
+              (if root_total > 0.0 then Printf.sprintf "%.1f" (100.0 *. a.total_us /. root_total)
+               else "-");
+            ])
+        aggs;
+      let counters = counters () in
+      if counters <> [] then begin
+        T.add_separator t;
+        List.iter (fun (name, v) -> T.add_row t [ name; string_of_int v; ""; ""; ""; "" ]) counters
+      end;
+      Some (T.render t)
+
+let print_summary ?(out = stderr) () =
+  match summary_table () with None -> () | Some s -> output_string out s

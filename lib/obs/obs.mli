@@ -1,0 +1,87 @@
+(** Observability core: hierarchical timed spans, named counters, and
+    two sinks — an in-memory per-phase aggregator and a streaming
+    Chrome-trace writer.
+
+    Everything is gated on one process-wide flag (off by default).
+    Disabled, {!span} is a single branch plus a tail call and counter
+    updates are a single branch: no allocation, no clock read, no
+    output, so golden pipeline output is byte-identical with the
+    library linked in and idle. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val now_us : unit -> float
+(** Monotonic wall clock, microseconds.  Clamped so consecutive reads
+    never decrease. *)
+
+(** {1 Spans} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] as a phase named [name] (dotted names —
+    ["transform.search"] — group into categories in the trace viewer).
+    Spans nest; the innermost open span is the parent.  The span is
+    closed (aggregated, and its ["E"] event written) even if [f]
+    raises.  Disabled: exactly [f ()]. *)
+
+val depth : unit -> int
+(** Number of currently open spans. *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Interned handle: the same name always yields the same counter.
+    Create handles at module level so hot paths skip the name lookup. *)
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+
+val set : counter -> int -> unit
+(** Gauge-style absolute update. *)
+
+val value : counter -> int
+
+val counters : unit -> (string * int) list
+(** Non-zero counters, sorted by name. *)
+
+(** {1 Trace sink} *)
+
+val start_trace : string -> (unit, string) result
+(** Open [path] and start streaming Chrome trace events to it.  Fails
+    if a trace is already open or the file cannot be created. *)
+
+val stop_trace : unit -> unit
+(** Sample every counter into the trace, write the JSON trailer, and
+    close the file.  Idempotent. *)
+
+val tracing : unit -> bool
+
+val event : ?detail:string -> string -> unit
+(** Instant event (cache hit, store flush...).  Only lands in the
+    trace sink; the aggregator ignores instants. *)
+
+(** {1 Aggregator} *)
+
+type agg = {
+  name : string;
+  mutable count : int;
+  mutable total_us : float;  (** Inclusive wall time. *)
+  mutable self_us : float;  (** Exclusive wall time (children removed). *)
+  mutable depth : int;  (** Shallowest nesting depth observed. *)
+}
+
+val aggregates : unit -> agg list
+(** One row per span name, first-seen order. *)
+
+val summary_table : unit -> string option
+(** Render spans + non-zero counters with {!Gpp_util.Ascii_table};
+    [None] when nothing was recorded. *)
+
+val print_summary : ?out:out_channel -> unit -> unit
+(** Print {!summary_table} (default: to [stderr]) if non-empty. *)
+
+val reset : unit -> unit
+(** Clear aggregates, zero counters, drop open-span bookkeeping.  Does
+    not touch the enabled flag or an open trace sink. *)

@@ -1,6 +1,13 @@
 module Units = Gpp_util.Units
 module Rng = Gpp_util.Rng
 module Pcie_spec = Gpp_arch.Pcie_spec
+module Obs = Gpp_obs.Obs
+
+let c_transfers = Obs.counter "pcie.transfers"
+
+let c_bytes = Obs.counter "pcie.bytes"
+
+let c_rng = Obs.counter "rng.draws"
 
 type direction = Host_to_device | Device_to_host
 
@@ -118,6 +125,8 @@ let expected_time t direction memory ~bytes =
   | Pageable -> pageable_time t.cfg direction bytes
 
 let transfer_time t direction memory ~bytes =
+  Obs.incr c_transfers;
+  Obs.add c_bytes bytes;
   let base = expected_time t direction memory ~bytes in
   let cfg = t.cfg in
   (* Latency-dominated transfers see proportionally more jitter
@@ -129,14 +138,22 @@ let transfer_time t direction memory ~bytes =
     | Device_to_host -> cfg.noise_sigma_small_d2h
   in
   let sigma = cfg.noise_sigma_base +. (sigma_small *. latency_fraction) in
+  Obs.incr c_rng;
   let noisy = base *. Rng.lognormal_noise t.rng ~sigma in
-  if cfg.outlier_probability > 0.0 && Rng.float t.rng < cfg.outlier_probability then
-    let lo, hi = cfg.outlier_slowdown in
-    noisy *. Rng.uniform t.rng ~lo ~hi
+  if cfg.outlier_probability > 0.0 then begin
+    Obs.incr c_rng;
+    if Rng.float t.rng < cfg.outlier_probability then begin
+      Obs.incr c_rng;
+      let lo, hi = cfg.outlier_slowdown in
+      noisy *. Rng.uniform t.rng ~lo ~hi
+    end
+    else noisy
+  end
   else noisy
 
 let mean_transfer_time t ~runs direction memory ~bytes =
   if runs <= 0 then invalid_arg "Link.mean_transfer_time: runs must be positive";
+  Obs.span "pcie.transfer" @@ fun () ->
   (* Draw strictly left to right: [List.init]'s application order is
      unspecified, and each draw advances the link's rng, so the mean
      (a float sum over the sample list) would otherwise depend on the

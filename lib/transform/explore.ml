@@ -1,3 +1,9 @@
+module Obs = Gpp_obs.Obs
+
+let c_candidates = Obs.counter "transform.candidates"
+
+let c_feasible = Obs.counter "transform.feasible"
+
 type space = {
   block_sizes : int list;
   unroll_factors : int list;
@@ -64,13 +70,18 @@ let search_key ~params ~space ~gpu ~decls kernel =
 
 let search ?(cache = true) ?params ?(space = default_space) ~gpu ~decls kernel =
   let compute () =
+    Obs.span "transform.search" @@ fun () ->
     let evaluate cfg =
+      Obs.span "transform.candidate" @@ fun () ->
+      Obs.incr c_candidates;
       match Synthesize.characteristics ~gpu ~decls kernel cfg with
       | Error _ -> None
       | Ok characteristics -> (
           match Gpp_model.Analytic.project ?params ~gpu characteristics with
           | Error _ -> None
-          | Ok projection -> Some { config = cfg; characteristics; projection })
+          | Ok projection ->
+              Obs.incr c_feasible;
+              Some { config = cfg; characteristics; projection })
     in
     configs_of_space space
     |> List.filter_map evaluate

@@ -1,0 +1,233 @@
+(* Tests for gpp_obs: span nesting and aggregation, counter
+   arithmetic, the disabled-mode no-op guarantee (pipeline output must
+   stay byte-identical with the library linked in and idle), and the
+   Chrome-trace writer/validator pair — including a qcheck property
+   that every emitted trace is well-formed JSON whose B/E events match
+   in LIFO order. *)
+
+module Obs = Gpp_obs.Obs
+module Validate = Gpp_obs.Validate
+module Projection = Gpp_core.Projection
+module Grophecy = Gpp_core.Grophecy
+
+let tmp_trace =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gpp-obs-test.%d.%d.json" (Unix.getpid ()) !n)
+
+(* Every test leaves the registry clean and the flag off, so suites
+   sharing this process never observe stray state. *)
+let with_obs ~enabled f =
+  Obs.reset ();
+  Obs.set_enabled enabled;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.stop_trace ();
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+let agg_by_name name =
+  match List.find_opt (fun (a : Obs.agg) -> a.Obs.name = name) (Obs.aggregates ()) with
+  | Some a -> a
+  | None -> Alcotest.failf "no aggregate named %s" name
+
+(* Spans *)
+
+let test_span_nesting () =
+  with_obs ~enabled:true @@ fun () ->
+  let r =
+    Obs.span "outer" (fun () ->
+        Obs.span "inner" (fun () -> ignore (Sys.opaque_identity 1));
+        Obs.span "inner" (fun () -> ignore (Sys.opaque_identity 2));
+        Obs.span "leaf" (fun () -> 41) + 1)
+  in
+  Alcotest.(check int) "span returns the body's value" 42 r;
+  Alcotest.(check int) "all spans closed" 0 (Obs.depth ());
+  let names = List.map (fun (a : Obs.agg) -> a.Obs.name) (Obs.aggregates ()) in
+  Alcotest.(check (list string)) "first-seen order" [ "outer"; "inner"; "leaf" ] names;
+  let outer = agg_by_name "outer" and inner = agg_by_name "inner" and leaf = agg_by_name "leaf" in
+  Alcotest.(check int) "outer ran once" 1 outer.Obs.count;
+  Alcotest.(check int) "inner ran twice" 2 inner.Obs.count;
+  Alcotest.(check int) "outer at depth 0" 0 outer.Obs.depth;
+  Alcotest.(check int) "inner at depth 1" 1 inner.Obs.depth;
+  Alcotest.(check int) "leaf at depth 1" 1 leaf.Obs.depth;
+  Alcotest.(check bool) "inclusive >= children" true
+    (outer.Obs.total_us >= inner.Obs.total_us +. leaf.Obs.total_us);
+  Alcotest.(check bool) "self = inclusive - children" true
+    (outer.Obs.self_us <= outer.Obs.total_us);
+  match Obs.summary_table () with
+  | Some s -> Alcotest.(check bool) "summary mentions spans" true (String.length s > 0)
+  | None -> Alcotest.fail "summary_table empty after recording spans"
+
+let test_span_exception_safety () =
+  with_obs ~enabled:true @@ fun () ->
+  (try Obs.span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  Alcotest.(check int) "stack unwound" 0 (Obs.depth ());
+  Alcotest.(check int) "raising span still aggregated" 1 (agg_by_name "boom").Obs.count
+
+(* Counters *)
+
+let test_counter_arithmetic () =
+  with_obs ~enabled:true @@ fun () ->
+  let c = Obs.counter "test.zeta" in
+  let c' = Obs.counter "test.zeta" in
+  let d = Obs.counter "test.alpha" in
+  let z = Obs.counter "test.untouched" in
+  Obs.add c 40;
+  Obs.incr c';
+  Obs.incr c';
+  Alcotest.(check int) "interned handles share state" 42 (Obs.value c);
+  Obs.set d 7;
+  Obs.set d 5;
+  Alcotest.(check int) "set is absolute" 5 (Obs.value d);
+  Alcotest.(check int) "untouched stays zero" 0 (Obs.value z);
+  Alcotest.(check (list (pair string int)))
+    "counters () is non-zero only, sorted by name"
+    [ ("test.alpha", 5); ("test.zeta", 42) ]
+    (Obs.counters ())
+
+(* Disabled mode *)
+
+let test_disabled_noop () =
+  with_obs ~enabled:false @@ fun () ->
+  let c = Obs.counter "test.disabled" in
+  Obs.add c 10;
+  Obs.incr c;
+  Obs.set c 99;
+  let r = Obs.span "invisible" (fun () -> "through") in
+  Obs.event ~detail:"nothing" "invisible.event";
+  Alcotest.(check string) "span is transparent" "through" r;
+  Alcotest.(check int) "counter updates dropped" 0 (Obs.value c);
+  Alcotest.(check (list (pair string int))) "no counters recorded" [] (Obs.counters ());
+  Alcotest.(check int) "no aggregates recorded" 0 (List.length (Obs.aggregates ()));
+  Alcotest.(check bool) "summary empty" true (Obs.summary_table () = None)
+
+(* Byte-identity: projecting a workload with tracing on must print the
+   exact same projection as with the library idle.  The memo cache is
+   bypassed so the second run really recomputes. *)
+
+let test_golden_byte_identity () =
+  let machine = Gpp_arch.Machine.argonne_node in
+  let s = Grophecy.init machine in
+  let program = Gpp_workloads.Srad.program ~iterations:1 ~n:256 () in
+  let render () =
+    match Projection.project ~machine ~h2d:s.Grophecy.h2d ~d2h:s.Grophecy.d2h program with
+    | Ok p -> Format.asprintf "%a" Projection.pp p
+    | Error e -> Alcotest.failf "projection failed: %s" e
+  in
+  Gpp_cache.Control.set_enabled false;
+  Fun.protect ~finally:(fun () -> Gpp_cache.Control.set_enabled true) @@ fun () ->
+  let plain = render () in
+  let file = tmp_trace () in
+  let traced =
+    with_obs ~enabled:true @@ fun () ->
+    (match Obs.start_trace file with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "start_trace: %s" e);
+    let out = render () in
+    Obs.stop_trace ();
+    out
+  in
+  Alcotest.(check string) "traced output byte-identical" plain traced;
+  (match Validate.validate_file file with
+  | Ok st ->
+      Alcotest.(check bool) "trace has spans" true (st.Validate.spans > 0);
+      Alcotest.(check bool) "trace has counter samples" true (st.Validate.counter_samples > 0)
+  | Error e -> Alcotest.failf "trace does not validate: %s" e);
+  Sys.remove file
+
+(* Validator negatives: each malformation must be rejected, never
+   silently accepted. *)
+
+let ev fields = Printf.sprintf "{%s}" (String.concat "," fields)
+let arr evs = Printf.sprintf "[%s]" (String.concat "," evs)
+let b name = ev [ {|"ph":"B"|}; Printf.sprintf {|"name":%S|} name; {|"ts":1|}; {|"pid":1|}; {|"tid":1|} ]
+let e name = ev [ {|"ph":"E"|}; Printf.sprintf {|"name":%S|} name; {|"ts":2|}; {|"pid":1|}; {|"tid":1|} ]
+
+let test_validator_rejects () =
+  let reject what s =
+    match Validate.validate_string s with
+    | Ok _ -> Alcotest.failf "validator accepted %s" what
+    | Error _ -> ()
+  in
+  reject "truncated JSON" {|{"traceEvents":[|};
+  reject "non-array payload" {|{"traceEvents":42}|};
+  reject "unmatched B" (arr [ b "open" ]);
+  reject "E without B" (arr [ e "stray" ]);
+  reject "crossed B/E pairs" (arr [ b "a"; b "b"; e "a"; e "b" ]);
+  reject "unknown phase" (arr [ ev [ {|"ph":"Q"|}; {|"name":"x"|}; {|"ts":1|}; {|"pid":1|}; {|"tid":1|} ] ]);
+  reject "X without dur" (arr [ ev [ {|"ph":"X"|}; {|"name":"x"|}; {|"ts":1|}; {|"pid":1|}; {|"tid":1|} ] ]);
+  reject "C without args" (arr [ ev [ {|"ph":"C"|}; {|"name":"x"|}; {|"ts":1|}; {|"pid":1|}; {|"tid":1|} ] ]);
+  match Validate.validate_string (arr [ b "a"; e "a" ]) with
+  | Ok st -> Alcotest.(check int) "sane trace accepted" 1 st.Validate.spans
+  | Error err -> Alcotest.failf "validator rejected a sane trace: %s" err
+
+(* Property: any tree of spans emits a trace that parses, whose B/E
+   events pair up in LIFO order, with exactly one span pair per node
+   and a max nesting depth equal to the tree's. *)
+
+type span_tree = Node of span_tree list
+
+let rec tree_size (Node kids) = List.fold_left (fun a k -> a + tree_size k) 1 kids
+let rec tree_depth (Node kids) = 1 + List.fold_left (fun a k -> max a (tree_depth k)) 0 kids
+
+let tree_gen =
+  QCheck.Gen.(
+    sized_size (int_range 1 4) @@ fix (fun self depth ->
+        if depth <= 1 then return (Node [])
+        else
+          let* width = int_range 0 3 in
+          let* kids = list_size (return width) (self (depth - 1)) in
+          return (Node kids)))
+
+let arbitrary_tree =
+  let rec print (Node kids) = Printf.sprintf "Node[%s]" (String.concat ";" (List.map print kids)) in
+  QCheck.make ~print tree_gen
+
+let rec run_tree i (Node kids) =
+  Obs.span (Printf.sprintf "prop.n%d" i) (fun () ->
+      List.iteri (fun j k -> run_tree ((i * 10) + j + 1) k) kids)
+
+let prop_trace_well_formed =
+  QCheck.Test.make ~count:60 ~name:"emitted traces are well-formed with matched B/E pairs"
+    arbitrary_tree (fun tree ->
+      let file = tmp_trace () in
+      with_obs ~enabled:true @@ fun () ->
+      (match Obs.start_trace file with
+      | Ok () -> ()
+      | Error err -> QCheck.Test.fail_reportf "start_trace: %s" err);
+      run_tree 1 tree;
+      Obs.stop_trace ();
+      let result = Validate.validate_file file in
+      Sys.remove file;
+      match result with
+      | Error err -> QCheck.Test.fail_reportf "invalid trace: %s" err
+      | Ok st ->
+          st.Validate.spans = tree_size tree
+          && st.Validate.instants = 0
+          && st.Validate.counter_samples = 0
+          && st.Validate.max_depth = tree_depth tree
+          (* metadata record + one B and one E per node *)
+          && st.Validate.events = 1 + (2 * tree_size tree))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and aggregation" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+        ] );
+      ("counters", [ Alcotest.test_case "arithmetic" `Quick test_counter_arithmetic ]);
+      ( "disabled",
+        [
+          Alcotest.test_case "true no-op" `Quick test_disabled_noop;
+          Alcotest.test_case "golden byte identity" `Quick test_golden_byte_identity;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "validator rejects malformed" `Quick test_validator_rejects ]
+        @ List.map QCheck_alcotest.to_alcotest [ prop_trace_well_formed ] );
+    ]
