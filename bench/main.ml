@@ -149,7 +149,7 @@ let stage_tests =
                 ~d2h:s.Gpp_core.Grophecy.d2h program
             with
             | Ok p -> p
-            | Error e -> failwith e
+            | Error e -> failwith (Gpp_core.Error.to_string e)
           in
           fun () ->
             ignore
@@ -160,7 +160,10 @@ let stage_tests =
          (let program = Gpp_workloads.Stassuij.program () in
           fun () ->
             let s = Lazy.force session in
-            ignore (Gpp_core.Grophecy.analyze ~runs:3 s program)));
+            ignore
+              (Gpp_core.Grophecy.analyze
+                 ~params:{ Gpp_core.Grophecy.default_params with Gpp_core.Grophecy.runs = Some 3 }
+                 s program)));
   ]
 
 let all_tests = experiment_tests @ stage_tests

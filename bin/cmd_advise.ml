@@ -1,0 +1,36 @@
+open Cmdliner
+module Engine = Gpp_engine
+
+let run machine seed key iterations config_file no_cache cache_dir trace verbose =
+  match
+    Cmd_common.scenario ?machine ?seed ?config_file ~no_cache ~cache_dir ~trace ~verbose ()
+  with
+  | Error e -> Cmd_common.fail e
+  | Ok c -> (
+      (* The break-even verdict prices the program as bundled; the -n
+         flag feeds the advisor's amortization analysis only, so the
+         Parse stage must not rescale Repeat nodes here. *)
+      let c = { c with Engine.Config.lint = true; iterations = None } in
+      let session = Engine.Pipeline.session_of c in
+      match Engine.Pipeline.run ~through:Engine.Stage.Project ~session c ~workload:key with
+      | Error e -> Cmd_common.fail e
+      | Ok state ->
+          let projection = Engine.Pipeline.projection_exn state in
+          let r = Gpp_core.Advisor.recommend ~iterations projection in
+          Format.printf "%a@." Gpp_core.Advisor.pp r;
+          0)
+
+let cmd =
+  let doc =
+    "Should this workload be ported?  Prediction-only verdict with break-even analysis."
+  in
+  let iterations_arg =
+    let doc = "Iteration count for iterative workloads." in
+    Arg.(value & opt int 1 & info [ "iterations"; "n" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "advise" ~doc)
+    Term.(
+      const run $ Cmd_common.machine_opt_arg $ Cmd_common.seed_opt_arg $ Cmd_common.workload_arg
+      $ iterations_arg $ Cmd_common.config_file_arg $ Cmd_common.no_cache_arg
+      $ Cmd_common.cache_dir_arg $ Cmd_common.trace_file_arg $ Cmd_common.verbose_arg)

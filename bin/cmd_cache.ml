@@ -1,0 +1,136 @@
+open Cmdliner
+
+let resolve_cache_dir cache_dir =
+  Option.iter Gpp_cache.Control.set_dir cache_dir;
+  Gpp_cache.Control.dir ()
+
+(* Counters are read from the shared observability registry (lib/obs) —
+   the same one a traced run reports — so the disk-tier numbers here
+   and in `--trace` summaries can never disagree.  Observability is
+   enabled for the duration of the command so the load below lands in
+   the registry. *)
+let stats cache_dir porcelain verbose =
+  Gpp_engine.Runtime.setup_logs verbose;
+  let dir = resolve_cache_dir cache_dir in
+  Gpp_obs.Obs.set_enabled true;
+  Gpp_cache.Memo.load_disk ();
+  let files = Gpp_cache.Store.list_dir ~dir in
+  if porcelain then begin
+    (* Stable machine-readable output, one record per line, TAB-separated:
+         dir\t<path>
+         table\t<name>\t<hits>\t<misses>\t<evictions>\t<bypasses>\t<entries>\t<capacity>
+         store\t<path>\t<entries>\t<corrupt>
+         counter\t<name>\t<value>
+       CI picks store filenames out of this instead of hardcoding them. *)
+    Printf.printf "dir\t%s\n" dir;
+    List.iter
+      (fun (s : Gpp_cache.Memo.snapshot) ->
+        Printf.printf "table\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n" s.name s.hits s.misses s.evictions
+          s.bypasses s.entries s.capacity)
+      (Gpp_cache.Memo.snapshots ());
+    List.iter
+      (fun path ->
+        let r = Gpp_cache.Store.verify ~path in
+        Printf.printf "store\t%s\t%d\t%d\n" path r.Gpp_cache.Store.total
+          r.Gpp_cache.Store.vcorrupt)
+      files;
+    List.iter (fun (name, v) -> Printf.printf "counter\t%s\t%d\n" name v) (Gpp_obs.Obs.counters ());
+    0
+  end
+  else begin
+    Printf.printf "cache directory: %s\n" dir;
+    List.iter
+      (fun s -> Format.printf "  %a@." Gpp_cache.Memo.pp_snapshot s)
+      (Gpp_cache.Memo.snapshots ());
+    (match files with
+    | [] -> Printf.printf "  (no store files)\n"
+    | files ->
+        let total =
+          List.fold_left
+            (fun acc path ->
+              let r = Gpp_cache.Store.verify ~path in
+              acc + r.Gpp_cache.Store.total)
+            0 files
+        in
+        Printf.printf "  %d store file(s), %d entr%s on disk\n" (List.length files) total
+          (if total = 1 then "y" else "ies"));
+    (match Gpp_obs.Obs.counters () with
+    | [] -> ()
+    | counters ->
+        Printf.printf "observability counters:\n";
+        List.iter (fun (name, v) -> Printf.printf "  %-24s %d\n" name v) counters);
+    0
+  end
+
+let verify cache_dir verbose =
+  Gpp_engine.Runtime.setup_logs verbose;
+  let dir = resolve_cache_dir cache_dir in
+  match Gpp_cache.Store.list_dir ~dir with
+  | [] ->
+      Printf.printf "no store files in %s\n" dir;
+      0
+  | files ->
+      let bad =
+        List.fold_left
+          (fun bad path ->
+            let r = Gpp_cache.Store.verify ~path in
+            match r.Gpp_cache.Store.vheader with
+            | Some err ->
+                Printf.printf "%s: UNREADABLE (%s)\n" path
+                  (Gpp_cache.Store.describe_header_error err);
+                bad + 1
+            | None when r.Gpp_cache.Store.vcorrupt > 0 ->
+                Printf.printf "%s: %d/%d entries CORRUPT\n" path r.Gpp_cache.Store.vcorrupt
+                  r.Gpp_cache.Store.total;
+                bad + 1
+            | None ->
+                Printf.printf "%s: ok (%d entries)\n" path r.Gpp_cache.Store.total;
+                bad)
+          0 files
+      in
+      if bad = 0 then 0
+      else begin
+        Printf.eprintf "%d of %d store file(s) damaged (they load as cache misses; run \
+                        `grophecy cache clear` to drop them)\n"
+          bad (List.length files);
+        1
+      end
+
+let clear cache_dir verbose =
+  Gpp_engine.Runtime.setup_logs verbose;
+  let dir = resolve_cache_dir cache_dir in
+  let removed = Gpp_cache.Store.clear_dir ~dir in
+  Printf.printf "removed %d file(s) from %s\n" removed dir;
+  0
+
+let cmd =
+  let doc = "Inspect, verify, or clear the persistent projection cache." in
+  let stats_cmd =
+    let doc =
+      "Per-table cache statistics, including the disk tier (entries loaded, rejected, bytes)."
+    in
+    let porcelain_arg =
+      Arg.(
+        value & flag
+        & info [ "porcelain" ]
+            ~doc:
+              "Machine-readable output: TAB-separated $(b,dir)/$(b,table)/$(b,store)/$(b,counter) \
+               records with stable field order, for scripts and CI.")
+    in
+    Cmd.v (Cmd.info "stats" ~doc)
+      Term.(const stats $ Cmd_common.cache_dir_arg $ porcelain_arg $ Cmd_common.verbose_arg)
+  in
+  let verify_cmd =
+    let doc =
+      "Walk every store file and checksum every entry; reports corrupt files and exits 1 if any \
+       are found.  Corrupt entries are never fatal to a run — they load as cache misses."
+    in
+    Cmd.v (Cmd.info "verify" ~doc)
+      Term.(const verify $ Cmd_common.cache_dir_arg $ Cmd_common.verbose_arg)
+  in
+  let clear_cmd =
+    let doc = "Delete every store file (and leftover temp file) in the cache directory." in
+    Cmd.v (Cmd.info "clear" ~doc)
+      Term.(const clear $ Cmd_common.cache_dir_arg $ Cmd_common.verbose_arg)
+  in
+  Cmd.group (Cmd.info "cache" ~doc) [ stats_cmd; verify_cmd; clear_cmd ]

@@ -1,0 +1,19 @@
+open Cmdliner
+
+let run machine seed verbose =
+  Gpp_engine.Runtime.setup_logs verbose;
+  let session = Cmd_common.session_of machine seed in
+  Format.printf "%a@.@." Gpp_arch.Machine.pp machine;
+  Format.printf "two-point calibration (1 B and 512 MiB transfers, 10 runs each):@.";
+  List.iter
+    (fun model -> Format.printf "  %a@." Gpp_pcie.Model.pp model)
+    (Gpp_pcie.Calibrate.calibrate_all session.Gpp_core.Grophecy.calibration_link);
+  Format.printf "@.models used for projection (pinned, as in the paper):@.";
+  Format.printf "  %a@.  %a@." Gpp_pcie.Model.pp session.Gpp_core.Grophecy.h2d Gpp_pcie.Model.pp
+    session.Gpp_core.Grophecy.d2h;
+  0
+
+let cmd =
+  let doc = "Run the synthetic PCIe benchmark and print the calibrated transfer models." in
+  Cmd.v (Cmd.info "calibrate" ~doc)
+    Term.(const run $ Cmd_common.machine_arg $ Cmd_common.seed_arg $ Cmd_common.verbose_arg)

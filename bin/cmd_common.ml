@@ -1,0 +1,112 @@
+(* Flags, converters, and the scenario-resolution preamble shared by
+   every grophecy subcommand.  The pipeline commands resolve a layered
+   Gpp_engine.Config scenario (defaults < --config file < GPP_* env <
+   flags) and install its process-wide effects; the simple commands
+   (calibrate, list, lint, trace, predict-transfer) keep their concrete
+   defaults and touch no cache or trace state they did not before. *)
+
+open Cmdliner
+module Config = Gpp_engine.Config
+module Error = Gpp_engine.Error
+
+let verbose_arg =
+  let doc = "Print pipeline progress (calibration, chosen transformations, measurements)." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Bypass the projection cache entirely (both the in-memory tables and the on-disk store): \
+     recompute every transformation search and kernel simulation instead of reusing memoized \
+     results.  Output is bit-identical either way."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Directory of the persistent projection cache.  Defaults to $(b,GPP_CACHE_DIR), then \
+     $(b,\\$XDG_CACHE_HOME/grophecy), then $(b,~/.cache/grophecy)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let trace_file_arg =
+  let doc =
+    "Enable observability and stream a Chrome trace-event JSON timeline of the run to $(docv) \
+     (open it in chrome://tracing or https://ui.perfetto.dev).  A per-phase summary table is \
+     printed to stderr when the run ends.  Without this flag the instrumentation is a no-op and \
+     output is byte-identical."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let config_file_arg =
+  let doc =
+    "Read scenario settings from a sexp configuration file.  Settings layer as: library defaults \
+     < $(docv) < $(b,GPP_*) environment variables < command-line flags."
+  in
+  Arg.(value & opt (some string) None & info [ "config" ] ~docv:"FILE" ~doc)
+
+let machine_conv =
+  let parse s = match Config.machine_of_name s with Ok m -> Ok m | Error e -> Error (`Msg e) in
+  let print ppf (m : Gpp_arch.Machine.t) = Format.fprintf ppf "%s" m.name in
+  Arg.conv (parse, print)
+
+let machine_doc =
+  "Target machine preset: $(b,argonne) (the paper's testbed), $(b,section2b), $(b,gt200), or \
+   $(b,modern)."
+
+(* Pipeline commands: the flag is an *override layer*, so "not given"
+   must be distinguishable from "given the default value". *)
+let machine_opt_arg =
+  Arg.(value & opt (some machine_conv) None & info [ "machine"; "m" ] ~doc:machine_doc)
+
+(* Simple commands keep their concrete defaults (no config/env layers). *)
+let machine_arg =
+  Arg.(value & opt machine_conv Gpp_arch.Machine.argonne_node & info [ "machine"; "m" ] ~doc:machine_doc)
+
+let seed_doc = "Seed for the simulated hardware's noise streams."
+
+let seed_opt_arg = Arg.(value & opt (some int64) None & info [ "seed" ] ~doc:seed_doc)
+
+let seed_arg = Arg.(value & opt int64 0x1B0A_2013_6CA1_55AAL & info [ "seed" ] ~doc:seed_doc)
+
+let workload_arg =
+  let doc = "Workload instance as $(b,app/size), e.g. $(b,cfd/97K) or $(b,hotspot/1024 x 1024)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let iterations_opt_arg =
+  let doc = "Iteration count for iterative workloads (default 1)." in
+  Arg.(value & opt (some int) None & info [ "iterations"; "n" ] ~doc)
+
+let runs_opt_arg =
+  let doc = "Runs to average per measurement (the paper uses 10)." in
+  Arg.(value & opt (some int) None & info [ "runs" ] ~doc)
+
+let session_of machine seed = Gpp_core.Grophecy.init ~seed machine
+
+(* Print a structured error the way the CLI always has — the bare
+   message on stderr — and map it to the documented exit-code space. *)
+let fail e =
+  prerr_endline (Error.message e);
+  Error.exit_code e
+
+(* Layered scenario resolution + process-wide setup for the pipeline
+   commands.  Flags arrive as options ([None] = not given) so lower
+   layers show through. *)
+let scenario ?machine ?seed ?runs ?iterations ?config_file ~no_cache ~cache_dir ~trace ~verbose ()
+    =
+  let overrides =
+    {
+      Config.o_machine = machine;
+      o_seed = seed;
+      o_runs = runs;
+      o_iterations = iterations;
+      o_no_cache = no_cache;
+      o_cache_dir = cache_dir;
+      o_trace = trace;
+      o_verbose = verbose;
+    }
+  in
+  match Config.resolve ?file:config_file ~overrides () with
+  | Error e -> Error e
+  | Ok c ->
+      Gpp_engine.Runtime.install c;
+      Ok c

@@ -1,0 +1,12 @@
+open Cmdliner
+
+let run key =
+  match Gpp_engine.Workload.resolve key with
+  | Error e -> Cmd_common.fail e
+  | Ok inst ->
+      print_string (Gpp_skeleton.Printer.to_skel (inst.program 1));
+      0
+
+let cmd =
+  let doc = "Print a workload as an editable textual skeleton (.skel) on stdout." in
+  Cmd.v (Cmd.info "export-skel" ~doc) Term.(const run $ Cmd_common.workload_arg)

@@ -1,0 +1,77 @@
+open Cmdliner
+
+let run machine keys all strict json codes verbose =
+  Gpp_engine.Runtime.setup_logs verbose;
+  if codes then begin
+    Printf.printf "%-8s %-8s %s\n" "CODE" "SEVERITY" "SUMMARY";
+    List.iter
+      (fun (c : Gpp_analysis.Pass.code_doc) ->
+        Printf.printf "%-8s %-8s %s\n" c.code
+          (Gpp_analysis.Diagnostic.severity_name c.severity)
+          c.summary)
+      (Gpp_analysis.Driver.code_index ());
+    0
+  end
+  else begin
+    let targets =
+      (if all then List.map (fun i -> Ok i) Gpp_workloads.Registry.all else [])
+      @ List.map Gpp_engine.Workload.resolve keys
+    in
+    if targets = [] then begin
+      prerr_endline "lint: nothing to check (give WORKLOAD arguments or --all)";
+      2
+    end
+    else begin
+      let failures = List.filter_map (function Error e -> Some e | Ok _ -> None) targets in
+      List.iter (fun e -> prerr_endline (Gpp_engine.Error.message e)) failures;
+      if failures <> [] then 2
+      else begin
+        let reports =
+          List.map
+            (function
+              | Error _ -> assert false
+              | Ok (inst : Gpp_workloads.Registry.instance) ->
+                  Gpp_analysis.Driver.run ~gpu:machine.Gpp_arch.Machine.gpu (inst.program 1))
+            targets
+        in
+        if json then
+          print_endline
+            (match reports with
+            | [ report ] -> Gpp_analysis.Render.to_json report
+            | reports -> Gpp_analysis.Render.json_of_reports reports)
+        else
+          List.iter (fun report -> Format.printf "%a@." Gpp_analysis.Render.pp_text report) reports;
+        List.fold_left
+          (fun acc report -> max acc (Gpp_analysis.Driver.exit_code ~strict report))
+          0 reports
+      end
+    end
+  end
+
+let cmd =
+  let doc =
+    "Run the static-analysis passes (bounds, races, transfer audit, performance lints, program \
+     checks) over workloads or .skel files and report diagnostics."
+  in
+  let keys_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workload instances ($(b,app/size)) or paths to $(b,.skel) files.")
+  in
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Lint every bundled workload skeleton.")
+  in
+  let strict_arg =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero on warnings, not just errors.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
+  in
+  let codes_arg =
+    Arg.(value & flag & info [ "codes" ] ~doc:"List every diagnostic code and exit.")
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ Cmd_common.machine_arg $ keys_arg $ all_arg $ strict_arg $ json_arg $ codes_arg
+      $ Cmd_common.verbose_arg)

@@ -1,0 +1,17 @@
+open Cmdliner
+
+let run () =
+  Printf.printf "%-24s %s\n" "WORKLOAD" "KERNELS";
+  List.iter
+    (fun (inst : Gpp_workloads.Registry.instance) ->
+      let program = inst.program 1 in
+      Printf.printf "%-24s %s\n"
+        (Gpp_workloads.Registry.key inst)
+        (String.concat ", "
+           (List.map (fun (k : Gpp_skeleton.Ir.kernel) -> k.name) program.kernels)))
+    Gpp_workloads.Registry.all;
+  0
+
+let cmd =
+  let doc = "List the bundled workload skeletons." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())

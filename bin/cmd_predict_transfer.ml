@@ -1,0 +1,29 @@
+open Cmdliner
+
+let run machine seed size_str to_host =
+  match Gpp_util.Units.parse_bytes size_str with
+  | None ->
+      Printf.eprintf "cannot parse size %S (try 4KiB, 512MiB, 97000)\n" size_str;
+      2
+  | Some bytes ->
+      let session = Cmd_common.session_of machine seed in
+      let model =
+        if to_host then session.Gpp_core.Grophecy.d2h else session.Gpp_core.Grophecy.h2d
+      in
+      Format.printf "%a@.T(%s) = %a@." Gpp_pcie.Model.pp model
+        (Gpp_util.Units.bytes_to_string bytes)
+        Gpp_util.Units.pp_time
+        (Gpp_pcie.Model.predict model ~bytes);
+      0
+
+let cmd =
+  let doc = "Predict the time of a single pinned transfer of a given size." in
+  let size_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SIZE" ~doc:"Transfer size.")
+  in
+  let to_host_arg =
+    Arg.(value & flag & info [ "to-host" ] ~doc:"Price a GPU-to-CPU transfer instead.")
+  in
+  Cmd.v
+    (Cmd.info "predict-transfer" ~doc)
+    Term.(const run $ Cmd_common.machine_arg $ Cmd_common.seed_arg $ size_arg $ to_host_arg)

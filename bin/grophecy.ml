@@ -1,754 +1,25 @@
-(* GROPHECY++ command-line interface.
+(* GROPHECY++ command-line interface: the thin dispatch shell.
 
-   Subcommands mirror how the framework is used in the paper:
+   Subcommands live in their own Cmd_* modules and mirror how the
+   framework is used in the paper:
      calibrate          run the synthetic PCIe benchmark, print the models
      list               list the bundled workload skeletons
+     lint               static-analysis report over workloads/.skel files
      project            project GPU performance of a workload (no measurement)
      analyze            full prediction vs simulated-measurement report
+     advise             break-even porting verdict
+     batch              workload × machine × iterations matrix, TSV output
+     export-skel        dump a workload as a textual skeleton
+     trace              per-kernel Chrome-trace export / trace selftest
      predict-transfer   price a single transfer with the calibrated model
-     experiment         regenerate paper tables/figures by id *)
+     experiment         regenerate paper tables/figures by id
+     cache              inspect/verify/clear the persistent cache
+
+   The pipeline commands (project, analyze, advise, batch, experiment)
+   resolve a layered Gpp_engine.Config scenario: library defaults <
+   --config FILE < GPP_* environment < flags. *)
 
 open Cmdliner
-
-let setup_logs verbose =
-  Fmt_tty.setup_std_outputs ();
-  Logs.set_reporter (Logs_fmt.reporter ());
-  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
-
-let verbose_arg =
-  let doc = "Print pipeline progress (calibration, chosen transformations, measurements)." in
-  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
-
-let no_cache_arg =
-  let doc =
-    "Bypass the projection cache entirely (both the in-memory tables and the on-disk store): \
-     recompute every transformation search and kernel simulation instead of reusing memoized \
-     results.  Output is bit-identical either way."
-  in
-  Arg.(value & flag & info [ "no-cache" ] ~doc)
-
-let cache_dir_arg =
-  let doc =
-    "Directory of the persistent projection cache.  Defaults to $(b,GPP_CACHE_DIR), then \
-     $(b,\\$XDG_CACHE_HOME/grophecy), then $(b,~/.cache/grophecy)."
-  in
-  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
-
-let trace_file_arg =
-  let doc =
-    "Enable observability and stream a Chrome trace-event JSON timeline of the run to $(docv) \
-     (open it in chrome://tracing or https://ui.perfetto.dev).  A per-phase summary table is \
-     printed to stderr when the run ends.  Without this flag the instrumentation is a no-op and \
-     output is byte-identical."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-
-(* Shared --verbose/--no-cache/--cache-dir/--trace preamble.  Cache
-   statistics land on the gpp.core log source at info level, so they
-   show up under -v.  With caching on, the persistent tier is loaded up
-   front and flushed on exit (at_exit covers every exit path of
-   Cmd.eval'); with --no-cache both tiers are off, so stale disk state
-   can never leak into a run that asked for a recompute.
-
-   The trace sink is set up *before* the cache at_exit is registered:
-   at_exit handlers run in reverse order, so the final cache flush is
-   still captured by the trace before the trailer is written. *)
-let setup_run verbose no_cache cache_dir trace =
-  setup_logs verbose;
-  (match trace with
-  | None -> ()
-  | Some file -> (
-      Gpp_obs.Obs.set_enabled true;
-      match Gpp_obs.Obs.start_trace file with
-      | Ok () ->
-          at_exit (fun () ->
-              Gpp_obs.Obs.stop_trace ();
-              Gpp_obs.Obs.print_summary ();
-              Format.eprintf "wrote %s (open in chrome://tracing or Perfetto)@." file)
-      | Error e -> Format.eprintf "cannot open trace file %s: %s (tracing disabled)@." file e));
-  Option.iter Gpp_cache.Control.set_dir cache_dir;
-  if no_cache then begin
-    Gpp_cache.Control.set_enabled false;
-    Gpp_cache.Control.set_disk_enabled false
-  end
-  else begin
-    Gpp_cache.Memo.load_disk ();
-    at_exit (fun () -> Gpp_cache.Memo.flush_disk ())
-  end
-
-let machine_conv =
-  let parse = function
-    | "argonne" -> Ok Gpp_arch.Machine.argonne_node
-    | "section2b" -> Ok Gpp_arch.Machine.section2b_node
-    | "gt200" -> Ok Gpp_arch.Machine.gt200_node
-    | "modern" -> Ok Gpp_arch.Machine.modern_node
-    | s ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown machine %S (expected argonne, section2b, gt200, or modern)" s))
-  in
-  let print ppf (m : Gpp_arch.Machine.t) = Format.fprintf ppf "%s" m.name in
-  Arg.conv (parse, print)
-
-let machine_arg =
-  let doc =
-    "Target machine preset: $(b,argonne) (the paper's testbed), $(b,section2b), $(b,gt200), or \
-     $(b,modern)."
-  in
-  Arg.(value & opt machine_conv Gpp_arch.Machine.argonne_node & info [ "machine"; "m" ] ~doc)
-
-let seed_arg =
-  let doc = "Seed for the simulated hardware's noise streams." in
-  Arg.(value & opt int64 0x1B0A_2013_6CA1_55AAL & info [ "seed" ] ~doc)
-
-let workload_arg =
-  let doc = "Workload instance as $(b,app/size), e.g. $(b,cfd/97K) or $(b,hotspot/1024 x 1024)." in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
-
-let iterations_arg =
-  let doc = "Iteration count for iterative workloads." in
-  Arg.(value & opt int 1 & info [ "iterations"; "n" ] ~doc)
-
-let runs_arg =
-  let doc = "Runs to average per measurement (the paper uses 10)." in
-  Arg.(value & opt int 10 & info [ "runs" ] ~doc)
-
-let session_of machine seed = Gpp_core.Grophecy.init ~seed machine
-
-(* A workload argument is either a bundled "app/size" key or a path to a
-   textual .skel file. *)
-let resolve_workload key =
-  match Gpp_workloads.Registry.find_by_key key with
-  | Some inst -> Ok inst
-  | None when Sys.file_exists key && not (Sys.is_directory key) -> (
-      match Gpp_skeleton.Parser.parse_file key with
-      | Ok program ->
-          Ok
-            {
-              Gpp_workloads.Registry.app = program.Gpp_skeleton.Program.name;
-              size = "file";
-              program =
-                (fun iterations ->
-                  if iterations = 1 then program
-                  else Gpp_skeleton.Program.with_iterations program iterations);
-            }
-      | Error e -> Error e (* parse/validation errors already carry the path *))
-  | None ->
-      let known = List.map Gpp_workloads.Registry.key Gpp_workloads.Registry.all in
-      Error
-        (Printf.sprintf "unknown workload %S; known: %s (or a path to a .skel file)" key
-           (String.concat ", " known))
-
-(* Static analysis: run the lint driver and surface findings before a
-   projection, so an ill-formed-but-valid skeleton never projects
-   silently.  Warnings and errors go to stderr; infos stay quiet here
-   (run `grophecy lint` for the full report). *)
-let warn_diagnostics ~machine program =
-  let report = Gpp_analysis.Driver.run ~gpu:machine.Gpp_arch.Machine.gpu program in
-  List.iter
-    (fun (d : Gpp_analysis.Diagnostic.t) ->
-      if d.severity <> Gpp_analysis.Diagnostic.Info then
-        Format.eprintf "%s: %a@." report.Gpp_analysis.Driver.program_name
-          Gpp_analysis.Diagnostic.pp d)
-    report.Gpp_analysis.Driver.diagnostics
-
-(* calibrate *)
-
-let calibrate machine seed verbose =
-  setup_logs verbose;
-  let session = session_of machine seed in
-  Format.printf "%a@.@." Gpp_arch.Machine.pp machine;
-  Format.printf "two-point calibration (1 B and 512 MiB transfers, 10 runs each):@.";
-  List.iter
-    (fun model -> Format.printf "  %a@." Gpp_pcie.Model.pp model)
-    (Gpp_pcie.Calibrate.calibrate_all session.Gpp_core.Grophecy.calibration_link);
-  Format.printf "@.models used for projection (pinned, as in the paper):@.";
-  Format.printf "  %a@.  %a@." Gpp_pcie.Model.pp session.Gpp_core.Grophecy.h2d Gpp_pcie.Model.pp
-    session.Gpp_core.Grophecy.d2h;
-  0
-
-let calibrate_cmd =
-  let doc = "Run the synthetic PCIe benchmark and print the calibrated transfer models." in
-  Cmd.v (Cmd.info "calibrate" ~doc) Term.(const calibrate $ machine_arg $ seed_arg $ verbose_arg)
-
-(* list *)
-
-let list_workloads () =
-  Printf.printf "%-24s %s\n" "WORKLOAD" "KERNELS";
-  List.iter
-    (fun (inst : Gpp_workloads.Registry.instance) ->
-      let program = inst.program 1 in
-      Printf.printf "%-24s %s\n"
-        (Gpp_workloads.Registry.key inst)
-        (String.concat ", "
-           (List.map (fun (k : Gpp_skeleton.Ir.kernel) -> k.name) program.kernels)))
-    Gpp_workloads.Registry.all;
-  0
-
-let list_cmd =
-  let doc = "List the bundled workload skeletons." in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const list_workloads $ const ())
-
-(* project *)
-
-let project machine seed key iterations no_cache cache_dir trace verbose =
-  setup_run verbose no_cache cache_dir trace;
-  match Gpp_obs.Obs.span "parse" (fun () -> resolve_workload key) with
-  | Error e ->
-      prerr_endline e;
-      2
-  | Ok inst -> (
-      let session = session_of machine seed in
-      let program = Gpp_skeleton.Program.with_iterations (inst.program 1) iterations in
-      Gpp_obs.Obs.span "analysis.lint" (fun () -> warn_diagnostics ~machine program);
-      match
-        Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
-          ~d2h:session.Gpp_core.Grophecy.d2h program
-      with
-      | Error e ->
-          prerr_endline e;
-          1
-      | Ok projection ->
-          Format.printf "%a@." Gpp_core.Projection.pp projection;
-          Format.printf "%a@." Gpp_dataflow.Analyzer.pp_plan projection.Gpp_core.Projection.plan;
-          Gpp_core.Grophecy.log_cache_stats ();
-          0)
-
-let project_cmd =
-  let doc = "Project GPU kernel and transfer time for a workload (prediction only)." in
-  Cmd.v
-    (Cmd.info "project" ~doc)
-    Term.(
-      const project $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ no_cache_arg
-      $ cache_dir_arg $ trace_file_arg $ verbose_arg)
-
-(* analyze *)
-
-let analyze machine seed key iterations runs no_cache cache_dir trace verbose =
-  setup_run verbose no_cache cache_dir trace;
-  match Gpp_obs.Obs.span "parse" (fun () -> resolve_workload key) with
-  | Error e ->
-      prerr_endline e;
-      2
-  | Ok inst -> (
-      let session = session_of machine seed in
-      match Gpp_core.Grophecy.analyze ~runs ~iterations session (inst.program 1) with
-      | Error e ->
-          prerr_endline e;
-          1
-      | Ok report ->
-          Format.printf "%a@." Gpp_core.Grophecy.pp_report report;
-          Gpp_core.Grophecy.log_cache_stats ();
-          0)
-
-let analyze_cmd =
-  let doc =
-    "Project a workload, measure it on the simulated hardware, and report speedups and errors."
-  in
-  Cmd.v
-    (Cmd.info "analyze" ~doc)
-    Term.(
-      const analyze $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ runs_arg
-      $ no_cache_arg $ cache_dir_arg $ trace_file_arg $ verbose_arg)
-
-(* export-skel *)
-
-let export_skel key =
-  match resolve_workload key with
-  | Error e ->
-      prerr_endline e;
-      2
-  | Ok inst ->
-      print_string (Gpp_skeleton.Printer.to_skel (inst.program 1));
-      0
-
-let export_skel_cmd =
-  let doc = "Print a workload as an editable textual skeleton (.skel) on stdout." in
-  Cmd.v (Cmd.info "export-skel" ~doc) Term.(const export_skel $ workload_arg)
-
-(* advise *)
-
-let advise machine seed key iterations no_cache cache_dir trace verbose =
-  setup_run verbose no_cache cache_dir trace;
-  match Gpp_obs.Obs.span "parse" (fun () -> resolve_workload key) with
-  | Error e ->
-      prerr_endline e;
-      2
-  | Ok inst -> (
-      let session = session_of machine seed in
-      Gpp_obs.Obs.span "analysis.lint" (fun () -> warn_diagnostics ~machine (inst.program 1));
-      match
-        Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
-          ~d2h:session.Gpp_core.Grophecy.d2h (inst.program 1)
-      with
-      | Error e ->
-          prerr_endline e;
-          1
-      | Ok projection ->
-          let r = Gpp_core.Advisor.recommend ~iterations projection in
-          Format.printf "%a@." Gpp_core.Advisor.pp r;
-          0)
-
-let advise_cmd =
-  let doc =
-    "Should this workload be ported?  Prediction-only verdict with break-even analysis."
-  in
-  Cmd.v
-    (Cmd.info "advise" ~doc)
-    Term.(
-      const advise $ machine_arg $ seed_arg $ workload_arg $ iterations_arg $ no_cache_arg
-      $ cache_dir_arg $ trace_file_arg $ verbose_arg)
-
-(* lint *)
-
-let lint machine keys all strict json codes verbose =
-  setup_logs verbose;
-  if codes then begin
-    Printf.printf "%-8s %-8s %s\n" "CODE" "SEVERITY" "SUMMARY";
-    List.iter
-      (fun (c : Gpp_analysis.Pass.code_doc) ->
-        Printf.printf "%-8s %-8s %s\n" c.code
-          (Gpp_analysis.Diagnostic.severity_name c.severity)
-          c.summary)
-      (Gpp_analysis.Driver.code_index ());
-    0
-  end
-  else begin
-    let targets =
-      (if all then List.map (fun i -> Ok i) Gpp_workloads.Registry.all else [])
-      @ List.map resolve_workload keys
-    in
-    if targets = [] then begin
-      prerr_endline "lint: nothing to check (give WORKLOAD arguments or --all)";
-      2
-    end
-    else begin
-      let failures = List.filter_map (function Error e -> Some e | Ok _ -> None) targets in
-      List.iter prerr_endline failures;
-      if failures <> [] then 2
-      else begin
-        let reports =
-          List.map
-            (function
-              | Error _ -> assert false
-              | Ok (inst : Gpp_workloads.Registry.instance) ->
-                  Gpp_analysis.Driver.run ~gpu:machine.Gpp_arch.Machine.gpu (inst.program 1))
-            targets
-        in
-        if json then
-          print_endline
-            (match reports with
-            | [ report ] -> Gpp_analysis.Render.to_json report
-            | reports -> Gpp_analysis.Render.json_of_reports reports)
-        else
-          List.iter (fun report -> Format.printf "%a@." Gpp_analysis.Render.pp_text report) reports;
-        List.fold_left
-          (fun acc report -> max acc (Gpp_analysis.Driver.exit_code ~strict report))
-          0 reports
-      end
-    end
-  end
-
-let lint_cmd =
-  let doc =
-    "Run the static-analysis passes (bounds, races, transfer audit, performance lints, program \
-     checks) over workloads or .skel files and report diagnostics."
-  in
-  let keys_arg =
-    Arg.(
-      value & pos_all string []
-      & info [] ~docv:"WORKLOAD"
-          ~doc:"Workload instances ($(b,app/size)) or paths to $(b,.skel) files.")
-  in
-  let all_arg =
-    Arg.(value & flag & info [ "all" ] ~doc:"Lint every bundled workload skeleton.")
-  in
-  let strict_arg =
-    Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero on warnings, not just errors.")
-  in
-  let json_arg =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON instead of text.")
-  in
-  let codes_arg =
-    Arg.(value & flag & info [ "codes" ] ~doc:"List every diagnostic code and exit.")
-  in
-  Cmd.v (Cmd.info "lint" ~doc)
-    Term.(
-      const lint $ machine_arg $ keys_arg $ all_arg $ strict_arg $ json_arg $ codes_arg
-      $ verbose_arg)
-
-(* predict-transfer *)
-
-let predict_transfer machine seed size_str to_host =
-  match Gpp_util.Units.parse_bytes size_str with
-  | None ->
-      Printf.eprintf "cannot parse size %S (try 4KiB, 512MiB, 97000)\n" size_str;
-      2
-  | Some bytes ->
-      let session = session_of machine seed in
-      let model =
-        if to_host then session.Gpp_core.Grophecy.d2h else session.Gpp_core.Grophecy.h2d
-      in
-      Format.printf "%a@.T(%s) = %a@." Gpp_pcie.Model.pp model
-        (Gpp_util.Units.bytes_to_string bytes)
-        Gpp_util.Units.pp_time
-        (Gpp_pcie.Model.predict model ~bytes);
-      0
-
-let predict_transfer_cmd =
-  let doc = "Predict the time of a single pinned transfer of a given size." in
-  let size_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"SIZE" ~doc:"Transfer size.")
-  in
-  let to_host_arg =
-    Arg.(value & flag & info [ "to-host" ] ~doc:"Price a GPU-to-CPU transfer instead.")
-  in
-  Cmd.v
-    (Cmd.info "predict-transfer" ~doc)
-    Term.(const predict_transfer $ machine_arg $ seed_arg $ size_arg $ to_host_arg)
-
-(* trace *)
-
-let trace machine seed key output verbose =
-  setup_logs verbose;
-  match resolve_workload key with
-  | Error e ->
-      prerr_endline e;
-      2
-  | Ok inst -> (
-      let session = session_of machine seed in
-      match
-        Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
-          ~d2h:session.Gpp_core.Grophecy.d2h (inst.program 1)
-      with
-      | Error e ->
-          prerr_endline e;
-          1
-      | Ok projection ->
-          let rng = Gpp_util.Rng.create seed in
-          let status =
-            List.fold_left
-              (fun status (kp : Gpp_core.Projection.kernel_projection) ->
-                if status <> 0 then status
-                else begin
-                  let collector = Gpp_gpusim.Trace.create () in
-                  match
-                    Gpp_gpusim.Gpu_sim.run ~trace:collector ~rng
-                      ~gpu:machine.Gpp_arch.Machine.gpu
-                      kp.Gpp_core.Projection.candidate.Gpp_transform.Explore.characteristics
-                  with
-                  | Error e ->
-                      prerr_endline e;
-                      1
-                  | Ok result ->
-                      Printf.printf "%s (%s): simulated %s
-%s"
-                        kp.Gpp_core.Projection.kernel_name
-                        kp.Gpp_core.Projection.candidate.Gpp_transform.Explore.characteristics
-                          .Gpp_model.Characteristics.config_label
-                        (Gpp_util.Units.time_to_string result.Gpp_gpusim.Gpu_sim.time)
-                        (Gpp_gpusim.Trace.summary collector);
-                      let path =
-                        Printf.sprintf "%s.%s.json" output kp.Gpp_core.Projection.kernel_name
-                      in
-                      Out_channel.with_open_text path (fun oc ->
-                          output_string oc (Gpp_gpusim.Trace.to_chrome_json collector));
-                      Printf.printf "wrote %s (open in chrome://tracing or Perfetto)
-
-" path;
-                      0
-                end)
-              0 projection.Gpp_core.Projection.kernels
-          in
-          status)
-
-(* trace selftest: emit a miniature trace through the real span/counter
-   machinery (every canonical pipeline phase appears), then validate it
-   with the built-in checker — no external tooling, so CI can gate on
-   it.  With a FILE argument it validates that file instead, which is
-   how CI checks traces produced by real runs. *)
-
-let trace_selftest file verbose =
-  setup_logs verbose;
-  match file with
-  | Some path -> (
-      match Gpp_obs.Validate.validate_file path with
-      | Ok stats ->
-          Format.printf "%s: valid Chrome trace (%a)@." path Gpp_obs.Validate.pp_stats stats;
-          0
-      | Error e ->
-          Format.eprintf "%s: INVALID trace: %s@." path e;
-          1)
-  | None -> (
-      let module Obs = Gpp_obs.Obs in
-      let path = Filename.temp_file "grophecy-selftest" ".trace.json" in
-      let finish status =
-        Obs.set_enabled false;
-        Obs.reset ();
-        (try Sys.remove path with Sys_error _ -> ());
-        status
-      in
-      Obs.set_enabled true;
-      match Obs.start_trace path with
-      | Error e ->
-          Format.eprintf "trace selftest: cannot open %s: %s@." path e;
-          finish 1
-      | Ok () ->
-          Obs.span "selftest" (fun () ->
-              Obs.span "parse" (fun () -> ());
-              Obs.span "analysis.lint" (fun () -> ());
-              Obs.span "core.project" (fun () ->
-                  Obs.span "core.search" (fun () ->
-                      Obs.span "transform.search" (fun () ->
-                          Obs.span "transform.candidate" (fun () -> ())));
-                  Obs.span "dataflow.analyze" (fun () -> ());
-                  Obs.span "core.price_transfers" (fun () -> ()));
-              Obs.span "core.measure" (fun () ->
-                  Obs.span "gpusim.run_mean" (fun () -> Obs.span "gpusim.run" (fun () -> ()));
-                  Obs.span "pcie.transfer" (fun () -> ()));
-              Obs.event ~detail:"selftest" "cache.hit";
-              Obs.add (Obs.counter "selftest.counter") 42);
-          Obs.stop_trace ();
-          (match Gpp_obs.Validate.validate_file path with
-          | Ok stats ->
-              Format.printf "trace selftest: ok (%a)@." Gpp_obs.Validate.pp_stats stats;
-              finish 0
-          | Error e ->
-              Format.eprintf "trace selftest: emitted trace is INVALID: %s@." e;
-              finish 1))
-
-let trace_cmd =
-  let doc =
-    "Simulate a workload's kernels and export Chrome-trace timelines, or ($(b,trace selftest)) \
-     check the observability layer's own trace output."
-  in
-  let output_arg =
-    Arg.(
-      value & opt string "gpp-trace"
-      & info [ "output"; "o" ] ~docv:"PREFIX" ~doc:"Output path prefix for the trace JSON files.")
-  in
-  (* Workload keys are free-form ("hotspot/1024 x 1024"), so selftest
-     cannot be a Cmd.group subcommand — the group would reject every
-     workload as an unknown command name.  Dispatch on the first
-     positional instead: no bundled workload is named "selftest". *)
-  let target_arg =
-    let doc =
-      "Workload instance as $(b,app/size) (e.g. $(b,cfd/97K)), or the literal $(b,selftest) to \
-       emit a miniature trace through the observability layer and validate it — exits 1 if the \
-       trace is malformed; CI gates on this."
-    in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD|selftest" ~doc)
-  in
-  let file_arg =
-    Arg.(
-      value & pos 1 (some string) None
-      & info [] ~docv:"FILE"
-          ~doc:"With $(b,selftest): an existing trace JSON file to validate instead.")
-  in
-  let dispatch machine seed target file output verbose =
-    match target with
-    | "selftest" -> trace_selftest file verbose
-    | key -> trace machine seed key output verbose
-  in
-  Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const dispatch $ machine_arg $ seed_arg $ target_arg $ file_arg $ output_arg $ verbose_arg)
-
-(* experiment *)
-
-let experiment ids list_only csv_dir no_cache cache_dir trace verbose =
-  setup_run verbose no_cache cache_dir trace;
-  if list_only then begin
-    List.iter
-      (fun (e : Gpp_experiments.Suite.entry) -> Printf.printf "%-26s %s\n" e.id e.title)
-      Gpp_experiments.Suite.all;
-    0
-  end
-  else begin
-    (* Resolve every id before running anything, and report a usage
-       error (exit 2) through the same return path as the rest of the
-       CLI — never a bare [exit] that skips Cmd.eval'. *)
-    let entries =
-      match ids with
-      | [] -> Ok Gpp_experiments.Suite.all
-      | ids ->
-          List.fold_left
-            (fun acc id ->
-              match (acc, Gpp_experiments.Suite.find id) with
-              | Error e, _ -> Error e
-              | Ok _, None -> Error id
-              | Ok entries, Some e -> Ok (entries @ [ e ]))
-            (Ok []) ids
-    in
-    match entries with
-    | Error id ->
-        Printf.eprintf "unknown experiment id %s (try --list)\n" id;
-        2
-    | Ok entries ->
-        let ctx = Gpp_obs.Obs.span "experiment.context" (fun () -> Gpp_experiments.Context.create ()) in
-        List.iter
-          (fun (e : Gpp_experiments.Suite.entry) ->
-            let out = Gpp_obs.Obs.span ("experiment." ^ e.id) (fun () -> e.run ctx) in
-            Gpp_experiments.Output.print out;
-            print_newline ())
-          entries;
-        (match csv_dir with
-        | None -> ()
-        | Some dir ->
-            let written = Gpp_experiments.Export.write_all ctx ~dir in
-            Printf.printf "wrote %d CSV files to %s\n" (List.length written) dir);
-        Gpp_core.Grophecy.log_cache_stats ();
-        0
-  end
-
-let experiment_cmd =
-  let doc = "Regenerate paper tables and figures (all, or selected by id)." in
-  let ids_arg = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids.") in
-  let list_arg = Arg.(value & flag & info [ "list" ] ~doc:"List available experiment ids.") in
-  let csv_arg =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "csv" ] ~docv:"DIR" ~doc:"Also export every experiment's data as CSV into $(docv).")
-  in
-  Cmd.v
-    (Cmd.info "experiment" ~doc)
-    Term.(
-      const experiment $ ids_arg $ list_arg $ csv_arg $ no_cache_arg $ cache_dir_arg
-      $ trace_file_arg $ verbose_arg)
-
-(* cache *)
-
-let resolve_cache_dir cache_dir =
-  Option.iter Gpp_cache.Control.set_dir cache_dir;
-  Gpp_cache.Control.dir ()
-
-(* Counters are read from the shared observability registry (lib/obs) —
-   the same one a traced run reports — so the disk-tier numbers here
-   and in `--trace` summaries can never disagree.  Observability is
-   enabled for the duration of the command so the load below lands in
-   the registry. *)
-let cache_stats cache_dir porcelain verbose =
-  setup_logs verbose;
-  let dir = resolve_cache_dir cache_dir in
-  Gpp_obs.Obs.set_enabled true;
-  Gpp_cache.Memo.load_disk ();
-  let files = Gpp_cache.Store.list_dir ~dir in
-  if porcelain then begin
-    (* Stable machine-readable output, one record per line, TAB-separated:
-         dir\t<path>
-         table\t<name>\t<hits>\t<misses>\t<evictions>\t<bypasses>\t<entries>\t<capacity>
-         store\t<path>\t<entries>\t<corrupt>
-         counter\t<name>\t<value>
-       CI picks store filenames out of this instead of hardcoding them. *)
-    Printf.printf "dir\t%s\n" dir;
-    List.iter
-      (fun (s : Gpp_cache.Memo.snapshot) ->
-        Printf.printf "table\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n" s.name s.hits s.misses s.evictions
-          s.bypasses s.entries s.capacity)
-      (Gpp_cache.Memo.snapshots ());
-    List.iter
-      (fun path ->
-        let r = Gpp_cache.Store.verify ~path in
-        Printf.printf "store\t%s\t%d\t%d\n" path r.Gpp_cache.Store.total
-          r.Gpp_cache.Store.vcorrupt)
-      files;
-    List.iter (fun (name, v) -> Printf.printf "counter\t%s\t%d\n" name v) (Gpp_obs.Obs.counters ());
-    0
-  end
-  else begin
-    Printf.printf "cache directory: %s\n" dir;
-    List.iter
-      (fun s -> Format.printf "  %a@." Gpp_cache.Memo.pp_snapshot s)
-      (Gpp_cache.Memo.snapshots ());
-    (match files with
-    | [] -> Printf.printf "  (no store files)\n"
-    | files ->
-        let total =
-          List.fold_left
-            (fun acc path ->
-              let r = Gpp_cache.Store.verify ~path in
-              acc + r.Gpp_cache.Store.total)
-            0 files
-        in
-        Printf.printf "  %d store file(s), %d entr%s on disk\n" (List.length files) total
-          (if total = 1 then "y" else "ies"));
-    (match Gpp_obs.Obs.counters () with
-    | [] -> ()
-    | counters ->
-        Printf.printf "observability counters:\n";
-        List.iter (fun (name, v) -> Printf.printf "  %-24s %d\n" name v) counters);
-    0
-  end
-
-let cache_verify cache_dir verbose =
-  setup_logs verbose;
-  let dir = resolve_cache_dir cache_dir in
-  match Gpp_cache.Store.list_dir ~dir with
-  | [] ->
-      Printf.printf "no store files in %s\n" dir;
-      0
-  | files ->
-      let bad =
-        List.fold_left
-          (fun bad path ->
-            let r = Gpp_cache.Store.verify ~path in
-            match r.Gpp_cache.Store.vheader with
-            | Some err ->
-                Printf.printf "%s: UNREADABLE (%s)\n" path
-                  (Gpp_cache.Store.describe_header_error err);
-                bad + 1
-            | None when r.Gpp_cache.Store.vcorrupt > 0 ->
-                Printf.printf "%s: %d/%d entries CORRUPT\n" path r.Gpp_cache.Store.vcorrupt
-                  r.Gpp_cache.Store.total;
-                bad + 1
-            | None ->
-                Printf.printf "%s: ok (%d entries)\n" path r.Gpp_cache.Store.total;
-                bad)
-          0 files
-      in
-      if bad = 0 then 0
-      else begin
-        Printf.eprintf "%d of %d store file(s) damaged (they load as cache misses; run \
-                        `grophecy cache clear` to drop them)\n"
-          bad (List.length files);
-        1
-      end
-
-let cache_clear cache_dir verbose =
-  setup_logs verbose;
-  let dir = resolve_cache_dir cache_dir in
-  let removed = Gpp_cache.Store.clear_dir ~dir in
-  Printf.printf "removed %d file(s) from %s\n" removed dir;
-  0
-
-let cache_cmd =
-  let doc = "Inspect, verify, or clear the persistent projection cache." in
-  let stats =
-    let doc =
-      "Per-table cache statistics, including the disk tier (entries loaded, rejected, bytes)."
-    in
-    let porcelain_arg =
-      Arg.(
-        value & flag
-        & info [ "porcelain" ]
-            ~doc:
-              "Machine-readable output: TAB-separated $(b,dir)/$(b,table)/$(b,store)/$(b,counter) \
-               records with stable field order, for scripts and CI.")
-    in
-    Cmd.v (Cmd.info "stats" ~doc) Term.(const cache_stats $ cache_dir_arg $ porcelain_arg $ verbose_arg)
-  in
-  let verify =
-    let doc =
-      "Walk every store file and checksum every entry; reports corrupt files and exits 1 if any \
-       are found.  Corrupt entries are never fatal to a run — they load as cache misses."
-    in
-    Cmd.v (Cmd.info "verify" ~doc) Term.(const cache_verify $ cache_dir_arg $ verbose_arg)
-  in
-  let clear =
-    let doc = "Delete every store file (and leftover temp file) in the cache directory." in
-    Cmd.v (Cmd.info "clear" ~doc) Term.(const cache_clear $ cache_dir_arg $ verbose_arg)
-  in
-  Cmd.group (Cmd.info "cache" ~doc) [ stats; verify; clear ]
 
 let main_cmd =
   let doc = "GPU performance projection with data transfer modeling (GROPHECY++)" in
@@ -758,24 +29,32 @@ let main_cmd =
       `P
         "All subcommands share one exit-code space: $(b,0) on success; $(b,1) when the requested \
          operation fails (a projection or simulation error, lint findings at or above the \
-         threshold, corrupt store files from $(b,cache verify)); $(b,2) on usage errors (unknown \
-         workload, experiment, or machine, malformed sizes or flags).";
+         threshold, corrupt store files from $(b,cache verify), a failed $(b,batch) cell); \
+         $(b,2) on usage errors (unknown workload, experiment, or machine, malformed sizes, \
+         flags, or $(b,--config) files).";
+      `S "ENVIRONMENT";
+      `P
+        "The pipeline commands also read $(b,GPP_MACHINE), $(b,GPP_SEED), $(b,GPP_RUNS), \
+         $(b,GPP_ITERATIONS), $(b,GPP_OUTLIER_PROBABILITY), $(b,GPP_NO_CACHE), \
+         $(b,GPP_CACHE_DIR), $(b,GPP_TRACE), and $(b,GPP_VERBOSE), which override $(b,--config) \
+         files and are overridden by flags.";
     ]
   in
   let info = Cmd.info "grophecy" ~version:"1.0.0" ~doc ~man in
   Cmd.group info
     [
-      calibrate_cmd;
-      list_cmd;
-      lint_cmd;
-      project_cmd;
-      analyze_cmd;
-      advise_cmd;
-      export_skel_cmd;
-      trace_cmd;
-      predict_transfer_cmd;
-      experiment_cmd;
-      cache_cmd;
+      Cmd_calibrate.cmd;
+      Cmd_list.cmd;
+      Cmd_lint.cmd;
+      Cmd_project.cmd;
+      Cmd_analyze.cmd;
+      Cmd_advise.cmd;
+      Cmd_batch.cmd;
+      Cmd_export_skel.cmd;
+      Cmd_trace.cmd;
+      Cmd_predict_transfer.cmd;
+      Cmd_experiment.cmd;
+      Cmd_cache.cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -41,7 +41,9 @@ let () =
             Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
               ~d2h:session.Gpp_core.Grophecy.d2h program
           with
-          | Error e -> Format.printf "  %-28s error: %s@." machine.Gpp_arch.Machine.name e
+          | Error e ->
+              Format.printf "  %-28s error: %s@." machine.Gpp_arch.Machine.name
+                (Gpp_core.Error.to_string e)
           | Ok projection ->
               let cpu = Gpp_core.Evaluation.cpu_time ~machine program in
               let speedup = cpu /. projection.Gpp_core.Projection.total_time in

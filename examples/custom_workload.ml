@@ -64,7 +64,7 @@ let () =
   let machine = Gpp_arch.Machine.argonne_node in
   let session = Gpp_core.Grophecy.init machine in
   match Gpp_core.Grophecy.analyze session program with
-  | Error e -> failwith e
+  | Error e -> failwith (Gpp_core.Error.to_string e)
   | Ok report ->
       let projection = report.projection in
       Format.printf "what GROPHECY++ decided:@.%a@.@." Gpp_core.Projection.pp projection;

@@ -26,7 +26,7 @@ let () =
   let n = 16 * 1024 * 1024 in
   let program = Gpp_workloads.Vecadd.program ~n in
   (match Gpp_core.Grophecy.analyze session program with
-  | Error e -> failwith e
+  | Error e -> failwith (Gpp_core.Error.to_string e)
   | Ok report ->
       let ms t = Gpp_util.Units.ms_of_seconds t in
       Format.printf "adding two vectors of %d floats:@." n;

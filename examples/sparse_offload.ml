@@ -16,7 +16,7 @@ let () =
   let report =
     match Gpp_core.Grophecy.analyze session program with
     | Ok r -> r
-    | Error e -> failwith e
+    | Error e -> failwith (Gpp_core.Error.to_string e)
   in
   Format.printf "Stassuij: 132x132 sparse (CSR) x 132x2048 dense complex@.@.";
   Format.printf "what the data usage analyzer decided to transfer:@.%a@.@."

@@ -18,7 +18,7 @@ let () =
   let report =
     match Gpp_core.Grophecy.analyze session program with
     | Ok r -> r
-    | Error e -> failwith e
+    | Error e -> failwith (Gpp_core.Error.to_string e)
   in
   Format.printf "HotSpot %dx%d on %s@.@." n n machine.Gpp_arch.Machine.name;
   Format.printf "fixed transfer cost: %a (in: temperature + power, out: temperature)@.@."

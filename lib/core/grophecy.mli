@@ -43,24 +43,44 @@ type report = {
   transfer_error : float;  (** Error magnitude of total transfer time. *)
 }
 
+type params = {
+  cache : bool option;
+      (** Per-call memo-table override; [None] defers to the global
+          {!Gpp_cache.Control} switch. *)
+  analytic_params : Gpp_model.Analytic.params option;
+  space : Gpp_transform.Explore.space option;
+  policy : Gpp_dataflow.Analyzer.policy option;
+  sim_config : Gpp_gpusim.Gpu_sim.config option;
+  cpu_params : Gpp_cpu.Timing.params option;
+  runs : int option;  (** Runs per measurement mean (default 10). *)
+  iterations : int option;
+      (** When set, rescales the program's [Repeat] nodes first. *)
+}
+(** Every tunable of one {!analyze} call in a single record, replacing
+    the former eight-way optional-argument threading.  Build one with
+    record update on {!default_params}; the engine's [Config] layer
+    resolves its own scenario record down to this. *)
+
+val default_params : params
+(** Everything [None]: library defaults throughout. *)
+
 val analyze :
-  ?cache:bool ->
-  ?analytic_params:Gpp_model.Analytic.params ->
-  ?space:Gpp_transform.Explore.space ->
-  ?policy:Gpp_dataflow.Analyzer.policy ->
-  ?sim_config:Gpp_gpusim.Gpu_sim.config ->
-  ?cpu_params:Gpp_cpu.Timing.params ->
-  ?runs:int ->
-  ?iterations:int ->
-  session ->
-  Gpp_skeleton.Program.t ->
-  (report, string) result
-(** Project, measure, and evaluate one program.  [iterations], when
-    given, rescales the program's [Repeat] nodes first.
+  ?params:params -> session -> Gpp_skeleton.Program.t -> (report, Error.t) result
+(** Project, measure, and evaluate one program.
 
     Transformation searches and kernel simulations are memoized (the
-    report is bit-identical either way); [~cache:false] bypasses both
-    memo tables for this call. *)
+    report is bit-identical either way); [{ params with cache = Some
+    false }] bypasses both memo tables for this call. *)
+
+val evaluate :
+  ?cpu_params:Gpp_cpu.Timing.params ->
+  machine:Gpp_arch.Machine.t ->
+  projection:Projection.t ->
+  measurement:Measurement.t ->
+  Gpp_skeleton.Program.t ->
+  report
+(** The Evaluate stage alone: derive CPU time, speedups, and error
+    magnitudes from an existing projection/measurement pair.  Pure. *)
 
 val log_cache_stats : unit -> unit
 (** Emit one [info]-level line per projection-cache memo table (hits,

@@ -15,11 +15,17 @@ type t = {
   total_time : float;
 }
 
-let measure ?cache ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79B9L) ~link
-    (projection : Projection.t) =
+(* [measure_parts] is the staged entry point: it consumes exactly what
+   the Explore and Analyze stages produced (chosen candidates + transfer
+   plan), so the engine can simulate before transfers are priced.  The
+   classic [measure] on a finished projection delegates to it — same
+   draws from the same RNG streams in the same order, so both paths are
+   bit-identical. *)
+let measure_parts ?cache ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79B9L) ~link ~machine
+    ~kernels:(chosen : Projection.kernel_projection list) ~plan (program : Program.t) =
   Gpp_obs.Obs.span "core.measure" @@ fun () ->
   let ( let* ) = Result.bind in
-  let gpu = projection.Projection.machine.Gpp_arch.Machine.gpu in
+  let gpu = machine.Gpp_arch.Machine.gpu in
   let rng = Gpp_util.Rng.create seed in
   let* kernels =
     List.fold_left
@@ -27,11 +33,13 @@ let measure ?cache ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79B9L) ~li
         let* acc = acc in
         let kernel_seed = Gpp_util.Rng.next_int64 rng in
         let* time =
-          Gpu_sim.run_mean ?cache ?config:sim_config ~runs ~seed:kernel_seed ~gpu
-            kp.Projection.candidate.Gpp_transform.Explore.characteristics
+          Result.map_error
+            (fun m -> Error.simulation ~kernel:kp.Projection.kernel_name m)
+            (Gpu_sim.run_mean ?cache ?config:sim_config ~runs ~seed:kernel_seed ~gpu
+               kp.Projection.candidate.Gpp_transform.Explore.characteristics)
         in
         Ok ({ kernel_name = kp.Projection.kernel_name; time } :: acc))
-      (Ok []) projection.Projection.kernels
+      (Ok []) chosen
   in
   let kernels = List.rev kernels in
   let time_of name =
@@ -40,15 +48,11 @@ let measure ?cache ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79B9L) ~li
     | None -> 0.0
   in
   let kernel_time =
-    List.fold_left
-      (fun acc name -> acc +. time_of name)
-      0.0
-      (Program.flatten_schedule projection.Projection.program)
+    List.fold_left (fun acc name -> acc +. time_of name) 0.0 (Program.flatten_schedule program)
   in
   let transfers =
     List.map
-      (fun (pt : Projection.priced_transfer) ->
-        let tr = pt.Projection.transfer in
+      (fun (tr : Analyzer.transfer) ->
         let direction =
           match tr.Analyzer.direction with
           | Analyzer.To_device -> Link.Host_to_device
@@ -58,10 +62,15 @@ let measure ?cache ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79B9L) ~li
           Link.mean_transfer_time link ~runs direction Link.Pinned ~bytes:tr.Analyzer.bytes
         in
         { transfer = tr; time })
-      projection.Projection.transfers
+      (Analyzer.transfers plan)
   in
   let transfer_time = List.fold_left (fun acc tm -> acc +. tm.time) 0.0 transfers in
   Ok { kernels; kernel_time; transfers; transfer_time; total_time = kernel_time +. transfer_time }
+
+let measure ?cache ?sim_config ?runs ?seed ~link (projection : Projection.t) =
+  measure_parts ?cache ?sim_config ?runs ?seed ~link ~machine:projection.Projection.machine
+    ~kernels:projection.Projection.kernels ~plan:projection.Projection.plan
+    projection.Projection.program
 
 let kernel_time_of t name =
   List.find_opt (fun (km : kernel_measurement) -> km.kernel_name = name) t.kernels

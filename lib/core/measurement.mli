@@ -32,7 +32,7 @@ val measure :
   ?seed:int64 ->
   link:Gpp_pcie.Link.t ->
   Projection.t ->
-  (t, string) result
+  (t, Error.t) result
 (** Execute the projection's chosen kernels and planned transfers on the
     simulated hardware.  The link is used as-is (construct it with
     outliers enabled to reproduce the noisy application-transfer
@@ -41,7 +41,25 @@ val measure :
     Kernel simulations are seeded deterministically and memoized (see
     {!Gpp_gpusim.Gpu_sim.run_mean}); transfer times come from the
     stateful link and are never cached.  [~cache:false] forces
-    re-simulation. *)
+    re-simulation.  Failures are {!Error.Simulation}. *)
+
+val measure_parts :
+  ?cache:bool ->
+  ?sim_config:Gpp_gpusim.Gpu_sim.config ->
+  ?runs:int ->
+  ?seed:int64 ->
+  link:Gpp_pcie.Link.t ->
+  machine:Gpp_arch.Machine.t ->
+  kernels:Projection.kernel_projection list ->
+  plan:Gpp_dataflow.Analyzer.plan ->
+  Gpp_skeleton.Program.t ->
+  (t, Error.t) result
+(** Staged variant of {!measure} taking the Explore stage's chosen
+    candidates and the Analyze stage's transfer plan directly, so the
+    engine can simulate before transfers are priced.  [measure p] is
+    exactly [measure_parts ~machine:p.machine ~kernels:p.kernels
+    ~plan:p.plan p.program] — identical RNG draw order, identical
+    results. *)
 
 val kernel_time_of : t -> string -> float option
 

@@ -23,10 +23,18 @@ type t = {
   total_time : float;
 }
 
-let project ?cache ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program : Program.t) =
-  Gpp_obs.Obs.span "core.project" @@ fun () ->
+(* The pipeline is exposed in stages — validate + search ([explore]),
+   dataflow analysis (the caller runs [Analyzer.analyze]), and transfer
+   pricing ([assemble]) — so the engine's staged runner can inspect each
+   intermediate.  [project] is the one-call composition; both paths
+   perform the identical computations in the identical order, so their
+   results (and cache keys) are bit-for-bit the same. *)
+
+let explore ?cache ?analytic_params ?space ~machine (program : Program.t) =
   let ( let* ) = Result.bind in
-  let* () = Program.validate program in
+  let* () =
+    Result.map_error (fun m -> Error.projection m) (Program.validate program)
+  in
   let* kernels =
     List.fold_left
       (fun acc (k : Gpp_skeleton.Ir.kernel) ->
@@ -35,8 +43,10 @@ let project ?cache ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program :
           (* The span exists even when the search itself is a memo hit,
              so a traced run always shows the search phase. *)
           Gpp_obs.Obs.span "core.search" @@ fun () ->
-          Explore.best ?cache ?params:analytic_params ?space ~gpu:machine.Gpp_arch.Machine.gpu
-            ~decls:program.arrays k
+          Result.map_error
+            (fun m -> Error.projection ~kernel:k.name m)
+            (Explore.best ?cache ?params:analytic_params ?space ~gpu:machine.Gpp_arch.Machine.gpu
+               ~decls:program.arrays k)
         in
         Ok
           ({
@@ -47,7 +57,9 @@ let project ?cache ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program :
           :: acc))
       (Ok []) program.kernels
   in
-  let kernels = List.rev kernels in
+  Ok (List.rev kernels)
+
+let assemble ~machine ~h2d ~d2h ~kernels ~plan (program : Program.t) =
   let time_of name =
     match List.find_opt (fun kp -> kp.kernel_name = name) kernels with
     | Some kp -> kp.time
@@ -56,7 +68,6 @@ let project ?cache ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program :
   let kernel_time =
     List.fold_left (fun acc name -> acc +. time_of name) 0.0 (Program.flatten_schedule program)
   in
-  let plan = Analyzer.analyze ?policy program in
   let price (tr : Analyzer.transfer) =
     let model = match tr.direction with Analyzer.To_device -> h2d | Analyzer.From_device -> d2h in
     { transfer = tr; time = Gpp_pcie.Model.predict model ~bytes:tr.bytes }
@@ -66,19 +77,25 @@ let project ?cache ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program :
     List.map price (Analyzer.transfers plan)
   in
   let transfer_time = List.fold_left (fun acc pt -> acc +. pt.time) 0.0 transfers in
-  Ok
-    {
-      program;
-      machine;
-      h2d;
-      d2h;
-      kernels;
-      kernel_time;
-      plan;
-      transfers;
-      transfer_time;
-      total_time = kernel_time +. transfer_time;
-    }
+  {
+    program;
+    machine;
+    h2d;
+    d2h;
+    kernels;
+    kernel_time;
+    plan;
+    transfers;
+    transfer_time;
+    total_time = kernel_time +. transfer_time;
+  }
+
+let project ?cache ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program : Program.t) =
+  Gpp_obs.Obs.span "core.project" @@ fun () ->
+  let ( let* ) = Result.bind in
+  let* kernels = explore ?cache ?analytic_params ?space ~machine program in
+  let plan = Analyzer.analyze ?policy program in
+  Ok (assemble ~machine ~h2d ~d2h ~kernels ~plan program)
 
 let kernel_time_of t name =
   List.find_opt (fun (kp : kernel_projection) -> kp.kernel_name = name) t.kernels

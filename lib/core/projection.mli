@@ -42,13 +42,37 @@ val project :
   h2d:Gpp_pcie.Model.t ->
   d2h:Gpp_pcie.Model.t ->
   Gpp_skeleton.Program.t ->
-  (t, string) result
-(** [Error] when the program fails validation or some kernel admits no
-    feasible GPU transformation.
+  (t, Error.t) result
+(** [Error] ({!Error.Projection}) when the program fails validation or
+    some kernel admits no feasible GPU transformation.
 
     The per-kernel transformation searches are memoized (see
     {!Gpp_transform.Explore.search}); [~cache:false] forces them to be
     re-evaluated. *)
+
+val explore :
+  ?cache:bool ->
+  ?analytic_params:Gpp_model.Analytic.params ->
+  ?space:Gpp_transform.Explore.space ->
+  machine:Gpp_arch.Machine.t ->
+  Gpp_skeleton.Program.t ->
+  (kernel_projection list, Error.t) result
+(** Stage 1 of {!project}: validate the program and run the
+    transformation-space search for every kernel (program order).  The
+    engine's staged pipeline calls this directly; {!project} composes it
+    with the dataflow analysis and {!assemble}. *)
+
+val assemble :
+  machine:Gpp_arch.Machine.t ->
+  h2d:Gpp_pcie.Model.t ->
+  d2h:Gpp_pcie.Model.t ->
+  kernels:kernel_projection list ->
+  plan:Gpp_dataflow.Analyzer.plan ->
+  Gpp_skeleton.Program.t ->
+  t
+(** Stage 3 of {!project}: price the planned transfers with the
+    calibrated PCIe models, total the kernel schedule, and build the
+    projection record.  Pure — never fails. *)
 
 val kernel_time_of : t -> string -> float option
 (** Predicted single-invocation time of a named kernel. *)

@@ -1,0 +1,86 @@
+module Grophecy = Gpp_core.Grophecy
+module Obs = Gpp_obs.Obs
+
+type cell = { workload : string; machine : Gpp_arch.Machine.t; iterations : int option }
+
+type cell_result = { cell : cell; outcome : (Grophecy.report, Error.t) result }
+
+type t = {
+  config : Config.t;
+  sessions : (string * Grophecy.session) list;
+  cells : cell_result list;
+}
+
+(* Cells run sequentially, grouped by machine: one calibrated session
+   per machine serves all of its cells, and within a machine the
+   workloads run in the given order.  This is the exact session/analyze
+   order the experiment context has always used, so a batch over the
+   paper instances reproduces the suite's reports bit-for-bit (the
+   application link's RNG is stateful; order is part of the result). *)
+let run ?machines ?(iterations = [ None ]) (config : Config.t) ~workloads =
+  let machines = match machines with Some ms -> ms | None -> [ config.Config.machine ] in
+  let sessions_rev = ref [] in
+  let cells_rev = ref [] in
+  List.iter
+    (fun (machine : Gpp_arch.Machine.t) ->
+      let config = { config with Config.machine } in
+      let session = Obs.span "batch.calibrate" (fun () -> Pipeline.session_of config) in
+      sessions_rev := (machine.Gpp_arch.Machine.name, session) :: !sessions_rev;
+      List.iter
+        (fun workload ->
+          List.iter
+            (fun iters ->
+              let config = { config with Config.iterations = iters } in
+              let outcome =
+                Obs.span "batch.cell" @@ fun () ->
+                match Pipeline.run ~session config ~workload with
+                | Ok state -> Ok (Pipeline.report_exn state)
+                | Error e -> Error e
+              in
+              cells_rev :=
+                { cell = { workload; machine; iterations = iters }; outcome } :: !cells_rev)
+            iterations)
+        workloads)
+    machines;
+  { config; sessions = List.rev !sessions_rev; cells = List.rev !cells_rev }
+
+let session t ~machine =
+  List.assoc_opt machine t.sessions
+
+let succeeded t =
+  List.filter_map
+    (fun { cell; outcome } -> match outcome with Ok r -> Some (cell, r) | Error _ -> None)
+    t.cells
+
+let failed t =
+  List.filter_map
+    (fun { cell; outcome } -> match outcome with Ok _ -> None | Error e -> Some (cell, e))
+    t.cells
+
+let tsv_header =
+  "workload\tmachine\titerations\tstatus\tmeasured\tkernel_only\ttransfer_only\twith_transfer\tkernel_error\ttransfer_error"
+
+(* Stable text rendering for golden files: fixed six-decimal floats,
+   tab-separated, one row per cell in run order.  Failed cells keep
+   their row (status = the error category) so a matrix diff shows
+   exactly which cell regressed. *)
+let to_tsv t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf tsv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun { cell; outcome } ->
+      let iters = match cell.iterations with None -> "-" | Some n -> string_of_int n in
+      (match outcome with
+      | Ok (r : Grophecy.report) ->
+          let s = r.speedups in
+          Printf.bprintf buf "%s\t%s\t%s\tok\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f"
+            cell.workload cell.machine.Gpp_arch.Machine.name iters s.Gpp_core.Evaluation.measured
+            s.Gpp_core.Evaluation.kernel_only s.Gpp_core.Evaluation.transfer_only
+            s.Gpp_core.Evaluation.with_transfer r.kernel_error r.transfer_error
+      | Error e ->
+          Printf.bprintf buf "%s\t%s\t%s\terror:%s\t-\t-\t-\t-\t-\t-" cell.workload
+            cell.machine.Gpp_arch.Machine.name iters (Error.category e));
+      Buffer.add_char buf '\n')
+    t.cells;
+  Buffer.contents buf

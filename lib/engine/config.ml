@@ -1,0 +1,314 @@
+module Machine = Gpp_arch.Machine
+
+type t = {
+  machine : Machine.t;
+  seed : int64;
+  outlier_probability : float;
+  protocol : Gpp_pcie.Calibrate.protocol option;
+  runs : int option;
+  iterations : int option;
+  use_cache : bool option;
+  analytic : Gpp_model.Analytic.params option;
+  space : Gpp_transform.Explore.space option;
+  policy : Gpp_dataflow.Analyzer.policy option;
+  sim : Gpp_gpusim.Gpu_sim.config option;
+  cpu : Gpp_cpu.Timing.params option;
+  lint : bool;
+  cache_enabled : bool;
+  cache_dir : string option;
+  trace : string option;
+  verbose : bool;
+}
+
+(* Mirrors Grophecy.init's defaults exactly: resolving a default config
+   and running it must be bit-identical to the historical
+   [Grophecy.init machine] + [Grophecy.analyze session program] path. *)
+let default =
+  {
+    machine = Machine.argonne_node;
+    seed = 0x1B0A_2013_6CA1_55AAL;
+    outlier_probability = 0.05;
+    protocol = None;
+    runs = None;
+    iterations = None;
+    use_cache = None;
+    analytic = None;
+    space = None;
+    policy = None;
+    sim = None;
+    cpu = None;
+    lint = false;
+    cache_enabled = true;
+    cache_dir = None;
+    trace = None;
+    verbose = false;
+  }
+
+let core_params (t : t) =
+  {
+    Gpp_core.Grophecy.cache = t.use_cache;
+    analytic_params = t.analytic;
+    space = t.space;
+    policy = t.policy;
+    sim_config = t.sim;
+    cpu_params = t.cpu;
+    runs = t.runs;
+    iterations = t.iterations;
+  }
+
+let machine_names = [ "argonne"; "section2b"; "gt200"; "modern" ]
+
+let machine_of_name = function
+  | "argonne" -> Ok Machine.argonne_node
+  | "section2b" -> Ok Machine.section2b_node
+  | "gt200" -> Ok Machine.gt200_node
+  | "modern" -> Ok Machine.modern_node
+  | s ->
+      Error
+        (Printf.sprintf "unknown machine %S (expected argonne, section2b, gt200, or modern)" s)
+
+(* Scalar parsers shared by the file and environment layers. *)
+
+let bool_of_atom s =
+  match String.lowercase_ascii s with
+  | "true" | "yes" | "on" | "1" -> Ok true
+  | "false" | "no" | "off" | "0" -> Ok false
+  | _ -> Error (Printf.sprintf "expected a boolean, got %S" s)
+
+let int_of_atom s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "expected an integer, got %S" s)
+
+let int64_of_atom s =
+  match Int64.of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "expected an integer seed, got %S" s)
+
+let float_of_atom s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "expected a number, got %S" s)
+
+(* --- configuration file layer (sexp) ------------------------------- *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let atom key = function
+  | Sexp.Atom a -> a
+  | Sexp.List _ -> bad "%s: expected an atom, got a list" key
+
+let get parse key v =
+  match parse (atom key v) with Ok x -> x | Error m -> bad "%s: %s" key m
+
+let int_list key = function
+  | Sexp.Atom _ -> bad "%s: expected a list of integers" key
+  | Sexp.List items -> List.map (get int_of_atom key) items
+
+(* Key/value pairs: each entry of the top-level list is (key value)
+   where value is an atom or a nested key/value list for the parameter
+   groups. *)
+let pairs_of context = function
+  | Sexp.Atom _ -> bad "%s: expected a list of (key value) pairs" context
+  | Sexp.List items ->
+      List.map
+        (function
+          | Sexp.List [ Sexp.Atom key; value ] -> (key, value)
+          | s -> bad "%s: expected (key value), got %s" context (Sexp.to_string s))
+        items
+
+let fold_group ~context ~seed ~field value =
+  List.fold_left (fun acc (key, v) -> field acc key v) seed (pairs_of context value)
+
+let analytic_group base value =
+  fold_group ~context:"analytic" ~seed:(Option.value base ~default:Gpp_model.Analytic.default_params)
+    ~field:(fun (p : Gpp_model.Analytic.params) key v ->
+      match key with
+      | "achieved-bw-fraction" -> { p with achieved_bw_fraction = get float_of_atom key v }
+      | "sync-cost-cycles" -> { p with sync_cost_cycles = get float_of_atom key v }
+      | _ -> bad "analytic: unknown key %S" key)
+    value
+
+let cpu_group base value =
+  fold_group ~context:"cpu" ~seed:(Option.value base ~default:Gpp_cpu.Timing.default_params)
+    ~field:(fun (p : Gpp_cpu.Timing.params) key v ->
+      match key with
+      | "ilp-efficiency" -> { p with ilp_efficiency = get float_of_atom key v }
+      | "heavy-op-cycles" -> { p with heavy_op_cycles = get float_of_atom key v }
+      | "streaming-bw-fraction" ->
+          { p with streaming_bw_fraction_override = Some (get float_of_atom key v) }
+      | _ -> bad "cpu: unknown key %S" key)
+    value
+
+let sim_group base value =
+  fold_group ~context:"sim" ~seed:(Option.value base ~default:Gpp_gpusim.Gpu_sim.default_config)
+    ~field:(fun (c : Gpp_gpusim.Gpu_sim.config) key v ->
+      match key with
+      | "streaming-efficiency" -> { c with streaming_efficiency = get float_of_atom key v }
+      | "scattered-efficiency" -> { c with scattered_efficiency = get float_of_atom key v }
+      | "latency-jitter" -> { c with latency_jitter = get float_of_atom key v }
+      | "block-dispatch-cycles" -> { c with block_dispatch_cycles = get float_of_atom key v }
+      | "drain-cycles" -> { c with drain_cycles = get float_of_atom key v }
+      | "noise-sigma" -> { c with noise_sigma = get float_of_atom key v }
+      | "max-simulated-blocks" -> { c with max_simulated_blocks = get int_of_atom key v }
+      | _ -> bad "sim: unknown key %S" key)
+    value
+
+let policy_group base value =
+  fold_group ~context:"policy" ~seed:(Option.value base ~default:Gpp_dataflow.Analyzer.default_policy)
+    ~field:(fun (p : Gpp_dataflow.Analyzer.policy) key v ->
+      match key with
+      | "sparse-exact" ->
+          ignore p;
+          { Gpp_dataflow.Analyzer.sparse_exact = get bool_of_atom key v }
+      | _ -> bad "policy: unknown key %S" key)
+    value
+
+let space_group base value =
+  fold_group ~context:"space" ~seed:(Option.value base ~default:Gpp_transform.Explore.default_space)
+    ~field:(fun (s : Gpp_transform.Explore.space) key v ->
+      match key with
+      | "block-sizes" -> { s with block_sizes = int_list key v }
+      | "unroll-factors" -> { s with unroll_factors = int_list key v }
+      | "vector-widths" -> { s with vector_widths = int_list key v }
+      | "allow-tiling" -> { s with allow_tiling = get bool_of_atom key v }
+      | _ -> bad "space: unknown key %S" key)
+    value
+
+let protocol_group base value =
+  fold_group ~context:"protocol"
+    ~seed:(Option.value base ~default:Gpp_pcie.Calibrate.default_protocol)
+    ~field:(fun (p : Gpp_pcie.Calibrate.protocol) key v ->
+      match key with
+      | "small-bytes" -> { p with small_bytes = get int_of_atom key v }
+      | "large-bytes" -> { p with large_bytes = get int_of_atom key v }
+      | "runs" -> { p with runs = get int_of_atom key v }
+      | _ -> bad "protocol: unknown key %S" key)
+    value
+
+let cache_group (t : t) value =
+  List.fold_left
+    (fun (t : t) (key, v) ->
+      match key with
+      | "enabled" -> { t with cache_enabled = get bool_of_atom key v }
+      | "dir" -> { t with cache_dir = Some (atom key v) }
+      | _ -> bad "cache: unknown key %S" key)
+    t (pairs_of "cache" value)
+
+let apply_entry (t : t) key value =
+  match key with
+  | "machine" -> { t with machine = get machine_of_name key value }
+  | "seed" -> { t with seed = get int64_of_atom key value }
+  | "outlier-probability" -> { t with outlier_probability = get float_of_atom key value }
+  | "runs" -> { t with runs = Some (get int_of_atom key value) }
+  | "iterations" -> { t with iterations = Some (get int_of_atom key value) }
+  | "use-cache" -> { t with use_cache = Some (get bool_of_atom key value) }
+  | "lint" -> { t with lint = get bool_of_atom key value }
+  | "trace" -> { t with trace = Some (atom key value) }
+  | "verbose" -> { t with verbose = get bool_of_atom key value }
+  | "cache" -> cache_group t value
+  | "protocol" -> { t with protocol = Some (protocol_group t.protocol value) }
+  | "analytic" -> { t with analytic = Some (analytic_group t.analytic value) }
+  | "cpu" -> { t with cpu = Some (cpu_group t.cpu value) }
+  | "sim" -> { t with sim = Some (sim_group t.sim value) }
+  | "policy" -> { t with policy = Some (policy_group t.policy value) }
+  | "space" -> { t with space = Some (space_group t.space value) }
+  | key -> bad "unknown key %S" key
+
+let apply_sexp (t : t) sexp =
+  List.fold_left (fun t (key, value) -> apply_entry t key value) t (pairs_of "config" sexp)
+
+let apply_file (t : t) ~path =
+  match Sexp.parse_file path with
+  | Error m -> Error (Error.config ~source:path (Printf.sprintf "%s: %s" path m))
+  | Ok sexp -> (
+      match apply_sexp t sexp with
+      | t -> Ok t
+      | exception Bad m -> Error (Error.config ~source:path (Printf.sprintf "%s: %s" path m)))
+
+(* --- environment layer --------------------------------------------- *)
+
+let env_vars =
+  [
+    "GPP_MACHINE";
+    "GPP_SEED";
+    "GPP_RUNS";
+    "GPP_ITERATIONS";
+    "GPP_OUTLIER_PROBABILITY";
+    "GPP_NO_CACHE";
+    "GPP_CACHE_DIR";
+    "GPP_TRACE";
+    "GPP_VERBOSE";
+  ]
+
+let apply_env ?(getenv = Sys.getenv_opt) (t : t) =
+  let ( let* ) = Result.bind in
+  let scalar name parse set t =
+    match getenv name with
+    | None -> Ok t
+    | Some raw -> (
+        match parse raw with
+        | Ok v -> Ok (set t v)
+        | Error m -> Error (Error.config ~source:name (Printf.sprintf "%s: %s" name m)))
+  in
+  let* t = scalar "GPP_MACHINE" machine_of_name (fun t machine -> { t with machine }) t in
+  let* t = scalar "GPP_SEED" int64_of_atom (fun t seed -> { t with seed }) t in
+  let* t = scalar "GPP_RUNS" int_of_atom (fun t runs -> { t with runs = Some runs }) t in
+  let* t =
+    scalar "GPP_ITERATIONS" int_of_atom (fun t n -> { t with iterations = Some n }) t
+  in
+  let* t =
+    scalar "GPP_OUTLIER_PROBABILITY" float_of_atom
+      (fun t outlier_probability -> { t with outlier_probability })
+      t
+  in
+  let* t =
+    scalar "GPP_NO_CACHE" bool_of_atom (fun t no -> { t with cache_enabled = not no }) t
+  in
+  let* t = scalar "GPP_CACHE_DIR" (fun s -> Ok s) (fun t d -> { t with cache_dir = Some d }) t in
+  let* t = scalar "GPP_TRACE" (fun s -> Ok s) (fun t f -> { t with trace = Some f }) t in
+  let* t = scalar "GPP_VERBOSE" bool_of_atom (fun t verbose -> { t with verbose }) t in
+  Ok t
+
+(* --- flag layer ----------------------------------------------------- *)
+
+type overrides = {
+  o_machine : Machine.t option;
+  o_seed : int64 option;
+  o_runs : int option;
+  o_iterations : int option;
+  o_no_cache : bool;
+  o_cache_dir : string option;
+  o_trace : string option;
+  o_verbose : bool;
+}
+
+let no_overrides =
+  {
+    o_machine = None;
+    o_seed = None;
+    o_runs = None;
+    o_iterations = None;
+    o_no_cache = false;
+    o_cache_dir = None;
+    o_trace = None;
+    o_verbose = false;
+  }
+
+let apply_overrides (t : t) (o : overrides) =
+  let t = match o.o_machine with Some machine -> { t with machine } | None -> t in
+  let t = match o.o_seed with Some seed -> { t with seed } | None -> t in
+  let t = match o.o_runs with Some runs -> { t with runs = Some runs } | None -> t in
+  let t = match o.o_iterations with Some n -> { t with iterations = Some n } | None -> t in
+  let t = if o.o_no_cache then { t with cache_enabled = false } else t in
+  let t = match o.o_cache_dir with Some d -> { t with cache_dir = Some d } | None -> t in
+  let t = match o.o_trace with Some f -> { t with trace = Some f } | None -> t in
+  if o.o_verbose then { t with verbose = true } else t
+
+let resolve ?getenv ?file ?(overrides = no_overrides) () =
+  let ( let* ) = Result.bind in
+  let* t = match file with None -> Ok default | Some path -> apply_file default ~path in
+  let* t = apply_env ?getenv t in
+  Ok (apply_overrides t overrides)

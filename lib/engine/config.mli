@@ -1,0 +1,91 @@
+(** Typed scenario configuration with layered resolution.
+
+    One {!t} record captures everything a pipeline run depends on — the
+    target machine, the noise seeds, the simulator/CPU/analytic model
+    parameters, the transfer policy, and the cache/observability
+    switches.  {!resolve} builds it by layering, lowest precedence
+    first:
+
+    {v library defaults < sexp config file (--config FILE)
+       < GPP_* environment variables < command-line flags v}
+
+    The defaults reproduce the historical
+    [Grophecy.init machine] behaviour bit-for-bit, so a default-resolved
+    config is byte-identical to every pre-engine run. *)
+
+type t = {
+  machine : Gpp_arch.Machine.t;
+  seed : int64;  (** Seed for the simulated hardware's noise streams. *)
+  outlier_probability : float;
+      (** Slow-transfer outlier rate of the application link (§V-A). *)
+  protocol : Gpp_pcie.Calibrate.protocol option;
+      (** Calibration protocol override (sizes and runs). *)
+  runs : int option;  (** Runs per measurement mean (default 10). *)
+  iterations : int option;
+      (** When set, rescale the program's [Repeat] nodes. *)
+  use_cache : bool option;
+      (** Per-call memo override handed to the core pipeline; [None]
+          defers to the global switch. *)
+  analytic : Gpp_model.Analytic.params option;
+  space : Gpp_transform.Explore.space option;
+  policy : Gpp_dataflow.Analyzer.policy option;
+  sim : Gpp_gpusim.Gpu_sim.config option;
+  cpu : Gpp_cpu.Timing.params option;
+  lint : bool;  (** Run the Lint stage (diagnostics to stderr). *)
+  cache_enabled : bool;  (** Process-wide cache switch ([--no-cache]). *)
+  cache_dir : string option;  (** Persistent-store directory override. *)
+  trace : string option;  (** Chrome-trace output file ([--trace]). *)
+  verbose : bool;
+}
+
+val default : t
+
+val core_params : t -> Gpp_core.Grophecy.params
+(** Project the scenario down to the core facade's per-call params. *)
+
+val machine_of_name : string -> (Gpp_arch.Machine.t, string) result
+(** Preset lookup shared by the CLI, the file layer, and [GPP_MACHINE]. *)
+
+val machine_names : string list
+
+val apply_file : t -> path:string -> (t, Error.t) result
+(** Layer a sexp scenario file onto [t].  The file is one list of
+    [(key value)] pairs; parameter groups ([analytic], [cpu], [sim],
+    [policy], [space], [protocol], [cache]) nest another pair list and
+    start from the library defaults, so partial groups override only the
+    named fields.  Unknown keys, malformed sexps, and unreadable files
+    are {!Error.Config} naming the file. *)
+
+val apply_env : ?getenv:(string -> string option) -> t -> (t, Error.t) result
+(** Layer the [GPP_*] environment variables onto [t].  [getenv] is
+    injectable for tests.  Malformed values are {!Error.Config} naming
+    the variable. *)
+
+val env_vars : string list
+(** The variables {!apply_env} consults. *)
+
+type overrides = {
+  o_machine : Gpp_arch.Machine.t option;
+  o_seed : int64 option;
+  o_runs : int option;
+  o_iterations : int option;
+  o_no_cache : bool;
+  o_cache_dir : string option;
+  o_trace : string option;
+  o_verbose : bool;
+}
+(** The command-line flag layer: [None]/[false] means "flag not given,
+    keep the lower layers' value". *)
+
+val no_overrides : overrides
+
+val apply_overrides : t -> overrides -> t
+
+val resolve :
+  ?getenv:(string -> string option) ->
+  ?file:string ->
+  ?overrides:overrides ->
+  unit ->
+  (t, Error.t) result
+(** Full layered resolution: defaults, then [file], then environment,
+    then [overrides]. *)

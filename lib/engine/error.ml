@@ -1,0 +1,1 @@
+include Gpp_core.Error

@@ -1,0 +1,11 @@
+(** Structured pipeline errors ({!Gpp_core.Error} re-exported).
+
+    Every engine stage, the batch runner, and the configuration layers
+    all report this one type; {!exit_code} is the single mapping onto
+    the CLI's 0/1/2 exit-code space.  The type lives in [gpp_core] so
+    the core pipeline functions can produce it; the engine re-exports it
+    as [Gpp_engine.Error] because the engine is its primary consumer. *)
+
+include module type of struct
+  include Gpp_core.Error
+end

@@ -1,0 +1,66 @@
+(** The staged prediction pipeline, with each stage an inspectable value.
+
+    {v Parse → Lint → Analyze → Explore → Simulate → Project → Evaluate v}
+
+    Each stage reads a resolved {!Config.t} scenario plus the fields
+    earlier stages filled in, and either extends the {!state} or fails
+    with a structured {!Error.t}.  The stage list is a plain value
+    ({!stages}), so tools can enumerate, describe, or partially run the
+    pipeline ({!run} with [?through]).
+
+    Numerics parity: given a default config, running all stages is
+    bit-identical to [Grophecy.analyze] — the stages are the same
+    computations in the same RNG draw order, only the control flow and
+    error plumbing moved. *)
+
+type state = {
+  config : Config.t;
+  workload : string;  (** The workload spelling being resolved. *)
+  instance : Gpp_workloads.Registry.instance option;
+  program : Gpp_skeleton.Program.t option;
+  lint_report : Gpp_analysis.Driver.report option;
+  plan : Gpp_dataflow.Analyzer.plan option;
+  kernels : Gpp_core.Projection.kernel_projection list option;
+  measurement : Gpp_core.Measurement.t option;
+  projection : Gpp_core.Projection.t option;
+  report : Gpp_core.Grophecy.report option;
+}
+(** Accumulated stage outputs; [None] = stage not run yet. *)
+
+type stage = {
+  id : Stage.id;
+  run : session:Gpp_core.Grophecy.session -> state -> (state, Error.t) result;
+}
+
+val stages : stage list
+(** All seven stages in pipeline order. *)
+
+val init : Config.t -> workload:string -> state
+(** Fresh state with every output empty. *)
+
+val session_of : Config.t -> Gpp_core.Grophecy.session
+(** Calibrate a session for the scenario's machine, seed, outlier
+    probability, and protocol.  Runs the PCIe calibration benchmark. *)
+
+val run :
+  ?through:Stage.id ->
+  session:Gpp_core.Grophecy.session ->
+  Config.t ->
+  workload:string ->
+  (state, Error.t) result
+(** Run stages in order up to and including [through] (default
+    {!Stage.Evaluate}), stopping at the first error.  The Lint stage is
+    a no-op unless [config.lint] is set. *)
+
+val completed : state -> Stage.id list
+(** Which stages have produced their output (Lint counts only when it
+    actually ran). *)
+
+val report_exn : state -> Gpp_core.Grophecy.report
+(** @raise Invalid_argument if Evaluate has not run. *)
+
+val projection_exn : state -> Gpp_core.Projection.t
+(** @raise Invalid_argument if Project has not run. *)
+
+val program_exn : state -> Gpp_skeleton.Program.t
+(** @raise Invalid_argument if Parse has not run. *)

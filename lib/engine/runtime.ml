@@ -1,0 +1,41 @@
+(* Process-wide side effects of a resolved scenario: logging level,
+   trace sink, cache switches.  Moved out of the CLI preamble so the
+   batch runner and the experiment suite install the exact same
+   behaviour.
+
+   The trace sink is set up *before* the cache at_exit is registered:
+   at_exit handlers run in reverse order, so the final cache flush is
+   still captured by the trace before the trailer is written. *)
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let setup_trace = function
+  | None -> ()
+  | Some file -> (
+      Gpp_obs.Obs.set_enabled true;
+      match Gpp_obs.Obs.start_trace file with
+      | Ok () ->
+          at_exit (fun () ->
+              Gpp_obs.Obs.stop_trace ();
+              Gpp_obs.Obs.print_summary ();
+              Format.eprintf "wrote %s (open in chrome://tracing or Perfetto)@." file)
+      | Error e -> Format.eprintf "cannot open trace file %s: %s (tracing disabled)@." file e)
+
+let setup_cache ~enabled ~dir =
+  Option.iter Gpp_cache.Control.set_dir dir;
+  if not enabled then begin
+    Gpp_cache.Control.set_enabled false;
+    Gpp_cache.Control.set_disk_enabled false
+  end
+  else begin
+    Gpp_cache.Memo.load_disk ();
+    at_exit (fun () -> Gpp_cache.Memo.flush_disk ())
+  end
+
+let install (c : Config.t) =
+  setup_logs c.Config.verbose;
+  setup_trace c.Config.trace;
+  setup_cache ~enabled:c.Config.cache_enabled ~dir:c.Config.cache_dir

@@ -1,0 +1,23 @@
+(** Process-wide scenario side effects (logging, tracing, caching).
+
+    Exactly one [install] (or the individual pieces) should run per
+    process, before any pipeline work.  Shared by every binary so the
+    single-run commands, the batch runner, and the experiment suite
+    honour [--trace]/[--no-cache]/[--cache-dir] identically. *)
+
+val install : Config.t -> unit
+(** Apply the scenario's observability and cache settings: set the log
+    level from [verbose]; when [trace] is set, enable observability and
+    stream a Chrome trace to the file (summary on stderr at exit); apply
+    [cache_dir]; with [cache_enabled] load the persistent cache tier and
+    register its flush on exit, otherwise disable both cache tiers.
+
+    Registers the trace [at_exit] before the cache flush [at_exit] so
+    the flush is still captured by the trace. *)
+
+val setup_logs : bool -> unit
+(** Just the log-level piece ([true] = debug). *)
+
+val setup_trace : string option -> unit
+
+val setup_cache : enabled:bool -> dir:string option -> unit

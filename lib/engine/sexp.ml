@@ -1,0 +1,134 @@
+type t = Atom of string | List of t list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* Hand-rolled reader: atoms, double-quoted strings with backslash
+   escapes (backslash, quote, n, t), nested lists, and semicolon line
+   comments.  Scenario files are a few dozen tokens, so clarity beats
+   speed. *)
+let parse_string input =
+  let len = String.length input in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let peek () = if !pos < len then Some input.[!pos] else None in
+  let advance () =
+    (match peek () with Some '\n' -> incr line | _ -> ());
+    incr pos
+  in
+  let rec skip_blanks () =
+    match peek () with
+    | Some (' ' | '\t' | '\r' | '\n') ->
+        advance ();
+        skip_blanks ()
+    | Some ';' ->
+        let rec to_eol () =
+          match peek () with
+          | Some '\n' | None -> ()
+          | Some _ ->
+              advance ();
+              to_eol ()
+        in
+        to_eol ();
+        skip_blanks ()
+    | _ -> ()
+  in
+  let read_quoted () =
+    advance () (* opening quote *);
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "line %d: unterminated string" !line
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some 'n' ->
+              Buffer.add_char buf '\n';
+              advance ();
+              go ()
+          | Some 't' ->
+              Buffer.add_char buf '\t';
+              advance ();
+              go ()
+          | Some (('"' | '\\') as c) ->
+              Buffer.add_char buf c;
+              advance ();
+              go ()
+          | Some c -> fail "line %d: unknown escape '\\%c'" !line c
+          | None -> fail "line %d: unterminated string" !line)
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Atom (Buffer.contents buf)
+  in
+  let read_atom () =
+    let start = !pos in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\t' | '\r' | '\n' | '(' | ')' | ';' | '"') | None -> ()
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ();
+    Atom (String.sub input start (!pos - start))
+  in
+  let rec read_value () =
+    skip_blanks ();
+    match peek () with
+    | None -> fail "line %d: unexpected end of input" !line
+    | Some '(' ->
+        advance ();
+        let rec items acc =
+          skip_blanks ();
+          match peek () with
+          | None -> fail "line %d: unclosed '('" !line
+          | Some ')' ->
+              advance ();
+              List (List.rev acc)
+          | Some _ -> items (read_value () :: acc)
+        in
+        items []
+    | Some ')' -> fail "line %d: unexpected ')'" !line
+    | Some '"' -> read_quoted ()
+    | Some _ -> read_atom ()
+  in
+  match
+    let v = read_value () in
+    skip_blanks ();
+    if !pos < len then fail "line %d: trailing input after expression" !line;
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error m -> Error m
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | contents -> parse_string contents
+
+let needs_quotes s =
+  s = ""
+  || String.exists (function ' ' | '\t' | '\r' | '\n' | '(' | ')' | ';' | '"' | '\\' -> true | _ -> false) s
+
+let rec to_string = function
+  | Atom a when needs_quotes a ->
+      let buf = Buffer.create (String.length a + 2) in
+      Buffer.add_char buf '"';
+      String.iter
+        (function
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | '\t' -> Buffer.add_string buf "\\t"
+          | c -> Buffer.add_char buf c)
+        a;
+      Buffer.add_char buf '"';
+      Buffer.contents buf
+  | Atom a -> a
+  | List items -> "(" ^ String.concat " " (List.map to_string items) ^ ")"

@@ -1,0 +1,19 @@
+(** Minimal s-expression reader for scenario configuration files.
+
+    Supports atoms, double-quoted strings (with backslash escapes for
+    backslash, quote, [n], [t]), nested lists, and [;] line comments —
+    just enough for
+    [--config FILE] without pulling in a sexp library.  Errors carry the
+    1-based line number. *)
+
+type t = Atom of string | List of t list
+
+val parse_string : string -> (t, string) result
+(** Parse exactly one expression (trailing blanks/comments allowed). *)
+
+val parse_file : string -> (t, string) result
+(** {!parse_string} over a file's contents; [Error] also covers
+    unreadable files. *)
+
+val to_string : t -> string
+(** Canonical one-line rendering (atoms quoted only when needed). *)

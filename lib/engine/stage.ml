@@ -1,0 +1,44 @@
+type id = Parse | Lint | Analyze | Explore | Simulate | Project | Evaluate
+
+let all = [ Parse; Lint; Analyze; Explore; Simulate; Project; Evaluate ]
+
+let name = function
+  | Parse -> "parse"
+  | Lint -> "lint"
+  | Analyze -> "analyze"
+  | Explore -> "explore"
+  | Simulate -> "simulate"
+  | Project -> "project"
+  | Evaluate -> "evaluate"
+
+let description = function
+  | Parse -> "resolve the workload and build its program skeleton"
+  | Lint -> "run the static-analysis passes over the skeleton"
+  | Analyze -> "BRS dataflow analysis: derive the transfer plan"
+  | Explore -> "transformation-space search per kernel"
+  | Simulate -> "measure kernels and transfers on the simulated hardware"
+  | Project -> "price planned transfers and assemble the projection"
+  | Evaluate -> "derive CPU time, speedups, and error magnitudes"
+
+let of_name = function
+  | "parse" -> Some Parse
+  | "lint" -> Some Lint
+  | "analyze" -> Some Analyze
+  | "explore" -> Some Explore
+  | "simulate" -> Some Simulate
+  | "project" -> Some Project
+  | "evaluate" -> Some Evaluate
+  | _ -> None
+
+let index = function
+  | Parse -> 0
+  | Lint -> 1
+  | Analyze -> 2
+  | Explore -> 3
+  | Simulate -> 4
+  | Project -> 5
+  | Evaluate -> 6
+
+let compare a b = Int.compare (index a) (index b)
+
+let pp ppf id = Format.pp_print_string ppf (name id)

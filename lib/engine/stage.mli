@@ -1,0 +1,25 @@
+(** The pipeline's stages as first-class, inspectable identifiers.
+
+    The order follows the paper's workflow: skeleton parse, static
+    analysis, BRS dataflow analysis, transformation search, GPU-sim
+    measurement, PCIe transfer pricing + projection, evaluation. *)
+
+type id = Parse | Lint | Analyze | Explore | Simulate | Project | Evaluate
+
+val all : id list
+(** Pipeline order. *)
+
+val name : id -> string
+(** Stable lowercase name ([parse], [lint], ...). *)
+
+val description : id -> string
+
+val of_name : string -> id option
+
+val index : id -> int
+(** Position in {!all}. *)
+
+val compare : id -> id -> int
+(** Pipeline order. *)
+
+val pp : Format.formatter -> id -> unit

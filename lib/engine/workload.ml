@@ -1,0 +1,30 @@
+module Registry = Gpp_workloads.Registry
+
+(* A workload argument is either a bundled "app/size" key or a path to a
+   textual .skel file (moved verbatim from the CLI so every consumer —
+   single-run commands, the batch runner, the experiment context —
+   resolves identically). *)
+let resolve key =
+  match Registry.find_by_key key with
+  | Some inst -> Ok inst
+  | None when Sys.file_exists key && not (Sys.is_directory key) -> (
+      match Gpp_skeleton.Parser.parse_file key with
+      | Ok program ->
+          Ok
+            {
+              Registry.app = program.Gpp_skeleton.Program.name;
+              size = "file";
+              program =
+                (fun iterations ->
+                  if iterations = 1 then program
+                  else Gpp_skeleton.Program.with_iterations program iterations);
+            }
+      | Error e ->
+          (* parse/validation errors already carry the path *)
+          Error (Error.parse ~source:key e))
+  | None ->
+      let known = List.map Registry.key Registry.all in
+      Error
+        (Error.parse ~source:key
+           (Printf.sprintf "unknown workload %S; known: %s (or a path to a .skel file)" key
+              (String.concat ", " known)))

@@ -1,0 +1,10 @@
+(** Workload resolution: bundled ["app/size"] keys or [.skel] files.
+
+    Shared by the single-run commands, the batch runner, and the
+    experiment context, so every entry point accepts the same workload
+    spellings and fails with the same {!Error.Parse} messages. *)
+
+val resolve : string -> (Gpp_workloads.Registry.instance, Error.t) result
+(** Look the key up in the registry; fall back to parsing it as a path
+    to a textual skeleton.  [Error] is {!Error.Parse} carrying the key
+    as [source]. *)

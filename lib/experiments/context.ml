@@ -1,5 +1,6 @@
 module Registry = Gpp_workloads.Registry
 module Grophecy = Gpp_core.Grophecy
+module Engine = Gpp_engine
 
 type t = {
   session : Grophecy.session;
@@ -7,16 +8,46 @@ type t = {
   instances : (Registry.instance * Grophecy.report) list;
 }
 
+(* One batch over the Table I instances on one machine: the batch runner
+   creates the calibrated session and runs the cells in paper order,
+   which is the exact session/analyze order this module always used, so
+   the reports are bit-identical to the pre-engine implementation. *)
 let create ?(machine = Gpp_arch.Machine.argonne_node) ?seed () =
-  let session = Grophecy.init ?seed machine in
+  let config =
+    {
+      Engine.Config.default with
+      Engine.Config.machine;
+      seed = Option.value seed ~default:Engine.Config.default.Engine.Config.seed;
+    }
+  in
+  let workloads = List.map Registry.key Registry.paper_instances in
+  let batch = Engine.Batch.run config ~workloads in
+  (* Aggregate every failing workload into one report instead of
+     aborting on the first: a suite author sees the whole damage. *)
+  (match Engine.Batch.failed batch with
+  | [] -> ()
+  | failures ->
+      invalid_arg
+        (Printf.sprintf "Context.create: %d workload(s) failed: %s" (List.length failures)
+           (String.concat "; "
+              (List.map
+                 (fun ((cell : Engine.Batch.cell), e) ->
+                   Printf.sprintf "%s: %s" cell.workload (Engine.Error.message e))
+                 failures))));
+  let reports =
+    List.map
+      (fun ((cell : Engine.Batch.cell), r) -> (cell.workload, r))
+      (Engine.Batch.succeeded batch)
+  in
   let instances =
     List.map
-      (fun (inst : Registry.instance) ->
-        match Grophecy.analyze session (inst.program 1) with
-        | Ok report -> (inst, report)
-        | Error e ->
-            invalid_arg (Printf.sprintf "Context.create: %s failed: %s" (Registry.key inst) e))
+      (fun (inst : Registry.instance) -> (inst, List.assoc (Registry.key inst) reports))
       Registry.paper_instances
+  in
+  let session =
+    match Engine.Batch.session batch ~machine:machine.Gpp_arch.Machine.name with
+    | Some s -> s
+    | None -> invalid_arg "Context.create: batch produced no session"
   in
   { session; machine; instances }
 
@@ -26,12 +57,19 @@ let machine t = t.machine
 
 let instances t = t.instances
 
+let find_report t ~app ~size =
+  Option.map snd
+    (List.find_opt
+       (fun ((i : Registry.instance), _) -> i.app = app && i.size = size)
+       t.instances)
+
 let report t ~app ~size =
-  match
-    List.find_opt (fun ((i : Registry.instance), _) -> i.app = app && i.size = size) t.instances
-  with
-  | Some (_, report) -> report
-  | None -> raise Not_found
+  match find_report t ~app ~size with
+  | Some report -> report
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Context.report: no report for %S/%S (known: %s)" app size
+           (String.concat ", " (List.map (fun (i, _) -> Registry.key i) t.instances)))
 
 let reports_of_app t app =
   List.filter_map
@@ -39,6 +77,7 @@ let reports_of_app t app =
     t.instances
 
 let apps t =
-  List.fold_left
-    (fun acc ((i : Registry.instance), _) -> if List.mem i.app acc then acc else acc @ [ i.app ])
-    [] t.instances
+  List.rev
+    (List.fold_left
+       (fun acc ((i : Registry.instance), _) -> if List.mem i.app acc then acc else i.app :: acc)
+       [] t.instances)

@@ -25,6 +25,15 @@ let check_error msg = function
   | Ok _ -> Alcotest.failf "%s: expected an error" msg
   | Error (e : string) -> e
 
+(* Variants of the two above for the structured core/engine errors. *)
+let check_core msg = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: unexpected error: %s" msg (Gpp_core.Error.to_string e)
+
+let check_core_error msg = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" msg
+  | Error (e : Gpp_core.Error.t) -> e
+
 let check_raises_invalid msg f =
   match f () with
   | exception Invalid_argument _ -> ()

@@ -157,7 +157,9 @@ let test_search_memoized () =
 
 (* Cached vs uncached pipeline equivalence *)
 
-let report_exn = function Ok r -> r | Error e -> Alcotest.failf "analyze failed: %s" e
+let report_exn = function
+  | Ok r -> r
+  | Error e -> Alcotest.failf "analyze failed: %s" (Gpp_core.Error.to_string e)
 
 let analyze_fresh ?cache () =
   (* A fresh session per run: Grophecy.init and the transfer
@@ -165,7 +167,10 @@ let analyze_fresh ?cache () =
      identical seeds must reproduce them exactly. *)
   let session = Gpp_core.Grophecy.init Gpp_arch.Machine.argonne_node in
   report_exn
-    (Gpp_core.Grophecy.analyze ?cache session (Gpp_workloads.Vecadd.program ~n:100_000))
+    (Gpp_core.Grophecy.analyze
+       ~params:{ Gpp_core.Grophecy.default_params with Gpp_core.Grophecy.cache }
+       session
+       (Gpp_workloads.Vecadd.program ~n:100_000))
 
 let test_cached_vs_uncached_identical () =
   let uncached = Control.without_cache (fun () -> analyze_fresh ()) in

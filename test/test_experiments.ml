@@ -13,10 +13,20 @@ let test_context_instances () =
   Alcotest.(check int) "ten instances" 10 (List.length (Context.instances ctx));
   Alcotest.(check (list string)) "apps" [ "cfd"; "hotspot"; "srad"; "stassuij" ] (Context.apps ctx);
   Alcotest.(check int) "cfd sizes" 3 (List.length (Context.reports_of_app ctx "cfd"));
-  (* Lookup works and misses raise. *)
+  (* Lookup works; misses raise a descriptive error naming the pair,
+     and the option variant returns None. *)
   ignore (Context.report ctx ~app:"srad" ~size:"2048 x 2048");
-  Alcotest.check_raises "missing" Not_found (fun () ->
-      ignore (Context.report ctx ~app:"srad" ~size:"1 x 1"))
+  Alcotest.(check bool)
+    "find_report hit" true
+    (Context.find_report ctx ~app:"srad" ~size:"2048 x 2048" <> None);
+  Alcotest.(check bool)
+    "find_report miss" true
+    (Context.find_report ctx ~app:"srad" ~size:"1 x 1" = None);
+  (match Context.report ctx ~app:"srad" ~size:"1 x 1" with
+  | exception Invalid_argument msg ->
+      Helpers.check_contains "names the missing pair" ~needle:{|"srad"/"1 x 1"|} msg;
+      Helpers.check_contains "lists known keys" ~needle:"srad/2048 x 2048" msg
+  | _ -> Alcotest.fail "expected Invalid_argument for a missing pair")
 
 let test_fig2_points () =
   let pts = Gpp_experiments.Fig_transfer_time.points (Lazy.force ctx) in

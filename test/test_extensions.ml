@@ -174,7 +174,7 @@ let session = lazy (Gpp_core.Grophecy.init machine)
 
 let projection_of program =
   let s = Lazy.force session in
-  Helpers.check_ok "project"
+  Helpers.check_core "project"
     (Gpp_core.Projection.project ~machine ~h2d:s.Gpp_core.Grophecy.h2d
        ~d2h:s.Gpp_core.Grophecy.d2h program)
 

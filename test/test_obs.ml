@@ -116,7 +116,7 @@ let test_golden_byte_identity () =
   let render () =
     match Projection.project ~machine ~h2d:s.Grophecy.h2d ~d2h:s.Grophecy.d2h program with
     | Ok p -> Format.asprintf "%a" Projection.pp p
-    | Error e -> Alcotest.failf "projection failed: %s" e
+    | Error e -> Alcotest.failf "projection failed: %s" (Gpp_core.Error.to_string e)
   in
   Gpp_cache.Control.set_enabled false;
   Fun.protect ~finally:(fun () -> Gpp_cache.Control.set_enabled true) @@ fun () ->
