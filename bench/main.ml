@@ -26,10 +26,24 @@ let run_full_suite () =
     (fun (e : Gpp_experiments.Suite.entry) -> ignore (e.run ctx))
     Gpp_experiments.Suite.all
 
+(* Wall-clock timer.  Sys.time is process CPU time: it ignores waiting
+   and, worse, *sums* across domains, so a perfectly parallel run would
+   "take" as long as the sequential one.  Every A/B here reads the
+   monotonic clock instead. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
 let timed f =
-  let t0 = Sys.time () in
+  let t0 = now_s () in
   f ();
-  Sys.time () -. t0
+  now_s () -. t0
+
+(* A store directory unique to this run, removed however the bench
+   exits.  A fixed path under $TMPDIR would collide between concurrent
+   bench processes (one run's flush poisoning another's reload) and leak
+   the store on crash. *)
+let with_temp_store f =
+  let dir = Filename.temp_dir "gpp-bench-store" "" in
+  Fun.protect ~finally:(fun () -> ignore (Gpp_cache.Store.clear_dir ~dir)) (fun () -> f dir)
 
 let cache_ab () =
   print_endline "cache A/B: full experiments suite (context + every table/figure)";
@@ -42,8 +56,7 @@ let cache_ab () =
   Printf.printf "  warm cache:     %6.2f s  (%.2fx vs bypassed)\n%!" warm (uncached /. warm);
   (* Warm disk, cold process: flush, drop the in-memory tables, reload
      from the store files, rerun. *)
-  let store_dir = Filename.concat (Filename.get_temp_dir_name ()) "gpp-bench-store" in
-  ignore (Gpp_cache.Store.clear_dir ~dir:store_dir);
+  with_temp_store @@ fun store_dir ->
   Gpp_cache.Memo.flush_disk ~dir:store_dir ();
   Gpp_cache.Memo.clear_all ();
   let load = timed (fun () -> Gpp_cache.Memo.load_disk ~dir:store_dir ()) in
@@ -52,8 +65,43 @@ let cache_ab () =
     (uncached /. disk_warm) load;
   List.iter
     (fun s -> Format.printf "  %a@." Gpp_cache.Memo.pp_snapshot s)
-    (Gpp_cache.Memo.snapshots ());
-  ignore (Gpp_cache.Store.clear_dir ~dir:store_dir)
+    (Gpp_cache.Memo.snapshots ())
+
+(* Parallel batch A/B: the full paper matrix (Table I workloads ×
+   argonne and gt200) sequentially and sharded across the domain pool,
+   with the cache bypassed so the parallel leg cannot ride the
+   sequential leg's memo entries.  Asserts the TSVs are byte-identical,
+   then writes the machine-readable result to BENCH_batch.json. *)
+let batch_ab () =
+  (* At least two domains even on a single-core box, so the A/B always
+     exercises the pool path (the speedup is then honestly ~1x). *)
+  let jobs = max 2 (Gpp_engine.Pool.default_jobs ()) in
+  Printf.printf "batch A/B: paper matrix, --jobs 1 vs --jobs %d (cache bypassed)\n%!" jobs;
+  let config = { Gpp_engine.Config.default with Gpp_engine.Config.use_cache = Some false } in
+  let machines = [ Gpp_arch.Machine.argonne_node; Gpp_arch.Machine.gt200_node ] in
+  let workloads = List.map Gpp_workloads.Registry.key Gpp_workloads.Registry.paper_instances in
+  let run jobs =
+    let result = ref None in
+    let t = timed (fun () -> result := Some (Gpp_engine.Batch.run ~machines ~jobs config ~workloads)) in
+    (Option.get !result, t)
+  in
+  let seq, seq_s = run 1 in
+  Printf.printf "  --jobs 1:  %6.2f s\n%!" seq_s;
+  let par, par_s = run jobs in
+  let identical = Gpp_engine.Batch.to_tsv seq = Gpp_engine.Batch.to_tsv par in
+  Printf.printf "  --jobs %d:  %6.2f s  (%.2fx; identical output: %b)\n%!" jobs par_s
+    (seq_s /. par_s) identical;
+  if not identical then failwith "batch A/B: parallel TSV differs from sequential";
+  let cells = List.length seq.Gpp_engine.Batch.cells in
+  Out_channel.with_open_text "BENCH_batch.json" (fun oc ->
+      Printf.fprintf oc
+        "{\n  \"benchmark\": \"batch-matrix\",\n  \"cells\": %d,\n  \"jobs\": %d,\n  \
+         \"host_cores\": %d,\n  \"sequential_s\": %.3f,\n  \"parallel_s\": %.3f,\n  \
+         \"speedup\": %.3f,\n  \"identical_tsv\": %b\n}\n"
+        cells jobs
+        (Domain.recommended_domain_count ())
+        seq_s par_s (seq_s /. par_s) identical);
+  Printf.printf "  wrote BENCH_batch.json (%d cells)\n%!" cells
 
 let experiment_tests =
   List.map
@@ -91,11 +139,11 @@ let obs_overhead () =
   let timed_reps () =
     search ();
     (* warm-up *)
-    let t0 = Sys.time () in
+    let t0 = now_s () in
     for _ = 1 to reps do
       search ()
     done;
-    (Sys.time () -. t0) /. float_of_int reps *. 1e3
+    (now_s () -. t0) /. float_of_int reps *. 1e3
   in
   let idle = timed_reps () in
   Printf.printf "  obs idle:        %8.3f ms/search\n%!" idle;
@@ -181,7 +229,14 @@ let benchmark () =
     all_tests
 
 let () =
+  (* `bench/main.exe batch` runs only the parallel batch A/B (the leg CI
+     uses to refresh BENCH_batch.json without paying for the full
+     suite). *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "batch" then (
+    batch_ab ();
+    exit 0);
   cache_ab ();
+  batch_ab ();
   obs_overhead ();
   (* Force the shared context up front so its (substantial) cost is not
      attributed to the first benchmark. *)

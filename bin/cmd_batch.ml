@@ -7,9 +7,10 @@ module Engine = Gpp_engine
    (the CI batch-matrix leg diffs it against a committed golden file).
    Per-cell failures become rows, not aborts; exit 1 if any cell failed. *)
 
-let run machines workloads iterations_list out seed config_file no_cache cache_dir trace verbose =
+let run machines workloads iterations_list out jobs seed config_file no_cache cache_dir trace
+    verbose =
   match
-    Cmd_common.scenario ?seed ?config_file ~no_cache ~cache_dir ~trace ~verbose ()
+    Cmd_common.scenario ?seed ?jobs ?config_file ~no_cache ~cache_dir ~trace ~verbose ()
   with
   | Error e -> Cmd_common.fail e
   | Ok c ->
@@ -75,8 +76,18 @@ let cmd =
       & opt (some string) None
       & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the TSV to $(docv) instead of stdout.")
   in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains to shard the matrix across (also $(b,GPP_JOBS); default 1, \
+             sequential).  The TSV is byte-identical at every value: only the deterministic \
+             phases of each cell run in parallel, transfer pricing stays in cell order.")
+  in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const run $ machines_arg $ workloads_arg $ iterations_arg $ out_arg
+      const run $ machines_arg $ workloads_arg $ iterations_arg $ out_arg $ jobs_arg
       $ Cmd_common.seed_opt_arg $ Cmd_common.config_file_arg $ Cmd_common.no_cache_arg
       $ Cmd_common.cache_dir_arg $ Cmd_common.trace_file_arg $ Cmd_common.verbose_arg)

@@ -91,14 +91,15 @@ let fail e =
 (* Layered scenario resolution + process-wide setup for the pipeline
    commands.  Flags arrive as options ([None] = not given) so lower
    layers show through. *)
-let scenario ?machine ?seed ?runs ?iterations ?config_file ~no_cache ~cache_dir ~trace ~verbose ()
-    =
+let scenario ?machine ?seed ?runs ?iterations ?jobs ?config_file ~no_cache ~cache_dir ~trace
+    ~verbose () =
   let overrides =
     {
       Config.o_machine = machine;
       o_seed = seed;
       o_runs = runs;
       o_iterations = iterations;
+      o_jobs = jobs;
       o_no_cache = no_cache;
       o_cache_dir = cache_dir;
       o_trace = trace;

@@ -1,13 +1,15 @@
-let enabled = ref true
+(* Atomic rather than a plain ref: worker domains read the flag on
+   every memoized lookup while the main domain may toggle it. *)
+let enabled = Atomic.make true
 
-let set_enabled b = enabled := b
+let set_enabled b = Atomic.set enabled b
 
-let is_enabled () = !enabled
+let is_enabled () = Atomic.get enabled
 
 let without_cache f =
-  let saved = !enabled in
-  enabled := false;
-  Fun.protect ~finally:(fun () -> enabled := saved) f
+  let saved = Atomic.get enabled in
+  Atomic.set enabled false;
+  Fun.protect ~finally:(fun () -> Atomic.set enabled saved) f
 
 (* Disk tier.  [disk_enabled] gates loading and flushing only — the
    in-memory tables keep working when it is off.  Disabling the cache as
@@ -15,11 +17,11 @@ let without_cache f =
    call site, so [is_enabled] stays the single flag the hot lookup path
    reads. *)
 
-let disk = ref true
+let disk = Atomic.make true
 
-let set_disk_enabled b = disk := b
+let set_disk_enabled b = Atomic.set disk b
 
-let disk_enabled () = !disk && !enabled
+let disk_enabled () = Atomic.get disk && Atomic.get enabled
 
 let explicit_dir = ref None
 

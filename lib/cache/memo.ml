@@ -50,9 +50,15 @@ type 'v node = {
   mutable next : 'v node option;  (* towards least recently used *)
 }
 
+(* Every mutable field below — the hash table, the LRU links, and the
+   statistics — is guarded by [lock].  The lock is never held while a
+   caller's [compute] runs, so under contention two domains may compute
+   the same key concurrently; the second insert is dropped in favour of
+   the first (computations are deterministic, so the values agree). *)
 type 'v t = {
   name : string;
   capacity : int;
+  lock : Mutex.t;
   table : (string, 'v node) Hashtbl.t;
   mutable first : 'v node option;
   mutable last : 'v node option;
@@ -67,7 +73,15 @@ type 'v t = {
    reporting and for resetting between benchmark phases.  Tables have
    heterogeneous value types, so the registry stores closures; tables
    opted into the disk tier (see [persist]) additionally register
-   load/flush closures keyed off the resolved cache directory. *)
+   load/flush closures keyed off the resolved cache directory.
+
+   Entries are prepended (appending with [l @ [x]] is quadratic across
+   registrations) and reversed on read, so readers still see
+   registration order.  The lists are mutated under [registry_mutex] —
+   registration normally happens at module init on the main domain, but
+   nothing stops a worker domain from creating a table. *)
+let registry_mutex = Mutex.create ()
+
 let registered : (string * (unit -> snapshot) * (unit -> unit)) list ref = ref []
 
 let persistent : (string * (dir:string -> unit) * (dir:string -> unit)) list ref = ref []
@@ -98,6 +112,7 @@ let touch t node =
       push_front t node
 
 let clear t =
+  Mutex.protect t.lock @@ fun () ->
   Hashtbl.reset t.table;
   t.first <- None;
   t.last <- None;
@@ -109,6 +124,7 @@ let clear t =
 let word_bytes = Sys.word_size / 8
 
 let snapshot t =
+  Mutex.protect t.lock @@ fun () ->
   {
     name = t.name;
     hits = t.hits;
@@ -127,6 +143,7 @@ let create ?(capacity = 1024) ~name () =
     {
       name;
       capacity;
+      lock = Mutex.create ();
       table = Hashtbl.create 64;
       first = None;
       last = None;
@@ -137,9 +154,11 @@ let create ?(capacity = 1024) ~name () =
       disk = None;
     }
   in
-  registered := !registered @ [ (name, (fun () -> snapshot t), fun () -> clear t) ];
+  Mutex.protect registry_mutex (fun () ->
+      registered := (name, (fun () -> snapshot t), fun () -> clear t) :: !registered);
   t
 
+(* Caller holds [t.lock]. *)
 let evict_lru t =
   match t.last with
   | None -> ()
@@ -151,28 +170,47 @@ let evict_lru t =
 
 let find_or_add ?(cache = true) t ~key compute =
   if not (cache && Control.is_enabled ()) then begin
-    t.bypasses <- t.bypasses + 1;
+    Mutex.protect t.lock (fun () -> t.bypasses <- t.bypasses + 1);
     Obs.incr c_bypasses;
     compute ()
   end
-  else
-    match Hashtbl.find_opt t.table key with
-    | Some node ->
-        t.hits <- t.hits + 1;
+  else begin
+    let cached =
+      Mutex.protect t.lock @@ fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some node ->
+          t.hits <- t.hits + 1;
+          touch t node;
+          Some node.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None
+    in
+    match cached with
+    | Some value ->
         Obs.incr c_hits;
         Obs.event ~detail:t.name "cache.hit";
-        touch t node;
-        node.value
+        value
     | None ->
-        t.misses <- t.misses + 1;
         Obs.incr c_misses;
         Obs.event ~detail:t.name "cache.miss";
         let value = compute () in
-        if Hashtbl.length t.table >= t.capacity then evict_lru t;
-        let node = { key; value; prev = None; next = None } in
-        Hashtbl.replace t.table key node;
-        push_front t node;
-        value
+        Mutex.protect t.lock @@ fun () -> (
+          (* Another domain may have computed and inserted this key while
+             we were outside the lock; keep its node (and return its
+             value — the computation is deterministic, so they agree)
+             rather than threading a duplicate into the LRU list. *)
+          match Hashtbl.find_opt t.table key with
+          | Some node ->
+              touch t node;
+              node.value
+          | None ->
+              if Hashtbl.length t.table >= t.capacity then evict_lru t;
+              let node = { key; value; prev = None; next = None } in
+              Hashtbl.replace t.table key node;
+              push_front t node;
+              value)
+  end
 
 (* Disk tier.  Values round-trip through [Marshal] (floats by bit
    pattern, so cached-across-processes output stays equal to the bit);
@@ -183,9 +221,12 @@ let find_or_add ?(cache = true) t ~key compute =
 let tag ~name ~schema =
   Printf.sprintf "%s;schema=%d;ocaml=%s;word=%d" name schema Sys.ocaml_version Sys.word_size
 
-let file_size path = match Sys.file_exists path with
-  | true -> (try In_channel.with_open_bin path In_channel.length |> Int64.to_int with Sys_error _ -> 0)
-  | false -> 0
+(* One guarded open: probing with [Sys.file_exists] first is a TOCTOU —
+   the file can vanish between the check and the open (a concurrent
+   [clear], another process's flush renaming over it), and the open
+   itself already reports that case. *)
+let file_size path =
+  try In_channel.with_open_bin path In_channel.length |> Int64.to_int with Sys_error _ -> 0
 
 let persist ?(schema = 1) (t : 'v t) =
   let tag = tag ~name:t.name ~schema in
@@ -201,23 +242,27 @@ let persist ?(schema = 1) (t : 'v t) =
     | Some err ->
         Log.warn (fun m ->
             m "%s: skipping store %s: %s" t.name path (Store.describe_header_error err));
-        t.disk <- Some { path; loaded = 0; rejected = 0; flushed = 0; file_bytes = file_size path }
+        let stats =
+          Some { path; loaded = 0; rejected = 0; flushed = 0; file_bytes = file_size path }
+        in
+        Mutex.protect t.lock (fun () -> t.disk <- stats)
     | None ->
         let loaded = ref 0 and rejected = ref corrupt in
-        List.iter
-          (fun { Store.key; payload } ->
-            if Hashtbl.length t.table < t.capacity && not (Hashtbl.mem t.table key) then
-              match decode payload with
-              | Some value ->
-                  let node = { key; value; prev = None; next = None } in
-                  Hashtbl.replace t.table key node;
-                  (* Append in file order (most recent first on disk), so
-                     a load-then-flush cycle preserves the file's
-                     recency order byte for byte. *)
-                  push_back t node;
-                  incr loaded
-              | None -> incr rejected)
-          entries;
+        Mutex.protect t.lock (fun () ->
+            List.iter
+              (fun { Store.key; payload } ->
+                if Hashtbl.length t.table < t.capacity && not (Hashtbl.mem t.table key) then
+                  match decode payload with
+                  | Some value ->
+                      let node = { key; value; prev = None; next = None } in
+                      Hashtbl.replace t.table key node;
+                      (* Append in file order (most recent first on disk), so
+                         a load-then-flush cycle preserves the file's
+                         recency order byte for byte. *)
+                      push_back t node;
+                      incr loaded
+                  | None -> incr rejected)
+              entries);
         if !rejected > 0 then
           Log.warn (fun m ->
               m "%s: dropped %d corrupt entr%s from %s (served as cache misses)" t.name !rejected
@@ -227,49 +272,59 @@ let persist ?(schema = 1) (t : 'v t) =
         Obs.add c_disk_loaded !loaded;
         Obs.add c_disk_rejected !rejected;
         Obs.event ~detail:t.name "cache.load";
-        t.disk <-
+        let stats =
           Some { path; loaded = !loaded; rejected = !rejected; flushed = 0; file_bytes = file_size path }
+        in
+        Mutex.protect t.lock (fun () -> t.disk <- stats)
   in
   let flush ~dir =
     let path = Store.path ~dir ~table:t.name in
-    let rec entries acc = function
-      | None -> List.rev acc
-      | Some node -> entries ({ Store.key = node.key; payload = encode node.value } :: acc) node.next
+    let entries =
+      Mutex.protect t.lock @@ fun () ->
+      let rec walk acc = function
+        | None -> List.rev acc
+        | Some node -> walk ({ Store.key = node.key; payload = encode node.value } :: acc) node.next
+      in
+      walk [] t.first
     in
-    let entries = entries [] t.first in
     match Store.save ~path ~tag entries with
     | Ok bytes ->
         Log.info (fun m -> m "%s: flushed %d entries to %s" t.name (List.length entries) path);
         Obs.add c_disk_flushed (List.length entries);
         Obs.event ~detail:t.name "cache.flush";
-        let stats =
-          match t.disk with
-          | Some d -> { d with path; flushed = List.length entries; file_bytes = bytes }
-          | None ->
-              { path; loaded = 0; rejected = 0; flushed = List.length entries; file_bytes = bytes }
-        in
-        t.disk <- Some stats
+        Mutex.protect t.lock (fun () ->
+            let stats =
+              match t.disk with
+              | Some d -> { d with path; flushed = List.length entries; file_bytes = bytes }
+              | None ->
+                  { path; loaded = 0; rejected = 0; flushed = List.length entries; file_bytes = bytes }
+            in
+            t.disk <- Some stats)
     | Error msg -> Log.warn (fun m -> m "%s: could not flush to %s: %s" t.name path msg)
   in
-  persistent := !persistent @ [ (t.name, load, flush) ]
+  Mutex.protect registry_mutex (fun () -> persistent := (t.name, load, flush) :: !persistent)
 
 let resolve_dir = function Some d -> d | None -> Control.dir ()
+
+let persistent_entries () = Mutex.protect registry_mutex (fun () -> List.rev !persistent)
+
+let registered_entries () = Mutex.protect registry_mutex (fun () -> List.rev !registered)
 
 let load_disk ?dir () =
   if Control.disk_enabled () then
     Obs.span "cache.load" @@ fun () ->
     let dir = resolve_dir dir in
-    List.iter (fun (_, load, _) -> load ~dir) !persistent
+    List.iter (fun (_, load, _) -> load ~dir) (persistent_entries ())
 
 let flush_disk ?dir () =
   if Control.disk_enabled () then
     Obs.span "cache.flush" @@ fun () ->
     let dir = resolve_dir dir in
-    List.iter (fun (_, _, flush) -> flush ~dir) !persistent
+    List.iter (fun (_, _, flush) -> flush ~dir) (persistent_entries ())
 
-let snapshots () = List.map (fun (_, snap, _) -> snap ()) !registered
+let snapshots () = List.map (fun (_, snap, _) -> snap ()) (registered_entries ())
 
-let clear_all () = List.iter (fun (_, _, clear) -> clear ()) !registered
+let clear_all () = List.iter (fun (_, _, clear) -> clear ()) (registered_entries ())
 
 let pp_snapshot ppf (s : snapshot) =
   Format.fprintf ppf "%s: %d hits / %d misses / %d evictions / %d bypasses, %d/%d entries, %a"

@@ -10,7 +10,15 @@
     entries then survive process exit via {!flush_disk} and are
     reloaded by {!load_disk}, keyed by the same structural fingerprints
     and round-tripping values bit-identically (floats by IEEE-754 bit
-    pattern). *)
+    pattern).
+
+    Tables are domain-safe: every table guards its hash table, LRU
+    links, and statistics with a private mutex that is {e not} held
+    while the caller's compute function runs.  Under contention two
+    domains may therefore compute the same key concurrently; the first
+    insert wins and both callers get equal values (computations are
+    deterministic in the key).  Statistics stay coherent: every lookup
+    is counted exactly once as a hit, a miss, or a bypass. *)
 
 type 'v t
 

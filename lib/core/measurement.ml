@@ -15,15 +15,17 @@ type t = {
   total_time : float;
 }
 
-(* [measure_parts] is the staged entry point: it consumes exactly what
-   the Explore and Analyze stages produced (chosen candidates + transfer
-   plan), so the engine can simulate before transfers are priced.  The
-   classic [measure] on a finished projection delegates to it — same
-   draws from the same RNG streams in the same order, so both paths are
-   bit-identical. *)
-let measure_parts ?cache ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79B9L) ~link ~machine
-    ~kernels:(chosen : Projection.kernel_projection list) ~plan (program : Program.t) =
-  Gpp_obs.Obs.span "core.measure" @@ fun () ->
+(* The measurement splits into two halves with very different
+   concurrency behaviour.  [measure_kernels] is deterministic per cell:
+   it draws kernel seeds from a fresh RNG created from [seed], so two
+   calls with the same inputs agree bit for bit no matter what else ran
+   in between — the batch runner executes it on worker domains.
+   [price_transfers] draws from the *stateful* link RNG, so the draw
+   order across cells is part of the result; the batch runner calls it
+   serially, in cell-index order, which is exactly the order the
+   sequential path has always used. *)
+let measure_kernels ?cache ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79B9L) ~machine
+    ~kernels:(chosen : Projection.kernel_projection list) (program : Program.t) =
   let ( let* ) = Result.bind in
   let gpu = machine.Gpp_arch.Machine.gpu in
   let rng = Gpp_util.Rng.create seed in
@@ -50,22 +52,40 @@ let measure_parts ?cache ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79B9
   let kernel_time =
     List.fold_left (fun acc name -> acc +. time_of name) 0.0 (Program.flatten_schedule program)
   in
-  let transfers =
-    List.map
-      (fun (tr : Analyzer.transfer) ->
-        let direction =
-          match tr.Analyzer.direction with
-          | Analyzer.To_device -> Link.Host_to_device
-          | Analyzer.From_device -> Link.Device_to_host
-        in
-        let time =
-          Link.mean_transfer_time link ~runs direction Link.Pinned ~bytes:tr.Analyzer.bytes
-        in
-        { transfer = tr; time })
-      (Analyzer.transfers plan)
-  in
+  Ok (kernels, kernel_time)
+
+let price_transfers ?(runs = 10) ~link plan =
+  List.map
+    (fun (tr : Analyzer.transfer) ->
+      let direction =
+        match tr.Analyzer.direction with
+        | Analyzer.To_device -> Link.Host_to_device
+        | Analyzer.From_device -> Link.Device_to_host
+      in
+      let time =
+        Link.mean_transfer_time link ~runs direction Link.Pinned ~bytes:tr.Analyzer.bytes
+      in
+      { transfer = tr; time })
+    (Analyzer.transfers plan)
+
+let of_parts ~kernels ~kernel_time ~transfers =
   let transfer_time = List.fold_left (fun acc tm -> acc +. tm.time) 0.0 transfers in
-  Ok { kernels; kernel_time; transfers; transfer_time; total_time = kernel_time +. transfer_time }
+  { kernels; kernel_time; transfers; transfer_time; total_time = kernel_time +. transfer_time }
+
+(* [measure_parts] is the staged entry point: it consumes exactly what
+   the Explore and Analyze stages produced (chosen candidates + transfer
+   plan), so the engine can simulate before transfers are priced.  The
+   classic [measure] on a finished projection delegates to it — same
+   draws from the same RNG streams in the same order, so both paths are
+   bit-identical. *)
+let measure_parts ?cache ?sim_config ?runs ?seed ~link ~machine
+    ~kernels:(chosen : Projection.kernel_projection list) ~plan (program : Program.t) =
+  Gpp_obs.Obs.span "core.measure" @@ fun () ->
+  match measure_kernels ?cache ?sim_config ?runs ?seed ~machine ~kernels:chosen program with
+  | Error e -> Error e
+  | Ok (kernels, kernel_time) ->
+      let transfers = price_transfers ?runs ~link plan in
+      Ok (of_parts ~kernels ~kernel_time ~transfers)
 
 let measure ?cache ?sim_config ?runs ?seed ~link (projection : Projection.t) =
   measure_parts ?cache ?sim_config ?runs ?seed ~link ~machine:projection.Projection.machine

@@ -43,6 +43,40 @@ val measure :
     stateful link and are never cached.  [~cache:false] forces
     re-simulation.  Failures are {!Error.Simulation}. *)
 
+val measure_kernels :
+  ?cache:bool ->
+  ?sim_config:Gpp_gpusim.Gpu_sim.config ->
+  ?runs:int ->
+  ?seed:int64 ->
+  machine:Gpp_arch.Machine.t ->
+  kernels:Projection.kernel_projection list ->
+  Gpp_skeleton.Program.t ->
+  (kernel_measurement list * float, Error.t) result
+(** The kernel half of {!measure_parts}: simulate every chosen
+    candidate and sum the program's invocation schedule, returning the
+    per-kernel means and the scheduled kernel time.  Deterministic in
+    its arguments — kernel seeds come from a fresh RNG over [seed], so
+    this half is safe to run on worker domains in any order. *)
+
+val price_transfers :
+  ?runs:int ->
+  link:Gpp_pcie.Link.t ->
+  Gpp_dataflow.Analyzer.plan ->
+  transfer_measurement list
+(** The transfer half of {!measure_parts}: execute the planned
+    transfers (pinned memory) on [link].  Each draw advances the link's
+    stateful RNG, so call order across measurements is part of the
+    result — callers that need reproducible output must price in a
+    fixed order (the batch runner prices serially in cell order). *)
+
+val of_parts :
+  kernels:kernel_measurement list ->
+  kernel_time:float ->
+  transfers:transfer_measurement list ->
+  t
+(** Assemble a measurement from the two halves (sums transfer and total
+    times). *)
+
 val measure_parts :
   ?cache:bool ->
   ?sim_config:Gpp_gpusim.Gpu_sim.config ->

@@ -1,4 +1,5 @@
 module Grophecy = Gpp_core.Grophecy
+module Measurement = Gpp_core.Measurement
 module Obs = Gpp_obs.Obs
 
 type cell = { workload : string; machine : Gpp_arch.Machine.t; iterations : int option }
@@ -11,38 +12,125 @@ type t = {
   cells : cell_result list;
 }
 
-(* Cells run sequentially, grouped by machine: one calibrated session
-   per machine serves all of its cells, and within a machine the
-   workloads run in the given order.  This is the exact session/analyze
-   order the experiment context has always used, so a batch over the
-   paper instances reproduces the suite's reports bit-for-bit (the
-   application link's RNG is stateful; order is part of the result). *)
-let run ?machines ?(iterations = [ None ]) (config : Config.t) ~workloads =
+(* Cells are enumerated machine-major, then workload, then iteration —
+   the exact order the experiment context has always used, so a batch
+   over the paper instances reproduces the suite's reports bit-for-bit.
+
+   Parallelism does not change the output.  The only cross-cell state is
+   each machine session's application link, whose stateful RNG advances
+   a data-dependent number of draws per transfer (outliers draw extra),
+   so transfer pricing must happen in a fixed order.  The parallel path
+   therefore splits each cell at the Simulate stage: the deterministic
+   phases (Parse..Explore plus the kernel simulations, which seed a
+   fresh RNG from the session's noise seed) are sharded across worker
+   domains, while transfer pricing runs serially in cell-index order —
+   precisely the draw order of the sequential path.  The TSV is
+   byte-identical at any [jobs] value. *)
+
+(* Deterministic per-cell half: resolve, analyze, explore, and simulate
+   the kernels.  Runs on worker domains; touches no shared mutable state
+   beyond the (domain-safe) memo tables. *)
+let run_deterministic ~session (cconfig : Config.t) ~workload =
+  match Pipeline.run ~through:Stage.Explore ~session cconfig ~workload with
+  | Error e -> Error e
+  | Ok state -> (
+      let program = Option.get state.Pipeline.program in
+      let kernels = Option.get state.Pipeline.kernels in
+      match
+        Measurement.measure_kernels ?cache:cconfig.Config.use_cache
+          ?sim_config:cconfig.Config.sim ?runs:cconfig.Config.runs
+          ~seed:session.Grophecy.noise_seed ~machine:cconfig.Config.machine ~kernels program
+      with
+      | Error e -> Error e
+      | Ok (kmeas, ktime) -> Ok (state, kmeas, ktime))
+
+(* Serial per-cell half: price the planned transfers on the machine
+   session's stateful link, then finish the pipeline (Project and
+   Evaluate are pure in the session's calibrated models). *)
+let finish_cell ~session (cconfig : Config.t) (state, kmeas, ktime) =
+  let plan = Option.get state.Pipeline.plan in
+  let transfers =
+    Obs.span "batch.price" @@ fun () ->
+    Measurement.price_transfers ?runs:cconfig.Config.runs
+      ~link:session.Grophecy.application_link plan
+  in
+  let measurement = Measurement.of_parts ~kernels:kmeas ~kernel_time:ktime ~transfers in
+  let state = { state with Pipeline.measurement = Some measurement } in
+  match Pipeline.resume ~session state with
+  | Ok state -> Ok (Pipeline.report_exn state)
+  | Error e -> Error e
+
+let run ?machines ?(iterations = [ None ]) ?jobs (config : Config.t) ~workloads =
   let machines = match machines with Some ms -> ms | None -> [ config.Config.machine ] in
-  let sessions_rev = ref [] in
-  let cells_rev = ref [] in
-  List.iter
-    (fun (machine : Gpp_arch.Machine.t) ->
-      let config = { config with Config.machine } in
-      let session = Obs.span "batch.calibrate" (fun () -> Pipeline.session_of config) in
-      sessions_rev := (machine.Gpp_arch.Machine.name, session) :: !sessions_rev;
-      List.iter
-        (fun workload ->
-          List.iter
-            (fun iters ->
-              let config = { config with Config.iterations = iters } in
-              let outcome =
-                Obs.span "batch.cell" @@ fun () ->
-                match Pipeline.run ~session config ~workload with
-                | Ok state -> Ok (Pipeline.report_exn state)
-                | Error e -> Error e
-              in
-              cells_rev :=
-                { cell = { workload; machine; iterations = iters }; outcome } :: !cells_rev)
-            iterations)
-        workloads)
-    machines;
-  { config; sessions = List.rev !sessions_rev; cells = List.rev !cells_rev }
+  let jobs = match jobs with Some j -> j | None -> config.Config.jobs in
+  (* Sessions calibrate serially whatever [jobs] is: each owns
+     independent RNG streams seeded from the scenario, so calibration
+     order cannot affect cell results, and keeping it off the pool makes
+     the session list deterministic for free. *)
+  let sessions =
+    List.map
+      (fun (machine : Gpp_arch.Machine.t) ->
+        let mconfig = { config with Config.machine } in
+        let session = Obs.span "batch.calibrate" (fun () -> Pipeline.session_of mconfig) in
+        (machine, mconfig, session))
+      machines
+  in
+  let cells =
+    List.concat_map
+      (fun (machine, (mconfig : Config.t), session) ->
+        List.concat_map
+          (fun workload ->
+            List.map
+              (fun iters ->
+                ( { workload; machine; iterations = iters },
+                  { mconfig with Config.iterations = iters },
+                  session ))
+              iterations)
+          workloads)
+      sessions
+  in
+  let cells = Array.of_list cells in
+  let n = Array.length cells in
+  let outcomes =
+    if jobs <= 1 then
+      (* Sequential path: each cell runs the whole pipeline in one go,
+         exactly as before the pool existed. *)
+      Array.map
+        (fun (cell, cconfig, session) ->
+          Obs.span "batch.cell" @@ fun () ->
+          match Pipeline.run ~session cconfig ~workload:cell.workload with
+          | Ok state -> Ok (Pipeline.report_exn state)
+          | Error e -> Error e)
+        cells
+    else begin
+      let partial = Array.make n None in
+      Pool.run ~jobs n (fun i ->
+          let cell, cconfig, session = cells.(i) in
+          let r =
+            Obs.span "batch.cell" @@ fun () ->
+            run_deterministic ~session cconfig ~workload:cell.workload
+          in
+          partial.(i) <- Some r);
+      Array.init n (fun i ->
+          let _cell, cconfig, session = cells.(i) in
+          match Option.get partial.(i) with
+          | Error e -> Error e
+          | Ok parts -> finish_cell ~session cconfig parts)
+    end
+  in
+  let cell_results =
+    Array.to_list
+      (Array.mapi
+         (fun i outcome ->
+           let cell, _, _ = cells.(i) in
+           { cell; outcome })
+         outcomes)
+  in
+  {
+    config;
+    sessions = List.map (fun (m, _, s) -> (m.Gpp_arch.Machine.name, s)) sessions;
+    cells = cell_results;
+  }
 
 let session t ~machine =
   List.assoc_opt machine t.sessions

@@ -1,11 +1,18 @@
 (** Batch runner: a workload × machine × iterations matrix through the
-    staged pipeline.
+    staged pipeline, optionally sharded across worker domains.
 
-    One calibrated session per machine, cells run sequentially in
+    One calibrated session per machine; cells are enumerated in
     machine-major, then workload, then iteration order — the exact order
     the experiment suite has always used, so batches over the paper
     instances reproduce its reports bit-for-bit.  Per-cell failures are
-    collected, not fatal: one bad skeleton does not sink the matrix. *)
+    collected, not fatal: one bad skeleton does not sink the matrix.
+
+    With [jobs > 1] the deterministic phases of each cell (parse through
+    kernel simulation) run on a {!Pool} of worker domains, while
+    transfer pricing — the only computation that advances shared state,
+    the per-machine application link's RNG — runs serially in cell-index
+    order.  That is the sequential path's exact draw order, so
+    {!to_tsv} is byte-identical at every [jobs] value. *)
 
 type cell = {
   workload : string;  (** Registry key ([app/size]) or [.skel] path. *)
@@ -25,14 +32,18 @@ type t = {
 val run :
   ?machines:Gpp_arch.Machine.t list ->
   ?iterations:int option list ->
+  ?jobs:int ->
   Config.t ->
   workloads:string list ->
   t
 (** Run every cell of [workloads × machines × iterations].  [machines]
     defaults to the scenario's machine; [iterations] defaults to
-    [[None]] (each program as bundled).  The scenario's cache settings
-    are honoured per cell; calibration and cells get obs spans
-    ([batch.calibrate], [batch.cell]). *)
+    [[None]] (each program as bundled); [jobs] defaults to the
+    scenario's [jobs] field and is clamped by {!Pool.run} ([<= 1] runs
+    each whole cell sequentially on the calling domain).  The scenario's
+    cache settings are honoured per cell; calibration, cells, and
+    transfer pricing get obs spans ([batch.calibrate], [batch.cell],
+    [batch.price]). *)
 
 val session : t -> machine:string -> Gpp_core.Grophecy.session option
 (** The calibrated session for a machine name. *)

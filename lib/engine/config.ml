@@ -14,6 +14,7 @@ type t = {
   sim : Gpp_gpusim.Gpu_sim.config option;
   cpu : Gpp_cpu.Timing.params option;
   lint : bool;
+  jobs : int;
   cache_enabled : bool;
   cache_dir : string option;
   trace : string option;
@@ -38,6 +39,7 @@ let default =
     sim = None;
     cpu = None;
     lint = false;
+    jobs = 1;
     cache_enabled = true;
     cache_dir = None;
     trace = None;
@@ -78,6 +80,12 @@ let bool_of_atom s =
 let int_of_atom s =
   match int_of_string_opt s with
   | Some n -> Ok n
+  | None -> Error (Printf.sprintf "expected an integer, got %S" s)
+
+let pos_int_of_atom s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> Ok n
+  | Some n -> Error (Printf.sprintf "expected a positive integer, got %d" n)
   | None -> Error (Printf.sprintf "expected an integer, got %S" s)
 
 let int64_of_atom s =
@@ -206,6 +214,7 @@ let apply_entry (t : t) key value =
   | "iterations" -> { t with iterations = Some (get int_of_atom key value) }
   | "use-cache" -> { t with use_cache = Some (get bool_of_atom key value) }
   | "lint" -> { t with lint = get bool_of_atom key value }
+  | "jobs" -> { t with jobs = get pos_int_of_atom key value }
   | "trace" -> { t with trace = Some (atom key value) }
   | "verbose" -> { t with verbose = get bool_of_atom key value }
   | "cache" -> cache_group t value
@@ -236,6 +245,7 @@ let env_vars =
     "GPP_SEED";
     "GPP_RUNS";
     "GPP_ITERATIONS";
+    "GPP_JOBS";
     "GPP_OUTLIER_PROBABILITY";
     "GPP_NO_CACHE";
     "GPP_CACHE_DIR";
@@ -259,6 +269,7 @@ let apply_env ?(getenv = Sys.getenv_opt) (t : t) =
   let* t =
     scalar "GPP_ITERATIONS" int_of_atom (fun t n -> { t with iterations = Some n }) t
   in
+  let* t = scalar "GPP_JOBS" pos_int_of_atom (fun t jobs -> { t with jobs }) t in
   let* t =
     scalar "GPP_OUTLIER_PROBABILITY" float_of_atom
       (fun t outlier_probability -> { t with outlier_probability })
@@ -279,6 +290,7 @@ type overrides = {
   o_seed : int64 option;
   o_runs : int option;
   o_iterations : int option;
+  o_jobs : int option;
   o_no_cache : bool;
   o_cache_dir : string option;
   o_trace : string option;
@@ -291,6 +303,7 @@ let no_overrides =
     o_seed = None;
     o_runs = None;
     o_iterations = None;
+    o_jobs = None;
     o_no_cache = false;
     o_cache_dir = None;
     o_trace = None;
@@ -302,6 +315,7 @@ let apply_overrides (t : t) (o : overrides) =
   let t = match o.o_seed with Some seed -> { t with seed } | None -> t in
   let t = match o.o_runs with Some runs -> { t with runs = Some runs } | None -> t in
   let t = match o.o_iterations with Some n -> { t with iterations = Some n } | None -> t in
+  let t = match o.o_jobs with Some jobs -> { t with jobs } | None -> t in
   let t = if o.o_no_cache then { t with cache_enabled = false } else t in
   let t = match o.o_cache_dir with Some d -> { t with cache_dir = Some d } | None -> t in
   let t = match o.o_trace with Some f -> { t with trace = Some f } | None -> t in

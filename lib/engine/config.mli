@@ -32,6 +32,10 @@ type t = {
   sim : Gpp_gpusim.Gpu_sim.config option;
   cpu : Gpp_cpu.Timing.params option;
   lint : bool;  (** Run the Lint stage (diagnostics to stderr). *)
+  jobs : int;
+      (** Worker domains for the batch runner ([--jobs]/[GPP_JOBS],
+          default 1 = sequential).  Output is byte-identical at any
+          value; see {!Batch.run}. *)
   cache_enabled : bool;  (** Process-wide cache switch ([--no-cache]). *)
   cache_dir : string option;  (** Persistent-store directory override. *)
   trace : string option;  (** Chrome-trace output file ([--trace]). *)
@@ -69,6 +73,7 @@ type overrides = {
   o_seed : int64 option;
   o_runs : int option;
   o_iterations : int option;
+  o_jobs : int option;
   o_no_cache : bool;
   o_cache_dir : string option;
   o_trace : string option;

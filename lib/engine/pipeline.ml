@@ -167,6 +167,22 @@ let run ?(through = Stage.Evaluate) ~session config ~workload =
     (Ok (init config ~workload))
     stages
 
+(* Continue a partially run state: stages whose output is already
+   present are skipped, the rest run in order.  This is how the batch
+   runner finishes a cell whose Simulate output was assembled out of
+   band (parallel kernel simulation + serial transfer pricing). *)
+let resume ?(through = Stage.Evaluate) ~session state =
+  let limit = Stage.index through in
+  let done_ = completed state in
+  List.fold_left
+    (fun acc stage ->
+      match acc with
+      | Error _ -> acc
+      | Ok state ->
+          if Stage.index stage.id > limit || List.mem stage.id done_ then acc
+          else stage.run ~session state)
+    (Ok state) stages
+
 let report_exn state =
   match state.report with
   | Some r -> r

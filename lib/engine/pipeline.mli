@@ -52,6 +52,16 @@ val run :
     {!Stage.Evaluate}), stopping at the first error.  The Lint stage is
     a no-op unless [config.lint] is set. *)
 
+val resume :
+  ?through:Stage.id ->
+  session:Gpp_core.Grophecy.session ->
+  state ->
+  (state, Error.t) result
+(** Continue a partially run [state] up to and including [through]:
+    stages whose output is already present ({!completed}) are skipped,
+    the remaining ones run in pipeline order.  Used by the batch runner
+    to finish cells whose Simulate output was assembled out of band. *)
+
 val completed : state -> Stage.id list
 (** Which stages have produced their output (Lint counts only when it
     actually ran). *)

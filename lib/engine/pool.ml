@@ -1,0 +1,102 @@
+(* Work-stealing domain pool for a fixed set of independent, indexed
+   tasks.
+
+   Each worker owns a deque seeded with a contiguous block of task
+   indices: the owner pops from the front, idle workers steal from the
+   back of other workers' deques.  Blocks keep the common case (evenly
+   sized tasks) contention-free — a worker only touches other deques
+   once its own is drained — while stealing rebalances skewed matrices
+   (one workload much slower than the rest) without any central queue
+   bottleneck.
+
+   Tasks never enqueue new tasks, so termination is simple: a worker
+   exits once every deque is empty — any remaining task is already
+   executing on some other worker.  The per-deque mutex makes both ends
+   O(1) under a lock that is held for a handful of instructions; tasks
+   here are whole pipeline runs (milliseconds at least), so a lock-free
+   Chase-Lev deque would buy nothing measurable. *)
+
+type deque = {
+  lock : Mutex.t;
+  tasks : int array;
+  mutable head : int;  (* owner pops here *)
+  mutable tail : int;  (* thieves steal here; live window is [head, tail) *)
+}
+
+let pop_own d =
+  Mutex.protect d.lock @@ fun () ->
+  if d.head < d.tail then begin
+    let i = d.tasks.(d.head) in
+    d.head <- d.head + 1;
+    Some i
+  end
+  else None
+
+let steal d =
+  Mutex.protect d.lock @@ fun () ->
+  if d.head < d.tail then begin
+    d.tail <- d.tail - 1;
+    Some d.tasks.(d.tail)
+  end
+  else None
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* The OCaml 5 runtime degrades sharply past 128 domains; stay well
+   clear so a wild --jobs value cannot wedge the process. *)
+let max_jobs = 64
+
+let run ?(jobs = 1) n f =
+  if n < 0 then invalid_arg "Pool.run: negative task count";
+  let jobs = max 1 (min (min jobs max_jobs) n) in
+  if jobs <= 1 then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let deques =
+      Array.init jobs (fun w ->
+          let lo = w * n / jobs and hi = (w + 1) * n / jobs in
+          {
+            lock = Mutex.create ();
+            tasks = Array.init (hi - lo) (fun k -> lo + k);
+            head = 0;
+            tail = hi - lo;
+          })
+    in
+    (* First failure wins; the other workers drain the remaining tasks
+       normally (tasks are independent) and the exception is re-raised
+       on the calling domain once everyone has joined. *)
+    let failure = Atomic.make None in
+    let run_task i =
+      try f i
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failure None (Some (e, bt)))
+    in
+    let worker w =
+      let rec own () =
+        match pop_own deques.(w) with
+        | Some i ->
+            run_task i;
+            own ()
+        | None -> hunt 1
+      and hunt k =
+        if k < jobs then
+          match steal deques.((w + k) mod jobs) with
+          | Some i ->
+              run_task i;
+              own ()
+          | None -> hunt (k + 1)
+      in
+      own ()
+    in
+    (* The calling domain works too: jobs = N means N workers total,
+       N - 1 spawned domains. *)
+    let domains = Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1))) in
+    worker 0;
+    Array.iter Domain.join domains;
+    match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end

@@ -1,0 +1,29 @@
+(** Work-stealing domain pool for independent, indexed tasks.
+
+    [run ~jobs n f] executes [f 0 .. f (n-1)] exactly once each across
+    [jobs] workers (the calling domain plus [jobs - 1] spawned
+    domains).  Each worker owns a deque seeded with a contiguous block
+    of indices; owners pop from the front, idle workers steal from the
+    back of others' deques, so skewed task costs rebalance without a
+    central queue.
+
+    Tasks must not assume any execution order and must be domain-safe;
+    they may run on any worker, concurrently with any other index.
+    Completion of [run] happens-after every task, so tasks may write to
+    disjoint slots of a shared results array and the caller reads them
+    safely after [run] returns. *)
+
+val run : ?jobs:int -> int -> (int -> unit) -> unit
+(** [jobs] defaults to 1 and is clamped to [1 .. min n 64].  With one
+    job the tasks run sequentially, in index order, on the calling
+    domain — no domain is spawned.  If a task raises, the remaining
+    tasks still run, and the first exception (with its backtrace) is
+    re-raised on the calling domain after all workers join. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible [jobs] for this
+    machine. *)
+
+val max_jobs : int
+(** Hard upper clamp on [jobs] (64), kept well under the OCaml
+    runtime's 128-domain limit. *)

@@ -56,23 +56,27 @@ let emit t fmt =
 let category name =
   match String.index_opt name '.' with Some i -> String.sub name 0 i | None -> name
 
-let duration_begin t ~name ~ts:abs =
-  emit t "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\",\"ts\":%.3f,\"pid\":1,\"tid\":1}"
-    (escape name) (escape (category name)) (ts t abs)
+(* [tid] separates concurrent timelines: the obs layer passes one tid
+   per domain so B/E events nest properly on each track.  Default 1 —
+   single-domain traces are unchanged. *)
 
-let duration_end t ~name ~ts:abs =
-  emit t "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"E\",\"ts\":%.3f,\"pid\":1,\"tid\":1}"
-    (escape name) (escape (category name)) (ts t abs)
+let duration_begin t ~name ?(tid = 1) ~ts:abs () =
+  emit t "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+    (escape name) (escape (category name)) (ts t abs) tid
 
-let instant t ~name ?detail ~ts:abs () =
+let duration_end t ~name ?(tid = 1) ~ts:abs () =
+  emit t "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"E\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+    (escape name) (escape (category name)) (ts t abs) tid
+
+let instant t ~name ?detail ?(tid = 1) ~ts:abs () =
   match detail with
   | None ->
-      emit t "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":1,\"s\":\"t\"}"
-        (escape name) (escape (category name)) (ts t abs)
+      emit t "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"s\":\"t\"}"
+        (escape name) (escape (category name)) (ts t abs) tid
   | Some d ->
       emit t
-        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{\"detail\":\"%s\"}}"
-        (escape name) (escape (category name)) (ts t abs) (escape d)
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":{\"detail\":\"%s\"}}"
+        (escape name) (escape (category name)) (ts t abs) tid (escape d)
 
 let counter t ~name ~value ~ts:abs =
   emit t "{\"name\":\"%s\",\"cat\":\"counter\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":1,\"tid\":1,\"args\":{\"%s\":%d}}"

@@ -5,8 +5,8 @@
     [{"traceEvents":[...], "displayTimeUnit":"ms"}].  Events stream to
     the underlying channel as they are emitted; timestamps are
     microseconds relative to the writer's epoch.  All events carry
-    [pid = 1, tid = 1] — the pipeline is single-threaded, and one
-    timeline keeps the B/E nesting meaningful. *)
+    [pid = 1]; duration and instant events accept a [tid] (default 1)
+    so each domain's spans nest on their own timeline track. *)
 
 type t
 
@@ -15,15 +15,16 @@ val create : epoch:float -> out_channel -> t
     [epoch] is the absolute time (in microseconds, same clock as every
     [~ts] below) subtracted from every emitted timestamp. *)
 
-val duration_begin : t -> name:string -> ts:float -> unit
+val duration_begin : t -> name:string -> ?tid:int -> ts:float -> unit -> unit
 (** A ["ph":"B"] event.  The category is derived from the dotted prefix
     of [name] ("transform.search" → "transform"). *)
 
-val duration_end : t -> name:string -> ts:float -> unit
+val duration_end : t -> name:string -> ?tid:int -> ts:float -> unit -> unit
 (** The matching ["ph":"E"] event; [name] must equal the innermost open
-    begin event's name (the writer does not check — {!Validate} does). *)
+    begin event's name on the same [tid] (the writer does not check —
+    {!Validate} does). *)
 
-val instant : t -> name:string -> ?detail:string -> ts:float -> unit -> unit
+val instant : t -> name:string -> ?detail:string -> ?tid:int -> ts:float -> unit -> unit
 (** A thread-scoped ["ph":"i"] instant event (cache hits, flushes...),
     optionally carrying a [detail] argument. *)
 

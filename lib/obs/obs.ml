@@ -6,64 +6,88 @@
    observability disabled, [span] is a single branch and a tail call,
    and counter updates are a single branch — no allocation, no clock
    reads, no output.  Golden experiment output is byte-identical with
-   the library linked in and disabled. *)
+   the library linked in and disabled.
 
-let enabled = ref false
+   Domain safety: the batch runner shards work across OCaml 5 domains,
+   so every piece of shared state here is either atomic, domain-local,
+   or mutex-protected.  Counters are [Atomic.t] (exact totals under
+   concurrent increments); the open-span stack is domain-local storage
+   (spans opened on one domain close on that domain, and trace events
+   carry the domain as their [tid] so B/E pairs nest per timeline); the
+   aggregator tables and the trace sink sit behind small mutexes taken
+   only on span close / registration, never while user code runs. *)
 
-let set_enabled b = enabled := b
+let enabled = Atomic.make false
 
-let is_enabled () = !enabled
+let set_enabled b = Atomic.set enabled b
+
+let is_enabled () = Atomic.get enabled
 
 (* Monotonic wall clock in microseconds.  [Unix.gettimeofday] can step
    backwards under NTP adjustment; clamping to the last reading makes
    the stream monotonic by construction, which the trace format and the
    aggregator both rely on (negative durations render as garbage in
-   Perfetto). *)
-let last_now = ref 0.0
+   Perfetto).  The clamp is per-domain: each domain's event stream is
+   monotonic on its own trace track. *)
+let last_now_key = Domain.DLS.new_key (fun () -> ref 0.0)
 
 let now_us () =
+  let last_now = Domain.DLS.get last_now_key in
   let t = Unix.gettimeofday () *. 1e6 in
   let t = if t > !last_now then t else !last_now in
   last_now := t;
   t
 
-(* Counters.  Handles are interned by name so hot paths pay a record
-   field update, not a hash lookup.  Counters double as gauges via
-   [set]. *)
+(* Trace-track id for the calling domain.  The initial domain is 0, so
+   single-domain traces keep the historical [tid = 1]. *)
+let tid () = 1 + (Domain.self () :> int)
 
-type counter = { cname : string; mutable value : int }
+(* Counters.  Handles are interned by name so hot paths pay one atomic
+   add, not a hash lookup; the intern table itself is touched only at
+   handle creation and when listing, under a mutex.  Counters double as
+   gauges via [set]. *)
+
+type counter = { cname : string; value : int Atomic.t }
+
+let counter_mutex = Mutex.create ()
 
 let counter_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
 
 let counter_order : counter list ref = ref []
 
 let counter name =
+  Mutex.protect counter_mutex @@ fun () ->
   match Hashtbl.find_opt counter_tbl name with
   | Some c -> c
   | None ->
-      let c = { cname = name; value = 0 } in
+      let c = { cname = name; value = Atomic.make 0 } in
       Hashtbl.replace counter_tbl name c;
       counter_order := c :: !counter_order;
       c
 
-let add c n = if !enabled then c.value <- c.value + n
+let add c n = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.value n)
 
-let incr c = if !enabled then c.value <- c.value + 1
+let incr c = if Atomic.get enabled then ignore (Atomic.fetch_and_add c.value 1)
 
-let set c n = if !enabled then c.value <- n
+let set c n = if Atomic.get enabled then Atomic.set c.value n
 
-let value c = c.value
+let value c = Atomic.get c.value
 
 let counters () =
-  List.rev !counter_order
-  |> List.filter_map (fun c -> if c.value <> 0 then Some (c.cname, c.value) else None)
+  let handles = Mutex.protect counter_mutex (fun () -> List.rev !counter_order) in
+  handles
+  |> List.filter_map (fun c ->
+         let v = Atomic.get c.value in
+         if v <> 0 then Some (c.cname, v) else None)
   |> List.sort compare
 
 (* Span aggregator: one row per span name, accumulating call count,
    inclusive (total) and exclusive (self) wall time, and the shallowest
    nesting depth the name was seen at (used to indent the summary
    table).  Rows keep first-seen order, which for a phased pipeline
-   reads as execution order. *)
+   reads as execution order.  All row mutation happens under
+   [agg_mutex]; readers get a consistent view once concurrent spans
+   have closed. *)
 
 type agg = {
   name : string;
@@ -73,11 +97,14 @@ type agg = {
   mutable depth : int;
 }
 
+let agg_mutex = Mutex.create ()
+
 let agg_tbl : (string, agg) Hashtbl.t = Hashtbl.create 64
 
 let agg_order : agg list ref = ref []
 
 let agg_of name ~depth =
+  Mutex.protect agg_mutex @@ fun () ->
   match Hashtbl.find_opt agg_tbl name with
   | Some a ->
       if depth < a.depth then a.depth <- depth;
@@ -88,13 +115,26 @@ let agg_of name ~depth =
       agg_order := a :: !agg_order;
       a
 
-let aggregates () = List.rev !agg_order
+let aggregates () = Mutex.protect agg_mutex (fun () -> List.rev !agg_order)
 
-(* Trace sink. *)
+(* Trace sink.  One writer for the whole process; emission from
+   concurrent domains is serialised by [sink_mutex] (the writer streams
+   straight to an out_channel, so interleaved emits would corrupt the
+   JSON).  Each event carries its domain's tid. *)
+
+let sink_mutex = Mutex.create ()
 
 let sink : Chrome.t option ref = ref None
 
+let with_sink f =
+  (* Cheap unsynchronised None check first: tracing off costs a load. *)
+  match !sink with
+  | None -> ()
+  | Some _ ->
+      Mutex.protect sink_mutex (fun () -> match !sink with Some w -> f w | None -> ())
+
 let start_trace path =
+  Mutex.protect sink_mutex @@ fun () ->
   match !sink with
   | Some _ -> Error "a trace is already being written"
   | None -> (
@@ -110,31 +150,35 @@ let start_trace path =
    each, so Perfetto's counter tracks end at the totals the summary
    table reports. *)
 let stop_trace () =
+  let totals = counters () in
+  Mutex.protect sink_mutex @@ fun () ->
   match !sink with
   | None -> ()
   | Some w ->
       let ts = now_us () in
-      List.iter (fun (name, v) -> Chrome.counter w ~name ~value:v ~ts) (counters ());
+      List.iter (fun (name, v) -> Chrome.counter w ~name ~value:v ~ts) totals;
       Chrome.close w;
       sink := None
 
 let tracing () = !sink <> None
 
-(* Open-span stack.  Single-threaded by design — the whole pipeline
-   is — so one stack suffices and B/E events nest properly on the one
-   Chrome timeline. *)
+(* Open-span stack, one per domain: a span opened on a domain is closed
+   on that domain, and its B/E events share that domain's tid, so each
+   trace track nests properly even when domains interleave. *)
 
 type frame = { f_agg : agg; f_start : float; mutable f_child : float }
 
-let stack : frame list ref = ref []
+let stack_key : frame list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
 
-let depth () = List.length !stack
+let depth () = List.length !(Domain.DLS.get stack_key)
 
 let span_enabled name f =
+  let stack = Domain.DLS.get stack_key in
   let d = List.length !stack in
   let a = agg_of name ~depth:d in
+  let tid = tid () in
   let start = now_us () in
-  (match !sink with Some w -> Chrome.duration_begin w ~name ~ts:start | None -> ());
+  with_sink (fun w -> Chrome.duration_begin w ~name ~tid ~ts:start ());
   let fr = { f_agg = a; f_start = start; f_child = 0.0 } in
   stack := fr :: !stack;
   Fun.protect
@@ -153,26 +197,27 @@ let span_enabled name f =
           in
           stack := pop !stack);
       let dur = stop -. start in
-      a.count <- a.count + 1;
-      a.total_us <- a.total_us +. dur;
-      a.self_us <- a.self_us +. Float.max 0.0 (dur -. fr.f_child);
+      Mutex.protect agg_mutex (fun () ->
+          a.count <- a.count + 1;
+          a.total_us <- a.total_us +. dur;
+          a.self_us <- a.self_us +. Float.max 0.0 (dur -. fr.f_child));
       (match !stack with parent :: _ -> parent.f_child <- parent.f_child +. dur | [] -> ());
-      match !sink with Some w -> Chrome.duration_end w ~name ~ts:stop | None -> ())
+      with_sink (fun w -> Chrome.duration_end w ~name ~tid ~ts:stop ()))
     f
 
-let span name f = if !enabled then span_enabled name f else f ()
+let span name f = if Atomic.get enabled then span_enabled name f else f ()
 
 let event ?detail name =
-  if !enabled then
-    match !sink with
-    | Some w -> Chrome.instant w ~name ?detail ~ts:(now_us ()) ()
-    | None -> ()
+  if Atomic.get enabled then
+    with_sink (fun w -> Chrome.instant w ~name ?detail ~tid:(tid ()) ~ts:(now_us ()) ())
 
 let reset () =
-  stack := [];
-  Hashtbl.reset agg_tbl;
-  agg_order := [];
-  Hashtbl.iter (fun _ c -> c.value <- 0) counter_tbl
+  Domain.DLS.get stack_key := [];
+  Mutex.protect agg_mutex (fun () ->
+      Hashtbl.reset agg_tbl;
+      agg_order := []);
+  Mutex.protect counter_mutex (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.value 0) counter_tbl)
 
 (* Per-phase summary, rendered as two Ascii_table blocks: spans (in
    first-seen order, indented by nesting depth) and non-zero

@@ -6,7 +6,15 @@
     Disabled, {!span} is a single branch plus a tail call and counter
     updates are a single branch: no allocation, no clock read, no
     output, so golden pipeline output is byte-identical with the
-    library linked in and idle. *)
+    library linked in and idle.
+
+    The layer is domain-safe: counters are atomic (totals are exact
+    under concurrent increments), the open-span stack is domain-local
+    (each domain's spans form their own properly nested trace track,
+    distinguished by [tid] in the Chrome output), and the aggregator
+    and trace sink are mutex-protected.  Read {!aggregates} /
+    {!counters} after concurrent spans have closed (e.g. after the
+    domain pool joins) for a consistent view. *)
 
 val set_enabled : bool -> unit
 val is_enabled : unit -> bool
@@ -25,7 +33,7 @@ val span : string -> (unit -> 'a) -> 'a
     raises.  Disabled: exactly [f ()]. *)
 
 val depth : unit -> int
-(** Number of currently open spans. *)
+(** Number of spans currently open on the calling domain. *)
 
 (** {1 Counters} *)
 

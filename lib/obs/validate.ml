@@ -189,12 +189,19 @@ let field name = function Obj kvs -> List.assoc_opt name kvs | _ -> None
 let err fmt = Printf.ksprintf (fun s -> Error s) fmt
 
 let validate_events events =
-  let open_spans = ref [] in
+  (* B/E nesting is tracked per (pid, tid): concurrent domains each
+     write their own properly nested track, and tracks interleave
+     freely in the event stream. *)
+  let open_spans : (float * float, string list) Hashtbl.t = Hashtbl.create 4 in
+  let spans_of track = Option.value (Hashtbl.find_opt open_spans track) ~default:[] in
   let stats = ref { events = 0; spans = 0; instants = 0; counter_samples = 0; max_depth = 0 } in
   let rec go i = function
     | [] ->
-        if !open_spans <> [] then
-          err "unmatched begin event(s) at end of trace: %s" (String.concat ", " !open_spans)
+        let leftovers =
+          Hashtbl.fold (fun _ spans acc -> List.rev_append spans acc) open_spans []
+        in
+        if leftovers <> [] then
+          err "unmatched begin event(s) at end of trace: %s" (String.concat ", " leftovers)
         else Ok !stats
     | ev :: rest -> (
         let get_str k = match field k ev with Some (Str s) -> Some s | _ -> None in
@@ -212,6 +219,10 @@ let validate_events events =
                   | Some ts, _, _ when ts < 0.0 -> err "event %d (%s): negative ts" i ph
                   | _ -> Ok ()
                 in
+                let track () =
+                  (Option.value (get_num "pid") ~default:0.0,
+                   Option.value (get_num "tid") ~default:0.0)
+                in
                 let count f = stats := f !stats in
                 match ph with
                 | "B" -> (
@@ -219,26 +230,31 @@ let validate_events events =
                     | None, _ -> err "event %d: begin event without a name" i
                     | _, (Error _ as e) -> e
                     | Some nm, Ok () ->
-                        open_spans := nm :: !open_spans;
+                        let track = track () in
+                        let spans = nm :: spans_of track in
+                        Hashtbl.replace open_spans track spans;
                         count (fun s ->
                             {
                               s with
                               events = s.events + 1;
-                              max_depth = max s.max_depth (List.length !open_spans);
+                              max_depth = max s.max_depth (List.length spans);
                             });
                         go (i + 1) rest)
                 | "E" -> (
-                    match (need_ts_ids (), !open_spans) with
-                    | (Error _ as e), _ -> e
-                    | Ok (), [] -> err "event %d: end event with no span open" i
-                    | Ok (), top :: deeper -> (
-                        match name with
-                        | Some nm when nm <> top ->
-                            err "event %d: end event %S closes open span %S" i nm top
-                        | _ ->
-                            open_spans := deeper;
-                            count (fun s -> { s with events = s.events + 1; spans = s.spans + 1 });
-                            go (i + 1) rest))
+                    match need_ts_ids () with
+                    | Error _ as e -> e
+                    | Ok () -> (
+                        match spans_of (track ()) with
+                        | [] -> err "event %d: end event with no span open" i
+                        | top :: deeper -> (
+                            match name with
+                            | Some nm when nm <> top ->
+                                err "event %d: end event %S closes open span %S" i nm top
+                            | _ ->
+                                Hashtbl.replace open_spans (track ()) deeper;
+                                count (fun s ->
+                                    { s with events = s.events + 1; spans = s.spans + 1 });
+                                go (i + 1) rest)))
                 | "X" -> (
                     match (name, need_ts_ids (), get_num "dur") with
                     | None, _, _ -> err "event %d: complete event without a name" i
