@@ -103,6 +103,65 @@ let batch_ab () =
         seq_s par_s (seq_s /. par_s) identical);
   Printf.printf "  wrote BENCH_batch.json (%d cells)\n%!" cells
 
+(* Analysis leg: the cost of the fixpoint-based static analyses — the
+   transfer plan under both policies and the full lint driver — over
+   every registry instance, plus the engine's headline property: plan
+   time is independent of the schedule's iteration count, because a
+   [Repeat] body is solved to a fixed point instead of being unrolled.
+   Writes BENCH_analysis.json. *)
+let analysis_ab () =
+  print_endline "analysis bench: fixpoint dataflow + lint over the registry";
+  let reps = 50 in
+  let timed_reps f =
+    f ();
+    (* warm-up *)
+    let t0 = now_s () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (now_s () -. t0) /. float_of_int reps *. 1e3
+  in
+  let programs =
+    List.map (fun (i : Gpp_workloads.Registry.instance) -> i.program 1) Gpp_workloads.Registry.all
+  in
+  let minimal_policy =
+    { Gpp_dataflow.Analyzer.default_policy with Gpp_dataflow.Analyzer.plan = Gpp_dataflow.Analyzer.Minimal }
+  in
+  let conservative_ms =
+    timed_reps (fun () ->
+        List.iter (fun p -> ignore (Gpp_dataflow.Analyzer.analyze p)) programs)
+  in
+  Printf.printf "  plan (conservative): %8.3f ms/registry\n%!" conservative_ms;
+  let minimal_ms =
+    timed_reps (fun () ->
+        List.iter
+          (fun p -> ignore (Gpp_dataflow.Analyzer.analyze ~policy:minimal_policy p))
+          programs)
+  in
+  Printf.printf "  plan (minimal):      %8.3f ms/registry\n%!" minimal_ms;
+  let lint_ms =
+    timed_reps (fun () -> List.iter (fun p -> ignore (Gpp_analysis.Driver.run p)) programs)
+  in
+  Printf.printf "  lint (all passes):   %8.3f ms/registry\n%!" lint_ms;
+  (* Iteration-count independence on an iterative schedule. *)
+  let srad n = Gpp_workloads.Srad.program ~n:1024 () |> fun p -> Gpp_skeleton.Program.with_iterations p n in
+  let iter1 = srad 1 and iter1000 = srad 1000 in
+  let iter1_ms = timed_reps (fun () -> ignore (Gpp_dataflow.Analyzer.analyze iter1)) in
+  let iter1000_ms = timed_reps (fun () -> ignore (Gpp_dataflow.Analyzer.analyze iter1000)) in
+  let scaling = iter1000_ms /. iter1_ms in
+  Printf.printf "  plan srad n=1:       %8.3f ms\n%!" iter1_ms;
+  Printf.printf "  plan srad n=1000:    %8.3f ms  (%.2fx — fixpoint, not unrolled)\n%!"
+    iter1000_ms scaling;
+  Out_channel.with_open_text "BENCH_analysis.json" (fun oc ->
+      Printf.fprintf oc
+        "{\n  \"benchmark\": \"analysis\",\n  \"reps\": %d,\n  \"registry_programs\": %d,\n  \
+         \"plan_conservative_ms\": %.3f,\n  \"plan_minimal_ms\": %.3f,\n  \"lint_ms\": %.3f,\n  \
+         \"srad_iter1_ms\": %.3f,\n  \"srad_iter1000_ms\": %.3f,\n  \
+         \"iteration_scaling\": %.3f\n}\n"
+        reps (List.length programs) conservative_ms minimal_ms lint_ms iter1_ms iter1000_ms
+        scaling);
+  Printf.printf "  wrote BENCH_analysis.json (%d programs)\n%!" (List.length programs)
+
 let experiment_tests =
   List.map
     (fun (e : Gpp_experiments.Suite.entry) ->
@@ -235,8 +294,14 @@ let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "batch" then (
     batch_ab ();
     exit 0);
+  (* `bench/main.exe analysis` likewise refreshes BENCH_analysis.json
+     alone. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "analysis" then (
+    analysis_ab ();
+    exit 0);
   cache_ab ();
   batch_ab ();
+  analysis_ab ();
   obs_overhead ();
   (* Force the shared context up front so its (substantial) cost is not
      attributed to the first benchmark. *)

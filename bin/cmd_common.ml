@@ -80,6 +80,23 @@ let runs_opt_arg =
   let doc = "Runs to average per measurement (the paper uses 10)." in
   Arg.(value & opt (some int) None & info [ "runs" ] ~doc)
 
+let transfer_plan_arg =
+  let doc =
+    "Transfer-plan policy: $(b,conservative) (the paper's analysis, the default) or \
+     $(b,minimal) (price only statically live references — an ablation lower bound).  \
+     Layers under $(b,GPP_TRANSFER_PLAN) and the config file's $(b,policy (plan ...)) key."
+  in
+  let plan_conv =
+    let parse s =
+      match Gpp_dataflow.Analyzer.plan_policy_of_name s with
+      | Ok p -> Ok p
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf p = Format.pp_print_string ppf (Gpp_dataflow.Analyzer.plan_policy_name p) in
+    Arg.conv (parse, print)
+  in
+  Arg.(value & opt (some plan_conv) None & info [ "transfer-plan" ] ~docv:"PLAN" ~doc)
+
 let session_of machine seed = Gpp_core.Grophecy.init ~seed machine
 
 (* Print a structured error the way the CLI always has — the bare
@@ -91,8 +108,8 @@ let fail e =
 (* Layered scenario resolution + process-wide setup for the pipeline
    commands.  Flags arrive as options ([None] = not given) so lower
    layers show through. *)
-let scenario ?machine ?seed ?runs ?iterations ?jobs ?config_file ~no_cache ~cache_dir ~trace
-    ~verbose () =
+let scenario ?machine ?seed ?runs ?iterations ?jobs ?transfer_plan ?config_file ~no_cache
+    ~cache_dir ~trace ~verbose () =
   let overrides =
     {
       Config.o_machine = machine;
@@ -104,6 +121,7 @@ let scenario ?machine ?seed ?runs ?iterations ?jobs ?config_file ~no_cache ~cach
       o_cache_dir = cache_dir;
       o_trace = trace;
       o_verbose = verbose;
+      o_transfer_plan = transfer_plan;
     }
   in
   match Config.resolve ?file:config_file ~overrides () with

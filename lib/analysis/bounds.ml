@@ -101,9 +101,41 @@ let pass : Pass.t =
     description = "affine subscript ranges vs declared array extents";
     codes =
       [
-        { Pass.code = "GPP101"; severity = D.Error; summary = "store past the declared extent" };
-        { Pass.code = "GPP102"; severity = D.Info; summary = "halo load outside the declared extent" };
-        { Pass.code = "GPP103"; severity = D.Error; summary = "reference entirely out of bounds" };
+        {
+          Pass.code = "GPP101";
+          severity = D.Error;
+          summary = "store past the declared extent";
+          explanation =
+            "Interval analysis of the affine subscripts shows this store can reach indices \
+             beyond the declared array extent.  On real hardware that is memory corruption; in \
+             the model it means the declaration and the loop bounds disagree.";
+          fix =
+            "Grow the declared dimension, shrink the loop extent, or guard the store with the \
+             branch the original code uses.";
+        };
+        {
+          Pass.code = "GPP102";
+          severity = D.Info;
+          summary = "halo load outside the declared extent";
+          explanation =
+            "A load steps at most one element outside the array — the classic stencil halo.  \
+             The section is clipped to the declaration for transfer sizing, so the plan is \
+             unaffected; the note exists so a genuinely missing halo row is not mistaken for \
+             modeling noise.";
+          fix =
+            "Nothing, if the original code clamps at the boundary; otherwise declare the array \
+             with its halo included.";
+        };
+        {
+          Pass.code = "GPP103";
+          severity = D.Error;
+          summary = "reference entirely out of bounds";
+          explanation =
+            "No index this subscript can produce lands inside the declared extent, so the \
+             reference as modeled touches nothing — the skeleton is inconsistent and the \
+             transfer plan for this array is meaningless.";
+          fix = "Fix the subscript expression or the declared dimensions; they cannot both be right.";
+        };
       ];
     needs_valid = true;
     run;

@@ -6,18 +6,60 @@ type report = {
 }
 
 let default_passes =
-  [ Program_checks.pass; Bounds.pass; Races.pass; Transfer_audit.pass; Perf_lints.pass ]
+  [
+    Program_checks.pass;
+    Bounds.pass;
+    Races.pass;
+    Transfer_audit.pass;
+    Transfer_flow.pass;
+    Perf_lints.pass;
+  ]
 
 let invalid_program_doc =
   {
     Pass.code = "GPP001";
     severity = Diagnostic.Error;
     summary = "program failed structural validation";
+    explanation =
+      "Program.validate rejected the skeleton (an unknown array or kernel name, a malformed \
+       loop nest, or an inconsistent declaration), so BRS extraction cannot run and every \
+       pass that needs section summaries is skipped.";
+    fix = "Fix the structural error quoted in the message; the remaining passes run once \
+           validation succeeds.";
   }
 
 let code_index () =
   invalid_program_doc :: List.concat_map (fun (p : Pass.t) -> p.Pass.codes) default_passes
   |> List.sort (fun (a : Pass.code_doc) b -> String.compare a.code b.code)
+
+let find_code query =
+  let canon = String.uppercase_ascii (String.trim query) in
+  List.find_opt (fun (c : Pass.code_doc) -> c.Pass.code = canon) (code_index ())
+
+(* Levenshtein distance, O(|a|*|b|) with two rows — the code list is
+   tiny and queries are seven characters, so simplicity wins. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let curr = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    curr.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      curr.(j) <- min (min (prev.(j) + 1) (curr.(j - 1) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit curr 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let nearest_code query =
+  let canon = String.uppercase_ascii (String.trim query) in
+  code_index ()
+  |> List.map (fun (c : Pass.code_doc) -> (edit_distance canon c.Pass.code, c.Pass.code))
+  |> List.sort compare
+  |> function
+  | (_, code) :: _ -> code
+  | [] -> "GPP001"
 
 let dedupe diagnostics =
   List.fold_left

@@ -17,12 +17,21 @@ type report = {
 }
 
 val default_passes : Pass.t list
-(** Program checks, bounds, races, transfer audit, performance lints —
-    in that order. *)
+(** Program checks, bounds, races, transfer audit, transfer flow,
+    performance lints — in that order. *)
 
 val code_index : unit -> Pass.code_doc list
 (** Every diagnostic code the default passes can emit (plus [GPP001]),
     sorted by code — the source of the documentation table. *)
+
+val find_code : string -> Pass.code_doc option
+(** Case-insensitive lookup in {!code_index} ("gpp101" finds
+    ["GPP101"]). *)
+
+val nearest_code : string -> string
+(** The registered code closest to the (unrecognized) input by edit
+    distance — the "did you mean" suggestion for [lint --explain] and
+    [lint --codes]. *)
 
 val run : ?gpu:Gpp_arch.Gpu.t -> ?passes:Pass.t list -> Gpp_skeleton.Program.t -> report
 (** [gpu] (default: the paper's Quadro FX 5600) parameterizes the

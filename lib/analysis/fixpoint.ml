@@ -1,0 +1,144 @@
+module Program = Gpp_skeleton.Program
+module Obs = Gpp_obs.Obs
+
+let c_passes = Obs.counter "fixpoint.passes"
+
+let c_loop_iterations = Obs.counter "fixpoint.loop_iterations"
+
+let c_widenings = Obs.counter "fixpoint.widenings"
+
+module type LATTICE = sig
+  type t
+
+  val leq : t -> t -> bool
+
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+end
+
+type stats = { passes : int; loop_iterations : int; widenings : int }
+
+let widen_delay = 4
+
+let max_loop_passes = 64
+
+module Make (L : LATTICE) = struct
+  type point = { index : int; kernel : string; before : L.t; after : L.t }
+
+  type result = { points : point list; exit_fact : L.t; stats : stats }
+
+  (* The numbered schedule: Call sites annotated with their pre-order
+     index so facts recorded on later passes overwrite earlier ones. *)
+  type node = NCall of int * string | NRepeat of int * node list
+
+  let number schedule =
+    let counter = ref 0 in
+    let rec go inv =
+      match inv with
+      | Program.Call name ->
+          let i = !counter in
+          incr counter;
+          NCall (i, name)
+      | Program.Repeat (n, body) -> NRepeat (n, List.map go body)
+    in
+    let nodes = List.map go schedule in
+    (nodes, !counter)
+
+  let solve ~direction ~schedule ~transfer ~init =
+    Obs.span "fixpoint.solve" @@ fun () ->
+    let nodes, n_calls = number schedule in
+    let recorded : (int * string * L.t * L.t) option array = Array.make n_calls None in
+    let passes = ref 0 and loop_iterations = ref 0 and widenings = ref 0 in
+    let visit_call i name fact =
+      incr passes;
+      let out = transfer ~index:i name fact in
+      (* Schedule orientation: [before] is always the fact holding
+         before the invocation executes. *)
+      let before, after = match direction with `Forward -> (fact, out) | `Backward -> (out, fact) in
+      recorded.(i) <- Some (i, name, before, after);
+      out
+    in
+    let rec eval_list fact nodes =
+      match direction with
+      | `Forward -> List.fold_left eval fact nodes
+      | `Backward -> List.fold_left eval fact (List.rev nodes)
+    and eval fact node =
+      match node with
+      | NCall (i, name) -> visit_call i name fact
+      | NRepeat (n, body) ->
+          if n <= 1 then eval_list fact body
+          else
+            (* Back edge: iterate the body from a growing entry fact
+               until it stabilizes, widening after [widen_delay]
+               passes.  The final body pass runs at the fixed point, so
+               the facts recorded at the calls inside are loop
+               invariants. *)
+            let rec iterate entry pass =
+              if pass > max_loop_passes then
+                failwith "Fixpoint: loop failed to stabilize (widening does not terminate?)";
+              incr loop_iterations;
+              let out = eval_list entry body in
+              let combine = if pass >= widen_delay then (incr widenings; L.widen) else L.join in
+              let next = combine entry (L.join entry out) in
+              if L.leq next entry then out else iterate next (pass + 1)
+            in
+            iterate fact 1
+    in
+    let exit_fact = eval_list init nodes in
+    if Obs.is_enabled () then begin
+      Obs.add c_passes !passes;
+      Obs.add c_loop_iterations !loop_iterations;
+      Obs.add c_widenings !widenings
+    end;
+    let points =
+      Array.to_list recorded
+      |> List.filter_map
+           (Option.map (fun (index, kernel, before, after) -> { index; kernel; before; after }))
+    in
+    {
+      points;
+      exit_fact;
+      stats = { passes = !passes; loop_iterations = !loop_iterations; widenings = !widenings };
+    }
+
+  let forward ~schedule ~transfer ~init = solve ~direction:`Forward ~schedule ~transfer ~init
+
+  let backward ~schedule ~transfer ~exit_ = solve ~direction:`Backward ~schedule ~transfer ~init:exit_
+end
+
+module Interval = struct
+  type t = Bot | Range of int * int
+
+  let bot = Bot
+
+  let of_bounds (lo, hi) = if lo > hi then Bot else Range (lo, hi)
+
+  let singleton n = Range (n, n)
+
+  let leq a b =
+    match (a, b) with
+    | Bot, _ -> true
+    | Range _, Bot -> false
+    | Range (a0, a1), Range (b0, b1) -> b0 <= a0 && a1 <= b1
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | Range (a0, a1), Range (b0, b1) -> Range (min a0 b0, max a1 b1)
+
+  let widen a b =
+    match (a, b) with
+    | Bot, x -> x
+    | x, Bot -> x
+    | Range (a0, a1), Range (b0, b1) ->
+        Range ((if b0 < a0 then min_int else a0), if b1 > a1 then max_int else a1)
+
+  let hull l = List.fold_left join Bot l
+
+  let mem n = function Bot -> false | Range (lo, hi) -> lo <= n && n <= hi
+
+  let pp ppf = function
+    | Bot -> Format.pp_print_string ppf "⊥"
+    | Range (lo, hi) -> Format.fprintf ppf "[%d, %d]" lo hi
+end

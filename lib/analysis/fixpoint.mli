@@ -1,0 +1,128 @@
+(** Generic fixpoint dataflow engine over the kernel invocation
+    schedule.
+
+    The data usage analyzer (paper §III-B) and the transfer diagnostics
+    both need facts "at every point of the schedule" — which sections
+    are resident before an invocation, which are still read after it.
+    Straight-line schedules need one pass; [Repeat] nodes introduce a
+    back edge, so facts must be iterated to a fixed point instead of
+    unrolling the loop body once per iteration.
+
+    The engine is parameterized by a join-semilattice ({!LATTICE}) and a
+    per-invocation transfer function, and runs either {e forward}
+    (facts flow from the first invocation to the last) or {e backward}
+    (facts flow from after the last invocation to before the first —
+    liveness-style).  Loop bodies are re-evaluated until the entry fact
+    stabilizes; after {!widen_delay} body passes the engine switches
+    from [join] to [widen] so lattices with unbounded ascending chains
+    (intervals) still terminate.
+
+    Instrumented with {!Gpp_obs.Obs} spans and counters
+    ([fixpoint.solve], [fixpoint.passes], [fixpoint.loop_iterations],
+    [fixpoint.widenings]); when observability is off the
+    instrumentation is a no-op and results are byte-identical. *)
+
+module type LATTICE = sig
+  type t
+
+  val leq : t -> t -> bool
+  (** Partial order: [leq a b] iff [a] is below (at most as precise
+      information as) [b].  The engine only ever calls it with
+      arguments where [b = join a _], i.e. to detect stabilization. *)
+
+  val join : t -> t -> t
+  (** Least upper bound (or a sound over-approximation of it). *)
+
+  val widen : t -> t -> t
+  (** Widening: like [join] but must guarantee that every chain
+      [x0, widen x0 x1, widen (widen x0 x1) x2, ...] stabilizes after
+      finitely many steps.  Lattices with finite height can use
+      [join]. *)
+end
+
+type stats = {
+  passes : int;  (** Transfer-function applications (calls visited). *)
+  loop_iterations : int;
+      (** Total body re-evaluations across all [Repeat] nodes — the
+          iterations-to-fixpoint measure. *)
+  widenings : int;  (** Times [widen] replaced [join] on a back edge. *)
+}
+
+val widen_delay : int
+(** Body passes per loop before the engine starts widening. *)
+
+val max_loop_passes : int
+(** Hard cap on body passes per loop; a lattice whose [widen] fails to
+    stabilize by then raises [Failure] rather than diverging. *)
+
+module Make (L : LATTICE) : sig
+  type point = {
+    index : int;  (** Pre-order position of the [Call] in the schedule
+                      tree (each syntactic call site counted once). *)
+    kernel : string;
+    before : L.t;  (** Stabilized fact entering the invocation. *)
+    after : L.t;  (** Stabilized fact leaving the invocation. *)
+  }
+
+  type result = {
+    points : point list;  (** One per call site, in schedule order. *)
+    exit_fact : L.t;
+        (** Forward: fact after the whole schedule.  Backward: fact
+            before the whole schedule. *)
+    stats : stats;
+  }
+
+  val forward :
+    schedule:Gpp_skeleton.Program.invocation list ->
+    transfer:(index:int -> string -> L.t -> L.t) ->
+    init:L.t ->
+    result
+  (** Forward analysis.  [transfer ~index kernel fact] maps the fact
+      before an invocation to the fact after it.  For a [Repeat] the
+      body is re-evaluated until its entry fact stabilizes, so the
+      recorded {!point} facts are loop invariants; the transfer
+      function may be re-applied to the same call site with growing
+      facts and must therefore be monotone (and idempotent in any side
+      effects). *)
+
+  val backward :
+    schedule:Gpp_skeleton.Program.invocation list ->
+    transfer:(index:int -> string -> L.t -> L.t) ->
+    exit_:L.t ->
+    result
+  (** Backward analysis: the schedule is walked last-to-first and
+      [transfer] maps the fact {e after} an invocation to the fact
+      {e before} it.  A [Repeat] joins the fact flowing in from after
+      the loop with the fact at the head of the next iteration (the
+      back edge).  [point.before]/[point.after] keep their schedule
+      orientation: [before] is the fact holding before the invocation
+      runs. *)
+end
+
+module Interval : sig
+  (** Integer intervals, the lattice behind the index-expression
+      client (GPP604) and the widening law tests. *)
+
+  type t = Bot | Range of int * int  (** Inclusive, [lo <= hi]. *)
+
+  val bot : t
+
+  val of_bounds : int * int -> t
+  (** Normalizes a [(lo, hi)] pair; [Bot] if [lo > hi]. *)
+
+  val singleton : int -> t
+
+  val leq : t -> t -> bool
+
+  val join : t -> t -> t
+
+  val widen : t -> t -> t
+  (** Jumps an unstable bound to [min_int]/[max_int]: at most two
+      widening steps per chain, hence guaranteed termination. *)
+
+  val hull : t list -> t
+
+  val mem : int -> t -> bool
+
+  val pp : Format.formatter -> t -> unit
+end

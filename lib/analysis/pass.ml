@@ -4,7 +4,13 @@ type context = {
   summaries : (string * Gpp_brs.Extract.access) list;
 }
 
-type code_doc = { code : string; severity : Diagnostic.severity; summary : string }
+type code_doc = {
+  code : string;
+  severity : Diagnostic.severity;
+  summary : string;
+  explanation : string;
+  fix : string;
+}
 
 type t = {
   name : string;

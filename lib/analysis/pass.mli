@@ -16,7 +16,15 @@ type context = {
           when the program failed validation. *)
 }
 
-type code_doc = { code : string; severity : Diagnostic.severity; summary : string }
+type code_doc = {
+  code : string;
+  severity : Diagnostic.severity;
+  summary : string;  (** One line, shown by [lint --codes]. *)
+  explanation : string;
+      (** Long-form description shown by [lint --explain CODE]: what
+          the analysis proves and why it matters for the projection. *)
+  fix : string;  (** Suggested remediation, same audience. *)
+}
 
 type t = {
   name : string;

@@ -104,8 +104,27 @@ let pass : Pass.t =
           Pass.code = "GPP401";
           severity = D.Info;
           summary = "access stride defeats memory coalescing";
+          explanation =
+            "Adjacent threads of this access are at least one coalescing segment apart (or \
+             scattered through an index array), so each warp access costs one memory \
+             transaction per lane instead of a handful per warp.  The performance model \
+             already charges for this; the lint marks where a port would recover bandwidth.";
+          fix =
+            "Transpose the array or swap the loop nest so the fastest-varying thread index \
+             walks the contiguous dimension, or stage the gather through shared memory.";
         };
-        { Pass.code = "GPP402"; severity = D.Info; summary = "divergent branch in a hot kernel" };
+        {
+          Pass.code = "GPP402";
+          severity = D.Info;
+          summary = "divergent branch in a hot kernel";
+          explanation =
+            "A branch marked divergent with probability strictly between 0 and 1 makes any \
+             warp whose lanes disagree execute both sides serially, halving (or worse) the \
+             kernel's arithmetic throughput on the diverged warps.";
+          fix =
+            "Restructure so whole warps agree (sort or partition the data), or replace the \
+             branch with predicated arithmetic when both sides are cheap.";
+        };
       ];
     needs_valid = true;
     run;

@@ -88,11 +88,56 @@ let pass : Pass.t =
     description = "name clashes, unused declarations, unscheduled kernels";
     codes =
       [
-        { Pass.code = "GPP501"; severity = D.Error; summary = "duplicate array declaration" };
-        { Pass.code = "GPP502"; severity = D.Error; summary = "duplicate kernel definition" };
-        { Pass.code = "GPP503"; severity = D.Warning; summary = "array declared but never referenced" };
-        { Pass.code = "GPP504"; severity = D.Warning; summary = "kernel defined but never scheduled" };
-        { Pass.code = "GPP505"; severity = D.Warning; summary = "temporary hint on a never-written array" };
+        {
+          Pass.code = "GPP501";
+          severity = D.Error;
+          summary = "duplicate array declaration";
+          explanation =
+            "Two array declarations share one name, so every analysis that looks a name up \
+             (section extraction, transfer planning, bounds checks) would silently use whichever \
+             declaration comes first and ignore the other.";
+          fix = "Rename one of the arrays, or delete the redundant declaration.";
+        };
+        {
+          Pass.code = "GPP502";
+          severity = D.Error;
+          summary = "duplicate kernel definition";
+          explanation =
+            "Two kernels share one name; schedule entries resolve by name, so only one of the \
+             definitions can ever be invoked and the projection would not cover the other.";
+          fix = "Rename one kernel and reference the intended one from the schedule.";
+        };
+        {
+          Pass.code = "GPP503";
+          severity = D.Warning;
+          summary = "array declared but never referenced";
+          explanation =
+            "No scheduled kernel loads or stores this array.  It contributes nothing to the \
+             projection, which usually means the skeleton dropped an access the real code \
+             performs — an under-modeled transfer or kernel.";
+          fix =
+            "Remove the declaration, or add the missing load/store statements to the kernel \
+             that touches it in the original code.";
+        };
+        {
+          Pass.code = "GPP504";
+          severity = D.Warning;
+          summary = "kernel defined but never scheduled";
+          explanation =
+            "The kernel exists but no schedule entry invokes it, so its time and its data \
+             demands are absent from the projection.";
+          fix = "Add a Call (or Repeat body entry) for it, or delete the dead definition.";
+        };
+        {
+          Pass.code = "GPP505";
+          severity = D.Warning;
+          summary = "temporary hint on a never-written array";
+          explanation =
+            "The temporaries list exempts device-produced data from the copy back to the host, \
+             but no kernel ever writes this array, so the hint cannot change the plan — likely \
+             a stale or misspelled name.";
+          fix = "Drop the hint or point it at the array the kernels actually write.";
+        };
       ];
     needs_valid = false;
     run;

@@ -135,16 +135,39 @@ let pass : Pass.t =
           Pass.code = "GPP201";
           severity = D.Error;
           summary = "store independent of a parallel loop variable (write-write race)";
+          explanation =
+            "The store's subscripts do not mention some parallel loop variable, so every \
+             iteration of that loop writes the same elements concurrently.  Mapped to GPU \
+             threads, the final value is nondeterministic.";
+          fix =
+            "Make the offending loop serial (it is a reduction), or include its variable in \
+             the subscript so threads write disjoint elements.";
         };
         {
           Pass.code = "GPP202";
           severity = D.Warning;
           summary = "distinct stores to one array with overlapping sections";
+          explanation =
+            "Two different store statements in the kernel write BRS sections that overlap, so \
+             different threads may write the same element through different statements.  The \
+             overlap test is conservative: disjoint strided interleavings are recognized, \
+             everything else is flagged.";
+          fix =
+            "Split the array, restrict each store's range, or confirm the stores are \
+             iteration-disjoint and restructure the subscripts so the analysis can see it.";
         };
         {
           Pass.code = "GPP203";
           severity = D.Warning;
           summary = "intra-kernel read overlaps another thread's store (needs a barrier)";
+          explanation =
+            "A load's section overlaps a store's section from the same kernel with subscripts \
+             that differ, so one thread may read elements another thread writes in the same \
+             launch — a read-after-write hazard that needs a kernel split or synchronization \
+             on real hardware.";
+          fix =
+            "Split the kernel at the dependence (the schedule then orders the two halves), or \
+             double-buffer the array so reads and writes target different copies.";
         };
       ];
     needs_valid = true;

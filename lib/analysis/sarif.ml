@@ -1,0 +1,106 @@
+(* SARIF 2.1.0 writer (see sarif.mli).  Field names and nesting follow
+   the OASIS sarif-schema-2.1.0; only the required subset plus logical
+   locations and properties is emitted. *)
+
+module D = Diagnostic
+open Render
+
+let schema_uri =
+  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+let level_of_severity = function
+  | D.Error -> "error"
+  | D.Warning -> "warning"
+  | D.Info -> "note"
+
+let text s = json_object [ ("text", json_string s) ]
+
+let rule_of_doc (doc : Pass.code_doc) =
+  json_object
+    [
+      ("id", json_string doc.code);
+      ("shortDescription", text doc.summary);
+      ("fullDescription", text doc.explanation);
+      ("help", text doc.fix);
+      ( "defaultConfiguration",
+        json_object [ ("level", json_string (level_of_severity doc.severity)) ] );
+    ]
+
+(* program/kernel/array, most specific part last; SARIF wants a single
+   fully-qualified name per logical location. *)
+let logical_location ~program (d : D.t) =
+  let parts =
+    [ Some program; d.location.kernel; d.location.array ] |> List.filter_map Fun.id
+  in
+  let kind =
+    match (d.location.kernel, d.location.array) with
+    | _, Some _ -> "variable"
+    | Some _, None -> "function"
+    | None, None -> "module"
+  in
+  json_object
+    [
+      ("fullyQualifiedName", json_string (String.concat "/" parts));
+      ("kind", json_string kind);
+    ]
+
+let result_of ~program ~rule_index_of (d : D.t) =
+  let properties =
+    ("program", json_string program)
+    :: (match d.location.detail with
+       | Some detail -> [ ("detail", json_string detail) ]
+       | None -> [])
+    @ List.map (fun (k, v) -> (k, json_value v)) d.payload
+  in
+  json_object
+    ([ ("ruleId", json_string d.code) ]
+    @ (match rule_index_of d.code with
+      | Some i -> [ ("ruleIndex", string_of_int i) ]
+      | None -> [])
+    @ [
+        ("level", json_string (level_of_severity d.severity));
+        ("message", text d.message);
+        ( "locations",
+          json_array
+            [ json_object [ ("logicalLocations", json_array [ logical_location ~program d ]) ] ]
+        );
+        ("properties", json_object properties);
+      ])
+
+let of_reports (reports : Driver.report list) =
+  let rules = Driver.code_index () in
+  let rule_index_of code =
+    let rec go i = function
+      | [] -> None
+      | (doc : Pass.code_doc) :: rest -> if doc.code = code then Some i else go (i + 1) rest
+    in
+    go 0 rules
+  in
+  let results =
+    List.concat_map
+      (fun (r : Driver.report) ->
+        List.map (result_of ~program:r.Driver.program_name ~rule_index_of) r.Driver.diagnostics)
+      reports
+  in
+  let driver =
+    json_object
+      [
+        ("name", json_string "grophecy");
+        ("version", json_string "1.0.0");
+        ("rules", json_array (List.map rule_of_doc rules));
+      ]
+  in
+  json_object
+    [
+      ("$schema", json_string schema_uri);
+      ("version", json_string "2.1.0");
+      ( "runs",
+        json_array
+          [
+            json_object
+              [
+                ("tool", json_object [ ("driver", driver) ]);
+                ("results", json_array results);
+              ];
+          ] );
+    ]

@@ -1,0 +1,20 @@
+(** SARIF 2.1.0 export of lint reports.
+
+    Static Analysis Results Interchange Format, the schema code-hosting
+    CIs ingest for inline annotations.  The writer is self-contained
+    (built on {!Render}'s JSON primitives — no serializer dependency)
+    and emits a single run:
+
+    - the tool component lists every registered diagnostic code as a
+      SARIF [reportingDescriptor], with the short summary, the
+      long-form explanation, and the suggested fix from the pass's
+      {!Pass.code_doc};
+    - each diagnostic becomes a [result] referencing its rule by index,
+      with severities mapped [Error]→[error], [Warning]→[warning],
+      [Info]→[note], the skeleton location (program / kernel / array)
+      as a logical location, and the diagnostic payload preserved under
+      [properties]. *)
+
+val of_reports : Driver.report list -> string
+(** One SARIF log document covering all reports (one run, results in
+    report order). *)

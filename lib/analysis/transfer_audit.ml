@@ -1,16 +1,23 @@
 (* Transfer audit (GPP3xx).
 
-   Replays the data usage analyzer's walk over the invocation schedule
-   (paper §III-B) to grade the transfer plan itself:
+   Grades the transfer plan itself, as two clients of the fixpoint
+   dataflow engine over the invocation schedule (paper §III-B):
 
    - GPP301: a temporary array is written on the device but no later
      kernel ever reads it — it is not copied back (that is what the
      temporary hint means) and never consumed, so the writes and the
-     bandwidth they occupy are dead;
+     bandwidth they occupy are dead.  Detected as absence from the
+     backward live-section fact after the first writing call site
+     ({!Gpp_dataflow.Liveness.device_live}), which handles [Repeat]
+     back edges without expanding them;
    - GPP302: a kernel reads data that is already resident (produced by
      an earlier kernel, or uploaded for one) — a naive per-kernel copy
      scheme would re-transfer it; the plan elides the copy, which is
-     worth knowing when comparing against a hand-written port;
+     worth knowing when comparing against a hand-written port.
+     Detected by a forward engine replay whose fact tracks the
+     device-resident sections; loop bodies converge after two passes
+     because residency only accumulates, so the replay reports exactly
+     what an unbounded schedule expansion would;
    - GPP303: an indirect or sparse access forced the conservative
      whole-array fallback, inflating the plan relative to the data the
      kernels can actually touch. *)
@@ -20,51 +27,91 @@ module Program = Gpp_skeleton.Program
 module Region = Gpp_brs.Region
 module Extract = Gpp_brs.Extract
 module Analyzer = Gpp_dataflow.Analyzer
+module Liveness = Gpp_dataflow.Liveness
+module Section_lattice = Gpp_dataflow.Section_lattice
 module D = Diagnostic
 
-module Smap = Map.Make (String)
+(* The GPP302 fact: device residency split by how the data got there
+   (the distinction the diagnostic message reports).  A product of two
+   section-map lattices is itself a lattice, which is all the engine
+   asks for. *)
+module Residency = struct
+  type t = { written : Section_lattice.t; uploaded : Section_lattice.t }
 
-let region_find array map =
-  match Smap.find_opt array map with Some r -> r | None -> Region.empty ~array
+  let empty = { written = Section_lattice.empty; uploaded = Section_lattice.empty }
 
-let region_update array section map = Smap.add array (Region.add (region_find array map) section) map
+  let leq a b =
+    Section_lattice.leq a.written b.written && Section_lattice.leq a.uploaded b.uploaded
+
+  let join a b =
+    {
+      written = Section_lattice.join a.written b.written;
+      uploaded = Section_lattice.join a.uploaded b.uploaded;
+    }
+
+  let widen a b =
+    {
+      written = Section_lattice.widen a.written b.written;
+      uploaded = Section_lattice.widen a.uploaded b.uploaded;
+    }
+end
+
+module Walk = Gpp_fixpoint.Fixpoint.Make (Residency)
+
+let writes_region (ctx : Pass.context) kernel_name array =
+  match Pass.summary_of ctx kernel_name with
+  | None -> None
+  | Some access -> (
+      match Extract.writes_of access array with
+      | Some region when not (Region.is_empty region) -> Some region
+      | _ -> None)
 
 let dead_temporaries (ctx : Pass.context) =
   let program = ctx.program in
-  let schedule = Program.flatten_schedule program in
-  let positions side array =
-    List.concat
-      (List.mapi
-         (fun pos kernel_name ->
-           match Pass.summary_of ctx kernel_name with
-           | None -> []
-           | Some access -> (
-               match side access array with
-               | Some region when not (Region.is_empty region) -> [ pos ]
-               | _ -> []))
-         schedule)
+  (* Flattened schedule position of the first write, kept purely for
+     the diagnostic payload (positions are what the schedule printer
+     shows); the liveness verdict comes from the engine. *)
+  let first_write_position tmp =
+    let rec go pos = function
+      | [] -> None
+      | kernel_name :: rest ->
+          if Option.is_some (writes_region ctx kernel_name tmp) then Some pos
+          else go (pos + 1) rest
+    in
+    go 0 (Program.flatten_schedule program)
   in
+  let live = Liveness.device_live ~summaries:ctx.summaries program in
   List.filter_map
     (fun tmp ->
-      let writes = positions (fun a name -> Extract.writes_of a name) tmp in
-      let reads = positions (fun a name -> Extract.reads_of a name) tmp in
-      match writes with
-      | [] -> None
-      | first_write :: _ ->
-          if List.exists (fun p -> p > first_write) reads then None
-          else
-            Some
-              (D.v ~code:"GPP301" ~severity:D.Warning ~array:tmp
-                 ~payload:[ ("first_write_position", D.Int first_write) ]
-                 (Printf.sprintf
-                    "dead device write: temporary %s is written on the device but never read by \
-                     a later kernel and never copied back — the writes are wasted work"
-                    tmp)))
+      match first_write_position tmp with
+      | None -> None
+      | Some first_write -> (
+          (* The engine numbers call sites in schedule pre-order, so the
+             first point whose kernel writes [tmp] is the same call site
+             as the first flattened write occurrence.  Its [live_after]
+             fact is a loop invariant: a read earlier in the same
+             [Repeat] body reaches it through the back edge, exactly as
+             the next flattened iteration would. *)
+          match
+            List.find_opt
+              (fun (p : Liveness.live_point) ->
+                Option.is_some (writes_region ctx p.kernel tmp))
+              live.Liveness.points
+          with
+          | Some point when Section_lattice.mem tmp point.Liveness.live_after -> None
+          | Some _ ->
+              Some
+                (D.v ~code:"GPP301" ~severity:D.Warning ~array:tmp
+                   ~payload:[ ("first_write_position", D.Int first_write) ]
+                   (Printf.sprintf
+                      "dead device write: temporary %s is written on the device but never read by \
+                       a later kernel and never copied back — the writes are wasted work"
+                      tmp))
+          | None -> None))
     program.temporaries
 
 let resident_rereads (ctx : Pass.context) =
   let program = ctx.program in
-  let written = ref Smap.empty and uploaded = ref Smap.empty in
   let reported = ref [] in
   let diagnostics = ref [] in
   let report ~array ~kernel ~source ~bytes =
@@ -80,38 +127,51 @@ let resident_rereads (ctx : Pass.context) =
         :: !diagnostics
     end
   in
-  List.iter
-    (fun kernel_name ->
-      match Pass.summary_of ctx kernel_name with
-      | None -> ()
-      | Some access ->
-          (* Snapshots from before this invocation: only data made
-             resident by *earlier* invocations counts as a re-read. *)
-          let written_before = !written and uploaded_before = !uploaded in
-          List.iter
-            (fun (array, region) ->
-              let elem_bytes =
-                match Pass.decl_of ctx array with Some d -> d.elem_bytes | None -> 1
-              in
-              List.iter
-                (fun section ->
-                  let bytes = Gpp_brs.Section.bytes ~elem_bytes section in
-                  if Region.covers (region_find array written_before) section then
-                    report ~array ~kernel:kernel_name ~source:"produced by an earlier kernel"
-                      ~bytes
-                  else if Region.covers (region_find array uploaded_before) section then
-                    report ~array ~kernel:kernel_name ~source:"uploaded for an earlier kernel"
-                      ~bytes
-                  else uploaded := region_update array section !uploaded)
-                (Region.sections region))
-            access.Extract.reads;
-          List.iter
-            (fun (array, region) ->
-              List.iter
-                (fun section -> written := region_update array section !written)
-                (Region.sections region))
-            access.Extract.writes)
-    (Program.flatten_schedule program);
+  let transfer ~index:_ kernel_name before =
+    match Pass.summary_of ctx kernel_name with
+    | None -> before
+    | Some access ->
+        (* Checks run against [before] — the fact entering this
+           invocation — so only data made resident by *earlier*
+           invocations counts as a re-read, while uploads accumulate
+           into the outgoing fact. *)
+        let acc = ref before in
+        List.iter
+          (fun (array, region) ->
+            let elem_bytes =
+              match Pass.decl_of ctx array with Some d -> d.elem_bytes | None -> 1
+            in
+            List.iter
+              (fun section ->
+                let bytes = Gpp_brs.Section.bytes ~elem_bytes section in
+                if Section_lattice.covers array section before.Residency.written then
+                  report ~array ~kernel:kernel_name ~source:"produced by an earlier kernel" ~bytes
+                else if Section_lattice.covers array section before.Residency.uploaded then
+                  report ~array ~kernel:kernel_name ~source:"uploaded for an earlier kernel" ~bytes
+                else
+                  acc :=
+                    {
+                      !acc with
+                      Residency.uploaded =
+                        Section_lattice.add_section array section !acc.Residency.uploaded;
+                    })
+              (Region.sections region))
+          access.Extract.reads;
+        List.iter
+          (fun (array, region) ->
+            List.iter
+              (fun section ->
+                acc :=
+                  {
+                    !acc with
+                    Residency.written =
+                      Section_lattice.add_section array section !acc.Residency.written;
+                  })
+              (Region.sections region))
+          access.Extract.writes;
+        !acc
+  in
+  ignore (Walk.forward ~schedule:program.schedule ~transfer ~init:Residency.empty);
   List.rev !diagnostics
 
 let conservative_fallbacks (ctx : Pass.context) =
@@ -153,16 +213,38 @@ let pass : Pass.t =
           Pass.code = "GPP301";
           severity = D.Warning;
           summary = "temporary written on the device but never read afterwards";
+          explanation =
+            "Backward liveness over the schedule shows no kernel after the first write ever \
+             reads this temporary, and the temporary hint means it is not copied back either \
+             — the store bandwidth and the kernel time spent producing it are pure waste.";
+          fix =
+            "Delete the producing stores (and possibly the kernel), or drop the temporary \
+             hint if the host actually consumes the data.";
         };
         {
           Pass.code = "GPP302";
           severity = D.Info;
           summary = "re-read of data already resident on the device (copy elided)";
+          explanation =
+            "A kernel reads a section an earlier invocation already made resident (produced \
+             on the device, or uploaded for an earlier kernel).  The transfer plan elides the \
+             copy; a naive per-kernel port would pay it again, so this marks where the \
+             data-transfer modeling wins over the baseline.";
+          fix =
+            "Nothing — this is informational.  When comparing against a hand port, make sure \
+             the port also keeps the data resident.";
         };
         {
           Pass.code = "GPP303";
           severity = D.Info;
           summary = "conservative whole-array transfer for sparse/indirect data";
+          explanation =
+            "An indirect or sparse access pattern defeated section extraction, so the plan \
+             falls back to transferring the whole array.  The projection stays sound but may \
+             overstate transfer time relative to the elements actually touched.";
+          fix =
+            "If the runtime contents are known, enable the sparse-exact policy \
+             (--sparse-exact) to size sparse arrays by their populated payload.";
         };
       ];
     needs_valid = true;

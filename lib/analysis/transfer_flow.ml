@@ -1,0 +1,305 @@
+(* Transfer-flow diagnostics (GPP6xx).
+
+   Where the GPP3xx audit replays the plan the analyzer builds, this
+   pass diagnoses what the fixpoint machinery can prove *about* the
+   plan:
+
+   - GPP601/GPP602 diff the conservative plan against the minimal one.
+     Both policies track device residency identically (see
+     {!Gpp_dataflow.Analyzer}), so an array present in one plan and
+     absent from the other differs for exactly one reason: every
+     reference that priced the transfer is statically dead, and
+     {!Gpp_dataflow.Liveness.refine} names which reference and why.
+   - GPP603 inspects [Repeat] nodes of the schedule directly: an array
+     read but never written inside an iterative region has a
+     loop-invariant upload, which the engine hoists (the fact entering
+     the loop already covers it after one body pass) and a naive
+     per-iteration port would not.
+   - GPP604 runs the {!Gpp_fixpoint.Fixpoint.Interval} lattice over
+     affine subscripts: the hull of every reference to an array is a
+     sound over-approximation of the touched index set, so a hull that
+     stops short of the declared extent proves the tail (or head) of
+     the declaration unreachable. *)
+
+module Ir = Gpp_skeleton.Ir
+module Ix = Gpp_skeleton.Index_expr
+module Decl = Gpp_skeleton.Decl
+module Program = Gpp_skeleton.Program
+module Region = Gpp_brs.Region
+module Extract = Gpp_brs.Extract
+module Analyzer = Gpp_dataflow.Analyzer
+module Liveness = Gpp_dataflow.Liveness
+module Interval = Gpp_fixpoint.Fixpoint.Interval
+module D = Diagnostic
+
+(* Distinct dead-reference reasons for [array] with access [access],
+   in kernel order — the evidence quoted by GPP601/602. *)
+let dead_reasons ~(ctx : Pass.context) ~access array =
+  let decls = ctx.program.arrays in
+  List.fold_left
+    (fun acc (k : Ir.kernel) ->
+      let refined = Liveness.refine ~decls k in
+      List.fold_left
+        (fun acc (d : Liveness.dead_ref) ->
+          if d.array = array && d.access = access then
+            let reason = Liveness.reason_text d.reason in
+            if List.mem reason acc then acc else acc @ [ reason ]
+          else acc)
+        acc refined.Liveness.dead_refs)
+    [] ctx.program.kernels
+
+let plan_diff (ctx : Pass.context) =
+  let conservative = Analyzer.analyze ctx.program in
+  let minimal =
+    Analyzer.analyze
+      ~policy:{ Analyzer.default_policy with Analyzer.plan = Analyzer.Minimal }
+      ctx.program
+  in
+  let elided side (t : Analyzer.transfer) =
+    not (List.exists (fun (m : Analyzer.transfer) -> m.array = t.array) (side minimal))
+  in
+  let describe ~code ~access ~what ~consequence (t : Analyzer.transfer) =
+    let reasons =
+      match dead_reasons ~ctx ~access t.array with
+      | [] -> "no statically live reference remains"
+      | rs -> String.concat "; " rs
+    in
+    D.v ~code ~severity:D.Warning ~array:t.array
+      ~payload:[ ("bytes", D.Int t.bytes); ("reasons", D.String reasons) ]
+      (Printf.sprintf "%s: every %s of %s is statically dead (%s), so the %s %s" what
+         (match access with Ir.Load -> "device read" | Ir.Store -> "device store")
+         t.array reasons
+         (Gpp_util.Units.bytes_to_string t.bytes)
+         consequence)
+  in
+  let redundant_uploads =
+    conservative.Analyzer.to_device
+    |> List.filter (elided (fun (p : Analyzer.plan) -> p.Analyzer.to_device))
+    |> List.map
+         (describe ~code:"GPP601" ~access:Ir.Load ~what:"redundant host-to-device transfer"
+            ~consequence:"upload in the conservative plan is never consumed")
+  in
+  let dead_downloads =
+    conservative.Analyzer.from_device
+    |> List.filter (elided (fun (p : Analyzer.plan) -> p.Analyzer.from_device))
+    |> List.map
+         (describe ~code:"GPP602" ~access:Ir.Store ~what:"dead device-to-host transfer"
+            ~consequence:"download in the conservative plan carries data the device never produces")
+  in
+  redundant_uploads @ dead_downloads
+
+(* Kernel names called anywhere inside a schedule subtree. *)
+let rec called_kernels acc = function
+  | Program.Call name -> name :: acc
+  | Program.Repeat (_, body) -> List.fold_left called_kernels acc body
+
+let hoistable_transfers (ctx : Pass.context) =
+  let program = ctx.program in
+  let plan = Analyzer.analyze program in
+  let uploaded array =
+    List.find_opt (fun (t : Analyzer.transfer) -> t.array = array) plan.Analyzer.to_device
+  in
+  let reported = ref [] in
+  let loop_diags n body =
+    let kernels = List.fold_left called_kernels [] body in
+    let side_region side array =
+      List.fold_left
+        (fun acc kernel ->
+          match Pass.summary_of ctx kernel with
+          | None -> acc
+          | Some access -> (
+              match side access array with Some r -> Region.merge acc r | None -> acc))
+        (Region.empty ~array) kernels
+    in
+    List.filter_map
+      (fun (d : Decl.t) ->
+        if List.mem d.name !reported then None
+        else
+          let reads = side_region Extract.reads_of d.name in
+          if Region.is_empty reads || not (Region.is_empty (side_region Extract.writes_of d.name))
+          then None
+          else
+            match uploaded d.name with
+            | None -> None
+            | Some t ->
+                reported := d.name :: !reported;
+                let per_iteration =
+                  min (Region.covered_elements reads) (Decl.elements d) * d.elem_bytes
+                in
+                let saved = (n - 1) * per_iteration in
+                Some
+                  (D.v ~code:"GPP603" ~severity:D.Info ~array:d.name
+                     ~payload:
+                       [
+                         ("iterations", D.Int n);
+                         ("per_iteration_bytes", D.Int per_iteration);
+                         ("saved_bytes", D.Int saved);
+                         ("planned_bytes", D.Int t.bytes);
+                       ]
+                     (Printf.sprintf
+                        "loop-invariant transfer: %s is read inside a %d-iteration schedule loop \
+                         but never written by it; the plan hoists the upload before the loop, \
+                         saving %s versus a per-iteration copy"
+                        d.name n
+                        (Gpp_util.Units.bytes_to_string saved))))
+      program.arrays
+  in
+  let rec walk = function
+    | Program.Call _ -> []
+    | Program.Repeat (n, body) ->
+        let here = if n >= 2 then loop_diags n body else [] in
+        here @ List.concat_map walk body
+  in
+  List.concat_map walk program.schedule
+
+(* GPP604: interval hulls of affine subscripts vs declared extents. *)
+let unreachable_extents (ctx : Pass.context) =
+  let program = ctx.program in
+  (* Arrays read through an index array are touched data-dependently;
+     their reachable set is unknowable statically, as is that of the
+     index array itself (read in full by the gather). *)
+  let excluded =
+    List.concat_map
+      (fun (k : Ir.kernel) ->
+        List.concat_map
+          (fun ((_, r) : float * Ir.array_ref) ->
+            match r.pattern with
+            | Ir.Indirect { index_array; _ } -> [ r.array; index_array ]
+            | Ir.Affine _ -> [])
+          (Ir.refs k))
+      program.kernels
+  in
+  List.filter_map
+    (fun (d : Decl.t) ->
+      if List.mem d.name excluded then None
+      else
+        let hulls =
+          List.fold_left
+            (fun acc (k : Ir.kernel) ->
+              let bounds v = Ir.loop_bounds k v in
+              List.fold_left
+                (fun acc ((_, r) : float * Ir.array_ref) ->
+                  if r.array <> d.name then acc
+                  else
+                    match r.pattern with
+                    | Ir.Indirect _ -> acc
+                    | Ir.Affine indices ->
+                        let ranges =
+                          List.map (fun e -> Interval.of_bounds (Ix.range bounds e)) indices
+                        in
+                        Some
+                          (match acc with
+                          | None -> ranges
+                          | Some acc -> List.map2 Interval.join acc ranges))
+                acc (Ir.refs k))
+            None program.kernels
+        in
+        match hulls with
+        | None -> None
+        | Some hulls ->
+            let reached =
+              List.map2
+                (fun hull extent ->
+                  match hull with
+                  | Interval.Bot -> (0, -1)
+                  | Interval.Range (lo, hi) -> (max 0 lo, min hi (extent - 1)))
+                hulls d.dims
+            in
+            let unreachable =
+              List.exists2
+                (fun (lo, hi) extent -> lo > 0 || hi < extent - 1)
+                reached d.dims
+            in
+            if not unreachable then None
+            else
+              let spans =
+                String.concat ", "
+                  (List.map (fun (lo, hi) -> Printf.sprintf "%d..%d" lo hi) reached)
+              in
+              let extents = String.concat " x " (List.map string_of_int d.dims) in
+              let payload =
+                List.concat
+                  (List.mapi
+                     (fun i ((lo, hi), extent) ->
+                       [
+                         ( Printf.sprintf "dim%d_reached" i,
+                           D.String (Printf.sprintf "%d..%d" lo hi) );
+                         (Printf.sprintf "dim%d_extent" i, D.Int extent);
+                       ])
+                     (List.combine reached d.dims))
+              in
+              Some
+                (D.v ~code:"GPP604" ~severity:D.Info ~array:d.name ~payload
+                   (Printf.sprintf
+                      "declared extent unreachable: the interval hull of every affine subscript \
+                       of %s reaches only [%s] of the declared %s — the untouched elements \
+                       inflate any conservative transfer of the array"
+                      d.name spans extents)))
+    program.arrays
+
+let run (ctx : Pass.context) =
+  if ctx.summaries = [] then []
+  else plan_diff ctx @ hoistable_transfers ctx @ unreachable_extents ctx
+
+let pass : Pass.t =
+  {
+    Pass.name = "transfer-flow";
+    description = "plan-diff, loop-hoisting, and interval-reachability transfer findings";
+    codes =
+      [
+        {
+          Pass.code = "GPP601";
+          severity = D.Warning;
+          summary = "redundant host-to-device transfer (reads statically dead)";
+          explanation =
+            "The conservative plan uploads this array, but every device read of it is \
+             statically dead — under a probability-0 branch, or covered by an identical prior \
+             store in the same kernel — so the minimal plan elides the transfer entirely.  The \
+             upload spends PCIe bandwidth on data the device never consumes.";
+          fix =
+            "Delete the dead loads from the skeleton (or fix the branch probability if the \
+             reads do execute); compare with --transfer-plan minimal to size the saving.";
+        };
+        {
+          Pass.code = "GPP602";
+          severity = D.Warning;
+          summary = "dead device-to-host transfer (stores statically dead)";
+          explanation =
+            "The conservative plan copies this array back to the host, but every device store \
+             to it is statically dead, so the download carries data the device never actually \
+             produces — the real program would read back stale or uninitialized memory.";
+          fix =
+            "Delete the dead stores, mark the array as a temporary, or fix the branch \
+             probability if the stores do execute.";
+        };
+        {
+          Pass.code = "GPP603";
+          severity = D.Info;
+          summary = "upload hoistable out of an iterative schedule";
+          explanation =
+            "The array is read inside a Repeat loop of the schedule and never written by it, \
+             so its upload is loop-invariant: the plan moves it once before the loop (§IV-B).  \
+             A naive port that copies per kernel launch would pay the upload every iteration; \
+             the payload quantifies that saving.";
+          fix =
+            "Nothing for the model — this marks a place where the data-transfer analysis \
+             beats a per-kernel copy scheme.  A hand port should hoist the same copy.";
+        };
+        {
+          Pass.code = "GPP604";
+          severity = D.Info;
+          summary = "declared extent provably never referenced in full";
+          explanation =
+            "The interval hull of every affine subscript over its loop bounds is a sound \
+             over-approximation of the indices touched, and it stops short of the declared \
+             extent — the untouched slice can never be referenced by any execution.  \
+             Conservative whole-array transfers (sparse or indirect fallbacks) are sized by \
+             the declaration, so they move bytes no kernel can see.";
+          fix =
+            "Shrink the declared dimensions to the data actually used, or widen the loop \
+             bounds if the kernel is meant to cover the whole array.";
+        };
+      ];
+    needs_valid = true;
+    run;
+  }

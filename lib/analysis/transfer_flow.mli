@@ -1,0 +1,20 @@
+(** Transfer-flow diagnostics (GPP6xx): findings derived from the
+    fixpoint dataflow clients — the conservative-vs-minimal plan diff,
+    the schedule's loop structure, and interval analysis of affine
+    subscripts.
+
+    - [GPP601] (warning): the conservative plan uploads an array whose
+      device reads are all statically dead, so the minimal plan elides
+      the transfer entirely — the upload is redundant;
+    - [GPP602] (warning): the conservative plan downloads an array whose
+      device stores are all statically dead — the download carries data
+      the device never produces;
+    - [GPP603] (info): an array is read inside a [Repeat] loop of the
+      schedule but never written by it; the plan hoists its upload
+      before the loop, which a naive per-iteration port would pay every
+      iteration;
+    - [GPP604] (info): the interval hull of every affine subscript of an
+      array stops short of its declared extent — part of the
+      declaration is provably never referenced. *)
+
+val pass : Pass.t

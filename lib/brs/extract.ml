@@ -51,12 +51,38 @@ let find_decl decls name =
   | Some d -> d
   | None -> invalid_arg (Printf.sprintf "Extract: undeclared array %s" name)
 
+let clip_dim (dim : Section.dim) extent =
+  match Section.dim_intersect dim (Section.dim_exn ~lo:0 ~hi:(extent - 1) ~stride:1) with
+  | Some d -> d
+  | None -> Section.point 0 (* degenerate: fully out of bounds *)
+
 let section_of_ref ~decls ~kernel (r : Ir.array_ref) =
   let d = find_decl decls r.array in
   let conservative () = { section = Section.whole_array d; exact = false } in
   match (d.kind, r.pattern) with
   | Decl.Sparse _, _ -> conservative ()
-  | Decl.Dense, Ir.Indirect _ -> conservative ()
+  | Decl.Dense, Ir.Indirect { index_array = _; offset } ->
+      (* The indirectly selected leading dimensions are statically
+         unknown, but the affine within-base part still bounds the
+         trailing dimensions: an indexed-row access a[col[k]][j]
+         reaches any row yet only the columns [j] sweeps.  Interval
+         analysis of the offset subscripts tightens the fallback from
+         the whole array to whole-leading x bounded-trailing; the
+         section stays inexact (conservative) either way. *)
+      let rank = List.length d.dims and k = List.length offset in
+      if k = 0 || k >= rank then conservative ()
+      else
+        let leading = List.filteri (fun i _ -> i < rank - k) d.dims in
+        let trailing_extents = List.filteri (fun i _ -> i >= rank - k) d.dims in
+        let dims =
+          List.map (fun extent -> Section.dim_exn ~lo:0 ~hi:(extent - 1) ~stride:1) leading
+          @ List.map2
+              (fun expr extent ->
+                let dim, _exact = subscript_dim ~kernel expr in
+                clip_dim dim extent)
+              offset trailing_extents
+        in
+        { section = Section.make r.array dims; exact = false }
   | Decl.Dense, Ir.Affine indices ->
       let dims, exact =
         List.fold_left
@@ -68,14 +94,7 @@ let section_of_ref ~decls ~kernel (r : Ir.array_ref) =
       (* Clip to the declared extents: a skeleton may describe a halo
          read that steps one element outside the grid; the array itself
          bounds what can be transferred. *)
-      let dims =
-        List.map2
-          (fun (dim : Section.dim) extent ->
-            match Section.dim_intersect dim (Section.dim_exn ~lo:0 ~hi:(extent - 1) ~stride:1) with
-            | Some d -> d
-            | None -> Section.point 0 (* degenerate: fully out of bounds *))
-          (List.rev dims) d.dims
-      in
+      let dims = List.map2 clip_dim (List.rev dims) d.dims in
       { section = Section.make r.array dims; exact }
 
 type access = {

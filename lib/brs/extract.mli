@@ -5,9 +5,13 @@
     subscript's coefficients gives the stride.  Multi-variable
     subscripts are additionally checked for gaps (the mixed-radix
     cover condition), so [i*N + j] with [j] spanning [0..N-1] is
-    recognized as the exact contiguous range.  Indirect references and
-    sparse arrays fall back to the conservative whole-array section
-    (paper §III-B). *)
+    recognized as the exact contiguous range.  Sparse arrays and pure
+    gathers fall back to the conservative whole-array section (paper
+    §III-B); an indirect reference with an affine within-base part
+    ([a\[col\[k\]\]\[j\]]) keeps the indirectly selected leading
+    dimensions whole but bounds the trailing dimensions by interval
+    analysis of the offset subscripts — still inexact, but no longer
+    necessarily the whole array. *)
 
 type ref_info = {
   section : Section.t;  (** Over-approximation of the accessed set. *)

@@ -35,6 +35,14 @@ let sections t = t.sections
 
 let covers t s = List.exists (fun stored -> Section.contains ~outer:stored ~inner:s) t.sections
 
+let subset a b =
+  a.array = b.array && List.for_all (fun s -> covers b s) a.sections
+
+let equal a b =
+  a.array = b.array
+  && List.length a.sections = List.length b.sections
+  && List.for_all (fun s -> List.exists (Section.equal s) b.sections) a.sections
+
 let mem t coords = List.exists (fun s -> Section.mem s coords) t.sections
 
 let covered_elements t = List.fold_left (fun acc s -> acc + Section.size s) 0 t.sections

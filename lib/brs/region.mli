@@ -35,6 +35,16 @@ val covers : t -> Section.t -> bool
     conservative in the right direction for "was this data already
     written on the device?") *)
 
+val subset : t -> t -> bool
+(** [subset a b]: every section of [a] is covered (in the {!covers}
+    sense) by [b].  Sound but incomplete, like {!covers}: a [true]
+    answer proves containment, a [false] answer proves nothing.  This
+    is the partial order the fixpoint lattice over region maps uses —
+    incompleteness only delays convergence, never breaks soundness. *)
+
+val equal : t -> t -> bool
+(** Same array and the same canonical section set (order-insensitive). *)
+
 val mem : t -> int list -> bool
 (** Point membership in any stored section. *)
 

@@ -3,6 +3,7 @@ module Decl = Gpp_skeleton.Decl
 module Region = Gpp_brs.Region
 module Extract = Gpp_brs.Extract
 module Obs = Gpp_obs.Obs
+module Fixpoint = Gpp_fixpoint.Fixpoint
 
 let c_planned = Obs.counter "dataflow.transfers"
 
@@ -20,9 +21,18 @@ type transfer = {
   conservative : bool;
 }
 
-type policy = { sparse_exact : bool }
+type plan_policy = Conservative | Minimal
 
-let default_policy = { sparse_exact = false }
+type policy = { sparse_exact : bool; plan : plan_policy }
+
+let default_policy = { sparse_exact = false; plan = Conservative }
+
+let plan_policy_name = function Conservative -> "conservative" | Minimal -> "minimal"
+
+let plan_policy_of_name = function
+  | "conservative" -> Ok Conservative
+  | "minimal" -> Ok Minimal
+  | s -> Error (Printf.sprintf "unknown transfer plan %S (expected conservative or minimal)" s)
 
 type plan = {
   program_name : string;
@@ -33,13 +43,16 @@ type plan = {
 
 module Smap = Map.Make (String)
 
-let region_update name section map =
-  let region =
-    match Smap.find_opt name map with
-    | Some r -> Region.add r section
-    | None -> Region.of_section section
-  in
-  Smap.add name region map
+(* The forward walk is a fixpoint client over the section-map lattice:
+   the fact entering an invocation is the per-array region already
+   produced on the device.  On straight-line schedules this is the
+   single §III-B pass; a [Repeat] body is re-evaluated until the fact
+   stabilizes (two body passes in practice) instead of being unrolled
+   once per iteration.  The side accumulations below are sound under
+   re-evaluation because region insertion is idempotent and the fact
+   only grows: a read uncovered on a later pass was uncovered on the
+   first, so the upload set equals the fully unrolled walk's. *)
+module Walk = Fixpoint.Make (Section_lattice)
 
 let analyze ?(policy = default_policy) (program : Program.t) =
   Obs.span "dataflow.analyze" @@ fun () ->
@@ -49,50 +62,66 @@ let analyze ?(policy = default_policy) (program : Program.t) =
     | Some d -> d
     | None -> invalid_arg (Printf.sprintf "Analyzer: undeclared array %s" name)
   in
-  (* Per-kernel access summaries are iteration-invariant; compute once. *)
+  (* Per-kernel access summaries are iteration-invariant; compute once.
+     The minimal plan refines them by statement order and execution
+     weight, dropping statically dead references (see {!Liveness}).
+     Both policies track device residency with the *conservative*
+     writes: the minimal plan is an ablation of the paper's plan, so it
+     must price a subset of the same transfers — letting a dead write
+     stop retiring uploads could otherwise make the minimal plan move
+     more bytes than the conservative one. *)
   let summaries =
     List.map
-      (fun (k : Gpp_skeleton.Ir.kernel) -> (k.name, Extract.of_kernel ~decls k))
+      (fun (k : Gpp_skeleton.Ir.kernel) ->
+        let a = Extract.of_kernel ~decls k in
+        match policy.plan with
+        | Conservative ->
+            (k.name, (a.Extract.reads, a.Extract.writes, a.Extract.writes, a.Extract.inexact_arrays))
+        | Minimal ->
+            let r = Liveness.refine ~decls k in
+            ( k.name,
+              (r.Liveness.live_reads, r.Liveness.live_writes, a.Extract.writes,
+               r.Liveness.inexact_arrays) ))
       program.kernels
   in
-  let device_written = ref Smap.empty in
   let to_device = ref Smap.empty in
   let all_written = ref Smap.empty in
   let conservative = ref Smap.empty in
-  let mark_conservative name =
-    conservative := Smap.add name true !conservative
+  let mark_conservative name = conservative := Smap.add name true !conservative in
+  let region_update name section map =
+    let region =
+      match Smap.find_opt name map with
+      | Some r -> Region.add r section
+      | None -> Region.of_section section
+    in
+    Smap.add name region map
   in
-  let visit_kernel name =
-    let access = List.assoc name summaries in
-    List.iter mark_conservative access.Extract.inexact_arrays;
+  let transfer ~index:_ name device_written =
+    let reads, writes, resident_writes, inexact = List.assoc name summaries in
+    List.iter mark_conservative inexact;
     (* Reads not already produced on the device must come from the
        host.  Sections previously uploaded are absorbed by the exact
        region merge, so re-reads cost nothing extra. *)
     List.iter
       (fun (array, region) ->
-        let written =
-          match Smap.find_opt array !device_written with
-          | Some r -> r
-          | None -> Region.empty ~array
-        in
         List.iter
           (fun section ->
-            if not (Region.covers written section) then
+            if not (Section_lattice.covers array section device_written) then
               to_device := region_update array section !to_device)
           (Region.sections region))
-      access.Extract.reads;
+      reads;
     List.iter
       (fun (array, region) ->
         List.iter
-          (fun section ->
-            device_written := region_update array section !device_written;
-            all_written := region_update array section !all_written)
+          (fun section -> all_written := region_update array section !all_written)
           (Region.sections region))
-      access.Extract.writes
+      writes;
+    List.fold_left
+      (fun fact (array, region) -> Section_lattice.add_region array region fact)
+      device_written resident_writes
   in
-  let schedule = Program.flatten_schedule program in
-  Obs.add c_kernels (List.length schedule);
-  List.iter visit_kernel schedule;
+  let solved = Walk.forward ~schedule:program.schedule ~transfer ~init:Section_lattice.empty in
+  Obs.add c_kernels solved.Walk.stats.Fixpoint.passes;
   let transfer_of direction (array, region) =
     let d = find_decl array in
     let is_conservative = Smap.mem array !conservative in
@@ -150,7 +179,8 @@ let pp_plan ppf plan =
           (if t.conservative then " (conservative)" else ""))
       side
   in
-  Format.fprintf ppf "@[<v>transfer plan for %s:@," plan.program_name;
+  Format.fprintf ppf "@[<v>transfer plan for %s%s:@," plan.program_name
+    (match plan.policy.plan with Conservative -> "" | Minimal -> " (minimal)");
   pp_side "to device" plan.to_device;
   pp_side "from device" plan.from_device;
   Format.fprintf ppf "@]"

@@ -15,7 +15,25 @@
       list of per-array transfers;
     - for iterative schedules the transfer set is independent of the
       iteration count: inputs move once before the first iteration,
-      outputs once after the last (§IV-B). *)
+      outputs once after the last (§IV-B).
+
+    The walk itself is a forward client of the fixpoint engine
+    ({!Gpp_fixpoint.Fixpoint}) over the section-map lattice
+    ({!Section_lattice}): [Repeat] bodies are iterated until the
+    resident-region fact stabilizes rather than being unrolled per
+    iteration, which yields the identical plan in a bounded number of
+    body passes.
+
+    Two plan policies exist.  [Conservative] (the default) is the
+    paper's analysis exactly.  [Minimal] additionally prices only
+    statically live references, using the statement-order and
+    execution-weight refinement of {!Liveness.refine}: references under
+    probability-0 branches and loads covered by an identical-subscript
+    prior store in the same kernel are dropped.  Device residency is
+    tracked with the conservative writes under both policies, so the
+    minimal plan prices a strict subset of the conservative transfers:
+    [Minimal] never plans more bytes than [Conservative], per
+    direction. *)
 
 type direction = To_device | From_device
 
@@ -29,14 +47,25 @@ type transfer = {
           than exact section analysis. *)
 }
 
+type plan_policy =
+  | Conservative  (** The paper's analysis: every reference counts. *)
+  | Minimal  (** Price only statically live sections (ablation). *)
+
 type policy = {
   sparse_exact : bool;
       (** Use the declared population ([nnz]) of sparse arrays instead
           of their full capacity.  Default [false]: the paper's
           conservative assumption. *)
+  plan : plan_policy;  (** Default [Conservative]. *)
 }
 
 val default_policy : policy
+
+val plan_policy_name : plan_policy -> string
+
+val plan_policy_of_name : string -> (plan_policy, string) result
+(** Shared by the CLI flag, the config-file key, and
+    [GPP_TRANSFER_PLAN]. *)
 
 type plan = {
   program_name : string;

@@ -1,0 +1,140 @@
+module Ir = Gpp_skeleton.Ir
+module Program = Gpp_skeleton.Program
+module Extract = Gpp_brs.Extract
+module Region = Gpp_brs.Region
+module Section = Gpp_brs.Section
+module Fixpoint = Gpp_fixpoint.Fixpoint
+
+type dead_reason = Never_executed | Covered_by_prior_write
+
+type dead_ref = {
+  array : string;
+  access : Ir.access;
+  location : string;
+  reason : dead_reason;
+  bytes : int;
+}
+
+type refined = {
+  kernel : string;
+  live_reads : (string * Region.t) list;
+  live_writes : (string * Region.t) list;
+  dead_refs : dead_ref list;
+  inexact_arrays : string list;
+}
+
+let reason_text = function
+  | Never_executed -> "its enclosing branch has probability 0, so it can never execute"
+  | Covered_by_prior_write ->
+      "the same kernel writes exactly these elements (identical subscripts) before reading them"
+
+let add_to assoc name section =
+  let region =
+    match List.assoc_opt name assoc with
+    | Some r -> Region.add r section
+    | None -> Region.of_section section
+  in
+  (name, region) :: List.remove_assoc name assoc
+
+let pattern_equal a b =
+  match (a, b) with
+  | Ir.Affine xs, Ir.Affine ys ->
+      List.length xs = List.length ys && List.for_all2 Gpp_skeleton.Index_expr.equal xs ys
+  | _, _ -> false
+
+let location_of (r : Ir.array_ref) = Format.asprintf "%a" Ir.pp_ref r
+
+let refine ~decls (k : Ir.kernel) =
+  let live_reads = ref [] and live_writes = ref [] in
+  let dead_refs = ref [] and inexact = ref [] in
+  (* Unconditional affine stores seen so far, in body order: a later
+     load with identical subscripts reads elements its own innermost
+     iteration already produced. *)
+  let prior_stores = ref [] in
+  let record (weight, (r : Ir.array_ref)) =
+    let info = Extract.section_of_ref ~decls ~kernel:k r in
+    let elem_bytes =
+      match List.find_opt (fun (d : Gpp_skeleton.Decl.t) -> d.name = r.array) decls with
+      | Some d -> d.elem_bytes
+      | None -> 1
+    in
+    let dead reason =
+      dead_refs :=
+        {
+          array = r.array;
+          access = r.access;
+          location = location_of r;
+          reason;
+          bytes = Section.bytes ~elem_bytes info.section;
+        }
+        :: !dead_refs
+    in
+    let mark_live () =
+      if (not info.exact) && not (List.mem r.array !inexact) then inexact := r.array :: !inexact
+    in
+    if weight = 0.0 then dead Never_executed
+    else
+      match r.access with
+      | Ir.Load ->
+          if
+            List.exists
+              (fun (array, pattern) -> array = r.array && pattern_equal pattern r.pattern)
+              !prior_stores
+          then dead Covered_by_prior_write
+          else begin
+            mark_live ();
+            live_reads := add_to !live_reads r.array info.section
+          end
+      | Ir.Store ->
+          mark_live ();
+          live_writes := add_to !live_writes r.array info.section;
+          if weight = 1.0 then
+            match r.pattern with
+            | Ir.Affine _ -> prior_stores := (r.array, r.pattern) :: !prior_stores
+            | Ir.Indirect _ -> ()
+  in
+  List.iter record (Ir.refs k);
+  {
+    kernel = k.name;
+    live_reads = List.rev !live_reads;
+    live_writes = List.rev !live_writes;
+    dead_refs = List.rev !dead_refs;
+    inexact_arrays = List.rev !inexact;
+  }
+
+type live_point = {
+  index : int;
+  kernel : string;
+  live_before : Section_lattice.t;
+  live_after : Section_lattice.t;
+}
+
+type result = {
+  points : live_point list;
+  entry_live : Section_lattice.t;
+  stats : Fixpoint.stats;
+}
+
+module Solver = Fixpoint.Make (Section_lattice)
+
+let device_live ~summaries (program : Program.t) =
+  let transfer ~index:_ name after =
+    match List.assoc_opt name summaries with
+    | None -> after
+    | Some (access : Extract.access) ->
+        List.fold_left
+          (fun fact (array, region) -> Section_lattice.add_region array region fact)
+          after access.Extract.reads
+  in
+  let solved =
+    Solver.backward ~schedule:program.schedule ~transfer ~exit_:Section_lattice.empty
+  in
+  {
+    points =
+      List.map
+        (fun (p : Solver.point) ->
+          { index = p.index; kernel = p.kernel; live_before = p.before; live_after = p.after })
+        solved.points;
+    entry_live = solved.exit_fact;
+    stats = solved.stats;
+  }

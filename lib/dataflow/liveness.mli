@@ -1,0 +1,87 @@
+(** Live-section analysis: the fixpoint clients behind the [minimal]
+    transfer plan and the GPP6xx transfer diagnostics.
+
+    Two refinements over the conservative per-kernel summaries of
+    {!Gpp_brs.Extract.of_kernel}:
+
+    - {b statement order and execution weight}: the conservative
+      analyzer counts every reference ("data that might be touched must
+      be resident").  {!refine} walks the kernel body in syntactic
+      order instead: a reference under a branch of probability 0 can
+      never execute, and a load whose subscripts are identical to an
+      earlier {e unconditional} store of the same array reads elements
+      the same innermost iteration has already produced — per-iteration
+      identity of the subscript expressions makes this sound even for
+      fully parallel loops.  Both kinds of reference are statically
+      dead for transfer purposes.
+    - {b backward liveness over the schedule}: {!device_live} runs the
+      fixpoint engine backward over the invocation schedule, computing
+      for every call site which array sections are still read at or
+      after it on the device.  [Repeat] back edges are iterated to a
+      fixed point, so a section written late in a loop body and read at
+      the top of the next iteration is correctly live. *)
+
+type dead_reason =
+  | Never_executed  (** Enclosing branch probability is 0. *)
+  | Covered_by_prior_write
+      (** An earlier unconditional store in the same kernel writes
+          exactly the elements this load reads (identical affine
+          subscripts). *)
+
+type dead_ref = {
+  array : string;
+  access : Gpp_skeleton.Ir.access;
+  location : string;  (** [Ir.pp_ref] rendering, for diagnostics. *)
+  reason : dead_reason;
+  bytes : int;  (** Section size of the dead reference. *)
+}
+
+type refined = {
+  kernel : string;
+  live_reads : (string * Gpp_brs.Region.t) list;
+      (** Reads that can actually execute and are not covered by a
+          prior in-kernel write — the sections a transfer plan must
+          make resident. *)
+  live_writes : (string * Gpp_brs.Region.t) list;
+      (** Writes that can actually execute. *)
+  dead_refs : dead_ref list;  (** In syntactic order. *)
+  inexact_arrays : string list;
+      (** Arrays with a live conservative (inexact) reference. *)
+}
+
+val refine :
+  decls:Gpp_skeleton.Decl.t list -> Gpp_skeleton.Ir.kernel -> refined
+(** Statement-order, weight-aware access summary.  Falls back to the
+    conservative summary semantics when nothing is provably dead. *)
+
+val reason_text : dead_reason -> string
+
+type live_point = {
+  index : int;  (** Call-site index, schedule pre-order. *)
+  kernel : string;
+  live_before : Section_lattice.t;
+      (** Sections read on the device at or after this point,
+          including by this invocation. *)
+  live_after : Section_lattice.t;
+      (** Sections read strictly after this invocation (next-iteration
+          reads included via the loop back edge). *)
+}
+
+type result = {
+  points : live_point list;
+  entry_live : Section_lattice.t;
+      (** Live before the whole schedule: every section the device
+          ever reads — the upload demand ignoring device-side
+          production. *)
+  stats : Gpp_fixpoint.Fixpoint.stats;
+}
+
+val device_live :
+  summaries:(string * Gpp_brs.Extract.access) list ->
+  Gpp_skeleton.Program.t ->
+  result
+(** Backward may-liveness of device reads over the schedule.  No kill
+    set is applied (a write does not retire liveness), which keeps the
+    analysis a pure over-approximation; clients that need "never read
+    after" — dead-temporary detection, download auditing — test for
+    absence from [live_after]. *)

@@ -1,0 +1,35 @@
+module Region = Gpp_brs.Region
+module Section = Gpp_brs.Section
+module Smap = Map.Make (String)
+
+type t = Region.t Smap.t
+
+let empty = Smap.empty
+
+let find array t =
+  match Smap.find_opt array t with Some r -> r | None -> Region.empty ~array
+
+let add_section array section t = Smap.add array (Region.add (find array t) section) t
+
+let add_region array region t = Smap.add array (Region.merge (find array t) region) t
+
+let covers array section t = Region.covers (find array t) section
+
+let mem array t = not (Region.is_empty (find array t))
+
+let leq a b = Smap.for_all (fun array r -> Region.subset r (find array b)) a
+
+let join a b = Smap.union (fun _ x y -> Some (Region.merge x y)) a b
+
+let widen a b =
+  let joined = join a b in
+  Smap.mapi
+    (fun array r ->
+      if Region.subset r (find array a) then r
+      else
+        match Region.sections r with
+        | [] | [ _ ] -> r
+        | s :: rest -> Region.of_section (List.fold_left Section.union s rest))
+    joined
+
+let equal a b = leq a b && leq b a

@@ -1,0 +1,40 @@
+(** The BRS section-map lattice: per-array {!Gpp_brs.Region} unions,
+    ordered by (sound, incomplete) region containment.
+
+    This is the lattice the fixpoint engine is instantiated at for both
+    directions of the data usage analysis: forward, a fact maps each
+    array to the sections already produced on the device; backward, to
+    the sections still read at or after a schedule point.  [join] is
+    region union (exact merges where the BRS arithmetic allows, kept
+    section lists otherwise); [leq] uses {!Gpp_brs.Region.subset}, whose
+    incompleteness can only delay loop convergence, never unsoundly
+    declare it.  [widen] collapses any array whose region is still
+    growing to the single bounding-hull section, which reaches a fixed
+    point in a handful of steps regardless of how sections fragment. *)
+
+module Smap : Map.S with type key = string
+
+type t = Gpp_brs.Region.t Smap.t
+
+val empty : t
+
+val find : string -> t -> Gpp_brs.Region.t
+(** The array's region; an empty region when absent. *)
+
+val add_section : string -> Gpp_brs.Section.t -> t -> t
+
+val add_region : string -> Gpp_brs.Region.t -> t -> t
+
+val covers : string -> Gpp_brs.Section.t -> t -> bool
+
+val mem : string -> t -> bool
+(** Whether the array has a non-empty region in the fact. *)
+
+val leq : t -> t -> bool
+
+val join : t -> t -> t
+
+val widen : t -> t -> t
+
+val equal : t -> t -> bool
+(** [leq] both ways. *)

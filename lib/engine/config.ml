@@ -168,9 +168,8 @@ let policy_group base value =
   fold_group ~context:"policy" ~seed:(Option.value base ~default:Gpp_dataflow.Analyzer.default_policy)
     ~field:(fun (p : Gpp_dataflow.Analyzer.policy) key v ->
       match key with
-      | "sparse-exact" ->
-          ignore p;
-          { Gpp_dataflow.Analyzer.sparse_exact = get bool_of_atom key v }
+      | "sparse-exact" -> { p with Gpp_dataflow.Analyzer.sparse_exact = get bool_of_atom key v }
+      | "plan" -> { p with Gpp_dataflow.Analyzer.plan = get Gpp_dataflow.Analyzer.plan_policy_of_name key v }
       | _ -> bad "policy: unknown key %S" key)
     value
 
@@ -239,6 +238,13 @@ let apply_file (t : t) ~path =
 
 (* --- environment layer --------------------------------------------- *)
 
+(* The plan choice rides on the policy layer: keep whatever the lower
+   layers set (sparse-exact etc.), replacing only the plan field. *)
+let set_plan policy plan =
+  { (Option.value policy ~default:Gpp_dataflow.Analyzer.default_policy) with
+    Gpp_dataflow.Analyzer.plan
+  }
+
 let env_vars =
   [
     "GPP_MACHINE";
@@ -251,6 +257,7 @@ let env_vars =
     "GPP_CACHE_DIR";
     "GPP_TRACE";
     "GPP_VERBOSE";
+    "GPP_TRANSFER_PLAN";
   ]
 
 let apply_env ?(getenv = Sys.getenv_opt) (t : t) =
@@ -281,6 +288,11 @@ let apply_env ?(getenv = Sys.getenv_opt) (t : t) =
   let* t = scalar "GPP_CACHE_DIR" (fun s -> Ok s) (fun t d -> { t with cache_dir = Some d }) t in
   let* t = scalar "GPP_TRACE" (fun s -> Ok s) (fun t f -> { t with trace = Some f }) t in
   let* t = scalar "GPP_VERBOSE" bool_of_atom (fun t verbose -> { t with verbose }) t in
+  let* t =
+    scalar "GPP_TRANSFER_PLAN" Gpp_dataflow.Analyzer.plan_policy_of_name
+      (fun t plan -> { t with policy = Some (set_plan t.policy plan) })
+      t
+  in
   Ok t
 
 (* --- flag layer ----------------------------------------------------- *)
@@ -295,6 +307,7 @@ type overrides = {
   o_cache_dir : string option;
   o_trace : string option;
   o_verbose : bool;
+  o_transfer_plan : Gpp_dataflow.Analyzer.plan_policy option;
 }
 
 let no_overrides =
@@ -308,6 +321,7 @@ let no_overrides =
     o_cache_dir = None;
     o_trace = None;
     o_verbose = false;
+    o_transfer_plan = None;
   }
 
 let apply_overrides (t : t) (o : overrides) =
@@ -319,6 +333,11 @@ let apply_overrides (t : t) (o : overrides) =
   let t = if o.o_no_cache then { t with cache_enabled = false } else t in
   let t = match o.o_cache_dir with Some d -> { t with cache_dir = Some d } | None -> t in
   let t = match o.o_trace with Some f -> { t with trace = Some f } | None -> t in
+  let t =
+    match o.o_transfer_plan with
+    | Some plan -> { t with policy = Some (set_plan t.policy plan) }
+    | None -> t
+  in
   if o.o_verbose then { t with verbose = true } else t
 
 let resolve ?getenv ?file ?(overrides = no_overrides) () =

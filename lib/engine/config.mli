@@ -78,6 +78,10 @@ type overrides = {
   o_cache_dir : string option;
   o_trace : string option;
   o_verbose : bool;
+  o_transfer_plan : Gpp_dataflow.Analyzer.plan_policy option;
+      (** [--transfer-plan]: overrides the [plan] field of the policy
+          layer (config file [policy (plan ...)], environment
+          [GPP_TRANSFER_PLAN]). *)
 }
 (** The command-line flag layer: [None]/[false] means "flag not given,
     keep the lower layers' value". *)

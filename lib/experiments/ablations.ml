@@ -216,7 +216,9 @@ let sparse_gather_program ~table_elements ~nnz =
 let run_sparse_policy ctx =
   let program = sparse_gather_program ~table_elements:(8 * 1024 * 1024) ~nnz:(800 * 1024) in
   let conservative = Analyzer.analyze program in
-  let exact = Analyzer.analyze ~policy:{ Analyzer.sparse_exact = true } program in
+  let exact =
+    Analyzer.analyze ~policy:{ Analyzer.default_policy with Analyzer.sparse_exact = true } program
+  in
   let session = Context.session ctx in
   let time plan =
     Model.predict session.Gpp_core.Grophecy.h2d ~bytes:(Analyzer.input_bytes plan)

@@ -514,6 +514,160 @@ end
   in
   check_silent "GPP503" report
 
+(* GPP6xx transfer-flow fixtures: conservative-vs-minimal plan diffs,
+   loop-invariant uploads, and interval reachability. *)
+
+let payload_int code key (report : Driver.report) =
+  match List.find_opt (fun (d : D.t) -> d.code = code) report.Driver.diagnostics with
+  | None -> Alcotest.failf "no %s diagnostic in report" code
+  | Some d -> (
+      match List.assoc_opt key d.D.payload with
+      | Some (D.Int i) -> i
+      | _ -> Alcotest.failf "%s: missing integer payload %s" code key)
+
+let test_gpp601_redundant_upload () =
+  (* Every read of [a] sits under a probability-0 branch, so the
+     conservative upload is never consumed and the minimal plan elides
+     it. *)
+  let report =
+    lint_source
+      {|
+program fx601
+array a dense 4096
+array out dense 4096
+kernel k
+  loop i parallel 4096
+  branch 0.0 uniform {
+    load a [i]
+  }
+  compute flops 1
+  store out [i]
+end
+schedule
+  call k
+end
+|}
+  in
+  check_fires "GPP601" report;
+  Alcotest.(check bool) "warning severity" true (severity_of "GPP601" report = D.Warning);
+  Alcotest.(check int) "priced at the full upload" (4 * 4096) (payload_int "GPP601" "bytes" report);
+  check_silent "GPP602" report
+
+let test_gpp602_dead_download () =
+  (* The only store to [out] can never execute: the download in the
+     conservative plan carries data the device never produces. *)
+  let report =
+    lint_source
+      {|
+program fx602
+array a dense 4096
+array out dense 4096
+kernel k
+  loop i parallel 4096
+  load a [i]
+  compute flops 1
+  branch 0.0 uniform {
+    store out [i]
+  }
+end
+schedule
+  call k
+end
+|}
+  in
+  check_fires "GPP602" report;
+  Alcotest.(check bool) "warning severity" true (severity_of "GPP602" report = D.Warning);
+  check_silent "GPP601" report
+
+let test_gpp603_hoistable_upload () =
+  (* [coeff] is read inside the 4-iteration schedule loop and never
+     written by it: the upload is loop-invariant and the plan hoists
+     it, saving 3 of the 4 per-iteration copies. *)
+  let report =
+    lint_source
+      {|
+program fx603
+array coeff dense 4096
+array state dense 4096
+kernel step
+  loop i parallel 4096
+  load coeff [i]
+  load state [i]
+  compute flops 2
+  store state [i]
+end
+schedule
+  repeat 4 {
+    call step
+  }
+end
+|}
+  in
+  check_fires "GPP603" report;
+  Alcotest.(check bool) "info severity" true (severity_of "GPP603" report = D.Info);
+  Alcotest.(check int) "iterations" 4 (payload_int "GPP603" "iterations" report);
+  Alcotest.(check int) "per-iteration bytes" (4 * 4096)
+    (payload_int "GPP603" "per_iteration_bytes" report);
+  Alcotest.(check int) "saves n-1 copies" (3 * 4 * 4096)
+    (payload_int "GPP603" "saved_bytes" report);
+  Alcotest.(check bool) "still strict-clean" true (Driver.clean ~strict:true report)
+
+let test_gpp603_silent_without_iteration () =
+  (* The same program with a single-iteration loop has nothing to
+     hoist. *)
+  let report =
+    lint_source
+      {|
+program fx603ok
+array coeff dense 4096
+array state dense 4096
+kernel step
+  loop i parallel 4096
+  load coeff [i]
+  load state [i]
+  compute flops 2
+  store state [i]
+end
+schedule
+  repeat 1 {
+    call step
+  }
+end
+|}
+  in
+  check_silent "GPP603" report
+
+let test_gpp604_unreachable_extent () =
+  (* [a] declares 100 elements but the interval hull of its only
+     subscript reaches 0..49; [out]'s declaration matches its use
+     exactly, so only [a] is flagged. *)
+  let report =
+    lint_source
+      {|
+program fx604
+array a dense 100
+array out dense 50
+kernel half
+  loop i parallel 50
+  load a [i]
+  compute flops 1
+  store out [i]
+end
+schedule
+  call half
+end
+|}
+  in
+  check_fires "GPP604" report;
+  Alcotest.(check bool) "info severity" true (severity_of "GPP604" report = D.Info);
+  Alcotest.(check int) "one array flagged" 1
+    (List.length (List.filter (fun (d : D.t) -> d.code = "GPP604") report.Driver.diagnostics));
+  Alcotest.(check int) "declared extent in payload" 100 (payload_int "GPP604" "dim0_extent" report);
+  (match List.find_opt (fun (d : D.t) -> d.code = "GPP604") report.Driver.diagnostics with
+  | Some d -> Alcotest.(check (option string)) "anchored on a" (Some "a") d.D.location.array
+  | None -> Alcotest.fail "GPP604 should fire");
+  Alcotest.(check bool) "still strict-clean" true (Driver.clean ~strict:true report)
+
 (* Every bundled workload must lint strict-clean: info-level notes are
    expected (halo loads, gathers), warnings and errors are not. *)
 
@@ -578,7 +732,9 @@ end
   | first :: _ -> Alcotest.(check string) "errors first" "GPP201" first.D.code
   | [] -> Alcotest.fail "expected diagnostics");
   Alcotest.(check int) "errors counted" 1 (Driver.errors report);
-  Alcotest.(check int) "infos counted" 1 (Driver.infos report)
+  (* The halo-load info, plus GPP604 on both arrays: [a] never touches
+     element 0 and [out] only touches element 0. *)
+  Alcotest.(check int) "infos counted" 3 (Driver.infos report)
 
 let test_code_index_covers_report_codes () =
   let indexed = List.map (fun (c : Pass.code_doc) -> c.code) (Driver.code_index ()) in
@@ -814,6 +970,93 @@ let test_json_reports_array () =
       Alcotest.(check string) "second" "soup" (as_string "program" (field_exn "r" b "program"))
   | _ -> Alcotest.fail "expected a two-element JSON array"
 
+(* SARIF export: schema-shape checks through the same embedded JSON
+   parser — one run, one reportingDescriptor per indexed code, one
+   result per diagnostic with a consistent ruleId/ruleIndex pair. *)
+
+let as_array msg = function Jarr items -> items | _ -> Alcotest.failf "%s: expected an array" msg
+
+let test_sarif_schema () =
+  let reports = [ lint_source clean_base; lint_source defect_soup ] in
+  let diagnostics = List.concat_map (fun (r : Driver.report) -> r.Driver.diagnostics) reports in
+  let sarif = parse_json (Gpp_analysis.Sarif.of_reports reports) in
+  Alcotest.(check string) "version" "2.1.0"
+    (as_string "version" (field_exn "root" sarif "version"));
+  Helpers.check_contains "schema uri names 2.1.0" ~needle:"sarif-schema-2.1.0"
+    (as_string "$schema" (field_exn "root" sarif "$schema"));
+  match as_array "runs" (field_exn "root" sarif "runs") with
+  | [ run ] ->
+      let driver = field_exn "tool" (field_exn "run" run "tool") "driver" in
+      Alcotest.(check string) "driver name" "grophecy"
+        (as_string "name" (field_exn "driver" driver "name"));
+      let rules = as_array "rules" (field_exn "driver" driver "rules") in
+      Alcotest.(check int) "one rule per indexed code"
+        (List.length (Driver.code_index ()))
+        (List.length rules);
+      let rule_ids = List.map (fun r -> as_string "rule id" (field_exn "rule" r "id")) rules in
+      List.iter
+        (fun r ->
+          let id = as_string "rule id" (field_exn "rule" r "id") in
+          Alcotest.(check bool) ("well-formed rule id " ^ id) true (is_code id);
+          List.iter
+            (fun key -> ignore (field_exn ("rule " ^ id) r key))
+            [ "shortDescription"; "fullDescription"; "help"; "defaultConfiguration" ])
+        rules;
+      let results = as_array "results" (field_exn "run" run "results") in
+      Alcotest.(check int) "one result per diagnostic" (List.length diagnostics)
+        (List.length results);
+      List.iter2
+        (fun (expected : D.t) r ->
+          let rule_id = as_string "ruleId" (field_exn "result" r "ruleId") in
+          Alcotest.(check string) "ruleId is the code" expected.D.code rule_id;
+          let index = as_int "ruleIndex" (field_exn "result" r "ruleIndex") in
+          Alcotest.(check string) "ruleIndex points at the rule" rule_id (List.nth rule_ids index);
+          Alcotest.(check string) "level from severity"
+            (match expected.D.severity with
+            | D.Error -> "error"
+            | D.Warning -> "warning"
+            | D.Info -> "note")
+            (as_string "level" (field_exn "result" r "level"));
+          let locations = as_array "locations" (field_exn "result" r "locations") in
+          let logical =
+            match locations with
+            | [ l ] -> as_array "logicalLocations" (field_exn "location" l "logicalLocations")
+            | _ -> Alcotest.fail "expected one location"
+          in
+          match logical with
+          | [ l ] ->
+              let fqn = as_string "fqn" (field_exn "logical" l "fullyQualifiedName") in
+              Helpers.check_contains "qualified by program" ~needle:"soup" fqn
+          | _ -> Alcotest.fail "expected one logical location")
+        diagnostics results
+  | _ -> Alcotest.fail "runs: expected a one-element array"
+
+(* Code lookup behind --explain and the --codes filter. *)
+
+let test_find_code_lookup () =
+  (match Driver.find_code "gpp601" with
+  | Some doc -> Alcotest.(check string) "case-insensitive" "GPP601" doc.Pass.code
+  | None -> Alcotest.fail "gpp601 should resolve");
+  (match Driver.find_code "  GPP101  " with
+  | Some doc -> Alcotest.(check string) "trimmed" "GPP101" doc.Pass.code
+  | None -> Alcotest.fail "padded GPP101 should resolve");
+  Alcotest.(check bool) "unknown code is None" true (Driver.find_code "GPP999" = None);
+  (* Every indexed code resolves to itself and documents a fix. *)
+  List.iter
+    (fun (c : Pass.code_doc) ->
+      match Driver.find_code c.code with
+      | Some doc ->
+          Alcotest.(check string) "self-lookup" c.code doc.Pass.code;
+          Alcotest.(check bool) (c.code ^ " has explanation") true (doc.explanation <> "");
+          Alcotest.(check bool) (c.code ^ " has fix") true (doc.fix <> "")
+      | None -> Alcotest.failf "indexed code %s does not resolve" c.code)
+    (Driver.code_index ())
+
+let test_nearest_code_suggestion () =
+  Alcotest.(check string) "missing final digit" "GPP101" (Driver.nearest_code "GPP10");
+  Alcotest.(check string) "trailing typo" "GPP301" (Driver.nearest_code "GPP301x");
+  Alcotest.(check string) "ties break alphabetically" "GPP601" (Driver.nearest_code "GPP600")
+
 (* Section laws the bounds and race passes lean on. *)
 
 let dim_gen =
@@ -966,6 +1209,11 @@ let () =
           Alcotest.test_case "GPP504 unscheduled kernel" `Quick test_gpp504_unscheduled_kernel;
           Alcotest.test_case "GPP505 idle temporary" `Quick test_gpp505_never_written_temporary;
           Alcotest.test_case "via-array is a use" `Quick test_indirect_index_array_counts_as_referenced;
+          Alcotest.test_case "GPP601 redundant upload" `Quick test_gpp601_redundant_upload;
+          Alcotest.test_case "GPP602 dead download" `Quick test_gpp602_dead_download;
+          Alcotest.test_case "GPP603 hoistable upload" `Quick test_gpp603_hoistable_upload;
+          Alcotest.test_case "GPP603 single iteration ok" `Quick test_gpp603_silent_without_iteration;
+          Alcotest.test_case "GPP604 unreachable extent" `Quick test_gpp604_unreachable_extent;
         ] );
       ( "workloads",
         [
@@ -976,11 +1224,14 @@ let () =
         [
           Alcotest.test_case "sorted and deduped" `Quick test_report_sorted_and_deduped;
           Alcotest.test_case "code index" `Quick test_code_index_covers_report_codes;
+          Alcotest.test_case "find_code lookup" `Quick test_find_code_lookup;
+          Alcotest.test_case "nearest_code suggestion" `Quick test_nearest_code_suggestion;
         ] );
       ( "json",
         [
           Alcotest.test_case "schema round-trip" `Quick test_json_schema_roundtrip;
           Alcotest.test_case "multi-report array" `Quick test_json_reports_array;
+          Alcotest.test_case "SARIF schema shape" `Quick test_sarif_schema;
         ] );
       ( "section laws",
         [

@@ -144,7 +144,9 @@ let test_sparse_policies () =
     Program.create ~name:"sparse" ~arrays ~kernels:[ kernel ] ~schedule:[ Program.Call "touch" ] ()
   in
   let conservative = Analyzer.analyze p in
-  let exact = Analyzer.analyze ~policy:{ Analyzer.sparse_exact = true } p in
+  let exact =
+    Analyzer.analyze ~policy:{ Analyzer.default_policy with Analyzer.sparse_exact = true } p
+  in
   (match input_of conservative "s" with
   | Some t ->
       Alcotest.(check int) "whole capacity" (4 * 10000) t.Analyzer.bytes;
@@ -284,6 +286,176 @@ let test_random_temporaries_monotone =
       Analyzer.output_bytes without >= Analyzer.output_bytes with_hints
       && Analyzer.input_bytes without = Analyzer.input_bytes with_hints)
 
+(* --- plan-policy ablation: minimal vs conservative ------------------- *)
+
+let minimal_policy = { Analyzer.default_policy with Analyzer.plan = Analyzer.Minimal }
+
+(* Minimal prices only statically live references but tracks device
+   residency with the same conservative write set, so it can never plan
+   more than conservative — per direction and per array. *)
+let test_random_minimal_le_conservative =
+  Helpers.qtest ~count:200 "minimal plan never exceeds conservative" random_program_gen (fun p ->
+      let c = Analyzer.analyze p and m = Analyzer.analyze ~policy:minimal_policy p in
+      let le_side side_m side_c =
+        List.for_all
+          (fun (mt : Analyzer.transfer) ->
+            match
+              List.find_opt (fun (t : Analyzer.transfer) -> t.Analyzer.array = mt.Analyzer.array) side_c
+            with
+            | Some ct -> mt.Analyzer.bytes <= ct.Analyzer.bytes
+            | None -> false)
+          side_m
+      in
+      le_side m.Analyzer.to_device c.Analyzer.to_device
+      && le_side m.Analyzer.from_device c.Analyzer.from_device
+      && Analyzer.input_bytes m <= Analyzer.input_bytes c
+      && Analyzer.output_bytes m <= Analyzer.output_bytes c)
+
+(* --- fixpoint engine vs the unrolled schedule ------------------------ *)
+
+let rec flatten_invocations = function
+  | Program.Call _ as c -> [ c ]
+  | Program.Repeat (n, body) ->
+      List.concat (List.init n (fun _ -> List.concat_map flatten_invocations body))
+
+(* The engine iterates Repeat bodies to a fixed point instead of
+   walking every iteration; the resulting plan must equal the one from
+   the literally unrolled straight-line schedule, under both
+   policies. *)
+let test_random_fixpoint_matches_unrolled =
+  Helpers.qtest ~count:200 "plan over Repeat equals plan over the unrolled schedule"
+    random_program_gen (fun p ->
+      let unrolled =
+        { p with Program.schedule = List.concat_map flatten_invocations p.Program.schedule }
+      in
+      Analyzer.analyze p = Analyzer.analyze unrolled
+      && Analyzer.analyze ~policy:minimal_policy p
+         = Analyzer.analyze ~policy:minimal_policy unrolled)
+
+(* --- lattice laws the engine's termination argument rests on --------- *)
+
+module FI = Gpp_fixpoint.Fixpoint.Interval
+
+let interval_gen =
+  QCheck2.Gen.(
+    let* which = int_range 0 8 in
+    if which = 0 then return FI.Bot
+    else
+      let* lo = int_range (-100) 100 in
+      let* len = int_range 0 100 in
+      return (FI.of_bounds (lo, lo + len)))
+
+let interval_pair_gen = QCheck2.Gen.pair interval_gen interval_gen
+
+let test_interval_join_commutes =
+  Helpers.qtest ~count:500 "interval join commutes" interval_pair_gen (fun (a, b) ->
+      FI.join a b = FI.join b a)
+
+let test_interval_join_associates =
+  Helpers.qtest ~count:500 "interval join associates"
+    QCheck2.Gen.(triple interval_gen interval_gen interval_gen)
+    (fun (a, b, c) -> FI.join a (FI.join b c) = FI.join (FI.join a b) c)
+
+let test_interval_join_upper_bound =
+  Helpers.qtest ~count:500 "interval join bounds both operands" interval_pair_gen (fun (a, b) ->
+      let j = FI.join a b in
+      FI.leq a j && FI.leq b j && FI.join a a = a)
+
+let test_interval_widening_terminates =
+  (* Iterating x <- widen x (join x b) must stabilize after at most two
+     steps (each unstable bound jumps to +-infinity once) while staying
+     above the plain join. *)
+  Helpers.qtest ~count:500 "interval widening stabilizes in two steps" interval_pair_gen
+    (fun (a, b) ->
+      let step x = FI.widen x (FI.join x b) in
+      let x1 = step a in
+      let x2 = step x1 in
+      let x3 = step x2 in
+      FI.leq (FI.join a b) x1 && x3 = x2)
+
+module SL = Gpp_dataflow.Section_lattice
+module Section = Gpp_brs.Section
+
+let fact_gen =
+  QCheck2.Gen.(
+    let entry_gen =
+      let* array = oneofl array_pool in
+      let* lo = int_range 0 40 in
+      let* len = int_range 0 20 in
+      let* stride = int_range 1 4 in
+      return (array, Section.make array [ Section.dim_exn ~lo ~hi:(lo + len) ~stride ])
+    in
+    let* entries = list_size (int_range 0 6) entry_gen in
+    return
+      (List.fold_left
+         (fun acc (array, s) -> SL.add_section array s acc)
+         SL.empty entries))
+
+let fact_pair_gen = QCheck2.Gen.pair fact_gen fact_gen
+
+let test_section_lattice_join_upper_bound =
+  Helpers.qtest ~count:500 "section-map join bounds both operands" fact_pair_gen (fun (a, b) ->
+      let j = SL.join a b in
+      SL.leq a j && SL.leq b j && SL.leq a a)
+
+let test_section_lattice_join_commutes =
+  Helpers.qtest ~count:500 "section-map join commutes up to equal" fact_pair_gen (fun (a, b) ->
+      SL.equal (SL.join a b) (SL.join b a))
+
+let test_section_lattice_widening_terminates =
+  Helpers.qtest ~count:500 "section-map widening stabilizes" fact_pair_gen (fun (a, b) ->
+      let step x = SL.widen x (SL.join x b) in
+      let x1 = step a in
+      let x2 = step x1 in
+      let x3 = step x2 in
+      SL.leq (SL.join a b) x1 && SL.equal x3 x2)
+
+(* --- the engine itself, on a hand-built schedule --------------------- *)
+
+module Trace_lattice = struct
+  type t = string list (* sorted kernel-name set *)
+
+  let leq a b = List.for_all (fun x -> List.mem x b) a
+  let join a b = List.sort_uniq compare (a @ b)
+  let widen = join
+end
+
+module Trace_walk = Gpp_fixpoint.Fixpoint.Make (Trace_lattice)
+
+let test_fixpoint_forward_loop_invariant () =
+  let schedule =
+    [ Program.Call "a"; Program.Repeat (3, [ Program.Call "b" ]); Program.Call "c" ]
+  in
+  let transfer ~index:_ kernel fact = List.sort_uniq compare (kernel :: fact) in
+  let r = Trace_walk.forward ~schedule ~transfer ~init:[] in
+  Alcotest.(check int) "one point per call site" 3 (List.length r.Trace_walk.points);
+  Alcotest.(check (list string)) "exit fact" [ "a"; "b"; "c" ] r.Trace_walk.exit_fact;
+  (match r.Trace_walk.points with
+  | [ pa; pb; pc ] ->
+      Alcotest.(check int) "pre-order indices" 0 pa.Trace_walk.index;
+      Alcotest.(check int) "loop body index" 1 pb.Trace_walk.index;
+      Alcotest.(check int) "post-loop index" 2 pc.Trace_walk.index;
+      (* The loop-body fact is the invariant: it includes [b] flowing
+         around the back edge, not just the entry fact. *)
+      Alcotest.(check (list string)) "loop invariant before b" [ "a"; "b" ] pb.Trace_walk.before;
+      Alcotest.(check (list string)) "fact before c" [ "a"; "b" ] pc.Trace_walk.before
+  | _ -> Alcotest.fail "expected three points");
+  Alcotest.(check bool) "body iterated to a fixed point" true
+    (r.Trace_walk.stats.Gpp_fixpoint.Fixpoint.loop_iterations >= 2)
+
+let test_fixpoint_backward_orientation () =
+  (* Backward: [before] still means "before the invocation executes". *)
+  let schedule = [ Program.Call "a"; Program.Call "b" ] in
+  let transfer ~index:_ kernel fact = List.sort_uniq compare (kernel :: fact) in
+  let r = Trace_walk.backward ~schedule ~transfer ~exit_:[] in
+  match r.Trace_walk.points with
+  | [ pa; pb ] ->
+      Alcotest.(check string) "first point is a" "a" pa.Trace_walk.kernel;
+      Alcotest.(check (list string)) "everything live before a" [ "a"; "b" ] pa.Trace_walk.before;
+      Alcotest.(check (list string)) "only b live before b" [ "b" ] pb.Trace_walk.before;
+      Alcotest.(check (list string)) "entry fact" [ "a"; "b" ] r.Trace_walk.exit_fact
+  | _ -> Alcotest.fail "expected two points"
+
 let test_direction_names () =
   Alcotest.(check string) "in" "to device" (Analyzer.direction_name Analyzer.To_device);
   Alcotest.(check string) "out" "from device" (Analyzer.direction_name Analyzer.From_device)
@@ -311,5 +483,22 @@ let () =
           test_random_iteration_invariance;
           test_random_transfer_soundness;
           test_random_temporaries_monotone;
+          test_random_minimal_le_conservative;
+          test_random_fixpoint_matches_unrolled;
+        ] );
+      ( "lattice laws",
+        [
+          test_interval_join_commutes;
+          test_interval_join_associates;
+          test_interval_join_upper_bound;
+          test_interval_widening_terminates;
+          test_section_lattice_join_upper_bound;
+          test_section_lattice_join_commutes;
+          test_section_lattice_widening_terminates;
+        ] );
+      ( "fixpoint engine",
+        [
+          Alcotest.test_case "forward loop invariant" `Quick test_fixpoint_forward_loop_invariant;
+          Alcotest.test_case "backward orientation" `Quick test_fixpoint_backward_orientation;
         ] );
     ]

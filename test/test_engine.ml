@@ -169,6 +169,42 @@ let test_config_precedence () =
   (* flags beat env *)
   Alcotest.(check int64) "seed from flags" 333L c.Config.seed
 
+let test_config_transfer_plan_layers () =
+  let module Analyzer = Gpp_dataflow.Analyzer in
+  let plan_of (c : Config.t) =
+    match c.Config.policy with
+    | Some p -> p.Analyzer.plan
+    | None -> Alcotest.fail "policy should be set"
+  in
+  (* Environment layer. *)
+  let c =
+    Helpers.check_core "apply_env"
+      (Config.apply_env ~getenv:(getenv_of [ ("GPP_TRANSFER_PLAN", "minimal") ]) Config.default)
+  in
+  Alcotest.(check bool) "env sets minimal" true (plan_of c = Analyzer.Minimal);
+  (* Malformed values name the variable. *)
+  let bad =
+    Config.apply_env ~getenv:(getenv_of [ ("GPP_TRANSFER_PLAN", "bogus") ]) Config.default
+  in
+  Helpers.check_contains "names the variable" ~needle:"GPP_TRANSFER_PLAN"
+    (expect_config_error "bad plan" bad);
+  (* Config-file layer: the nested policy group. *)
+  let path = write_temp ~suffix:".sexp" "((policy ((plan minimal))))" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let from_file = Helpers.check_core "apply_file" (Config.apply_file Config.default ~path) in
+  Alcotest.(check bool) "file sets minimal" true (plan_of from_file = Analyzer.Minimal);
+  (* The --transfer-plan flag beats the env. *)
+  let overrides =
+    { Config.no_overrides with Config.o_transfer_plan = Some Analyzer.Conservative }
+  in
+  let resolved =
+    Helpers.check_core "resolve"
+      (Config.resolve
+         ~getenv:(getenv_of [ ("GPP_TRANSFER_PLAN", "minimal") ])
+         ~overrides ())
+  in
+  Alcotest.(check bool) "flag beats env" true (plan_of resolved = Analyzer.Conservative)
+
 (* --- workload resolution --------------------------------------------- *)
 
 let test_workload_resolve () =
@@ -327,6 +363,7 @@ let () =
           Alcotest.test_case "unknown keys" `Quick test_config_file_unknown_key;
           Alcotest.test_case "env layer" `Quick test_config_env_layer;
           Alcotest.test_case "precedence" `Quick test_config_precedence;
+          Alcotest.test_case "transfer-plan layers" `Quick test_config_transfer_plan_layers;
         ] );
       ( "workload",
         [ Alcotest.test_case "resolve" `Quick test_workload_resolve ] );

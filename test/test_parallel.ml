@@ -159,6 +159,32 @@ let test_batch_golden_parallel () =
   let expected = In_channel.with_open_text golden In_channel.input_all in
   Alcotest.(check string) "parallel batch matches golden" expected (Engine.Batch.to_tsv batch)
 
+(* The plan-policy plumbing must not perturb default outputs: a config
+   that names Conservative explicitly is byte-identical to the
+   committed golden, sequentially and under the domain pool. *)
+let test_batch_golden_explicit_conservative () =
+  let module Analyzer = Gpp_dataflow.Analyzer in
+  let config =
+    {
+      Config.default with
+      Config.use_cache = Some false;
+      policy = Some { Analyzer.default_policy with Analyzer.plan = Analyzer.Conservative };
+    }
+  in
+  let machines = [ Gpp_arch.Machine.argonne_node; Gpp_arch.Machine.gt200_node ] in
+  let workloads = List.map Gpp_workloads.Registry.key Gpp_workloads.Registry.paper_instances in
+  let golden =
+    List.find Sys.file_exists [ "golden/batch.expected.tsv"; "test/golden/batch.expected.tsv" ]
+  in
+  let expected = In_channel.with_open_text golden In_channel.input_all in
+  List.iter
+    (fun jobs ->
+      let batch = Engine.Batch.run ~machines ~jobs config ~workloads in
+      Alcotest.(check string)
+        (Printf.sprintf "explicit conservative matches golden at jobs=%d" jobs)
+        expected (Engine.Batch.to_tsv batch))
+    [ 1; 4 ]
+
 let () =
   Alcotest.run "parallel"
     [
@@ -180,5 +206,7 @@ let () =
         [
           Alcotest.test_case "jobs invariant" `Quick test_batch_jobs_invariant;
           Alcotest.test_case "golden at jobs=4" `Slow test_batch_golden_parallel;
+          Alcotest.test_case "explicit conservative golden at jobs=1,4" `Slow
+            test_batch_golden_explicit_conservative;
         ] );
     ]
