@@ -222,6 +222,63 @@ let obs_overhead () =
   Gpp_obs.Obs.set_enabled false;
   Gpp_obs.Obs.reset ()
 
+(* Serve leg: sustained request throughput of the prediction service,
+   cold (the first request computes the experiment) vs warm (responses
+   come from the memo), plus the cheap liveness endpoint.  Writes
+   BENCH_serve.json. *)
+let serve_ab () =
+  print_endline "serve bench: grophecy serve throughput, cold vs warm";
+  with_temp_store @@ fun store_dir ->
+  let config =
+    {
+      Gpp_engine.Config.default with
+      Gpp_engine.Config.listen = "127.0.0.1:0";
+      cache_dir = Some store_dir;
+    }
+  in
+  Gpp_engine.Runtime.install config;
+  Gpp_cache.Memo.clear_all ();
+  match Gpp_serve.Serve.start config with
+  | Error e -> failwith ("serve bench: " ^ Gpp_engine.Error.message e)
+  | Ok server ->
+      Fun.protect ~finally:(fun () -> Gpp_serve.Serve.stop server) @@ fun () ->
+      let fetch target =
+        match Gpp_serve.Serve.request server target with
+        | Ok (200, _, body) -> body
+        | Ok (status, _, _) -> failwith (Printf.sprintf "serve bench: %s -> %d" target status)
+        | Error msg -> failwith ("serve bench: " ^ msg)
+      in
+      let cold_s = timed (fun () -> ignore (fetch "/experiment/fig5")) in
+      Printf.printf "  cold /experiment/fig5: %6.2f s (computes the experiment)\n%!" cold_s;
+      let reps = 200 in
+      let warm_s =
+        timed (fun () ->
+            for _ = 1 to reps do
+              ignore (fetch "/experiment/fig5")
+            done)
+      in
+      let warm_rps = float_of_int reps /. warm_s in
+      let warm_ms = warm_s /. float_of_int reps *. 1e3 in
+      Printf.printf "  warm /experiment/fig5: %8.1f req/s (memoized; %.2f ms/req)\n%!" warm_rps
+        warm_ms;
+      let health_s =
+        timed (fun () ->
+            for _ = 1 to reps do
+              ignore (fetch "/healthz")
+            done)
+      in
+      let health_rps = float_of_int reps /. health_s in
+      Printf.printf "  /healthz:              %8.1f req/s\n%!" health_rps;
+      Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
+          Printf.fprintf oc
+            "{\n  \"benchmark\": \"serve\",\n  \"endpoint\": \"/experiment/fig5\",\n  \
+             \"cold_first_request_s\": %.3f,\n  \"warm_requests\": %d,\n  \
+             \"warm_requests_per_s\": %.1f,\n  \"warm_ms_per_request\": %.3f,\n  \
+             \"healthz_requests_per_s\": %.1f,\n  \"speedup_cold_vs_warm\": %.1f\n}\n"
+            cold_s reps warm_rps warm_ms health_rps
+            (cold_s /. (warm_s /. float_of_int reps)));
+      Printf.printf "  wrote BENCH_serve.json\n%!"
+
 let stage_tests =
   [
     Test.make ~name:"stage:calibration"
@@ -299,10 +356,15 @@ let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "analysis" then (
     analysis_ab ();
     exit 0);
+  (* `bench/main.exe serve` refreshes BENCH_serve.json alone. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then (
+    serve_ab ();
+    exit 0);
   cache_ab ();
   batch_ab ();
   analysis_ab ();
   obs_overhead ();
+  serve_ab ();
   (* Force the shared context up front so its (substantial) cost is not
      attributed to the first benchmark. *)
   print_endline "building measurement context (calibration + all Table I workloads)...";

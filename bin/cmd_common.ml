@@ -108,8 +108,8 @@ let fail e =
 (* Layered scenario resolution + process-wide setup for the pipeline
    commands.  Flags arrive as options ([None] = not given) so lower
    layers show through. *)
-let scenario ?machine ?seed ?runs ?iterations ?jobs ?transfer_plan ?config_file ~no_cache
-    ~cache_dir ~trace ~verbose () =
+let scenario ?machine ?seed ?runs ?iterations ?jobs ?transfer_plan ?listen ?flush_every
+    ?config_file ~no_cache ~cache_dir ~trace ~verbose () =
   let overrides =
     {
       Config.o_machine = machine;
@@ -122,6 +122,8 @@ let scenario ?machine ?seed ?runs ?iterations ?jobs ?transfer_plan ?config_file 
       o_trace = trace;
       o_verbose = verbose;
       o_transfer_plan = transfer_plan;
+      o_listen = listen;
+      o_flush_every = flush_every;
     }
   in
   match Config.resolve ?file:config_file ~overrides () with

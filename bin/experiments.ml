@@ -9,7 +9,7 @@
      experiments --trace FILE     stream a Chrome trace of the run to FILE
                                   and print a per-phase summary to stderr *)
 
-let () =
+let main () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--list" args then begin
     List.iter
@@ -83,3 +83,12 @@ let () =
   (* Persist the memo tables for the next invocation (normal exit only;
      --no-cache leaves the disk untouched). *)
   Gpp_cache.Memo.flush_disk ()
+
+(* A downstream `| head` closing stdout mid-suite is success, not a
+   crash; everything already printed reached the consumer. *)
+let () =
+  Gpp_engine.Runtime.ignore_sigpipe ();
+  try main ()
+  with e when Gpp_engine.Runtime.is_broken_pipe e ->
+    Gpp_engine.Runtime.discard_stdout ();
+    exit 0

@@ -14,6 +14,7 @@
      predict-transfer   price a single transfer with the calibrated model
      experiment         regenerate paper tables/figures by id
      cache              inspect/verify/clear the persistent cache
+     serve              long-running HTTP prediction service
 
    The pipeline commands (project, analyze, advise, batch, experiment)
    resolve a layered Gpp_engine.Config scenario: library defaults <
@@ -35,9 +36,9 @@ let main_cmd =
       `S "ENVIRONMENT";
       `P
         "The pipeline commands also read $(b,GPP_MACHINE), $(b,GPP_SEED), $(b,GPP_RUNS), \
-         $(b,GPP_ITERATIONS), $(b,GPP_OUTLIER_PROBABILITY), $(b,GPP_NO_CACHE), \
-         $(b,GPP_CACHE_DIR), $(b,GPP_TRACE), and $(b,GPP_VERBOSE), which override $(b,--config) \
-         files and are overridden by flags.";
+         $(b,GPP_ITERATIONS), $(b,GPP_JOBS), $(b,GPP_OUTLIER_PROBABILITY), $(b,GPP_NO_CACHE), \
+         $(b,GPP_CACHE_DIR), $(b,GPP_TRACE), $(b,GPP_VERBOSE), $(b,GPP_LISTEN), and \
+         $(b,GPP_FLUSH_EVERY), which override $(b,--config) files and are overridden by flags.";
     ]
   in
   let info = Cmd.info "grophecy" ~version:"1.0.0" ~doc ~man in
@@ -55,6 +56,25 @@ let main_cmd =
       Cmd_predict_transfer.cmd;
       Cmd_experiment.cmd;
       Cmd_cache.cmd;
+      Cmd_serve.cmd;
     ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* eval' with ~catch:false so a broken pipe propagates here instead of
+   being reported as an internal error: `grophecy suite | head` closing
+   stdout early is the downstream's prerogative, not a failure.  Any
+   other escaped exception reproduces Cmdliner's default report. *)
+let () =
+  Gpp_engine.Runtime.ignore_sigpipe ();
+  let code =
+    try Cmd.eval' ~catch:false main_cmd with
+    | e when Gpp_engine.Runtime.is_broken_pipe e ->
+        Gpp_engine.Runtime.discard_stdout ();
+        0
+    | e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Format.eprintf "grophecy: internal error, uncaught exception:@\n%s@\n%s@."
+          (Printexc.to_string e)
+          (Printexc.raw_backtrace_to_string bt);
+        Cmd.Exit.internal_error
+  in
+  exit code

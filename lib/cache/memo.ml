@@ -67,6 +67,14 @@ type 'v t = {
   mutable evictions : int;
   mutable bypasses : int;
   mutable disk : disk_stats option;
+  (* Incremental-flush bookkeeping: [dirty] counts content mutations
+     (inserts, evictions, clears) since the store file last matched the
+     table, and [synced_path] names that store file when it does.  A
+     flush with [dirty = 0] against [synced_path] is skipped outright,
+     which is what makes periodic flushing from a long-running server
+     cheap and [flush_disk] idempotent. *)
+  mutable dirty : int;
+  mutable synced_path : string option;
 }
 
 (* Registry of every memo table in the process, for uniform statistics
@@ -84,7 +92,16 @@ let registry_mutex = Mutex.create ()
 
 let registered : (string * (unit -> snapshot) * (unit -> unit)) list ref = ref []
 
-let persistent : (string * (dir:string -> unit) * (dir:string -> unit)) list ref = ref []
+let persistent :
+    (string * (dir:string -> unit) * (dir:string -> unit) * (unit -> int)) list ref =
+  ref []
+
+(* Serialises whole-process disk traffic: concurrent [flush_disk] /
+   [load_disk] calls (a periodic flusher racing an at_exit flush, say)
+   would otherwise fight over the same temp file.  Table locks are
+   never held while waiting on this mutex, so lookups proceed
+   concurrently with a flush. *)
+let disk_mutex = Mutex.create ()
 
 let unlink t node =
   (match node.prev with Some p -> p.next <- node.next | None -> t.first <- node.next);
@@ -113,6 +130,10 @@ let touch t node =
 
 let clear t =
   Mutex.protect t.lock @@ fun () ->
+  if Hashtbl.length t.table > 0 then begin
+    t.dirty <- t.dirty + 1;
+    t.synced_path <- None
+  end;
   Hashtbl.reset t.table;
   t.first <- None;
   t.last <- None;
@@ -152,6 +173,8 @@ let create ?(capacity = 1024) ~name () =
       evictions = 0;
       bypasses = 0;
       disk = None;
+      dirty = 0;
+      synced_path = None;
     }
   in
   Mutex.protect registry_mutex (fun () ->
@@ -166,6 +189,7 @@ let evict_lru t =
       unlink t node;
       Hashtbl.remove t.table node.key;
       t.evictions <- t.evictions + 1;
+      t.dirty <- t.dirty + 1;
       Obs.incr c_evictions
 
 let find_or_add ?(cache = true) t ~key compute =
@@ -209,6 +233,7 @@ let find_or_add ?(cache = true) t ~key compute =
               let node = { key; value; prev = None; next = None } in
               Hashtbl.replace t.table key node;
               push_front t node;
+              t.dirty <- t.dirty + 1;
               value)
   end
 
@@ -247,8 +272,9 @@ let persist ?(schema = 1) (t : 'v t) =
         in
         Mutex.protect t.lock (fun () -> t.disk <- stats)
     | None ->
-        let loaded = ref 0 and rejected = ref corrupt in
+        let loaded = ref 0 and rejected = ref corrupt and skipped = ref 0 in
         Mutex.protect t.lock (fun () ->
+            let had_prior = Hashtbl.length t.table > 0 in
             List.iter
               (fun { Store.key; payload } ->
                 if Hashtbl.length t.table < t.capacity && not (Hashtbl.mem t.table key) then
@@ -261,8 +287,23 @@ let persist ?(schema = 1) (t : 'v t) =
                          recency order byte for byte. *)
                       push_back t node;
                       incr loaded
-                  | None -> incr rejected)
-              entries);
+                  | None -> incr rejected
+                else incr skipped)
+              entries;
+            if !rejected > 0 || !skipped > 0 || had_prior then begin
+              (* The table and the store diverge (corrupt entries to
+                 shed, capacity-skipped entries, or in-memory state the
+                 file lacks): force the next flush to rewrite. *)
+              t.dirty <- t.dirty + 1;
+              t.synced_path <- None
+            end
+            else begin
+              (* Every file entry is now in memory, in file order — the
+                 table mirrors the store exactly, so the next flush can
+                 skip the rewrite. *)
+              t.dirty <- 0;
+              t.synced_path <- Some path
+            end);
         if !rejected > 0 then
           Log.warn (fun m ->
               m "%s: dropped %d corrupt entr%s from %s (served as cache misses)" t.name !rejected
@@ -279,30 +320,54 @@ let persist ?(schema = 1) (t : 'v t) =
   in
   let flush ~dir =
     let path = Store.path ~dir ~table:t.name in
-    let entries =
+    (* Snapshot the entries and the mutation count together; the lock is
+       released before the (slow) file write, so lookups and inserts
+       proceed concurrently.  A clean table whose store already matches
+       skips the write entirely — that idempotence is what lets a
+       periodic flusher run on every request batch without rewriting an
+       unchanged store each time. *)
+    let plan =
       Mutex.protect t.lock @@ fun () ->
-      let rec walk acc = function
-        | None -> List.rev acc
-        | Some node -> walk ({ Store.key = node.key; payload = encode node.value } :: acc) node.next
-      in
-      walk [] t.first
+      if t.dirty = 0 && t.synced_path = Some path then None
+      else
+        let rec walk acc = function
+          | None -> List.rev acc
+          | Some node ->
+              walk ({ Store.key = node.key; payload = encode node.value } :: acc) node.next
+        in
+        Some (walk [] t.first, t.dirty)
     in
-    match Store.save ~path ~tag entries with
-    | Ok bytes ->
-        Log.info (fun m -> m "%s: flushed %d entries to %s" t.name (List.length entries) path);
-        Obs.add c_disk_flushed (List.length entries);
-        Obs.event ~detail:t.name "cache.flush";
-        Mutex.protect t.lock (fun () ->
-            let stats =
-              match t.disk with
-              | Some d -> { d with path; flushed = List.length entries; file_bytes = bytes }
-              | None ->
-                  { path; loaded = 0; rejected = 0; flushed = List.length entries; file_bytes = bytes }
-            in
-            t.disk <- Some stats)
-    | Error msg -> Log.warn (fun m -> m "%s: could not flush to %s: %s" t.name path msg)
+    match plan with
+    | None -> Log.debug (fun m -> m "%s: store %s already current, skipping flush" t.name path)
+    | Some (entries, observed_dirty) -> (
+        match Store.save ~path ~tag entries with
+        | Ok bytes ->
+            Log.info (fun m -> m "%s: flushed %d entries to %s" t.name (List.length entries) path);
+            Obs.add c_disk_flushed (List.length entries);
+            Obs.event ~detail:t.name "cache.flush";
+            Mutex.protect t.lock (fun () ->
+                (* Mutations that raced the file write stay dirty and
+                   trigger the next flush. *)
+                t.dirty <- t.dirty - observed_dirty;
+                t.synced_path <- (if t.dirty = 0 then Some path else None);
+                let stats =
+                  match t.disk with
+                  | Some d -> { d with path; flushed = List.length entries; file_bytes = bytes }
+                  | None ->
+                      {
+                        path;
+                        loaded = 0;
+                        rejected = 0;
+                        flushed = List.length entries;
+                        file_bytes = bytes;
+                      }
+                in
+                t.disk <- Some stats)
+        | Error msg -> Log.warn (fun m -> m "%s: could not flush to %s: %s" t.name path msg))
   in
-  Mutex.protect registry_mutex (fun () -> persistent := (t.name, load, flush) :: !persistent)
+  let dirty () = Mutex.protect t.lock (fun () -> t.dirty) in
+  Mutex.protect registry_mutex (fun () ->
+      persistent := (t.name, load, flush, dirty) :: !persistent)
 
 let resolve_dir = function Some d -> d | None -> Control.dir ()
 
@@ -313,14 +378,19 @@ let registered_entries () = Mutex.protect registry_mutex (fun () -> List.rev !re
 let load_disk ?dir () =
   if Control.disk_enabled () then
     Obs.span "cache.load" @@ fun () ->
+    Mutex.protect disk_mutex @@ fun () ->
     let dir = resolve_dir dir in
-    List.iter (fun (_, load, _) -> load ~dir) (persistent_entries ())
+    List.iter (fun (_, load, _, _) -> load ~dir) (persistent_entries ())
 
 let flush_disk ?dir () =
   if Control.disk_enabled () then
     Obs.span "cache.flush" @@ fun () ->
+    Mutex.protect disk_mutex @@ fun () ->
     let dir = resolve_dir dir in
-    List.iter (fun (_, _, flush) -> flush ~dir) (persistent_entries ())
+    List.iter (fun (_, _, flush, _) -> flush ~dir) (persistent_entries ())
+
+let dirty_entries () =
+  List.fold_left (fun acc (_, _, _, dirty) -> acc + dirty ()) 0 (persistent_entries ())
 
 let snapshots () = List.map (fun (_, snap, _) -> snap ()) (registered_entries ())
 

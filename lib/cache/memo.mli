@@ -76,7 +76,21 @@ val flush_disk : ?dir:string -> unit -> unit
 (** Write every persistent table's entries to its store file under
     [dir] (default: {!Control.dir}) via temp-file + atomic rename,
     creating the directory if needed.  Failures are logged, never
-    raised.  No-op when {!Control.disk_enabled} is false. *)
+    raised.  No-op when {!Control.disk_enabled} is false.
+
+    Idempotent and safe to call at any time — periodically from a
+    long-running server, concurrently with lookups (table locks are
+    only held to snapshot entries, never during the file write), and
+    concurrently with other [flush_disk]/[load_disk] calls (disk
+    traffic is serialised process-wide).  A table whose store file
+    already matches its contents skips the write entirely, so calling
+    this on a quiet server costs one mutex round per table. *)
+
+val dirty_entries : unit -> int
+(** Total content mutations (inserts, evictions, clears) across all
+    persistent tables since their stores were last synced — [0] means
+    {!flush_disk} would write nothing.  Size-triggered flushers compare
+    this against a threshold. *)
 
 val clear : 'v t -> unit
 (** Drop all entries and reset the counters. *)

@@ -39,8 +39,10 @@ val run :
 (** Run every cell of [workloads × machines × iterations].  [machines]
     defaults to the scenario's machine; [iterations] defaults to
     [[None]] (each program as bundled); [jobs] defaults to the
-    scenario's [jobs] field and is clamped by {!Pool.run} ([<= 1] runs
-    each whole cell sequentially on the calling domain).  The scenario's
+    scenario's [jobs] field and must satisfy {!Pool.run}'s range
+    ([Config.resolve] already enforces it for user input; [jobs = 1]
+    runs each whole cell sequentially on the calling domain).  The
+    scenario's
     cache settings are honoured per cell; calibration, cells, and
     transfer pricing get obs spans ([batch.calibrate], [batch.cell],
     [batch.price]). *)

@@ -19,6 +19,8 @@ type t = {
   cache_dir : string option;
   trace : string option;
   verbose : bool;
+  listen : string;  (* serve: HOST:PORT or unix:PATH *)
+  flush_every : int;  (* serve: flush the disk cache every N requests *)
 }
 
 (* Mirrors Grophecy.init's defaults exactly: resolving a default config
@@ -44,6 +46,8 @@ let default =
     cache_dir = None;
     trace = None;
     verbose = false;
+    listen = "127.0.0.1:8080";
+    flush_every = 64;
   }
 
 let core_params (t : t) =
@@ -195,6 +199,15 @@ let protocol_group base value =
       | _ -> bad "protocol: unknown key %S" key)
     value
 
+let serve_group (t : t) value =
+  List.fold_left
+    (fun (t : t) (key, v) ->
+      match key with
+      | "listen" -> { t with listen = atom key v }
+      | "flush-every" -> { t with flush_every = get pos_int_of_atom key v }
+      | _ -> bad "serve: unknown key %S" key)
+    t (pairs_of "serve" value)
+
 let cache_group (t : t) value =
   List.fold_left
     (fun (t : t) (key, v) ->
@@ -217,6 +230,7 @@ let apply_entry (t : t) key value =
   | "trace" -> { t with trace = Some (atom key value) }
   | "verbose" -> { t with verbose = get bool_of_atom key value }
   | "cache" -> cache_group t value
+  | "serve" -> serve_group t value
   | "protocol" -> { t with protocol = Some (protocol_group t.protocol value) }
   | "analytic" -> { t with analytic = Some (analytic_group t.analytic value) }
   | "cpu" -> { t with cpu = Some (cpu_group t.cpu value) }
@@ -258,6 +272,8 @@ let env_vars =
     "GPP_TRACE";
     "GPP_VERBOSE";
     "GPP_TRANSFER_PLAN";
+    "GPP_LISTEN";
+    "GPP_FLUSH_EVERY";
   ]
 
 let apply_env ?(getenv = Sys.getenv_opt) (t : t) =
@@ -293,6 +309,10 @@ let apply_env ?(getenv = Sys.getenv_opt) (t : t) =
       (fun t plan -> { t with policy = Some (set_plan t.policy plan) })
       t
   in
+  let* t = scalar "GPP_LISTEN" (fun s -> Ok s) (fun t listen -> { t with listen }) t in
+  let* t =
+    scalar "GPP_FLUSH_EVERY" pos_int_of_atom (fun t flush_every -> { t with flush_every }) t
+  in
   Ok t
 
 (* --- flag layer ----------------------------------------------------- *)
@@ -308,6 +328,8 @@ type overrides = {
   o_trace : string option;
   o_verbose : bool;
   o_transfer_plan : Gpp_dataflow.Analyzer.plan_policy option;
+  o_listen : string option;
+  o_flush_every : int option;
 }
 
 let no_overrides =
@@ -322,6 +344,8 @@ let no_overrides =
     o_trace = None;
     o_verbose = false;
     o_transfer_plan = None;
+    o_listen = None;
+    o_flush_every = None;
   }
 
 let apply_overrides (t : t) (o : overrides) =
@@ -338,10 +362,27 @@ let apply_overrides (t : t) (o : overrides) =
     | Some plan -> { t with policy = Some (set_plan t.policy plan) }
     | None -> t
   in
+  let t = match o.o_listen with Some listen -> { t with listen } | None -> t in
+  let t = match o.o_flush_every with Some n -> { t with flush_every = n } | None -> t in
   if o.o_verbose then { t with verbose = true } else t
+
+(* Cross-layer validation, applied to the fully resolved value so a bad
+   setting is rejected no matter which layer (file, env, flag) supplied
+   it.  Pool.run would raise Invalid_argument on the same range; user
+   input must surface as a structured config error (exit 2) instead. *)
+let validate (t : t) =
+  if t.jobs < 1 || t.jobs > Pool.max_jobs then
+    Error
+      (Error.config
+         (Printf.sprintf "jobs = %d out of range (expected 1 .. %d)" t.jobs Pool.max_jobs))
+  else if t.flush_every < 1 then
+    Error
+      (Error.config
+         (Printf.sprintf "flush-every = %d out of range (expected >= 1)" t.flush_every))
+  else Ok t
 
 let resolve ?getenv ?file ?(overrides = no_overrides) () =
   let ( let* ) = Result.bind in
   let* t = match file with None -> Ok default | Some path -> apply_file default ~path in
   let* t = apply_env ?getenv t in
-  Ok (apply_overrides t overrides)
+  validate (apply_overrides t overrides)

@@ -40,6 +40,15 @@ type t = {
   cache_dir : string option;  (** Persistent-store directory override. *)
   trace : string option;  (** Chrome-trace output file ([--trace]). *)
   verbose : bool;
+  listen : string;
+      (** [grophecy serve] bind address: [HOST:PORT] (port [0] = pick a
+          free one) or [unix:PATH] ([--listen]/[GPP_LISTEN], default
+          [127.0.0.1:8080]). *)
+  flush_every : int;
+      (** [grophecy serve]: flush the persistent cache tier every N
+          requests ([--flush-every]/[GPP_FLUSH_EVERY], default 64), so a
+          killed server loses at most the last N requests' worth of
+          memoized work. *)
 }
 
 val default : t
@@ -82,6 +91,8 @@ type overrides = {
       (** [--transfer-plan]: overrides the [plan] field of the policy
           layer (config file [policy (plan ...)], environment
           [GPP_TRANSFER_PLAN]). *)
+  o_listen : string option;  (** [--listen] for [grophecy serve]. *)
+  o_flush_every : int option;  (** [--flush-every] for [grophecy serve]. *)
 }
 (** The command-line flag layer: [None]/[false] means "flag not given,
     keep the lower layers' value". *)
@@ -97,4 +108,6 @@ val resolve :
   unit ->
   (t, Error.t) result
 (** Full layered resolution: defaults, then [file], then environment,
-    then [overrides]. *)
+    then [overrides], then cross-layer validation ([jobs] within
+    {!Pool.max_jobs}, [flush_every >= 1]) — an out-of-range value is an
+    {!Error.Config} (exit 2) whichever layer supplied it. *)

@@ -40,7 +40,7 @@ let steal d =
   end
   else None
 
-let default_jobs () = Domain.recommended_domain_count ()
+let default_jobs () = min 64 (Domain.recommended_domain_count ())
 
 (* The OCaml 5 runtime degrades sharply past 128 domains; stay well
    clear so a wild --jobs value cannot wedge the process. *)
@@ -48,7 +48,12 @@ let max_jobs = 64
 
 let run ?(jobs = 1) n f =
   if n < 0 then invalid_arg "Pool.run: negative task count";
-  let jobs = max 1 (min (min jobs max_jobs) n) in
+  if jobs < 1 || jobs > max_jobs then
+    invalid_arg
+      (Printf.sprintf "Pool.run: jobs = %d out of range (1 .. %d)" jobs max_jobs);
+  (* Never spawn more workers than tasks; a surplus worker would only
+     spin through empty deques. *)
+  let jobs = min jobs (max 1 n) in
   if jobs <= 1 then
     for i = 0 to n - 1 do
       f i

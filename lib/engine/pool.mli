@@ -14,16 +14,20 @@
     safely after [run] returns. *)
 
 val run : ?jobs:int -> int -> (int -> unit) -> unit
-(** [jobs] defaults to 1 and is clamped to [1 .. min n 64].  With one
-    job the tasks run sequentially, in index order, on the calling
-    domain — no domain is spawned.  If a task raises, the remaining
-    tasks still run, and the first exception (with its backtrace) is
-    re-raised on the calling domain after all workers join. *)
+(** [jobs] defaults to 1 and must be in [1 .. max_jobs]; out-of-range
+    values raise [Invalid_argument] (callers resolving user input
+    should validate through [Config.resolve], which reports a
+    structured config error instead).  At most [n] workers are used.
+    With one job the tasks run sequentially, in index order, on the
+    calling domain — no domain is spawned.  If a task raises, the
+    remaining tasks still run, and the first exception (with its
+    backtrace) is re-raised on the calling domain after all workers
+    join. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — a sensible [jobs] for this
     machine. *)
 
 val max_jobs : int
-(** Hard upper clamp on [jobs] (64), kept well under the OCaml
-    runtime's 128-domain limit. *)
+(** Upper bound on [jobs] (64), kept well under the OCaml runtime's
+    128-domain limit.  Values above it are rejected, not clamped. *)

@@ -7,6 +7,39 @@
    at_exit handlers run in reverse order, so the final cache flush is
    still captured by the trace before the trailer is written. *)
 
+(* SIGPIPE kills the whole process by default, so `grophecy suite |
+   head` — or a server whose client hung up — dies mid-write instead of
+   seeing the EPIPE error on the write itself.  Ignoring the signal
+   turns the kill into a regular [Sys_error]/[Unix_error] that each
+   writer handles: the CLI exits 0 on a truncated stdout, the server
+   closes just that connection. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> (* no SIGPIPE on this platform *) ()
+
+(* With SIGPIPE ignored, a write to a closed peer surfaces as one of
+   these depending on the layer doing the writing (stdlib channels
+   stringify the errno; Format/Printf on a closed stdout raise the
+   Sys_error at flush time). *)
+let is_broken_pipe = function
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> true
+  | Sys_error msg ->
+      (* e.g. "Broken pipe" or "...: Broken pipe" from stdlib channels *)
+      let sub = "roken pipe" in
+      let n = String.length sub and m = String.length msg in
+      let rec at i = i + n <= m && (String.sub msg i n = sub || at (i + 1)) in
+      at 0
+  | _ -> false
+
+(* Once the pipe is broken, buffered stdout can never be delivered —
+   and Format.std_formatter's at_exit flush re-raises Sys_error on the
+   dead fd (Stdlib's own flush_all swallows it, Format's does not).
+   Point the formatter at a sink and close the channel so a subsequent
+   [exit] is clean. *)
+let discard_stdout () =
+  Format.pp_set_formatter_output_functions Format.std_formatter (fun _ _ _ -> ()) (fun () -> ());
+  close_out_noerr stdout
+
 let setup_logs verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());

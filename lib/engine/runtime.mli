@@ -15,6 +15,25 @@ val install : Config.t -> unit
     Registers the trace [at_exit] before the cache flush [at_exit] so
     the flush is still captured by the trace. *)
 
+val ignore_sigpipe : unit -> unit
+(** Ignore SIGPIPE process-wide (no-op where the signal doesn't exist),
+    so writing to a closed pipe or socket raises a catchable
+    [Sys_error] / [Unix_error EPIPE] instead of killing the process.
+    Every binary should call this before its first write; servers rely
+    on it to map a hung-up client to a per-connection close. *)
+
+val is_broken_pipe : exn -> bool
+(** Recognise the exceptions a write to a closed peer raises once
+    SIGPIPE is ignored ([EPIPE]/[ECONNRESET], or the stdlib's
+    ["Broken pipe"] [Sys_error]).  A CLI whose stdout was truncated
+    ([grophecy suite | head]) should treat these as success. *)
+
+val discard_stdout : unit -> unit
+(** After a broken pipe on stdout: silence [Format.std_formatter] and
+    close the channel so the interpreter's at_exit flushes cannot
+    re-raise on the dead descriptor.  Call just before [exit 0] when
+    treating a truncated stdout as success. *)
+
 val setup_logs : bool -> unit
 (** Just the log-level piece ([true] = debug). *)
 

@@ -2,6 +2,8 @@ type t = { id : string; title : string; body : string }
 
 let make ~id ~title ~body = { id; title; body }
 
-let print t =
+let render t =
   let rule = String.make 74 '=' in
-  Printf.printf "%s\n%s: %s\n%s\n%s\n" rule (String.uppercase_ascii t.id) t.title rule t.body
+  Printf.sprintf "%s\n%s: %s\n%s\n%s\n" rule (String.uppercase_ascii t.id) t.title rule t.body
+
+let print t = print_string (render t)

@@ -8,5 +8,10 @@ type t = {
 
 val make : id:string -> title:string -> body:string -> t
 
+val render : t -> string
+(** The exact bytes {!print} writes (header rule + body).  The serve
+    layer returns these verbatim so HTTP responses stay byte-equivalent
+    to CLI output. *)
+
 val print : t -> unit
-(** Write to stdout with a header rule. *)
+(** Write {!render} to stdout. *)

@@ -23,20 +23,15 @@ let set_enabled b = Atomic.set enabled b
 
 let is_enabled () = Atomic.get enabled
 
-(* Monotonic wall clock in microseconds.  [Unix.gettimeofday] can step
-   backwards under NTP adjustment; clamping to the last reading makes
-   the stream monotonic by construction, which the trace format and the
-   aggregator both rely on (negative durations render as garbage in
-   Perfetto).  The clamp is per-domain: each domain's event stream is
-   monotonic on its own trace track. *)
-let last_now_key = Domain.DLS.new_key (fun () -> ref 0.0)
-
-let now_us () =
-  let last_now = Domain.DLS.get last_now_key in
-  let t = Unix.gettimeofday () *. 1e6 in
-  let t = if t > !last_now then t else !last_now in
-  last_now := t;
-  t
+(* Monotonic clock in microseconds — the same clock source the bench
+   harness reads.  [Unix.gettimeofday] is NTP-steppable: in a process
+   that lives for days, a backwards step silently zeroes span durations
+   and a forwards step inflates them, and the old per-domain clamp only
+   papered over the backwards case (a span straddling a forward step
+   still measured the step, not the work).  CLOCK_MONOTONIC never
+   steps, so durations are honest across clock adjustments and every
+   domain shares one monotonic timeline. *)
+let now_us () = Int64.to_float (Monotonic_clock.now ()) /. 1e3
 
 (* Trace-track id for the calling domain.  The initial domain is 0, so
    single-domain traces keep the historical [tid = 1]. *)

@@ -20,8 +20,11 @@ val set_enabled : bool -> unit
 val is_enabled : unit -> bool
 
 val now_us : unit -> float
-(** Monotonic wall clock, microseconds.  Clamped so consecutive reads
-    never decrease. *)
+(** Monotonic clock, microseconds since an arbitrary epoch
+    (CLOCK_MONOTONIC — the bench harness reads the same source).
+    Immune to NTP steps: consecutive reads never decrease, and span
+    durations measure elapsed time even across wall-clock
+    adjustments. *)
 
 (** {1 Spans} *)
 

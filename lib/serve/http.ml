@@ -1,0 +1,239 @@
+(* Minimal blocking HTTP/1.1 over Unix file descriptors.  The server
+   side parses one request at a time off a connected socket; the client
+   side exists for the tests and the bench harness.  Both sides treat a
+   vanished peer (EPIPE / ECONNRESET / EOF mid-message) as the
+   per-connection [Closed] condition, never as a process-level error. *)
+
+exception Closed
+
+type request = {
+  meth : string;
+  path : string;
+  query : (string * string) list;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = { status : int; content_type : string; body : string }
+
+(* Hard limits: a prediction request is a short target plus at most a
+   small JSON body, so anything larger is garbage (or abuse), not load. *)
+let max_head_bytes = 16 * 1024
+let max_body_bytes = 4 * 1024 * 1024
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+let percent_decode s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (match s.[!i] with
+    | '%' when !i + 2 < n && hex_val s.[!i + 1] >= 0 && hex_val s.[!i + 2] >= 0 ->
+        Buffer.add_char b (Char.chr ((hex_val s.[!i + 1] * 16) + hex_val s.[!i + 2]));
+        i := !i + 2
+    | '+' -> Buffer.add_char b ' '
+    | c -> Buffer.add_char b c);
+    incr i
+  done;
+  Buffer.contents b
+
+let split_on_first c s =
+  match String.index_opt s c with
+  | None -> (s, None)
+  | Some i -> (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+
+let parse_query q =
+  String.split_on_char '&' q
+  |> List.filter (fun p -> p <> "")
+  |> List.map (fun pair ->
+         let k, v = split_on_first '=' pair in
+         (percent_decode k, percent_decode (Option.value v ~default:"")))
+
+let query_param (r : request) key =
+  List.assoc_opt key r.query
+
+let header (r : request) name =
+  List.assoc_opt (String.lowercase_ascii name) r.headers
+
+let wants_keep_alive (r : request) =
+  match header r "connection" with
+  | Some v -> String.lowercase_ascii (String.trim v) <> "close"
+  | None -> true
+
+(* Read with EOF and hangup discrimination.  [read_some] returns "" on
+   clean EOF and raises [Closed] on a reset. *)
+let rec read_some fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | 0 -> ""
+  | n -> Bytes.sub_string buf 0 n
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> raise Closed
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_some fd buf
+
+let find_head_end s =
+  (* Index just past "\r\n\r\n", or -1. *)
+  let n = String.length s in
+  let rec go i =
+    if i + 4 > n then -1
+    else if s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n' then i + 4
+    else go (i + 1)
+  in
+  go 0
+
+let parse_head head =
+  match String.split_on_char '\n' head |> List.map (fun l -> String.trim l) with
+  | [] | [ "" ] -> Error "empty request head"
+  | request_line :: header_lines -> (
+      match String.split_on_char ' ' request_line with
+      | [ meth; target; version ]
+        when version = "HTTP/1.1" || version = "HTTP/1.0" ->
+          let raw_path, raw_query = split_on_first '?' target in
+          let headers =
+            List.filter_map
+              (fun line ->
+                if line = "" then None
+                else
+                  let name, value = split_on_first ':' line in
+                  Some
+                    ( String.lowercase_ascii (String.trim name),
+                      String.trim (Option.value value ~default:"") ))
+              header_lines
+          in
+          Ok
+            ( String.uppercase_ascii meth,
+              percent_decode raw_path,
+              (match raw_query with None -> [] | Some q -> parse_query q),
+              headers )
+      | _ -> Error (Printf.sprintf "malformed request line %S" request_line))
+
+let read_request fd =
+  let chunk = Bytes.create 4096 in
+  let buf = Buffer.create 1024 in
+  let rec fill_head () =
+    let s = Buffer.contents buf in
+    let e = find_head_end s in
+    if e >= 0 then Ok (String.sub s 0 e, String.sub s e (String.length s - e))
+    else if Buffer.length buf > max_head_bytes then Error "request head too large"
+    else
+      match read_some fd chunk with
+      | "" -> if Buffer.length buf = 0 then Ok ("", "") else raise Closed
+      | piece ->
+          Buffer.add_string buf piece;
+          fill_head ()
+  in
+  match fill_head () with
+  | Error msg -> Error msg
+  | Ok ("", _) -> Ok None (* clean close between requests *)
+  | Ok (head, rest) -> (
+      match parse_head head with
+      | Error msg -> Error msg
+      | Ok (meth, path, query, headers) -> (
+          let content_length =
+            match List.assoc_opt "content-length" headers with
+            | None -> Ok 0
+            | Some v -> (
+                match int_of_string_opt (String.trim v) with
+                | Some n when n >= 0 && n <= max_body_bytes -> Ok n
+                | Some _ -> Error "content-length out of range"
+                | None -> Error "malformed content-length")
+          in
+          match content_length with
+          | Error msg -> Error msg
+          | Ok wanted ->
+              let body = Buffer.create wanted in
+              Buffer.add_string body rest;
+              while Buffer.length body < wanted do
+                match read_some fd chunk with
+                | "" -> raise Closed
+                | piece -> Buffer.add_string body piece
+              done;
+              let body = Buffer.contents body in
+              let body =
+                if String.length body > wanted then String.sub body 0 wanted else body
+              in
+              Ok (Some { meth; path; query; headers; body })))
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | _ -> "Status"
+
+let response ?(content_type = "text/plain; charset=utf-8") status body =
+  { status; content_type; body }
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < n do
+    match Unix.write fd b !pos (n - !pos) with
+    | written -> pos := !pos + written
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> raise Closed
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let write_response fd ~keep_alive { status; content_type; body } =
+  let head =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: %s\r\n\r\n"
+      status (status_text status) content_type (String.length body)
+      (if keep_alive then "keep-alive" else "close")
+  in
+  write_all fd (head ^ body)
+
+(* --- tiny blocking client (tests and bench only) --- *)
+
+let read_to_eof fd =
+  let chunk = Bytes.create 4096 in
+  let buf = Buffer.create 1024 in
+  let rec go () =
+    match read_some fd chunk with
+    | "" -> Buffer.contents buf
+    | piece ->
+        Buffer.add_string buf piece;
+        go ()
+  in
+  go ()
+
+let request_fd fd ?(meth = "GET") ?(body = "") target =
+  let head =
+    Printf.sprintf "%s %s HTTP/1.1\r\nHost: grophecy\r\nConnection: close\r\n%s\r\n" meth target
+      (if body = "" then "" else Printf.sprintf "Content-Length: %d\r\n" (String.length body))
+  in
+  write_all fd (head ^ body);
+  (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error (_, _, _) -> ());
+  let raw = read_to_eof fd in
+  let e = find_head_end raw in
+  if e < 0 then Error "truncated response head"
+  else
+    let head = String.sub raw 0 e in
+    let resp_body = String.sub raw e (String.length raw - e) in
+    match String.split_on_char '\n' head |> List.map String.trim with
+    | status_line :: header_lines -> (
+        match String.split_on_char ' ' status_line with
+        | _http :: code :: _ -> (
+            match int_of_string_opt code with
+            | None -> Error (Printf.sprintf "malformed status line %S" status_line)
+            | Some status ->
+                let headers =
+                  List.filter_map
+                    (fun line ->
+                      if line = "" then None
+                      else
+                        let name, value = split_on_first ':' line in
+                        Some
+                          ( String.lowercase_ascii (String.trim name),
+                            String.trim (Option.value value ~default:"") ))
+                    header_lines
+                in
+                Ok (status, headers, resp_body))
+        | _ -> Error (Printf.sprintf "malformed status line %S" status_line))
+    | [] -> Error "empty response head"

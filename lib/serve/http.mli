@@ -1,0 +1,70 @@
+(** Minimal self-contained HTTP/1.1 layer for the prediction service.
+
+    Exactly what [grophecy serve] needs and nothing more: blocking
+    request parsing off a connected socket (request line, headers,
+    [Content-Length] bodies), percent-decoding for targets (workload
+    keys contain spaces and slashes), and a response writer that maps a
+    hung-up peer to the {!Closed} exception so the server closes that
+    connection instead of dying.  No external dependencies, in the
+    spirit of the in-house sexp and Chrome-trace layers.
+
+    A tiny blocking client ({!request_fd}) backs the tests and the
+    bench harness. *)
+
+exception Closed
+(** Writing to (or reading from) a peer that hung up.  Per-connection
+    condition, never fatal to the server. *)
+
+type request = {
+  meth : string;  (** Verb, uppercased ([GET], [POST], ...). *)
+  path : string;  (** Percent-decoded path, no query string. *)
+  query : (string * string) list;  (** Decoded key/value pairs, in order. *)
+  headers : (string * string) list;  (** Names lowercased, values trimmed. *)
+  body : string;  (** [Content-Length] bytes ([""] when absent). *)
+}
+
+val query_param : request -> string -> string option
+(** First value of a query key. *)
+
+val header : request -> string -> string option
+(** Header value by (case-insensitive) name. *)
+
+val wants_keep_alive : request -> bool
+(** HTTP/1.1 default keep-alive unless [Connection: close]. *)
+
+val read_request :
+  Unix.file_descr -> (request option, string) result
+(** Parse one request off [fd].  [Ok None] — the peer closed cleanly
+    between requests; [Error msg] — malformed or oversized input (the
+    connection should get a 400 and close); raises {!Closed} if the
+    peer vanishes mid-request. *)
+
+val percent_decode : string -> string
+(** RFC 3986 percent-decoding, plus [+] → space (form/query style).
+    Malformed escapes are kept verbatim. *)
+
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+}
+
+val response : ?content_type:string -> int -> string -> response
+(** [response status body] with [content_type] defaulting to
+    [text/plain; charset=utf-8]. *)
+
+val status_text : int -> string
+
+val write_response :
+  Unix.file_descr -> keep_alive:bool -> response -> unit
+(** Serialise and send; raises {!Closed} if the peer hung up. *)
+
+val request_fd :
+  Unix.file_descr ->
+  ?meth:string ->
+  ?body:string ->
+  string ->
+  (int * (string * string) list * string, string) result
+(** Blocking test/bench client: send [meth] (default [GET]) for
+    [target] over the connected [fd] with [Connection: close], read the
+    full response, return (status, headers, body). *)

@@ -25,7 +25,37 @@ let test_pool_covers_indices () =
           if i < n && c <> 1 then Alcotest.failf "jobs=%d: index %d ran %d times" jobs i c;
           if i >= n && c <> 0 then Alcotest.failf "jobs=%d: phantom index %d" jobs i)
         hits)
-    [ (1, 100); (2, 100); (8, 100); (3, 1); (4, 0); (1000, 50) ]
+    [ (1, 100); (2, 100); (8, 100); (3, 1); (4, 0); (64, 50) ]
+
+(* Out-of-range worker counts are rejected, not silently clamped:
+   --jobs 200 must not quietly run on 64 domains. *)
+let test_pool_rejects_out_of_range_jobs () =
+  List.iter
+    (fun jobs ->
+      match Pool.run ~jobs 10 (fun _ -> ()) with
+      | () -> Alcotest.failf "jobs=%d: expected Invalid_argument" jobs
+      | exception Invalid_argument _ -> ())
+    [ 0; -1; Pool.max_jobs + 1; 1000 ]
+
+(* The same range is enforced at the config layer, as a structured
+   config error (exit 2) whichever layer supplied the value. *)
+let test_config_rejects_out_of_range_jobs () =
+  let getenv = function "GPP_JOBS" -> Some "200" | _ -> None in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+    at 0
+  in
+  (match Config.resolve ~getenv () with
+  | Ok _ -> Alcotest.fail "GPP_JOBS=200: expected a config error"
+  | Error e ->
+      Alcotest.(check int) "exit code" 2 (Gpp_core.Error.exit_code e);
+      let msg = Gpp_core.Error.message e in
+      Alcotest.(check bool) ("mentions range: " ^ msg) true (contains ~sub:"out of range" msg));
+  let overrides = { Config.no_overrides with o_jobs = Some 0 } in
+  match Config.resolve ~getenv:(fun _ -> None) ~overrides () with
+  | Ok _ -> Alcotest.fail "--jobs 0: expected a config error"
+  | Error e -> Alcotest.(check int) "exit code" 2 (Gpp_core.Error.exit_code e)
 
 let test_pool_sequential_order () =
   let seen = ref [] in
@@ -194,6 +224,10 @@ let () =
           Alcotest.test_case "sequential order" `Quick test_pool_sequential_order;
           Alcotest.test_case "propagates exception" `Quick test_pool_propagates_exception;
           Alcotest.test_case "default jobs" `Quick test_pool_default_jobs;
+          Alcotest.test_case "rejects out-of-range jobs" `Quick
+            test_pool_rejects_out_of_range_jobs;
+          Alcotest.test_case "config rejects out-of-range jobs" `Quick
+            test_config_rejects_out_of_range_jobs;
         ] );
       ( "memo",
         [ Alcotest.test_case "domain stress" `Quick test_memo_domain_stress ] );

@@ -225,6 +225,98 @@ let test_memo_schema_bump_invalidates () =
   Alcotest.(check bool) "stale schema forces a recompute" true !computed;
   Alcotest.(check string) "fresh value" "fresh" v
 
+(* Incremental flush: a periodic flush mid-run persists everything
+   inserted so far, so a kill (no exit flush) only loses the entries
+   computed after the last flush — not everything since startup. *)
+let test_memo_incremental_flush_survives_kill () =
+  Control.set_enabled true;
+  Control.set_disk_enabled true;
+  let dir = Filename.concat tmp_dir "kill" in
+  let memo : int Memo.t = Memo.create ~name:"test.kill" ~capacity:16 () in
+  Memo.persist memo;
+  ignore (Memo.find_or_add memo ~key:"a" (fun () -> 1));
+  ignore (Memo.find_or_add memo ~key:"b" (fun () -> 2));
+  Memo.flush_disk ~dir ();
+  (* Computed after the periodic flush, then the process is killed —
+     no further flush ever runs. *)
+  ignore (Memo.find_or_add memo ~key:"c" (fun () -> 3));
+  (* "Restart": a fresh table under the same name reloads the store. *)
+  let reborn : int Memo.t = Memo.create ~name:"test.kill" ~capacity:16 () in
+  Memo.persist reborn;
+  Memo.load_disk ~dir ();
+  let recompute = ref 0 in
+  let a = Memo.find_or_add reborn ~key:"a" (fun () -> incr recompute; 0) in
+  let b = Memo.find_or_add reborn ~key:"b" (fun () -> incr recompute; 0) in
+  Alcotest.(check int) "flushed entries survive the kill" 0 !recompute;
+  Alcotest.(check (pair int int)) "values intact" (1, 2) (a, b);
+  let c = Memo.find_or_add reborn ~key:"c" (fun () -> incr recompute; 33) in
+  Alcotest.(check int) "only the unflushed tail is lost" 1 !recompute;
+  Alcotest.(check int) "tail recomputes fine" 33 c
+
+(* flush_disk is idempotent: with no mutations since the last flush the
+   store file is not rewritten at all (observable by tampering with the
+   file — a skipped flush leaves the tampering in place), and a single
+   mutation re-arms it. *)
+let test_memo_flush_skips_when_clean () =
+  Control.set_enabled true;
+  Control.set_disk_enabled true;
+  let dir = Filename.concat tmp_dir "idem" in
+  let memo : int Memo.t = Memo.create ~name:"test.idem" ~capacity:16 () in
+  Memo.persist memo;
+  ignore (Memo.find_or_add memo ~key:"k" (fun () -> 7));
+  Alcotest.(check bool) "mutations pending before flush" true (Memo.dirty_entries () > 0);
+  Memo.flush_disk ~dir ();
+  Alcotest.(check int) "flush syncs every table" 0 (Memo.dirty_entries ());
+  let path = Store.path ~dir ~table:"test.idem" in
+  write_file path "tampered";
+  Memo.flush_disk ~dir ();
+  Alcotest.(check string) "clean flush skips the rewrite" "tampered" (read_file path);
+  ignore (Memo.find_or_add memo ~key:"k2" (fun () -> 8));
+  Memo.flush_disk ~dir ();
+  Alcotest.(check bool) "one mutation re-arms the flush" true (read_file path <> "tampered");
+  let r = Store.load ~path ~tag:(Printf.sprintf "test.idem;schema=1;ocaml=%s;word=%d" Sys.ocaml_version Sys.word_size) in
+  Alcotest.(check int) "rewritten store holds both entries" 2 (List.length r.Store.entries)
+
+(* Lookups and inserts proceed while another domain flushes in a loop:
+   no corruption, no deadlock, and the final flush captures the full
+   keyspace. *)
+let test_memo_flush_concurrent_with_lookups () =
+  Control.set_enabled true;
+  Control.set_disk_enabled true;
+  let dir = Filename.concat tmp_dir "conc" in
+  let memo : int Memo.t = Memo.create ~name:"test.conc" ~capacity:128 () in
+  Memo.persist memo;
+  let stop = Atomic.make false in
+  let flushes = Atomic.make 0 in
+  let flusher =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Memo.flush_disk ~dir ();
+          Atomic.incr flushes
+        done)
+  in
+  (* Keep the lookup traffic going until several flushes have landed
+     underneath it, so the two genuinely overlap. *)
+  let i = ref 0 in
+  while Atomic.get flushes < 3 && !i < 5_000_000 do
+    let k = !i mod 100 in
+    let v = Memo.find_or_add memo ~key:(Printf.sprintf "k%d" k) (fun () -> k * 3) in
+    if v <> k * 3 then failwith (Printf.sprintf "corrupt value for k%d: %d" k v);
+    incr i
+  done;
+  Atomic.set stop true;
+  Domain.join flusher;
+  Alcotest.(check bool) "flusher made progress" true (Atomic.get flushes > 0);
+  Memo.flush_disk ~dir ();
+  let reborn : int Memo.t = Memo.create ~name:"test.conc" ~capacity:128 () in
+  Memo.persist reborn;
+  Memo.load_disk ~dir ();
+  let recompute = ref 0 in
+  for k = 0 to 99 do
+    ignore (Memo.find_or_add reborn ~key:(Printf.sprintf "k%d" k) (fun () -> incr recompute; k * 3))
+  done;
+  Alcotest.(check int) "final flush captured the full keyspace" 0 !recompute
+
 let test_no_cache_disables_disk () =
   Control.set_enabled true;
   Control.set_disk_enabled true;
@@ -373,6 +465,9 @@ let () =
         [
           t "restart round-trip is bit-identical" test_memo_restart_roundtrip;
           t "schema bump invalidates" test_memo_schema_bump_invalidates;
+          t "incremental flush survives a kill" test_memo_incremental_flush_survives_kill;
+          t "clean flush skips the rewrite" test_memo_flush_skips_when_clean;
+          t "flush concurrent with lookups" test_memo_flush_concurrent_with_lookups;
           t "--no-cache disables the disk tier" test_no_cache_disables_disk;
         ] );
       ("resolution", [ t "cache-dir chain" test_dir_resolution ]);
