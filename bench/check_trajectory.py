@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Bench-trajectory guard: compare fresh BENCH_*.json files against the
+committed copies and fail on order-of-magnitude regressions.
+
+CI runners are noisy, so this is a tripwire, not a benchmark: a metric
+may drift inside a wide tolerance band (warn only); crossing the band
+(default 2x on wall-time metrics) fails the build.  Usage:
+
+    python3 bench/check_trajectory.py BASELINE_DIR FRESH_DIR
+    python3 bench/check_trajectory.py --self-test
+
+Each directory holds BENCH_batch.json / BENCH_analysis.json /
+BENCH_serve.json (missing files are skipped with a warning, so the
+guard keeps working if a bench leg is ever split out).
+
+Metric direction matters: for times (seconds / ms) a regression is the
+fresh value growing; for rates (req/s) and speedups it is the fresh
+value shrinking.  A "note" field in a report marks its speedup as
+non-comparable (e.g. a 1-core runner timing a 2-domain pool measures
+scheduling overhead, not scaling) — noted speedups are reported but
+never enforced.
+"""
+
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+FAIL_RATIO = 2.0  # fail when a metric regresses by more than this
+WARN_RATIO = 1.25  # mention anything drifting past this
+EPSILON = 1e-3  # ignore sub-millisecond absolute noise entirely
+
+# (file, metric, direction); direction "lower" = lower is better.
+METRICS = [
+    ("BENCH_batch.json", "sequential_s", "lower"),
+    ("BENCH_batch.json", "parallel_s", "lower"),
+    ("BENCH_batch.json", "speedup", "higher"),
+    ("BENCH_analysis.json", "plan_conservative_ms", "lower"),
+    ("BENCH_analysis.json", "plan_minimal_ms", "lower"),
+    ("BENCH_analysis.json", "lint_ms", "lower"),
+    ("BENCH_analysis.json", "iteration_scaling", "lower"),
+    ("BENCH_serve.json", "cold_first_request_s", "lower"),
+    ("BENCH_serve.json", "warm_ms_per_request", "lower"),
+    ("BENCH_serve.json", "warm_requests_per_s", "higher"),
+    ("BENCH_serve.json", "healthz_requests_per_s", "higher"),
+]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+
+
+def regression_ratio(direction, baseline, fresh):
+    """How many times worse the fresh value is (1.0 = unchanged)."""
+    if baseline <= 0 or fresh <= 0:
+        return 1.0
+    return fresh / baseline if direction == "lower" else baseline / fresh
+
+
+def check(baseline_dir, fresh_dir):
+    failures, warnings = [], []
+    reports = {}
+    for name in sorted({m[0] for m in METRICS}):
+        base = load(Path(baseline_dir) / name)
+        new = load(Path(fresh_dir) / name)
+        if base is None or new is None:
+            warnings.append(f"{name}: missing from "
+                            f"{'baseline' if base is None else 'fresh run'}, skipped")
+            continue
+        reports[name] = (base, new)
+
+    for name, metric, direction in METRICS:
+        if name not in reports:
+            continue
+        base, new = reports[name]
+        if metric not in base or metric not in new:
+            warnings.append(f"{name}:{metric}: absent, skipped")
+            continue
+        b, f = float(base[metric]), float(new[metric])
+        noted = metric == "speedup" and ("note" in base or "note" in new)
+        if abs(f - b) <= EPSILON:
+            continue
+        ratio = regression_ratio(direction, b, f)
+        line = f"{name}:{metric}: {b:g} -> {f:g} ({ratio:.2f}x worse)"
+        if noted:
+            warnings.append(line + " [not enforced: " +
+                            (new.get("note") or base.get("note")) + "]")
+        elif ratio > FAIL_RATIO:
+            failures.append(line)
+        elif ratio > WARN_RATIO:
+            warnings.append(line)
+
+    for w in warnings:
+        print(f"warning: {w}")
+    for f in failures:
+        print(f"FAIL: {f}")
+    if failures:
+        print(f"bench trajectory: {len(failures)} metric(s) regressed past "
+              f"{FAIL_RATIO}x; see above")
+        return 1
+    print(f"bench trajectory: ok ({len(warnings)} warning(s))")
+    return 0
+
+
+def self_test():
+    """Prove the guard fires: inject a fake 3x wall-time regression and a
+    noted speedup drop, and require exactly the right verdicts."""
+    base = {
+        "BENCH_batch.json": {
+            "benchmark": "batch-matrix", "cells": 20, "jobs": 2, "host_cores": 1,
+            "sequential_s": 10.0, "parallel_s": 12.0, "speedup": 0.833,
+            "identical_tsv": True,
+            "note": "host has 1 core(s) for 2 domains",
+        },
+        "BENCH_analysis.json": {
+            "benchmark": "analysis", "plan_conservative_ms": 0.125,
+            "plan_minimal_ms": 0.190, "lint_ms": 1.5, "iteration_scaling": 1.1,
+        },
+        "BENCH_serve.json": {
+            "benchmark": "serve", "cold_first_request_s": 5.0,
+            "warm_ms_per_request": 0.2, "warm_requests_per_s": 5000.0,
+            "healthz_requests_per_s": 9000.0,
+        },
+    }
+    import copy
+
+    ok = copy.deepcopy(base)
+    ok["BENCH_serve.json"]["warm_requests_per_s"] = 4500.0  # mild drift: warn at most
+    regressed = copy.deepcopy(base)
+    regressed["BENCH_batch.json"]["sequential_s"] = 30.0  # 3x: must fail
+    regressed["BENCH_batch.json"]["speedup"] = 0.4  # noted: must NOT fail
+    regressed["BENCH_serve.json"]["warm_requests_per_s"] = 3500.0  # 1.43x: warn
+
+    def write_all(d, reports):
+        for name, data in reports.items():
+            (Path(d) / name).write_text(json.dumps(data))
+
+    with tempfile.TemporaryDirectory() as b, tempfile.TemporaryDirectory() as f:
+        write_all(b, base)
+        write_all(f, ok)
+        print("-- self-test: healthy run must pass")
+        if check(b, f) != 0:
+            print("self-test FAILED: healthy run was rejected")
+            return 1
+        write_all(f, regressed)
+        print("-- self-test: injected 3x regression must fail")
+        if check(b, f) != 1:
+            print("self-test FAILED: injected regression was not caught")
+            return 1
+    print("self-test: ok (guard fires on regression, tolerates noise)")
+    return 0
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) != 3:
+        print(__doc__.strip().splitlines()[0])
+        print("usage: check_trajectory.py BASELINE_DIR FRESH_DIR | --self-test")
+        return 2
+    return check(argv[1], argv[2])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

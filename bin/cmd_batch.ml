@@ -7,19 +7,26 @@ module Engine = Gpp_engine
    (the CI batch-matrix leg diffs it against a committed golden file).
    Per-cell failures become rows, not aborts; exit 1 if any cell failed. *)
 
-let run machines workloads iterations_list out jobs seed config_file no_cache cache_dir trace
-    verbose =
+let run machines machines_file workloads iterations_list out jobs seed config_file no_cache
+    cache_dir trace verbose =
   match
-    Cmd_common.scenario ?seed ?jobs ?config_file ~no_cache ~cache_dir ~trace ~verbose ()
+    Cmd_common.scenario ?machines_file ?seed ?jobs ?config_file ~no_cache ~cache_dir ~trace
+      ~verbose ()
   with
   | Error e -> Cmd_common.fail e
-  | Ok c ->
+  | Ok c -> (
+      (* The machine axis arrives as names and resolves against the
+         scenario's final catalog, so --machines/config-file machines
+         are valid axis values. *)
+      match Cmd_common.resolve_machines c machines with
+      | Error e -> Cmd_common.fail e
+      | Ok resolved ->
       let workloads =
         match workloads with
         | [] -> List.map Gpp_workloads.Registry.key Gpp_workloads.Registry.paper_instances
         | ws -> ws
       in
-      let machines = match machines with [] -> None | ms -> Some ms in
+      let machines = match resolved with [] -> None | ms -> Some ms in
       let iterations =
         match iterations_list with [] -> [ None ] | l -> List.map Option.some l
       in
@@ -38,7 +45,7 @@ let run machines workloads iterations_list out jobs seed config_file no_cache ca
               Printf.eprintf "batch: %s on %s failed: %s\n" cell.workload
                 cell.machine.Gpp_arch.Machine.name (Engine.Error.message e))
             failures;
-          1)
+          1))
 
 let cmd =
   let doc =
@@ -55,12 +62,11 @@ let cmd =
   in
   let machines_arg =
     Arg.(
-      value
-      & opt_all Cmd_common.machine_conv []
-      & info [ "machine"; "m" ]
+      value & opt_all string []
+      & info [ "machine"; "m" ] ~docv:"NAME"
           ~doc:
-            "Machine preset to include in the matrix (repeatable).  Defaults to the scenario's \
-             machine.")
+            "Machine to include in the matrix by catalog id (repeatable; see $(b,grophecy \
+             list)).  Defaults to the scenario's machine.")
   in
   let iterations_arg =
     Arg.(
@@ -88,6 +94,7 @@ let cmd =
   in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const run $ machines_arg $ workloads_arg $ iterations_arg $ out_arg $ jobs_arg
-      $ Cmd_common.seed_opt_arg $ Cmd_common.config_file_arg $ Cmd_common.no_cache_arg
-      $ Cmd_common.cache_dir_arg $ Cmd_common.trace_file_arg $ Cmd_common.verbose_arg)
+      const run $ machines_arg $ Cmd_common.machines_file_arg $ workloads_arg $ iterations_arg
+      $ out_arg $ jobs_arg $ Cmd_common.seed_opt_arg $ Cmd_common.config_file_arg
+      $ Cmd_common.no_cache_arg $ Cmd_common.cache_dir_arg $ Cmd_common.trace_file_arg
+      $ Cmd_common.verbose_arg)

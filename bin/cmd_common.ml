@@ -50,13 +50,25 @@ let machine_conv =
   Arg.conv (parse, print)
 
 let machine_doc =
-  "Target machine preset: $(b,argonne) (the paper's testbed), $(b,section2b), $(b,gt200), or \
-   $(b,modern)."
+  "Target machine by catalog id: the paper-era presets ($(b,argonne), $(b,section2b), \
+   $(b,gt200), $(b,modern)) or any zoo machine ($(b,kepler) .. $(b,hopper)); run \
+   $(b,grophecy list) for the full catalog."
 
 (* Pipeline commands: the flag is an *override layer*, so "not given"
-   must be distinguishable from "given the default value". *)
+   must be distinguishable from "given the default value".  It stays a
+   bare name — resolution happens against the scenario's final catalog,
+   so it can name a machine that --machines (or the config file, or
+   GPP_MACHINES) defined. *)
 let machine_opt_arg =
-  Arg.(value & opt (some machine_conv) None & info [ "machine"; "m" ] ~doc:machine_doc)
+  Arg.(value & opt (some string) None & info [ "machine"; "m" ] ~docv:"NAME" ~doc:machine_doc)
+
+let machines_file_arg =
+  let doc =
+    "Merge a machine-descriptor catalog file over the builtin catalog (and over the config \
+     file's and $(b,GPP_MACHINES)'s machines).  Descriptors with a known id replace that \
+     machine; new ids extend the catalog."
+  in
+  Arg.(value & opt (some string) None & info [ "machines" ] ~docv:"FILE" ~doc)
 
 (* Simple commands keep their concrete defaults (no config/env layers). *)
 let machine_arg =
@@ -99,6 +111,20 @@ let transfer_plan_arg =
 
 let session_of machine seed = Gpp_core.Grophecy.init ~seed machine
 
+(* Resolve a list of machine names against a resolved scenario's
+   catalog, keeping flag order.  Shared by the matrix commands (batch,
+   crossval). *)
+let resolve_machines (c : Config.t) names =
+  List.fold_left
+    (fun acc name ->
+      match acc with
+      | Error _ as e -> e
+      | Ok ms -> (
+          match Config.find_machine c name with
+          | Ok m -> Ok (ms @ [ m ])
+          | Error m -> Error (Error.config m)))
+    (Ok []) names
+
 (* Print a structured error the way the CLI always has — the bare
    message on stderr — and map it to the documented exit-code space. *)
 let fail e =
@@ -108,11 +134,12 @@ let fail e =
 (* Layered scenario resolution + process-wide setup for the pipeline
    commands.  Flags arrive as options ([None] = not given) so lower
    layers show through. *)
-let scenario ?machine ?seed ?runs ?iterations ?jobs ?transfer_plan ?listen ?flush_every
-    ?config_file ~no_cache ~cache_dir ~trace ~verbose () =
+let scenario ?machines_file ?machine ?seed ?runs ?iterations ?jobs ?transfer_plan ?listen
+    ?flush_every ?config_file ~no_cache ~cache_dir ~trace ~verbose () =
   let overrides =
     {
-      Config.o_machine = machine;
+      Config.o_machines_file = machines_file;
+      o_machine = machine;
       o_seed = seed;
       o_runs = runs;
       o_iterations = iterations;

@@ -1,0 +1,89 @@
+open Cmdliner
+module Engine = Gpp_engine
+module Crossval = Gpp_experiments.Crossval
+
+(* grophecy crossval — calibrate (alpha, beta) on every machine of a
+   set, score each calibration against every other machine's transfers
+   and end-to-end projections, and render the ordered-pair matrix as a
+   stable TSV (the CI cross-machine leg diffs it against a committed
+   golden file).  Same-machine rows are the accuracy baseline. *)
+
+let run machines machines_file workloads max_mib out summary seed config_file no_cache cache_dir
+    trace verbose =
+  match
+    Cmd_common.scenario ?machines_file ?seed ?config_file ~no_cache ~cache_dir ~trace ~verbose ()
+  with
+  | Error e -> Cmd_common.fail e
+  | Ok c -> (
+      match Cmd_common.resolve_machines c machines with
+      | Error e -> Cmd_common.fail e
+      | Ok resolved -> (
+          let machines =
+            match resolved with [] -> c.Engine.Config.machines | ms -> ms
+          in
+          let workloads = match workloads with [] -> None | ws -> Some ws in
+          match
+            Crossval.run ?protocol:c.Engine.Config.protocol
+              ?analytic_params:c.Engine.Config.analytic ?space:c.Engine.Config.space
+              ?policy:c.Engine.Config.policy ~seed:c.Engine.Config.seed ?workloads
+              ~max_bytes:(max_mib * Gpp_util.Units.mib) ~machines ()
+          with
+          | Error e -> Cmd_common.fail e
+          | Ok result ->
+              let tsv = Crossval.to_tsv result in
+              (match out with
+              | None -> print_string tsv
+              | Some path ->
+                  Out_channel.with_open_text path (fun oc -> output_string oc tsv);
+                  Printf.printf "wrote %d pair(s) to %s\n"
+                    (List.length result.Crossval.pairs)
+                    path);
+              if summary then Format.printf "%a@." Crossval.pp_summary result;
+              0))
+
+let cmd =
+  let doc =
+    "Calibrate the transfer model on every machine and score each calibration on every other \
+     machine (transfer sweep and end-to-end projections), as an ordered-pair TSV matrix."
+  in
+  let machines_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "machine"; "m" ] ~docv:"NAME"
+          ~doc:
+            "Machine to include by catalog id (repeatable; see $(b,grophecy list)).  Defaults \
+             to the entire catalog.")
+  in
+  let workloads_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "workload"; "w" ] ~docv:"WORKLOAD"
+          ~doc:
+            "Workload instance ($(b,app/size)) for the end-to-end leg (repeatable).  Defaults \
+             to a small transfer- and kernel-bound mix.")
+  in
+  let max_mib_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-mib" ] ~docv:"MIB"
+          ~doc:"Largest transfer of the power-of-two sweep, in MiB.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Write the TSV to $(docv) instead of stdout.")
+  in
+  let summary_arg =
+    Arg.(
+      value & flag
+      & info [ "summary" ]
+          ~doc:"Also print the accuracy/scope summary (same-machine residual, cross-machine \
+                decay, pairs within a 10% end-to-end budget).")
+  in
+  Cmd.v (Cmd.info "crossval" ~doc)
+    Term.(
+      const run $ machines_arg $ Cmd_common.machines_file_arg $ workloads_arg $ max_mib_arg
+      $ out_arg $ summary_arg $ Cmd_common.seed_opt_arg $ Cmd_common.config_file_arg
+      $ Cmd_common.no_cache_arg $ Cmd_common.cache_dir_arg $ Cmd_common.trace_file_arg
+      $ Cmd_common.verbose_arg)

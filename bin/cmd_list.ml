@@ -1,6 +1,7 @@
 open Cmdliner
+module Machine = Gpp_arch.Machine
 
-let run () =
+let list_workloads () =
   Printf.printf "%-24s %s\n" "WORKLOAD" "KERNELS";
   List.iter
     (fun (inst : Gpp_workloads.Registry.instance) ->
@@ -9,9 +10,38 @@ let run () =
         (Gpp_workloads.Registry.key inst)
         (String.concat ", "
            (List.map (fun (k : Gpp_skeleton.Ir.kernel) -> k.name) program.kernels)))
-    Gpp_workloads.Registry.all;
-  0
+    Gpp_workloads.Registry.all
+
+let list_machines catalog =
+  Printf.printf "%-16s %-12s %-9s %-26s %s\n" "MACHINE" "LINK" "STAGING" "GPU" "LINK-BW";
+  List.iter
+    (fun (m : Machine.t) ->
+      Printf.printf "%-16s %-12s %-9s %-26s %s\n" m.id
+        (Gpp_arch.Pcie_spec.link_label m.pcie)
+        (Machine.staging_name m.staging)
+        m.gpu.Gpp_arch.Gpu.name
+        (Format.asprintf "%a" Gpp_util.Units.pp_bandwidth
+           (Gpp_arch.Pcie_spec.effective_bandwidth m.pcie)))
+    catalog
+
+let run machines_file =
+  (* Honor the same sources as the pipeline commands: --machines beats
+     GPP_MACHINES beats the builtin catalog. *)
+  let file =
+    match machines_file with Some _ -> machines_file | None -> Sys.getenv_opt "GPP_MACHINES"
+  in
+  match
+    match file with
+    | None -> Ok Machine.catalog
+    | Some path -> Gpp_engine.Machines.load_file ~base:Machine.catalog path
+  with
+  | Error e -> Cmd_common.fail e
+  | Ok catalog ->
+      list_workloads ();
+      print_newline ();
+      list_machines catalog;
+      0
 
 let cmd =
-  let doc = "List the bundled workload skeletons." in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+  let doc = "List the bundled workload skeletons and the machine catalog." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ Cmd_common.machines_file_arg)

@@ -9,6 +9,7 @@
      analyze            full prediction vs simulated-measurement report
      advise             break-even porting verdict
      batch              workload × machine × iterations matrix, TSV output
+     crossval           cross-machine calibration accuracy matrix, TSV output
      export-skel        dump a workload as a textual skeleton
      trace              per-kernel Chrome-trace export / trace selftest
      predict-transfer   price a single transfer with the calibrated model
@@ -16,9 +17,9 @@
      cache              inspect/verify/clear the persistent cache
      serve              long-running HTTP prediction service
 
-   The pipeline commands (project, analyze, advise, batch, experiment)
-   resolve a layered Gpp_engine.Config scenario: library defaults <
-   --config FILE < GPP_* environment < flags. *)
+   The pipeline commands (project, analyze, advise, batch, crossval,
+   experiment) resolve a layered Gpp_engine.Config scenario: library
+   defaults < --config FILE < GPP_* environment < flags. *)
 
 open Cmdliner
 
@@ -35,7 +36,7 @@ let main_cmd =
          flags, or $(b,--config) files).";
       `S "ENVIRONMENT";
       `P
-        "The pipeline commands also read $(b,GPP_MACHINE), $(b,GPP_SEED), $(b,GPP_RUNS), \
+        "The pipeline commands also read $(b,GPP_MACHINES), $(b,GPP_MACHINE), $(b,GPP_SEED), $(b,GPP_RUNS), \
          $(b,GPP_ITERATIONS), $(b,GPP_JOBS), $(b,GPP_OUTLIER_PROBABILITY), $(b,GPP_NO_CACHE), \
          $(b,GPP_CACHE_DIR), $(b,GPP_TRACE), $(b,GPP_VERBOSE), $(b,GPP_LISTEN), and \
          $(b,GPP_FLUSH_EVERY), which override $(b,--config) files and are overridden by flags.";
@@ -51,6 +52,7 @@ let main_cmd =
       Cmd_analyze.cmd;
       Cmd_advise.cmd;
       Cmd_batch.cmd;
+      Cmd_crossval.cmd;
       Cmd_export_skel.cmd;
       Cmd_trace.cmd;
       Cmd_predict_transfer.cmd;

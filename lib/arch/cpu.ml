@@ -42,6 +42,92 @@ let xeon_e5645 =
     parallel_overhead = Gpp_util.Units.us 5.0;
   }
 
+let xeon_e5_2690 =
+  {
+    name = "Intel Xeon E5-2690";
+    cores = 8;
+    threads = 16;
+    clock_ghz = 2.9;
+    flops_per_core_cycle = 8.0 (* AVX: 4-wide double mul+add *);
+    mem_bandwidth = Gpp_util.Units.gb_per_s 51.2;
+    achieved_bw_fraction = 0.65;
+    llc_bytes = 20 * 1024 * 1024;
+    cache_bandwidth = Gpp_util.Units.gb_per_s 250.0;
+    parallel_efficiency = 0.87;
+    parallel_overhead = Gpp_util.Units.us 4.0;
+  }
+
+let power9 =
+  {
+    name = "IBM POWER9";
+    cores = 22;
+    threads = 88;
+    clock_ghz = 3.07;
+    flops_per_core_cycle = 8.0;
+    mem_bandwidth = Gpp_util.Units.gb_per_s 170.0;
+    achieved_bw_fraction = 0.7;
+    llc_bytes = 110 * 1024 * 1024;
+    cache_bandwidth = Gpp_util.Units.gb_per_s 450.0;
+    parallel_efficiency = 0.85;
+    parallel_overhead = Gpp_util.Units.us 4.0;
+  }
+
+let epyc_7502 =
+  {
+    name = "AMD EPYC 7502";
+    cores = 32;
+    threads = 64;
+    clock_ghz = 2.5;
+    flops_per_core_cycle = 16.0 (* AVX2: two 4-wide double FMAs *);
+    mem_bandwidth = Gpp_util.Units.gb_per_s 204.8;
+    achieved_bw_fraction = 0.7;
+    llc_bytes = 128 * 1024 * 1024;
+    cache_bandwidth = Gpp_util.Units.gb_per_s 700.0;
+    parallel_efficiency = 0.88;
+    parallel_overhead = Gpp_util.Units.us 3.5;
+  }
+
+let xeon_8480 =
+  {
+    name = "Intel Xeon Platinum 8480+";
+    cores = 56;
+    threads = 112;
+    clock_ghz = 2.0;
+    flops_per_core_cycle = 32.0 (* AVX-512: two 8-wide double FMAs *);
+    mem_bandwidth = Gpp_util.Units.gb_per_s 307.2;
+    achieved_bw_fraction = 0.72;
+    llc_bytes = 105 * 1024 * 1024;
+    cache_bandwidth = Gpp_util.Units.gb_per_s 1000.0;
+    parallel_efficiency = 0.88;
+    parallel_overhead = Gpp_util.Units.us 3.0;
+  }
+
+let core_i7_4790 =
+  {
+    name = "Intel Core i7-4790";
+    cores = 4;
+    threads = 8;
+    clock_ghz = 3.6;
+    flops_per_core_cycle = 16.0 (* AVX2 FMA *);
+    mem_bandwidth = Gpp_util.Units.gb_per_s 25.6;
+    achieved_bw_fraction = 0.7;
+    llc_bytes = 8 * 1024 * 1024;
+    cache_bandwidth = Gpp_util.Units.gb_per_s 180.0;
+    parallel_efficiency = 0.83;
+    parallel_overhead = Gpp_util.Units.us 4.5;
+  }
+
+let presets =
+  [
+    ("xeon-e5405", xeon_e5405);
+    ("xeon-e5645", xeon_e5645);
+    ("xeon-e5-2690", xeon_e5_2690);
+    ("power9", power9);
+    ("epyc-7502", epyc_7502);
+    ("xeon-8480", xeon_8480);
+    ("core-i7-4790", core_i7_4790);
+  ]
+
 let peak_gflops t = float_of_int t.cores *. t.clock_ghz *. t.flops_per_core_cycle
 
 let validate t =

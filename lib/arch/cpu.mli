@@ -30,6 +30,25 @@ val xeon_e5645 : t
 (** The Westmere part from the paper's §II-B vector-add example
     (32 GB/s class memory system). *)
 
+val xeon_e5_2690 : t
+(** Sandy Bridge server part (AVX, quad-channel DDR3). *)
+
+val power9 : t
+(** The Summit-class host that pairs with NVLink-attached V100s. *)
+
+val epyc_7502 : t
+(** Rome-era 32-core host (8-channel DDR4). *)
+
+val xeon_8480 : t
+(** Sapphire Rapids host for PCIe Gen5 systems. *)
+
+val core_i7_4790 : t
+(** A desktop-class Haswell: the small-host end of the zoo. *)
+
+val presets : (string * t) list
+(** CPU presets by catalog key (["xeon-e5405"], ["epyc-7502"], ...),
+    referenced by name from machine-descriptor sexp files. *)
+
 val peak_gflops : t -> float
 
 val validate : t -> (unit, string) result

@@ -77,6 +77,139 @@ let tesla_c2050 =
     flops_per_core_cycle = 2.0;
   }
 
+let gtx_750_ti =
+  {
+    name = "NVIDIA GeForce GTX 750 Ti";
+    sm_count = 5;
+    cores_per_sm = 128;
+    clock_ghz = 1.02;
+    warp_size = 32;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    max_threads_per_block = 1024;
+    registers_per_sm = 65536;
+    shared_mem_per_sm = 64 * 1024;
+    dram_bandwidth = Gpp_util.Units.gb_per_s 86.4;
+    dram_latency_cycles = 400;
+    coalesce_segment = 128;
+    issue_cycles = 1.0;
+    launch_overhead = Gpp_util.Units.us 6.0;
+    flops_per_core_cycle = 2.0;
+  }
+
+let tesla_k20x =
+  {
+    name = "NVIDIA Tesla K20X";
+    sm_count = 14;
+    cores_per_sm = 192;
+    clock_ghz = 0.732;
+    warp_size = 32;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 16;
+    max_threads_per_block = 1024;
+    registers_per_sm = 65536;
+    shared_mem_per_sm = 48 * 1024;
+    dram_bandwidth = Gpp_util.Units.gb_per_s 249.6;
+    dram_latency_cycles = 600;
+    coalesce_segment = 128;
+    issue_cycles = 1.0;
+    launch_overhead = Gpp_util.Units.us 5.0;
+    flops_per_core_cycle = 2.0;
+  }
+
+let tesla_p100 =
+  {
+    name = "NVIDIA Tesla P100";
+    sm_count = 56;
+    cores_per_sm = 64;
+    clock_ghz = 1.328;
+    warp_size = 32;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    max_threads_per_block = 1024;
+    registers_per_sm = 65536;
+    shared_mem_per_sm = 64 * 1024;
+    dram_bandwidth = Gpp_util.Units.gb_per_s 732.0;
+    dram_latency_cycles = 450;
+    coalesce_segment = 128;
+    issue_cycles = 1.0;
+    launch_overhead = Gpp_util.Units.us 4.0;
+    flops_per_core_cycle = 2.0;
+  }
+
+let tesla_v100 =
+  {
+    name = "NVIDIA Tesla V100";
+    sm_count = 80;
+    cores_per_sm = 64;
+    clock_ghz = 1.53;
+    warp_size = 32;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    max_threads_per_block = 1024;
+    registers_per_sm = 65536;
+    shared_mem_per_sm = 96 * 1024;
+    dram_bandwidth = Gpp_util.Units.gb_per_s 900.0;
+    dram_latency_cycles = 430;
+    coalesce_segment = 128;
+    issue_cycles = 1.0;
+    launch_overhead = Gpp_util.Units.us 3.5;
+    flops_per_core_cycle = 2.0;
+  }
+
+let a100 =
+  {
+    name = "NVIDIA A100";
+    sm_count = 108;
+    cores_per_sm = 64;
+    clock_ghz = 1.41;
+    warp_size = 32;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    max_threads_per_block = 1024;
+    registers_per_sm = 65536;
+    shared_mem_per_sm = 164 * 1024;
+    dram_bandwidth = Gpp_util.Units.gb_per_s 1555.0;
+    dram_latency_cycles = 400;
+    coalesce_segment = 128;
+    issue_cycles = 1.0;
+    launch_overhead = Gpp_util.Units.us 3.0;
+    flops_per_core_cycle = 2.0;
+  }
+
+let h100 =
+  {
+    name = "NVIDIA H100";
+    sm_count = 114;
+    cores_per_sm = 128;
+    clock_ghz = 1.755;
+    warp_size = 32;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    max_threads_per_block = 1024;
+    registers_per_sm = 65536;
+    shared_mem_per_sm = 228 * 1024;
+    dram_bandwidth = Gpp_util.Units.gb_per_s 2000.0;
+    dram_latency_cycles = 380;
+    coalesce_segment = 128;
+    issue_cycles = 1.0;
+    launch_overhead = Gpp_util.Units.us 2.5;
+    flops_per_core_cycle = 2.0;
+  }
+
+let presets =
+  [
+    ("quadro-fx-5600", quadro_fx_5600);
+    ("tesla-c1060", tesla_c1060);
+    ("tesla-c2050", tesla_c2050);
+    ("gtx-750-ti", gtx_750_ti);
+    ("tesla-k20x", tesla_k20x);
+    ("tesla-p100", tesla_p100);
+    ("tesla-v100", tesla_v100);
+    ("a100", a100);
+    ("h100", h100);
+  ]
+
 let peak_gflops t =
   float_of_int (t.sm_count * t.cores_per_sm) *. t.clock_ghz *. t.flops_per_core_cycle
 

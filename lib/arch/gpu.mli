@@ -36,6 +36,29 @@ val tesla_c1060 : t
 val tesla_c2050 : t
 (** Fermi-class part with larger coalescing segments and caches. *)
 
+val gtx_750_ti : t
+(** Maxwell desktop part: few SMs, modest DRAM — the low end of the
+    zoo's launch-overhead/bandwidth regimes. *)
+
+val tesla_k20x : t
+(** Kepler GK110 compute part. *)
+
+val tesla_p100 : t
+(** Pascal HBM2 part (first >700 GB/s device in the zoo). *)
+
+val tesla_v100 : t
+(** Volta part; pairs with the NVLink2 link spec. *)
+
+val a100 : t
+(** Ampere part; pairs with PCIe Gen4 or NVLink3. *)
+
+val h100 : t
+(** Hopper part; pairs with PCIe Gen5. *)
+
+val presets : (string * t) list
+(** GPU presets by catalog key (["quadro-fx-5600"], ["a100"], ...),
+    referenced by name from machine-descriptor sexp files. *)
+
 val peak_gflops : t -> float
 (** [sm_count * cores_per_sm * clock * flops_per_core_cycle] in
     GFLOP/s. *)

@@ -1,45 +1,154 @@
-type t = { name : string; cpu : Cpu.t; gpu : Gpu.t; pcie : Pcie_spec.t }
+type staging = Pinned | Pageable
+
+let staging_name = function Pinned -> "pinned" | Pageable -> "pageable"
+
+let staging_of_name = function
+  | "pinned" -> Ok Pinned
+  | "pageable" -> Ok Pageable
+  | s -> Error (Printf.sprintf "unknown staging %S (expected pinned or pageable)" s)
+
+type t = {
+  id : string;
+  name : string;
+  cpu : Cpu.t;
+  gpu : Gpu.t;
+  pcie : Pcie_spec.t;
+  staging : staging;
+}
 
 let argonne_node =
   {
+    id = "argonne";
     name = "ALCF data analysis node (Xeon E5405 + Quadro FX 5600)";
     cpu = Cpu.xeon_e5405;
     gpu = Gpu.quadro_fx_5600;
     pcie = Pcie_spec.v1_x16;
+    staging = Pinned;
   }
 
 let section2b_node =
   {
+    id = "section2b";
     name = "paper \u{00a7}II-B example (Xeon E5645 + Quadro FX 5600)";
     cpu = Cpu.xeon_e5645;
     gpu = Gpu.quadro_fx_5600;
     pcie = Pcie_spec.v1_x16;
+    staging = Pinned;
   }
 
 let gt200_node =
   {
+    id = "gt200";
     name = "GT200 node (Xeon E5405 + Tesla C1060)";
     cpu = Cpu.xeon_e5405;
     gpu = Gpu.tesla_c1060;
     pcie = Pcie_spec.v2_x16;
+    staging = Pinned;
   }
 
 let modern_node =
   {
+    id = "modern";
     name = "Fermi node (Xeon E5645 + Tesla C2050)";
     cpu = Cpu.xeon_e5645;
     gpu = Gpu.tesla_c2050;
     pcie = Pcie_spec.v2_x16;
+    staging = Pinned;
   }
 
+(* [presets] is frozen at the paper-era four: the extension-hardware
+   experiment iterates it, and its golden output would change if the zoo
+   leaked in.  New machines belong in [zoo]. *)
 let presets = [ argonne_node; section2b_node; gt200_node; modern_node ]
+
+let zoo =
+  [
+    {
+      id = "kepler";
+      name = "Kepler node (Xeon E5-2690 + Tesla K20X)";
+      cpu = Cpu.xeon_e5_2690;
+      gpu = Gpu.tesla_k20x;
+      pcie = Pcie_spec.v2_x16;
+      staging = Pinned;
+    };
+    {
+      id = "desktop-maxwell";
+      name = "Desktop (Core i7-4790 + GTX 750 Ti)";
+      cpu = Cpu.core_i7_4790;
+      gpu = Gpu.gtx_750_ti;
+      pcie = Pcie_spec.v3_x16;
+      staging = Pageable;
+    };
+    {
+      id = "laptop-x4";
+      name = "Lane-starved mobile workstation (Core i7-4790 + GTX 750 Ti, x4 slot)";
+      cpu = Cpu.core_i7_4790;
+      gpu = Gpu.gtx_750_ti;
+      pcie = Pcie_spec.v3_x4;
+      staging = Pageable;
+    };
+    {
+      id = "pascal";
+      name = "Pascal node (Xeon E5-2690 + Tesla P100)";
+      cpu = Cpu.xeon_e5_2690;
+      gpu = Gpu.tesla_p100;
+      pcie = Pcie_spec.v3_x16;
+      staging = Pinned;
+    };
+    {
+      id = "volta-nvlink";
+      name = "Summit-class node (POWER9 + Tesla V100, NVLink2)";
+      cpu = Cpu.power9;
+      gpu = Gpu.tesla_v100;
+      pcie = Pcie_spec.nvlink2_x48;
+      staging = Pinned;
+    };
+    {
+      id = "ampere";
+      name = "Ampere node (EPYC 7502 + A100, PCIe v4)";
+      cpu = Cpu.epyc_7502;
+      gpu = Gpu.a100;
+      pcie = Pcie_spec.v4_x16;
+      staging = Pinned;
+    };
+    {
+      id = "dgx-a100";
+      name = "DGX-class node (EPYC 7502 + A100, NVLink3)";
+      cpu = Cpu.epyc_7502;
+      gpu = Gpu.a100;
+      pcie = Pcie_spec.nvlink3_x48;
+      staging = Pinned;
+    };
+    {
+      id = "hopper";
+      name = "Hopper node (Xeon Platinum 8480+ + H100, PCIe v5)";
+      cpu = Cpu.xeon_8480;
+      gpu = Gpu.h100;
+      pcie = Pcie_spec.v5_x16;
+      staging = Pinned;
+    };
+  ]
+
+let catalog = presets @ zoo
+
+let find ~id = List.find_opt (fun t -> String.equal t.id id) catalog
 
 let validate t =
   let ( let* ) = Result.bind in
-  let* () = Cpu.validate t.cpu in
-  let* () = Gpu.validate t.gpu in
-  Pcie_spec.validate t.pcie
+  let* () =
+    if String.length t.id = 0 then Error "machine: id must be non-empty"
+    else if String.exists (fun c -> c = ' ' || c = '\t' || c = '\n') t.id then
+      Error (Printf.sprintf "machine %s: id must not contain whitespace" t.id)
+    else Ok ()
+  in
+  let* () = if String.length t.name = 0 then Error (t.id ^ ": name must be non-empty") else Ok () in
+  let in_machine = Result.map_error (fun m -> Printf.sprintf "%s: %s" t.id m) in
+  let* () = in_machine (Cpu.validate t.cpu) in
+  let* () = in_machine (Gpu.validate t.gpu) in
+  in_machine (Pcie_spec.validate t.pcie)
 
+(* The suite golden embeds this rendering verbatim — the id and staging
+   are surfaced by `grophecy list` and the crossval TSV instead. *)
 let pp ppf t =
   Format.fprintf ppf "@[<v>%s@,  %a@,  %a@,  %a@]" t.name Cpu.pp t.cpu Gpu.pp t.gpu Pcie_spec.pp
     t.pcie

@@ -1,9 +1,28 @@
 (** A complete host + accelerator system.
 
-    Bundles the CPU, GPU, and PCIe descriptions that every projection
-    and simulation needs, with a preset for the paper's testbed. *)
+    Bundles the CPU, GPU, and link descriptions that every projection
+    and simulation needs.  [presets] is the paper-era four (frozen: the
+    extension experiments iterate it and their goldens embed it); [zoo]
+    adds modern descriptors spanning PCIe Gen2–Gen5, NVLink-class links,
+    and GPUs across SM-count/bandwidth/launch-overhead regimes;
+    [catalog] is both, keyed by the short [id] the CLI accepts. *)
 
-type t = { name : string; cpu : Cpu.t; gpu : Gpu.t; pcie : Pcie_spec.t }
+type staging = Pinned | Pageable
+(** Default host-memory staging for application transfers: HPC nodes
+    pin; desktop-class machines typically run pageable. *)
+
+val staging_name : staging -> string
+
+val staging_of_name : string -> (staging, string) result
+
+type t = {
+  id : string;  (** Short catalog key ([argonne], [hopper], ...). *)
+  name : string;
+  cpu : Cpu.t;
+  gpu : Gpu.t;
+  pcie : Pcie_spec.t;
+  staging : staging;
+}
 
 val argonne_node : t
 (** One node of the Argonne data analysis and visualization cluster used
@@ -24,8 +43,21 @@ val modern_node : t
     extension experiments. *)
 
 val presets : t list
-(** All bundled machines, oldest first. *)
+(** The paper-era four, oldest first.  Frozen — new machines go in
+    {!zoo}. *)
+
+val zoo : t list
+(** The modern machine zoo: Kepler through Hopper, PCIe Gen2–Gen5 plus
+    NVLink2/NVLink3, pinned and pageable staging defaults. *)
+
+val catalog : t list
+(** [presets @ zoo] — every built-in machine, addressable by [id]. *)
+
+val find : id:string -> t option
+(** Catalog lookup by [id]. *)
 
 val validate : t -> (unit, string) result
+(** Structural validation of every component; error messages are
+    prefixed with the machine [id]. *)
 
 val pp : Format.formatter -> t -> unit

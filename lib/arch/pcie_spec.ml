@@ -1,4 +1,4 @@
-type generation = Gen1 | Gen2 | Gen3
+type generation = Gen1 | Gen2 | Gen3 | Gen4 | Gen5 | Nvlink2 | Nvlink3
 
 type t = { generation : generation; lanes : int; max_payload : int; header_bytes : int }
 
@@ -8,9 +8,37 @@ let v2_x16 = { generation = Gen2; lanes = 16; max_payload = 256; header_bytes = 
 
 let v3_x16 = { generation = Gen3; lanes = 16; max_payload = 256; header_bytes = 22 }
 
-let gt_per_s = function Gen1 -> 2.5 | Gen2 -> 5.0 | Gen3 -> 8.0
+let v3_x4 = { generation = Gen3; lanes = 4; max_payload = 256; header_bytes = 22 }
 
-let encoding_efficiency = function Gen1 | Gen2 -> 0.8 | Gen3 -> 128.0 /. 130.0
+let v4_x16 = { generation = Gen4; lanes = 16; max_payload = 256; header_bytes = 22 }
+
+let v5_x16 = { generation = Gen5; lanes = 16; max_payload = 512; header_bytes = 22 }
+
+(* One NVLink 2.0 brick is 8 differential pairs at 25 GT/s; a V100 SXM2
+   gangs six bricks, which this abstraction flattens to 48 "lanes".
+   NVLink 3.0 halves the pairs per brick but doubles the signalling
+   rate; an A100 SXM4's twelve links are 4 x 12 = 48 lanes at 50 GT/s. *)
+let nvlink2_x48 = { generation = Nvlink2; lanes = 48; max_payload = 256; header_bytes = 16 }
+
+let nvlink3_x48 = { generation = Nvlink3; lanes = 48; max_payload = 256; header_bytes = 16 }
+
+let gt_per_s = function
+  | Gen1 -> 2.5
+  | Gen2 -> 5.0
+  | Gen3 -> 8.0
+  | Gen4 -> 16.0
+  | Gen5 -> 32.0
+  | Nvlink2 -> 25.0
+  | Nvlink3 -> 50.0
+
+let encoding_efficiency = function
+  | Gen1 | Gen2 -> 0.8
+  | Gen3 | Gen4 | Gen5 -> 128.0 /. 130.0
+  (* NVLink frames 128 payload bits in a 130-bit flit-like envelope;
+     close enough to treat as the same embedded-clock overhead. *)
+  | Nvlink2 | Nvlink3 -> 128.0 /. 130.0
+
+let is_nvlink = function Nvlink2 | Nvlink3 -> true | Gen1 | Gen2 | Gen3 | Gen4 | Gen5 -> false
 
 let raw_bandwidth t =
   (* GT/s x lanes = raw gigabits/s on the wire; encoding turns line bits
@@ -24,12 +52,53 @@ let effective_bandwidth t = raw_bandwidth t *. packet_efficiency t
 let validate t =
   let check cond msg = if cond then Ok () else Error ("pcie: " ^ msg) in
   let ( let* ) = Result.bind in
-  let* () = check (List.mem t.lanes [ 1; 2; 4; 8; 16 ]) "invalid lane count" in
+  let* () =
+    if is_nvlink t.generation then
+      (* Lanes arrive in whole bricks of eight differential pairs. *)
+      check (t.lanes > 0 && t.lanes mod 8 = 0) "nvlink lane count must be a positive multiple of 8"
+    else check (List.mem t.lanes [ 1; 2; 4; 8; 16 ]) "invalid lane count"
+  in
   let* () = check (t.max_payload > 0) "max_payload must be positive" in
   check (t.header_bytes > 0) "header_bytes must be positive"
 
-let generation_name = function Gen1 -> "1" | Gen2 -> "2" | Gen3 -> "3"
+let generation_name = function
+  | Gen1 -> "1"
+  | Gen2 -> "2"
+  | Gen3 -> "3"
+  | Gen4 -> "4"
+  | Gen5 -> "5"
+  | Nvlink2 -> "NVLink2"
+  | Nvlink3 -> "NVLink3"
+
+let generation_of_name s =
+  match String.lowercase_ascii s with
+  | "1" | "gen1" -> Ok Gen1
+  | "2" | "gen2" -> Ok Gen2
+  | "3" | "gen3" -> Ok Gen3
+  | "4" | "gen4" -> Ok Gen4
+  | "5" | "gen5" -> Ok Gen5
+  | "nvlink2" -> Ok Nvlink2
+  | "nvlink3" -> Ok Nvlink3
+  | _ ->
+      Error
+        (Printf.sprintf "unknown link generation %S (expected 1-5, nvlink2, or nvlink3)" s)
+
+let link_label t =
+  if is_nvlink t.generation then Printf.sprintf "%s x%d" (generation_name t.generation) t.lanes
+  else Printf.sprintf "PCIe v%s x%d" (generation_name t.generation) t.lanes
+
+let presets =
+  [
+    ("pcie1-x16", v1_x16);
+    ("pcie2-x16", v2_x16);
+    ("pcie3-x16", v3_x16);
+    ("pcie3-x4", v3_x4);
+    ("pcie4-x16", v4_x16);
+    ("pcie5-x16", v5_x16);
+    ("nvlink2-x48", nvlink2_x48);
+    ("nvlink3-x48", nvlink3_x48);
+  ]
 
 let pp ppf t =
-  Format.fprintf ppf "PCIe v%s x%d (%a effective)" (generation_name t.generation) t.lanes
-    Gpp_util.Units.pp_bandwidth (effective_bandwidth t)
+  Format.fprintf ppf "%s (%a effective)" (link_label t) Gpp_util.Units.pp_bandwidth
+    (effective_bandwidth t)

@@ -1,16 +1,22 @@
-(** PCI Express link specifications.
+(** Host-to-accelerator link specifications.
 
     These describe the physical link; transfer mechanics (DMA setup,
     pinned vs pageable staging, noise) live in [Gpp_pcie.Link].  The
     derived raw bandwidth accounts for per-lane signalling rate and line
     encoding; the packet efficiency accounts for TLP header overhead at
-    the configured maximum payload size. *)
+    the configured maximum payload size.
 
-type generation = Gen1 | Gen2 | Gen3
+    NVLink-class links are folded into the same abstraction: one NVLink
+    brick is modelled as eight lanes at the per-pair signalling rate, so
+    a six-brick V100 SXM2 mesh is a 48-"lane" link.  The packetisation
+    model (payload + per-packet header) is the same shape, with NVLink's
+    smaller flit header. *)
+
+type generation = Gen1 | Gen2 | Gen3 | Gen4 | Gen5 | Nvlink2 | Nvlink3
 
 type t = {
   generation : generation;
-  lanes : int;  (** 1, 4, 8, or 16. *)
+  lanes : int;  (** PCIe: 1, 2, 4, 8, or 16.  NVLink: a multiple of 8. *)
   max_payload : int;  (** TLP maximum payload size in bytes. *)
   header_bytes : int;  (** TLP header + framing per packet. *)
 }
@@ -22,11 +28,26 @@ val v2_x16 : t
 
 val v3_x16 : t
 
+val v3_x4 : t
+(** A lane-starved Gen3 slot (laptops, shared risers). *)
+
+val v4_x16 : t
+
+val v5_x16 : t
+
+val nvlink2_x48 : t
+(** Six NVLink 2.0 bricks (V100 SXM2-class), flattened to 48 lanes. *)
+
+val nvlink3_x48 : t
+(** Twelve NVLink 3.0 links (A100 SXM4-class), flattened to 48 lanes. *)
+
 val gt_per_s : generation -> float
 (** Per-lane signalling rate in gigatransfers per second. *)
 
 val encoding_efficiency : generation -> float
-(** 8b/10b for Gen1/2 (0.8), 128b/130b for Gen3. *)
+(** 8b/10b for Gen1/2 (0.8), 128b/130b for Gen3+ and NVLink. *)
+
+val is_nvlink : generation -> bool
 
 val raw_bandwidth : t -> float
 (** Bytes per second after line encoding, before packet overhead. *)
@@ -37,6 +58,22 @@ val packet_efficiency : t -> float
 val effective_bandwidth : t -> float
 (** {!raw_bandwidth} x {!packet_efficiency}: the ceiling a perfect DMA
     engine could sustain. *)
+
+val generation_name : generation -> string
+(** ["1"].["5"], ["NVLink2"], ["NVLink3"] — the label {!link_label} and
+    the machine-descriptor printer use. *)
+
+val generation_of_name : string -> (generation, string) result
+(** Inverse of the label used in machine-descriptor files: ["1"].["5"]
+    (or ["gen1"]..["gen5"]), ["nvlink2"], ["nvlink3"];
+    case-insensitive. *)
+
+val link_label : t -> string
+(** Short human label: ["PCIe v4 x16"], ["NVLink2 x48"]. *)
+
+val presets : (string * t) list
+(** Link presets by catalog key (["pcie1-x16"], ["nvlink2-x48"], ...),
+    referenced by name from machine-descriptor sexp files. *)
 
 val validate : t -> (unit, string) result
 

@@ -20,9 +20,13 @@ let init ?(seed = 0x1B0A_2013_6CA1_55AAL) ?(outlier_probability = 0.05) ?protoco
   let application_link =
     Link.create ~seed:(Int64.add seed 1L) { base_config with outlier_probability }
   in
+  (* Calibrate for the machine's default staging mode: the legacy
+     presets all stage pinned (the paper's assumption, §III-C), so their
+     sessions are bit-identical to the historical pinned pair. *)
   let h2d, d2h =
     Gpp_obs.Obs.span "pcie.calibrate" @@ fun () ->
-    Calibrate.calibrate_pinned_pair ?protocol calibration_link
+    Calibrate.calibrate_pair ?protocol calibration_link
+      (Link.memory_of_staging machine.Gpp_arch.Machine.staging)
   in
   Log.info (fun m ->
       m "calibrated %s: %a / %a" machine.Gpp_arch.Machine.name Gpp_pcie.Model.pp h2d

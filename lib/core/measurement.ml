@@ -54,7 +54,7 @@ let measure_kernels ?cache ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79
   in
   Ok (kernels, kernel_time)
 
-let price_transfers ?(runs = 10) ~link plan =
+let price_transfers ?(runs = 10) ?(memory = Link.Pinned) ~link plan =
   List.map
     (fun (tr : Analyzer.transfer) ->
       let direction =
@@ -62,9 +62,7 @@ let price_transfers ?(runs = 10) ~link plan =
         | Analyzer.To_device -> Link.Host_to_device
         | Analyzer.From_device -> Link.Device_to_host
       in
-      let time =
-        Link.mean_transfer_time link ~runs direction Link.Pinned ~bytes:tr.Analyzer.bytes
-      in
+      let time = Link.mean_transfer_time link ~runs direction memory ~bytes:tr.Analyzer.bytes in
       { transfer = tr; time })
     (Analyzer.transfers plan)
 
@@ -84,7 +82,8 @@ let measure_parts ?cache ?sim_config ?runs ?seed ~link ~machine
   match measure_kernels ?cache ?sim_config ?runs ?seed ~machine ~kernels:chosen program with
   | Error e -> Error e
   | Ok (kernels, kernel_time) ->
-      let transfers = price_transfers ?runs ~link plan in
+      let memory = Link.memory_of_staging machine.Gpp_arch.Machine.staging in
+      let transfers = price_transfers ?runs ~memory ~link plan in
       Ok (of_parts ~kernels ~kernel_time ~transfers)
 
 let measure ?cache ?sim_config ?runs ?seed ~link (projection : Projection.t) =

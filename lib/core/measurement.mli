@@ -60,11 +60,13 @@ val measure_kernels :
 
 val price_transfers :
   ?runs:int ->
+  ?memory:Gpp_pcie.Link.memory ->
   link:Gpp_pcie.Link.t ->
   Gpp_dataflow.Analyzer.plan ->
   transfer_measurement list
 (** The transfer half of {!measure_parts}: execute the planned
-    transfers (pinned memory) on [link].  Each draw advances the link's
+    transfers on [link] with [memory] staging (default pinned, the
+    paper's protocol).  Each draw advances the link's
     stateful RNG, so call order across measurements is part of the
     result — callers that need reproducible output must price in a
     fixed order (the batch runner prices serially in cell order). *)

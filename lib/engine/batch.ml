@@ -52,6 +52,9 @@ let finish_cell ~session (cconfig : Config.t) (state, kmeas, ktime) =
   let transfers =
     Obs.span "batch.price" @@ fun () ->
     Measurement.price_transfers ?runs:cconfig.Config.runs
+      ~memory:
+        (Gpp_pcie.Link.memory_of_staging
+           cconfig.Config.machine.Gpp_arch.Machine.staging)
       ~link:session.Grophecy.application_link plan
   in
   let measurement = Measurement.of_parts ~kernels:kmeas ~kernel_time:ktime ~transfers in

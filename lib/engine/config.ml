@@ -2,6 +2,7 @@ module Machine = Gpp_arch.Machine
 
 type t = {
   machine : Machine.t;
+  machines : Machine.t list;
   seed : int64;
   outlier_probability : float;
   protocol : Gpp_pcie.Calibrate.protocol option;
@@ -29,6 +30,7 @@ type t = {
 let default =
   {
     machine = Machine.argonne_node;
+    machines = Machine.catalog;
     seed = 0x1B0A_2013_6CA1_55AAL;
     outlier_probability = 0.05;
     protocol = None;
@@ -62,16 +64,15 @@ let core_params (t : t) =
     iterations = t.iterations;
   }
 
-let machine_names = [ "argonne"; "section2b"; "gt200"; "modern" ]
+let machine_names = List.map (fun (m : Machine.t) -> m.Machine.id) Machine.catalog
 
-let machine_of_name = function
-  | "argonne" -> Ok Machine.argonne_node
-  | "section2b" -> Ok Machine.section2b_node
-  | "gt200" -> Ok Machine.gt200_node
-  | "modern" -> Ok Machine.modern_node
-  | s ->
-      Error
-        (Printf.sprintf "unknown machine %S (expected argonne, section2b, gt200, or modern)" s)
+(* Builtin-catalog lookup, for callers that resolve a name without a
+   scenario (simple CLI commands, the serve API).  Layered resolution
+   goes through [t.machines] instead, so file-loaded machines are
+   addressable too. *)
+let machine_of_name name = Machines.find Machine.catalog name
+
+let find_machine (t : t) name = Machines.find t.machines name
 
 (* Scalar parsers shared by the file and environment layers. *)
 
@@ -217,9 +218,17 @@ let cache_group (t : t) value =
       | _ -> bad "cache: unknown key %S" key)
     t (pairs_of "cache" value)
 
+let machines_group (t : t) value =
+  match value with
+  | Sexp.Atom _ -> bad "machines: expected a list of machine descriptors"
+  | Sexp.List descriptors -> (
+      match Machines.extend_result ~base:t.machines descriptors with
+      | Ok machines -> { t with machines }
+      | Error m -> bad "machines: %s" m)
+
 let apply_entry (t : t) key value =
   match key with
-  | "machine" -> { t with machine = get machine_of_name key value }
+  | "machine" -> { t with machine = get (find_machine t) key value }
   | "seed" -> { t with seed = get int64_of_atom key value }
   | "outlier-probability" -> { t with outlier_probability = get float_of_atom key value }
   | "runs" -> { t with runs = Some (get int_of_atom key value) }
@@ -237,10 +246,22 @@ let apply_entry (t : t) key value =
   | "sim" -> { t with sim = Some (sim_group t.sim value) }
   | "policy" -> { t with policy = Some (policy_group t.policy value) }
   | "space" -> { t with space = Some (space_group t.space value) }
+  | "machines" -> machines_group t value
   | key -> bad "unknown key %S" key
 
+(* [machines] groups apply before everything else, whatever their
+   position in the file, so [(machine my-box)] can name a machine the
+   same file defines. *)
 let apply_sexp (t : t) sexp =
-  List.fold_left (fun t (key, value) -> apply_entry t key value) t (pairs_of "config" sexp)
+  let pairs = pairs_of "config" sexp in
+  let is_machines (key, _) = String.equal key "machines" in
+  let t =
+    List.fold_left (fun t (_, value) -> machines_group t value) t (List.filter is_machines pairs)
+  in
+  List.fold_left
+    (fun t (key, value) -> apply_entry t key value)
+    t
+    (List.filter (fun p -> not (is_machines p)) pairs)
 
 let apply_file (t : t) ~path =
   match Sexp.parse_file path with
@@ -261,6 +282,7 @@ let set_plan policy plan =
 
 let env_vars =
   [
+    "GPP_MACHINES";
     "GPP_MACHINE";
     "GPP_SEED";
     "GPP_RUNS";
@@ -286,7 +308,16 @@ let apply_env ?(getenv = Sys.getenv_opt) (t : t) =
         | Ok v -> Ok (set t v)
         | Error m -> Error (Error.config ~source:name (Printf.sprintf "%s: %s" name m)))
   in
-  let* t = scalar "GPP_MACHINE" machine_of_name (fun t machine -> { t with machine }) t in
+  (* Catalog file first: GPP_MACHINE may name a machine it defines. *)
+  let* t =
+    match getenv "GPP_MACHINES" with
+    | None -> Ok t
+    | Some path -> (
+        match Machines.load_file ~base:t.machines path with
+        | Ok machines -> Ok { t with machines }
+        | Error e -> Error e)
+  in
+  let* t = scalar "GPP_MACHINE" (find_machine t) (fun t machine -> { t with machine }) t in
   let* t = scalar "GPP_SEED" int64_of_atom (fun t seed -> { t with seed }) t in
   let* t = scalar "GPP_RUNS" int_of_atom (fun t runs -> { t with runs = Some runs }) t in
   let* t =
@@ -318,7 +349,8 @@ let apply_env ?(getenv = Sys.getenv_opt) (t : t) =
 (* --- flag layer ----------------------------------------------------- *)
 
 type overrides = {
-  o_machine : Machine.t option;
+  o_machines_file : string option;
+  o_machine : string option;
   o_seed : int64 option;
   o_runs : int option;
   o_iterations : int option;
@@ -334,6 +366,7 @@ type overrides = {
 
 let no_overrides =
   {
+    o_machines_file = None;
     o_machine = None;
     o_seed = None;
     o_runs = None;
@@ -348,8 +381,27 @@ let no_overrides =
     o_flush_every = None;
   }
 
+(* The machine flags can fail (unreadable catalog file, unknown name),
+   so the flag layer resolves to a result; both failures are config
+   errors (exit 2) like their file/env counterparts. *)
 let apply_overrides (t : t) (o : overrides) =
-  let t = match o.o_machine with Some machine -> { t with machine } | None -> t in
+  let ( let* ) = Result.bind in
+  let* t =
+    match o.o_machines_file with
+    | None -> Ok t
+    | Some path -> (
+        match Machines.load_file ~base:t.machines path with
+        | Ok machines -> Ok { t with machines }
+        | Error e -> Error e)
+  in
+  let* t =
+    match o.o_machine with
+    | None -> Ok t
+    | Some name -> (
+        match find_machine t name with
+        | Ok machine -> Ok { t with machine }
+        | Error m -> Error (Error.config m))
+  in
   let t = match o.o_seed with Some seed -> { t with seed } | None -> t in
   let t = match o.o_runs with Some runs -> { t with runs = Some runs } | None -> t in
   let t = match o.o_iterations with Some n -> { t with iterations = Some n } | None -> t in
@@ -364,7 +416,7 @@ let apply_overrides (t : t) (o : overrides) =
   in
   let t = match o.o_listen with Some listen -> { t with listen } | None -> t in
   let t = match o.o_flush_every with Some n -> { t with flush_every = n } | None -> t in
-  if o.o_verbose then { t with verbose = true } else t
+  Ok (if o.o_verbose then { t with verbose = true } else t)
 
 (* Cross-layer validation, applied to the fully resolved value so a bad
    setting is rejected no matter which layer (file, env, flag) supplied
@@ -385,4 +437,5 @@ let resolve ?getenv ?file ?(overrides = no_overrides) () =
   let ( let* ) = Result.bind in
   let* t = match file with None -> Ok default | Some path -> apply_file default ~path in
   let* t = apply_env ?getenv t in
-  validate (apply_overrides t overrides)
+  let* t = apply_overrides t overrides in
+  validate t

@@ -15,6 +15,13 @@
 
 type t = {
   machine : Gpp_arch.Machine.t;
+  machines : Gpp_arch.Machine.t list;
+      (** The resolved machine catalog: the builtin
+          {!Gpp_arch.Machine.catalog} merged with descriptors from the
+          config file's [(machines ...)] group, [GPP_MACHINES], and
+          [--machines] (later layers replace matching ids).  Machine
+          names everywhere — [machine]/[-m], the batch axis, crossval —
+          resolve against this list. *)
   seed : int64;  (** Seed for the simulated hardware's noise streams. *)
   outlier_probability : float;
       (** Slow-transfer outlier rate of the application link (§V-A). *)
@@ -57,17 +64,26 @@ val core_params : t -> Gpp_core.Grophecy.params
 (** Project the scenario down to the core facade's per-call params. *)
 
 val machine_of_name : string -> (Gpp_arch.Machine.t, string) result
-(** Preset lookup shared by the CLI, the file layer, and [GPP_MACHINE]. *)
+(** Builtin-catalog lookup by id, for callers without a resolved
+    scenario (simple CLI commands, the serve API).  Scenario layers use
+    {!find_machine} so file-loaded machines resolve too. *)
+
+val find_machine : t -> string -> (Gpp_arch.Machine.t, string) result
+(** Lookup in the scenario's resolved [machines] catalog. *)
 
 val machine_names : string list
+(** Ids of the builtin catalog. *)
 
 val apply_file : t -> path:string -> (t, Error.t) result
 (** Layer a sexp scenario file onto [t].  The file is one list of
     [(key value)] pairs; parameter groups ([analytic], [cpu], [sim],
     [policy], [space], [protocol], [cache]) nest another pair list and
     start from the library defaults, so partial groups override only the
-    named fields.  Unknown keys, malformed sexps, and unreadable files
-    are {!Error.Config} naming the file. *)
+    named fields.  A [(machines <descriptor> ...)] group (see
+    {!Machines}) merges into the catalog first, whatever its position,
+    so [(machine NAME)] can name a machine the same file defines.
+    Unknown keys, malformed sexps, and unreadable files are
+    {!Error.Config} naming the file. *)
 
 val apply_env : ?getenv:(string -> string option) -> t -> (t, Error.t) result
 (** Layer the [GPP_*] environment variables onto [t].  [getenv] is
@@ -78,7 +94,12 @@ val env_vars : string list
 (** The variables {!apply_env} consults. *)
 
 type overrides = {
-  o_machine : Gpp_arch.Machine.t option;
+  o_machines_file : string option;
+      (** [--machines FILE]: merge a machine-descriptor catalog over the
+          lower layers' catalog before any name resolves. *)
+  o_machine : string option;
+      (** [-m NAME]: resolved against the final catalog, so it can name
+          a machine that [--machines] (or any lower layer) defined. *)
   o_seed : int64 option;
   o_runs : int option;
   o_iterations : int option;
@@ -99,7 +120,9 @@ type overrides = {
 
 val no_overrides : overrides
 
-val apply_overrides : t -> overrides -> t
+val apply_overrides : t -> overrides -> (t, Error.t) result
+(** Layer the flag overrides onto [t].  Loading [o_machines_file] and
+    resolving [o_machine] can fail; both are {!Error.Config} (exit 2). *)
 
 val resolve :
   ?getenv:(string -> string option) ->

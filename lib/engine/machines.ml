@@ -1,0 +1,294 @@
+module Machine = Gpp_arch.Machine
+module Cpu = Gpp_arch.Cpu
+module Gpu = Gpp_arch.Gpu
+module Pcie_spec = Gpp_arch.Pcie_spec
+
+(* Machine-descriptor parsing shares the config file's error style:
+   raise [Bad] with a message that names the offending key, catch it at
+   the file boundary, and wrap it into a structured config error. *)
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let atom key = function
+  | Sexp.Atom a -> a
+  | Sexp.List _ -> bad "%s: expected an atom, got a list" key
+
+let get parse key v =
+  match parse (atom key v) with Ok x -> x | Error m -> bad "%s: %s" key m
+
+let int_of_atom s =
+  match int_of_string_opt s with
+  | Some n -> Ok n
+  | None -> Error (Printf.sprintf "expected an integer, got %S" s)
+
+let float_of_atom s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "expected a number, got %S" s)
+
+let pairs_of context = function
+  | Sexp.Atom a -> bad "%s: expected a list of (key value) pairs, got %S" context a
+  | Sexp.List items ->
+      List.map
+        (function
+          | Sexp.List [ Sexp.Atom key; value ] -> (key, value)
+          | s -> bad "%s: expected (key value), got %s" context (Sexp.to_string s))
+        items
+
+let preset_of context presets key v =
+  let name = atom key v in
+  match List.assoc_opt name presets with
+  | Some p -> p
+  | None ->
+      bad "%s: unknown preset %S (expected %s)" context name
+        (String.concat ", " (List.map fst presets))
+
+(* Component groups fold (key value) pairs over a seed record: the
+   [preset] key (processed first, wherever it appears) restarts the seed
+   from the named catalog entry, every other key overrides one field.
+   Bandwidth fields take raw bytes/s; [-gb] / [-us] variants accept the
+   human units the README examples use. *)
+
+let seed_of context presets base pairs =
+  match List.assoc_opt "preset" pairs with
+  | Some v -> preset_of context presets "preset" v
+  | None -> base
+
+let cpu_group base value =
+  let pairs = pairs_of "cpu" value in
+  List.fold_left
+    (fun (c : Cpu.t) (key, v) ->
+      match key with
+      | "preset" -> c
+      | "name" -> { c with name = atom key v }
+      | "cores" -> { c with cores = get int_of_atom key v }
+      | "threads" -> { c with threads = get int_of_atom key v }
+      | "clock-ghz" -> { c with clock_ghz = get float_of_atom key v }
+      | "flops-per-core-cycle" -> { c with flops_per_core_cycle = get float_of_atom key v }
+      | "mem-bandwidth" -> { c with mem_bandwidth = get float_of_atom key v }
+      | "mem-bandwidth-gb" ->
+          { c with mem_bandwidth = Gpp_util.Units.gb_per_s (get float_of_atom key v) }
+      | "achieved-bw-fraction" -> { c with achieved_bw_fraction = get float_of_atom key v }
+      | "llc-bytes" -> { c with llc_bytes = get int_of_atom key v }
+      | "cache-bandwidth" -> { c with cache_bandwidth = get float_of_atom key v }
+      | "cache-bandwidth-gb" ->
+          { c with cache_bandwidth = Gpp_util.Units.gb_per_s (get float_of_atom key v) }
+      | "parallel-efficiency" -> { c with parallel_efficiency = get float_of_atom key v }
+      | "parallel-overhead" -> { c with parallel_overhead = get float_of_atom key v }
+      | "parallel-overhead-us" ->
+          { c with parallel_overhead = Gpp_util.Units.us (get float_of_atom key v) }
+      | _ -> bad "cpu: unknown key %S" key)
+    (seed_of "cpu" Cpu.presets base pairs)
+    pairs
+
+let gpu_group base value =
+  let pairs = pairs_of "gpu" value in
+  List.fold_left
+    (fun (g : Gpu.t) (key, v) ->
+      match key with
+      | "preset" -> g
+      | "name" -> { g with name = atom key v }
+      | "sm-count" -> { g with sm_count = get int_of_atom key v }
+      | "cores-per-sm" -> { g with cores_per_sm = get int_of_atom key v }
+      | "clock-ghz" -> { g with clock_ghz = get float_of_atom key v }
+      | "warp-size" -> { g with warp_size = get int_of_atom key v }
+      | "max-threads-per-sm" -> { g with max_threads_per_sm = get int_of_atom key v }
+      | "max-blocks-per-sm" -> { g with max_blocks_per_sm = get int_of_atom key v }
+      | "max-threads-per-block" -> { g with max_threads_per_block = get int_of_atom key v }
+      | "registers-per-sm" -> { g with registers_per_sm = get int_of_atom key v }
+      | "shared-mem-per-sm" -> { g with shared_mem_per_sm = get int_of_atom key v }
+      | "dram-bandwidth" -> { g with dram_bandwidth = get float_of_atom key v }
+      | "dram-bandwidth-gb" ->
+          { g with dram_bandwidth = Gpp_util.Units.gb_per_s (get float_of_atom key v) }
+      | "dram-latency-cycles" -> { g with dram_latency_cycles = get int_of_atom key v }
+      | "coalesce-segment" -> { g with coalesce_segment = get int_of_atom key v }
+      | "issue-cycles" -> { g with issue_cycles = get float_of_atom key v }
+      | "launch-overhead" -> { g with launch_overhead = get float_of_atom key v }
+      | "launch-overhead-us" ->
+          { g with launch_overhead = Gpp_util.Units.us (get float_of_atom key v) }
+      | "flops-per-core-cycle" -> { g with flops_per_core_cycle = get float_of_atom key v }
+      | _ -> bad "gpu: unknown key %S" key)
+    (seed_of "gpu" Gpu.presets base pairs)
+    pairs
+
+let link_group base value =
+  let pairs = pairs_of "link" value in
+  List.fold_left
+    (fun (l : Pcie_spec.t) (key, v) ->
+      match key with
+      | "preset" -> l
+      | "generation" -> { l with generation = get Pcie_spec.generation_of_name key v }
+      | "lanes" -> { l with lanes = get int_of_atom key v }
+      | "max-payload" -> { l with max_payload = get int_of_atom key v }
+      | "header-bytes" -> { l with header_bytes = get int_of_atom key v }
+      | _ -> bad "link: unknown key %S" key)
+    (seed_of "link" Pcie_spec.presets base pairs)
+    pairs
+
+(* One descriptor: a (key value) pair list.  [base] (looked up in the
+   catalog built so far, so a descriptor can extend a builtin or an
+   earlier entry in the same file) seeds every component; without it the
+   seed is the paper's testbed.  [id] defaults to the base's id, so
+   [(base kepler) (staging pageable)] *overrides* kepler in place. *)
+let of_sexp ~base:lookup sexp =
+  let pairs = pairs_of "machine" sexp in
+  let base =
+    match List.assoc_opt "base" pairs with
+    | None -> None
+    | Some v -> (
+        let id = atom "base" v in
+        match lookup id with
+        | Some m -> Some m
+        | None -> bad "base: unknown machine %S" id)
+  in
+  let id =
+    match (List.assoc_opt "id" pairs, base) with
+    | Some v, _ -> atom "id" v
+    | None, Some (b : Machine.t) -> b.id
+    | None, None -> bad "machine: missing (id ...) (or a (base ...) to inherit one)"
+  in
+  let start =
+    match base with Some b -> { b with Machine.id } | None -> { Machine.argonne_node with id }
+  in
+  let wrap f = try f () with Bad m -> bad "machine %s: %s" id m in
+  let t =
+    List.fold_left
+      (fun (m : Machine.t) (key, v) ->
+        match key with
+        | "id" | "base" -> m
+        | "name" -> { m with name = atom key v }
+        | "staging" -> { m with staging = get Machine.staging_of_name key v }
+        | "cpu" -> wrap (fun () -> { m with cpu = cpu_group m.cpu v })
+        | "gpu" -> wrap (fun () -> { m with gpu = gpu_group m.gpu v })
+        | "link" | "pcie" -> wrap (fun () -> { m with pcie = link_group m.pcie v })
+        | _ -> bad "machine %s: unknown key %S" id key)
+      start pairs
+  in
+  match Machine.validate t with Ok () -> t | Error m -> bad "machine %s" m
+
+(* Full explicit rendering, the inverse of [of_sexp] on its output: raw
+   SI units, floats printed with enough digits to round-trip exactly. *)
+let fl f = Sexp.Atom (Printf.sprintf "%.17g" f)
+
+let it n = Sexp.Atom (string_of_int n)
+
+let pair key v = Sexp.List [ Sexp.Atom key; v ]
+
+let to_sexp (m : Machine.t) =
+  let c = m.cpu and g = m.gpu and l = m.pcie in
+  Sexp.List
+    [
+      pair "id" (Sexp.Atom m.id);
+      pair "name" (Sexp.Atom m.name);
+      pair "staging" (Sexp.Atom (Machine.staging_name m.staging));
+      pair "cpu"
+        (Sexp.List
+           [
+             pair "name" (Sexp.Atom c.name);
+             pair "cores" (it c.cores);
+             pair "threads" (it c.threads);
+             pair "clock-ghz" (fl c.clock_ghz);
+             pair "flops-per-core-cycle" (fl c.flops_per_core_cycle);
+             pair "mem-bandwidth" (fl c.mem_bandwidth);
+             pair "achieved-bw-fraction" (fl c.achieved_bw_fraction);
+             pair "llc-bytes" (it c.llc_bytes);
+             pair "cache-bandwidth" (fl c.cache_bandwidth);
+             pair "parallel-efficiency" (fl c.parallel_efficiency);
+             pair "parallel-overhead" (fl c.parallel_overhead);
+           ]);
+      pair "gpu"
+        (Sexp.List
+           [
+             pair "name" (Sexp.Atom g.name);
+             pair "sm-count" (it g.sm_count);
+             pair "cores-per-sm" (it g.cores_per_sm);
+             pair "clock-ghz" (fl g.clock_ghz);
+             pair "warp-size" (it g.warp_size);
+             pair "max-threads-per-sm" (it g.max_threads_per_sm);
+             pair "max-blocks-per-sm" (it g.max_blocks_per_sm);
+             pair "max-threads-per-block" (it g.max_threads_per_block);
+             pair "registers-per-sm" (it g.registers_per_sm);
+             pair "shared-mem-per-sm" (it g.shared_mem_per_sm);
+             pair "dram-bandwidth" (fl g.dram_bandwidth);
+             pair "dram-latency-cycles" (it g.dram_latency_cycles);
+             pair "coalesce-segment" (it g.coalesce_segment);
+             pair "issue-cycles" (fl g.issue_cycles);
+             pair "launch-overhead" (fl g.launch_overhead);
+             pair "flops-per-core-cycle" (fl g.flops_per_core_cycle);
+           ]);
+      pair "link"
+        (Sexp.List
+           [
+             pair "generation"
+               (Sexp.Atom (String.lowercase_ascii (Pcie_spec.generation_name l.generation)));
+             pair "lanes" (it l.lanes);
+             pair "max-payload" (it l.max_payload);
+             pair "header-bytes" (it l.header_bytes);
+           ]);
+    ]
+
+(* Replace by id where ids collide (catalog order preserved), append the
+   rest — so a descriptor file can both tweak builtins and add new
+   machines, and `grophecy list` keeps a stable order. *)
+let merge base extra =
+  let replaced =
+    List.map
+      (fun (m : Machine.t) ->
+        match List.find_opt (fun (e : Machine.t) -> String.equal e.Machine.id m.id) extra with
+        | Some e -> e
+        | None -> m)
+      base
+  in
+  let fresh =
+    List.filter
+      (fun (e : Machine.t) ->
+        not (List.exists (fun (m : Machine.t) -> String.equal m.Machine.id e.Machine.id) base))
+      extra
+  in
+  replaced @ fresh
+
+let extend ~base descriptors =
+  let parsed =
+    List.fold_left
+      (fun acc sexp ->
+        let lookup id =
+          match List.find_opt (fun (m : Machine.t) -> String.equal m.Machine.id id) acc with
+          | Some m -> Some m
+          | None -> List.find_opt (fun (m : Machine.t) -> String.equal m.Machine.id id) base
+        in
+        let m = of_sexp ~base:lookup sexp in
+        if List.exists (fun (e : Machine.t) -> String.equal e.Machine.id m.Machine.id) acc then
+          bad "duplicate machine id %S" m.Machine.id
+        else acc @ [ m ])
+      [] descriptors
+  in
+  merge base parsed
+
+let extend_result ~base descriptors =
+  match extend ~base descriptors with
+  | catalog -> Ok catalog
+  | exception Bad m -> Error m
+
+(* A catalog file is [(machines <descriptor> ...)], or a bare list of
+   descriptors. *)
+let descriptors_of_file_sexp = function
+  | Sexp.Atom a -> bad "expected (machines ...), got %S" a
+  | Sexp.List (Sexp.Atom "machines" :: rest) -> rest
+  | Sexp.List items -> items
+
+let load_file ~base path =
+  match Sexp.parse_file path with
+  | Error m -> Error (Error.config ~source:path (Printf.sprintf "%s: %s" path m))
+  | Ok sexp -> (
+      match extend ~base (descriptors_of_file_sexp sexp) with
+      | catalog -> Ok catalog
+      | exception Bad m -> Error (Error.config ~source:path (Printf.sprintf "%s: %s" path m)))
+
+let find catalog id =
+  match List.find_opt (fun (m : Machine.t) -> String.equal m.Machine.id id) catalog with
+  | Some m -> Ok m
+  | None ->
+      Error
+        (Printf.sprintf "unknown machine %S (catalog: %s)" id
+           (String.concat ", " (List.map (fun (m : Machine.t) -> m.Machine.id) catalog)))

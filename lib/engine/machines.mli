@@ -1,0 +1,65 @@
+(** Machine-descriptor catalogs: the sexp form of {!Gpp_arch.Machine.t}.
+
+    A descriptor is a [(key value)] pair list:
+
+    {v ((id ampere-x8)
+        (base ampere)                ; seed from a catalog machine
+        (name "Ampere, x8 slot")
+        (staging pageable)
+        (cpu  ((preset epyc-7502) (cores 16)))
+        (gpu  ((preset a100)))
+        (link ((preset pcie4-x16) (lanes 8)))) v}
+
+    [base] seeds every field from an existing catalog entry (a builtin
+    or an earlier descriptor in the same file); without it the seed is
+    the paper's testbed and [id] is required.  Component groups may
+    start from a named [preset] ({!Gpp_arch.Cpu.presets},
+    {!Gpp_arch.Gpu.presets}, {!Gpp_arch.Pcie_spec.presets}) and
+    override individual fields; bandwidths take raw bytes/s or the
+    [-gb] convenience keys, overheads seconds or [-us].
+
+    Catalog files ([--machines FILE] / [GPP_MACHINES] / the config
+    file's [(machines ...)] group) hold [(machines <descriptor> ...)].
+    Parsed machines are validated ({!Gpp_arch.Machine.validate});
+    errors name the file and the machine id.  Merging replaces catalog
+    entries with a matching [id] in place and appends new ids. *)
+
+exception Bad of string
+(** Parse/validation failure; the message names the key and machine. *)
+
+val of_sexp :
+  base:(string -> Gpp_arch.Machine.t option) -> Sexp.t -> Gpp_arch.Machine.t
+(** Parse one descriptor.  [base] resolves [(base id)] references.
+    @raise Bad on malformed input or failed validation. *)
+
+val to_sexp : Gpp_arch.Machine.t -> Sexp.t
+(** Full explicit rendering; [of_sexp] over it reconstructs the machine
+    exactly (floats keep every bit). *)
+
+val extend :
+  base:Gpp_arch.Machine.t list -> Sexp.t list -> Gpp_arch.Machine.t list
+(** Parse descriptors in order against [base] and merge.  Duplicate ids
+    {e within} the descriptors are an error; overriding a [base] entry
+    is the point.  @raise Bad as {!of_sexp}. *)
+
+val extend_result :
+  base:Gpp_arch.Machine.t list ->
+  Sexp.t list ->
+  (Gpp_arch.Machine.t list, string) result
+(** {!extend} with [Bad] captured. *)
+
+val load_file :
+  base:Gpp_arch.Machine.t list ->
+  string ->
+  (Gpp_arch.Machine.t list, Error.t) result
+(** Parse a catalog file and merge it over [base].  All failures —
+    unreadable file, sexp syntax, bad descriptor, duplicate id, failed
+    validation — are {!Error.Config} naming the file (exit 2). *)
+
+val merge :
+  Gpp_arch.Machine.t list -> Gpp_arch.Machine.t list -> Gpp_arch.Machine.t list
+(** [merge base extra]: replace by id, preserving [base] order; append
+    ids new to [base]. *)
+
+val find : Gpp_arch.Machine.t list -> string -> (Gpp_arch.Machine.t, string) result
+(** Catalog lookup by id; the error lists the available ids. *)

@@ -1,0 +1,65 @@
+(** Cross-machine transfer-model evaluation.
+
+    The paper calibrates [T(d) = alpha + beta*d] per system (§III-C);
+    this experiment quantifies what happens when a calibration is
+    carried to a different system.  For every ordered (source, target)
+    machine pair it scores the source's calibrated models against the
+    target's noise-free ground truth (mean absolute % error over a
+    power-of-two transfer sweep, per direction) and against the
+    target's own end-to-end projections (the target's explored kernels
+    and transfer plan, re-priced with the source's models).  Rows with
+    source = target are the same-machine baseline: the residual of
+    two-point calibration against measurement noise.
+
+    Deterministic in (seed, machines, workloads, sweep) — the TSV is
+    golden-diffable. *)
+
+type pair = {
+  source : Gpp_arch.Machine.t;
+  target : Gpp_arch.Machine.t;
+  h2d_err : float;  (** Mean abs % transfer error over the sweep. *)
+  d2h_err : float;
+  e2e_err : float;
+      (** Mean abs % error of the cross-priced projected total vs the
+          target's own projection, over the workloads. *)
+}
+
+type t = {
+  machines : Gpp_arch.Machine.t list;
+  workloads : string list;
+  sizes : int list;
+  pairs : pair list;  (** Source-major, in machine order. *)
+}
+
+val default_workloads : string list
+(** [vecadd/16M], [hotspot/512 x 512], [srad/1024 x 1024] — small,
+    feasible on every catalog machine, spanning transfer-bound and
+    kernel-bound regimes. *)
+
+val run :
+  ?protocol:Gpp_pcie.Calibrate.protocol ->
+  ?analytic_params:Gpp_model.Analytic.params ->
+  ?space:Gpp_transform.Explore.space ->
+  ?policy:Gpp_dataflow.Analyzer.policy ->
+  ?seed:int64 ->
+  ?workloads:string list ->
+  ?max_bytes:int ->
+  machines:Gpp_arch.Machine.t list ->
+  unit ->
+  (t, Gpp_core.Error.t) result
+(** Calibrate every machine (staging-aware, like any session), project
+    every workload per machine, then score every ordered pair.
+    [max_bytes] bounds the power-of-two sweep (default 64 MiB).
+    Failures are the usual pipeline errors (unknown workload, no
+    feasible transformation). *)
+
+val tsv_header : string
+
+val to_tsv : t -> string
+(** One row per ordered pair: ids, same-machine marker, link labels,
+    and the three errors at fixed precision. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** The accuracy/scope tradeoff: same-machine residual, cross-machine
+    decay (best/worst pairs), and how many cross pairs stay within a
+    10% projected-total error budget. *)

@@ -21,9 +21,14 @@ let calibrate ?(protocol = default_protocol) link direction memory =
   let alpha = Float.max 0.0 (t_small -. (beta *. float_of_int protocol.small_bytes)) in
   Model.create ~alpha ~beta ~direction ~memory
 
-let calibrate_pinned_pair ?protocol link =
-  ( calibrate ?protocol link Link.Host_to_device Link.Pinned,
-    calibrate ?protocol link Link.Device_to_host Link.Pinned )
+(* H2D first, then D2H — the draw order every session has always used;
+   [calibrate_pair Pinned] must stay bit-identical to the historical
+   pinned pair. *)
+let calibrate_pair ?protocol link memory =
+  ( calibrate ?protocol link Link.Host_to_device memory,
+    calibrate ?protocol link Link.Device_to_host memory )
+
+let calibrate_pinned_pair ?protocol link = calibrate_pair ?protocol link Link.Pinned
 
 let calibrate_all ?protocol link =
   List.concat_map

@@ -28,9 +28,13 @@ val calibrate :
     @raise Invalid_argument unless
     [protocol.small_bytes < protocol.large_bytes]. *)
 
+val calibrate_pair : ?protocol:protocol -> Link.t -> Link.memory -> Model.t * Model.t
+(** [(host_to_device, device_to_host)] models for one staging mode, in
+    that draw order. *)
+
 val calibrate_pinned_pair : ?protocol:protocol -> Link.t -> Model.t * Model.t
-(** [(host_to_device, device_to_host)] pinned models — the combination
-    GROPHECY++ assumes (§III-C). *)
+(** [calibrate_pair link Pinned] — the combination GROPHECY++ assumes on
+    the paper's testbed (§III-C). *)
 
 val calibrate_all : ?protocol:protocol -> Link.t -> Model.t list
 (** All four (direction, memory) combinations. *)

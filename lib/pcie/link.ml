@@ -19,6 +19,10 @@ let direction_name = function
 
 let memory_name = function Pinned -> "pinned" | Pageable -> "pageable"
 
+let memory_of_staging = function
+  | Gpp_arch.Machine.Pinned -> Pinned
+  | Gpp_arch.Machine.Pageable -> Pageable
+
 type config = {
   spec : Pcie_spec.t;
   host_copy_bandwidth : float;

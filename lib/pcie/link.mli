@@ -29,6 +29,9 @@ val direction_name : direction -> string
 
 val memory_name : memory -> string
 
+val memory_of_staging : Gpp_arch.Machine.staging -> memory
+(** A machine's default staging mode as a link memory kind. *)
+
 type config = {
   spec : Gpp_arch.Pcie_spec.t;
   host_copy_bandwidth : float;  (** Staging memcpy bandwidth, bytes/s. *)

@@ -70,6 +70,46 @@ let test_machine_presets () =
   Alcotest.(check bool) "pcie gen1" true
     (Machine.argonne_node.Machine.pcie.Pcie.generation = Pcie.Gen1)
 
+let test_zoo_valid () =
+  List.iter
+    (fun (m : Machine.t) -> ignore (Helpers.check_ok m.Machine.id (Machine.validate m)))
+    Machine.zoo
+
+let test_catalog_shape () =
+  (* presets are frozen at the paper-era four — extension goldens
+     iterate them — and the zoo rides behind without id collisions. *)
+  Alcotest.(check int) "presets frozen" 4 (List.length Machine.presets);
+  Alcotest.(check int) "catalog = presets @ zoo"
+    (List.length Machine.presets + List.length Machine.zoo)
+    (List.length Machine.catalog);
+  let ids = List.map (fun (m : Machine.t) -> m.Machine.id) Machine.catalog in
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq String.compare ids));
+  List.iter
+    (fun id ->
+      match Machine.find ~id with
+      | Some m -> Alcotest.(check string) "find returns the id" id m.Machine.id
+      | None -> Alcotest.failf "find %s" id)
+    ids;
+  Alcotest.(check bool) "find misses politely" true (Machine.find ~id:"cray-1" = None)
+
+let test_zoo_spans_regimes () =
+  let gens =
+    List.sort_uniq compare
+      (List.map (fun (m : Machine.t) -> m.Machine.pcie.Pcie.generation) Machine.catalog)
+  in
+  Alcotest.(check bool) "gen1 through gen5 plus nvlink" true (List.length gens >= 6);
+  Alcotest.(check bool) "an nvlink machine exists" true
+    (List.exists (fun g -> g = Pcie.Nvlink2 || g = Pcie.Nvlink3) gens);
+  Alcotest.(check bool) "a pageable-staging machine exists" true
+    (List.exists (fun (m : Machine.t) -> m.Machine.staging = Machine.Pageable) Machine.zoo);
+  (* Link bandwidth spans two orders of magnitude across the catalog. *)
+  let bw =
+    List.map (fun (m : Machine.t) -> Pcie.effective_bandwidth m.Machine.pcie) Machine.catalog
+  in
+  let lo = List.fold_left min (List.hd bw) bw and hi = List.fold_left max (List.hd bw) bw in
+  Alcotest.(check bool) "dynamic range >= 50x" true (hi /. lo >= 50.0)
+
 let test_paper_bandwidth_claims () =
   (* Section II-B quotes 77 GB/s for the FX 5600 and 32 GB/s for the
      E5645's memory system. *)
@@ -100,6 +140,9 @@ let () =
       ( "machine",
         [
           Alcotest.test_case "presets" `Quick test_machine_presets;
+          Alcotest.test_case "zoo validates" `Quick test_zoo_valid;
+          Alcotest.test_case "catalog shape" `Quick test_catalog_shape;
+          Alcotest.test_case "zoo spans regimes" `Quick test_zoo_spans_regimes;
           Alcotest.test_case "paper claims" `Quick test_paper_bandwidth_claims;
         ] );
     ]

@@ -1,0 +1,253 @@
+(* Tests for Gpp_engine.Machines: the sexp machine-descriptor catalog
+   behind --machines / GPP_MACHINES / the config (machines ...) group. *)
+
+module Machine = Gpp_arch.Machine
+module Pcie = Gpp_arch.Pcie_spec
+module Machines = Gpp_engine.Machines
+module Sexp = Gpp_engine.Sexp
+module Error = Gpp_engine.Error
+
+let sexp_of_string s =
+  match Sexp.parse_string s with
+  | Ok sexp -> sexp
+  | Error m -> Alcotest.failf "test sexp did not parse: %s" m
+
+let parse ?(base = fun id -> Machine.find ~id) s = Machines.of_sexp ~base (sexp_of_string s)
+
+let with_catalog_file contents f =
+  let path = Filename.temp_file "gpp_machines" ".sexp" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+(* The error path every test below cares about: a Config error naming
+   the file, mapped onto exit code 2. *)
+let check_config_error msg ~path ~needle = function
+  | Ok _ -> Alcotest.failf "%s: expected a config error" msg
+  | Error (Error.Config { source; message }) ->
+      Alcotest.(check (option string)) (msg ^ ": source") (Some path) source;
+      Helpers.check_contains (msg ^ ": message names the file") ~needle:path message;
+      Helpers.check_contains (msg ^ ": message") ~needle message;
+      Alcotest.(check int)
+        (msg ^ ": exit code")
+        2
+        (Error.exit_code (Error.Config { source; message }))
+  | Error e -> Alcotest.failf "%s: expected Config, got %s" msg (Error.to_string e)
+
+(* -- descriptor parsing ------------------------------------------------- *)
+
+let test_base_and_overrides () =
+  let m =
+    parse
+      {|((base hopper) (id hopper-x8) (staging pageable)
+         (cpu ((mem-bandwidth-gb 100)))
+         (gpu ((launch-overhead-us 7)))
+         (link ((preset pcie5-x16) (lanes 8))))|}
+  in
+  Alcotest.(check string) "id" "hopper-x8" m.Machine.id;
+  Alcotest.(check bool) "staging" true (m.Machine.staging = Machine.Pageable);
+  Helpers.close_rel ~tolerance:1e-9 "cpu -gb key" 100e9 m.Machine.cpu.Gpp_arch.Cpu.mem_bandwidth;
+  Helpers.close_rel ~tolerance:1e-9 "gpu -us key" 7e-6
+    m.Machine.gpu.Gpp_arch.Gpu.launch_overhead;
+  Alcotest.(check int) "link lanes" 8 m.Machine.pcie.Pcie.lanes;
+  Alcotest.(check bool) "link preset gen" true (m.Machine.pcie.Pcie.generation = Pcie.Gen5);
+  (* Everything not overridden comes from the base. *)
+  let hopper = Option.get (Machine.find ~id:"hopper") in
+  Alcotest.(check string) "gpu inherited" hopper.Machine.gpu.Gpp_arch.Gpu.name
+    m.Machine.gpu.Gpp_arch.Gpu.name
+
+let test_id_defaults_to_base () =
+  (* (base kepler) with no (id ...) overrides kepler in place. *)
+  let m = parse {|((base kepler) (staging pageable))|} in
+  Alcotest.(check string) "id" "kepler" m.Machine.id
+
+let test_parse_errors_name_the_machine () =
+  let expect_bad msg ~needle s =
+    match parse s with
+    | exception Machines.Bad m -> Helpers.check_contains msg ~needle m
+    | _ -> Alcotest.failf "%s: expected Machines.Bad" msg
+  in
+  expect_bad "unknown key" ~needle:"machine hopper-x8" {|((base hopper) (id hopper-x8) (bogus 1))|};
+  expect_bad "unknown component key" ~needle:"link: unknown key"
+    {|((base hopper) (id x) (link ((speed 9))))|};
+  expect_bad "unknown base" ~needle:{|unknown machine "tpu"|} {|((base tpu) (id x))|};
+  expect_bad "missing id" ~needle:"missing (id ...)" {|((staging pinned))|};
+  expect_bad "unknown preset" ~needle:"unknown preset" {|((id x) (gpu ((preset rtx-9090))))|};
+  expect_bad "non-numeric" ~needle:"expected an integer" {|((id x) (link ((lanes many))))|}
+
+let test_validation_rejects_bad_values () =
+  (* lanes 3 parses but fails Pcie validation; the message carries the
+     machine id so a multi-machine file pinpoints the culprit. *)
+  match parse {|((base hopper) (id hopper-bad) (link ((lanes 3))))|} with
+  | exception Machines.Bad m -> Helpers.check_contains "names machine" ~needle:"hopper-bad" m
+  | _ -> Alcotest.fail "lanes 3 must not validate"
+
+(* -- catalog files ------------------------------------------------------ *)
+
+let test_load_file_good () =
+  with_catalog_file
+    {|(machines
+       ((base kepler) (staging pageable))
+       ((id toy) (base argonne) (name "toy") (link ((generation gen2)))))|}
+    (fun path ->
+      let catalog = Helpers.check_core "load" (Machines.load_file ~base:Machine.catalog path) in
+      (* kepler overridden in place: same position, new staging. *)
+      Alcotest.(check int) "no growth from override" (List.length Machine.catalog + 1)
+        (List.length catalog);
+      let kepler = Helpers.check_ok "kepler" (Machines.find catalog "kepler") in
+      Alcotest.(check bool) "kepler staging" true (kepler.Machine.staging = Machine.Pageable);
+      let toy = Helpers.check_ok "toy" (Machines.find catalog "toy") in
+      Alcotest.(check bool) "toy gen2" true (toy.Machine.pcie.Pcie.generation = Pcie.Gen2))
+
+let test_load_file_errors_name_the_file () =
+  with_catalog_file {|(machines ((base hopper) (id hx) (bogus 1)))|} (fun path ->
+      check_config_error "bad key" ~path ~needle:"machine hx"
+        (Machines.load_file ~base:Machine.catalog path));
+  with_catalog_file {|(machines ((base hopper) (id hx) (link ((lanes 3)))))|} (fun path ->
+      check_config_error "failed validation" ~path ~needle:"hx"
+        (Machines.load_file ~base:Machine.catalog path));
+  with_catalog_file {|(machines ((id dup) (base argonne)) ((id dup) (base gt200)))|}
+    (fun path ->
+      check_config_error "duplicate id" ~path ~needle:{|duplicate machine id "dup"|}
+        (Machines.load_file ~base:Machine.catalog path));
+  with_catalog_file {|(machines ((id unbalanced)|} (fun path ->
+      match Machines.load_file ~base:Machine.catalog path with
+      | Error (Error.Config { source = Some s; _ }) ->
+          Alcotest.(check string) "syntax error source" path s
+      | _ -> Alcotest.fail "syntax error must be Config");
+  match Machines.load_file ~base:Machine.catalog "/nonexistent/machines.sexp" with
+  | Error (Error.Config _) -> ()
+  | _ -> Alcotest.fail "unreadable file must be Config"
+
+let test_file_local_base_references () =
+  (* A descriptor can (base ...) an earlier descriptor in the same file. *)
+  with_catalog_file
+    {|(machines
+       ((id lab-a) (base ampere) (link ((lanes 8))))
+       ((id lab-b) (base lab-a) (staging pageable)))|}
+    (fun path ->
+      let catalog = Helpers.check_core "load" (Machines.load_file ~base:Machine.catalog path) in
+      let b = Helpers.check_ok "lab-b" (Machines.find catalog "lab-b") in
+      Alcotest.(check int) "inherited lanes" 8 b.Machine.pcie.Pcie.lanes;
+      Alcotest.(check bool) "own staging" true (b.Machine.staging = Machine.Pageable))
+
+let test_find_lists_catalog () =
+  let err = Helpers.check_error "unknown" (Machines.find Machine.catalog "cray-1") in
+  Helpers.check_contains "names the id" ~needle:{|"cray-1"|} err;
+  Helpers.check_contains "lists argonne" ~needle:"argonne" err;
+  Helpers.check_contains "lists hopper" ~needle:"hopper" err
+
+(* -- round-trip --------------------------------------------------------- *)
+
+let no_base _ = None
+
+let test_catalog_round_trips () =
+  List.iter
+    (fun (m : Machine.t) ->
+      let back = Machines.of_sexp ~base:no_base (Machines.to_sexp m) in
+      if back <> m then Alcotest.failf "%s: to_sexp/of_sexp changed the machine" m.Machine.id)
+    Machine.catalog
+
+let test_rendered_text_round_trips () =
+  (* Through the printer and parser, not just the Sexp.t value. *)
+  List.iter
+    (fun (m : Machine.t) ->
+      let text = Sexp.to_string (Machines.to_sexp m) in
+      let back = Machines.of_sexp ~base:no_base (sexp_of_string text) in
+      if back <> m then Alcotest.failf "%s: textual round-trip changed the machine" m.Machine.id)
+    Machine.catalog
+
+let qcheck_round_trip =
+  (* Perturb a catalog machine with awkward floats (%.17g must preserve
+     every bit) and random-but-valid structure, then round-trip. *)
+  let gen =
+    QCheck2.Gen.(
+      let* idx = int_bound (List.length Machine.catalog - 1) in
+      let* clock = float_range 0.1 9.9 in
+      let* dram = float_range 1e9 9e12 in
+      let* launch = float_range 1e-7 1e-3 in
+      let* lanes = oneofl [ 1; 2; 4; 8; 16 ] in
+      let+ staging = oneofl [ Machine.Pinned; Machine.Pageable ] in
+      let m = List.nth Machine.catalog idx in
+      {
+        m with
+        Machine.id = m.Machine.id ^ "-q";
+        staging;
+        cpu = { m.Machine.cpu with Gpp_arch.Cpu.clock_ghz = clock };
+        gpu =
+          {
+            m.Machine.gpu with
+            Gpp_arch.Gpu.dram_bandwidth = dram;
+            Gpp_arch.Gpu.launch_overhead = launch;
+          };
+        pcie =
+          (match m.Machine.pcie.Pcie.generation with
+          | Pcie.Nvlink2 | Pcie.Nvlink3 -> m.Machine.pcie
+          | _ -> { m.Machine.pcie with Pcie.lanes });
+      })
+  in
+  Helpers.qtest ~count:200 "descriptor round-trip is exact" gen (fun m ->
+      Machines.of_sexp ~base:no_base (Machines.to_sexp m) = m)
+
+(* -- name tables -------------------------------------------------------- *)
+
+let test_staging_names () =
+  List.iter
+    (fun s ->
+      match Machine.staging_of_name (Machine.staging_name s) with
+      | Ok s' when s' = s -> ()
+      | _ -> Alcotest.fail "staging name round-trip")
+    [ Machine.Pinned; Machine.Pageable ];
+  ignore (Helpers.check_error "bad staging" (Machine.staging_of_name "mapped"))
+
+let test_generation_names () =
+  List.iter
+    (fun (name, expected) ->
+      let g = Helpers.check_ok name (Pcie.generation_of_name name) in
+      Alcotest.(check bool) name true (g = expected))
+    [
+      ("gen3", Pcie.Gen3);
+      ("GEN3", Pcie.Gen3);
+      ("3", Pcie.Gen3);
+      ("nvlink2", Pcie.Nvlink2);
+      ("NVLink3", Pcie.Nvlink3);
+    ];
+  ignore (Helpers.check_error "gen9" (Pcie.generation_of_name "gen9"))
+
+let () =
+  Alcotest.run "gpp_machines"
+    [
+      ( "descriptor",
+        [
+          Alcotest.test_case "base + overrides" `Quick test_base_and_overrides;
+          Alcotest.test_case "id defaults to base" `Quick test_id_defaults_to_base;
+          Alcotest.test_case "parse errors name the machine" `Quick
+            test_parse_errors_name_the_machine;
+          Alcotest.test_case "validation rejects bad values" `Quick
+            test_validation_rejects_bad_values;
+        ] );
+      ( "catalog file",
+        [
+          Alcotest.test_case "load + merge" `Quick test_load_file_good;
+          Alcotest.test_case "errors name the file (exit 2)" `Quick
+            test_load_file_errors_name_the_file;
+          Alcotest.test_case "file-local base references" `Quick test_file_local_base_references;
+          Alcotest.test_case "find lists the catalog" `Quick test_find_lists_catalog;
+        ] );
+      ( "round-trip",
+        [
+          Alcotest.test_case "whole catalog (sexp value)" `Quick test_catalog_round_trips;
+          Alcotest.test_case "whole catalog (rendered text)" `Quick
+            test_rendered_text_round_trips;
+          qcheck_round_trip;
+        ] );
+      ( "names",
+        [
+          Alcotest.test_case "staging" `Quick test_staging_names;
+          Alcotest.test_case "link generations" `Quick test_generation_names;
+        ] );
+    ]
