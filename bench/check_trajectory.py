@@ -43,6 +43,10 @@ METRICS = [
     ("BENCH_serve.json", "warm_ms_per_request", "lower"),
     ("BENCH_serve.json", "warm_requests_per_s", "higher"),
     ("BENCH_serve.json", "healthz_requests_per_s", "higher"),
+    ("BENCH_predict.json", "fit_s", "lower"),
+    ("BENCH_predict.json", "analytic_predictions_per_s", "higher"),
+    ("BENCH_predict.json", "scaled_predictions_per_s", "higher"),
+    ("BENCH_predict.json", "learned_predictions_per_s", "higher"),
 ]
 
 
@@ -124,6 +128,11 @@ def self_test():
             "benchmark": "serve", "cold_first_request_s": 5.0,
             "warm_ms_per_request": 0.2, "warm_requests_per_s": 5000.0,
             "healthz_requests_per_s": 9000.0,
+        },
+        "BENCH_predict.json": {
+            "benchmark": "predict", "training_workloads": 10, "assembly_reps": 200,
+            "fit_s": 6.0, "analytic_predictions_per_s": 6000000.0,
+            "scaled_predictions_per_s": 7000000.0, "learned_predictions_per_s": 800000.0,
         },
     }
     import copy

@@ -169,6 +169,88 @@ let analysis_ab () =
         scaling);
   Printf.printf "  wrote BENCH_analysis.json (%d programs)\n%!" (List.length programs)
 
+(* Predictor-stack leg: the cost of training the Learned stage's ridge
+   correction (the full leave-none-out fit over the Table I registry,
+   simulations included) and the marginal cost each predictor variant
+   adds to assembling a projection — analytic is the baseline, scaled
+   re-prices through rebuilt models, learned additionally extracts
+   features and applies the correction.  Writes BENCH_predict.json. *)
+let predict_ab () =
+  print_endline "predict bench: correction fit + per-variant assembly throughput";
+  let machine = Gpp_arch.Machine.argonne_node in
+  let target =
+    match
+      List.find_opt (fun (m : Gpp_arch.Machine.t) -> m.Gpp_arch.Machine.id = "dgx-a100")
+        Gpp_arch.Machine.catalog
+    with
+    | Some m -> m
+    | None -> failwith "predict bench: dgx-a100 missing from the catalog"
+  in
+  let config = Gpp_engine.Config.default in
+  let session = Gpp_engine.Pipeline.session_of config in
+  let correction = ref None in
+  let fit_s =
+    timed (fun () ->
+        match Gpp_engine.Learn.correction ~config ~session () with
+        | Ok c -> correction := Some c
+        | Error e -> failwith ("predict bench: fit failed: " ^ Gpp_engine.Error.message e))
+  in
+  Printf.printf "  correction fit (full registry, sims included): %6.2f s\n%!" fit_s;
+  let correction = Option.get !correction in
+  let prepared =
+    List.map
+      (fun (i : Gpp_workloads.Registry.instance) ->
+        let program = i.program 1 in
+        let kernels =
+          match Gpp_core.Projection.explore ~machine program with
+          | Ok ks -> ks
+          | Error e -> failwith ("predict bench: explore failed: " ^ Gpp_core.Error.to_string e)
+        in
+        (program, kernels, Gpp_dataflow.Analyzer.analyze program))
+      Gpp_workloads.Registry.paper_instances
+  in
+  let variant name =
+    match Gpp_predict.Predictor.of_string name with
+    | Ok p -> p
+    | Error m -> failwith ("predict bench: " ^ m)
+  in
+  let pricing_of predictor =
+    let p =
+      Gpp_predict.Pricing.make ~predictor ~source:machine ~target
+        ~h2d:session.Gpp_core.Grophecy.h2d ~d2h:session.Gpp_core.Grophecy.d2h ()
+    in
+    if Gpp_predict.Predictor.has_learned predictor then
+      Gpp_predict.Pricing.with_correction p correction
+    else p
+  in
+  let reps = 200 in
+  let throughput pricing =
+    let t0 = now_s () in
+    for _ = 1 to reps do
+      List.iter
+        (fun (program, kernels, plan) ->
+          ignore (Gpp_core.Projection.assemble ~pricing ~kernels ~plan program))
+        prepared
+    done;
+    float_of_int (reps * List.length prepared) /. (now_s () -. t0)
+  in
+  let rate name =
+    let r = throughput (pricing_of (variant name)) in
+    Printf.printf "  %-16s %10.0f predictions/s\n%!" name r;
+    r
+  in
+  let analytic_rate = rate "analytic" in
+  let scaled_rate = rate "scaled" in
+  let learned_rate = rate "scaled,learned" in
+  Out_channel.with_open_text "BENCH_predict.json" (fun oc ->
+      Printf.fprintf oc
+        "{\n  \"benchmark\": \"predict\",\n  \"training_workloads\": %d,\n  \
+         \"assembly_reps\": %d,\n  \"fit_s\": %.3f,\n  \"analytic_predictions_per_s\": %.0f,\n  \
+         \"scaled_predictions_per_s\": %.0f,\n  \"learned_predictions_per_s\": %.0f\n}\n"
+        (List.length Gpp_workloads.Registry.paper_instances)
+        reps fit_s analytic_rate scaled_rate learned_rate);
+  Printf.printf "  wrote BENCH_predict.json\n%!"
+
 let experiment_tests =
   List.map
     (fun (e : Gpp_experiments.Suite.entry) ->
@@ -308,16 +390,14 @@ let stage_tests =
           fun () ->
             let s = Lazy.force session in
             ignore
-              (Gpp_core.Projection.project ~machine ~h2d:s.Gpp_core.Grophecy.h2d
-                 ~d2h:s.Gpp_core.Grophecy.d2h program)));
+              (Gpp_core.Projection.project ~pricing:s.Gpp_core.Grophecy.pricing program)));
     Test.make ~name:"stage:gpu-simulation"
       (Staged.stage
          (let program = Gpp_workloads.Srad.program ~n:1024 () in
           let s = Lazy.force session in
           let projection =
             match
-              Gpp_core.Projection.project ~machine ~h2d:s.Gpp_core.Grophecy.h2d
-                ~d2h:s.Gpp_core.Grophecy.d2h program
+              Gpp_core.Projection.project ~pricing:s.Gpp_core.Grophecy.pricing program
             with
             | Ok p -> p
             | Error e -> failwith (Gpp_core.Error.to_string e)
@@ -367,11 +447,16 @@ let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then (
     serve_ab ();
     exit 0);
+  (* `bench/main.exe predict` refreshes BENCH_predict.json alone. *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "predict" then (
+    predict_ab ();
+    exit 0);
   cache_ab ();
   batch_ab ();
   analysis_ab ();
   obs_overhead ();
   serve_ab ();
+  predict_ab ();
   (* Force the shared context up front so its (substantial) cost is not
      attributed to the first benchmark. *)
   print_endline "building measurement context (calibration + all Table I workloads)...";

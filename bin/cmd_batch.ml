@@ -7,11 +7,11 @@ module Engine = Gpp_engine
    (the CI batch-matrix leg diffs it against a committed golden file).
    Per-cell failures become rows, not aborts; exit 1 if any cell failed. *)
 
-let run machines machines_file workloads iterations_list out jobs seed config_file no_cache
-    cache_dir trace verbose =
+let run machines machines_file workloads iterations_list out jobs seed predict config_file
+    no_cache cache_dir trace verbose =
   match
-    Cmd_common.scenario ?machines_file ?seed ?jobs ?config_file ~no_cache ~cache_dir ~trace
-      ~verbose ()
+    Cmd_common.scenario ?machines_file ?seed ?jobs ?predict ?config_file ~no_cache ~cache_dir
+      ~trace ~verbose ()
   with
   | Error e -> Cmd_common.fail e
   | Ok c -> (
@@ -95,6 +95,7 @@ let cmd =
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
       const run $ machines_arg $ Cmd_common.machines_file_arg $ workloads_arg $ iterations_arg
-      $ out_arg $ jobs_arg $ Cmd_common.seed_opt_arg $ Cmd_common.config_file_arg
+      $ out_arg $ jobs_arg $ Cmd_common.seed_opt_arg $ Cmd_common.predict_arg
+      $ Cmd_common.config_file_arg
       $ Cmd_common.no_cache_arg $ Cmd_common.cache_dir_arg $ Cmd_common.trace_file_arg
       $ Cmd_common.verbose_arg)

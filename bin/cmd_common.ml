@@ -109,6 +109,17 @@ let transfer_plan_arg =
   in
   Arg.(value & opt (some plan_conv) None & info [ "transfer-plan" ] ~docv:"PLAN" ~doc)
 
+let predict_arg =
+  let doc =
+    "Predictor stack for transfer pricing: a comma-separated list of stages among $(b,analytic) \
+     (the paper's calibrated projection, the default), $(b,scaled) (rescale the calibrated \
+     (alpha, beta) by the source and target machines' spec'd setup/bandwidth ratios), and \
+     $(b,learned) (additionally fit a ridge correction of the projected total against simulated \
+     measurements, leave-one-workload-out).  Layers under $(b,GPP_PREDICT) and the config file's \
+     $(b,(predict (stages ...))) key.  Unknown stage names exit 2 with a suggestion."
+  in
+  Arg.(value & opt (some string) None & info [ "predict" ] ~docv:"STACK" ~doc)
+
 let session_of machine seed = Gpp_core.Grophecy.init ~seed machine
 
 (* Resolve a list of machine names against a resolved scenario's
@@ -134,8 +145,8 @@ let fail e =
 (* Layered scenario resolution + process-wide setup for the pipeline
    commands.  Flags arrive as options ([None] = not given) so lower
    layers show through. *)
-let scenario ?machines_file ?machine ?seed ?runs ?iterations ?jobs ?transfer_plan ?listen
-    ?flush_every ?config_file ~no_cache ~cache_dir ~trace ~verbose () =
+let scenario ?machines_file ?machine ?seed ?runs ?iterations ?jobs ?transfer_plan ?predict
+    ?listen ?flush_every ?config_file ~no_cache ~cache_dir ~trace ~verbose () =
   let overrides =
     {
       Config.o_machines_file = machines_file;
@@ -149,6 +160,7 @@ let scenario ?machines_file ?machine ?seed ?runs ?iterations ?jobs ?transfer_pla
       o_trace = trace;
       o_verbose = verbose;
       o_transfer_plan = transfer_plan;
+      o_predict = predict;
       o_listen = listen;
       o_flush_every = flush_every;
     }

@@ -8,8 +8,28 @@ module Crossval = Gpp_experiments.Crossval
    stable TSV (the CI cross-machine leg diffs it against a committed
    golden file).  Same-machine rows are the accuracy baseline. *)
 
-let run machines machines_file workloads max_mib out summary seed config_file no_cache cache_dir
-    trace verbose =
+(* Each --predict occurrence names one predictor variant to score; no
+   occurrence keeps the historical single-matrix output byte-identical. *)
+let parse_predictors specs =
+  List.fold_left
+    (fun acc spec ->
+      match acc with
+      | Error _ as e -> e
+      | Ok ps -> (
+          match Gpp_predict.Predictor.of_string spec with
+          | Ok p -> Ok (ps @ [ p ])
+          | Error m -> Error (Engine.Error.config ~source:"--predict" m)))
+    (Ok []) specs
+
+let emit_tsv ~out ~count tsv =
+  match out with
+  | None -> print_string tsv
+  | Some path ->
+      Out_channel.with_open_text path (fun oc -> output_string oc tsv);
+      Printf.printf "wrote %d pair(s) to %s\n" count path
+
+let run machines machines_file workloads predicts max_mib out summary seed config_file no_cache
+    cache_dir trace verbose =
   match
     Cmd_common.scenario ?machines_file ?seed ?config_file ~no_cache ~cache_dir ~trace ~verbose ()
   with
@@ -22,24 +42,36 @@ let run machines machines_file workloads max_mib out summary seed config_file no
             match resolved with [] -> c.Engine.Config.machines | ms -> ms
           in
           let workloads = match workloads with [] -> None | ws -> Some ws in
-          match
-            Crossval.run ?protocol:c.Engine.Config.protocol
-              ?analytic_params:c.Engine.Config.analytic ?space:c.Engine.Config.space
-              ?policy:c.Engine.Config.policy ~seed:c.Engine.Config.seed ?workloads
-              ~max_bytes:(max_mib * Gpp_util.Units.mib) ~machines ()
-          with
+          match parse_predictors predicts with
           | Error e -> Cmd_common.fail e
-          | Ok result ->
-              let tsv = Crossval.to_tsv result in
-              (match out with
-              | None -> print_string tsv
-              | Some path ->
-                  Out_channel.with_open_text path (fun oc -> output_string oc tsv);
-                  Printf.printf "wrote %d pair(s) to %s\n"
-                    (List.length result.Crossval.pairs)
-                    path);
-              if summary then Format.printf "%a@." Crossval.pp_summary result;
-              0))
+          | Ok [] -> (
+              match
+                Crossval.run ?protocol:c.Engine.Config.protocol
+                  ?analytic_params:c.Engine.Config.analytic ?space:c.Engine.Config.space
+                  ?policy:c.Engine.Config.policy ~seed:c.Engine.Config.seed ?workloads
+                  ~max_bytes:(max_mib * Gpp_util.Units.mib) ~machines ()
+              with
+              | Error e -> Cmd_common.fail e
+              | Ok result ->
+                  emit_tsv ~out ~count:(List.length result.Crossval.pairs)
+                    (Crossval.to_tsv result);
+                  if summary then Format.printf "%a@." Crossval.pp_summary result;
+                  0)
+          | Ok predictors -> (
+              match
+                Crossval.run_variants ?protocol:c.Engine.Config.protocol
+                  ?analytic_params:c.Engine.Config.analytic ?space:c.Engine.Config.space
+                  ?policy:c.Engine.Config.policy ?sim_config:c.Engine.Config.sim
+                  ?runs:c.Engine.Config.runs ~lambda:c.Engine.Config.predict_lambda
+                  ~seed:c.Engine.Config.seed ?workloads
+                  ~max_bytes:(max_mib * Gpp_util.Units.mib) ~predictors ~machines ()
+              with
+              | Error e -> Cmd_common.fail e
+              | Ok result ->
+                  emit_tsv ~out ~count:(List.length result.Crossval.rows)
+                    (Crossval.variants_to_tsv result);
+                  if summary then Format.printf "%a@." Crossval.pp_variants_summary result;
+                  0)))
 
 let cmd =
   let doc =
@@ -62,6 +94,18 @@ let cmd =
             "Workload instance ($(b,app/size)) for the end-to-end leg (repeatable).  Defaults \
              to a small transfer- and kernel-bound mix.")
   in
+  let predict_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "predict" ] ~docv:"STACK"
+          ~doc:
+            "Predictor variant to score (repeatable): a comma-separated stage list among \
+             $(b,analytic), $(b,scaled), and $(b,learned), e.g. $(b,--predict analytic --predict \
+             scaled --predict scaled,learned).  With at least one occurrence the matrix switches \
+             to the per-variant format scored against each target's simulated measured totals; \
+             without it the historical single-matrix TSV is emitted unchanged.  Unknown stage \
+             names exit 2 with a suggestion.")
+  in
   let max_mib_arg =
     Arg.(
       value & opt int 64
@@ -83,7 +127,7 @@ let cmd =
   in
   Cmd.v (Cmd.info "crossval" ~doc)
     Term.(
-      const run $ machines_arg $ Cmd_common.machines_file_arg $ workloads_arg $ max_mib_arg
-      $ out_arg $ summary_arg $ Cmd_common.seed_opt_arg $ Cmd_common.config_file_arg
+      const run $ machines_arg $ Cmd_common.machines_file_arg $ workloads_arg $ predict_arg
+      $ max_mib_arg $ out_arg $ summary_arg $ Cmd_common.seed_opt_arg $ Cmd_common.config_file_arg
       $ Cmd_common.no_cache_arg $ Cmd_common.cache_dir_arg $ Cmd_common.trace_file_arg
       $ Cmd_common.verbose_arg)

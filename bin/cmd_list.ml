@@ -24,7 +24,33 @@ let list_machines catalog =
            (Gpp_arch.Pcie_spec.effective_bandwidth m.pcie)))
     catalog
 
-let run machines_file =
+(* Stable machine-readable output, mirroring `cache stats --porcelain`:
+   one record per line, record type first, TAB-separated:
+     workload\t<key>\t<kernel>[,<kernel>...]
+     machine\t<id>\t<link>\t<staging>\t<gpu>\t<bandwidth-bytes-per-sec>
+   CI and scripts pick axis values out of this instead of parsing the
+   human tables' column widths. *)
+let porcelain_workloads () =
+  List.iter
+    (fun (inst : Gpp_workloads.Registry.instance) ->
+      let program = inst.program 1 in
+      Printf.printf "workload\t%s\t%s\n"
+        (Gpp_workloads.Registry.key inst)
+        (String.concat ","
+           (List.map (fun (k : Gpp_skeleton.Ir.kernel) -> k.name) program.kernels)))
+    Gpp_workloads.Registry.all
+
+let porcelain_machines catalog =
+  List.iter
+    (fun (m : Machine.t) ->
+      Printf.printf "machine\t%s\t%s\t%s\t%s\t%.0f\n" m.id
+        (Gpp_arch.Pcie_spec.link_label m.pcie)
+        (Machine.staging_name m.staging)
+        m.gpu.Gpp_arch.Gpu.name
+        (Gpp_arch.Pcie_spec.effective_bandwidth m.pcie))
+    catalog
+
+let run machines_file porcelain =
   (* Honor the same sources as the pipeline commands: --machines beats
      GPP_MACHINES beats the builtin catalog. *)
   let file =
@@ -37,11 +63,26 @@ let run machines_file =
   with
   | Error e -> Cmd_common.fail e
   | Ok catalog ->
-      list_workloads ();
-      print_newline ();
-      list_machines catalog;
+      if porcelain then begin
+        porcelain_workloads ();
+        porcelain_machines catalog
+      end
+      else begin
+        list_workloads ();
+        print_newline ();
+        list_machines catalog
+      end;
       0
 
 let cmd =
   let doc = "List the bundled workload skeletons and the machine catalog." in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ Cmd_common.machines_file_arg)
+  let porcelain_arg =
+    Arg.(
+      value & flag
+      & info [ "porcelain" ]
+          ~doc:
+            "Stable machine-readable output: TAB-separated records ($(b,workload ...), \
+             $(b,machine ...)), one per line, following the $(b,cache stats --porcelain) \
+             conventions.")
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ Cmd_common.machines_file_arg $ porcelain_arg)

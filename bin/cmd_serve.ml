@@ -8,9 +8,10 @@ module Engine = Gpp_engine
    Blocks until SIGINT/SIGTERM, then flushes the cache tier and exits
    0. *)
 
-let run machine seed listen flush_every jobs config_file no_cache cache_dir trace verbose =
+let run machine seed listen flush_every jobs predict config_file no_cache cache_dir trace
+    verbose =
   match
-    Cmd_common.scenario ?machine ?seed ?jobs ?listen ?flush_every ?config_file ~no_cache
+    Cmd_common.scenario ?machine ?seed ?jobs ?predict ?listen ?flush_every ?config_file ~no_cache
       ~cache_dir ~trace ~verbose ()
   with
   | Error e -> Cmd_common.fail e
@@ -88,5 +89,6 @@ let cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const run $ Cmd_common.machine_opt_arg $ Cmd_common.seed_opt_arg $ listen_arg
-      $ flush_every_arg $ jobs_arg $ Cmd_common.config_file_arg $ Cmd_common.no_cache_arg
+      $ flush_every_arg $ jobs_arg $ Cmd_common.predict_arg $ Cmd_common.config_file_arg
+      $ Cmd_common.no_cache_arg
       $ Cmd_common.cache_dir_arg $ Cmd_common.trace_file_arg $ Cmd_common.verbose_arg)

@@ -7,8 +7,7 @@ let trace_workload machine seed key output verbose =
   | Ok inst -> (
       let session = Cmd_common.session_of machine seed in
       match
-        Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
-          ~d2h:session.Gpp_core.Grophecy.d2h (inst.program 1)
+        Gpp_core.Projection.project ~pricing:session.Gpp_core.Grophecy.pricing (inst.program 1)
       with
       | Error e -> Cmd_common.fail e
       | Ok projection ->

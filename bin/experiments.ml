@@ -88,7 +88,9 @@ let main () =
    crash; everything already printed reached the consumer. *)
 let () =
   Gpp_engine.Runtime.ignore_sigpipe ();
-  try main ()
+  try
+    main ();
+    Gpp_engine.Runtime.flush_stdout ()
   with e when Gpp_engine.Runtime.is_broken_pipe e ->
     Gpp_engine.Runtime.discard_stdout ();
     exit 0

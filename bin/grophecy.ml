@@ -68,7 +68,11 @@ let main_cmd =
 let () =
   Gpp_engine.Runtime.ignore_sigpipe ();
   let code =
-    try Cmd.eval' ~catch:false main_cmd with
+    try
+      let code = Cmd.eval' ~catch:false main_cmd in
+      Gpp_engine.Runtime.flush_stdout ();
+      code
+    with
     | e when Gpp_engine.Runtime.is_broken_pipe e ->
         Gpp_engine.Runtime.discard_stdout ();
         0

@@ -38,8 +38,7 @@ let () =
         (fun (machine : Gpp_arch.Machine.t) ->
           let session = Gpp_core.Grophecy.init machine in
           match
-            Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
-              ~d2h:session.Gpp_core.Grophecy.d2h program
+            Gpp_core.Projection.project ~pricing:session.Gpp_core.Grophecy.pricing program
           with
           | Error e ->
               Format.printf "  %-28s error: %s@." machine.Gpp_arch.Machine.name

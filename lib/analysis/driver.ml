@@ -36,30 +36,10 @@ let find_code query =
   let canon = String.uppercase_ascii (String.trim query) in
   List.find_opt (fun (c : Pass.code_doc) -> c.Pass.code = canon) (code_index ())
 
-(* Levenshtein distance, O(|a|*|b|) with two rows — the code list is
-   tiny and queries are seven characters, so simplicity wins. *)
-let edit_distance a b =
-  let la = String.length a and lb = String.length b in
-  let prev = Array.init (lb + 1) Fun.id in
-  let curr = Array.make (lb + 1) 0 in
-  for i = 1 to la do
-    curr.(0) <- i;
-    for j = 1 to lb do
-      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
-      curr.(j) <- min (min (prev.(j) + 1) (curr.(j - 1) + 1)) (prev.(j - 1) + cost)
-    done;
-    Array.blit curr 0 prev 0 (lb + 1)
-  done;
-  prev.(lb)
-
 let nearest_code query =
   let canon = String.uppercase_ascii (String.trim query) in
-  code_index ()
-  |> List.map (fun (c : Pass.code_doc) -> (edit_distance canon c.Pass.code, c.Pass.code))
-  |> List.sort compare
-  |> function
-  | (_, code) :: _ -> code
-  | [] -> "GPP001"
+  let candidates = List.map (fun (c : Pass.code_doc) -> c.Pass.code) (code_index ()) in
+  Option.value (Gpp_util.Levenshtein.nearest ~candidates canon) ~default:"GPP001"
 
 let dedupe diagnostics =
   List.fold_left

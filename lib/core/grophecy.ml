@@ -11,10 +11,13 @@ type session = {
   application_link : Link.t;
   h2d : Gpp_pcie.Model.t;
   d2h : Gpp_pcie.Model.t;
+  predictor : Gpp_predict.Predictor.t;
+  pricing : Gpp_predict.Pricing.t;
   noise_seed : int64;
 }
 
-let init ?(seed = 0x1B0A_2013_6CA1_55AAL) ?(outlier_probability = 0.05) ?protocol machine =
+let init ?(seed = 0x1B0A_2013_6CA1_55AAL) ?(outlier_probability = 0.05) ?protocol
+    ?(predictor = Gpp_predict.Predictor.analytic) machine =
   let base_config = Link.default_config machine in
   let calibration_link = Link.create ~seed base_config in
   let application_link =
@@ -31,7 +34,23 @@ let init ?(seed = 0x1B0A_2013_6CA1_55AAL) ?(outlier_probability = 0.05) ?protoco
   Log.info (fun m ->
       m "calibrated %s: %a / %a" machine.Gpp_arch.Machine.name Gpp_pcie.Model.pp h2d
         Gpp_pcie.Model.pp d2h);
-  { machine; calibration_link; application_link; h2d; d2h; noise_seed = Int64.add seed 2L }
+  (* Same-machine pricing: the Scaled stage is the identity here, so
+     the models inside are the calibrated pair bit for bit whatever the
+     predictor.  Learned corrections are trained and attached by the
+     engine's Predict stage, not at session construction. *)
+  let pricing =
+    Gpp_predict.Pricing.make ~predictor ~source:machine ~target:machine ~h2d ~d2h ()
+  in
+  {
+    machine;
+    calibration_link;
+    application_link;
+    h2d;
+    d2h;
+    predictor;
+    pricing;
+    noise_seed = Int64.add seed 2L;
+  }
 
 type report = {
   program : Gpp_skeleton.Program.t;
@@ -97,8 +116,7 @@ let analyze ?(params = default_params) session program =
     | None -> program
   in
   let* projection =
-    Projection.project ?cache ?analytic_params ?space ?policy ~machine:session.machine
-      ~h2d:session.h2d ~d2h:session.d2h program
+    Projection.project ?cache ?analytic_params ?space ?policy ~pricing:session.pricing program
   in
   Log.info (fun m ->
       m "%s: projected kernel %a + transfer %a" program.Gpp_skeleton.Program.name

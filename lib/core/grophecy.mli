@@ -17,6 +17,12 @@ type session = {
           production-machine variability of §V-A. *)
   h2d : Gpp_pcie.Model.t;  (** Calibrated pinned host-to-device model. *)
   d2h : Gpp_pcie.Model.t;  (** Calibrated pinned device-to-host model. *)
+  predictor : Gpp_predict.Predictor.t;
+      (** The predictor stack this session prices through. *)
+  pricing : Gpp_predict.Pricing.t;
+      (** Same-machine pricing over the calibrated pair.  The Scaled
+          stage is the identity here; Learned corrections are trained
+          and attached by the engine's Predict stage. *)
   noise_seed : int64;
       (** Seed from which per-analysis measurement noise derives, so a
           session is reproducible end to end. *)
@@ -26,11 +32,13 @@ val init :
   ?seed:int64 ->
   ?outlier_probability:float ->
   ?protocol:Gpp_pcie.Calibrate.protocol ->
+  ?predictor:Gpp_predict.Predictor.t ->
   Gpp_arch.Machine.t ->
   session
 (** Build the link simulators and run the two-point calibration.
     [outlier_probability] (default 0.05) only affects the application
-    link. *)
+    link; [predictor] defaults to {!Gpp_predict.Predictor.analytic},
+    under which the session is bit-identical to the historical one. *)
 
 type report = {
   program : Gpp_skeleton.Program.t;

@@ -54,6 +54,23 @@ let measure_kernels ?cache ?sim_config ?(runs = 10) ?(seed = 0x4A7C_15F3_9E37_79
   in
   Ok (kernels, kernel_time)
 
+(* Noise-free counterpart of [price_transfers]: the link's deterministic
+   ground truth per planned transfer.  Pure (no RNG draw), so the
+   learned-correction trainer and the cross-machine variant scorer can
+   run it on any domain, in any order, without perturbing the stateful
+   application-link stream the goldens depend on. *)
+let expected_transfers ?(memory = Link.Pinned) ~link plan =
+  List.map
+    (fun (tr : Analyzer.transfer) ->
+      let direction =
+        match tr.Analyzer.direction with
+        | Analyzer.To_device -> Link.Host_to_device
+        | Analyzer.From_device -> Link.Device_to_host
+      in
+      let time = Link.expected_time link direction memory ~bytes:tr.Analyzer.bytes in
+      { transfer = tr; time })
+    (Analyzer.transfers plan)
+
 let price_transfers ?(runs = 10) ?(memory = Link.Pinned) ~link plan =
   List.map
     (fun (tr : Analyzer.transfer) ->

@@ -58,6 +58,17 @@ val measure_kernels :
     its arguments — kernel seeds come from a fresh RNG over [seed], so
     this half is safe to run on worker domains in any order. *)
 
+val expected_transfers :
+  ?memory:Gpp_pcie.Link.memory ->
+  link:Gpp_pcie.Link.t ->
+  Gpp_dataflow.Analyzer.plan ->
+  transfer_measurement list
+(** Noise-free counterpart of {!price_transfers}: each planned transfer
+    at the link's deterministic expected time ({!Gpp_pcie.Link.expected_time}).
+    Pure — no RNG draw — so it is safe on any domain in any order; the
+    learned-correction trainer and the cross-machine variant scorer use
+    it as measured ground truth for transfers. *)
+
 val price_transfers :
   ?runs:int ->
   ?memory:Gpp_pcie.Link.memory ->

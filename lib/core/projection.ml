@@ -1,6 +1,7 @@
 module Program = Gpp_skeleton.Program
 module Analyzer = Gpp_dataflow.Analyzer
 module Explore = Gpp_transform.Explore
+module Pricing = Gpp_predict.Pricing
 
 type kernel_projection = {
   kernel_name : string;
@@ -13,6 +14,7 @@ type priced_transfer = { transfer : Analyzer.transfer; time : float }
 type t = {
   program : Program.t;
   machine : Gpp_arch.Machine.t;
+  pricing : Pricing.t;
   h2d : Gpp_pcie.Model.t;
   d2h : Gpp_pcie.Model.t;
   kernels : kernel_projection list;
@@ -21,6 +23,7 @@ type t = {
   transfers : priced_transfer list;
   transfer_time : float;
   total_time : float;
+  predicted_total : float;
 }
 
 (* The pipeline is exposed in stages — validate + search ([explore]),
@@ -59,7 +62,13 @@ let explore ?cache ?analytic_params ?space ~machine (program : Program.t) =
   in
   Ok (List.rev kernels)
 
-let assemble ~machine ~h2d ~d2h ~kernels ~plan (program : Program.t) =
+(* Transfer pricing flows through the predictor: [pricing] carries the
+   post-[Scaled] models and the optional [Learned] correction.  The
+   default identity pricing reproduces the historical
+   [~machine ~h2d ~d2h] behaviour bit for bit (same models, no
+   correction, [predicted_total = total_time]). *)
+let assemble ~(pricing : Pricing.t) ~kernels ~plan (program : Program.t) =
+  let machine = Pricing.machine pricing in
   let time_of name =
     match List.find_opt (fun kp -> kp.kernel_name = name) kernels with
     | Some kp -> kp.time
@@ -69,33 +78,55 @@ let assemble ~machine ~h2d ~d2h ~kernels ~plan (program : Program.t) =
     List.fold_left (fun acc name -> acc +. time_of name) 0.0 (Program.flatten_schedule program)
   in
   let price (tr : Analyzer.transfer) =
-    let model = match tr.direction with Analyzer.To_device -> h2d | Analyzer.From_device -> d2h in
-    { transfer = tr; time = Gpp_pcie.Model.predict model ~bytes:tr.bytes }
+    let direction =
+      match tr.direction with
+      | Analyzer.To_device -> Gpp_pcie.Link.Host_to_device
+      | Analyzer.From_device -> Gpp_pcie.Link.Device_to_host
+    in
+    { transfer = tr; time = Pricing.predict pricing direction ~bytes:tr.bytes }
   in
   let transfers =
     Gpp_obs.Obs.span "core.price_transfers" @@ fun () ->
     List.map price (Analyzer.transfers plan)
   in
   let transfer_time = List.fold_left (fun acc pt -> acc +. pt.time) 0.0 transfers in
+  let total_time = kernel_time +. transfer_time in
+  let predicted_total =
+    match pricing.Pricing.correction with
+    | None -> total_time
+    | Some _ ->
+        let features =
+          Gpp_predict.Features.extract ~source:pricing.Pricing.source
+            ~target:pricing.Pricing.target ~program ~plan
+            ~kernels:
+              (List.map
+                 (fun kp -> kp.candidate.Explore.characteristics)
+                 kernels)
+        in
+        Pricing.corrected_total pricing ~features ~total:total_time
+  in
   {
     program;
     machine;
-    h2d;
-    d2h;
+    pricing;
+    h2d = pricing.Pricing.h2d;
+    d2h = pricing.Pricing.d2h;
     kernels;
     kernel_time;
     plan;
     transfers;
     transfer_time;
-    total_time = kernel_time +. transfer_time;
+    total_time;
+    predicted_total;
   }
 
-let project ?cache ?analytic_params ?space ?policy ~machine ~h2d ~d2h (program : Program.t) =
+let project ?cache ?analytic_params ?space ?policy ~pricing (program : Program.t) =
   Gpp_obs.Obs.span "core.project" @@ fun () ->
   let ( let* ) = Result.bind in
+  let machine = Pricing.machine pricing in
   let* kernels = explore ?cache ?analytic_params ?space ~machine program in
   let plan = Analyzer.analyze ?policy program in
-  Ok (assemble ~machine ~h2d ~d2h ~kernels ~plan program)
+  Ok (assemble ~pricing ~kernels ~plan program)
 
 let kernel_time_of t name =
   List.find_opt (fun (kp : kernel_projection) -> kp.kernel_name = name) t.kernels
@@ -121,5 +152,14 @@ let pp ppf t =
         (Gpp_util.Units.bytes_to_string pt.transfer.Analyzer.bytes)
         Gpp_util.Units.pp_time pt.time)
     t.transfers;
-  Format.fprintf ppf "  transfer time: %a@,  total: %a@]" Gpp_util.Units.pp_time t.transfer_time
-    Gpp_util.Units.pp_time t.total_time
+  Format.fprintf ppf "  transfer time: %a@,  total: %a" Gpp_util.Units.pp_time t.transfer_time
+    Gpp_util.Units.pp_time t.total_time;
+  (* Only a trained Learned stage adds output: the default predictor's
+     rendering is byte-identical to the pre-predictor pipeline. *)
+  (match t.pricing.Pricing.correction with
+  | None -> ()
+  | Some _ ->
+      Format.fprintf ppf "@,  corrected total (%s): %a"
+        (Gpp_predict.Predictor.name t.pricing.Pricing.predictor)
+        Gpp_util.Units.pp_time t.predicted_total);
+  Format.fprintf ppf "@]"

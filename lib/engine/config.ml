@@ -14,6 +14,8 @@ type t = {
   policy : Gpp_dataflow.Analyzer.policy option;
   sim : Gpp_gpusim.Gpu_sim.config option;
   cpu : Gpp_cpu.Timing.params option;
+  predictor : Gpp_predict.Predictor.t;
+  predict_lambda : float;
   lint : bool;
   jobs : int;
   cache_enabled : bool;
@@ -42,6 +44,8 @@ let default =
     policy = None;
     sim = None;
     cpu = None;
+    predictor = Gpp_predict.Predictor.analytic;
+    predict_lambda = Gpp_predict.Correction.default_lambda;
     lint = false;
     jobs = 1;
     cache_enabled = true;
@@ -200,6 +204,29 @@ let protocol_group base value =
       | _ -> bad "protocol: unknown key %S" key)
     value
 
+(* Shared by every layer that names a predictor, so the error text (and
+   its Levenshtein suggestion) is identical whether the bad name came
+   from a file, GPP_PREDICT, or --predict. *)
+let predictor_of_atom s =
+  match Gpp_predict.Predictor.of_string s with
+  | Ok p -> Ok p
+  | Error m -> Error m
+
+let nonneg_float_of_atom s =
+  match float_of_string_opt s with
+  | Some f when f >= 0.0 -> Ok f
+  | Some f -> Error (Printf.sprintf "expected a non-negative number, got %g" f)
+  | None -> Error (Printf.sprintf "expected a number, got %S" s)
+
+let predict_group (t : t) value =
+  List.fold_left
+    (fun (t : t) (key, v) ->
+      match key with
+      | "stages" -> { t with predictor = get predictor_of_atom key v }
+      | "lambda" -> { t with predict_lambda = get nonneg_float_of_atom key v }
+      | _ -> bad "predict: unknown key %S" key)
+    t (pairs_of "predict" value)
+
 let serve_group (t : t) value =
   List.fold_left
     (fun (t : t) (key, v) ->
@@ -240,6 +267,7 @@ let apply_entry (t : t) key value =
   | "verbose" -> { t with verbose = get bool_of_atom key value }
   | "cache" -> cache_group t value
   | "serve" -> serve_group t value
+  | "predict" -> predict_group t value
   | "protocol" -> { t with protocol = Some (protocol_group t.protocol value) }
   | "analytic" -> { t with analytic = Some (analytic_group t.analytic value) }
   | "cpu" -> { t with cpu = Some (cpu_group t.cpu value) }
@@ -294,6 +322,7 @@ let env_vars =
     "GPP_TRACE";
     "GPP_VERBOSE";
     "GPP_TRANSFER_PLAN";
+    "GPP_PREDICT";
     "GPP_LISTEN";
     "GPP_FLUSH_EVERY";
   ]
@@ -340,6 +369,9 @@ let apply_env ?(getenv = Sys.getenv_opt) (t : t) =
       (fun t plan -> { t with policy = Some (set_plan t.policy plan) })
       t
   in
+  let* t =
+    scalar "GPP_PREDICT" predictor_of_atom (fun t predictor -> { t with predictor }) t
+  in
   let* t = scalar "GPP_LISTEN" (fun s -> Ok s) (fun t listen -> { t with listen }) t in
   let* t =
     scalar "GPP_FLUSH_EVERY" pos_int_of_atom (fun t flush_every -> { t with flush_every }) t
@@ -360,6 +392,7 @@ type overrides = {
   o_trace : string option;
   o_verbose : bool;
   o_transfer_plan : Gpp_dataflow.Analyzer.plan_policy option;
+  o_predict : string option;
   o_listen : string option;
   o_flush_every : int option;
 }
@@ -377,6 +410,7 @@ let no_overrides =
     o_trace = None;
     o_verbose = false;
     o_transfer_plan = None;
+    o_predict = None;
     o_listen = None;
     o_flush_every = None;
   }
@@ -413,6 +447,14 @@ let apply_overrides (t : t) (o : overrides) =
     match o.o_transfer_plan with
     | Some plan -> { t with policy = Some (set_plan t.policy plan) }
     | None -> t
+  in
+  let* t =
+    match o.o_predict with
+    | None -> Ok t
+    | Some s -> (
+        match predictor_of_atom s with
+        | Ok predictor -> Ok { t with predictor }
+        | Error m -> Error (Error.config ~source:"--predict" m))
   in
   let t = match o.o_listen with Some listen -> { t with listen } | None -> t in
   let t = match o.o_flush_every with Some n -> { t with flush_every = n } | None -> t in

@@ -38,6 +38,15 @@ type t = {
   policy : Gpp_dataflow.Analyzer.policy option;
   sim : Gpp_gpusim.Gpu_sim.config option;
   cpu : Gpp_cpu.Timing.params option;
+  predictor : Gpp_predict.Predictor.t;
+      (** The predictor stack projections price through
+          ([--predict]/[GPP_PREDICT]/config [(predict (stages ...))];
+          default {!Gpp_predict.Predictor.analytic}, byte-identical to
+          the pre-predictor pipeline). *)
+  predict_lambda : float;
+      (** Ridge regularization strength for the Learned stage's
+          correction fit (config [(predict (lambda ...))], default
+          {!Gpp_predict.Correction.default_lambda}). *)
   lint : bool;  (** Run the Lint stage (diagnostics to stderr). *)
   jobs : int;
       (** Worker domains for the batch runner ([--jobs]/[GPP_JOBS],
@@ -112,6 +121,10 @@ type overrides = {
       (** [--transfer-plan]: overrides the [plan] field of the policy
           layer (config file [policy (plan ...)], environment
           [GPP_TRANSFER_PLAN]). *)
+  o_predict : string option;
+      (** [--predict NAME[,NAME...]]: the predictor stack, parsed with
+          {!Gpp_predict.Predictor.of_string}.  Unknown stage names are
+          {!Error.Config} (exit 2) with a nearest-name suggestion. *)
   o_listen : string option;  (** [--listen] for [grophecy serve]. *)
   o_flush_every : int option;  (** [--flush-every] for [grophecy serve]. *)
 }

@@ -14,6 +14,7 @@ type state = {
   plan : Analyzer.plan option;
   kernels : Projection.kernel_projection list option;
   measurement : Measurement.t option;
+  pricing : Gpp_predict.Pricing.t option;
   projection : Projection.t option;
   report : Grophecy.report option;
 }
@@ -33,13 +34,14 @@ let init config ~workload =
     plan = None;
     kernels = None;
     measurement = None;
+    pricing = None;
     projection = None;
     report = None;
   }
 
 let session_of (c : Config.t) =
   Grophecy.init ~seed:c.seed ~outlier_probability:c.outlier_probability ?protocol:c.protocol
-    c.machine
+    ~predictor:c.predictor c.machine
 
 (* Stages consume only fields earlier stages filled in; a [None] there
    means the runner was asked to start mid-pipeline, which is a
@@ -111,15 +113,34 @@ let run_simulate ~session state =
   | Error e -> Error e
   | Ok measurement -> Ok { state with measurement = Some measurement }
 
-let run_project ~session state =
+(* Build the predictor stack's pricing for this run.  The session
+   already carries the scenario predictor's scaled (here: identity,
+   source = target) models; the only work left is training the Learned
+   stage's correction — leave-one-workload-out against the workload
+   under prediction. *)
+let run_predict ~session state =
+  Obs.span "engine.predict" @@ fun () ->
+  let base = session.Grophecy.pricing in
+  if not (Gpp_predict.Predictor.has_learned state.config.Config.predictor) then
+    Ok { state with pricing = Some base }
+  else
+    let exclude =
+      match state.instance with
+      | Some inst -> Some (Registry.key inst)
+      | None -> Some state.workload
+    in
+    match Learn.correction ?exclude ~config:state.config ~session () with
+    | Error e -> Error e
+    | Ok correction ->
+        Ok { state with pricing = Some (Gpp_predict.Pricing.with_correction base correction) }
+
+let run_project ~session:_ state =
   Obs.span "engine.project" @@ fun () ->
   let program = required "project" state.program in
   let kernels = required "project" state.kernels in
   let plan = required "project" state.plan in
-  let projection =
-    Projection.assemble ~machine:state.config.Config.machine ~h2d:session.Grophecy.h2d
-      ~d2h:session.Grophecy.d2h ~kernels ~plan program
-  in
+  let pricing = required "project" state.pricing in
+  let projection = Projection.assemble ~pricing ~kernels ~plan program in
   Ok { state with projection = Some projection }
 
 let run_evaluate ~session:_ state =
@@ -140,6 +161,7 @@ let stages =
     { id = Stage.Analyze; run = run_analyze };
     { id = Stage.Explore; run = run_explore };
     { id = Stage.Simulate; run = run_simulate };
+    { id = Stage.Predict; run = run_predict };
     { id = Stage.Project; run = run_project };
     { id = Stage.Evaluate; run = run_evaluate };
   ]
@@ -153,6 +175,7 @@ let completed state =
       | Stage.Analyze -> state.plan <> None
       | Stage.Explore -> state.kernels <> None
       | Stage.Simulate -> state.measurement <> None
+      | Stage.Predict -> state.pricing <> None
       | Stage.Project -> state.projection <> None
       | Stage.Evaluate -> state.report <> None)
     Stage.all

@@ -1,6 +1,7 @@
 (** The staged prediction pipeline, with each stage an inspectable value.
 
-    {v Parse → Lint → Analyze → Explore → Simulate → Project → Evaluate v}
+    {v Parse → Lint → Analyze → Explore → Simulate → Predict → Project
+       → Evaluate v}
 
     Each stage reads a resolved {!Config.t} scenario plus the fields
     earlier stages filled in, and either extends the {!state} or fails
@@ -22,6 +23,10 @@ type state = {
   plan : Gpp_dataflow.Analyzer.plan option;
   kernels : Gpp_core.Projection.kernel_projection list option;
   measurement : Gpp_core.Measurement.t option;
+  pricing : Gpp_predict.Pricing.t option;
+      (** The Predict stage's output: the session's (possibly scaled)
+          transfer pricing, with a trained correction attached when the
+          scenario's predictor includes [Learned]. *)
   projection : Gpp_core.Projection.t option;
   report : Gpp_core.Grophecy.report option;
 }
@@ -33,7 +38,7 @@ type stage = {
 }
 
 val stages : stage list
-(** All seven stages in pipeline order. *)
+(** All eight stages in pipeline order. *)
 
 val init : Config.t -> workload:string -> state
 (** Fresh state with every output empty. *)

@@ -40,6 +40,17 @@ let discard_stdout () =
   Format.pp_set_formatter_output_functions Format.std_formatter (fun _ _ _ -> ()) (fun () -> ());
   close_out_noerr stdout
 
+(* Deliver buffered output while the caller's broken-pipe handler is
+   still in scope.  An output small enough to sit entirely in the
+   channel buffer (e.g. `list | head -3`) never writes during command
+   evaluation; its first EPIPE surfaces in Stdlib's at_exit flush,
+   *after* any [try ... with] around the command — a fatal uncaught
+   [Sys_error].  Flushing explicitly inside the handler's scope turns
+   that into a catchable exception. *)
+let flush_stdout () =
+  Format.pp_print_flush Format.std_formatter ();
+  flush stdout
+
 let setup_logs verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs_fmt.reporter ());

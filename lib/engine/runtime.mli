@@ -34,6 +34,12 @@ val discard_stdout : unit -> unit
     re-raise on the dead descriptor.  Call just before [exit 0] when
     treating a truncated stdout as success. *)
 
+val flush_stdout : unit -> unit
+(** Flush [Format.std_formatter] and [stdout].  Call inside the same
+    [try] that treats {!is_broken_pipe} as success: an output small
+    enough to stay in the channel buffer otherwise first hits EPIPE in
+    the at_exit flush, where no handler can catch it. *)
+
 val setup_logs : bool -> unit
 (** Just the log-level piece ([true] = debug). *)
 

@@ -1,6 +1,6 @@
-type id = Parse | Lint | Analyze | Explore | Simulate | Project | Evaluate
+type id = Parse | Lint | Analyze | Explore | Simulate | Predict | Project | Evaluate
 
-let all = [ Parse; Lint; Analyze; Explore; Simulate; Project; Evaluate ]
+let all = [ Parse; Lint; Analyze; Explore; Simulate; Predict; Project; Evaluate ]
 
 let name = function
   | Parse -> "parse"
@@ -8,6 +8,7 @@ let name = function
   | Analyze -> "analyze"
   | Explore -> "explore"
   | Simulate -> "simulate"
+  | Predict -> "predict"
   | Project -> "project"
   | Evaluate -> "evaluate"
 
@@ -17,6 +18,7 @@ let description = function
   | Analyze -> "BRS dataflow analysis: derive the transfer plan"
   | Explore -> "transformation-space search per kernel"
   | Simulate -> "measure kernels and transfers on the simulated hardware"
+  | Predict -> "build the predictor stack's pricing (scale models, train corrections)"
   | Project -> "price planned transfers and assemble the projection"
   | Evaluate -> "derive CPU time, speedups, and error magnitudes"
 
@@ -26,6 +28,7 @@ let of_name = function
   | "analyze" -> Some Analyze
   | "explore" -> Some Explore
   | "simulate" -> Some Simulate
+  | "predict" -> Some Predict
   | "project" -> Some Project
   | "evaluate" -> Some Evaluate
   | _ -> None
@@ -36,8 +39,9 @@ let index = function
   | Analyze -> 2
   | Explore -> 3
   | Simulate -> 4
-  | Project -> 5
-  | Evaluate -> 6
+  | Predict -> 5
+  | Project -> 6
+  | Evaluate -> 7
 
 let compare a b = Int.compare (index a) (index b)
 

@@ -2,9 +2,10 @@
 
     The order follows the paper's workflow: skeleton parse, static
     analysis, BRS dataflow analysis, transformation search, GPU-sim
-    measurement, PCIe transfer pricing + projection, evaluation. *)
+    measurement, predictor-stack pricing construction, PCIe transfer
+    pricing + projection, evaluation. *)
 
-type id = Parse | Lint | Analyze | Explore | Simulate | Project | Evaluate
+type id = Parse | Lint | Analyze | Explore | Simulate | Predict | Project | Evaluate
 
 val all : id list
 (** Pipeline order. *)

@@ -5,7 +5,12 @@ module Model = Gpp_pcie.Model
 module Calibrate = Gpp_pcie.Calibrate
 module Grophecy = Gpp_core.Grophecy
 module Projection = Gpp_core.Projection
+module Measurement = Gpp_core.Measurement
 module Error = Gpp_core.Error
+module Predictor = Gpp_predict.Predictor
+module Pricing = Gpp_predict.Pricing
+module Correction = Gpp_predict.Correction
+module Features = Gpp_predict.Features
 
 (* Cross-machine evaluation of the paper's calibration protocol: how far
    does a (alpha, beta) pair calibrated on machine A carry when its
@@ -74,8 +79,8 @@ let context ?protocol ?analytic_params ?space ?policy ~seed ~workloads machine =
         in
         let program = instance.Gpp_workloads.Registry.program 1 in
         let* projection =
-          Projection.project ?analytic_params ?space ?policy ~machine
-            ~h2d:session.Grophecy.h2d ~d2h:session.Grophecy.d2h program
+          Projection.project ?analytic_params ?space ?policy
+            ~pricing:session.Grophecy.pricing program
         in
         Ok ((key, projection) :: acc))
       (Ok []) workloads
@@ -101,12 +106,17 @@ let transfer_error ~sizes (source : mctx) (target : mctx) direction =
        sizes)
 
 let e2e_error (source : mctx) (target : mctx) =
+  (* Unscaled cross pricing: the source's models carried verbatim to the
+     target machine, exactly the historical [~machine ~h2d ~d2h] call. *)
+  let pricing =
+    Pricing.make ~predictor:Predictor.analytic ~source:source.machine ~target:target.machine
+      ~h2d:source.session.Grophecy.h2d ~d2h:source.session.Grophecy.d2h ()
+  in
   mean
     (List.map
        (fun (_, (own : Projection.t)) ->
          let cross =
-           Projection.assemble ~machine:target.machine ~h2d:source.session.Grophecy.h2d
-             ~d2h:source.session.Grophecy.d2h ~kernels:own.Projection.kernels
+           Projection.assemble ~pricing ~kernels:own.Projection.kernels
              ~plan:own.Projection.plan own.Projection.program
          in
          abs_pct ~truth:own.Projection.total_time cross.Projection.total_time)
@@ -141,6 +151,210 @@ let run ?protocol ?analytic_params ?space ?policy ?(seed = 0x1B0A_2013_6CA1_55AA
       contexts
   in
   Ok { machines; workloads; sizes; pairs }
+
+(* --- predictor variants --------------------------------------------- *)
+
+(* The predictor-stack ablation: the same machine grid, but every
+   (source, target) pair scored once per predictor variant, against the
+   target's *simulated measured* totals rather than its own projection —
+   so the numbers answer "how close does variant V get to what the
+   target machine actually runs", the question EXPERIMENTS.md tables.
+
+   Measured ground truth is deterministic: kernel times draw from the
+   session's noise seed exactly as the Simulate stage does, and transfer
+   times are the link's noise-free expected times (no stateful RNG
+   advances), so the TSV is golden-diffable. *)
+
+type ventry = {
+  projection : Projection.t;  (** The target's own analytic projection. *)
+  measured_total : float;  (** Simulated kernel time + expected transfers. *)
+}
+
+type vctx = { ctx : mctx; entries : (string * ventry) list }
+
+type variant_row = {
+  v_predictor : Predictor.t;
+  v_source : Machine.t;
+  v_target : Machine.t;
+  v_h2d_err : float;  (** Mean abs % error over the transfer sweep. *)
+  v_d2h_err : float;
+  v_e2e_err : float;  (** Mean abs % error vs the target's measured total. *)
+}
+
+type variants = {
+  v_machines : Machine.t list;
+  v_workloads : string list;
+  v_sizes : int list;
+  v_predictors : Predictor.t list;
+  rows : variant_row list;  (** Predictor-major, then source-major. *)
+}
+
+let measured_entries ?sim_config ?runs (ctx : mctx) =
+  let ( let* ) = Result.bind in
+  let machine = ctx.machine in
+  let memory = Link.memory_of_staging machine.Machine.staging in
+  let* entries =
+    List.fold_left
+      (fun acc (key, (p : Projection.t)) ->
+        let* acc = acc in
+        let* _, kernel_time =
+          Measurement.measure_kernels ?sim_config ?runs ~seed:ctx.session.Grophecy.noise_seed
+            ~machine ~kernels:p.Projection.kernels p.Projection.program
+        in
+        let transfer_time =
+          List.fold_left
+            (fun a (tm : Measurement.transfer_measurement) -> a +. tm.Measurement.time)
+            0.0
+            (Measurement.expected_transfers ~memory ~link:ctx.session.Grophecy.application_link
+               p.Projection.plan)
+        in
+        Ok ((key, { projection = p; measured_total = kernel_time +. transfer_time }) :: acc))
+      (Ok []) ctx.projections
+  in
+  Ok { ctx; entries = List.rev entries }
+
+let entry_features ~(source : vctx) ~(target : vctx) (e : ventry) =
+  Features.extract ~source:source.ctx.machine ~target:target.ctx.machine
+    ~program:e.projection.Projection.program ~plan:e.projection.Projection.plan
+    ~kernels:
+      (List.map
+         (fun (kp : Projection.kernel_projection) ->
+           kp.Projection.candidate.Gpp_transform.Explore.characteristics)
+         e.projection.Projection.kernels)
+
+let cross_total pricing (e : ventry) =
+  let p =
+    Projection.assemble ~pricing ~kernels:e.projection.Projection.kernels
+      ~plan:e.projection.Projection.plan e.projection.Projection.program
+  in
+  p.Projection.predicted_total
+
+let variant_errors ~lambda ~sizes ~predictor (source : vctx) (target : vctx) =
+  let ( let* ) = Result.bind in
+  let pricing =
+    Pricing.make ~predictor ~source:source.ctx.machine ~target:target.ctx.machine
+      ~h2d:source.ctx.session.Grophecy.h2d ~d2h:source.ctx.session.Grophecy.d2h ()
+  in
+  let sweep direction =
+    mean
+      (List.map
+         (fun bytes ->
+           abs_pct ~truth:(target.ctx.truth direction ~bytes)
+             (Pricing.predict pricing direction ~bytes))
+         sizes)
+  in
+  let* e2e_errs =
+    List.fold_left
+      (fun acc (key, e) ->
+        let* acc = acc in
+        let* prediction =
+          if not (Predictor.has_learned predictor) then Ok (cross_total pricing e)
+          else
+            (* Leave-one-workload-out: the correction for the held-out
+               workload trains on the pair's remaining workloads. *)
+            let samples =
+              List.filter_map
+                (fun (k, e') ->
+                  if String.equal k key then None
+                  else
+                    let base = cross_total pricing e' in
+                    if base <= 0.0 then None
+                    else Some (entry_features ~source ~target e', e'.measured_total /. base))
+                target.entries
+            in
+            match Correction.fit ~lambda samples with
+            | Error m ->
+                Error
+                  (Error.config
+                     (Printf.sprintf "crossval learned fit (%s -> %s, holding out %s): %s"
+                        source.ctx.machine.Machine.id target.ctx.machine.Machine.id key m))
+            | Ok corr -> Ok (cross_total (Pricing.with_correction pricing corr) e)
+        in
+        Ok (abs_pct ~truth:e.measured_total prediction :: acc))
+      (Ok []) target.entries
+  in
+  Ok
+    {
+      v_predictor = predictor;
+      v_source = source.ctx.machine;
+      v_target = target.ctx.machine;
+      v_h2d_err = sweep Link.Host_to_device;
+      v_d2h_err = sweep Link.Device_to_host;
+      v_e2e_err = mean (List.rev e2e_errs);
+    }
+
+let run_variants ?protocol ?analytic_params ?space ?policy ?sim_config ?runs
+    ?(lambda = Correction.default_lambda) ?(seed = 0x1B0A_2013_6CA1_55AAL)
+    ?(workloads = default_workloads) ?(max_bytes = 64 * Gpp_util.Units.mib) ~predictors ~machines
+    () =
+  let ( let* ) = Result.bind in
+  let sizes = Calibrate.power_of_two_sizes ~max_bytes () in
+  let* contexts =
+    List.fold_left
+      (fun acc machine ->
+        let* acc = acc in
+        let* ctx = context ?protocol ?analytic_params ?space ?policy ~seed ~workloads machine in
+        let* vctx = measured_entries ?sim_config ?runs ctx in
+        Ok (vctx :: acc))
+      (Ok []) machines
+  in
+  let contexts = List.rev contexts in
+  let* rows =
+    List.fold_left
+      (fun acc predictor ->
+        List.fold_left
+          (fun acc source ->
+            List.fold_left
+              (fun acc target ->
+                let* acc = acc in
+                let* row = variant_errors ~lambda ~sizes ~predictor source target in
+                Ok (row :: acc))
+              acc contexts)
+          acc contexts)
+      (Ok []) predictors
+  in
+  Ok
+    {
+      v_machines = machines;
+      v_workloads = workloads;
+      v_sizes = sizes;
+      v_predictors = predictors;
+      rows = List.rev rows;
+    }
+
+let variants_tsv_header = "predictor\tsource\ttarget\tsame\th2d_err\td2h_err\te2e_err"
+
+let variants_to_tsv v =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf variants_tsv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      Printf.bprintf buf "%s\t%s\t%s\t%s\t%.3f\t%.3f\t%.3f\n" (Predictor.name r.v_predictor)
+        r.v_source.Machine.id r.v_target.Machine.id
+        (if r.v_source.Machine.id = r.v_target.Machine.id then "yes" else "no")
+        r.v_h2d_err r.v_d2h_err r.v_e2e_err)
+    v.rows;
+  Buffer.contents buf
+
+let row_is_cross r = r.v_source.Machine.id <> r.v_target.Machine.id
+
+let pp_variants_summary ppf v =
+  Format.fprintf ppf "@[<v>predictor variants: %d machines, %d workloads, %d predictors@,"
+    (List.length v.v_machines) (List.length v.v_workloads) (List.length v.v_predictors);
+  List.iter
+    (fun predictor ->
+      let mine =
+        List.filter (fun r -> Predictor.equal r.v_predictor predictor && row_is_cross r) v.rows
+      in
+      let transfer =
+        mean (List.map (fun r -> 0.5 *. (r.v_h2d_err +. r.v_d2h_err)) mine)
+      in
+      let e2e = mean (List.map (fun r -> r.v_e2e_err) mine) in
+      Format.fprintf ppf "  %-16s cross transfer %7.1f%%  cross e2e %7.1f%%@,"
+        (Predictor.name predictor) transfer e2e)
+    v.v_predictors;
+  Format.fprintf ppf "  (errors vs each target's simulated measured totals)@]"
 
 (* --- rendering ------------------------------------------------------ *)
 

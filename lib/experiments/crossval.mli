@@ -53,6 +53,65 @@ val run :
     Failures are the usual pipeline errors (unknown workload, no
     feasible transformation). *)
 
+(** {2 Predictor variants}
+
+    The predictor-stack ablation: the same machine grid, scored once
+    per predictor variant against each target's {e simulated measured}
+    totals (deterministic: seeded kernel simulation plus the link's
+    noise-free expected transfer times).  [analytic] carries the
+    source's models verbatim; [scaled] rescales (alpha, beta) by the
+    machines' spec'd setup/bandwidth ratios; [learned] additionally
+    fits a ridge correction leave-one-workload-out per pair. *)
+
+type variant_row = {
+  v_predictor : Gpp_predict.Predictor.t;
+  v_source : Gpp_arch.Machine.t;
+  v_target : Gpp_arch.Machine.t;
+  v_h2d_err : float;  (** Mean abs % transfer error over the sweep. *)
+  v_d2h_err : float;
+  v_e2e_err : float;
+      (** Mean abs % error of the variant's cross-assembled total vs
+          the target's simulated measured total, over the workloads. *)
+}
+
+type variants = {
+  v_machines : Gpp_arch.Machine.t list;
+  v_workloads : string list;
+  v_sizes : int list;
+  v_predictors : Gpp_predict.Predictor.t list;
+  rows : variant_row list;  (** Predictor-major, then source-major. *)
+}
+
+val run_variants :
+  ?protocol:Gpp_pcie.Calibrate.protocol ->
+  ?analytic_params:Gpp_model.Analytic.params ->
+  ?space:Gpp_transform.Explore.space ->
+  ?policy:Gpp_dataflow.Analyzer.policy ->
+  ?sim_config:Gpp_gpusim.Gpu_sim.config ->
+  ?runs:int ->
+  ?lambda:float ->
+  ?seed:int64 ->
+  ?workloads:string list ->
+  ?max_bytes:int ->
+  predictors:Gpp_predict.Predictor.t list ->
+  machines:Gpp_arch.Machine.t list ->
+  unit ->
+  (variants, Gpp_core.Error.t) result
+(** Score every ordered machine pair under every predictor in
+    [predictors].  [lambda] is the learned correction's ridge strength
+    (default {!Gpp_predict.Correction.default_lambda}).  A degenerate
+    learned fit is {!Gpp_core.Error.Config}. *)
+
+val variants_tsv_header : string
+
+val variants_to_tsv : variants -> string
+(** One row per (predictor, ordered pair): predictor name, ids,
+    same-machine marker, and the three errors at fixed precision. *)
+
+val pp_variants_summary : Format.formatter -> variants -> unit
+(** Per-predictor mean cross-machine transfer and end-to-end error —
+    the naive/scaled/learned comparison in one block. *)
+
 val tsv_header : string
 
 val to_tsv : t -> string

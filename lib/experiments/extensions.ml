@@ -166,8 +166,7 @@ let run_hardware ctx =
         List.map
           (fun (machine, session) ->
             match
-              Gpp_core.Projection.project ~machine ~h2d:session.Gpp_core.Grophecy.h2d
-                ~d2h:session.Gpp_core.Grophecy.d2h program
+              Gpp_core.Projection.project ~pricing:session.Gpp_core.Grophecy.pricing program
             with
             | Error _ -> "-"
             | Ok projection ->

@@ -1,0 +1,44 @@
+(* The learned stage: a ridge-fitted multiplicative correction of the
+   analytic projected total.  Targets are measured/projected ratios; the
+   fit is on [ratio - 1], so lambda -> infinity shrinks toward the
+   identity correction (multiplier 1) rather than toward a zero
+   prediction.  The applied multiplier is clamped to a sane band so an
+   extrapolated fit can misprice a workload but never nonsense it. *)
+
+type t = { weights : float array; lambda : float }
+
+let default_lambda = 1.0
+
+let min_multiplier = 0.05
+
+let max_multiplier = 20.0
+
+let fit ?(lambda = default_lambda) samples =
+  match samples with
+  | [] -> Error "learned correction: no training samples"
+  | (first, _) :: _ ->
+      let dim = Array.length first in
+      if List.exists (fun (x, _) -> Array.length x <> dim) samples then
+        Error "learned correction: ragged feature vectors"
+      else if List.exists (fun (_, r) -> not (Float.is_finite r) || r <= 0.0) samples then
+        Error "learned correction: non-positive measured/projected ratio"
+      else
+        let xs = List.map fst samples in
+        let ys = List.map (fun (_, ratio) -> ratio -. 1.0) samples in
+        (match Ridge.fit ~lambda ~xs ~ys () with
+        | weights -> Ok { weights; lambda }
+        | exception Invalid_argument m -> Error (Printf.sprintf "learned correction: %s" m))
+
+let multiplier t ~features =
+  let raw = 1.0 +. Ridge.predict t.weights features in
+  Float.min max_multiplier (Float.max min_multiplier raw)
+
+let apply t ~features ~base = base *. multiplier t ~features
+
+let weights t = Array.copy t.weights
+
+let lambda t = t.lambda
+
+let pp ppf t =
+  Format.fprintf ppf "ridge correction (lambda %g, %d features, |w| %.4f)" t.lambda
+    (Array.length t.weights) (Ridge.norm t.weights)

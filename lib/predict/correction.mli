@@ -1,0 +1,36 @@
+(** The learned predictor stage: a multiplicative correction of the
+    analytic projected total, ridge-fitted over {!Features} vectors
+    against simulator-measured times.
+
+    Training targets are measured/projected ratios; the regression is
+    on [ratio - 1], so heavier regularization shrinks toward the
+    identity correction instead of toward zero.  Applied multipliers
+    are clamped to [0.05, 20]. *)
+
+type t
+
+val default_lambda : float
+(** 1.0 — strong enough to keep leave-one-out fits over a handful of
+    workloads stable. *)
+
+val fit : ?lambda:float -> (float array * float) list -> (t, string) result
+(** [fit samples] with samples as (feature vector, measured/projected
+    ratio) pairs.  Errors on an empty set, ragged vectors, or
+    non-positive ratios — never raises. *)
+
+val multiplier : t -> features:float array -> float
+(** The clamped correction factor for one feature vector. *)
+
+val apply : t -> features:float array -> base:float -> float
+(** [base * multiplier]. *)
+
+val weights : t -> float array
+(** A copy of the fitted weights, {!Features.names} order. *)
+
+val lambda : t -> float
+
+val min_multiplier : float
+
+val max_multiplier : float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,115 @@
+module Machine = Gpp_arch.Machine
+module Pcie_spec = Gpp_arch.Pcie_spec
+module Link = Gpp_pcie.Link
+module Analyzer = Gpp_dataflow.Analyzer
+module Characteristics = Gpp_model.Characteristics
+
+(* Static features of one (program, transfer plan, chosen kernels,
+   source machine, target machine) tuple.  Everything is derived from
+   analysis outputs the pipeline already computes — no measurement, no
+   RNG — so extraction is pure and bit-deterministic wherever it runs
+   (the batch runner extracts on worker domains).
+
+   Counts and byte totals are log1p-compressed so workloads spanning
+   four orders of magnitude land on comparable scales; ratios between
+   source and target link parameters carry the cross-machine signal the
+   Scaled stage uses analytically, letting the learned correction
+   model what spec scaling misses. *)
+
+let names =
+  [
+    "bias";
+    "kernels";
+    "schedule_length";
+    "log_input_mib";
+    "log_output_mib";
+    "transfer_count";
+    "conservative_fraction";
+    "log_total_flops";
+    "log_mem_insts";
+    "mean_divergence";
+    "mean_scattered";
+    "mean_syncs";
+    "log_grid_blocks";
+    "log_bytes_per_flop";
+    "log_target_bandwidth";
+    "log_bandwidth_ratio";
+    "log_setup_ratio";
+  ]
+
+let dim = List.length names
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+(* Spec'd achieved bandwidth of a machine's link in one direction: the
+   packetised wire ceiling derated by the default DMA-engine
+   efficiency.  The same quantity {!Pricing.make} scales beta by. *)
+let achieved_bandwidth (m : Machine.t) direction =
+  let config = Link.default_config m in
+  let efficiency =
+    match (direction : Link.direction) with
+    | Link.Host_to_device -> config.Link.dma_efficiency_h2d
+    | Link.Device_to_host -> config.Link.dma_efficiency_d2h
+  in
+  Pcie_spec.effective_bandwidth m.Machine.pcie *. efficiency
+
+let dma_setup (m : Machine.t) direction =
+  let config = Link.default_config m in
+  match (direction : Link.direction) with
+  | Link.Host_to_device -> config.Link.dma_setup_h2d
+  | Link.Device_to_host -> config.Link.dma_setup_d2h
+
+let extract ~(source : Machine.t) ~(target : Machine.t)
+    ~(program : Gpp_skeleton.Program.t) ~(plan : Analyzer.plan)
+    ~(kernels : Characteristics.t list) =
+  let transfers = Analyzer.transfers plan in
+  let transfer_count = List.length transfers in
+  let conservative_fraction =
+    if transfer_count = 0 then 0.0
+    else
+      float_of_int
+        (List.length (List.filter (fun (t : Analyzer.transfer) -> t.conservative) transfers))
+      /. float_of_int transfer_count
+  in
+  let per_kernel f = List.map f kernels in
+  let total_over_threads per_thread =
+    List.fold_left
+      (fun acc (k : Characteristics.t) ->
+        acc +. (per_thread k *. float_of_int (Characteristics.total_threads k)))
+      0.0 kernels
+  in
+  let total_flops = total_over_threads (fun k -> k.Characteristics.flops_per_thread) in
+  let total_mem_insts = total_over_threads Characteristics.mem_insts_per_thread in
+  let total_bytes = float_of_int (Analyzer.total_bytes plan) in
+  let mib = float_of_int Gpp_util.Units.mib in
+  let avg_over_directions f =
+    0.5 *. (f Link.Host_to_device +. f Link.Device_to_host)
+  in
+  let target_bw = avg_over_directions (achieved_bandwidth target) in
+  let source_bw = avg_over_directions (achieved_bandwidth source) in
+  let target_setup = avg_over_directions (dma_setup target) in
+  let source_setup = avg_over_directions (dma_setup source) in
+  [|
+    1.0;
+    float_of_int (List.length kernels);
+    float_of_int (List.length (Gpp_skeleton.Program.flatten_schedule program));
+    Float.log1p (float_of_int (Analyzer.input_bytes plan) /. mib);
+    Float.log1p (float_of_int (Analyzer.output_bytes plan) /. mib);
+    float_of_int transfer_count;
+    conservative_fraction;
+    Float.log1p total_flops;
+    Float.log1p total_mem_insts;
+    mean (per_kernel (fun k -> k.Characteristics.divergence_factor));
+    mean (per_kernel (fun k -> k.Characteristics.scattered_fraction));
+    mean (per_kernel (fun k -> k.Characteristics.syncs_per_thread));
+    Float.log1p
+      (List.fold_left
+         (fun acc (k : Characteristics.t) -> acc +. float_of_int k.Characteristics.grid_blocks)
+         0.0 kernels);
+    Float.log1p (total_bytes /. (total_flops +. 1.0));
+    Float.log1p (target_bw /. 1e9);
+    log (source_bw /. target_bw);
+    log (target_setup /. source_setup);
+  |]

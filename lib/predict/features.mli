@@ -1,0 +1,36 @@
+(** Static feature vectors for the learned correction stage.
+
+    One vector per (program, transfer plan, chosen kernel
+    characteristics, source machine, target machine) tuple, derived
+    entirely from analysis outputs the pipeline already computes — no
+    measurement and no randomness, so extraction is pure and
+    bit-deterministic on any domain.  Counts and byte totals are
+    log1p-compressed; source/target link ratios carry the
+    cross-machine signal. *)
+
+val names : string list
+(** Feature names, in vector order.  Stable: the committed benchmarks
+    and goldens embed fits over this layout. *)
+
+val dim : int
+(** [List.length names]. *)
+
+val extract :
+  source:Gpp_arch.Machine.t ->
+  target:Gpp_arch.Machine.t ->
+  program:Gpp_skeleton.Program.t ->
+  plan:Gpp_dataflow.Analyzer.plan ->
+  kernels:Gpp_model.Characteristics.t list ->
+  float array
+(** The feature vector ([dim] entries, [names] order).  [kernels] are
+    the winning candidates' synthesized characteristics, program
+    order. *)
+
+val achieved_bandwidth : Gpp_arch.Machine.t -> Gpp_pcie.Link.direction -> float
+(** Spec'd achieved link bandwidth (bytes/s): the packetised wire
+    ceiling derated by the machine's default DMA efficiency.  Shared
+    with {!Pricing.make}'s beta scaling. *)
+
+val dma_setup : Gpp_arch.Machine.t -> Gpp_pcie.Link.direction -> float
+(** The machine's default per-transfer DMA setup latency (seconds),
+    {!Pricing.make}'s alpha scaling. *)

@@ -1,0 +1,66 @@
+type stage = Analytic | Scaled | Learned
+
+let stage_name = function Analytic -> "analytic" | Scaled -> "scaled" | Learned -> "learned"
+
+let stage_names = [ "analytic"; "scaled"; "learned" ]
+
+let stage_of_name = function
+  | "analytic" -> Some Analytic
+  | "scaled" -> Some Scaled
+  | "learned" -> Some Learned
+  | _ -> None
+
+type t = { name : string; stages : stage list }
+
+let analytic = { name = "analytic"; stages = [ Analytic ] }
+
+let name t = t.name
+
+let stages t = t.stages
+
+let has stage t = List.mem stage t.stages
+
+let has_scaled = has Scaled
+
+let has_learned = has Learned
+
+let equal a b = String.equal a.name b.name
+
+(* "scaled,learned" → [Scaled; Learned].  Analytic is the identity base
+   every pipeline starts from; naming it explicitly is allowed only on
+   its own, so a predictor name reads unambiguously. *)
+let of_string s =
+  let raw = String.split_on_char ',' s |> List.map String.trim in
+  let parts = List.filter (fun p -> p <> "") raw in
+  if parts = [] then Error "empty predictor (expected stage names, e.g. \"scaled,learned\")"
+  else
+    let rec parse acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match stage_of_name (String.lowercase_ascii p) with
+          | Some stage ->
+              if List.mem stage acc then
+                Error (Printf.sprintf "duplicate predictor stage %S" p)
+              else parse (stage :: acc) rest
+          | None ->
+              let suggestion =
+                match
+                  Gpp_util.Levenshtein.nearest ~candidates:stage_names
+                    (String.lowercase_ascii p)
+                with
+                | Some near -> Printf.sprintf " (did you mean %S?)" near
+                | None -> ""
+              in
+              Error
+                (Printf.sprintf "unknown predictor stage %S%s; known stages: %s" p suggestion
+                   (String.concat ", " stage_names)))
+    in
+    match parse [] parts with
+    | Error _ as e -> e
+    | Ok stages ->
+        if List.mem Analytic stages && List.length stages > 1 then
+          Error "\"analytic\" is the identity base and composes with nothing"
+        else
+          Ok { name = String.concat "," (List.map stage_name stages); stages }
+
+let pp ppf t = Format.pp_print_string ppf t.name

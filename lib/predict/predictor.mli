@@ -1,0 +1,53 @@
+(** Named, composable prediction pipelines.
+
+    A predictor is an ordered list of stages applied on top of the
+    analytic projection:
+
+    - [Analytic] — the identity base: calibrated (alpha, beta) models
+      price the transfer plan exactly as the paper's pipeline always
+      has.  The default, and the byte-identity anchor for every
+      committed golden.
+    - [Scaled] — before pricing, rescale the source machine's
+      calibrated (alpha, beta) by the spec'd bandwidth and setup-latency
+      ratios between source and target machines (see
+      {!Pricing.make}).  A no-op when source = target.
+    - [Learned] — after pricing, multiply the projected total by a
+      ridge-fitted correction over static program/machine features
+      (see {!Correction}), trained leave-one-workload-out against
+      simulator-measured times.
+
+    Predictor names are the comma-joined stage names ("scaled,learned");
+    {!of_string} is the single parser behind the [--predict] flag, the
+    [GPP_PREDICT] environment variable, and the config file's
+    [(predict ...)] group. *)
+
+type stage = Analytic | Scaled | Learned
+
+type t = private { name : string; stages : stage list }
+
+val analytic : t
+(** The default predictor: the identity base alone. *)
+
+val of_string : string -> (t, string) result
+(** Parse a comma-separated stage list.  Unknown stage names produce a
+    message with a Levenshtein nearest-name suggestion; duplicates and
+    compositions of ["analytic"] with other stages are rejected. *)
+
+val name : t -> string
+(** Canonical comma-joined stage names (the parse of [name t] is
+    [t]). *)
+
+val stages : t -> stage list
+
+val has_scaled : t -> bool
+
+val has_learned : t -> bool
+
+val equal : t -> t -> bool
+
+val stage_name : stage -> string
+
+val stage_names : string list
+(** All known stage names, in documentation order. *)
+
+val pp : Format.formatter -> t -> unit

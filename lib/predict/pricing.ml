@@ -1,0 +1,62 @@
+module Machine = Gpp_arch.Machine
+module Model = Gpp_pcie.Model
+module Link = Gpp_pcie.Link
+
+type t = {
+  predictor : Predictor.t;
+  source : Machine.t;
+  target : Machine.t;
+  h2d : Model.t;
+  d2h : Model.t;
+  correction : Correction.t option;
+}
+
+(* The Scaled stage (Stevens & Klockner's question): carry a calibration
+   across machines by rescaling the fitted line with spec'd ratios.
+   beta is inverse achieved bandwidth, so it scales by
+   source-over-target bandwidth; alpha is setup latency, so it scales by
+   target-over-source DMA setup.  Same-machine ratios are exactly 1, but
+   we skip the rebuild entirely so the default path hands back the
+   calibrated models bit-for-bit untouched. *)
+let scale_model ~(source : Machine.t) ~(target : Machine.t) direction (m : Model.t) =
+  let bandwidth_ratio =
+    Features.achieved_bandwidth source direction /. Features.achieved_bandwidth target direction
+  in
+  let setup_ratio = Features.dma_setup target direction /. Features.dma_setup source direction in
+  Model.create
+    ~alpha:(m.Model.alpha *. setup_ratio)
+    ~beta:(m.Model.beta *. bandwidth_ratio)
+    ~direction:m.Model.direction ~memory:m.Model.memory
+
+let make ?correction ~predictor ~(source : Machine.t) ~(target : Machine.t) ~h2d ~d2h () =
+  let h2d, d2h =
+    if Predictor.has_scaled predictor && source.Machine.id <> target.Machine.id then
+      ( scale_model ~source ~target Link.Host_to_device h2d,
+        scale_model ~source ~target Link.Device_to_host d2h )
+    else (h2d, d2h)
+  in
+  { predictor; source; target; h2d; d2h; correction }
+
+let of_models ~machine ~h2d ~d2h =
+  { predictor = Predictor.analytic; source = machine; target = machine; h2d; d2h;
+    correction = None }
+
+let with_correction t correction = { t with correction = Some correction }
+
+let machine t = t.target
+
+let predict t direction ~bytes =
+  let model = match (direction : Link.direction) with
+    | Link.Host_to_device -> t.h2d
+    | Link.Device_to_host -> t.d2h
+  in
+  Model.predict model ~bytes
+
+let corrected_total t ~features ~total =
+  match t.correction with
+  | None -> total
+  | Some c -> Correction.apply c ~features ~base:total
+
+let pp ppf t =
+  Format.fprintf ppf "%s pricing %s->%s" (Predictor.name t.predictor) t.source.Machine.id
+    t.target.Machine.id

@@ -1,0 +1,51 @@
+(** Transfer pricing through a predictor: the calibrated (alpha, beta)
+    models plus everything a predictor's stages contribute.
+
+    This is the value the projection pipeline prices transfers with.
+    The [Analytic] base passes the calibrated models through untouched
+    (bit-for-bit — committed goldens depend on it); [Scaled] rescales
+    them by spec'd bandwidth/latency ratios between [source] (where
+    they were calibrated) and [target] (where they will predict);
+    [Learned] attaches a fitted {!Correction} applied to the projected
+    total. *)
+
+type t = {
+  predictor : Predictor.t;
+  source : Gpp_arch.Machine.t;  (** Machine the models were calibrated on. *)
+  target : Gpp_arch.Machine.t;  (** Machine the predictions are for. *)
+  h2d : Gpp_pcie.Model.t;  (** Upload pricing model, post-scaling. *)
+  d2h : Gpp_pcie.Model.t;  (** Download pricing model, post-scaling. *)
+  correction : Correction.t option;  (** The learned stage's fit, if trained. *)
+}
+
+val make :
+  ?correction:Correction.t ->
+  predictor:Predictor.t ->
+  source:Gpp_arch.Machine.t ->
+  target:Gpp_arch.Machine.t ->
+  h2d:Gpp_pcie.Model.t ->
+  d2h:Gpp_pcie.Model.t ->
+  unit ->
+  t
+(** Apply the predictor's model-level stages.  When [predictor] lacks
+    [Scaled] or [source] and [target] share an id, the models are the
+    caller's values unchanged (physically equal). *)
+
+val of_models :
+  machine:Gpp_arch.Machine.t -> h2d:Gpp_pcie.Model.t -> d2h:Gpp_pcie.Model.t -> t
+(** The identity pricing: analytic predictor, source = target =
+    [machine].  What every pre-predictor call site meant. *)
+
+val with_correction : t -> Correction.t -> t
+
+val machine : t -> Gpp_arch.Machine.t
+(** [target] — the machine projections priced with this value describe. *)
+
+val predict : t -> Gpp_pcie.Link.direction -> bytes:int -> float
+(** Price one transfer with the post-scaling model for [direction]. *)
+
+val corrected_total : t -> features:float array -> total:float -> float
+(** Apply the learned correction to a projected total; the identity
+    when no correction is attached. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+(* Ridge regression by normal equations: w = (X^T X + lambda I)^-1 X^T y,
+   solved with Gaussian elimination under partial pivoting.  Feature
+   counts here are tiny (tens), so dense O(p^3) is the right tool; no
+   external linear algebra needed. *)
+
+let solve a b =
+  let n = Array.length b in
+  if Array.length a <> n then invalid_arg "Ridge.solve: matrix/vector size mismatch";
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Ridge.solve: matrix is not square")
+    a;
+  (* Work on copies: callers reuse their matrices. *)
+  let a = Array.map Array.copy a in
+  let b = Array.copy b in
+  for col = 0 to n - 1 do
+    (* Partial pivoting: swap in the row with the largest remaining
+       magnitude in this column. *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if Float.abs a.(row).(col) > Float.abs a.(!pivot).(col) then pivot := row
+    done;
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    let p = a.(col).(col) in
+    if Float.abs p < 1e-300 then invalid_arg "Ridge.solve: singular system";
+    for row = col + 1 to n - 1 do
+      let factor = a.(row).(col) /. p in
+      if factor <> 0.0 then begin
+        for k = col to n - 1 do
+          a.(row).(k) <- a.(row).(k) -. (factor *. a.(col).(k))
+        done;
+        b.(row) <- b.(row) -. (factor *. b.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let acc = ref b.(row) in
+    for k = row + 1 to n - 1 do
+      acc := !acc -. (a.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !acc /. a.(row).(row)
+  done;
+  x
+
+let fit ?(lambda = 0.0) ~xs ~ys () =
+  if lambda < 0.0 then invalid_arg "Ridge.fit: negative lambda";
+  match xs with
+  | [] -> invalid_arg "Ridge.fit: no samples"
+  | first :: _ ->
+      let p = Array.length first in
+      if p = 0 then invalid_arg "Ridge.fit: empty feature vectors";
+      if List.length xs <> List.length ys then
+        invalid_arg "Ridge.fit: sample/target count mismatch";
+      List.iter
+        (fun x ->
+          if Array.length x <> p then invalid_arg "Ridge.fit: ragged feature vectors")
+        xs;
+      let xtx = Array.make_matrix p p 0.0 in
+      let xty = Array.make p 0.0 in
+      List.iter2
+        (fun x y ->
+          for i = 0 to p - 1 do
+            xty.(i) <- xty.(i) +. (x.(i) *. y);
+            for j = 0 to p - 1 do
+              xtx.(i).(j) <- xtx.(i).(j) +. (x.(i) *. x.(j))
+            done
+          done)
+        xs ys;
+      for i = 0 to p - 1 do
+        xtx.(i).(i) <- xtx.(i).(i) +. lambda
+      done;
+      solve xtx xty
+
+let predict w x =
+  if Array.length w <> Array.length x then invalid_arg "Ridge.predict: dimension mismatch";
+  let acc = ref 0.0 in
+  Array.iteri (fun i wi -> acc := !acc +. (wi *. x.(i))) w;
+  !acc
+
+let norm w = sqrt (Array.fold_left (fun acc wi -> acc +. (wi *. wi)) 0.0 w)

@@ -1,0 +1,25 @@
+(** Pure-OCaml ridge regression (Tikhonov-regularized least squares).
+
+    Fits [w = argmin |Xw - y|^2 + lambda |w|^2] by the normal equations
+    [(X^T X + lambda I) w = X^T y], solved with Gaussian elimination
+    under partial pivoting.  Feature counts in this repo are tiny, so
+    the dense O(p^3) solve is exact and instantaneous; there are no
+    external linear-algebra dependencies. *)
+
+val fit : ?lambda:float -> xs:float array list -> ys:float list -> unit -> float array
+(** Fitted weight vector, one entry per feature.  [lambda] defaults to
+    0 (ordinary least squares).  With [lambda > 0] the system is
+    positive definite and always solvable.
+    @raise Invalid_argument on empty/ragged samples, a negative
+    [lambda], or (at [lambda = 0]) a numerically singular system. *)
+
+val solve : float array array -> float array -> float array
+(** [solve a b] solves the dense linear system [a x = b]; inputs are
+    not mutated.  Exposed for property tests.
+    @raise Invalid_argument on shape mismatch or a singular matrix. *)
+
+val predict : float array -> float array -> float
+(** Dot product [w . x].  @raise Invalid_argument on length mismatch. *)
+
+val norm : float array -> float
+(** Euclidean norm, for the regularization-shrinks-norms property. *)

@@ -133,6 +133,8 @@ let request_key (c : Config.t) (r : Http.request) =
   let policy = Option.value c.policy ~default:Gpp_dataflow.Analyzer.default_policy in
   Fingerprint.add_bool fp policy.Gpp_dataflow.Analyzer.sparse_exact;
   Fingerprint.add_string fp (Gpp_dataflow.Analyzer.plan_policy_name policy.plan);
+  Fingerprint.add_string fp (Gpp_predict.Predictor.name c.predictor);
+  Fingerprint.add_float fp c.predict_lambda;
   Fingerprint.digest fp
 
 (* --- endpoint handlers ----------------------------------------------- *)

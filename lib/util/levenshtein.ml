@@ -1,0 +1,23 @@
+let distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let curr = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    curr.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      curr.(j) <- min (min (prev.(j) + 1) (curr.(j - 1) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit curr 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let nearest ~candidates query =
+  List.fold_left
+    (fun best candidate ->
+      let d = distance query candidate in
+      match best with
+      | Some (best_d, _) when best_d <= d -> best
+      | _ -> Some (d, candidate))
+    None candidates
+  |> Option.map snd

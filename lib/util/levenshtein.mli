@@ -1,0 +1,16 @@
+(** Levenshtein edit distance and nearest-candidate suggestion.
+
+    Shared by every "unknown name" error path that wants to suggest the
+    closest known spelling: lint diagnostic codes, predictor stage
+    names.  The candidate sets are tiny, so the plain O(|a|*|b|)
+    two-row dynamic program is the right tool. *)
+
+val distance : string -> string -> int
+(** Number of single-character insertions, deletions, and substitutions
+    turning one string into the other. *)
+
+val nearest : candidates:string list -> string -> string option
+(** The candidate with the smallest {!distance} to the query (ties
+    break toward the earlier candidate); [None] on an empty candidate
+    list.  Comparison is exact — canonicalize case before calling if
+    the namespace is case-insensitive. *)

@@ -14,7 +14,7 @@ let session = lazy (Grophecy.init machine)
 let project program =
   let s = Lazy.force session in
   Helpers.check_core "projection"
-    (Projection.project ~machine ~h2d:s.Grophecy.h2d ~d2h:s.Grophecy.d2h program)
+    (Projection.project ~pricing:s.Grophecy.pricing program)
 
 let test_projection_structure () =
   let program = Helpers.chain_program ~n:(1 lsl 16) () in
@@ -53,7 +53,7 @@ let test_projection_invalid_program () =
   let bad =
     { (Helpers.chain_program ()) with Gpp_skeleton.Program.schedule = [ Gpp_skeleton.Program.Call "nope" ] }
   in
-  match Projection.project ~machine ~h2d:s.Grophecy.h2d ~d2h:s.Grophecy.d2h bad with
+  match Projection.project ~pricing:s.Grophecy.pricing bad with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected validation failure"
 
@@ -171,7 +171,7 @@ let test_init_calibrates () =
 let project_for_advice program =
   let s = Lazy.force session in
   Helpers.check_core "project"
-    (Projection.project ~machine ~h2d:s.Grophecy.h2d ~d2h:s.Grophecy.d2h program)
+    (Projection.project ~pricing:s.Grophecy.pricing program)
 
 let test_advisor_port () =
   let p = project_for_advice (Gpp_workloads.Srad.program ~n:2048 ()) in

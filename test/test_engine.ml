@@ -233,7 +233,7 @@ let test_workload_resolve () =
 (* --- stages and pipeline --------------------------------------------- *)
 
 let test_stage_metadata () =
-  Alcotest.(check int) "seven stages" 7 (List.length Engine.Stage.all);
+  Alcotest.(check int) "eight stages" 8 (List.length Engine.Stage.all);
   List.iter
     (fun id ->
       Alcotest.(check bool)
@@ -244,7 +244,7 @@ let test_stage_metadata () =
   Alcotest.(check (option string)) "unknown" None (Option.map Engine.Stage.name (Engine.Stage.of_name "nope"));
   let sorted = List.sort Engine.Stage.compare Engine.Stage.all in
   Alcotest.(check bool) "all is pipeline order" true (sorted = Engine.Stage.all);
-  Alcotest.(check int) "pipeline stage list agrees" 7 (List.length Engine.Pipeline.stages);
+  Alcotest.(check int) "pipeline stage list agrees" 8 (List.length Engine.Pipeline.stages);
   List.iteri
     (fun i (st : Engine.Pipeline.stage) ->
       Alcotest.(check int) "stage order" i (Engine.Stage.index st.Engine.Pipeline.id))
@@ -280,7 +280,7 @@ let test_pipeline_matches_facade () =
   (* Stage bookkeeping: everything ran except Lint (config.lint=false). *)
   let ran = Engine.Pipeline.completed state in
   Alcotest.(check bool) "lint skipped" true (not (List.mem Engine.Stage.Lint ran));
-  Alcotest.(check int) "six stages ran" 6 (List.length ran)
+  Alcotest.(check int) "seven stages ran" 7 (List.length ran)
 
 let test_pipeline_partial_run () =
   let config = Config.default in

@@ -175,8 +175,7 @@ let session = lazy (Gpp_core.Grophecy.init machine)
 let projection_of program =
   let s = Lazy.force session in
   Helpers.check_core "project"
-    (Gpp_core.Projection.project ~machine ~h2d:s.Gpp_core.Grophecy.h2d
-       ~d2h:s.Gpp_core.Grophecy.d2h program)
+    (Gpp_core.Projection.project ~pricing:s.Gpp_core.Grophecy.pricing program)
 
 let test_overlap_chunk_one_is_serial () =
   let p = projection_of (Gpp_workloads.Srad.program ~n:512 ()) in

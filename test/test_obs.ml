@@ -114,7 +114,7 @@ let test_golden_byte_identity () =
   let s = Grophecy.init machine in
   let program = Gpp_workloads.Srad.program ~iterations:1 ~n:256 () in
   let render () =
-    match Projection.project ~machine ~h2d:s.Grophecy.h2d ~d2h:s.Grophecy.d2h program with
+    match Projection.project ~pricing:s.Grophecy.pricing program with
     | Ok p -> Format.asprintf "%a" Projection.pp p
     | Error e -> Alcotest.failf "projection failed: %s" (Gpp_core.Error.to_string e)
   in
